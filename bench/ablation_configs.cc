@@ -1,0 +1,102 @@
+// §6.5 ablation: multiple configurations vs a single configuration.
+//
+// The paper reports that using the config tree instead of just one config
+// (all promising attributes concatenated — the approach of [Song & Heflin
+// 2011]) retrieves 10-74% more killed-off matches. We compute M_E (killed
+// matches present in E) under the full tree and under the root config only.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "config/config_generator.h"
+#include "core/match_catcher.h"
+#include "joint/joint_executor.h"
+#include "paper_blockers.h"
+#include "ssj/corpus.h"
+#include "table/profile.h"
+
+namespace mc {
+namespace bench {
+namespace {
+
+size_t MatchesInE(const JointResult& joint, const CandidateSet& gold,
+                  const CandidateSet& blocked) {
+  CandidateSet e;
+  for (const ConfigJoinResult& config : joint.per_config) {
+    for (const ScoredPair& entry : config.topk) e.Add(entry.pair);
+  }
+  size_t matches = 0;
+  for (PairId pair : e) {
+    if (gold.Contains(pair) && !blocked.Contains(pair)) ++matches;
+  }
+  return matches;
+}
+
+void RunDataset(const std::string& name, const std::string& blocker_label) {
+  datagen::GeneratedDataset dataset = LoadDataset(name);
+  Table table_a = dataset.table_a;
+  Table table_b = dataset.table_b;
+  table_a.SetSchema(InferAttributeTypes(table_a));
+  table_b.SetSchema(table_a.schema());
+
+  std::shared_ptr<const Blocker> blocker;
+  for (const PaperBlocker& paper_blocker :
+       PaperBlockersFor(name, table_a.schema())) {
+    if (paper_blocker.label == blocker_label) blocker = paper_blocker.blocker;
+  }
+  MC_CHECK(blocker != nullptr);
+  CandidateSet c = blocker->Run(table_a, table_b);
+
+  Result<PromisingAttributes> attributes =
+      SelectPromisingAttributes(table_a, table_b);
+  MC_CHECK(attributes.ok()) << attributes.status().ToString();
+  SsjCorpus corpus = SsjCorpus::Build(table_a, table_b, attributes->columns);
+
+  JointOptions options;
+  options.k = 1000;
+  options.q = EnvQ();
+  options.num_threads = EnvThreads();
+  options.exclude = &c;
+
+  // Full config tree.
+  ConfigTree tree = GenerateConfigTree(*attributes);
+  JointResult multi = RunJointTopKJoins(corpus, tree, options);
+
+  // Single config: the root only.
+  ConfigTree root_only;
+  root_only.nodes.push_back(ConfigNode{attributes->FullMask(), -1, {}, 0});
+  JointResult single = RunJointTopKJoins(corpus, root_only, options);
+
+  size_t multi_matches = MatchesInE(multi, dataset.gold, c);
+  size_t single_matches = MatchesInE(single, dataset.gold, c);
+  double gain = single_matches == 0
+                    ? (multi_matches > 0 ? 100.0 : 0.0)
+                    : 100.0 * (static_cast<double>(multi_matches) -
+                               static_cast<double>(single_matches)) /
+                          static_cast<double>(single_matches);
+  std::cout << Cell(name + "/" + blocker_label, 12)
+            << Cell(tree.size(), 9) << Cell(single_matches, 14)
+            << Cell(multi_matches, 14) << Cell(gain, 8, 1) << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mc
+
+int main() {
+  std::cout << "=== Ablation (§6.5): multiple configs vs a single config "
+               "===\n"
+            << mc::bench::Cell("case", 12) << mc::bench::Cell("configs", 9)
+            << mc::bench::Cell("ME(single)", 14)
+            << mc::bench::Cell("ME(multi)", 14)
+            << mc::bench::Cell("gain%", 8) << "\n";
+  mc::bench::RunDataset("A-G", "HASH");
+  mc::bench::RunDataset("A-G", "OL");
+  mc::bench::RunDataset("W-A", "R");
+  mc::bench::RunDataset("A-D", "R2");
+  mc::bench::RunDataset("F-Z", "OL");
+  mc::bench::RunDataset("M1", "HASH");
+  std::cout << "\n(paper: multiple configs retrieve 10-74% more matches; "
+               "[29]'s single config is the baseline)\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks for the SSJ kernels: QJoin vs TopKJoin
+// (the paper's §4.1 contribution — deferring score computation), the brute
+// force baseline, top-k list maintenance, the flat pair map, and rank
+// aggregation.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/generator.h"
+#include "rank/rank_aggregation.h"
+#include "ssj/corpus.h"
+#include "ssj/topk_join.h"
+#include "table/profile.h"
+#include "util/flat_hash.h"
+#include "util/random.h"
+
+namespace mc {
+namespace {
+
+// Shared fixture data: a music-style corpus (leaked intentionally; static
+// lifetime).
+const SsjCorpus& MusicCorpus() {
+  static const SsjCorpus& corpus = *[] {
+    datagen::GeneratedDataset dataset = datagen::GenerateMusic(
+        datagen::ScaleDims(datagen::kDimsMusic1, 0.02));  // 2K x 2K.
+    std::vector<size_t> columns;
+    for (size_t c = 0; c < dataset.table_a.schema().size(); ++c) {
+      columns.push_back(c);
+    }
+    return new SsjCorpus(
+        SsjCorpus::Build(dataset.table_a, dataset.table_b, columns));
+  }();
+  return corpus;
+}
+
+void BM_TopKJoinQ(benchmark::State& state) {
+  const SsjCorpus& corpus = MusicCorpus();
+  ConfigView view = corpus.MakeConfigView(0xFF);
+  TopKJoinOptions options;
+  options.k = 200;
+  options.q = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    TopKList result = RunTopKJoin(view, options);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_TopKJoinQ)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_BruteForceTopK(benchmark::State& state) {
+  const SsjCorpus& corpus = MusicCorpus();
+  ConfigView view = corpus.MakeConfigView(0xFF);
+  for (auto _ : state) {
+    TopKList result = BruteForceTopK(view, 200, SetMeasure::kJaccard);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_BruteForceTopK);
+
+void BM_TopKListAdd(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<ScoredPair> entries;
+  for (int i = 0; i < 100000; ++i) {
+    entries.push_back(ScoredPair{MakePairId(rng.NextBelow(10000),
+                                            rng.NextBelow(10000)),
+                                 rng.NextDouble()});
+  }
+  for (auto _ : state) {
+    TopKList list(1000);
+    for (const ScoredPair& entry : entries) list.Add(entry.pair, entry.score);
+    benchmark::DoNotOptimize(list.KthScore());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(entries.size()));
+}
+BENCHMARK(BM_TopKListAdd);
+
+void BM_PairFlatMap(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<PairId> keys;
+  for (int i = 0; i < 200000; ++i) {
+    keys.push_back(MakePairId(rng.NextBelow(5000), rng.NextBelow(5000)));
+  }
+  for (auto _ : state) {
+    PairFlatMap<uint32_t> map(1 << 16);
+    for (PairId key : keys) {
+      bool inserted = false;
+      ++*map.FindOrInsert(key, 0u, &inserted);
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_PairFlatMap);
+
+void BM_MedRank(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::vector<ScoredPair>> lists;
+  for (int l = 0; l < 20; ++l) {
+    std::vector<ScoredPair> list;
+    for (int i = 0; i < 1000; ++i) {
+      list.push_back(ScoredPair{MakePairId(0, rng.NextBelow(5000)),
+                                1.0 - i * 1e-4});
+    }
+    lists.push_back(std::move(list));
+  }
+  for (auto _ : state) {
+    RankAggregator aggregator(lists, 7);
+    std::vector<PairId> order = aggregator.MedRank();
+    benchmark::DoNotOptimize(order.size());
+  }
+}
+BENCHMARK(BM_MedRank);
+
+void BM_CorpusBuild(benchmark::State& state) {
+  datagen::GeneratedDataset dataset = datagen::GenerateMusic(
+      datagen::ScaleDims(datagen::kDimsMusic1, 0.02));
+  std::vector<size_t> columns;
+  for (size_t c = 0; c < dataset.table_a.schema().size(); ++c) {
+    columns.push_back(c);
+  }
+  for (auto _ : state) {
+    SsjCorpus corpus =
+        SsjCorpus::Build(dataset.table_a, dataset.table_b, columns);
+    benchmark::DoNotOptimize(corpus.dictionary().size());
+  }
+}
+BENCHMARK(BM_CorpusBuild);
+
+}  // namespace
+}  // namespace mc
+
+BENCHMARK_MAIN();

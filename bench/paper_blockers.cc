@@ -1,0 +1,223 @@
+#include "paper_blockers.h"
+
+#include "blocking/rule_blocker.h"
+#include "blocking/standard_blockers.h"
+#include "util/check.h"
+
+namespace mc {
+namespace bench {
+
+namespace {
+
+std::shared_ptr<const Blocker> Overlap(size_t column, size_t count) {
+  return std::make_shared<OverlapBlocker>(column, TokenizerSpec::Word(),
+                                          count);
+}
+
+std::shared_ptr<const Blocker> Sim(size_t column, TokenizerSpec tokenizer,
+                                   SetMeasure measure, double threshold) {
+  return std::make_shared<SimilarityBlocker>(column, tokenizer, measure,
+                                             threshold);
+}
+
+std::shared_ptr<const Blocker> Hash(size_t column,
+                                    KeyFunction::Kind kind =
+                                        KeyFunction::Kind::kFullValue,
+                                    size_t param = 0) {
+  return std::make_shared<HashBlocker>(KeyFunction(kind, column, param));
+}
+
+std::shared_ptr<const Blocker> Union(
+    std::vector<std::shared_ptr<const Blocker>> members) {
+  return std::make_shared<UnionBlocker>(std::move(members));
+}
+
+std::shared_ptr<const PairPredicate> SimPred(size_t column,
+                                             TokenizerSpec tokenizer,
+                                             SetMeasure measure,
+                                             double threshold) {
+  return std::make_shared<SetSimilarityPredicate>(column, tokenizer, measure,
+                                                  threshold);
+}
+
+std::shared_ptr<const PairPredicate> DiffPred(size_t column, double max) {
+  return std::make_shared<NumericDiffPredicate>(column, max);
+}
+
+}  // namespace
+
+std::vector<PaperBlocker> PaperBlockersFor(const std::string& dataset,
+                                           const Schema& schema) {
+  auto col = [&](const char* name) { return schema.RequireIndexOf(name); };
+  const TokenizerSpec word = TokenizerSpec::Word();
+  const TokenizerSpec gram3 = TokenizerSpec::QGram(3);
+
+  if (dataset == "A-G") {
+    return {
+        {"OL", Overlap(col("title"), 3)},
+        {"HASH", Hash(col("manufacturer"))},
+        {"SIM", Sim(col("title"), word, SetMeasure::kCosine, 0.4)},
+        // (R) drop: title_jac_word<0.2 AND manuf_jac_3gram<0.4
+        // keep:     title_jac_word>=0.2 OR manuf_jac_3gram>=0.4.
+        {"R", Union({Sim(col("title"), word, SetMeasure::kJaccard, 0.2),
+                     Sim(col("manufacturer"), gram3, SetMeasure::kJaccard,
+                         0.4)})},
+    };
+  }
+  if (dataset == "W-A") {
+    return {
+        {"OL", Overlap(col("title"), 3)},
+        {"HASH", Hash(col("brand"))},
+        {"SIM", Sim(col("title"), word, SetMeasure::kCosine, 0.4)},
+        // (R) drop: price_absdiff>20 OR title_jac_word<0.5
+        // keep:     price_absdiff<=20 AND title_jac_word>=0.5.
+        {"R", std::make_shared<RuleBlocker>(std::vector<ConjunctiveRule>{
+             ConjunctiveRule(
+                 {SimPred(col("title"), word, SetMeasure::kJaccard, 0.5),
+                  DiffPred(col("price"), 20.0)})})},
+    };
+  }
+  if (dataset == "A-D") {
+    return {
+        {"OL", Overlap(col("authors"), 2)},
+        {"SIM", Sim(col("title"), gram3, SetMeasure::kJaccard, 0.7)},
+        // (R1) drop: title_cos_word<0.8 AND authors_jac_3gram<0.8.
+        {"R1", Union({Sim(col("title"), word, SetMeasure::kCosine, 0.8),
+                      Sim(col("authors"), gram3, SetMeasure::kJaccard,
+                          0.8)})},
+        // (R2) drop: year_absdiff>0.5 OR title_jac_word<0.7.
+        {"R2", std::make_shared<RuleBlocker>(std::vector<ConjunctiveRule>{
+             ConjunctiveRule(
+                 {SimPred(col("title"), word, SetMeasure::kJaccard, 0.7),
+                  DiffPred(col("year"), 0.5)})})},
+    };
+  }
+  if (dataset == "F-Z") {
+    return {
+        {"OL", Overlap(col("name"), 2)},
+        {"HASH", Hash(col("city"))},
+        {"SIM", Sim(col("addr"), gram3, SetMeasure::kJaccard, 0.3)},
+        // (R) drop: (name_cos<0.5 AND type_jac3<0.7) OR addr_jac3<0.3
+        // keep: addr_jac3>=0.3 AND (name_cos>=0.5 OR type_jac3>=0.7).
+        {"R", std::make_shared<RuleBlocker>(std::vector<ConjunctiveRule>{
+             ConjunctiveRule(
+                 {SimPred(col("name"), word, SetMeasure::kCosine, 0.5),
+                  SimPred(col("addr"), gram3, SetMeasure::kJaccard, 0.3)}),
+             ConjunctiveRule(
+                 {SimPred(col("type"), gram3, SetMeasure::kJaccard, 0.7),
+                  SimPred(col("addr"), gram3, SetMeasure::kJaccard,
+                          0.3)})})},
+    };
+  }
+  if (dataset == "M1") {
+    return {
+        {"OL", Overlap(col("artist_name"), 2)},
+        // Raw (case-sensitive) hash: how off-the-shelf EM tools block, and
+        // the source of the "input tables are not lower-cased" finding.
+        {"HASH", Hash(col("artist_name"), KeyFunction::Kind::kRawValue)},
+        {"SIM", Sim(col("title"), word, SetMeasure::kCosine, 0.5)},
+        {"R", std::make_shared<RuleBlocker>(std::vector<ConjunctiveRule>{
+             ConjunctiveRule(
+                 {SimPred(col("title"), word, SetMeasure::kCosine, 0.7),
+                  DiffPred(col("year"), 0.5)})})},
+    };
+  }
+  if (dataset == "M2") {
+    return {
+        {"HASH1", Hash(col("artist_name"), KeyFunction::Kind::kRawValue)},
+        {"HASH2",
+         Union({Hash(col("release"), KeyFunction::Kind::kRawValue),
+                Hash(col("artist_name"), KeyFunction::Kind::kRawValue)})},
+        {"SIM1", Sim(col("title"), word, SetMeasure::kCosine, 0.6)},
+        {"SIM2", Sim(col("title"), word, SetMeasure::kCosine, 0.7)},
+        {"SIM3", Sim(col("title"), word, SetMeasure::kCosine, 0.8)},
+    };
+  }
+  if (dataset == "Papers") {
+    // Stand-ins for the three crowdsource-learned blockers of §6.2: rule
+    // blockers of the shape the Falcon-style learner produces (benches also
+    // learn real ones with LearnBlocker; these fixed ones keep the runtime
+    // experiments deterministic).
+    return {
+        {"R1", std::make_shared<RuleBlocker>(std::vector<ConjunctiveRule>{
+             ConjunctiveRule(
+                 {SimPred(col("title"), word, SetMeasure::kJaccard, 0.5),
+                  DiffPred(col("year"), 1.0)})})},
+        {"R2", Union({Sim(col("authors"), gram3, SetMeasure::kJaccard, 0.6),
+                      Sim(col("title"), word, SetMeasure::kCosine, 0.7)})},
+        {"R3", Union({Overlap(col("keywords"), 2),
+                      Sim(col("title"), gram3, SetMeasure::kJaccard, 0.6)})},
+    };
+  }
+  MC_CHECK(false) << "no paper blockers for dataset" << dataset;
+  return {};
+}
+
+std::shared_ptr<const Blocker> BestHashBlockerFor(const std::string& dataset,
+                                                  const Schema& schema) {
+  auto col = [&](const char* name) { return schema.RequireIndexOf(name); };
+  if (dataset == "A-G") {
+    // "agree on manufacturer, or on a hash of price, or on a hash of title".
+    return Union({Hash(col("manufacturer")),
+                  Hash(col("price"), KeyFunction::Kind::kNumericBucket, 10),
+                  Hash(col("title"))});
+  }
+  if (dataset == "W-A") {
+    return Union({Hash(col("brand")), Hash(col("modelno")),
+                  Hash(col("price"), KeyFunction::Kind::kNumericBucket, 20),
+                  Hash(col("title"))});
+  }
+  if (dataset == "A-D") {
+    return Union({Hash(col("title")), Hash(col("authors")),
+                  Hash(col("pages"))});
+  }
+  if (dataset == "F-Z") {
+    return Union({Hash(col("name")),
+                  Hash(col("phone"), KeyFunction::Kind::kRawValue),
+                  Hash(col("addr"))});
+  }
+  if (dataset == "M1") {
+    // The duration hash is what pushes this one to 100% recall — duration
+    // is never dirty in this corpus, mirroring the paper's M1 where the
+    // best hash blocker also reached 100% and debugging terminated early.
+    return Union({Hash(col("artist_name")), Hash(col("title")),
+                  Hash(col("release")), Hash(col("duration"))});
+  }
+  MC_CHECK(false) << "no best hash blocker for dataset" << dataset;
+  return nullptr;
+}
+
+std::shared_ptr<const Blocker> ImprovedBlockerFor(const std::string& dataset,
+                                                  const Schema& schema) {
+  auto col = [&](const char* name) { return schema.RequireIndexOf(name); };
+  const TokenizerSpec word = TokenizerSpec::Word();
+  const TokenizerSpec gram3 = TokenizerSpec::QGram(3);
+  std::shared_ptr<const Blocker> hash = BestHashBlockerFor(dataset, schema);
+  if (dataset == "A-G") {
+    // Debugging surfaced sprinkled manufacturers and title typos: add
+    // similarity rules on title and manufacturer.
+    return Union({hash, Sim(col("title"), word, SetMeasure::kJaccard, 0.25),
+                  Sim(col("manufacturer"), gram3, SetMeasure::kJaccard,
+                      0.5)});
+  }
+  if (dataset == "W-A") {
+    // Brand variants, missing brands, model typos: title similarity plus a
+    // fuzzy model-number rule.
+    return Union({hash, Sim(col("title"), word, SetMeasure::kJaccard, 0.4),
+                  std::make_shared<EditDistanceBlocker>(
+                      KeyFunction(KeyFunction::Kind::kFullValue,
+                                  col("modelno")),
+                      1)});
+  }
+  if (dataset == "F-Z") {
+    // Misspelled names and unnormalized addresses: fuzzy name + address.
+    return Union({hash, Sim(col("name"), word, SetMeasure::kJaccard, 0.5),
+                  Sim(col("addr"), gram3, SetMeasure::kJaccard, 0.4)});
+  }
+  // A-D and M1 best hash blockers already reach 100% recall; debugging
+  // terminates early with nothing to fix (as in the paper).
+  return hash;
+}
+
+}  // namespace bench
+}  // namespace mc

@@ -1,0 +1,39 @@
+#ifndef MATCHCATCHER_BENCH_PAPER_BLOCKERS_H_
+#define MATCHCATCHER_BENCH_PAPER_BLOCKERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "table/schema.h"
+
+namespace mc {
+namespace bench {
+
+/// A labeled blocker from the paper's Table 2 (or §6.2).
+struct PaperBlocker {
+  std::string label;
+  std::shared_ptr<const Blocker> blocker;
+};
+
+/// The Table 2 blockers for a dataset ("A-G", "W-A", "A-D", "F-Z", "M1",
+/// "M2"), in table order. Table 2 lists *drop* conditions; these are the
+/// equivalent keep-form blockers (see DESIGN.md §5).
+std::vector<PaperBlocker> PaperBlockersFor(const std::string& dataset,
+                                           const Schema& schema);
+
+/// §6.2: the "best possible hash blocker" a well-trained user produced for
+/// the dataset — a union of hash blockers over informative key functions.
+std::shared_ptr<const Blocker> BestHashBlockerFor(const std::string& dataset,
+                                                  const Schema& schema);
+
+/// §6.2: the blocker after the user fixed the problems MatchCatcher
+/// surfaced (similarity/edit-distance rules replacing brittle hash rules).
+std::shared_ptr<const Blocker> ImprovedBlockerFor(const std::string& dataset,
+                                                  const Schema& schema);
+
+}  // namespace bench
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BENCH_PAPER_BLOCKERS_H_

@@ -1,0 +1,101 @@
+// §6.2 "Learned Blockers": auditing blockers learned from labeled samples.
+//
+// The paper obtained three blockers learned (via crowdsourced labels) on
+// three separate samples of the Papers dataset and ran MatchCatcher for 5
+// iterations against each, finding 76, 61, and 65 killed-off matches plus
+// the reasons behind them. We learn three rule blockers with our greedy
+// learner on three disjoint samples and run the same protocol. (Unlike the
+// paper we *do* have full gold for the generated Papers corpus, so the true
+// recall of each learned blocker is also reported.)
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "blocking/blocker_learner.h"
+#include "blocking/metrics.h"
+#include "core/match_catcher.h"
+#include "util/random.h"
+
+namespace mc {
+namespace bench {
+namespace {
+
+std::vector<std::pair<PairId, bool>> MakeSample(
+    const datagen::GeneratedDataset& dataset, size_t positives,
+    size_t negatives, Rng& rng) {
+  std::vector<std::pair<PairId, bool>> sample;
+  std::vector<PairId> gold = dataset.gold.SortedPairs();
+  rng.Shuffle(gold);
+  for (size_t i = 0; i < positives && i < gold.size(); ++i) {
+    sample.emplace_back(gold[i], true);
+  }
+  while (sample.size() < positives + negatives) {
+    PairId pair = MakePairId(
+        static_cast<RowId>(rng.NextBelow(dataset.table_a.num_rows())),
+        static_cast<RowId>(rng.NextBelow(dataset.table_b.num_rows())));
+    if (dataset.gold.Contains(pair)) continue;
+    sample.emplace_back(pair, false);
+  }
+  return sample;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mc
+
+int main() {
+  using namespace mc;
+  using namespace mc::bench;
+  std::cout << "=== Section 6.2: debugging learned blockers (Papers) ===\n";
+  datagen::GeneratedDataset dataset = LoadDataset("Papers");
+  PrintDatasetHeader(dataset);
+
+  Rng rng(7777);
+  for (int run = 1; run <= 3; ++run) {
+    auto sample = MakeSample(dataset, 250, 750, rng);
+    BlockerLearnerOptions learner_options;
+    learner_options.max_rule_negative_rate = 0.02;
+    Result<LearnedBlocker> learned = LearnBlocker(
+        dataset.table_a, dataset.table_b, sample, learner_options);
+    MC_CHECK(learned.ok()) << learned.status().ToString();
+
+    CandidateSet c = learned->blocker->Run(dataset.table_a, dataset.table_b);
+    BlockerMetrics metrics =
+        EvaluateBlocking(c, dataset.gold, dataset.table_a.num_rows(),
+                         dataset.table_b.num_rows());
+
+    MatchCatcherOptions options;
+    options.joint.k = 1000;
+    options.joint.num_threads = EnvThreads();
+    options.joint.q = EnvQ();
+    Result<DebugSession> session =
+        DebugSession::Create(dataset.table_a, dataset.table_b, c, options);
+    MC_CHECK(session.ok()) << session.status().ToString();
+    GoldOracle oracle(&dataset.gold);
+    MatchVerifier verifier = session->MakeVerifier();
+    VerifierResult result = verifier.RunIterations(oracle, 5);
+
+    std::cout << "\nblocker " << run << ": "
+              << learned->blocker->Description(dataset.table_a.schema())
+              << "\n  sample recall " << Cell(learned->sample_recall * 100, 0, 1)
+              << "%, true recall " << Cell(metrics.recall * 100, 0, 1)
+              << "%, |C| = " << c.size() << ", killed = "
+              << metrics.killed_matches << "\n  after 5 iterations: "
+              << result.confirmed_matches.size()
+              << " killed-off matches surfaced; reasons:";
+    std::map<std::string, size_t> problems;
+    for (PairId pair : result.confirmed_matches) {
+      auto it = dataset.problem_tags.find(pair);
+      if (it == dataset.problem_tags.end()) continue;
+      for (const std::string& tag : it->second) ++problems[tag];
+    }
+    for (const auto& [tag, count] : problems) {
+      std::cout << " " << tag << " (" << count << ");";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n(paper found 76, 61, 65 matches for its three learned "
+               "blockers after 5 iterations)\n";
+  return 0;
+}

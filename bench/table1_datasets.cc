@@ -1,0 +1,66 @@
+// Table 1: the datasets. Prints the generated stand-ins for the paper's
+// seven datasets: tuple type, |A|, |B|, number of gold matches, number of
+// attributes, and average tuple length (word tokens per tuple, per table).
+// Also prints each dataset's injected-problem histogram — the ground truth
+// behind the Table 4 "blocker problems" findings.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "table/profile.h"
+
+namespace mc {
+namespace bench {
+namespace {
+
+double AverageTupleTokens(const Table& table) {
+  double total = 0.0;
+  for (const AttributeProfile& profile : ProfileTable(table)) {
+    total += profile.average_token_length;
+  }
+  return total;
+}
+
+void Describe(const std::string& name, const std::string& tuple_type) {
+  datagen::GeneratedDataset dataset = LoadDataset(name);
+  std::cout << Cell(dataset.name, 8) << Cell(tuple_type, 20)
+            << Cell(dataset.table_a.num_rows(), 9)
+            << Cell(dataset.table_b.num_rows(), 9)
+            << Cell(dataset.gold.size(), 10)
+            << Cell(dataset.table_a.schema().size(), 7)
+            << Cell(AverageTupleTokens(dataset.table_a), 7, 1)
+            << Cell(AverageTupleTokens(dataset.table_b), 7, 1) << "\n";
+  auto histogram = dataset.ProblemHistogram();
+  std::cout << "        injected problems:";
+  size_t shown = 0;
+  for (const auto& [tag, count] : histogram) {
+    if (shown++ == 4) break;
+    std::cout << " " << tag << " (" << count << ")";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mc
+
+int main() {
+  std::cout << "=== Table 1: datasets (synthetic stand-ins; see DESIGN.md "
+               "substitutions) ===\n"
+            << mc::bench::Cell("name", 8) << mc::bench::Cell("tuple type", 20)
+            << mc::bench::Cell("|A|", 9) << mc::bench::Cell("|B|", 9)
+            << mc::bench::Cell("#matches", 10)
+            << mc::bench::Cell("#attrs", 7) << mc::bench::Cell("len_A", 7)
+            << mc::bench::Cell("len_B", 7) << "\n";
+  mc::bench::Describe("A-G", "software product");
+  mc::bench::Describe("W-A", "electronic product");
+  mc::bench::Describe("A-D", "paper");
+  mc::bench::Describe("F-Z", "restaurant");
+  mc::bench::Describe("M1", "song");
+  mc::bench::Describe("M2", "song");
+  mc::bench::Describe("Papers", "paper");
+  std::cout << "\n(average length = word tokens per tuple; large datasets "
+               "run at the scale printed above,\ncontrolled by "
+               "MC_BENCH_SCALE)\n";
+  return 0;
+}

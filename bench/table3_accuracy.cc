@@ -1,0 +1,93 @@
+// Table 3: accuracy of MatchCatcher in retrieving killed-off matches.
+//
+// For every dataset and Table 2 blocker: |C| (blocker output), M_D (true
+// matches killed off), |E| (union of top-k lists), M_E (true matches in E,
+// with % of M_D), F (matches retrieved by the Match Verifier run to its
+// natural stop with a synthetic oracle user, with % of M_E), and I (number
+// of verifier iterations). The top-k module's wall-clock time is appended
+// (the §6.4 runtime column).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "blocking/metrics.h"
+#include "core/match_catcher.h"
+#include "paper_blockers.h"
+
+namespace mc {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name) {
+  datagen::GeneratedDataset dataset = LoadDataset(name);
+  PrintDatasetHeader(dataset);
+  std::cout << Cell("Q", 7) << Cell("|C|", 10) << Cell("MD", 7)
+            << Cell("|E|", 7) << Cell("ME", 12) << Cell("F", 12)
+            << Cell("I", 5) << Cell("topk_s", 8) << "\n";
+
+  for (const PaperBlocker& paper_blocker :
+       PaperBlockersFor(name, dataset.table_a.schema())) {
+    CandidateSet c =
+        paper_blocker.blocker->Run(dataset.table_a, dataset.table_b);
+    BlockerMetrics metrics =
+        EvaluateBlocking(c, dataset.gold, dataset.table_a.num_rows(),
+                         dataset.table_b.num_rows());
+    const size_t killed = metrics.killed_matches;  // M_D.
+
+    MatchCatcherOptions options;
+    options.joint.k = 1000;
+    options.joint.num_threads = EnvThreads();
+    options.joint.q = EnvQ();
+    Result<DebugSession> session =
+        DebugSession::Create(dataset.table_a, dataset.table_b, c, options);
+    MC_CHECK(session.ok()) << session.status().ToString();
+
+    // M_E: killed-off gold matches present in E.
+    size_t matches_in_e = 0;
+    for (PairId pair : session->CandidatePairs()) {
+      if (dataset.gold.Contains(pair)) ++matches_in_e;
+    }
+
+    GoldOracle oracle(&dataset.gold);
+    VerifierResult verification = session->RunVerification(oracle);
+    size_t found = verification.confirmed_matches.size();  // F.
+
+    auto percent = [](size_t part, size_t whole) {
+      return whole == 0 ? 0.0
+                        : 100.0 * static_cast<double>(part) /
+                              static_cast<double>(whole);
+    };
+    std::cout << Cell(paper_blocker.label, 7) << Cell(c.size(), 10)
+              << Cell(killed, 7)
+              << Cell(session->CandidatePairs().size(), 7)
+              << Cell(std::to_string(matches_in_e) + " (" +
+                          Cell(percent(matches_in_e, killed), 0, 1) + "%)",
+                      12)
+              << Cell(std::to_string(found) + " (" +
+                          Cell(percent(found, matches_in_e), 0, 1) + "%)",
+                      12)
+              << Cell(verification.num_iterations(), 5)
+              << Cell(session->topk_seconds(), 8, 2) << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mc
+
+int main(int argc, char** argv) {
+  std::vector<std::string> datasets;
+  for (int i = 1; i < argc; ++i) datasets.push_back(argv[i]);
+  if (datasets.empty()) {
+    datasets = {"A-G", "W-A", "A-D", "F-Z", "M1", "M2"};
+  }
+  std::cout << "=== Table 3: accuracy in retrieving the killed-off matches "
+               "===\nColumns: blocker Q, |C|, M_D (matches killed), |E|, "
+               "M_E (matches in E, % of M_D),\nF (matches retrieved by the "
+               "verifier, % of M_E), I (iterations), top-k seconds.\n\n";
+  for (const std::string& name : datasets) {
+    mc::bench::RunDataset(name);
+  }
+  return 0;
+}

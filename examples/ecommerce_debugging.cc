@@ -1,0 +1,98 @@
+// Debugging a product-matching blocker on Walmart-Amazon-style electronics
+// tables — the high-coverage e-commerce scenario from the paper's intro.
+//
+// The blocker is a realistic rule: keep pairs whose titles share at least
+// half their words AND whose prices differ by at most $20. MatchCatcher
+// surfaces the matches this kills (brand variants, missing brands, price
+// spreads) and reports which injected data problems the surfaced matches
+// exhibit — the Table 4 "blocker problems" readout.
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "blocking/metrics.h"
+#include "blocking/rule_blocker.h"
+#include "core/match_catcher.h"
+#include "datagen/generator.h"
+#include "explain/blame.h"
+#include "explain/summary.h"
+
+int main() {
+  // Scaled-down Walmart-Amazon (defaults keep this example under a minute).
+  mc::datagen::GeneratedDataset dataset = mc::datagen::GenerateWalmartAmazon(
+      mc::datagen::ScaleDims(mc::datagen::kDimsWalmartAmazon, 0.25));
+  const mc::Table& a = dataset.table_a;
+  const mc::Table& b = dataset.table_b;
+  const mc::Schema& schema = a.schema();
+  std::cout << "electronics: |A| = " << a.num_rows() << ", |B| = "
+            << b.num_rows() << ", gold matches = " << dataset.gold.size()
+            << "\n";
+
+  mc::ConjunctiveRule rule(
+      {std::make_shared<mc::SetSimilarityPredicate>(
+           schema.RequireIndexOf("title"), mc::TokenizerSpec::Word(),
+           mc::SetMeasure::kJaccard, 0.5),
+       std::make_shared<mc::NumericDiffPredicate>(
+           schema.RequireIndexOf("price"), 20.0)});
+  mc::RuleBlocker blocker({rule});
+  mc::CandidateSet c = blocker.Run(a, b);
+  mc::BlockerMetrics metrics =
+      mc::EvaluateBlocking(c, dataset.gold, a.num_rows(), b.num_rows());
+  std::cout << "blocker: " << blocker.Description(schema) << "\n|C| = "
+            << metrics.candidate_count << ", recall = " << std::fixed
+            << std::setprecision(1) << metrics.recall * 100
+            << "%, killed matches = " << metrics.killed_matches << "\n\n";
+
+  mc::MatchCatcherOptions options;
+  options.joint.k = 500;
+  mc::Result<mc::DebugSession> session =
+      mc::DebugSession::Create(a, b, c, options);
+  if (!session.ok()) {
+    std::cerr << session.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "top-k SSJ module: |E| = " << session->CandidatePairs().size()
+            << " candidates in " << std::setprecision(2)
+            << session->topk_seconds() << "s over "
+            << session->config_tree().size() << " configs\n";
+
+  mc::GoldOracle oracle(&dataset.gold);
+  mc::VerifierResult result = session->RunVerification(oracle);
+  std::cout << "verifier: " << result.confirmed_matches.size()
+            << " killed-off matches confirmed in "
+            << result.num_iterations() << " iterations\n\n";
+
+  // Automatic explanation summary (§8 extension): diagnose each surfaced
+  // match and aggregate by pervasiveness — no generator ground truth used.
+  std::vector<mc::PairId> confirmed(result.confirmed_matches.begin(),
+                                    result.confirmed_matches.end());
+  std::vector<mc::ProblemGroup> groups =
+      session->SummarizeProblems(confirmed);
+  std::cout << mc::RenderProblemSummary(a, b, groups) << "\n";
+
+  // Blocker-aware blame for the most pervasive problem's example pair:
+  // since we *do* have the blocker here, report exactly which conjuncts
+  // rejected it.
+  if (!groups.empty()) {
+    std::cout << mc::ExplainKill(blocker, a, b, groups.front().example)
+              << "\n";
+  }
+
+  // Cross-check against the generator's injected ground truth.
+  std::map<std::string, size_t> injected;
+  for (mc::PairId pair : result.confirmed_matches) {
+    auto it = dataset.problem_tags.find(pair);
+    if (it == dataset.problem_tags.end()) continue;
+    for (const std::string& tag : it->second) ++injected[tag];
+  }
+  std::cout << "injected ground truth for the same matches:\n";
+  for (const auto& [tag, count] : injected) {
+    std::cout << "  " << std::left << std::setw(28) << tag << count
+              << " matches\n";
+  }
+  std::cout << "\nfix suggestions: add a brand-variant rule, handle missing "
+               "brands, widen or drop the price conjunct.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "blocking/blocker.h"
+
+namespace mc {
+
+CandidateSet NaiveBlocker::Run(const Table& table_a,
+                               const Table& table_b) const {
+  CandidateSet result;
+  for (size_t a = 0; a < table_a.num_rows(); ++a) {
+    for (size_t b = 0; b < table_b.num_rows(); ++b) {
+      if (predicate_->Evaluate(table_a, a, table_b, b)) {
+        result.Add(static_cast<RowId>(a), static_cast<RowId>(b));
+      }
+    }
+  }
+  return result;
+}
+
+std::string NaiveBlocker::Description(const Schema& schema) const {
+  return predicate_->Description(schema);
+}
+
+CandidateSet UnionBlocker::Run(const Table& table_a,
+                               const Table& table_b) const {
+  CandidateSet result;
+  for (const auto& member : members_) {
+    result.UnionWith(member->Run(table_a, table_b));
+  }
+  return result;
+}
+
+std::optional<bool> UnionBlocker::KeepsPair(const Table& table_a,
+                                            size_t row_a,
+                                            const Table& table_b,
+                                            size_t row_b) const {
+  bool all_decided = true;
+  for (const auto& member : members_) {
+    std::optional<bool> keeps =
+        member->KeepsPair(table_a, row_a, table_b, row_b);
+    if (!keeps.has_value()) {
+      all_decided = false;
+    } else if (*keeps) {
+      return true;
+    }
+  }
+  if (all_decided) return false;
+  return std::nullopt;
+}
+
+std::string UnionBlocker::Description(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) out += " OR ";
+    out += members_[i]->Description(schema);
+  }
+  return out;
+}
+
+}  // namespace mc

@@ -1,0 +1,92 @@
+#ifndef MATCHCATCHER_BLOCKING_BLOCKER_H_
+#define MATCHCATCHER_BLOCKING_BLOCKER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blocking/candidate_set.h"
+#include "blocking/predicate.h"
+#include "table/table.h"
+
+namespace mc {
+
+/// A blocker maps two tables to the candidate set `C` of pairs that survive
+/// blocking. MatchCatcher itself only ever consumes `C` — it is blocker
+/// independent — but the library ships the full blocker zoo of paper §2 so
+/// that the debugging loop can be exercised end to end.
+class Blocker {
+ public:
+  virtual ~Blocker() = default;
+
+  /// Applies the blocker, producing the surviving pair set C.
+  virtual CandidateSet Run(const Table& table_a,
+                           const Table& table_b) const = 0;
+
+  /// Human-readable description, e.g. "a.City = b.City".
+  virtual std::string Description(const Schema& schema) const = 0;
+
+  /// Whether this blocker would keep the single pair, when the decision is
+  /// *pair-decomposable* (depends only on the two tuples). Window- and
+  /// cluster-based blockers (sorted neighborhood, canopy) return nullopt:
+  /// their decision depends on the rest of the tables. Used by the
+  /// blocker-aware kill explanations (explain/blame.h).
+  virtual std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                        const Table& table_b,
+                                        size_t row_b) const {
+    (void)table_a;
+    (void)row_a;
+    (void)table_b;
+    (void)row_b;
+    return std::nullopt;
+  }
+};
+
+/// Reference executor: evaluates an arbitrary keep-predicate over all of
+/// A x B. Quadratic — used by equivalence tests and for tiny tables.
+class NaiveBlocker : public Blocker {
+ public:
+  explicit NaiveBlocker(std::shared_ptr<const PairPredicate> predicate)
+      : predicate_(std::move(predicate)) {}
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override;
+  std::string Description(const Schema& schema) const override;
+  std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                const Table& table_b,
+                                size_t row_b) const override {
+    return predicate_->Evaluate(table_a, row_a, table_b, row_b);
+  }
+
+ private:
+  std::shared_ptr<const PairPredicate> predicate_;
+};
+
+/// Union of blockers: keeps a pair iff any member keeps it ("use multiple
+/// hash blockers and take the union of their outputs", paper §1).
+class UnionBlocker : public Blocker {
+ public:
+  explicit UnionBlocker(std::vector<std::shared_ptr<const Blocker>> members)
+      : members_(std::move(members)) {}
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override;
+  std::string Description(const Schema& schema) const override;
+  /// Keeps iff any member keeps; nullopt when every non-keeping member is
+  /// itself undecidable at pair level.
+  std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                const Table& table_b,
+                                size_t row_b) const override;
+
+  const std::vector<std::shared_ptr<const Blocker>>& members() const {
+    return members_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const Blocker>> members_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_BLOCKER_H_

@@ -1,0 +1,203 @@
+#include "blocking/blocker_learner.h"
+
+#include <algorithm>
+
+#include "blocking/key_function.h"
+#include "blocking/predicate.h"
+#include "table/profile.h"
+#include "util/check.h"
+
+namespace mc {
+
+namespace {
+
+// Candidate predicate pool derived from the schema. Long string attributes
+// (descriptions, abstracts) only receive high-threshold word predicates:
+// low-threshold or q-gram predicates over them are nearly unblockable
+// anchors (two random long texts share plenty of tokens), so a rule built
+// on one enumerates most of A x B.
+std::vector<std::shared_ptr<const PairPredicate>> BuildCandidatePool(
+    const Table& table_a) {
+  const Schema& schema = table_a.schema();
+  std::vector<std::shared_ptr<const PairPredicate>> pool;
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (schema.attribute(c).type == AttributeType::kNumeric) {
+      for (double threshold : {0.5, 2.0, 10.0, 25.0}) {
+        pool.push_back(
+            std::make_shared<NumericDiffPredicate>(c, threshold));
+      }
+      continue;
+    }
+    const bool long_attribute =
+        ProfileAttribute(table_a, c).average_token_length > 12.0;
+    pool.push_back(std::make_shared<KeyEqualityPredicate>(
+        KeyFunction(KeyFunction::Kind::kFullValue, c)));
+    if (long_attribute) {
+      for (double threshold : {0.5, 0.7}) {
+        pool.push_back(std::make_shared<SetSimilarityPredicate>(
+            c, TokenizerSpec::Word(), SetMeasure::kJaccard, threshold));
+      }
+      continue;
+    }
+    pool.push_back(std::make_shared<KeyEqualityPredicate>(
+        KeyFunction(KeyFunction::Kind::kLastWord, c)));
+    for (double threshold : {0.4, 0.6, 0.8}) {
+      pool.push_back(std::make_shared<SetSimilarityPredicate>(
+          c, TokenizerSpec::Word(), SetMeasure::kJaccard, threshold));
+    }
+    for (double threshold : {0.3, 0.5, 0.7}) {
+      pool.push_back(std::make_shared<SetSimilarityPredicate>(
+          c, TokenizerSpec::QGram(3), SetMeasure::kJaccard, threshold));
+      pool.push_back(std::make_shared<SetSimilarityPredicate>(
+          c, TokenizerSpec::Word(), SetMeasure::kCosine, threshold));
+    }
+    for (size_t count : {1u, 2u, 3u}) {
+      pool.push_back(std::make_shared<OverlapPredicate>(
+          c, TokenizerSpec::Word(), count));
+    }
+  }
+  return pool;
+}
+
+// A candidate conjunction, as indices into the pool.
+struct Candidate {
+  std::vector<size_t> predicates;
+  std::vector<bool> keeps;  // Per sample pair.
+  size_t positives_kept = 0;
+  size_t negatives_kept = 0;
+};
+
+}  // namespace
+
+Result<LearnedBlocker> LearnBlocker(
+    const Table& table_a, const Table& table_b,
+    const std::vector<std::pair<PairId, bool>>& labeled_sample,
+    const BlockerLearnerOptions& options) {
+  if (labeled_sample.empty()) {
+    return Status::InvalidArgument("labeled sample is empty");
+  }
+  size_t total_positives = 0;
+  for (const auto& [pair, label] : labeled_sample) {
+    total_positives += label ? 1 : 0;
+  }
+  if (total_positives == 0) {
+    return Status::InvalidArgument("labeled sample has no positives");
+  }
+  const size_t total_negatives = labeled_sample.size() - total_positives;
+
+  std::vector<std::shared_ptr<const PairPredicate>> pool =
+      BuildCandidatePool(table_a);
+
+  // Evaluate every pool predicate on every sample pair once.
+  std::vector<std::vector<bool>> keeps(pool.size());
+  for (size_t p = 0; p < pool.size(); ++p) {
+    keeps[p].resize(labeled_sample.size());
+    for (size_t s = 0; s < labeled_sample.size(); ++s) {
+      PairId pair = labeled_sample[s].first;
+      keeps[p][s] = pool[p]->Evaluate(table_a, PairRowA(pair), table_b,
+                                      PairRowB(pair));
+    }
+  }
+
+  // Enumerate candidate conjunctions of size 1 (and 2 if allowed); keep
+  // those under the negative-rate cap.
+  std::vector<Candidate> candidates;
+  auto add_candidate = [&](std::vector<size_t> predicates) {
+    Candidate candidate;
+    candidate.predicates = std::move(predicates);
+    candidate.keeps.assign(labeled_sample.size(), true);
+    for (size_t p : candidate.predicates) {
+      for (size_t s = 0; s < labeled_sample.size(); ++s) {
+        candidate.keeps[s] = candidate.keeps[s] && keeps[p][s];
+      }
+    }
+    for (size_t s = 0; s < labeled_sample.size(); ++s) {
+      if (!candidate.keeps[s]) continue;
+      if (labeled_sample[s].second) {
+        ++candidate.positives_kept;
+      } else {
+        ++candidate.negatives_kept;
+      }
+    }
+    if (candidate.positives_kept == 0) return;
+    double negative_rate =
+        total_negatives == 0
+            ? 0.0
+            : static_cast<double>(candidate.negatives_kept) / total_negatives;
+    if (negative_rate > options.max_rule_negative_rate) return;
+    candidates.push_back(std::move(candidate));
+  };
+  for (size_t p = 0; p < pool.size(); ++p) add_candidate({p});
+  if (options.max_conjuncts >= 2) {
+    for (size_t p = 0; p < pool.size(); ++p) {
+      for (size_t q = p + 1; q < pool.size(); ++q) {
+        add_candidate({p, q});
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition(
+        "no candidate rule satisfies the negative-rate cap");
+  }
+
+  // Greedy set cover over sample positives.
+  std::vector<bool> covered(labeled_sample.size(), false);
+  std::vector<ConjunctiveRule> rules;
+  size_t covered_positives = 0;
+  std::vector<bool> blocker_keeps(labeled_sample.size(), false);
+  while (rules.size() < options.max_rules &&
+         static_cast<double>(covered_positives) / total_positives <
+             options.target_sample_recall) {
+    size_t best = candidates.size();
+    size_t best_gain = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      size_t gain = 0;
+      for (size_t s = 0; s < labeled_sample.size(); ++s) {
+        if (candidates[i].keeps[s] && labeled_sample[s].second &&
+            !covered[s]) {
+          ++gain;
+        }
+      }
+      // Ties: prefer fewer negatives kept, then fewer conjuncts.
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best < candidates.size() &&
+           candidates[i].negatives_kept <
+               candidates[best].negatives_kept)) {
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == candidates.size() || best_gain == 0) break;
+    const Candidate& winner = candidates[best];
+    std::vector<std::shared_ptr<const PairPredicate>> predicates;
+    for (size_t p : winner.predicates) predicates.push_back(pool[p]);
+    rules.emplace_back(std::move(predicates));
+    for (size_t s = 0; s < labeled_sample.size(); ++s) {
+      if (!winner.keeps[s]) continue;
+      blocker_keeps[s] = true;
+      if (labeled_sample[s].second && !covered[s]) {
+        covered[s] = true;
+        ++covered_positives;
+      }
+    }
+  }
+  if (rules.empty()) {
+    return Status::FailedPrecondition("greedy learner produced no rules");
+  }
+
+  LearnedBlocker learned;
+  learned.blocker = std::make_shared<RuleBlocker>(std::move(rules));
+  size_t kept_negatives = 0;
+  for (size_t s = 0; s < labeled_sample.size(); ++s) {
+    if (blocker_keeps[s] && !labeled_sample[s].second) ++kept_negatives;
+  }
+  learned.sample_recall =
+      static_cast<double>(covered_positives) / total_positives;
+  learned.sample_negative_rate =
+      total_negatives == 0
+          ? 0.0
+          : static_cast<double>(kept_negatives) / total_negatives;
+  return learned;
+}
+
+}  // namespace mc

@@ -1,0 +1,56 @@
+#ifndef MATCHCATCHER_BLOCKING_BLOCKER_LEARNER_H_
+#define MATCHCATCHER_BLOCKING_BLOCKER_LEARNER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "blocking/pair.h"
+#include "blocking/rule_blocker.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace mc {
+
+/// Options for the greedy rule-blocker learner.
+struct BlockerLearnerOptions {
+  /// Stop adding rules once this fraction of sample positives is kept.
+  double target_sample_recall = 0.98;
+  /// A rule may keep at most this fraction of sample negatives (keeps the
+  /// learned blocker selective).
+  double max_rule_negative_rate = 0.15;
+  /// Maximum number of rules in the union.
+  size_t max_rules = 5;
+  /// Maximum predicates per rule (1 or 2).
+  size_t max_conjuncts = 2;
+};
+
+/// A learned blocker plus its quality on the training sample.
+struct LearnedBlocker {
+  std::shared_ptr<const RuleBlocker> blocker;
+  /// Fraction of sample positives the blocker keeps.
+  double sample_recall = 0.0;
+  /// Fraction of sample negatives the blocker keeps.
+  double sample_negative_rate = 0.0;
+};
+
+/// Learns a rule blocker (union of conjunctive keep-rules) from a labeled
+/// pair sample, greedily maximizing positive coverage under a per-rule
+/// negative-rate cap. This plays the role of the crowdsourced blocker
+/// learners the paper debugs in §6.2 ([Das et al. 2017] / [Gokhale et al.
+/// 2014]): the point of that experiment is that *even the best learned
+/// blockers* have problems MatchCatcher can surface — any reasonable
+/// sample-based learner exhibits them (sampling flukes generalize poorly).
+///
+/// The candidate predicate pool is derived from the schema: per non-numeric
+/// attribute, key-equality (full value, last word), word/3-gram Jaccard and
+/// cosine thresholds, and overlap counts; per numeric attribute, absolute
+/// difference thresholds.
+Result<LearnedBlocker> LearnBlocker(
+    const Table& table_a, const Table& table_b,
+    const std::vector<std::pair<PairId, bool>>& labeled_sample,
+    const BlockerLearnerOptions& options = {});
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_BLOCKER_LEARNER_H_

@@ -1,0 +1,13 @@
+#include "blocking/candidate_set.h"
+
+#include <algorithm>
+
+namespace mc {
+
+std::vector<PairId> CandidateSet::SortedPairs() const {
+  std::vector<PairId> result(pairs_.begin(), pairs_.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace mc

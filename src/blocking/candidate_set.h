@@ -1,0 +1,57 @@
+#ifndef MATCHCATCHER_BLOCKING_CANDIDATE_SET_H_
+#define MATCHCATCHER_BLOCKING_CANDIDATE_SET_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "blocking/pair.h"
+
+namespace mc {
+
+/// A set of tuple pairs. This is both the output `C` of a blocker and the
+/// representation of gold match sets `M` in tests/benchmarks.
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+
+  void Add(RowId a, RowId b) { pairs_.insert(MakePairId(a, b)); }
+  void Add(PairId pair) { pairs_.insert(pair); }
+
+  bool Contains(RowId a, RowId b) const {
+    return pairs_.count(MakePairId(a, b)) > 0;
+  }
+  bool Contains(PairId pair) const { return pairs_.count(pair) > 0; }
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  /// Inserts every pair of `other` into this set (blocker union).
+  void UnionWith(const CandidateSet& other) {
+    pairs_.insert(other.pairs_.begin(), other.pairs_.end());
+  }
+
+  /// Number of pairs present in both this set and `other`.
+  size_t IntersectionSize(const CandidateSet& other) const {
+    const CandidateSet& small = size() <= other.size() ? *this : other;
+    const CandidateSet& large = size() <= other.size() ? other : *this;
+    size_t count = 0;
+    for (PairId pair : small.pairs_) {
+      if (large.Contains(pair)) ++count;
+    }
+    return count;
+  }
+
+  /// Stable snapshot of the pairs (sorted for determinism).
+  std::vector<PairId> SortedPairs() const;
+
+  auto begin() const { return pairs_.begin(); }
+  auto end() const { return pairs_.end(); }
+
+ private:
+  std::unordered_set<PairId, PairIdHash> pairs_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_CANDIDATE_SET_H_

@@ -1,0 +1,41 @@
+#ifndef MATCHCATCHER_BLOCKING_CANOPY_BLOCKER_H_
+#define MATCHCATCHER_BLOCKING_CANOPY_BLOCKER_H_
+
+#include <string>
+
+#include "blocking/blocker.h"
+#include "blocking/predicate.h"
+
+namespace mc {
+
+/// Canopy clustering blocking (McCallum et al.; listed among the blocker
+/// types in paper §2): repeatedly pick a random seed tuple, form a canopy
+/// of all tuples within the *loose* similarity threshold of the seed, and
+/// remove from the seed pool those within the *tight* threshold. A pair
+/// survives iff both tuples share a canopy.
+///
+/// We use the standard cheap-metric choice of token overlap on one
+/// attribute. Deterministic for a fixed seed.
+class CanopyBlocker : public Blocker {
+ public:
+  /// Requires loose_threshold <= tight_threshold in similarity terms:
+  /// `loose` is the minimum Jaccard to join a canopy, `tight` the Jaccard
+  /// at which a tuple stops seeding new canopies (loose <= tight).
+  CanopyBlocker(size_t column, TokenizerSpec tokenizer, double loose,
+                double tight, uint64_t seed = 7);
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override;
+  std::string Description(const Schema& schema) const override;
+
+ private:
+  size_t column_;
+  TokenizerSpec tokenizer_;
+  double loose_;
+  double tight_;
+  uint64_t seed_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_CANOPY_BLOCKER_H_

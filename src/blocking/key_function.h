@@ -1,0 +1,58 @@
+#ifndef MATCHCATCHER_BLOCKING_KEY_FUNCTION_H_
+#define MATCHCATCHER_BLOCKING_KEY_FUNCTION_H_
+
+#include <optional>
+#include <string>
+
+#include "table/table.h"
+
+namespace mc {
+
+/// A blocking key function: maps a tuple to a (normalized) key string, or
+/// nothing when the underlying value is missing. Hash blocking keeps a pair
+/// iff both tuples produce the same key (paper §2: "hash blocking ... using a
+/// pre-specified hash function").
+class KeyFunction {
+ public:
+  enum class Kind {
+    /// The whole attribute value, normalized (attribute equivalence).
+    kFullValue,
+    /// The whole attribute value, trimmed but case-sensitive — how typical
+    /// EM tools hash raw values. Exposes "input tables are not lower-cased"
+    /// blocker problems (paper Table 4).
+    kRawValue,
+    /// lastword(attr) — e.g. last name from a full name.
+    kLastWord,
+    /// firstword(attr).
+    kFirstWord,
+    /// Soundex code of the first word of the attribute.
+    kSoundex,
+    /// First `param` characters of the normalized value.
+    kPrefix,
+    /// Numeric value bucketed to multiples of `param` (param >= 1); a crude
+    /// "hash of price" as in the paper's best manual hash blockers.
+    kNumericBucket,
+  };
+
+  KeyFunction(Kind kind, size_t column, size_t param = 0)
+      : kind_(kind), column_(column), param_(param) {}
+
+  /// The key of row `row` of `table`, or nullopt when missing/undefined.
+  std::optional<std::string> Apply(const Table& table, size_t row) const;
+
+  /// Human-readable form, e.g. "lastword(name)".
+  std::string Description(const Schema& schema) const;
+
+  Kind kind() const { return kind_; }
+  size_t column() const { return column_; }
+  size_t param() const { return param_; }
+
+ private:
+  Kind kind_;
+  size_t column_;
+  size_t param_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_KEY_FUNCTION_H_

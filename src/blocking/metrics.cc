@@ -1,0 +1,21 @@
+#include "blocking/metrics.h"
+
+namespace mc {
+
+BlockerMetrics EvaluateBlocking(const CandidateSet& candidates,
+                                const CandidateSet& gold_matches,
+                                size_t rows_a, size_t rows_b) {
+  BlockerMetrics metrics;
+  metrics.candidate_count = candidates.size();
+  size_t surviving = candidates.IntersectionSize(gold_matches);
+  metrics.killed_matches = gold_matches.size() - surviving;
+  metrics.recall = gold_matches.empty()
+                       ? 1.0
+                       : static_cast<double>(surviving) / gold_matches.size();
+  double cross = static_cast<double>(rows_a) * static_cast<double>(rows_b);
+  metrics.selectivity =
+      cross == 0.0 ? 0.0 : static_cast<double>(candidates.size()) / cross;
+  return metrics;
+}
+
+}  // namespace mc

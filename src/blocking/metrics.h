@@ -1,0 +1,30 @@
+#ifndef MATCHCATCHER_BLOCKING_METRICS_H_
+#define MATCHCATCHER_BLOCKING_METRICS_H_
+
+#include <cstddef>
+
+#include "blocking/candidate_set.h"
+
+namespace mc {
+
+/// Blocker quality measures from paper §1/§2.
+struct BlockerMetrics {
+  /// |C|: size of the blocker output.
+  size_t candidate_count = 0;
+  /// |M ∩ C| / |M|: fraction of gold matches surviving the blocker
+  /// (Definition 2.1). 1.0 when M is empty.
+  double recall = 1.0;
+  /// |C| / |A x B|: lower is more selective.
+  double selectivity = 0.0;
+  /// |M - C|: number of killed-off matches (the M_D column of Table 3).
+  size_t killed_matches = 0;
+};
+
+/// Evaluates a candidate set against gold matches and table sizes.
+BlockerMetrics EvaluateBlocking(const CandidateSet& candidates,
+                                const CandidateSet& gold_matches,
+                                size_t rows_a, size_t rows_b);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_METRICS_H_

@@ -1,0 +1,41 @@
+#ifndef MATCHCATCHER_BLOCKING_PAIR_H_
+#define MATCHCATCHER_BLOCKING_PAIR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace mc {
+
+/// A tuple pair (row index into table A, row index into table B) packed into
+/// one 64-bit word. All pair-keyed containers in the library use this.
+using PairId = uint64_t;
+
+/// Row index type for tuples within one table.
+using RowId = uint32_t;
+
+constexpr PairId MakePairId(RowId a, RowId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+constexpr RowId PairRowA(PairId pair) {
+  return static_cast<RowId>(pair >> 32);
+}
+
+constexpr RowId PairRowB(PairId pair) {
+  return static_cast<RowId>(pair & 0xFFFFFFFFULL);
+}
+
+/// Mixing hash for PairId (fibonacci/splitmix-style finalizer); the identity
+/// hash of std::hash<uint64_t> clusters badly for packed pairs.
+struct PairIdHash {
+  size_t operator()(PairId pair) const {
+    uint64_t z = pair + 0x9E3779B97f4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_PAIR_H_

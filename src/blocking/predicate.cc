@@ -1,0 +1,120 @@
+#include "blocking/predicate.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "text/tokenize.h"
+
+namespace mc {
+
+std::vector<std::string> TokenizerSpec::Tokens(std::string_view text) const {
+  switch (kind) {
+    case Kind::kWord:
+      return DistinctWordTokens(text);
+    case Kind::kQGram:
+      return QGrams(text, q);
+  }
+  return {};
+}
+
+std::string TokenizerSpec::Description() const {
+  switch (kind) {
+    case Kind::kWord:
+      return "word";
+    case Kind::kQGram:
+      return std::to_string(q) + "gram";
+  }
+  return "word";
+}
+
+bool KeyEqualityPredicate::Evaluate(const Table& table_a, size_t row_a,
+                                    const Table& table_b,
+                                    size_t row_b) const {
+  std::optional<std::string> key_a = key_.Apply(table_a, row_a);
+  if (!key_a.has_value()) return false;
+  std::optional<std::string> key_b = key_.Apply(table_b, row_b);
+  return key_b.has_value() && *key_a == *key_b;
+}
+
+std::string KeyEqualityPredicate::Description(const Schema& schema) const {
+  std::string key = key_.Description(schema);
+  return "a." + key + " = b." + key;
+}
+
+bool SetSimilarityPredicate::Evaluate(const Table& table_a, size_t row_a,
+                                      const Table& table_b,
+                                      size_t row_b) const {
+  if (table_a.IsMissing(row_a, column_) || table_b.IsMissing(row_b, column_)) {
+    return false;
+  }
+  std::vector<std::string> tokens_a =
+      tokenizer_.Tokens(table_a.Value(row_a, column_));
+  std::vector<std::string> tokens_b =
+      tokenizer_.Tokens(table_b.Value(row_b, column_));
+  size_t overlap = OverlapSize(tokens_a, tokens_b);
+  double score = SetSimilarityFromCounts(measure_, tokens_a.size(),
+                                         tokens_b.size(), overlap);
+  return score >= threshold_;
+}
+
+std::string SetSimilarityPredicate::Description(const Schema& schema) const {
+  std::ostringstream out;
+  out << SetMeasureName(measure_) << "_" << tokenizer_.Description() << "("
+      << schema.attribute(column_).name << ") >= " << threshold_;
+  return out.str();
+}
+
+bool OverlapPredicate::Evaluate(const Table& table_a, size_t row_a,
+                                const Table& table_b, size_t row_b) const {
+  if (table_a.IsMissing(row_a, column_) || table_b.IsMissing(row_b, column_)) {
+    return false;
+  }
+  std::vector<std::string> tokens_a =
+      tokenizer_.Tokens(table_a.Value(row_a, column_));
+  std::vector<std::string> tokens_b =
+      tokenizer_.Tokens(table_b.Value(row_b, column_));
+  return OverlapSize(tokens_a, tokens_b) >= min_overlap_;
+}
+
+std::string OverlapPredicate::Description(const Schema& schema) const {
+  std::ostringstream out;
+  out << "overlap_" << tokenizer_.Description() << "("
+      << schema.attribute(column_).name << ") >= " << min_overlap_;
+  return out.str();
+}
+
+bool EditDistancePredicate::Evaluate(const Table& table_a, size_t row_a,
+                                     const Table& table_b,
+                                     size_t row_b) const {
+  std::optional<std::string> key_a = key_.Apply(table_a, row_a);
+  if (!key_a.has_value()) return false;
+  std::optional<std::string> key_b = key_.Apply(table_b, row_b);
+  if (!key_b.has_value()) return false;
+  return BoundedEditDistance(*key_a, *key_b, max_distance_) <= max_distance_;
+}
+
+std::string EditDistancePredicate::Description(const Schema& schema) const {
+  std::ostringstream out;
+  std::string key = key_.Description(schema);
+  out << "ed(a." << key << ", b." << key << ") <= " << max_distance_;
+  return out.str();
+}
+
+bool NumericDiffPredicate::Evaluate(const Table& table_a, size_t row_a,
+                                    const Table& table_b,
+                                    size_t row_b) const {
+  std::optional<double> value_a = table_a.NumericValue(row_a, column_);
+  if (!value_a.has_value()) return false;
+  std::optional<double> value_b = table_b.NumericValue(row_b, column_);
+  if (!value_b.has_value()) return false;
+  return std::abs(*value_a - *value_b) <= max_abs_diff_;
+}
+
+std::string NumericDiffPredicate::Description(const Schema& schema) const {
+  std::ostringstream out;
+  out << "absdiff(" << schema.attribute(column_).name
+      << ") <= " << max_abs_diff_;
+  return out.str();
+}
+
+}  // namespace mc

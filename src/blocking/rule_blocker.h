@@ -1,0 +1,76 @@
+#ifndef MATCHCATCHER_BLOCKING_RULE_BLOCKER_H_
+#define MATCHCATCHER_BLOCKING_RULE_BLOCKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "blocking/predicate.h"
+
+namespace mc {
+
+/// A conjunction of keep-predicates. A pair survives the rule iff every
+/// predicate holds.
+class ConjunctiveRule {
+ public:
+  ConjunctiveRule() = default;
+  explicit ConjunctiveRule(
+      std::vector<std::shared_ptr<const PairPredicate>> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  void AddPredicate(std::shared_ptr<const PairPredicate> predicate) {
+    predicates_.push_back(std::move(predicate));
+  }
+
+  const std::vector<std::shared_ptr<const PairPredicate>>& predicates()
+      const {
+    return predicates_;
+  }
+
+  bool Evaluate(const Table& table_a, size_t row_a, const Table& table_b,
+                size_t row_b) const {
+    for (const auto& predicate : predicates_) {
+      if (!predicate->Evaluate(table_a, row_a, table_b, row_b)) return false;
+    }
+    return true;
+  }
+
+  std::string Description(const Schema& schema) const;
+
+ private:
+  std::vector<std::shared_ptr<const PairPredicate>> predicates_;
+};
+
+/// Rule-based blocking (paper §2): a pair survives iff it satisfies at least
+/// one rule — the blocker is the union of its rules. Execution picks one
+/// *indexable* predicate per rule as the enumeration anchor (key equality,
+/// set similarity, overlap, or edit distance) and verifies the remaining
+/// conjuncts pair by pair; rules without an indexable anchor fall back to a
+/// naive scan (fine for small tables, avoided by every paper blocker).
+class RuleBlocker : public Blocker {
+ public:
+  explicit RuleBlocker(std::vector<ConjunctiveRule> rules)
+      : rules_(std::move(rules)) {}
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override;
+  std::string Description(const Schema& schema) const override;
+  std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                const Table& table_b,
+                                size_t row_b) const override {
+    for (const ConjunctiveRule& rule : rules_) {
+      if (rule.Evaluate(table_a, row_a, table_b, row_b)) return true;
+    }
+    return false;
+  }
+
+  const std::vector<ConjunctiveRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<ConjunctiveRule> rules_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_RULE_BLOCKER_H_

@@ -1,0 +1,174 @@
+#ifndef MATCHCATCHER_BLOCKING_STANDARD_BLOCKERS_H_
+#define MATCHCATCHER_BLOCKING_STANDARD_BLOCKERS_H_
+
+#include <memory>
+#include <string>
+
+#include "blocking/blocker.h"
+#include "blocking/executors.h"
+#include "blocking/key_function.h"
+#include "blocking/predicate.h"
+#include "util/check.h"
+
+namespace mc {
+
+/// Hash blocking (covers attribute equivalence when the key function is
+/// kFullValue): keeps pairs whose key values are equal.
+class HashBlocker : public Blocker {
+ public:
+  explicit HashBlocker(KeyFunction key) : key_(std::move(key)) {}
+
+  /// Attribute-equivalence convenience factory: a.attr = b.attr.
+  static std::shared_ptr<const Blocker> AttributeEquivalence(size_t column) {
+    return std::make_shared<HashBlocker>(
+        KeyFunction(KeyFunction::Kind::kFullValue, column));
+  }
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override {
+    return EnumerateKeyEquality(table_a, table_b, key_);
+  }
+  std::string Description(const Schema& schema) const override {
+    std::string key = key_.Description(schema);
+    return "a." + key + " = b." + key;
+  }
+  std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                const Table& table_b,
+                                size_t row_b) const override {
+    return KeyEqualityPredicate(key_).Evaluate(table_a, row_a, table_b,
+                                               row_b);
+  }
+
+ private:
+  KeyFunction key_;
+};
+
+/// Sorted-neighborhood blocking: keeps cross-table pairs within a sliding
+/// window of `window` entries in key order.
+class SortedNeighborhoodBlocker : public Blocker {
+ public:
+  SortedNeighborhoodBlocker(KeyFunction key, size_t window)
+      : key_(std::move(key)), window_(window) {}
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override {
+    return EnumerateSortedNeighborhood(table_a, table_b, key_, window_);
+  }
+  std::string Description(const Schema& schema) const override {
+    return "sorted_neighborhood(" + key_.Description(schema) +
+           ", w=" + std::to_string(window_) + ")";
+  }
+
+ private:
+  KeyFunction key_;
+  size_t window_;
+};
+
+/// Overlap blocking: keeps pairs sharing at least `min_overlap` tokens.
+class OverlapBlocker : public Blocker {
+ public:
+  /// min_overlap must be >= 1 (an overlap-0 blocker keeps all of A x B,
+  /// which the indexed executor could not enumerate).
+  OverlapBlocker(size_t column, TokenizerSpec tokenizer, size_t min_overlap)
+      : predicate_(column, tokenizer, min_overlap) {
+    MC_CHECK_GE(min_overlap, 1u);
+  }
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override {
+    return EnumerateOverlap(table_a, table_b, predicate_);
+  }
+  std::string Description(const Schema& schema) const override {
+    return predicate_.Description(schema);
+  }
+  std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                const Table& table_b,
+                                size_t row_b) const override {
+    return predicate_.Evaluate(table_a, row_a, table_b, row_b);
+  }
+
+ private:
+  OverlapPredicate predicate_;
+};
+
+/// Similarity blocking (SIM): keeps pairs whose set similarity on one
+/// attribute meets a threshold.
+class SimilarityBlocker : public Blocker {
+ public:
+  /// threshold must be positive (a threshold-0 blocker keeps all of A x B,
+  /// which the prefix-filter executor could not enumerate).
+  SimilarityBlocker(size_t column, TokenizerSpec tokenizer, SetMeasure measure,
+                    double threshold)
+      : predicate_(column, tokenizer, measure, threshold) {
+    MC_CHECK_GT(threshold, 0.0);
+  }
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override {
+    return EnumerateSetSimilarity(table_a, table_b, predicate_);
+  }
+  std::string Description(const Schema& schema) const override {
+    return predicate_.Description(schema);
+  }
+  std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                const Table& table_b,
+                                size_t row_b) const override {
+    return predicate_.Evaluate(table_a, row_a, table_b, row_b);
+  }
+
+ private:
+  SetSimilarityPredicate predicate_;
+};
+
+/// Edit-distance blocking on blocking keys, e.g.
+/// ed(lastword(a.Name), lastword(b.Name)) <= 2.
+class EditDistanceBlocker : public Blocker {
+ public:
+  EditDistanceBlocker(KeyFunction key, size_t max_distance)
+      : predicate_(std::move(key), max_distance) {}
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override {
+    return EnumerateEditDistanceKeys(table_a, table_b, predicate_);
+  }
+  std::string Description(const Schema& schema) const override {
+    return predicate_.Description(schema);
+  }
+  std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                const Table& table_b,
+                                size_t row_b) const override {
+    return predicate_.Evaluate(table_a, row_a, table_b, row_b);
+  }
+
+ private:
+  EditDistancePredicate predicate_;
+};
+
+/// Phonetic blocking: hash blocking on the Soundex code of an attribute.
+class PhoneticBlocker : public Blocker {
+ public:
+  explicit PhoneticBlocker(size_t column)
+      : key_(KeyFunction::Kind::kSoundex, column) {}
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override {
+    return EnumerateKeyEquality(table_a, table_b, key_);
+  }
+  std::string Description(const Schema& schema) const override {
+    std::string key = key_.Description(schema);
+    return "a." + key + " = b." + key;
+  }
+  std::optional<bool> KeepsPair(const Table& table_a, size_t row_a,
+                                const Table& table_b,
+                                size_t row_b) const override {
+    return KeyEqualityPredicate(key_).Evaluate(table_a, row_a, table_b,
+                                               row_b);
+  }
+
+ private:
+  KeyFunction key_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_STANDARD_BLOCKERS_H_

@@ -1,0 +1,48 @@
+#include "blocking/suffix_array_blocker.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace mc {
+
+CandidateSet SuffixArrayBlocker::Run(const Table& table_a,
+                                     const Table& table_b) const {
+  struct Block {
+    std::vector<RowId> rows_a;
+    std::vector<RowId> rows_b;
+  };
+  std::unordered_map<std::string, Block> blocks;
+  auto add_table = [&](const Table& table, bool from_a) {
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      std::optional<std::string> key = key_.Apply(table, row);
+      if (!key.has_value() || key->size() < min_suffix_length_) continue;
+      for (size_t start = 0;
+           start + min_suffix_length_ <= key->size(); ++start) {
+        Block& block = blocks[key->substr(start)];
+        (from_a ? block.rows_a : block.rows_b)
+            .push_back(static_cast<RowId>(row));
+      }
+    }
+  };
+  add_table(table_a, true);
+  add_table(table_b, false);
+
+  CandidateSet result;
+  for (const auto& [suffix, block] : blocks) {
+    if (block.rows_a.size() + block.rows_b.size() > max_block_size_) {
+      continue;  // Oversized block: uninformative suffix.
+    }
+    for (RowId a : block.rows_a) {
+      for (RowId b : block.rows_b) result.Add(a, b);
+    }
+  }
+  return result;
+}
+
+std::string SuffixArrayBlocker::Description(const Schema& schema) const {
+  return "suffix_array(" + key_.Description(schema) +
+         ", min_len=" + std::to_string(min_suffix_length_) +
+         ", max_block=" + std::to_string(max_block_size_) + ")";
+}
+
+}  // namespace mc

@@ -1,0 +1,36 @@
+#ifndef MATCHCATCHER_BLOCKING_SUFFIX_ARRAY_BLOCKER_H_
+#define MATCHCATCHER_BLOCKING_SUFFIX_ARRAY_BLOCKER_H_
+
+#include <string>
+
+#include "blocking/blocker.h"
+#include "blocking/key_function.h"
+
+namespace mc {
+
+/// Suffix-array blocking (Aizawa & Oyama; listed among the blocker types in
+/// paper §2): every suffix of the blocking key with length >= min_length
+/// becomes a block key; a pair survives iff the tuples share a suffix whose
+/// block is not larger than max_block_size (oversized blocks are dropped as
+/// uninformative, the standard guard).
+class SuffixArrayBlocker : public Blocker {
+ public:
+  SuffixArrayBlocker(KeyFunction key, size_t min_suffix_length,
+                     size_t max_block_size)
+      : key_(std::move(key)),
+        min_suffix_length_(min_suffix_length),
+        max_block_size_(max_block_size) {}
+
+  CandidateSet Run(const Table& table_a,
+                   const Table& table_b) const override;
+  std::string Description(const Schema& schema) const override;
+
+ private:
+  KeyFunction key_;
+  size_t min_suffix_length_;
+  size_t max_block_size_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BLOCKING_SUFFIX_ARRAY_BLOCKER_H_

@@ -1,0 +1,19 @@
+#include "config/config.h"
+
+namespace mc {
+
+std::string PromisingAttributes::ConfigDescription(
+    ConfigMask mask, const Schema& schema) const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t bit = 0; bit < columns.size(); ++bit) {
+    if (!ConfigContains(mask, bit)) continue;
+    if (!first) out += ", ";
+    out += schema.attribute(columns[bit]).name;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mc

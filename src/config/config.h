@@ -1,0 +1,62 @@
+#ifndef MATCHCATCHER_CONFIG_CONFIG_H_
+#define MATCHCATCHER_CONFIG_CONFIG_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/schema.h"
+#include "util/check.h"
+
+namespace mc {
+
+/// A configuration ("config") is a subset of the promising attributes
+/// (paper §3). Configs are bitmasks over *promising-attribute indices*
+/// (bit i = the i-th promising attribute), not raw table columns; the
+/// PromisingAttributes mapping translates.
+using ConfigMask = uint32_t;
+
+/// Number of attributes in the config.
+inline size_t ConfigSize(ConfigMask mask) {
+  return static_cast<size_t>(std::popcount(mask));
+}
+
+inline bool ConfigContains(ConfigMask mask, size_t bit) {
+  return (mask >> bit) & 1u;
+}
+
+inline ConfigMask ConfigWithout(ConfigMask mask, size_t bit) {
+  return mask & ~(ConfigMask{1} << bit);
+}
+
+/// The outcome of promising-attribute selection (§3.2 "Selecting the Most
+/// Promising Attributes"): which table columns participate in config
+/// generation, plus the per-attribute statistics the generator needs.
+struct PromisingAttributes {
+  /// Table column index of each promising attribute (bit i -> columns[i]).
+  std::vector<size_t> columns;
+  /// e(f) = e_A(f) * e_B(f) per promising attribute (Definition 3.1).
+  std::vector<double> e_scores;
+  /// Average word-token length of the attribute in table A / table B
+  /// (AL_f(A), AL_f(B)), used by FindLongAttr.
+  std::vector<double> avg_len_a;
+  std::vector<double> avg_len_b;
+
+  size_t size() const { return columns.size(); }
+
+  /// The full config containing every promising attribute.
+  ConfigMask FullMask() const {
+    MC_CHECK_LE(columns.size(), 32u);
+    return columns.size() == 32
+               ? ~ConfigMask{0}
+               : ((ConfigMask{1} << columns.size()) - 1);
+  }
+
+  /// Human-readable config description, e.g. "{name, city}".
+  std::string ConfigDescription(ConfigMask mask, const Schema& schema) const;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_CONFIG_CONFIG_H_

@@ -1,0 +1,87 @@
+#include "core/match_catcher.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "explain/diagnosis.h"
+#include "ssj/corpus.h"
+#include "table/profile.h"
+#include "util/stopwatch.h"
+
+namespace mc {
+
+Result<DebugSession> DebugSession::Create(const Table& table_a,
+                                          const Table& table_b,
+                                          const CandidateSet& blocker_output,
+                                          const MatchCatcherOptions& options) {
+  DebugSession session;
+  session.options_ = options;
+  session.table_a_ = std::make_unique<Table>(table_a);
+  session.table_b_ = std::make_unique<Table>(table_b);
+  if (options.infer_types) {
+    if (!(table_a.schema() == table_b.schema())) {
+      return Status::InvalidArgument("tables A and B must share one schema");
+    }
+    session.table_a_->SetSchema(InferAttributeTypes(*session.table_a_));
+    session.table_b_->SetSchema(session.table_a_->schema());
+  }
+
+  Stopwatch config_watch;
+  Result<PromisingAttributes> attributes = SelectPromisingAttributes(
+      *session.table_a_, *session.table_b_, options.config);
+  if (!attributes.ok()) return attributes.status();
+  session.attributes_ = std::move(attributes).value();
+  session.tree_ = GenerateConfigTree(session.attributes_, options.config);
+  session.config_seconds_ = config_watch.ElapsedSeconds();
+
+  SsjCorpus corpus = SsjCorpus::Build(*session.table_a_, *session.table_b_,
+                                      session.attributes_.columns);
+  JointOptions joint_options = options.joint;
+  joint_options.exclude = &blocker_output;
+  session.joint_ = RunJointTopKJoins(corpus, session.tree_, joint_options);
+
+  session.extractor_ = std::make_unique<PairFeatureExtractor>(
+      session.table_a_.get(), session.table_b_.get());
+  return session;
+}
+
+std::vector<std::vector<ScoredPair>> DebugSession::TopKLists() const {
+  std::vector<std::vector<ScoredPair>> lists;
+  lists.reserve(joint_.per_config.size());
+  for (const ConfigJoinResult& result : joint_.per_config) {
+    lists.push_back(result.topk);
+  }
+  return lists;
+}
+
+std::vector<PairId> DebugSession::CandidatePairs() const {
+  std::vector<PairId> pairs;
+  std::unordered_set<PairId, PairIdHash> seen;
+  for (const ConfigJoinResult& result : joint_.per_config) {
+    for (const ScoredPair& entry : result.topk) {
+      if (seen.insert(entry.pair).second) pairs.push_back(entry.pair);
+    }
+  }
+  return pairs;
+}
+
+MatchVerifier DebugSession::MakeVerifier() const {
+  return MatchVerifier(TopKLists(), extractor_.get(), options_.verifier);
+}
+
+VerifierResult DebugSession::RunVerification(UserOracle& oracle) const {
+  MatchVerifier verifier = MakeVerifier();
+  return verifier.Run(oracle);
+}
+
+std::string DebugSession::ExplainPair(PairId pair) const {
+  return RenderDiagnosis(*table_a_, *table_b_, pair,
+                         DiagnosePair(*table_a_, *table_b_, pair));
+}
+
+std::vector<ProblemGroup> DebugSession::SummarizeProblems(
+    const std::vector<PairId>& pairs) const {
+  return mc::SummarizeProblems(*table_a_, *table_b_, pairs);
+}
+
+}  // namespace mc

@@ -1,0 +1,104 @@
+#ifndef MATCHCATCHER_CORE_MATCH_CATCHER_H_
+#define MATCHCATCHER_CORE_MATCH_CATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/candidate_set.h"
+#include "config/config_generator.h"
+#include "explain/summary.h"
+#include "joint/joint_executor.h"
+#include "learn/features.h"
+#include "table/table.h"
+#include "util/status.h"
+#include "verifier/match_verifier.h"
+#include "verifier/user_oracle.h"
+
+namespace mc {
+
+/// Top-level options for a MatchCatcher debugging session.
+struct MatchCatcherOptions {
+  ConfigGeneratorOptions config;
+  /// Joint top-k execution; `joint.exclude` is set internally to the
+  /// blocker output, any caller value is ignored.
+  JointOptions joint;
+  VerifierOptions verifier;
+  /// Run rule-based attribute type inference on the inputs (recommended for
+  /// freshly loaded CSVs whose schema types are all kString).
+  bool infer_types = true;
+};
+
+/// A MatchCatcher debugging session: given tables A, B and the output C of
+/// some blocker (MatchCatcher never sees the blocker itself — it is blocker
+/// independent), Create() runs the Config Generator and the joint top-k SSJs
+/// to produce the candidate set E of plausible killed-off matches; the
+/// verifier API then drives the interactive identification loop.
+///
+/// The session owns private copies of the tables, so the caller's tables may
+/// be discarded after Create().
+class DebugSession {
+ public:
+  static Result<DebugSession> Create(const Table& table_a,
+                                     const Table& table_b,
+                                     const CandidateSet& blocker_output,
+                                     const MatchCatcherOptions& options = {});
+
+  DebugSession(DebugSession&&) = default;
+  DebugSession& operator=(DebugSession&&) = default;
+
+  const Table& table_a() const { return *table_a_; }
+  const Table& table_b() const { return *table_b_; }
+  const PromisingAttributes& attributes() const { return attributes_; }
+  const ConfigTree& config_tree() const { return tree_; }
+  const JointResult& joint_result() const { return joint_; }
+  const PairFeatureExtractor& extractor() const { return *extractor_; }
+
+  /// Per-config top-k lists (sorted by score descending), in tree order.
+  std::vector<std::vector<ScoredPair>> TopKLists() const;
+
+  /// E: the distinct pairs across all top-k lists.
+  std::vector<PairId> CandidatePairs() const;
+
+  /// Wall-clock seconds of the top-k SSJ module (the paper's §6.4 metric).
+  double topk_seconds() const { return joint_.total_seconds; }
+  /// Wall-clock seconds of config generation.
+  double config_seconds() const { return config_seconds_; }
+
+  /// Fresh Match Verifier over this session's top-k lists. The verifier
+  /// borrows the session's feature extractor; the session must outlive it.
+  MatchVerifier MakeVerifier() const;
+
+  /// Runs the full verification loop against `oracle` to the natural stop.
+  VerifierResult RunVerification(UserOracle& oracle) const;
+
+  /// Human-readable per-attribute breakdown of a pair — the "Explanations"
+  /// output in the paper's architecture (Figure 2): values side by side,
+  /// similarity signals, and automatically diagnosed problems (missing
+  /// value, misspelling, extra words, un-normalized case, ...). See
+  /// explain/diagnosis.h for the classifier.
+  std::string ExplainPair(PairId pair) const;
+
+  /// Aggregates the diagnosed problems over `pairs` (typically the
+  /// verifier's confirmed matches), sorted by pervasiveness — the §8
+  /// "summarize these explanations" extension. Render with
+  /// RenderProblemSummary (explain/summary.h).
+  std::vector<ProblemGroup> SummarizeProblems(
+      const std::vector<PairId>& pairs) const;
+
+ private:
+  DebugSession() = default;
+
+  std::unique_ptr<Table> table_a_;
+  std::unique_ptr<Table> table_b_;
+  MatchCatcherOptions options_;
+  PromisingAttributes attributes_;
+  ConfigTree tree_;
+  JointResult joint_;
+  std::unique_ptr<PairFeatureExtractor> extractor_;
+  double config_seconds_ = 0.0;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_CORE_MATCH_CATCHER_H_

@@ -1,0 +1,129 @@
+#include "core/session_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mc {
+
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << content;
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+Status SaveLabeledPairs(
+    const std::vector<std::pair<PairId, bool>>& labels,
+    const std::string& path) {
+  std::ostringstream out;
+  out << "a,b,label\n";
+  for (const auto& [pair, is_match] : labels) {
+    out << PairRowA(pair) << "," << PairRowB(pair) << ","
+        << (is_match ? 1 : 0) << "\n";
+  }
+  return WriteTextFile(path, out.str());
+}
+
+Result<std::vector<std::pair<PairId, bool>>> LoadLabeledPairs(
+    const std::string& path) {
+  Result<std::vector<std::string>> lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  std::vector<std::pair<PairId, bool>> labels;
+  for (size_t i = 1; i < lines->size(); ++i) {  // Skip header.
+    const std::string& line = (*lines)[i];
+    if (line.empty()) continue;
+    uint32_t a = 0, b = 0;
+    int label = 0;
+    if (std::sscanf(line.c_str(), "%" SCNu32 ",%" SCNu32 ",%d", &a, &b,
+                    &label) != 3 ||
+        (label != 0 && label != 1)) {
+      return Status::InvalidArgument(path + ": bad label line " +
+                                     std::to_string(i + 1));
+    }
+    labels.emplace_back(MakePairId(a, b), label == 1);
+  }
+  return labels;
+}
+
+Status SaveTopKLists(const std::vector<std::vector<ScoredPair>>& lists,
+                     const std::string& path) {
+  std::ostringstream out;
+  out << "topk_lists " << lists.size() << "\n";
+  for (size_t i = 0; i < lists.size(); ++i) {
+    out << "list " << i << " " << lists[i].size() << "\n";
+    for (const ScoredPair& entry : lists[i]) {
+      char buffer[80];
+      std::snprintf(buffer, sizeof(buffer), "%u,%u,%.17g\n",
+                    PairRowA(entry.pair), PairRowB(entry.pair), entry.score);
+      out << buffer;
+    }
+  }
+  return WriteTextFile(path, out.str());
+}
+
+Result<std::vector<std::vector<ScoredPair>>> LoadTopKLists(
+    const std::string& path) {
+  Result<std::vector<std::string>> lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) return Status::InvalidArgument(path + ": empty file");
+
+  size_t num_lists = 0;
+  if (std::sscanf((*lines)[0].c_str(), "topk_lists %zu", &num_lists) != 1) {
+    return Status::InvalidArgument(path + ": bad header");
+  }
+  std::vector<std::vector<ScoredPair>> lists;
+  lists.reserve(num_lists);
+  size_t row = 1;
+  for (size_t i = 0; i < num_lists; ++i) {
+    if (row >= lines->size()) {
+      return Status::InvalidArgument(path + ": truncated file");
+    }
+    size_t index = 0, count = 0;
+    if (std::sscanf((*lines)[row].c_str(), "list %zu %zu", &index,
+                    &count) != 2 ||
+        index != i) {
+      return Status::InvalidArgument(path + ": bad list header at line " +
+                                     std::to_string(row + 1));
+    }
+    ++row;
+    std::vector<ScoredPair> list;
+    list.reserve(count);
+    for (size_t e = 0; e < count; ++e, ++row) {
+      if (row >= lines->size()) {
+        return Status::InvalidArgument(path + ": truncated list " +
+                                       std::to_string(i));
+      }
+      uint32_t a = 0, b = 0;
+      double score = 0.0;
+      if (std::sscanf((*lines)[row].c_str(), "%" SCNu32 ",%" SCNu32 ",%lg",
+                      &a, &b, &score) != 3) {
+        return Status::InvalidArgument(path + ": bad entry at line " +
+                                       std::to_string(row + 1));
+      }
+      list.push_back(ScoredPair{MakePairId(a, b), score});
+    }
+    lists.push_back(std::move(list));
+  }
+  return lists;
+}
+
+}  // namespace mc

@@ -1,0 +1,44 @@
+#ifndef MATCHCATCHER_CORE_SESSION_IO_H_
+#define MATCHCATCHER_CORE_SESSION_IO_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocking/pair.h"
+#include "ssj/topk_list.h"
+#include "util/status.h"
+
+namespace mc {
+
+/// Persistence for debugging sessions. Blocker debugging spans sittings —
+/// a user labels a few iterations, revises the blocker, comes back later —
+/// so the expensive artifacts (per-config top-k lists) and the accumulated
+/// labels can be saved and restored:
+///
+///   SaveTopKLists(session.TopKLists(), "lists.mc");
+///   SaveLabeledPairs(labels, "labels.csv");
+///   ...
+///   MatchVerifier verifier(LoadTopKLists("lists.mc").value(), &extractor,
+///                          options);
+///   verifier.PreloadLabels(LoadLabeledPairs("labels.csv").value());
+///
+/// Formats are plain text: labels as "a,b,label" CSV; lists as one
+/// "list <index>" header per config followed by "a,b,score" rows.
+
+Status SaveLabeledPairs(
+    const std::vector<std::pair<PairId, bool>>& labels,
+    const std::string& path);
+
+Result<std::vector<std::pair<PairId, bool>>> LoadLabeledPairs(
+    const std::string& path);
+
+Status SaveTopKLists(const std::vector<std::vector<ScoredPair>>& lists,
+                     const std::string& path);
+
+Result<std::vector<std::vector<ScoredPair>>> LoadTopKLists(
+    const std::string& path);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_CORE_SESSION_IO_H_

@@ -1,0 +1,127 @@
+#include "datagen/corruption.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "datagen/vocabulary.h"
+#include "text/tokenize.h"
+
+namespace mc {
+namespace datagen {
+
+namespace {
+
+std::vector<std::string> SplitWords(std::string_view value) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : value) {
+    if (c == ' ') {
+      if (!current.empty()) words.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+}  // namespace
+
+std::string InjectTypo(std::string_view value, Rng& rng) {
+  std::vector<std::string> words = SplitWords(value);
+  if (words.empty()) return std::string(value);
+  std::string& word = words[rng.NextBelow(words.size())];
+  if (word.empty()) return JoinWords(words);
+  size_t pos = rng.NextBelow(word.size());
+  switch (rng.NextBelow(4)) {
+    case 0:  // Adjacent swap.
+      if (word.size() >= 2) {
+        size_t i = pos + 1 < word.size() ? pos : pos - 1;
+        std::swap(word[i], word[i + 1 < word.size() ? i + 1 : i - 1]);
+      }
+      break;
+    case 1:  // Deletion.
+      if (word.size() >= 2) word.erase(pos, 1);
+      break;
+    case 2:  // Duplication.
+      word.insert(pos, 1, word[pos]);
+      break;
+    default:  // Substitution with a nearby letter.
+      word[pos] = static_cast<char>('a' + rng.NextBelow(26));
+      break;
+  }
+  return JoinWords(words);
+}
+
+std::string AbbreviateWord(std::string_view value, Rng& rng) {
+  std::vector<std::string> words = SplitWords(value);
+  if (words.empty()) return std::string(value);
+  std::string& word = words[rng.NextBelow(words.size())];
+  if (word.size() > 1) word = std::string(1, word[0]) + ".";
+  return JoinWords(words);
+}
+
+std::string DropWord(std::string_view value, Rng& rng) {
+  std::vector<std::string> words = SplitWords(value);
+  if (words.size() < 2) return std::string(value);
+  words.erase(words.begin() + rng.NextBelow(words.size()));
+  return JoinWords(words);
+}
+
+std::string SwapWords(std::string_view value, Rng& rng) {
+  std::vector<std::string> words = SplitWords(value);
+  if (words.size() < 2) return std::string(value);
+  size_t i = rng.NextBelow(words.size() - 1);
+  std::swap(words[i], words[i + 1]);
+  return JoinWords(words);
+}
+
+std::string JumbleCase(std::string_view value, Rng& rng) {
+  std::string out(value);
+  for (char& c : out) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalpha(u)) {
+      c = rng.NextBool(0.5) ? static_cast<char>(std::toupper(u))
+                            : static_cast<char>(std::tolower(u));
+    }
+  }
+  return out;
+}
+
+std::string UpperCase(std::string_view value) {
+  std::string out(value);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ApplyVariant(std::string_view value) {
+  // Whole-value variant first.
+  std::string_view whole = ValueVariant(value);
+  if (!whole.empty()) return std::string(whole);
+  // Otherwise try each word.
+  std::vector<std::string> words = SplitWords(value);
+  for (std::string& word : words) {
+    std::string_view variant = ValueVariant(word);
+    if (!variant.empty()) {
+      word = std::string(variant);
+      return JoinWords(words);
+    }
+  }
+  return std::string(value);
+}
+
+std::string PerturbNumber(double value, double jitter, Rng& rng) {
+  double factor = 1.0 + (rng.NextDouble() * 2.0 - 1.0) * jitter;
+  double perturbed = value * factor;
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed << perturbed;
+  return out.str();
+}
+
+}  // namespace datagen
+}  // namespace mc

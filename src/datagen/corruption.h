@@ -1,0 +1,48 @@
+#ifndef MATCHCATCHER_DATAGEN_CORRUPTION_H_
+#define MATCHCATCHER_DATAGEN_CORRUPTION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/random.h"
+
+namespace mc {
+namespace datagen {
+
+/// Low-level string corruption primitives used to derive the dirty "B-side"
+/// of a matched record. Each returns the corrupted value; the caller records
+/// the problem tag so benchmarks can report *why* matches get killed off
+/// (the Table 4 "blocker problems" column).
+
+/// Injects one random typo into a random word: adjacent swap, deletion,
+/// duplication, or substitution.
+std::string InjectTypo(std::string_view value, Rng& rng);
+
+/// Replaces one random word with its first letter + '.' ("david" -> "d.").
+std::string AbbreviateWord(std::string_view value, Rng& rng);
+
+/// Drops one random word (no-op for single-word values).
+std::string DropWord(std::string_view value, Rng& rng);
+
+/// Swaps two adjacent words (no-op for single-word values).
+std::string SwapWords(std::string_view value, Rng& rng);
+
+/// Randomizes the case of each letter ("love song" -> "LoVe SONg") — the
+/// "input tables are not lower-cased" problem of Table 4.
+std::string JumbleCase(std::string_view value, Rng& rng);
+
+/// Uppercases the whole value.
+std::string UpperCase(std::string_view value);
+
+/// Replaces the value (or one of its words) with a known natural variant
+/// ("new york" -> "ny"); returns the original when no variant exists.
+std::string ApplyVariant(std::string_view value);
+
+/// Multiplies a numeric value by a factor in [1-jitter, 1+jitter].
+std::string PerturbNumber(double value, double jitter, Rng& rng);
+
+}  // namespace datagen
+}  // namespace mc
+
+#endif  // MATCHCATCHER_DATAGEN_CORRUPTION_H_

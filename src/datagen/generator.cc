@@ -1,0 +1,661 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+#include "datagen/corruption.h"
+#include "datagen/vocabulary.h"
+#include "util/check.h"
+
+namespace mc {
+namespace datagen {
+
+namespace {
+
+using Record = std::vector<std::string>;
+using Tags = std::vector<std::string>;
+
+// An entity domain: schema, canonical-record generator, and B-side
+// corruptor (mutates the record, appending problem tags).
+struct Domain {
+  Schema schema;
+  std::function<Record(Rng&)> generate;
+  std::function<void(Record&, Rng&, Tags&)> corrupt;
+};
+
+std::string Number(Rng& rng, int lo, int hi) {
+  return std::to_string(rng.NextInRange(lo, hi));
+}
+
+std::string Words(Rng& rng, size_t lo, size_t hi,
+                  std::string_view (*pool)(Rng&)) {
+  size_t count = lo + rng.NextBelow(hi - lo + 1);
+  std::vector<std::string> words;
+  words.reserve(count);
+  for (size_t i = 0; i < count; ++i) words.emplace_back(pool(rng));
+  return JoinWords(words);
+}
+
+// Assembles two shuffled tables from a domain: `matches` entities appear in
+// both tables (the B copy corrupted), the rest are singletons.
+GeneratedDataset Assemble(std::string name, const Domain& domain,
+                          DatasetDims dims, uint64_t seed) {
+  MC_CHECK_GT(dims.rows_a, 0u);
+  MC_CHECK_GT(dims.rows_b, 0u);
+  Rng rng(seed);
+  const size_t matches =
+      std::min({dims.matches, dims.rows_a, dims.rows_b});
+
+  // Row slots, shuffled so matched rows are spread through the tables.
+  std::vector<size_t> slots_a(dims.rows_a);
+  std::iota(slots_a.begin(), slots_a.end(), 0);
+  rng.Shuffle(slots_a);
+  std::vector<size_t> slots_b(dims.rows_b);
+  std::iota(slots_b.begin(), slots_b.end(), 0);
+  rng.Shuffle(slots_b);
+
+  std::vector<Record> rows_a(dims.rows_a);
+  std::vector<Record> rows_b(dims.rows_b);
+
+  GeneratedDataset dataset;
+  dataset.name = std::move(name);
+
+  for (size_t m = 0; m < matches; ++m) {
+    Record canonical = domain.generate(rng);
+    Record corrupted = canonical;
+    Tags tags;
+    domain.corrupt(corrupted, rng, tags);
+    size_t row_a = slots_a[m];
+    size_t row_b = slots_b[m];
+    rows_a[row_a] = std::move(canonical);
+    rows_b[row_b] = std::move(corrupted);
+    PairId pair =
+        MakePairId(static_cast<RowId>(row_a), static_cast<RowId>(row_b));
+    dataset.gold.Add(pair);
+    if (!tags.empty()) dataset.problem_tags.emplace(pair, std::move(tags));
+  }
+  for (size_t m = matches; m < dims.rows_a; ++m) {
+    rows_a[slots_a[m]] = domain.generate(rng);
+  }
+  for (size_t m = matches; m < dims.rows_b; ++m) {
+    rows_b[slots_b[m]] = domain.generate(rng);
+  }
+
+  dataset.table_a = Table(domain.schema);
+  for (Record& record : rows_a) dataset.table_a.AddRow(std::move(record));
+  dataset.table_b = Table(domain.schema);
+  for (Record& record : rows_b) dataset.table_b.AddRow(std::move(record));
+  return dataset;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, size_t>>
+GeneratedDataset::ProblemHistogram() const {
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& [pair, tags] : problem_tags) {
+    for (const std::string& tag : tags) ++counts[tag];
+  }
+  std::vector<std::pair<std::string, size_t>> histogram(counts.begin(),
+                                                        counts.end());
+  std::sort(histogram.begin(), histogram.end(),
+            [](const auto& x, const auto& y) {
+              if (x.second != y.second) return x.second > y.second;
+              return x.first < y.first;
+            });
+  return histogram;
+}
+
+DatasetDims ScaleDims(DatasetDims dims, double fraction) {
+  auto scale = [&](size_t value) {
+    return std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(value) * fraction));
+  };
+  return DatasetDims{scale(dims.rows_a), scale(dims.rows_b),
+                     scale(dims.matches)};
+}
+
+GeneratedDataset GenerateAmazonGoogle(DatasetDims dims, uint64_t seed) {
+  Domain domain;
+  domain.schema = Schema({{"title", AttributeType::kString},
+                          {"description", AttributeType::kString},
+                          {"manufacturer", AttributeType::kString},
+                          {"price", AttributeType::kNumeric},
+                          {"category", AttributeType::kString}});
+  static const char* const kCategories[] = {"software", "games", "education",
+                                            "business", "utilities"};
+  domain.generate = [](Rng& rng) -> Record {
+    std::string manufacturer(SoftwareBrand(rng));
+    std::string title = std::string(ProductAdjective(rng)) + " " +
+                        std::string(ProductNoun(rng)) + " " +
+                        std::string(ProductNoun(rng)) + " " +
+                        Number(rng, 2, 12) + "." + Number(rng, 0, 9);
+    std::string description = Words(rng, 18, 40, FillerWord);
+    std::string price = PerturbNumber(
+        10.0 + static_cast<double>(rng.NextBelow(490)), 0.0, rng);
+    std::string category = kCategories[rng.NextBelow(5)];
+    return {title, description, manufacturer, price, category};
+  };
+  domain.corrupt = [](Record& record, Rng& rng, Tags& tags) {
+    if (rng.NextBool(0.35)) {
+      record[0] = record[2] + " " + record[0];
+      tags.push_back("manufacturer sprinkled in title");
+      if (rng.NextBool(0.5)) {
+        record[2] = "";
+        tags.push_back("missing manufacturer");
+      }
+    }
+    if (rng.NextBool(0.3)) {
+      record[0] = InjectTypo(record[0], rng);
+      if (rng.NextBool(0.5)) record[0] = InjectTypo(record[0], rng);
+      tags.push_back("misspelling in title");
+    }
+    if (rng.NextBool(0.35)) {
+      record[0] = DropWord(record[0], rng);
+      tags.push_back("word dropped from title");
+    }
+    if (rng.NextBool(0.25)) {
+      // Vendors describe the same product with different nouns
+      // ("suite" vs "software"); replace one title word outright.
+      record[0] = DropWord(record[0], rng);
+      record[0] += " " + std::string(ProductNoun(rng));
+      tags.push_back("title reworded");
+    }
+    if (rng.NextBool(0.3)) {
+      std::optional<double> price = ParseDouble(record[3]);
+      if (price.has_value()) {
+        record[3] = PerturbNumber(*price, 0.3, rng);
+        tags.push_back("price difference");
+      }
+    }
+    if (rng.NextBool(0.15)) {
+      record[3] = "";
+      tags.push_back("missing price");
+    }
+    if (rng.NextBool(0.5)) {
+      record[1] = Words(rng, 18, 40, FillerWord);
+      tags.push_back("description rewritten");
+    }
+    if (rng.NextBool(0.15)) {
+      std::string variant = ApplyVariant(record[0]);
+      if (variant != record[0]) {
+        record[0] = variant;
+        tags.push_back("value variant in title");
+      }
+    }
+  };
+  return Assemble("A-G", domain, dims, seed);
+}
+
+GeneratedDataset GenerateWalmartAmazon(DatasetDims dims, uint64_t seed) {
+  Domain domain;
+  domain.schema = Schema({{"title", AttributeType::kString},
+                          {"category", AttributeType::kString},
+                          {"brand", AttributeType::kString},
+                          {"modelno", AttributeType::kString},
+                          {"price", AttributeType::kNumeric},
+                          {"shortdescr", AttributeType::kString},
+                          {"dimensions", AttributeType::kString}});
+  static const char* const kCategories[] = {"electronics", "computers",
+                                            "cameras", "audio", "accessories",
+                                            "networking"};
+  domain.generate = [](Rng& rng) -> Record {
+    std::string brand(ElectronicsBrand(rng));
+    std::string modelno =
+        std::string(1, static_cast<char>('a' + rng.NextBelow(26))) +
+        std::string(1, static_cast<char>('a' + rng.NextBelow(26))) +
+        Number(rng, 100, 9999);
+    std::string title = brand + " " + std::string(ProductNoun(rng)) + " " +
+                        modelno + " " + std::string(ProductAdjective(rng));
+    std::string category = kCategories[rng.NextBelow(6)];
+    std::string price = PerturbNumber(
+        15.0 + static_cast<double>(rng.NextBelow(900)), 0.0, rng);
+    std::string shortdescr = Words(rng, 8, 16, FillerWord);
+    std::string dimensions = Number(rng, 2, 30) + " x " + Number(rng, 2, 30) +
+                             " x " + Number(rng, 1, 10) + " inches";
+    return {title, category, brand, modelno, price, shortdescr, dimensions};
+  };
+  domain.corrupt = [](Record& record, Rng& rng, Tags& tags) {
+    if (rng.NextBool(0.3)) {
+      std::string variant = ApplyVariant(record[2]);
+      if (variant != record[2]) {
+        // Keep the title's brand mention consistent with the new spelling.
+        size_t pos = record[0].find(record[2]);
+        if (pos != std::string::npos) {
+          record[0] =
+              record[0].substr(0, pos) + variant +
+              record[0].substr(pos + record[2].size());
+        }
+        record[2] = variant;
+        tags.push_back("brand name variant");
+      }
+    }
+    if (rng.NextBool(0.2)) {
+      record[2] = "";
+      tags.push_back("missing brand");
+    }
+    if (rng.NextBool(0.25)) {
+      record[3] = InjectTypo(record[3], rng);
+      tags.push_back("model number typo");
+    }
+    if (rng.NextBool(0.3)) {
+      std::optional<double> price = ParseDouble(record[4]);
+      if (price.has_value()) {
+        record[4] = PerturbNumber(*price, 0.35, rng);
+        tags.push_back("price difference");
+      }
+    }
+    if (rng.NextBool(0.3)) {
+      record[0] = SwapWords(record[0], rng);
+      tags.push_back("title word order");
+    }
+    if (rng.NextBool(0.2)) {
+      record[0] = InjectTypo(record[0], rng);
+      tags.push_back("misspelling in title");
+    }
+    if (rng.NextBool(0.12)) {
+      // The other vendor lists the product under a terse title: category
+      // noun + model number (often itself typo'd) — very few shared words.
+      std::string model = record[3];
+      if (rng.NextBool(0.5)) model = InjectTypo(model, rng);
+      record[0] = std::string(ProductNoun(rng)) + " " + model;
+      tags.push_back("title rewritten by vendor");
+    }
+    if (rng.NextBool(0.3)) {
+      record[5] = Words(rng, 8, 16, FillerWord);
+      tags.push_back("description rewritten");
+    }
+  };
+  return Assemble("W-A", domain, dims, seed);
+}
+
+GeneratedDataset GenerateAcmDblp(DatasetDims dims, uint64_t seed) {
+  Domain domain;
+  domain.schema = Schema({{"title", AttributeType::kString},
+                          {"authors", AttributeType::kString},
+                          {"venue", AttributeType::kString},
+                          {"year", AttributeType::kNumeric},
+                          {"pages", AttributeType::kString}});
+  domain.generate = [](Rng& rng) -> Record {
+    std::string title = std::string(ResearchMethod(rng)) + " " +
+                        std::string(ResearchTopic(rng)) + " " +
+                        std::string(ResearchTopic(rng)) + " " +
+                        (rng.NextBool(0.5) ? "processing" : "analysis");
+    size_t num_authors = 2 + rng.NextBelow(3);
+    std::vector<std::string> authors;
+    for (size_t i = 0; i < num_authors; ++i) {
+      authors.push_back(std::string(FirstName(rng)) + " " +
+                        std::string(LastName(rng)));
+    }
+    std::string venue(Venue(rng));
+    std::string year = Number(rng, 1995, 2015);
+    int first_page = static_cast<int>(rng.NextBelow(900)) + 1;
+    std::string pages = std::to_string(first_page) + "-" +
+                        std::to_string(first_page + 8 +
+                                       static_cast<int>(rng.NextBelow(12)));
+    return {title, JoinWords(authors), venue, year, pages};
+  };
+  domain.corrupt = [](Record& record, Rng& rng, Tags& tags) {
+    if (rng.NextBool(0.3)) {
+      record[0] += " a " + std::string(ResearchMethod(rng)) + " approach";
+      tags.push_back("subtitle in title");
+    }
+    if (rng.NextBool(0.35)) {
+      // Abbreviate every other word (the first names).
+      std::string abbreviated = record[1];
+      for (int i = 0; i < 3; ++i) {
+        abbreviated = AbbreviateWord(abbreviated, rng);
+      }
+      record[1] = abbreviated;
+      tags.push_back("author initials");
+    }
+    if (rng.NextBool(0.25)) {
+      record[2] = "proceedings of " + record[2];
+      tags.push_back("venue variant");
+    }
+    if (rng.NextBool(0.15)) {
+      std::optional<double> year = ParseDouble(record[3]);
+      if (year.has_value()) {
+        record[3] =
+            std::to_string(static_cast<int>(*year) +
+                           (rng.NextBool(0.5) ? 1 : -1));
+        tags.push_back("year off by one");
+      }
+    }
+    if (rng.NextBool(0.1)) {
+      record[3] = "";
+      tags.push_back("missing year");
+    }
+    if (rng.NextBool(0.15)) {
+      record[0] = InjectTypo(record[0], rng);
+      tags.push_back("misspelling in title");
+    }
+  };
+  return Assemble("A-D", domain, dims, seed);
+}
+
+GeneratedDataset GenerateFodorsZagats(DatasetDims dims, uint64_t seed) {
+  Domain domain;
+  domain.schema = Schema({{"name", AttributeType::kString},
+                          {"addr", AttributeType::kString},
+                          {"city", AttributeType::kString},
+                          {"phone", AttributeType::kString},
+                          {"type", AttributeType::kString},
+                          {"class", AttributeType::kString},
+                          {"review", AttributeType::kString}});
+  static const char* const kVenueNouns[] = {"grill", "cafe", "kitchen",
+                                            "bistro", "house", "garden",
+                                            "room", "tavern"};
+  domain.generate = [](Rng& rng) -> Record {
+    std::string name = (rng.NextBool(0.3) ? "the " : "") +
+                       std::string(LastName(rng)) + " " +
+                       kVenueNouns[rng.NextBelow(8)];
+    std::string addr = Number(rng, 1, 999) + " " +
+                       std::string(StreetName(rng)) + " " +
+                       std::string(StreetSuffix(rng));
+    std::string city(City(rng));
+    std::string phone = Number(rng, 200, 999) + "-555-" +
+                        std::to_string(1000 + rng.NextBelow(9000));
+    std::string type(CuisineType(rng));
+    std::string klass = Number(rng, 0, 5);
+    std::string review = Words(rng, 5, 15, FillerWord);
+    return {name, addr, city, phone, type, klass, review};
+  };
+  domain.corrupt = [](Record& record, Rng& rng, Tags& tags) {
+    if (rng.NextBool(0.3)) {
+      record[0] += " " + record[2];
+      tags.push_back("city sprinkled in name");
+    }
+    if (rng.NextBool(0.35)) {
+      std::string variant = ApplyVariant(record[1]);
+      if (variant != record[1]) {
+        record[1] = variant;
+        tags.push_back("unnormalized address");
+      }
+    }
+    if (rng.NextBool(0.3)) {
+      std::string variant = ApplyVariant(record[4]);
+      if (variant != record[4]) {
+        record[4] = variant;
+        tags.push_back("type described differently");
+      }
+    }
+    if (rng.NextBool(0.3)) {
+      record[0] = InjectTypo(record[0], rng);
+      tags.push_back("name misspelling");
+    }
+    if (rng.NextBool(0.15)) {
+      // The restaurant moved (a real F-Z phenomenon): new street address.
+      record[1] = Number(rng, 1, 999) + " " +
+                  std::string(StreetName(rng)) + " " +
+                  std::string(StreetSuffix(rng));
+      tags.push_back("address changed");
+    }
+    if (rng.NextBool(0.08)) {
+      record[1] = "";
+      tags.push_back("missing address");
+    }
+    if (rng.NextBool(0.2)) {
+      // "415-555-0123" -> "(415) 555 0123".
+      std::string reformatted;
+      for (char c : record[3]) {
+        if (c == '-') {
+          reformatted += ' ';
+        } else {
+          reformatted += c;
+        }
+      }
+      record[3] = "(" + reformatted.substr(0, 3) + ")" +
+                  reformatted.substr(3);
+      tags.push_back("phone format");
+    }
+    if (rng.NextBool(0.1)) {
+      record[3] = "";
+      tags.push_back("missing phone");
+    }
+    if (rng.NextBool(0.2)) {
+      std::string variant = ApplyVariant(record[2]);
+      if (variant != record[2]) {
+        record[2] = variant;
+        tags.push_back("city variant");
+      }
+    }
+  };
+  return Assemble("F-Z", domain, dims, seed);
+}
+
+GeneratedDataset GenerateMusic(DatasetDims dims, uint64_t seed) {
+  Domain domain;
+  domain.schema = Schema({{"title", AttributeType::kString},
+                          {"artist_name", AttributeType::kString},
+                          {"release", AttributeType::kString},
+                          {"year", AttributeType::kNumeric},
+                          {"duration", AttributeType::kNumeric},
+                          {"genre", AttributeType::kString},
+                          {"number", AttributeType::kNumeric},
+                          {"language", AttributeType::kString}});
+  static const char* const kSuffixes[] = {" (live)", " (album version)",
+                                          " (remastered)", " (radio edit)"};
+  static const char* const kLanguages[] = {"english", "english", "english",
+                                           "spanish", "french", "german"};
+  domain.generate = [](Rng& rng) -> Record {
+    std::string title = Words(rng, 2, 4, MusicWord);
+    std::string artist =
+        rng.NextBool(0.5)
+            ? std::string(FirstName(rng)) + " " + std::string(LastName(rng))
+            : "the " + std::string(MusicWord(rng)) + "s";
+    std::string release = Words(rng, 1, 3, MusicWord);
+    std::string year = Number(rng, 1960, 2015);
+    std::string duration = Number(rng, 120, 420);
+    std::string genre(MusicGenre(rng));
+    std::string number = Number(rng, 1, 16);
+    std::string language = kLanguages[rng.NextBelow(6)];
+    return {title, artist, release, year, duration, genre, number, language};
+  };
+  domain.corrupt = [](Record& record, Rng& rng, Tags& tags) {
+    if (rng.NextBool(0.3)) {
+      record[0] = JumbleCase(record[0], rng);
+      record[1] = JumbleCase(record[1], rng);
+      tags.push_back("input not lower-cased");
+    }
+    if (rng.NextBool(0.2)) {
+      record[3] = "";
+      tags.push_back("missing year");
+    }
+    if (rng.NextBool(0.2)) {
+      record[0] += kSuffixes[rng.NextBelow(4)];
+      tags.push_back("title version suffix");
+    }
+    if (rng.NextBool(0.2)) {
+      record[1] = AbbreviateWord(record[1], rng);
+      tags.push_back("artist abbreviated");
+    }
+    if (rng.NextBool(0.15)) {
+      record[0] = InjectTypo(record[0], rng);
+      tags.push_back("misspelling in title");
+    }
+    if (rng.NextBool(0.1)) {
+      record[2] = DropWord(record[2], rng);
+      tags.push_back("release word dropped");
+    }
+  };
+  return Assemble(dims.rows_a >= 300000 ? "M2" : "M1", domain, dims, seed);
+}
+
+GeneratedDataset GeneratePapersLarge(DatasetDims dims, uint64_t seed) {
+  Domain domain;
+  domain.schema = Schema({{"title", AttributeType::kString},
+                          {"authors", AttributeType::kString},
+                          {"venue", AttributeType::kString},
+                          {"year", AttributeType::kNumeric},
+                          {"abstract", AttributeType::kString},
+                          {"keywords", AttributeType::kString},
+                          {"pages", AttributeType::kString}});
+  domain.generate = [](Rng& rng) -> Record {
+    std::string title = std::string(ResearchMethod(rng)) + " " +
+                        std::string(ResearchTopic(rng)) + " " +
+                        std::string(ResearchTopic(rng)) + " for " +
+                        std::string(ResearchTopic(rng)) + " " +
+                        (rng.NextBool(0.5) ? "systems" : "applications");
+    size_t num_authors = 1 + rng.NextBelow(4);
+    std::vector<std::string> authors;
+    for (size_t i = 0; i < num_authors; ++i) {
+      authors.push_back(std::string(FirstName(rng)) + " " +
+                        std::string(LastName(rng)));
+    }
+    std::string venue(Venue(rng));
+    std::string year = Number(rng, 1990, 2017);
+    // A short abstract snippet; the paper's Papers corpus averages only
+    // 17-18 tokens per tuple (Table 1), so full-length abstracts would
+    // make the stand-in much heavier than the original.
+    std::string abstract = Words(rng, 8, 16, FillerWord);
+    std::string keywords = Words(rng, 3, 5, ResearchTopic);
+    int first_page = static_cast<int>(rng.NextBelow(2000)) + 1;
+    std::string pages = std::to_string(first_page) + "-" +
+                        std::to_string(first_page + 10 +
+                                       static_cast<int>(rng.NextBelow(15)));
+    return {title,    JoinWords(authors), venue, year,
+            abstract, keywords,           pages};
+  };
+  domain.corrupt = [](Record& record, Rng& rng, Tags& tags) {
+    if (rng.NextBool(0.3)) {
+      // Long subtitles (the ACM/DBLP title-vs-full-title phenomenon)
+      // meaningfully dilute both word and q-gram similarity.
+      record[0] += " a " + std::string(ResearchMethod(rng)) + " study of " +
+                   std::string(ResearchTopic(rng)) + " " +
+                   std::string(ResearchTopic(rng));
+      tags.push_back("subtitle in title");
+    }
+    if (rng.NextBool(0.2)) {
+      // The same paper indexed under a slightly different title.
+      record[0] = DropWord(record[0], rng);
+      record[0] = std::string(ResearchMethod(rng)) + " " + record[0];
+      tags.push_back("title reworded");
+    }
+    if (rng.NextBool(0.35)) {
+      std::string abbreviated = record[1];
+      for (int i = 0; i < 2; ++i) {
+        abbreviated = AbbreviateWord(abbreviated, rng);
+      }
+      record[1] = abbreviated;
+      tags.push_back("author initials");
+    }
+    if (rng.NextBool(0.25)) {
+      record[2] = "proceedings of " + record[2];
+      tags.push_back("venue variant");
+    }
+    if (rng.NextBool(0.3)) {
+      // The other library spells the venue out in full — the single most
+      // reliable way real bibliographic sources disagree.
+      static const std::unordered_map<std::string, std::string> kFullNames =
+          {{"sigmod", "acm international conference on management of data"},
+           {"vldb", "international conference on very large data bases"},
+           {"icde", "ieee international conference on data engineering"},
+           {"edbt", "international conference on extending database "
+                    "technology"},
+           {"cidr", "conference on innovative data systems research"},
+           {"kdd", "acm knowledge discovery and data mining"},
+           {"www", "the web conference"},
+           {"sigir", "acm conference on research and development in "
+                     "information retrieval"},
+           {"cikm", "acm conference on information and knowledge "
+                    "management"},
+           {"icdm", "ieee international conference on data mining"},
+           {"aaai", "aaai conference on artificial intelligence"},
+           {"ijcai", "international joint conference on artificial "
+                     "intelligence"},
+           {"nips", "conference on neural information processing systems"},
+           {"icml", "international conference on machine learning"}};
+      auto it = kFullNames.find(record[2]);
+      if (it != kFullNames.end()) {
+        record[2] = it->second;
+        tags.push_back("venue spelled out");
+      }
+    }
+    if (rng.NextBool(0.08)) {
+      record[2] = "";
+      tags.push_back("missing venue");
+    }
+    if (rng.NextBool(0.15)) {
+      record[3] = "";
+      tags.push_back("missing year");
+    }
+    if (rng.NextBool(0.5)) {
+      record[4] = Words(rng, 8, 16, FillerWord);
+      tags.push_back("abstract rewritten");
+    }
+    if (rng.NextBool(0.2)) {
+      record[0] = InjectTypo(record[0], rng);
+      tags.push_back("misspelling in title");
+    }
+    if (rng.NextBool(0.4)) {
+      // Curators assign keyword lists differently: reorder, drop, replace
+      // — and sometimes use an entirely different taxonomy.
+      if (rng.NextBool(0.35)) {
+        record[5] = Words(rng, 3, 5, ResearchTopic);
+      } else {
+        record[5] = SwapWords(record[5], rng);
+        if (rng.NextBool(0.5)) record[5] = DropWord(record[5], rng);
+        if (rng.NextBool(0.3)) {
+          record[5] += " " + std::string(ResearchTopic(rng));
+        }
+      }
+      tags.push_back("keywords differ");
+    }
+    if (rng.NextBool(0.1)) {
+      record[5] = "";
+      tags.push_back("missing keywords");
+    }
+    if (rng.NextBool(0.35)) {
+      // The two libraries disagree on page numbering.
+      int first_page = static_cast<int>(rng.NextBelow(2000)) + 1;
+      record[6] = std::to_string(first_page) + "-" +
+                  std::to_string(first_page + 10 +
+                                 static_cast<int>(rng.NextBelow(15)));
+      tags.push_back("pages differ");
+    }
+  };
+  return Assemble("Papers", domain, dims, seed);
+}
+
+Result<GeneratedDataset> GenerateByName(const std::string& name, double scale,
+                                        uint64_t seed_offset) {
+  if (name == "A-G") {
+    return GenerateAmazonGoogle(ScaleDims(kDimsAmazonGoogle, scale),
+                                42 + seed_offset);
+  }
+  if (name == "W-A") {
+    return GenerateWalmartAmazon(ScaleDims(kDimsWalmartAmazon, scale),
+                                 43 + seed_offset);
+  }
+  if (name == "A-D") {
+    return GenerateAcmDblp(ScaleDims(kDimsAcmDblp, scale), 44 + seed_offset);
+  }
+  if (name == "F-Z") {
+    return GenerateFodorsZagats(ScaleDims(kDimsFodorsZagats, scale),
+                                45 + seed_offset);
+  }
+  if (name == "M1") {
+    GeneratedDataset dataset =
+        GenerateMusic(ScaleDims(kDimsMusic1, scale), 46 + seed_offset);
+    dataset.name = "M1";
+    return dataset;
+  }
+  if (name == "M2") {
+    GeneratedDataset dataset =
+        GenerateMusic(ScaleDims(kDimsMusic2, scale), 48 + seed_offset);
+    dataset.name = "M2";
+    return dataset;
+  }
+  if (name == "Papers") {
+    return GeneratePapersLarge(ScaleDims(kDimsPapers, scale),
+                               47 + seed_offset);
+  }
+  return Status::InvalidArgument("unknown dataset name: " + name);
+}
+
+}  // namespace datagen
+}  // namespace mc

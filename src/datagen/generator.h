@@ -1,0 +1,101 @@
+#ifndef MATCHCATCHER_DATAGEN_GENERATOR_H_
+#define MATCHCATCHER_DATAGEN_GENERATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/candidate_set.h"
+#include "table/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mc {
+namespace datagen {
+
+/// A generated two-table matching dataset with exact gold matches and, for
+/// every matched pair, the list of corruption problems injected into its
+/// B-side record — the ground truth behind the Table-4-style "blocker
+/// problems" reporting.
+struct GeneratedDataset {
+  std::string name;
+  Table table_a;
+  Table table_b;
+  CandidateSet gold;
+  std::unordered_map<PairId, std::vector<std::string>, PairIdHash>
+      problem_tags;
+
+  /// All distinct problem tags with their frequencies, most common first.
+  std::vector<std::pair<std::string, size_t>> ProblemHistogram() const;
+};
+
+/// Table sizes and match count for a dataset (paper Table 1 row).
+struct DatasetDims {
+  size_t rows_a = 0;
+  size_t rows_b = 0;
+  size_t matches = 0;
+};
+
+/// Paper Table 1 default dimensions.
+inline constexpr DatasetDims kDimsAmazonGoogle{1363, 3226, 1300};
+inline constexpr DatasetDims kDimsWalmartAmazon{2554, 22074, 1154};
+inline constexpr DatasetDims kDimsAcmDblp{2294, 2616, 2224};
+inline constexpr DatasetDims kDimsFodorsZagats{533, 331, 112};
+inline constexpr DatasetDims kDimsMusic1{100000, 100000, 2978};
+inline constexpr DatasetDims kDimsMusic2{500000, 500000, 73646};
+inline constexpr DatasetDims kDimsPapers{455996, 628231, 120000};
+
+/// Scales every dimension of `dims` by `fraction` (minimum 1 row / match).
+DatasetDims ScaleDims(DatasetDims dims, double fraction);
+
+/// Amazon-Google-style software products: {title, description,
+/// manufacturer, price, category}. Long descriptions; problems injected:
+/// manufacturer sprinkled into the title (with the manufacturer field then
+/// missing), title typos, dropped edition words, price jitter, rewritten
+/// descriptions.
+GeneratedDataset GenerateAmazonGoogle(DatasetDims dims = kDimsAmazonGoogle,
+                                      uint64_t seed = 42);
+
+/// Walmart-Amazon-style electronics: {title, category, brand, modelno,
+/// price, shortdescr, dimensions}. Problems: brand name variants ("hewlett
+/// packard" vs "hp"), missing brand values, model-number typos, price
+/// differences exceeding blocker thresholds, reordered title words.
+GeneratedDataset GenerateWalmartAmazon(DatasetDims dims = kDimsWalmartAmazon,
+                                       uint64_t seed = 43);
+
+/// ACM-DBLP-style papers: {title, authors, venue, year, pages}. Problems:
+/// subtitles appended to titles in one table, author initials vs full first
+/// names, venue naming variants, off-by-one or missing years.
+GeneratedDataset GenerateAcmDblp(DatasetDims dims = kDimsAcmDblp,
+                                 uint64_t seed = 44);
+
+/// Fodors-Zagats-style restaurants: {name, addr, city, phone, type, class,
+/// review}. Problems: city sprinkled into the name, unnormalized addresses
+/// ("street" vs "st"), cuisine-type variants ("barbecue" vs "bbq"), phone
+/// formatting, name misspellings.
+GeneratedDataset GenerateFodorsZagats(DatasetDims dims = kDimsFodorsZagats,
+                                      uint64_t seed = 45);
+
+/// Music-style songs: {title, artist_name, release, year, duration, genre,
+/// number, language}. Problems: case-jumbled values (inputs not
+/// lower-cased), missing years, "(live)"-style title suffixes, artist
+/// abbreviations. Used for both Music1 and Music2 (pass the dims).
+GeneratedDataset GenerateMusic(DatasetDims dims = kDimsMusic1,
+                               uint64_t seed = 46);
+
+/// Large Papers corpus: {title, authors, venue, year, abstract, keywords,
+/// pages}; like ACM-DBLP plus long abstracts (exercises the long-attribute
+/// machinery at scale).
+GeneratedDataset GeneratePapersLarge(DatasetDims dims = kDimsPapers,
+                                     uint64_t seed = 47);
+
+/// Dispatch by dataset short name: "A-G", "W-A", "A-D", "F-Z", "M1", "M2",
+/// "Papers" (paper Table 1 names).
+Result<GeneratedDataset> GenerateByName(const std::string& name,
+                                        double scale = 1.0,
+                                        uint64_t seed_offset = 0);
+
+}  // namespace datagen
+}  // namespace mc
+
+#endif  // MATCHCATCHER_DATAGEN_GENERATOR_H_

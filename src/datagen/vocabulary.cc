@@ -1,0 +1,258 @@
+#include "datagen/vocabulary.h"
+
+#include <array>
+#include <unordered_set>
+#include <vector>
+
+namespace mc {
+namespace datagen {
+
+namespace {
+
+// Zipf-samples from a pool (most common entries first).
+template <size_t N>
+std::string_view Sample(const std::array<std::string_view, N>& pool,
+                        Rng& rng, double skew = 0.7) {
+  return pool[rng.NextZipf(N, skew)];
+}
+
+// Deterministically generates `count` pronounceable words (2-3 syllables).
+// Used to extend the hand-written pools with a long tail of distinctive
+// words so that large generated tables (Music2: 500K rows) don't collapse
+// into a handful of token values. Leaked intentionally (static lifetime).
+std::vector<std::string>* GenerateWordTail(size_t count, uint64_t seed) {
+  static const char* const kOnsets[] = {
+      "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "l",
+      "m", "n", "p", "r", "s", "st", "t", "tr", "v", "w", "z", "sh", "th",
+      "bl", "cl", "pr", "sl"};
+  static const char* const kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea",
+                                        "ee", "oo", "ou", "ia", "io"};
+  static const char* const kCodas[] = {"", "n", "r", "s", "t", "l", "m",
+                                       "nd", "rk", "st", "x", "ne"};
+  auto* words = new std::vector<std::string>();
+  words->reserve(count);
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  while (words->size() < count) {
+    std::string word;
+    size_t syllables = 2 + rng.NextBelow(2);
+    for (size_t s = 0; s < syllables; ++s) {
+      word += kOnsets[rng.NextBelow(30)];
+      word += kNuclei[rng.NextBelow(12)];
+      if (s + 1 == syllables || rng.NextBool(0.3)) {
+        word += kCodas[rng.NextBelow(12)];
+      }
+    }
+    if (seen.insert(word).second) words->push_back(std::move(word));
+  }
+  return words;
+}
+
+// Zipf-samples across a hand-written head pool plus a generated tail: the
+// head words stay frequent, the tail supplies distinctiveness.
+template <size_t N>
+std::string_view SampleWithTail(const std::array<std::string_view, N>& head,
+                                const std::vector<std::string>& tail,
+                                Rng& rng, double skew) {
+  size_t index = rng.NextZipf(N + tail.size(), skew);
+  if (index < N) return head[index];
+  return tail[index - N];
+}
+
+constexpr std::array<std::string_view, 40> kFirstNames = {
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen",
+    "christopher", "nancy", "daniel", "lisa", "matthew", "betty", "anthony",
+    "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly",
+    "paul", "emily", "andrew", "donna", "joshua", "michelle"};
+
+constexpr std::array<std::string_view, 40> kLastNames = {
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores"};
+
+constexpr std::array<std::string_view, 24> kCities = {
+    "new york", "los angeles", "chicago", "houston", "phoenix",
+    "philadelphia", "san antonio", "san diego", "dallas", "san francisco",
+    "austin", "seattle", "denver", "boston", "atlanta", "miami", "portland",
+    "las vegas", "detroit", "memphis", "baltimore", "milwaukee",
+    "albuquerque", "tucson"};
+
+constexpr std::array<std::string_view, 20> kStreetNames = {
+    "main", "oak", "maple", "cedar", "elm", "washington", "lake", "hill",
+    "park", "pine", "walnut", "spring", "north", "ridge", "church",
+    "willow", "mill", "sunset", "railroad", "jefferson"};
+
+constexpr std::array<std::string_view, 6> kStreetSuffixes = {
+    "street", "avenue", "road", "boulevard", "drive", "lane"};
+
+constexpr std::array<std::string_view, 16> kCuisines = {
+    "american", "italian", "chinese", "mexican", "japanese", "french",
+    "indian", "thai", "barbecue", "seafood", "steakhouse", "pizza",
+    "vietnamese", "korean", "mediterranean", "cajun"};
+
+constexpr std::array<std::string_view, 24> kSoftwareBrands = {
+    "microsoft", "adobe", "symantec", "intuit", "corel", "mcafee", "apple",
+    "autodesk", "roxio", "nero", "kaspersky", "norton", "quickbooks",
+    "encore", "broderbund", "sage", "avanquest", "nuance", "pinnacle",
+    "cyberlink", "individual", "topics", "valusoft", "cosmi"};
+
+constexpr std::array<std::string_view, 24> kElectronicsBrands = {
+    "samsung", "sony", "lg", "panasonic", "toshiba", "canon", "nikon",
+    "hewlett packard", "dell", "lenovo", "asus", "acer", "philips",
+    "sharp", "epson", "brother", "logitech", "belkin", "netgear", "sandisk",
+    "kingston", "garmin", "vizio", "jvc"};
+
+constexpr std::array<std::string_view, 40> kProductNouns = {
+    "software", "suite", "edition", "camera", "laptop", "monitor",
+    "printer", "keyboard", "mouse", "router", "drive", "player", "tablet",
+    "phone", "charger", "cable", "adapter", "speaker", "headphones",
+    "television", "projector", "scanner", "memory", "card", "battery",
+    "case", "stand", "mount", "dock", "hub", "webcam", "microphone",
+    "antivirus", "office", "studio", "photoshop", "security", "backup",
+    "designer", "converter"};
+
+constexpr std::array<std::string_view, 24> kProductAdjectives = {
+    "professional", "deluxe", "premium", "standard", "ultimate", "home",
+    "portable", "wireless", "digital", "compact", "advanced", "essential",
+    "complete", "platinum", "gold", "express", "extreme", "classic",
+    "elite", "mini", "pro", "plus", "basic", "smart"};
+
+constexpr std::array<std::string_view, 40> kResearchTopics = {
+    "query", "database", "stream", "index", "graph", "transaction",
+    "storage", "network", "cache", "memory", "learning", "entity",
+    "schema", "join", "aggregation", "cluster", "parallel", "distributed",
+    "relational", "spatial", "temporal", "probabilistic", "semantic",
+    "knowledge", "web", "cloud", "sensor", "workload", "recovery",
+    "replication", "partitioning", "compression", "privacy", "security",
+    "provenance", "crowdsourcing", "visualization", "integration",
+    "matching", "mining"};
+
+constexpr std::array<std::string_view, 24> kResearchMethods = {
+    "efficient", "scalable", "adaptive", "optimal", "incremental",
+    "approximate", "robust", "dynamic", "online", "interactive",
+    "declarative", "automatic", "distributed", "parallel", "streaming",
+    "learned", "hybrid", "unified", "fast", "practical", "novel",
+    "effective", "lightweight", "generalized"};
+
+constexpr std::array<std::string_view, 14> kVenues = {
+    "sigmod", "vldb", "icde", "edbt", "cidr", "kdd", "www", "sigir",
+    "cikm", "icdm", "aaai", "ijcai", "nips", "icml"};
+
+constexpr std::array<std::string_view, 12> kGenres = {
+    "rock", "pop", "jazz", "classical", "country", "electronic", "hip hop",
+    "folk", "blues", "metal", "reggae", "soul"};
+
+constexpr std::array<std::string_view, 48> kMusicWords = {
+    "love", "night", "heart", "time", "baby", "dance", "dream", "fire",
+    "light", "rain", "summer", "blue", "girl", "home", "road", "river",
+    "moon", "star", "sky", "angel", "crazy", "sweet", "lonely", "forever",
+    "tonight", "morning", "midnight", "golden", "broken", "wild", "young",
+    "free", "lost", "city", "train", "shadow", "silver", "thunder",
+    "whisper", "echo", "velvet", "neon", "paradise", "horizon", "ocean",
+    "desert", "winter", "stone"};
+
+constexpr std::array<std::string_view, 60> kFillerWords = {
+    "the", "with", "for", "and", "new", "full", "version", "includes",
+    "features", "support", "system", "windows", "user", "data", "file",
+    "easy", "complete", "powerful", "tools", "design", "create", "manage",
+    "digital", "media", "video", "audio", "photo", "image", "document",
+    "email", "internet", "online", "security", "protection", "update",
+    "license", "retail", "box", "pack", "single", "multi", "high",
+    "performance", "quality", "speed", "storage", "backup", "recovery",
+    "editing", "sharing", "printing", "scanning", "wireless", "network",
+    "mobile", "desktop", "server", "premium", "lifetime", "compatible"};
+
+struct VariantEntry {
+  std::string_view canonical;
+  std::string_view variant;
+};
+
+constexpr std::array<VariantEntry, 18> kVariants = {{
+    {"new york", "ny"},
+    {"los angeles", "la"},
+    {"san francisco", "sf"},
+    {"philadelphia", "philly"},
+    {"las vegas", "vegas"},
+    {"hewlett packard", "hp"},
+    {"street", "st"},
+    {"avenue", "ave"},
+    {"road", "rd"},
+    {"boulevard", "blvd"},
+    {"drive", "dr"},
+    {"lane", "ln"},
+    {"barbecue", "bbq"},
+    {"professional", "pro"},
+    {"deluxe", "dlx"},
+    {"television", "tv"},
+    {"microphone", "mic"},
+    {"second", "2nd"},
+}};
+
+}  // namespace
+
+std::string_view FirstName(Rng& rng) {
+  static const std::vector<std::string>& tail = *GenerateWordTail(400, 101);
+  return SampleWithTail(kFirstNames, tail, rng, 0.8);
+}
+std::string_view LastName(Rng& rng) {
+  static const std::vector<std::string>& tail = *GenerateWordTail(600, 102);
+  return SampleWithTail(kLastNames, tail, rng, 0.8);
+}
+std::string_view City(Rng& rng) { return Sample(kCities, rng); }
+std::string_view StreetName(Rng& rng) { return Sample(kStreetNames, rng); }
+std::string_view StreetSuffix(Rng& rng) {
+  return Sample(kStreetSuffixes, rng, 0.4);
+}
+std::string_view CuisineType(Rng& rng) { return Sample(kCuisines, rng); }
+std::string_view SoftwareBrand(Rng& rng) {
+  return Sample(kSoftwareBrands, rng);
+}
+std::string_view ElectronicsBrand(Rng& rng) {
+  return Sample(kElectronicsBrands, rng);
+}
+std::string_view ProductNoun(Rng& rng) { return Sample(kProductNouns, rng); }
+std::string_view ProductAdjective(Rng& rng) {
+  return Sample(kProductAdjectives, rng);
+}
+std::string_view ResearchTopic(Rng& rng) {
+  static const std::vector<std::string>& tail = *GenerateWordTail(800, 103);
+  return SampleWithTail(kResearchTopics, tail, rng, 0.75);
+}
+std::string_view ResearchMethod(Rng& rng) {
+  return Sample(kResearchMethods, rng);
+}
+std::string_view Venue(Rng& rng) { return Sample(kVenues, rng); }
+std::string_view MusicGenre(Rng& rng) { return Sample(kGenres, rng, 0.4); }
+std::string_view MusicWord(Rng& rng) {
+  static const std::vector<std::string>& tail = *GenerateWordTail(1500, 104);
+  return SampleWithTail(kMusicWords, tail, rng, 0.8);
+}
+std::string_view FillerWord(Rng& rng) {
+  static const std::vector<std::string>& tail = *GenerateWordTail(400, 105);
+  return SampleWithTail(kFillerWords, tail, rng, 0.85);
+}
+
+std::string_view ValueVariant(std::string_view value) {
+  for (const VariantEntry& entry : kVariants) {
+    if (entry.canonical == value) return entry.variant;
+    if (entry.variant == value) return entry.canonical;
+  }
+  return {};
+}
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += words[i];
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace mc

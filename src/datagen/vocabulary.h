@@ -1,0 +1,47 @@
+#ifndef MATCHCATCHER_DATAGEN_VOCABULARY_H_
+#define MATCHCATCHER_DATAGEN_VOCABULARY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace mc {
+namespace datagen {
+
+/// Word pools used by the synthetic dataset generators. Pools are ordered
+/// most-common-first so Zipf sampling yields realistic token frequency
+/// skew (which the SSJ's document-frequency token order relies on).
+
+std::string_view FirstName(Rng& rng);
+std::string_view LastName(Rng& rng);
+std::string_view City(Rng& rng);
+std::string_view StreetName(Rng& rng);
+std::string_view StreetSuffix(Rng& rng);
+std::string_view CuisineType(Rng& rng);
+std::string_view SoftwareBrand(Rng& rng);
+std::string_view ElectronicsBrand(Rng& rng);
+std::string_view ProductNoun(Rng& rng);
+std::string_view ProductAdjective(Rng& rng);
+std::string_view ResearchTopic(Rng& rng);
+std::string_view ResearchMethod(Rng& rng);
+std::string_view Venue(Rng& rng);
+std::string_view MusicGenre(Rng& rng);
+std::string_view MusicWord(Rng& rng);
+std::string_view FillerWord(Rng& rng);
+
+/// Known natural variant of a value ("new york" -> "ny",
+/// "hewlett packard" -> "hp", "street" -> "st"), or empty when none exists.
+/// Both directions are tried.
+std::string_view ValueVariant(std::string_view value);
+
+/// Joins words with single spaces.
+std::string JoinWords(const std::vector<std::string>& words);
+
+}  // namespace datagen
+}  // namespace mc
+
+#endif  // MATCHCATCHER_DATAGEN_VOCABULARY_H_

@@ -1,0 +1,79 @@
+#include "explain/blame.h"
+
+#include <sstream>
+
+#include "blocking/rule_blocker.h"
+
+namespace mc {
+
+namespace {
+
+void ExplainInto(const Blocker& blocker, const Table& table_a,
+                 const Table& table_b, size_t row_a, size_t row_b,
+                 const std::string& indent, std::ostringstream& out) {
+  const Schema& schema = table_a.schema();
+
+  if (const auto* union_blocker =
+          dynamic_cast<const UnionBlocker*>(&blocker)) {
+    out << indent << "union of " << union_blocker->members().size()
+        << " blockers; every member rejects the pair:\n";
+    for (const auto& member : union_blocker->members()) {
+      ExplainInto(*member, table_a, table_b, row_a, row_b, indent + "  ",
+                  out);
+    }
+    return;
+  }
+
+  if (const auto* rule_blocker =
+          dynamic_cast<const RuleBlocker*>(&blocker)) {
+    size_t index = 1;
+    for (const ConjunctiveRule& rule : rule_blocker->rules()) {
+      out << indent << "rule " << index++ << " ("
+          << rule.Description(schema) << ")";
+      if (rule.Evaluate(table_a, row_a, table_b, row_b)) {
+        out << " KEEPS the pair\n";
+        continue;
+      }
+      out << " rejects; failing conjuncts:\n";
+      for (const auto& predicate : rule.predicates()) {
+        if (!predicate->Evaluate(table_a, row_a, table_b, row_b)) {
+          out << indent << "    " << predicate->Description(schema) << "\n";
+        }
+      }
+    }
+    return;
+  }
+
+  std::optional<bool> keeps =
+      blocker.KeepsPair(table_a, row_a, table_b, row_b);
+  if (!keeps.has_value()) {
+    out << indent << blocker.Description(schema)
+        << ": decision is not pair-decomposable (depends on neighboring "
+           "tuples)\n";
+  } else if (*keeps) {
+    out << indent << blocker.Description(schema) << " KEEPS the pair\n";
+  } else {
+    out << indent << blocker.Description(schema) << " rejects the pair\n";
+  }
+}
+
+}  // namespace
+
+std::string ExplainKill(const Blocker& blocker, const Table& table_a,
+                        const Table& table_b, PairId pair) {
+  const size_t row_a = PairRowA(pair);
+  const size_t row_b = PairRowB(pair);
+  std::ostringstream out;
+  std::optional<bool> keeps =
+      blocker.KeepsPair(table_a, row_a, table_b, row_b);
+  out << "blocker decision for pair (a" << row_a << ", b" << row_b << "): ";
+  if (keeps.has_value()) {
+    out << (*keeps ? "KEPT" : "KILLED") << "\n";
+  } else {
+    out << "depends on neighboring tuples\n";
+  }
+  ExplainInto(blocker, table_a, table_b, row_a, row_b, "  ", out);
+  return out.str();
+}
+
+}  // namespace mc

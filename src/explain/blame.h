@@ -1,0 +1,28 @@
+#ifndef MATCHCATCHER_EXPLAIN_BLAME_H_
+#define MATCHCATCHER_EXPLAIN_BLAME_H_
+
+#include <string>
+
+#include "blocking/blocker.h"
+#include "blocking/pair.h"
+
+namespace mc {
+
+/// Blocker-aware kill explanation — the paper's planned extension of
+/// MatchCatcher "to exploit the particularities of a specific blocker
+/// type". MatchCatcher itself stays blocker-independent; when the user
+/// *does* hand over the blocker, this walks its structure (union members,
+/// rule conjuncts) and reports exactly which components rejected the pair:
+///
+///   blocker kills (a3, b2):
+///     rule 1 (a.city = b.city) rejects: keys differ
+///     rule 2 (...) rejects: failing conjunct ed(lastword(name)) <= 2
+///
+/// Window/cluster blockers (sorted neighborhood, canopy) are not
+/// pair-decomposable; for those the report says so.
+std::string ExplainKill(const Blocker& blocker, const Table& table_a,
+                        const Table& table_b, PairId pair);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_EXPLAIN_BLAME_H_

@@ -1,0 +1,168 @@
+#include "explain/diagnosis.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "text/normalize.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace mc {
+
+const char* ProblemKindName(ProblemKind kind) {
+  switch (kind) {
+    case ProblemKind::kNone:
+      return "none";
+    case ProblemKind::kMissingValue:
+      return "missing value";
+    case ProblemKind::kMisspelling:
+      return "misspelling";
+    case ProblemKind::kStringVariation:
+      return "string variation";
+    case ProblemKind::kExtraWords:
+      return "extra words";
+    case ProblemKind::kCaseMismatch:
+      return "un-normalized case";
+    case ProblemKind::kValueDisagreement:
+      return "values disagree";
+    case ProblemKind::kNumericDifference:
+      return "numeric difference";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// True iff one token list is a strict subset of the other.
+bool OneSideExtendsOther(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.size() == b.size()) return false;
+  const std::vector<std::string>& small = a.size() < b.size() ? a : b;
+  const std::vector<std::string>& large = a.size() < b.size() ? b : a;
+  size_t overlap = OverlapSize(small, large);
+  return overlap == small.size() && !small.empty();
+}
+
+AttributeDiagnosis DiagnoseStringAttribute(std::string_view value_a,
+                                           std::string_view value_b,
+                                           size_t column) {
+  AttributeDiagnosis diagnosis;
+  diagnosis.column = column;
+
+  std::vector<std::string> words_a = DistinctWordTokens(value_a);
+  std::vector<std::string> words_b = DistinctWordTokens(value_b);
+  diagnosis.word_jaccard = JaccardSimilarity(words_a, words_b);
+  diagnosis.gram_jaccard = QGramJaccard(value_a, value_b, 3);
+
+  if (diagnosis.word_jaccard == 1.0) {
+    // Token-identical. Raw mismatch with identical tokens = casing or
+    // formatting only.
+    std::string raw_a(TrimWhitespace(value_a));
+    std::string raw_b(TrimWhitespace(value_b));
+    if (raw_a != raw_b) {
+      diagnosis.kind = ToLowerAscii(raw_a) == ToLowerAscii(raw_b)
+                           ? ProblemKind::kCaseMismatch
+                           : ProblemKind::kNone;  // Punctuation-only.
+    }
+    return diagnosis;
+  }
+  if (OneSideExtendsOther(words_a, words_b)) {
+    diagnosis.kind = ProblemKind::kExtraWords;
+    return diagnosis;
+  }
+  if (diagnosis.word_jaccard < 0.5 && diagnosis.gram_jaccard >= 0.5) {
+    diagnosis.kind = ProblemKind::kMisspelling;
+    return diagnosis;
+  }
+  if (diagnosis.word_jaccard == 0.0 && diagnosis.gram_jaccard < 0.15) {
+    diagnosis.kind = ProblemKind::kValueDisagreement;
+    return diagnosis;
+  }
+  diagnosis.kind = ProblemKind::kStringVariation;
+  return diagnosis;
+}
+
+}  // namespace
+
+std::vector<AttributeDiagnosis> DiagnosePair(const Table& table_a,
+                                             const Table& table_b,
+                                             PairId pair) {
+  MC_CHECK(table_a.schema() == table_b.schema());
+  const size_t row_a = PairRowA(pair);
+  const size_t row_b = PairRowB(pair);
+  const Schema& schema = table_a.schema();
+
+  std::vector<AttributeDiagnosis> diagnosis;
+  diagnosis.reserve(schema.size());
+  for (size_t c = 0; c < schema.size(); ++c) {
+    bool missing_a = table_a.IsMissing(row_a, c);
+    bool missing_b = table_b.IsMissing(row_b, c);
+    if (missing_a || missing_b) {
+      AttributeDiagnosis entry;
+      entry.column = c;
+      // Both sides missing carries no evidence either way.
+      entry.kind = (missing_a && missing_b) ? ProblemKind::kNone
+                                            : ProblemKind::kMissingValue;
+      entry.word_jaccard = 0.0;
+      entry.gram_jaccard = 0.0;
+      diagnosis.push_back(entry);
+      continue;
+    }
+    if (schema.attribute(c).type == AttributeType::kNumeric) {
+      AttributeDiagnosis entry;
+      entry.column = c;
+      std::optional<double> va = table_a.NumericValue(row_a, c);
+      std::optional<double> vb = table_b.NumericValue(row_b, c);
+      if (va.has_value() && vb.has_value() && *va != *vb) {
+        entry.kind = ProblemKind::kNumericDifference;
+        entry.word_jaccard = 0.0;
+        entry.gram_jaccard = 0.0;
+      }
+      diagnosis.push_back(entry);
+      continue;
+    }
+    diagnosis.push_back(DiagnoseStringAttribute(
+        table_a.Value(row_a, c), table_b.Value(row_b, c), c));
+  }
+  return diagnosis;
+}
+
+std::vector<std::pair<size_t, ProblemKind>> ProblemSignature(
+    const std::vector<AttributeDiagnosis>& diagnosis) {
+  std::vector<std::pair<size_t, ProblemKind>> signature;
+  for (const AttributeDiagnosis& entry : diagnosis) {
+    if (entry.kind != ProblemKind::kNone) {
+      signature.emplace_back(entry.column, entry.kind);
+    }
+  }
+  return signature;
+}
+
+std::string RenderDiagnosis(
+    const Table& table_a, const Table& table_b, PairId pair,
+    const std::vector<AttributeDiagnosis>& diagnosis) {
+  const size_t row_a = PairRowA(pair);
+  const size_t row_b = PairRowB(pair);
+  const Schema& schema = table_a.schema();
+  std::ostringstream out;
+  out << "pair (a" << row_a << ", b" << row_b << ")\n";
+  for (const AttributeDiagnosis& entry : diagnosis) {
+    const size_t c = entry.column;
+    out << "  " << schema.attribute(c).name << ": \""
+        << table_a.Value(row_a, c) << "\" vs \"" << table_b.Value(row_b, c)
+        << "\"";
+    if (schema.attribute(c).type != AttributeType::kNumeric &&
+        entry.kind != ProblemKind::kMissingValue) {
+      out << "  (jaccard_word=" << entry.word_jaccard
+          << ", jaccard_3gram=" << entry.gram_jaccard << ")";
+    }
+    if (entry.kind != ProblemKind::kNone) {
+      out << "  [problem: " << ProblemKindName(entry.kind) << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mc

@@ -1,0 +1,69 @@
+#ifndef MATCHCATCHER_EXPLAIN_DIAGNOSIS_H_
+#define MATCHCATCHER_EXPLAIN_DIAGNOSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/pair.h"
+#include "table/table.h"
+
+namespace mc {
+
+/// Automatic per-attribute problem classification for a killed-off match —
+/// the first half of the paper's §8 future work ("develop a method to
+/// automatically explain why each match is killed off").
+enum class ProblemKind {
+  /// Values agree (no problem on this attribute).
+  kNone,
+  /// One side's value is missing.
+  kMissingValue,
+  /// Character-level corruption: words differ but q-grams largely agree.
+  kMisspelling,
+  /// Word-level variation (abbreviation, synonym, extra/renamed words)
+  /// with partial overlap remaining.
+  kStringVariation,
+  /// One value extends the other (subtitle, sprinkled attribute,
+  /// "(live)"-style suffix).
+  kExtraWords,
+  /// Same letters, different casing — un-normalized input.
+  kCaseMismatch,
+  /// Values share essentially nothing.
+  kValueDisagreement,
+  /// Numeric values differ.
+  kNumericDifference,
+};
+
+/// Short name, e.g. "misspelling".
+const char* ProblemKindName(ProblemKind kind);
+
+/// The diagnosis of one attribute of one pair.
+struct AttributeDiagnosis {
+  size_t column = 0;
+  ProblemKind kind = ProblemKind::kNone;
+  /// Similarity evidence (word-level and 3-gram Jaccard; 1.0 for clean
+  /// numeric/missing cases where they do not apply).
+  double word_jaccard = 1.0;
+  double gram_jaccard = 1.0;
+};
+
+/// Diagnoses every attribute of `pair`. Both tables must share the schema.
+std::vector<AttributeDiagnosis> DiagnosePair(const Table& table_a,
+                                             const Table& table_b,
+                                             PairId pair);
+
+/// The pair's *problem signature*: the (column, kind) pairs with
+/// kind != kNone, in column order. Two killed matches with the same
+/// signature are "similar from a blocking point of view" (§8).
+std::vector<std::pair<size_t, ProblemKind>> ProblemSignature(
+    const std::vector<AttributeDiagnosis>& diagnosis);
+
+/// Renders a human-readable explanation of the pair: attribute values side
+/// by side with the diagnosed problems. This is what DebugSession::
+/// ExplainPair shows.
+std::string RenderDiagnosis(const Table& table_a, const Table& table_b,
+                            PairId pair,
+                            const std::vector<AttributeDiagnosis>& diagnosis);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_EXPLAIN_DIAGNOSIS_H_

@@ -1,0 +1,141 @@
+#include "explain/repair.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "blocking/standard_blockers.h"
+#include "text/similarity.h"
+
+namespace mc {
+
+namespace {
+
+// The complementary attribute whose values agree best across the group's
+// pairs — the fallback when the problem attribute itself is unusable
+// (missing values, total disagreement).
+int BestComplementaryAttribute(const Table& table_a, const Table& table_b,
+                               const ProblemGroup& group) {
+  const Schema& schema = table_a.schema();
+  int best = -1;
+  double best_similarity = 0.35;  // Require meaningful agreement.
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (c == group.column) continue;
+    if (schema.attribute(c).type == AttributeType::kNumeric) continue;
+    double total = 0.0;
+    size_t counted = 0;
+    for (PairId pair : group.pairs) {
+      size_t row_a = PairRowA(pair);
+      size_t row_b = PairRowB(pair);
+      if (table_a.IsMissing(row_a, c) || table_b.IsMissing(row_b, c)) {
+        continue;
+      }
+      total += WordJaccard(table_a.Value(row_a, c), table_b.Value(row_b, c));
+      ++counted;
+    }
+    if (counted * 2 < group.pairs.size()) continue;  // Mostly missing.
+    double average = total / static_cast<double>(counted);
+    if (average > best_similarity) {
+      best_similarity = average;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<RepairSuggestion> SuggestRepairs(
+    const Table& table_a, const Table& table_b,
+    const std::vector<PairId>& confirmed_matches) {
+  std::vector<ProblemGroup> groups =
+      SummarizeProblems(table_a, table_b, confirmed_matches);
+  const Schema& schema = table_a.schema();
+
+  std::vector<RepairSuggestion> suggestions;
+  for (const ProblemGroup& group : groups) {
+    RepairSuggestion suggestion;
+    suggestion.column = group.column;
+    suggestion.kind = group.kind;
+    suggestion.support = group.count();
+    const std::string& attr = schema.attribute(group.column).name;
+
+    switch (group.kind) {
+      case ProblemKind::kMisspelling:
+        suggestion.addition = std::make_shared<SimilarityBlocker>(
+            group.column, TokenizerSpec::QGram(3), SetMeasure::kJaccard,
+            0.4);
+        suggestion.rationale =
+            attr + " values are misspelled; match them by character "
+                   "3-grams instead of exact words";
+        break;
+      case ProblemKind::kStringVariation:
+        suggestion.addition = std::make_shared<SimilarityBlocker>(
+            group.column, TokenizerSpec::Word(), SetMeasure::kJaccard, 0.3);
+        suggestion.rationale =
+            attr + " values vary (abbreviations, renamed words); a word "
+                   "Jaccard rule tolerates partial agreement";
+        break;
+      case ProblemKind::kExtraWords:
+        suggestion.addition = std::make_shared<OverlapBlocker>(
+            group.column, TokenizerSpec::Word(), 2);
+        suggestion.rationale =
+            attr + " values extend each other (subtitles, sprinkled "
+                   "attributes); shared-word overlap survives the extra "
+                   "words";
+        break;
+      case ProblemKind::kCaseMismatch:
+        suggestion.addition = std::make_shared<HashBlocker>(
+            KeyFunction(KeyFunction::Kind::kFullValue, group.column));
+        suggestion.rationale =
+            attr + " differs only in casing; hash the normalized "
+                   "(lower-cased) value";
+        break;
+      case ProblemKind::kMissingValue:
+      case ProblemKind::kValueDisagreement:
+      case ProblemKind::kNumericDifference: {
+        int other = BestComplementaryAttribute(table_a, table_b, group);
+        if (other < 0) continue;
+        suggestion.addition = std::make_shared<SimilarityBlocker>(
+            static_cast<size_t>(other), TokenizerSpec::Word(),
+            SetMeasure::kJaccard, 0.5);
+        suggestion.rationale =
+            attr + " cannot be repaired directly (" +
+            ProblemKindName(group.kind) + "); block on " +
+            schema.attribute(other).name + ", which agrees across the "
+                                           "affected matches";
+        break;
+      }
+      case ProblemKind::kNone:
+        continue;
+    }
+
+    for (PairId pair : group.pairs) {
+      std::optional<bool> keeps = suggestion.addition->KeepsPair(
+          table_a, PairRowA(pair), table_b, PairRowB(pair));
+      if (keeps.value_or(false)) ++suggestion.recovered;
+    }
+    if (suggestion.recovered == 0) continue;
+    suggestions.push_back(std::move(suggestion));
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const RepairSuggestion& x, const RepairSuggestion& y) {
+              if (x.support != y.support) return x.support > y.support;
+              return x.column < y.column;
+            });
+  return suggestions;
+}
+
+std::string RenderRepairs(const Schema& schema,
+                          const std::vector<RepairSuggestion>& suggestions) {
+  std::ostringstream out;
+  out << "repair suggestions (" << suggestions.size() << "):\n";
+  for (const RepairSuggestion& suggestion : suggestions) {
+    out << "  OR " << suggestion.addition->Description(schema) << "\n"
+        << "     why: " << suggestion.rationale << "\n"
+        << "     recovers " << suggestion.recovered << " of "
+        << suggestion.support << " affected matches\n";
+  }
+  return out.str();
+}
+
+}  // namespace mc

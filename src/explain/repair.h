@@ -1,0 +1,58 @@
+#ifndef MATCHCATCHER_EXPLAIN_REPAIR_H_
+#define MATCHCATCHER_EXPLAIN_REPAIR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "explain/summary.h"
+#include "table/table.h"
+
+namespace mc {
+
+/// A concrete blocker revision derived from a diagnosed problem group —
+/// the step the paper's users perform by hand after reading MatchCatcher's
+/// output (Example 1.1: "U observes that the problem with pair (a1, b1)
+/// ... can be fixed by adding a new hash blocker ..."), automated: each
+/// suggestion is an additional keep-rule whose union with the current
+/// blocker recovers pairs exhibiting the problem.
+struct RepairSuggestion {
+  /// The problem being addressed.
+  size_t column = 0;
+  ProblemKind kind = ProblemKind::kNone;
+  /// How many confirmed killed-off matches exhibit it (pervasiveness).
+  size_t support = 0;
+  /// The additional blocker to union with the current one.
+  std::shared_ptr<const Blocker> addition;
+  /// Human-readable rationale.
+  std::string rationale;
+  /// Of the `support` pairs, how many the addition actually recovers
+  /// (computed on the diagnosed pairs; the addition must be
+  /// pair-decomposable, which all suggested ones are).
+  size_t recovered = 0;
+};
+
+/// Maps each diagnosed problem group to a candidate repair:
+///   misspelling            -> 3-gram Jaccard similarity rule
+///   string variation       -> word-Jaccard similarity rule
+///   extra words            -> overlap rule (shared-token count)
+///   un-normalized case     -> normalized attribute equivalence
+///   missing value /
+///   value disagreement /
+///   numeric difference     -> rules on *other* attributes cannot fix the
+///                             attribute itself; suggests the strongest
+///                             complementary attribute rule instead
+/// Suggestions are returned most-pervasive-first with their measured
+/// recovery counts; groups whose suggestion recovers nothing are dropped.
+std::vector<RepairSuggestion> SuggestRepairs(
+    const Table& table_a, const Table& table_b,
+    const std::vector<PairId>& confirmed_matches);
+
+/// Renders suggestions as a short report.
+std::string RenderRepairs(const Schema& schema,
+                          const std::vector<RepairSuggestion>& suggestions);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_EXPLAIN_REPAIR_H_

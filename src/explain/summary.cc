@@ -1,0 +1,74 @@
+#include "explain/summary.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace mc {
+
+std::vector<ProblemGroup> SummarizeProblems(
+    const Table& table_a, const Table& table_b,
+    const std::vector<PairId>& pairs) {
+  std::map<std::pair<size_t, ProblemKind>, ProblemGroup> groups;
+  for (PairId pair : pairs) {
+    std::vector<AttributeDiagnosis> diagnosis =
+        DiagnosePair(table_a, table_b, pair);
+    for (const AttributeDiagnosis& entry : diagnosis) {
+      if (entry.kind == ProblemKind::kNone) continue;
+      ProblemGroup& group = groups[{entry.column, entry.kind}];
+      if (group.pairs.empty()) {
+        group.column = entry.column;
+        group.kind = entry.kind;
+        group.example = pair;
+      }
+      group.pairs.push_back(pair);
+    }
+  }
+  std::vector<ProblemGroup> result;
+  result.reserve(groups.size());
+  for (auto& [key, group] : groups) result.push_back(std::move(group));
+  std::sort(result.begin(), result.end(),
+            [](const ProblemGroup& x, const ProblemGroup& y) {
+              if (x.count() != y.count()) return x.count() > y.count();
+              if (x.column != y.column) return x.column < y.column;
+              return static_cast<int>(x.kind) < static_cast<int>(y.kind);
+            });
+  return result;
+}
+
+std::vector<PairId> FindSimilarlyKilledPairs(
+    const Table& table_a, const Table& table_b,
+    const std::vector<PairId>& pairs, PairId reference) {
+  std::vector<std::pair<size_t, ProblemKind>> reference_signature =
+      ProblemSignature(DiagnosePair(table_a, table_b, reference));
+  std::vector<PairId> similar;
+  for (PairId pair : pairs) {
+    std::vector<std::pair<size_t, ProblemKind>> signature =
+        ProblemSignature(DiagnosePair(table_a, table_b, pair));
+    if (signature == reference_signature) similar.push_back(pair);
+  }
+  return similar;
+}
+
+std::string RenderProblemSummary(const Table& table_a, const Table& table_b,
+                                 const std::vector<ProblemGroup>& groups,
+                                 size_t max_groups) {
+  const Schema& schema = table_a.schema();
+  std::ostringstream out;
+  out << "problem summary (" << groups.size() << " distinct problems):\n";
+  size_t shown = 0;
+  for (const ProblemGroup& group : groups) {
+    if (shown++ == max_groups) {
+      out << "  ...\n";
+      break;
+    }
+    const size_t c = group.column;
+    out << "  " << schema.attribute(c).name << ": "
+        << ProblemKindName(group.kind) << " — " << group.count()
+        << " pair(s); e.g. \"" << table_a.Value(PairRowA(group.example), c)
+        << "\" vs \"" << table_b.Value(PairRowB(group.example), c) << "\"\n";
+  }
+  return out.str();
+}
+
+}  // namespace mc

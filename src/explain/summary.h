@@ -1,0 +1,51 @@
+#ifndef MATCHCATCHER_EXPLAIN_SUMMARY_H_
+#define MATCHCATCHER_EXPLAIN_SUMMARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "blocking/pair.h"
+#include "explain/diagnosis.h"
+#include "table/table.h"
+
+namespace mc {
+
+/// One aggregated problem across a set of killed-off matches: "attribute X
+/// suffers problem Y in N of the pairs" — the §8 future work of summarizing
+/// per-pair explanations, plus the pervasiveness measure ("how pervasive is
+/// this problem?") that tells the user which fix pays off most.
+struct ProblemGroup {
+  size_t column = 0;
+  ProblemKind kind = ProblemKind::kNone;
+  /// Pairs exhibiting the problem, in input order.
+  std::vector<PairId> pairs;
+  /// An example pair for display.
+  PairId example = 0;
+
+  size_t count() const { return pairs.size(); }
+};
+
+/// Aggregates per-attribute diagnoses over `pairs` and returns the problem
+/// groups sorted by pervasiveness (most pairs first).
+std::vector<ProblemGroup> SummarizeProblems(const Table& table_a,
+                                            const Table& table_b,
+                                            const std::vector<PairId>& pairs);
+
+/// Pairs among `pairs` whose problem signature equals that of `reference` —
+/// "all tuple pairs that are similar to that match from a blocking point of
+/// view" (§8). The reference itself is included when present.
+std::vector<PairId> FindSimilarlyKilledPairs(const Table& table_a,
+                                             const Table& table_b,
+                                             const std::vector<PairId>& pairs,
+                                             PairId reference);
+
+/// Renders the summary as a report: one line per problem group with its
+/// pervasiveness count and an example, most pervasive first.
+std::string RenderProblemSummary(const Table& table_a, const Table& table_b,
+                                 const std::vector<ProblemGroup>& groups,
+                                 size_t max_groups = 10);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_EXPLAIN_SUMMARY_H_

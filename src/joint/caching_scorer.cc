@@ -1,0 +1,48 @@
+#include "joint/caching_scorer.h"
+
+namespace mc {
+
+CachingPairScorer::CachingPairScorer(const SsjCorpus* corpus,
+                                     const ConfigView* view, ConfigMask config,
+                                     SetMeasure measure, OverlapCache* cache,
+                                     bool write_enabled)
+    : corpus_(corpus),
+      view_(view),
+      config_(config),
+      measure_(measure),
+      cache_(cache),
+      write_enabled_(write_enabled),
+      snapshot_(cache->Size() * 2 + 64) {
+  cache_->ForEach([this](PairId pair, const CachedOverlap& overlap) {
+    bool inserted = false;
+    *snapshot_.FindOrInsert(pair, &overlap, &inserted) = &overlap;
+  });
+}
+
+double CachingPairScorer::Score(RowId row_a, RowId row_b) {
+  const PairId pair = MakePairId(row_a, row_b);
+  size_t overlap = 0;
+  if (const CachedOverlap** cached = snapshot_.Find(pair)) {
+    ++hits_;
+    overlap = OverlapCache::OverlapUnder(**cached, config_);
+  } else {
+    ++misses_;
+    overlap = SsjCorpus::ConfigOverlap(corpus_->tuples_a()[row_a],
+                                       corpus_->tuples_b()[row_b], config_);
+  }
+  return SetSimilarityFromCounts(measure_, view_->tokens_a[row_a].size(),
+                                 view_->tokens_b[row_b].size(), overlap);
+}
+
+void CachingPairScorer::NoteKept(RowId row_a, RowId row_b) {
+  if (!write_enabled_) return;
+  const PairId pair = MakePairId(row_a, row_b);
+  const CachedOverlap* stored = cache_->InsertWith(pair, [&] {
+    return OverlapCache::ComputeShared(corpus_->tuples_a()[row_a],
+                                       corpus_->tuples_b()[row_b]);
+  });
+  bool inserted = false;
+  *snapshot_.FindOrInsert(pair, stored, &inserted) = stored;
+}
+
+}  // namespace mc

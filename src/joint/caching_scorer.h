@@ -1,0 +1,54 @@
+#ifndef MATCHCATCHER_JOINT_CACHING_SCORER_H_
+#define MATCHCATCHER_JOINT_CACHING_SCORER_H_
+
+#include "config/config.h"
+#include "joint/overlap_cache.h"
+#include "ssj/corpus.h"
+#include "ssj/topk_join.h"
+#include "text/similarity.h"
+#include "util/flat_hash.h"
+
+namespace mc {
+
+/// PairScorer that reuses overlap computations across configs via a shared
+/// OverlapCache (paper §4.2 "Reusing Similarity Score Computations"). On a
+/// cache hit the score is derived from the cached shared-token masks; on a
+/// miss the overlap is merged directly (no allocation). Only pairs that
+/// enter a top-k list are written to the cache (NoteKept) — exactly the
+/// pairs parent-to-child reuse re-scores — keeping the cache bounded by
+/// O(k x configs) instead of O(all scored pairs).
+///
+/// Each instance is used by a single config task (one thread); the cache
+/// itself is concurrent.
+class CachingPairScorer : public PairScorer {
+ public:
+  /// Snapshots the cache's current contents into a lock-free local index;
+  /// entries published after construction are simply recomputed on miss
+  /// (cache values are pointer-stable, so the snapshot stays valid).
+  CachingPairScorer(const SsjCorpus* corpus, const ConfigView* view,
+                    ConfigMask config, SetMeasure measure, OverlapCache* cache,
+                    bool write_enabled);
+
+  double Score(RowId row_a, RowId row_b) override;
+
+  void NoteKept(RowId row_a, RowId row_b) override;
+
+  size_t cache_hits() const { return hits_; }
+  size_t cache_misses() const { return misses_; }
+
+ private:
+  const SsjCorpus* corpus_;
+  const ConfigView* view_;
+  ConfigMask config_;
+  SetMeasure measure_;
+  OverlapCache* cache_;
+  bool write_enabled_;
+  // Local snapshot: pair -> pointer into the shared cache.
+  PairFlatMap<const CachedOverlap*> snapshot_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_JOINT_CACHING_SCORER_H_

@@ -1,0 +1,178 @@
+#include "joint/joint_executor.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "joint/caching_scorer.h"
+#include "joint/overlap_cache.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace mc {
+
+namespace {
+
+// Completion state of one config task, read by its children.
+struct NodeState {
+  std::mutex mutex;
+  bool done = false;
+  // Final top-k of the config, with scores under *that* config.
+  std::vector<ScoredPair> result;
+};
+
+// Re-scores a parent's top-k pairs under the child config using the child's
+// scorer ("this re-adjustment is fairly straightforward (and inexpensive)
+// because the overlap information ... should already be in H", §4.2).
+// Pairs where either tuple has no tokens under the child config are dropped:
+// such tuples never take part in the child's join (an empty string carries
+// no similarity evidence), and the empty-vs-empty case would degenerately
+// score 1.0.
+std::vector<ScoredPair> ReadjustToConfig(const std::vector<ScoredPair>& pairs,
+                                         const ConfigView& view,
+                                         PairScorer& scorer) {
+  std::vector<ScoredPair> adjusted;
+  adjusted.reserve(pairs.size());
+  for (const ScoredPair& entry : pairs) {
+    RowId row_a = PairRowA(entry.pair);
+    RowId row_b = PairRowB(entry.pair);
+    if (view.tokens_a[row_a].empty() || view.tokens_b[row_b].empty()) {
+      continue;
+    }
+    adjusted.push_back(ScoredPair{entry.pair, scorer.Score(row_a, row_b)});
+  }
+  return adjusted;
+}
+
+// MergeSource that waits for a parent task and re-adjusts its list when it
+// lands.
+class ParentMergeSource : public MergeSource {
+ public:
+  ParentMergeSource(NodeState* parent, const ConfigView* view,
+                    PairScorer* scorer)
+      : parent_(parent), view_(view), scorer_(scorer) {}
+
+  std::optional<std::vector<ScoredPair>> TryFetch() override {
+    std::vector<ScoredPair> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(parent_->mutex);
+      if (!parent_->done) return std::nullopt;
+      snapshot = parent_->result;
+    }
+    return ReadjustToConfig(snapshot, *view_, *scorer_);
+  }
+
+ private:
+  NodeState* parent_;
+  const ConfigView* view_;
+  PairScorer* scorer_;
+};
+
+}  // namespace
+
+JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
+                              const JointOptions& options) {
+  MC_CHECK_GT(tree.size(), 0u);
+  Stopwatch total_watch;
+  JointResult result;
+  result.per_config.resize(tree.size());
+
+  // Decide q (optionally by racing on the root config).
+  size_t q = options.q;
+  ConfigView root_view = corpus.MakeConfigView(tree.nodes[0].mask);
+  if (q == 0) {
+    size_t max_q = 4;
+    q = SelectQByRace(root_view, options.measure, options.exclude, max_q);
+  }
+  result.q_used = q;
+
+  // The reuse trigger uses the average tuple length over the root config.
+  const bool overlap_reuse =
+      options.reuse_overlaps &&
+      root_view.average_tokens >= options.reuse_min_avg_tokens;
+  result.overlap_reuse_active = overlap_reuse;
+
+  OverlapCache cache;
+  std::vector<NodeState> states(tree.size());
+
+  size_t num_threads = options.num_threads != 0
+                           ? options.num_threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+
+  auto run_node = [&](size_t node_index) {
+    const ConfigNode& node = tree.nodes[node_index];
+    ConfigJoinResult& out = result.per_config[node_index];
+    out.config = node.mask;
+    Stopwatch watch;
+
+    ConfigView view = corpus.MakeConfigView(node.mask);
+
+    // Scorer: caching when overlap reuse is on; writes enabled always (any
+    // config's computation can serve any other under mask-based caching).
+    DirectPairScorer direct(&view, options.measure);
+    CachingPairScorer caching(&corpus, &view, node.mask, options.measure,
+                              &cache, /*write_enabled=*/true);
+    PairScorer* scorer =
+        overlap_reuse ? static_cast<PairScorer*>(&caching) : &direct;
+
+    TopKJoinOptions join_options;
+    join_options.k = options.k;
+    join_options.measure = options.measure;
+    join_options.q = q;
+    join_options.exclude = options.exclude;
+    join_options.merge_poll_period = options.merge_poll_period;
+
+    // Top-k reuse: seed from a finished parent, else poll it mid-run.
+    std::vector<ScoredPair> seed;
+    const std::vector<ScoredPair>* seed_ptr = nullptr;
+    std::unique_ptr<ParentMergeSource> merge_source;
+    if (options.reuse_topk && node.parent >= 0) {
+      NodeState& parent = states[node.parent];
+      bool parent_done = false;
+      {
+        std::lock_guard<std::mutex> lock(parent.mutex);
+        parent_done = parent.done;
+        if (parent_done) seed = parent.result;  // Snapshot under the lock.
+      }
+      if (parent_done) {
+        seed = ReadjustToConfig(seed, view, *scorer);
+        seed_ptr = &seed;
+        out.seeded_from_parent = true;
+      } else {
+        merge_source =
+            std::make_unique<ParentMergeSource>(&parent, &view, scorer);
+      }
+    }
+
+    TopKList topk = RunTopKJoin(view, join_options, scorer, seed_ptr,
+                                merge_source.get(), &out.stats);
+
+    out.topk = topk.SortedDescending();
+    out.seconds = watch.ElapsedSeconds();
+    out.cache_hits = caching.cache_hits();
+    out.cache_misses = caching.cache_misses();
+
+    NodeState& state = states[node_index];
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.result = out.topk;
+    state.done = true;
+  };
+
+  if (num_threads == 1) {
+    // Sequential BFS (deterministic; every child sees a finished parent).
+    for (size_t i = 0; i < tree.size(); ++i) run_node(i);
+  } else {
+    ThreadPool pool(num_threads);
+    for (size_t i = 0; i < tree.size(); ++i) {
+      pool.Submit([&run_node, i] { run_node(i); });
+    }
+    pool.Wait();
+  }
+
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace mc

@@ -1,0 +1,71 @@
+#ifndef MATCHCATCHER_JOINT_JOINT_EXECUTOR_H_
+#define MATCHCATCHER_JOINT_JOINT_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "blocking/candidate_set.h"
+#include "config/config_generator.h"
+#include "ssj/corpus.h"
+#include "ssj/topk_join.h"
+#include "text/similarity.h"
+
+namespace mc {
+
+/// Options for joint execution of top-k SSJs over all configs (paper §4.2).
+struct JointOptions {
+  /// Top-k size per config.
+  size_t k = 1000;
+  SetMeasure measure = SetMeasure::kJaccard;
+  /// QJoin deferred-scoring parameter; 0 selects q per corpus via the race
+  /// of §4.1 (run once on the root config).
+  size_t q = 1;
+  /// Worker threads ("one config per core"); 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Reuse similarity-score computations through the shared overlap cache.
+  bool reuse_overlaps = true;
+  /// Seed each config's top-k list from its parent's re-adjusted list (and
+  /// merge late parents mid-run).
+  bool reuse_topk = true;
+  /// Overlap reuse triggers only when the average tuple length (in tokens,
+  /// over the root config) is at least this (paper's t = 20).
+  double reuse_min_avg_tokens = 20.0;
+  /// Blocker output C: pairs to exclude from every top-k list.
+  const CandidateSet* exclude = nullptr;
+  /// Poll period for late-parent merges, in join events.
+  size_t merge_poll_period = 1024;
+};
+
+/// Per-config outcome of the joint execution.
+struct ConfigJoinResult {
+  ConfigMask config = 0;
+  /// Top-k pairs, ordered by (score desc, pair asc).
+  std::vector<ScoredPair> topk;
+  TopKJoinStats stats;
+  double seconds = 0.0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  bool seeded_from_parent = false;
+};
+
+/// Outcome of the whole joint execution, in config-tree node order.
+struct JointResult {
+  std::vector<ConfigJoinResult> per_config;
+  double total_seconds = 0.0;
+  /// The q value actually used (after the optional race).
+  size_t q_used = 1;
+  /// Whether the overlap cache was active (average length reached t).
+  bool overlap_reuse_active = false;
+};
+
+/// Runs one top-k SSJ per config of `tree` over `corpus`, in parallel, with
+/// score-computation and top-k reuse across configs. With q = 1 each
+/// config's result is exactly the top-k of D under that config (Theorem
+/// 4.2), independent of scheduling — pinned by the joint_test property
+/// suite.
+JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
+                              const JointOptions& options);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_JOINT_JOINT_EXECUTOR_H_

@@ -1,0 +1,32 @@
+#include "joint/overlap_cache.h"
+
+namespace mc {
+
+CachedOverlap OverlapCache::ComputeShared(const TupleTokens& a,
+                                          const TupleTokens& b) {
+  CachedOverlap shared;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.ranks[i] == b.ranks[j]) {
+      shared.push_back(SharedToken{a.masks[i], b.masks[j]});
+      ++i;
+      ++j;
+    } else if (a.ranks[i] < b.ranks[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return shared;
+}
+
+size_t OverlapCache::OverlapUnder(const CachedOverlap& shared,
+                                  ConfigMask config) {
+  size_t overlap = 0;
+  for (const SharedToken& token : shared) {
+    if ((token.mask_a & config) && (token.mask_b & config)) ++overlap;
+  }
+  return overlap;
+}
+
+}  // namespace mc

@@ -1,0 +1,153 @@
+#include "learn/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mc {
+
+namespace {
+
+double GiniImpurity(size_t positives, size_t total) {
+  if (total == 0) return 0.0;
+  double p = static_cast<double>(positives) / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::Train(const std::vector<FeatureVector>& features,
+                                 const std::vector<int>& labels,
+                                 const std::vector<size_t>& indices,
+                                 const TreeParams& params, Rng& rng) {
+  MC_CHECK_EQ(features.size(), labels.size());
+  MC_CHECK(!indices.empty());
+  DecisionTree tree;
+  std::vector<size_t> working = indices;
+  tree.BuildNode(features, labels, working, 0, working.size(), 0, params,
+                 rng);
+  return tree;
+}
+
+int DecisionTree::BuildNode(const std::vector<FeatureVector>& features,
+                            const std::vector<int>& labels,
+                            std::vector<size_t>& indices, size_t begin,
+                            size_t end, size_t depth,
+                            const TreeParams& params, Rng& rng) {
+  const size_t count = end - begin;
+  size_t positives = 0;
+  for (size_t i = begin; i < end; ++i) positives += labels[indices[i]];
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].positive_fraction =
+      static_cast<double>(positives) / static_cast<double>(count);
+
+  const bool pure = positives == 0 || positives == count;
+  if (pure || depth >= params.max_depth ||
+      count < 2 * params.min_samples_leaf) {
+    return node_index;  // Leaf.
+  }
+
+  const size_t num_features = features[indices[begin]].size();
+  size_t features_to_try = params.features_per_split;
+  if (features_to_try == 0) {
+    features_to_try = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(num_features))));
+  }
+  features_to_try = std::min(features_to_try, num_features);
+
+  // Sample candidate features without replacement.
+  std::vector<size_t> candidates(num_features);
+  for (size_t f = 0; f < num_features; ++f) candidates[f] = f;
+  for (size_t i = 0; i < features_to_try; ++i) {
+    size_t j = i + rng.NextBelow(num_features - i);
+    std::swap(candidates[i], candidates[j]);
+  }
+
+  double parent_impurity = GiniImpurity(positives, count);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<double> values;
+  values.reserve(count);
+  for (size_t ci = 0; ci < features_to_try; ++ci) {
+    size_t feature = candidates[ci];
+    values.clear();
+    for (size_t i = begin; i < end; ++i) {
+      values.push_back(features[indices[i]][feature]);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) continue;
+
+    // Candidate thresholds: midpoints of up to max_thresholds quantile cuts.
+    size_t cuts = std::min(params.max_thresholds, values.size() - 1);
+    for (size_t t = 0; t < cuts; ++t) {
+      size_t lo = (t * (values.size() - 1)) / cuts;
+      double threshold = (values[lo] + values[lo + 1]) / 2.0;
+      size_t left_count = 0, left_pos = 0;
+      for (size_t i = begin; i < end; ++i) {
+        if (features[indices[i]][feature] <= threshold) {
+          ++left_count;
+          left_pos += labels[indices[i]];
+        }
+      }
+      size_t right_count = count - left_count;
+      if (left_count < params.min_samples_leaf ||
+          right_count < params.min_samples_leaf) {
+        continue;
+      }
+      size_t right_pos = positives - left_pos;
+      double weighted =
+          (static_cast<double>(left_count) * GiniImpurity(left_pos,
+                                                          left_count) +
+           static_cast<double>(right_count) *
+               GiniImpurity(right_pos, right_count)) /
+          static_cast<double>(count);
+      double gain = parent_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // No useful split; stay a leaf.
+
+  // Partition indices[begin, end) by the chosen split.
+  auto middle = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t row) {
+        return features[row][best_feature] <= best_threshold;
+      });
+  size_t split = static_cast<size_t>(middle - indices.begin());
+  if (split == begin || split == end) return node_index;  // Degenerate.
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  int left = BuildNode(features, labels, indices, begin, split, depth + 1,
+                       params, rng);
+  int right = BuildNode(features, labels, indices, split, end, depth + 1,
+                        params, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::PredictProbability(const FeatureVector& sample) const {
+  MC_CHECK(!nodes_.empty()) << "predict on untrained tree";
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& current = nodes_[node];
+    MC_CHECK_LT(static_cast<size_t>(current.feature), sample.size());
+    node = sample[current.feature] <= current.threshold ? current.left
+                                                        : current.right;
+  }
+  return nodes_[node].positive_fraction;
+}
+
+}  // namespace mc

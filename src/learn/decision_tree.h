@@ -1,0 +1,66 @@
+#ifndef MATCHCATCHER_LEARN_DECISION_TREE_H_
+#define MATCHCATCHER_LEARN_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "learn/features.h"
+#include "util/random.h"
+
+namespace mc {
+
+/// CART hyperparameters shared by trees and forests.
+struct TreeParams {
+  size_t max_depth = 8;
+  size_t min_samples_leaf = 1;
+  /// Features sampled per split; 0 = sqrt(num_features) (the random-forest
+  /// default), SIZE_MAX-like large values = all features.
+  size_t features_per_split = 0;
+  /// Candidate thresholds per feature per split (quantile cuts); bounds the
+  /// split search on large nodes.
+  size_t max_thresholds = 32;
+};
+
+/// A binary classification tree trained with Gini impurity. Leaves store
+/// the positive-class fraction of their training samples.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Trains on rows `indices` of (features, labels). labels are 0/1.
+  static DecisionTree Train(const std::vector<FeatureVector>& features,
+                            const std::vector<int>& labels,
+                            const std::vector<size_t>& indices,
+                            const TreeParams& params, Rng& rng);
+
+  /// Positive-class probability estimate for `sample`.
+  double PredictProbability(const FeatureVector& sample) const;
+
+  /// Hard vote: probability >= 0.5.
+  bool PredictMatch(const FeatureVector& sample) const {
+    return PredictProbability(sample) >= 0.5;
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Internal: feature/threshold; leaf: feature == -1.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;   // sample[feature] <= threshold.
+    int right = -1;  // sample[feature] > threshold.
+    double positive_fraction = 0.0;
+  };
+
+  int BuildNode(const std::vector<FeatureVector>& features,
+                const std::vector<int>& labels, std::vector<size_t>& indices,
+                size_t begin, size_t end, size_t depth,
+                const TreeParams& params, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_LEARN_DECISION_TREE_H_

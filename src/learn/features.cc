@@ -1,0 +1,89 @@
+#include "learn/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/normalize.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace mc {
+
+PairFeatureExtractor::PairFeatureExtractor(const Table* table_a,
+                                           const Table* table_b)
+    : table_a_(table_a), table_b_(table_b) {
+  MC_CHECK(table_a_->schema() == table_b_->schema());
+  const Schema& schema = table_a_->schema();
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const std::string& name = schema.attribute(c).name;
+    if (schema.attribute(c).type == AttributeType::kNumeric) {
+      numeric_columns_.push_back(c);
+      feature_names_.push_back(name + ":abs_diff");
+      feature_names_.push_back(name + ":rel_diff");
+      feature_names_.push_back(name + ":both_present");
+    } else {
+      string_columns_.push_back(c);
+      feature_names_.push_back(name + ":jaccard_word");
+      feature_names_.push_back(name + ":jaccard_3gram");
+      feature_names_.push_back(name + ":cosine_word");
+      feature_names_.push_back(name + ":overlap_coeff_word");
+      feature_names_.push_back(name + ":edit_sim");
+      feature_names_.push_back(name + ":both_present");
+    }
+  }
+}
+
+FeatureVector PairFeatureExtractor::Extract(PairId pair) const {
+  const size_t row_a = PairRowA(pair);
+  const size_t row_b = PairRowB(pair);
+  MC_CHECK_LT(row_a, table_a_->num_rows());
+  MC_CHECK_LT(row_b, table_b_->num_rows());
+
+  FeatureVector features;
+  features.reserve(num_features());
+  const Schema& schema = table_a_->schema();
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (schema.attribute(c).type == AttributeType::kNumeric) {
+      std::optional<double> value_a = table_a_->NumericValue(row_a, c);
+      std::optional<double> value_b = table_b_->NumericValue(row_b, c);
+      if (value_a.has_value() && value_b.has_value()) {
+        double abs_diff = std::abs(*value_a - *value_b);
+        double magnitude = std::max(std::abs(*value_a), std::abs(*value_b));
+        features.push_back(abs_diff);
+        features.push_back(magnitude > 0.0 ? abs_diff / magnitude : 0.0);
+        features.push_back(1.0);
+      } else {
+        features.push_back(0.0);
+        features.push_back(0.0);
+        features.push_back(0.0);
+      }
+    } else {
+      bool present = !table_a_->IsMissing(row_a, c) &&
+                     !table_b_->IsMissing(row_b, c);
+      if (present) {
+        std::string_view value_a = table_a_->Value(row_a, c);
+        std::string_view value_b = table_b_->Value(row_b, c);
+        std::vector<std::string> words_a = DistinctWordTokens(value_a);
+        std::vector<std::string> words_b = DistinctWordTokens(value_b);
+        features.push_back(JaccardSimilarity(words_a, words_b));
+        features.push_back(QGramJaccard(value_a, value_b, 3));
+        features.push_back(CosineSimilarity(words_a, words_b));
+        features.push_back(OverlapCoefficient(words_a, words_b));
+        std::string norm_a = NormalizeForTokens(value_a).substr(
+            0, kEditPrefixLimit);
+        std::string norm_b = NormalizeForTokens(value_b).substr(
+            0, kEditPrefixLimit);
+        features.push_back(NormalizedEditSimilarity(norm_a, norm_b));
+        features.push_back(1.0);
+      } else {
+        for (int i = 0; i < 5; ++i) features.push_back(0.0);
+        features.push_back(0.0);
+      }
+    }
+  }
+  MC_CHECK_EQ(features.size(), num_features());
+  return features;
+}
+
+}  // namespace mc

@@ -1,0 +1,46 @@
+#ifndef MATCHCATCHER_LEARN_FEATURES_H_
+#define MATCHCATCHER_LEARN_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/pair.h"
+#include "table/table.h"
+
+namespace mc {
+
+/// A pair's feature vector for the Match Verifier's random forest.
+using FeatureVector = std::vector<double>;
+
+/// Extracts similarity features for tuple pairs. Per non-numeric attribute:
+/// word Jaccard, 3-gram Jaccard, word cosine, word overlap coefficient,
+/// normalized edit similarity (on a bounded prefix — long descriptions would
+/// make full edit distance quadratic in hundreds of characters), and a
+/// both-present flag. Per numeric attribute: absolute difference, relative
+/// difference, and a both-present flag. Missing values zero the similarity
+/// features and the flag, letting trees learn "missing brand" style blocker
+/// problems directly.
+class PairFeatureExtractor {
+ public:
+  PairFeatureExtractor(const Table* table_a, const Table* table_b);
+
+  size_t num_features() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  FeatureVector Extract(PairId pair) const;
+
+ private:
+  static constexpr size_t kEditPrefixLimit = 30;
+
+  const Table* table_a_;
+  const Table* table_b_;
+  std::vector<std::string> feature_names_;
+  std::vector<size_t> string_columns_;
+  std::vector<size_t> numeric_columns_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_LEARN_FEATURES_H_

@@ -1,0 +1,43 @@
+#include "learn/random_forest.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace mc {
+
+RandomForest RandomForest::Train(const std::vector<FeatureVector>& features,
+                                 const std::vector<int>& labels,
+                                 const ForestParams& params) {
+  MC_CHECK_EQ(features.size(), labels.size());
+  MC_CHECK(!features.empty());
+  RandomForest forest;
+  forest.trees_.reserve(params.num_trees);
+  Rng rng(params.seed);
+  const size_t n = features.size();
+  std::vector<size_t> sample(n);
+  for (size_t t = 0; t < params.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      sample[i] = rng.NextBelow(n);  // Bootstrap with replacement.
+    }
+    forest.trees_.push_back(
+        DecisionTree::Train(features, labels, sample, params.tree, rng));
+  }
+  return forest;
+}
+
+double RandomForest::Confidence(const FeatureVector& sample) const {
+  MC_CHECK(trained());
+  size_t votes = 0;
+  for (const DecisionTree& tree : trees_) {
+    if (tree.PredictMatch(sample)) ++votes;
+  }
+  return static_cast<double>(votes) / static_cast<double>(trees_.size());
+}
+
+double RandomForest::Controversy(const FeatureVector& sample) const {
+  return std::abs(Confidence(sample) - 0.5);
+}
+
+}  // namespace mc

@@ -1,0 +1,48 @@
+#ifndef MATCHCATCHER_LEARN_RANDOM_FOREST_H_
+#define MATCHCATCHER_LEARN_RANDOM_FOREST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "learn/decision_tree.h"
+#include "learn/features.h"
+
+namespace mc {
+
+struct ForestParams {
+  size_t num_trees = 32;
+  TreeParams tree;
+  uint64_t seed = 1234;
+};
+
+/// Bagged random forest of CART trees — the classifier F of paper §5. The
+/// "positive prediction confidence" of a pair is "the fraction of decision
+/// trees in F that predict the item as a match".
+class RandomForest {
+ public:
+  RandomForest() = default;
+
+  /// Trains on the full (features, labels) set with bootstrap sampling per
+  /// tree. Requires at least one sample of each class for meaningful output
+  /// (the verifier guarantees this before first training).
+  static RandomForest Train(const std::vector<FeatureVector>& features,
+                            const std::vector<int>& labels,
+                            const ForestParams& params);
+
+  bool trained() const { return !trees_.empty(); }
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Fraction of trees voting match.
+  double Confidence(const FeatureVector& sample) const;
+
+  /// |confidence - 0.5| — smaller is more controversial (the active-learning
+  /// selection criterion).
+  double Controversy(const FeatureVector& sample) const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_LEARN_RANDOM_FOREST_H_

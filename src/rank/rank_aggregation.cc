@@ -1,0 +1,136 @@
+#include "rank/rank_aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace mc {
+
+std::vector<uint32_t> CompetitionRanks(const std::vector<ScoredPair>& list) {
+  std::vector<uint32_t> ranks(list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    MC_CHECK(i == 0 || list[i - 1].score >= list[i].score)
+        << "list must be sorted by score descending";
+    if (i > 0 && list[i].score == list[i - 1].score) {
+      ranks[i] = ranks[i - 1];
+    } else {
+      ranks[i] = static_cast<uint32_t>(i + 1);
+    }
+  }
+  return ranks;
+}
+
+RankAggregator::RankAggregator(std::vector<std::vector<ScoredPair>> lists,
+                               uint64_t seed)
+    : lists_(std::move(lists)), seed_state_(seed) {
+  // Universe E = union of all lists, in first-appearance order.
+  std::unordered_map<PairId, size_t, PairIdHash> index;
+  for (const auto& list : lists_) {
+    for (const ScoredPair& entry : list) {
+      if (index.emplace(entry.pair, items_.size()).second) {
+        items_.push_back(entry.pair);
+      }
+    }
+  }
+  // Per-list ranks; absent items get rank len + 1.
+  ranks_.resize(lists_.size());
+  for (size_t i = 0; i < lists_.size(); ++i) {
+    ranks_[i].assign(items_.size(),
+                     static_cast<uint32_t>(lists_[i].size() + 1));
+    std::vector<uint32_t> list_ranks = CompetitionRanks(lists_[i]);
+    for (size_t j = 0; j < lists_[i].size(); ++j) {
+      ranks_[i][index.at(lists_[i][j].pair)] = list_ranks[j];
+    }
+  }
+}
+
+std::vector<PairId> RankAggregator::RankByAggregate(
+    const std::vector<double>& aggregate) {
+  std::vector<size_t> order(items_.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Random tie-break (paper §5: "breaking ties randomly"): shuffle first,
+  // then stable-sort by aggregate rank.
+  Rng rng(seed_state_);
+  seed_state_ = rng.NextUint64();
+  rng.Shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return aggregate[x] < aggregate[y];
+  });
+  std::vector<PairId> result;
+  result.reserve(items_.size());
+  for (size_t j : order) result.push_back(items_[j]);
+  return result;
+}
+
+std::vector<PairId> RankAggregator::MedRank() {
+  std::vector<double> medians(items_.size());
+  std::vector<uint32_t> buffer(lists_.size());
+  for (size_t j = 0; j < items_.size(); ++j) {
+    for (size_t i = 0; i < lists_.size(); ++i) buffer[i] = ranks_[i][j];
+    std::sort(buffer.begin(), buffer.end());
+    medians[j] = buffer[(buffer.size() - 1) / 2];  // Lower median.
+  }
+  return RankByAggregate(medians);
+}
+
+std::vector<PairId> RankAggregator::WeightedMedRank(
+    const std::vector<double>& weights) {
+  MC_CHECK_EQ(weights.size(), lists_.size());
+  double total_weight = std::accumulate(weights.begin(), weights.end(), 0.0);
+  MC_CHECK_GT(total_weight, 0.0);
+
+  std::vector<double> aggregate(items_.size());
+  std::vector<std::pair<uint32_t, double>> entries(lists_.size());
+  for (size_t j = 0; j < items_.size(); ++j) {
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      entries[i] = {ranks_[i][j], weights[i]};
+    }
+    std::sort(entries.begin(), entries.end());
+    // Weighted median: smallest rank x with cumulative weight >= half.
+    double cumulative = 0.0;
+    double median = entries.back().first;
+    for (const auto& [rank, weight] : entries) {
+      cumulative += weight;
+      if (cumulative * 2.0 >= total_weight) {
+        median = rank;
+        break;
+      }
+    }
+    aggregate[j] = median;
+  }
+  return RankByAggregate(aggregate);
+}
+
+std::vector<size_t> RankAggregator::MatchesPerList(
+    const CandidateSet& matches) const {
+  std::vector<size_t> counts(lists_.size(), 0);
+  for (size_t i = 0; i < lists_.size(); ++i) {
+    for (const ScoredPair& entry : lists_[i]) {
+      if (matches.Contains(entry.pair)) ++counts[i];
+    }
+  }
+  return counts;
+}
+
+WmrWeights::WmrWeights(size_t num_lists) {
+  MC_CHECK_GT(num_lists, 0u);
+  weights_.assign(num_lists, 1.0 / static_cast<double>(num_lists));
+}
+
+void WmrWeights::Update(const RankAggregator& aggregator,
+                        const CandidateSet& new_matches) {
+  std::vector<size_t> counts = aggregator.MatchesPerList(new_matches);
+  MC_CHECK_EQ(counts.size(), weights_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] *= 1.0 + std::log(1.0 + static_cast<double>(counts[i]));
+    total += weights_[i];
+  }
+  MC_CHECK_GT(total, 0.0);
+  for (double& weight : weights_) weight /= total;
+}
+
+}  // namespace mc

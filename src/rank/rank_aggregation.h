@@ -1,0 +1,79 @@
+#ifndef MATCHCATCHER_RANK_RANK_AGGREGATION_H_
+#define MATCHCATCHER_RANK_RANK_AGGREGATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/candidate_set.h"
+#include "blocking/pair.h"
+#include "ssj/topk_list.h"
+
+namespace mc {
+
+/// Competition ("1224") ranks for a list sorted by score descending: items
+/// with equal score share a rank; the next distinct score resumes at its
+/// 1-based position (paper Example 5.1: scores 1.0, 0.8, 0.8, 0.6 get ranks
+/// 1, 2, 2, 4).
+std::vector<uint32_t> CompetitionRanks(const std::vector<ScoredPair>& list);
+
+/// Aggregates the per-config top-k lists into one global ranking of the
+/// candidate set E (their union). Implements MedRank [Fagin et al. 2003] and
+/// weighted median ranking (WMR), the two aggregators of paper §5.
+class RankAggregator {
+ public:
+  /// `lists` are the per-config top-k lists, each sorted by score
+  /// descending. `seed` drives random tie-breaking among equal medians.
+  RankAggregator(std::vector<std::vector<ScoredPair>> lists, uint64_t seed);
+
+  /// All distinct pairs across the lists (the candidate set E), in a fixed
+  /// arbitrary order.
+  const std::vector<PairId>& items() const { return items_; }
+
+  size_t num_lists() const { return lists_.size(); }
+
+  /// MedRank: each item's global rank is the median of its per-list ranks
+  /// (items absent from a list of length L get rank L+1); items are ordered
+  /// by ascending global rank, ties broken randomly (re-randomized per
+  /// call from the constructor seed stream).
+  std::vector<PairId> MedRank();
+
+  /// Weighted median rank with one weight per list (weights need not be
+  /// normalized). With uniform weights this coincides with MedRank up to
+  /// median convention.
+  std::vector<PairId> WeightedMedRank(const std::vector<double>& weights);
+
+  /// Number of lists containing each of `matches` — r_i of the WMR weight
+  /// update w_i <- w_i * (1 + log(1 + r_i)).
+  std::vector<size_t> MatchesPerList(const CandidateSet& matches) const;
+
+ private:
+  std::vector<PairId> RankByAggregate(const std::vector<double>& aggregate);
+
+  std::vector<std::vector<ScoredPair>> lists_;
+  std::vector<PairId> items_;
+  // ranks_[i][j] = rank of items_[j] in list i (len_i + 1 when absent).
+  std::vector<std::vector<uint32_t>> ranks_;
+  uint64_t seed_state_;
+};
+
+/// Maintains WMR weights across verifier iterations: starts uniform at 1/m,
+/// multiplies by (1 + log(1 + r_i)) after each labeling round, then
+/// normalizes (paper §5 "Using Rank Aggregation").
+class WmrWeights {
+ public:
+  explicit WmrWeights(size_t num_lists);
+
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Applies one round of updates from the matches the user just confirmed.
+  void Update(const RankAggregator& aggregator,
+              const CandidateSet& new_matches);
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_RANK_RANK_AGGREGATION_H_

@@ -1,0 +1,131 @@
+#include "ssj/corpus.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace mc {
+
+namespace {
+
+// Tokenizes one table: per tuple, distinct tokens with attribute masks,
+// still keyed by raw TokenId (ranks assigned later).
+std::vector<TupleTokens> TokenizeTable(const Table& table,
+                                       const std::vector<size_t>& columns,
+                                       TokenDictionary& dictionary) {
+  std::vector<TupleTokens> tuples(table.num_rows());
+  std::unordered_map<TokenId, uint32_t> tuple_masks;
+  std::vector<TokenId> distinct_ids;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    tuple_masks.clear();
+    for (size_t bit = 0; bit < columns.size(); ++bit) {
+      if (table.IsMissing(row, columns[bit])) continue;
+      for (const std::string& token :
+           DistinctWordTokens(table.Value(row, columns[bit]))) {
+        TokenId id = dictionary.Intern(token);
+        tuple_masks[id] |= (uint32_t{1} << bit);
+      }
+    }
+    TupleTokens& tuple = tuples[row];
+    tuple.ranks.reserve(tuple_masks.size());
+    tuple.masks.reserve(tuple_masks.size());
+    distinct_ids.clear();
+    for (const auto& [id, mask] : tuple_masks) {
+      tuple.ranks.push_back(id);  // Raw id; converted to rank later.
+      tuple.masks.push_back(mask);
+      distinct_ids.push_back(id);
+    }
+    dictionary.AddDocument(distinct_ids);
+  }
+  return tuples;
+}
+
+// Converts raw token ids into global ranks and sorts each tuple's entries.
+void RankAndSort(std::vector<TupleTokens>& tuples,
+                 const TokenDictionary& dictionary) {
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  for (TupleTokens& tuple : tuples) {
+    entries.clear();
+    entries.reserve(tuple.size());
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      entries.emplace_back(dictionary.RankOf(tuple.ranks[i]),
+                           tuple.masks[i]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      tuple.ranks[i] = entries[i].first;
+      tuple.masks[i] = entries[i].second;
+    }
+  }
+}
+
+}  // namespace
+
+SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
+                           const std::vector<size_t>& columns) {
+  MC_CHECK_GT(columns.size(), 0u);
+  MC_CHECK_LE(columns.size(), 32u);
+  SsjCorpus corpus;
+  corpus.num_attributes_ = columns.size();
+  corpus.tuples_a_ = TokenizeTable(table_a, columns, corpus.dictionary_);
+  corpus.tuples_b_ = TokenizeTable(table_b, columns, corpus.dictionary_);
+  corpus.dictionary_.FinalizeRanks();
+  RankAndSort(corpus.tuples_a_, corpus.dictionary_);
+  RankAndSort(corpus.tuples_b_, corpus.dictionary_);
+  return corpus;
+}
+
+ConfigView SsjCorpus::MakeConfigView(ConfigMask config) const {
+  ConfigView view;
+  size_t total_tokens = 0;
+  auto materialize = [&](const std::vector<TupleTokens>& tuples,
+                         std::vector<std::vector<uint32_t>>& out) {
+    out.resize(tuples.size());
+    for (size_t row = 0; row < tuples.size(); ++row) {
+      const TupleTokens& tuple = tuples[row];
+      std::vector<uint32_t>& tokens = out[row];
+      tokens.clear();
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (tuple.masks[i] & config) tokens.push_back(tuple.ranks[i]);
+      }
+      total_tokens += tokens.size();
+    }
+  };
+  materialize(tuples_a_, view.tokens_a);
+  materialize(tuples_b_, view.tokens_b);
+  size_t total_tuples = tuples_a_.size() + tuples_b_.size();
+  view.average_tokens =
+      total_tuples == 0
+          ? 0.0
+          : static_cast<double>(total_tokens) / static_cast<double>(total_tuples);
+  return view;
+}
+
+size_t SsjCorpus::ConfigLength(const TupleTokens& tuple, ConfigMask config) {
+  size_t length = 0;
+  for (uint32_t mask : tuple.masks) {
+    if (mask & config) ++length;
+  }
+  return length;
+}
+
+size_t SsjCorpus::ConfigOverlap(const TupleTokens& a, const TupleTokens& b,
+                                ConfigMask config) {
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.ranks[i] == b.ranks[j]) {
+      if ((a.masks[i] & config) && (b.masks[j] & config)) ++overlap;
+      ++i;
+      ++j;
+    } else if (a.ranks[i] < b.ranks[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace mc

@@ -1,0 +1,74 @@
+#ifndef MATCHCATCHER_SSJ_CORPUS_H_
+#define MATCHCATCHER_SSJ_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "config/config.h"
+#include "table/table.h"
+#include "text/token_dictionary.h"
+
+namespace mc {
+
+/// Token content of one tuple over the promising attributes: for each
+/// distinct token, its global-order rank and the bitmask of promising
+/// attributes in which it appears. From this, the token set of the tuple
+/// under *any* config is derivable exactly — the key to reusing work across
+/// configs (see DESIGN.md §5): a token belongs to config g iff mask ∧ g ≠ 0.
+struct TupleTokens {
+  /// Global-order ranks, sorted ascending (rarest token first).
+  std::vector<uint32_t> ranks;
+  /// masks[i] = attribute bitmask of ranks[i].
+  std::vector<uint32_t> masks;
+
+  size_t size() const { return ranks.size(); }
+};
+
+/// Per-config token view of both tables: for each tuple, the sorted rank
+/// array of its tokens under the config. This is what the top-k joins
+/// consume; string content never reappears past corpus construction.
+struct ConfigView {
+  std::vector<std::vector<uint32_t>> tokens_a;
+  std::vector<std::vector<uint32_t>> tokens_b;
+
+  /// Average token count per tuple (both tables), used for the reuse
+  /// trigger t = 20 of paper §4.2.
+  double average_tokens = 0.0;
+};
+
+/// Tokenized form of tables A and B over the promising attributes, with a
+/// shared dictionary and global token order (ascending document frequency).
+class SsjCorpus {
+ public:
+  /// Tokenizes both tables. `columns` lists the table columns that form the
+  /// promising attributes, in bit order (at most 32).
+  static SsjCorpus Build(const Table& table_a, const Table& table_b,
+                         const std::vector<size_t>& columns);
+
+  const std::vector<TupleTokens>& tuples_a() const { return tuples_a_; }
+  const std::vector<TupleTokens>& tuples_b() const { return tuples_b_; }
+  const TokenDictionary& dictionary() const { return dictionary_; }
+  size_t num_attributes() const { return num_attributes_; }
+
+  /// Materializes the token view of a config.
+  ConfigView MakeConfigView(ConfigMask config) const;
+
+  /// Token count of one tuple under `config`.
+  static size_t ConfigLength(const TupleTokens& tuple, ConfigMask config);
+
+  /// Exact token overlap of a pair under `config`, computed by merging the
+  /// tuples' full token arrays and filtering by mask (the slow path the
+  /// overlap cache avoids).
+  static size_t ConfigOverlap(const TupleTokens& a, const TupleTokens& b,
+                              ConfigMask config);
+
+ private:
+  std::vector<TupleTokens> tuples_a_;
+  std::vector<TupleTokens> tuples_b_;
+  TokenDictionary dictionary_;
+  size_t num_attributes_ = 0;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_SSJ_CORPUS_H_

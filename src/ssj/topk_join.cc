@@ -1,0 +1,290 @@
+#include "ssj/topk_join.h"
+
+#include <algorithm>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/flat_hash.h"
+#include "util/stopwatch.h"
+
+namespace mc {
+
+double DirectPairScorer::Score(RowId row_a, RowId row_b) {
+  const std::vector<uint32_t>& a = view_->tokens_a[row_a];
+  const std::vector<uint32_t>& b = view_->tokens_b[row_b];
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return SetSimilarityFromCounts(measure_, a.size(), b.size(), overlap);
+}
+
+namespace {
+
+// One pending prefix extension: string `row` on side `side` is about to
+// reveal the token at `position`; any *new* pair formed through that token
+// scores at most `cap`.
+struct Event {
+  double cap;
+  uint8_t side;  // 0 = table A, 1 = table B.
+  RowId row;
+  uint32_t position;
+};
+
+struct EventLess {
+  bool operator()(const Event& x, const Event& y) const {
+    if (x.cap != y.cap) return x.cap < y.cap;
+    if (x.side != y.side) return x.side > y.side;
+    if (x.row != y.row) return x.row > y.row;
+    return x.position > y.position;
+  }
+};
+
+constexpr uint32_t kScored = 0xFFFFFFFFu;
+
+}  // namespace
+
+TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
+                     PairScorer* scorer, const std::vector<ScoredPair>* seed,
+                     MergeSource* merge_source, TopKJoinStats* stats) {
+  MC_CHECK_GE(options.q, 1u);
+  MC_CHECK_GE(options.merge_poll_period, 1u);
+  DirectPairScorer direct(&view, options.measure);
+  if (scorer == nullptr) scorer = &direct;
+  TopKJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  TopKList topk(options.k);
+  // Shared-prefix-token count per discovered pair; kScored once computed
+  // (or proven hopeless). Flat map: this is the join's hottest structure.
+  PairFlatMap<uint32_t> pair_state(4096);
+
+  auto mark_scored = [&](PairId pair) {
+    bool inserted = false;
+    *pair_state.FindOrInsert(pair, kScored, &inserted) = kScored;
+  };
+
+  if (seed != nullptr) {
+    for (const ScoredPair& entry : *seed) {
+      mark_scored(entry.pair);
+      topk.Add(entry.pair, entry.score);
+    }
+  }
+
+  // Inverted indexes over the *extended* prefixes, one per side. Each entry
+  // records the position of the token within its string, enabling the
+  // positional upper bound below.
+  struct IndexEntry {
+    RowId row;
+    uint32_t position;
+  };
+  std::unordered_map<uint32_t, std::vector<IndexEntry>> index_a;
+  std::unordered_map<uint32_t, std::vector<IndexEntry>> index_b;
+
+  std::priority_queue<Event, std::vector<Event>, EventLess> events;
+  auto push_initial = [&](const std::vector<std::vector<uint32_t>>& tokens,
+                          uint8_t side) {
+    for (size_t row = 0; row < tokens.size(); ++row) {
+      if (tokens[row].empty()) continue;
+      events.push(Event{
+          SetSimilarityCap(options.measure, tokens[row].size(), 0), side,
+          static_cast<RowId>(row), 0});
+    }
+  };
+  push_initial(view.tokens_a, 0);
+  push_initial(view.tokens_b, 1);
+
+  // The exclusion filter (blocker output C) runs at scoring time, not at
+  // discovery time: hopeless pairs die via the positional bound without the
+  // hash lookup, so only the few pairs that could enter the top-k pay it.
+  auto score_pair = [&](PairId pair) {
+    if (options.exclude != nullptr && options.exclude->Contains(pair)) {
+      return;
+    }
+    ++stats->pairs_scored;
+    RowId row_a = PairRowA(pair);
+    RowId row_b = PairRowB(pair);
+    double score = scorer->Score(row_a, row_b);
+    if (topk.Add(pair, score)) scorer->NoteKept(row_a, row_b);
+  };
+
+  bool merge_pending = merge_source != nullptr;
+  auto poll_merge = [&] {
+    if (!merge_pending) return;
+    std::optional<std::vector<ScoredPair>> merged = merge_source->TryFetch();
+    if (!merged.has_value()) return;
+    merge_pending = false;
+    ++stats->merges_applied;
+    for (const ScoredPair& entry : *merged) {
+      // A pair the parent already scored must not be re-scored here; the
+      // re-adjusted score is exact for this config.
+      mark_scored(entry.pair);
+      topk.Add(entry.pair, entry.score);
+    }
+  };
+  poll_merge();
+
+  while (!events.empty()) {
+    Event event = events.top();
+    // Termination: no pending extension can create a pair beating the k-th
+    // score. (KthScore() is -1 until the list fills, so we never stop
+    // early with fewer than k results while extensions remain.)
+    if (event.cap <= topk.KthScore()) break;
+    events.pop();
+    ++stats->events_popped;
+    if ((stats->events_popped % options.merge_poll_period) == 0) poll_merge();
+
+    const bool from_a = event.side == 0;
+    const std::vector<uint32_t>& tokens =
+        from_a ? view.tokens_a[event.row] : view.tokens_b[event.row];
+    const uint32_t token = tokens[event.position];
+    auto& own_index = from_a ? index_a : index_b;
+    auto& other_index = from_a ? index_b : index_a;
+
+    // Probe partners whose prefix already covers `token`.
+    auto it = other_index.find(token);
+    if (it != other_index.end()) {
+      const size_t own_len = tokens.size();
+      const size_t own_remaining = own_len - 1 - event.position;
+      for (const IndexEntry& entry : it->second) {
+        RowId partner = entry.row;
+
+        // Positional upper bound, computed from positions alone — no pair
+        // state needed. Shared tokens ranked before the current one sit in
+        // both prefixes (at most min(i, j), since the token streams are
+        // sorted by global rank); shared tokens ranked after it sit in both
+        // suffixes (at most min of the remainders). So
+        //   overlap <= min(i, j) + 1 + min(own_rem, partner_rem).
+        // If that cannot beat the current k-th score, skip this probe
+        // without touching the pair map: the same bound (or a tighter one)
+        // re-fires at every later shared token, and any pair whose true
+        // score exceeds the final k-th always passes (score <= bound).
+        const size_t partner_len =
+            from_a ? view.tokens_b[partner].size()
+                   : view.tokens_a[partner].size();
+        const size_t partner_remaining = partner_len - 1 - entry.position;
+        const size_t prefix_overlap =
+            std::min(static_cast<size_t>(event.position),
+                     static_cast<size_t>(entry.position)) +
+            1;
+        size_t max_overlap =
+            std::min(prefix_overlap +
+                         std::min(own_remaining, partner_remaining),
+                     std::min(own_len, partner_len));
+        double upper_bound = SetSimilarityFromCounts(
+            options.measure, own_len, partner_len, max_overlap);
+        if (upper_bound <= topk.KthScore()) {
+          ++stats->pairs_pruned;
+          continue;
+        }
+
+        PairId pair = from_a ? MakePairId(event.row, partner)
+                             : MakePairId(partner, event.row);
+        bool inserted = false;
+        uint32_t* state = pair_state.FindOrInsert(pair, 0u, &inserted);
+        if (*state == kScored) continue;
+        if (inserted) ++stats->pairs_discovered;
+        ++*state;
+
+        // Tighter count-based bound with permanent dead-marking: shared
+        // tokens not yet counted lie in both suffixes (see above), so
+        //   overlap <= count + min(own_rem, partner_rem).
+        // (If an earlier probe of this pair was pre-skipped, the count may
+        // undercount — but a pre-skip already proved the pair can never
+        // beat the final k-th, so marking it dead stays correct.)
+        size_t count_overlap =
+            std::min(static_cast<size_t>(*state) +
+                         std::min(own_remaining, partner_remaining),
+                     std::min(own_len, partner_len));
+        double count_bound = SetSimilarityFromCounts(
+            options.measure, own_len, partner_len, count_overlap);
+        if (count_bound <= topk.KthScore()) {
+          *state = kScored;  // Dead: provably below the k-th, forever.
+          ++stats->pairs_pruned;
+          continue;
+        }
+        if (*state >= options.q) {
+          *state = kScored;
+          score_pair(pair);
+        }
+      }
+    }
+
+    // Reveal the token in this side's index.
+    own_index[token].push_back(IndexEntry{event.row, event.position});
+    ++stats->tokens_indexed;
+
+    // Schedule the next extension unless it provably cannot matter.
+    uint32_t next = event.position + 1;
+    if (next < tokens.size()) {
+      double cap = SetSimilarityCap(options.measure, tokens.size(), next);
+      if (cap > topk.KthScore()) {
+        events.push(Event{cap, event.side, event.row, next});
+      }
+    }
+  }
+  // A late parent list may still be pending (e.g. the join drained early);
+  // apply it so reuse never loses pairs.
+  poll_merge();
+  return topk;
+}
+
+TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,
+                        const CandidateSet* exclude) {
+  TopKList topk(k);
+  DirectPairScorer scorer(&view, measure);
+  for (size_t a = 0; a < view.tokens_a.size(); ++a) {
+    if (view.tokens_a[a].empty()) continue;
+    for (size_t b = 0; b < view.tokens_b.size(); ++b) {
+      if (view.tokens_b[b].empty()) continue;
+      PairId pair = MakePairId(static_cast<RowId>(a), static_cast<RowId>(b));
+      if (exclude != nullptr && exclude->Contains(pair)) continue;
+      topk.Add(pair, scorer.Score(static_cast<RowId>(a),
+                                  static_cast<RowId>(b)));
+    }
+  }
+  return topk;
+}
+
+size_t SelectQByRace(const ConfigView& view, SetMeasure measure,
+                     const CandidateSet* exclude, size_t max_q,
+                     size_t probe_k) {
+  MC_CHECK_GE(max_q, 1u);
+  // Race each q on its own thread for a top-probe_k list (paper §4.1: "one
+  // q value for each core, for k = 50"); the first finisher wins. We time
+  // the runs and pick the minimum, which selects the same winner without
+  // having to kill losing threads.
+  std::vector<double> elapsed(max_q, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(max_q);
+  for (size_t q = 1; q <= max_q; ++q) {
+    threads.emplace_back([&, q] {
+      Stopwatch watch;
+      TopKJoinOptions options;
+      options.k = probe_k;
+      options.measure = measure;
+      options.q = q;
+      options.exclude = exclude;
+      RunTopKJoin(view, options);
+      elapsed[q - 1] = watch.ElapsedSeconds();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  size_t best_q = 1;
+  for (size_t q = 2; q <= max_q; ++q) {
+    if (elapsed[q - 1] < elapsed[best_q - 1]) best_q = q;
+  }
+  return best_q;
+}
+
+}  // namespace mc

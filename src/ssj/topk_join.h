@@ -1,0 +1,118 @@
+#ifndef MATCHCATCHER_SSJ_TOPK_JOIN_H_
+#define MATCHCATCHER_SSJ_TOPK_JOIN_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "blocking/candidate_set.h"
+#include "ssj/corpus.h"
+#include "ssj/topk_list.h"
+#include "text/similarity.h"
+
+namespace mc {
+
+/// Computes the exact similarity score of a pair under the active config.
+/// The default (DirectPairScorer) merges the pair's token arrays; the joint
+/// executor substitutes a caching scorer that reuses overlap computations
+/// across configs (paper §4.2).
+class PairScorer {
+ public:
+  virtual ~PairScorer() = default;
+  virtual double Score(RowId row_a, RowId row_b) = 0;
+
+  /// Called when (row_a, row_b) entered the top-k list. Caching scorers use
+  /// this to persist overlap structure for *kept* pairs only — the pairs
+  /// that parent-to-child top-k reuse will re-score — rather than for every
+  /// scored pair (millions of allocations on large joins).
+  virtual void NoteKept(RowId row_a, RowId row_b) {
+    (void)row_a;
+    (void)row_b;
+  }
+};
+
+/// Merge-scores from the config view's token arrays.
+class DirectPairScorer : public PairScorer {
+ public:
+  DirectPairScorer(const ConfigView* view, SetMeasure measure)
+      : view_(view), measure_(measure) {}
+
+  double Score(RowId row_a, RowId row_b) override;
+
+ private:
+  const ConfigView* view_;
+  SetMeasure measure_;
+};
+
+/// Lets a running join absorb a parent config's (re-adjusted) top-k list as
+/// soon as it becomes available (paper §4.2: "When config g finishes, it
+/// sends its top-k list to h. Config h merges ... then continues"). TryFetch
+/// is polled periodically; it must return a value at most once.
+class MergeSource {
+ public:
+  virtual ~MergeSource() = default;
+  virtual std::optional<std::vector<ScoredPair>> TryFetch() = 0;
+};
+
+struct TopKJoinOptions {
+  /// Number of pairs to retain.
+  size_t k = 1000;
+  /// Set similarity measure (Theorem 4.2: Jaccard, cosine, Dice, overlap).
+  SetMeasure measure = SetMeasure::kJaccard;
+  /// QJoin parameter: a pair's score is computed only once its discovered
+  /// shared-prefix-token count reaches q. q = 1 reproduces TopKJoin [34]
+  /// exactly; q > 1 is the paper's deferred-scoring heuristic.
+  size_t q = 1;
+  /// Pairs to skip — the blocker output C (killed-off search, Def. 2.2).
+  const CandidateSet* exclude = nullptr;
+  /// How often (in popped prefix-extension events) to poll merge_source.
+  size_t merge_poll_period = 1024;
+};
+
+/// Counters exposing where the join spends its effort; drives the QJoin-vs-
+/// TopKJoin benchmarks.
+struct TopKJoinStats {
+  size_t events_popped = 0;
+  size_t pairs_discovered = 0;
+  size_t pairs_scored = 0;
+  /// Probes discarded by the positional upper bound before any pair-state
+  /// bookkeeping (a pair may be counted once per shared token here).
+  size_t pairs_pruned = 0;
+  size_t tokens_indexed = 0;
+  size_t merges_applied = 0;
+};
+
+/// Runs the prefix-event top-k string similarity join over a config view.
+///
+/// `seed` (optional) holds already-scored pairs — a parent config's top-k
+/// list with scores re-adjusted to this config — which initialize the list
+/// and are never re-scored. `merge_source` (optional) is polled during the
+/// run for a late parent list. `scorer` may be null (DirectPairScorer is
+/// used). `stats` may be null.
+///
+/// With q = 1 the result is exact: the returned list contains k pairs whose
+/// score multiset equals the true top-k of D = A x B - C under the measure
+/// (pair identity at the boundary score may differ among equal-score ties).
+TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
+                     PairScorer* scorer = nullptr,
+                     const std::vector<ScoredPair>* seed = nullptr,
+                     MergeSource* merge_source = nullptr,
+                     TopKJoinStats* stats = nullptr);
+
+/// Reference implementation: scores every non-excluded pair. Quadratic;
+/// used by tests and tiny inputs only.
+TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,
+                        const CandidateSet* exclude = nullptr);
+
+/// Selects the QJoin q value empirically (paper §4.1): races candidate q
+/// values on `num_threads` threads, each computing a top-`probe_k` list, and
+/// returns the q whose race finished first. Deterministic tie-breaking by
+/// preferring the smaller q on near-equal times is *not* attempted — the
+/// paper's selection is a wall-clock race by design.
+size_t SelectQByRace(const ConfigView& view, SetMeasure measure,
+                     const CandidateSet* exclude, size_t max_q = 4,
+                     size_t probe_k = 50);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_SSJ_TOPK_JOIN_H_

@@ -1,0 +1,80 @@
+#include "ssj/topk_list.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mc {
+
+TopKList::TopKList(size_t k) : k_(k) {
+  MC_CHECK_GT(k, 0u);
+  heap_.reserve(k);
+}
+
+bool TopKList::WorseThan(const ScoredPair& x, const ScoredPair& y) const {
+  if (x.score != y.score) return x.score < y.score;
+  return x.pair > y.pair;  // Larger pair id loses ties.
+}
+
+void TopKList::SiftUp(size_t index) {
+  while (index > 0) {
+    size_t parent = (index - 1) / 2;
+    if (!WorseThan(heap_[index], heap_[parent])) break;
+    std::swap(heap_[index], heap_[parent]);
+    positions_[heap_[index].pair] = index;
+    positions_[heap_[parent].pair] = parent;
+    index = parent;
+  }
+}
+
+void TopKList::SiftDown(size_t index) {
+  const size_t n = heap_.size();
+  while (true) {
+    size_t left = 2 * index + 1;
+    size_t right = left + 1;
+    size_t worst = index;
+    if (left < n && WorseThan(heap_[left], heap_[worst])) worst = left;
+    if (right < n && WorseThan(heap_[right], heap_[worst])) worst = right;
+    if (worst == index) break;
+    std::swap(heap_[index], heap_[worst]);
+    positions_[heap_[index].pair] = index;
+    positions_[heap_[worst].pair] = worst;
+    index = worst;
+  }
+}
+
+bool TopKList::Add(PairId pair, double score) {
+  // Fast reject: strictly below the k-th score can neither enter nor be a
+  // duplicate of a kept pair (kept pairs all score >= KthScore()).
+  if (full() && score < heap_[0].score) return false;
+  if (positions_.count(pair) > 0) return true;  // Already kept.
+  ScoredPair entry{pair, score};
+  if (heap_.size() < k_) {
+    heap_.push_back(entry);
+    positions_[pair] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+    return true;
+  }
+  if (!WorseThan(heap_[0], entry)) return false;  // Not better than k-th.
+  positions_.erase(heap_[0].pair);
+  heap_[0] = entry;
+  positions_[pair] = 0;
+  SiftDown(0);
+  return true;
+}
+
+void TopKList::MergeFrom(const std::vector<ScoredPair>& other) {
+  for (const ScoredPair& entry : other) Add(entry.pair, entry.score);
+}
+
+std::vector<ScoredPair> TopKList::SortedDescending() const {
+  std::vector<ScoredPair> result = heap_;
+  std::sort(result.begin(), result.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.pair < y.pair;
+            });
+  return result;
+}
+
+}  // namespace mc

@@ -1,0 +1,67 @@
+#ifndef MATCHCATCHER_SSJ_TOPK_LIST_H_
+#define MATCHCATCHER_SSJ_TOPK_LIST_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/pair.h"
+
+namespace mc {
+
+/// A tuple pair with its similarity score under some config.
+struct ScoredPair {
+  PairId pair = 0;
+  double score = 0.0;
+};
+
+/// Bounded top-k list of scored pairs, ordered by (score desc, pair asc).
+/// Supports the pruning bound (k-th score) that drives top-k join
+/// termination, and deduplicates pairs so that top-k reuse/merging (paper
+/// §4.2) cannot double-count a pair.
+class TopKList {
+ public:
+  explicit TopKList(size_t k);
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Score of the current k-th (worst kept) pair, or -1 when not yet full.
+  /// Any candidate with score <= this bound (when full) cannot improve the
+  /// list, because ties never replace kept pairs.
+  double KthScore() const { return full() ? heap_[0].score : -1.0; }
+
+  /// True iff `pair` is currently in the list.
+  bool Contains(PairId pair) const { return positions_.count(pair) > 0; }
+
+  /// Offers (pair, score). Returns true iff the pair is now in the list.
+  /// A pair already present is left untouched (scores are deterministic per
+  /// config, so a re-offer always carries the same score).
+  bool Add(PairId pair, double score);
+
+  /// Offers every entry of `other` (used when a child config merges a late
+  /// parent's re-adjusted list, §4.2).
+  void MergeFrom(const std::vector<ScoredPair>& other);
+
+  /// Entries ordered by (score desc, pair asc).
+  std::vector<ScoredPair> SortedDescending() const;
+
+  /// Unordered snapshot of the entries.
+  const std::vector<ScoredPair>& Entries() const { return heap_; }
+
+ private:
+  // heap_ is a min-heap on (score asc, pair desc): heap_[0] is the entry
+  // that would be evicted next. positions_ maps pair -> index in heap_.
+  bool WorseThan(const ScoredPair& x, const ScoredPair& y) const;
+  void SiftUp(size_t index);
+  void SiftDown(size_t index);
+
+  size_t k_;
+  std::vector<ScoredPair> heap_;
+  std::unordered_map<PairId, size_t, PairIdHash> positions_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_SSJ_TOPK_LIST_H_

@@ -1,0 +1,152 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mc {
+
+namespace {
+
+// Splits CSV text into records of fields, honoring quotes.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      if (field.empty() && !field_started) {
+        in_quotes = true;
+        field_started = true;
+      } else {
+        return Status::InvalidArgument("quote inside unquoted CSV field");
+      }
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow; \r\n and bare \r both end the line via the \n / next char.
+      if (i + 1 >= text.size() || text[i + 1] != '\n') end_record();
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  if (field_started || !field.empty() || !record.empty()) end_record();
+  return records;
+}
+
+bool NeedsQuoting(std::string_view field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendCsvField(std::string_view field, std::string& out) {
+  if (!NeedsQuoting(field)) {
+    out.append(field);
+    return;
+  }
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(std::string_view text) {
+  Result<std::vector<std::vector<std::string>>> parsed = ParseCsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const std::vector<std::vector<std::string>>& records = parsed.value();
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV has no header record");
+  }
+
+  std::vector<Attribute> attributes;
+  attributes.reserve(records[0].size());
+  for (const std::string& name : records[0]) {
+    attributes.push_back(Attribute{name, AttributeType::kString});
+  }
+  Table table((Schema(std::move(attributes))));
+
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != table.schema().size()) {
+      std::ostringstream message;
+      message << "record " << r << " has " << records[r].size()
+              << " fields, expected " << table.schema().size();
+      return Status::InvalidArgument(message.str());
+    }
+    table.AddRow(records[r]);
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path) {
+  std::ifstream input(path, std::ios::binary);
+  if (!input) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  if (input.bad()) return Status::IoError("read failed for " + path);
+  return ReadCsvString(buffer.str());
+}
+
+std::string WriteCsvString(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.schema().size(); ++c) {
+    if (c > 0) out.push_back(',');
+    AppendCsvField(table.schema().attribute(c).name, out);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.schema().size(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendCsvField(table.Value(r, c), out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream output(path, std::ios::binary);
+  if (!output) return Status::IoError("cannot open " + path);
+  output << WriteCsvString(table);
+  if (!output) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace mc

@@ -1,0 +1,28 @@
+#ifndef MATCHCATCHER_TABLE_CSV_H_
+#define MATCHCATCHER_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace mc {
+
+/// Parses RFC-4180-style CSV text (quoted fields, embedded commas/newlines,
+/// doubled quotes). The first record is the header; all attributes are typed
+/// kString — run InferAttributeTypes (table/profile.h) afterwards.
+Result<Table> ReadCsvString(std::string_view text);
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path);
+
+/// Serializes `table` to CSV (header + rows, quoting where needed).
+std::string WriteCsvString(const Table& table);
+
+/// Writes `table` to `path` as CSV.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_TABLE_CSV_H_

@@ -1,0 +1,50 @@
+#include "table/schema.h"
+
+namespace mc {
+
+const char* AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kString:
+      return "string";
+    case AttributeType::kNumeric:
+      return "numeric";
+    case AttributeType::kCategorical:
+      return "categorical";
+    case AttributeType::kBoolean:
+      return "boolean";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    bool inserted = index_by_name_.emplace(attributes_[i].name, i).second;
+    MC_CHECK(inserted) << "duplicate attribute name:" << attributes_[i].name;
+  }
+}
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  auto it = index_by_name_.find(std::string(name));
+  if (it == index_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Schema::RequireIndexOf(std::string_view name) const {
+  std::optional<size_t> index = IndexOf(name);
+  MC_CHECK(index.has_value()) << "no attribute named" << name;
+  return *index;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mc

@@ -1,0 +1,65 @@
+#ifndef MATCHCATCHER_TABLE_SCHEMA_H_
+#define MATCHCATCHER_TABLE_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mc {
+
+/// Semantic attribute types distinguished by the config generator (§3.2:
+/// numeric attributes are dropped; categorical/boolean attributes are dropped
+/// when their value sets differ across the two tables).
+enum class AttributeType {
+  kString,
+  kNumeric,
+  kCategorical,
+  kBoolean,
+};
+
+const char* AttributeTypeName(AttributeType type);
+
+/// A named, typed column.
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kString;
+};
+
+/// Ordered list of attributes shared by the two input tables (the paper
+/// assumes A and B share one schema; different-schema support is future work
+/// there and here).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+
+  const Attribute& attribute(size_t index) const {
+    MC_CHECK_LT(index, attributes_.size());
+    return attributes_[index];
+  }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, if present.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  /// Fatal if `name` is not present; convenience for tests and examples.
+  size_t RequireIndexOf(std::string_view name) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, size_t> index_by_name_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_TABLE_SCHEMA_H_

@@ -1,0 +1,47 @@
+#include "table/table.h"
+
+#include <cstdlib>
+
+#include "text/normalize.h"
+
+namespace mc {
+
+void Table::AddRow(std::vector<std::string> values) {
+  MC_CHECK_EQ(values.size(), schema_.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i].push_back(std::move(values[i]));
+  }
+  ++num_rows_;
+}
+
+bool Table::IsMissing(size_t row, size_t column) const {
+  return TrimWhitespace(Value(row, column)).empty();
+}
+
+std::optional<double> Table::NumericValue(size_t row, size_t column) const {
+  if (IsMissing(row, column)) return std::nullopt;
+  return ParseDouble(Value(row, column));
+}
+
+void Table::SetSchema(Schema schema) {
+  MC_CHECK_EQ(schema.size(), schema_.size());
+  for (size_t i = 0; i < schema.size(); ++i) {
+    MC_CHECK(schema.attribute(i).name == schema_.attribute(i).name)
+        << "SetSchema must not rename attributes";
+  }
+  schema_ = std::move(schema);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return std::nullopt;
+  // Strip a leading currency symbol, a common artifact in product data.
+  if (trimmed.front() == '$') trimmed.remove_prefix(1);
+  std::string buffer(trimmed);
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace mc

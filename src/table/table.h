@@ -1,0 +1,65 @@
+#ifndef MATCHCATCHER_TABLE_TABLE_H_
+#define MATCHCATCHER_TABLE_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/schema.h"
+#include "util/check.h"
+
+namespace mc {
+
+/// Column-oriented in-memory table. Cell values are stored as raw strings
+/// (the form in which EM source data arrives); an empty string after
+/// whitespace trimming is treated as a missing value. Numeric access parses
+/// on demand.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.size()) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.size(); }
+
+  /// Appends a row; `values` must have one entry per schema attribute.
+  void AddRow(std::vector<std::string> values);
+
+  /// Raw cell value ("" when missing).
+  std::string_view Value(size_t row, size_t column) const {
+    MC_CHECK_LT(row, num_rows_);
+    MC_CHECK_LT(column, columns_.size());
+    return columns_[column][row];
+  }
+
+  /// True when the cell is empty / whitespace-only.
+  bool IsMissing(size_t row, size_t column) const;
+
+  /// Cell parsed as double, if present and parseable.
+  std::optional<double> NumericValue(size_t row, size_t column) const;
+
+  /// Whole column (reference valid until the next AddRow).
+  const std::vector<std::string>& Column(size_t column) const {
+    MC_CHECK_LT(column, columns_.size());
+    return columns_[column];
+  }
+
+  /// Replaces the schema's attribute types (used after type inference).
+  /// Names and arity must be unchanged.
+  void SetSchema(Schema schema);
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::string>> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Parses `text` as a double; rejects trailing garbage.
+std::optional<double> ParseDouble(std::string_view text);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_TABLE_TABLE_H_

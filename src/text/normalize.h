@@ -1,0 +1,21 @@
+#ifndef MATCHCATCHER_TEXT_NORMALIZE_H_
+#define MATCHCATCHER_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace mc {
+
+/// Lower-cases ASCII letters in place-semantics (returns a new string).
+std::string ToLowerAscii(std::string_view text);
+
+/// Canonical text normalization used before tokenization everywhere in the
+/// library: lower-case ASCII and map every non-alphanumeric byte to a space.
+std::string NormalizeForTokens(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view text);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_TEXT_NORMALIZE_H_

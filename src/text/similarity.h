@@ -1,0 +1,89 @@
+#ifndef MATCHCATCHER_TEXT_SIMILARITY_H_
+#define MATCHCATCHER_TEXT_SIMILARITY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc {
+
+/// Set-based similarity measures over token sets (the measures the paper's
+/// SSJ machinery supports: Jaccard, cosine, overlap, Dice — see Theorem 4.2),
+/// plus edit distance for SIM blockers such as
+/// ed(lastword(a.Name), lastword(b.Name)) <= 2.
+
+/// Size of the intersection of two token sets. Duplicates in the inputs are
+/// ignored (set semantics).
+size_t OverlapSize(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b);
+
+/// |A ∩ B| / |A ∪ B|; 1.0 when both sets are empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// |A ∩ B| / sqrt(|A| * |B|); 1.0 when both sets are empty, 0 when one is.
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+/// 2|A ∩ B| / (|A| + |B|); 1.0 when both sets are empty.
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// |A ∩ B| / min(|A|, |B|); 1.0 when both sets are empty, 0 when one is.
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Convenience: Jaccard over distinct word tokens of two raw strings.
+double WordJaccard(std::string_view a, std::string_view b);
+
+/// Convenience: Jaccard over distinct q-grams of two raw strings.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q);
+
+/// Convenience: cosine over distinct word tokens of two raw strings.
+double WordCosine(std::string_view a, std::string_view b);
+
+/// Convenience: word-token overlap size of two raw strings.
+size_t WordOverlapSize(std::string_view a, std::string_view b);
+
+/// Levenshtein distance (unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with early exit: returns `bound + 1` as soon as the
+/// true distance provably exceeds `bound`. Used by edit-distance blockers.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound);
+
+/// 1 - ed(a, b) / max(|a|, |b|); 1.0 when both strings are empty.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// American Soundex code of the first word token of `text` (e.g. "Robert"
+/// -> "R163"); "" for inputs with no letters. Used by phonetic blocking.
+std::string Soundex(std::string_view text);
+
+/// Identifiers for the set-based measures supported by the top-k SSJ
+/// machinery (Theorem 4.2 in the paper).
+enum class SetMeasure {
+  kJaccard,
+  kCosine,
+  kDice,
+  kOverlapCoefficient,
+};
+
+const char* SetMeasureName(SetMeasure measure);
+
+/// Computes the chosen measure from the primitive quantities |A|, |B|,
+/// |A ∩ B|. All measures return 1.0 for two empty sets.
+double SetSimilarityFromCounts(SetMeasure measure, size_t size_a,
+                               size_t size_b, size_t overlap);
+
+/// Upper bound on the measure for any pair (a, y) where only tokens at
+/// positions >= `position` of `a` (|a| = size_a, 0-based positions) can be
+/// shared with y. This is the "cap" used to order prefix extensions and to
+/// terminate top-k joins (paper §4.1). Monotonically non-increasing in
+/// `position`, and an upper bound for every candidate partner y.
+double SetSimilarityCap(SetMeasure measure, size_t size_a, size_t position);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_TEXT_SIMILARITY_H_

@@ -1,0 +1,24 @@
+#include "text/token_dictionary.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mc {
+
+void TokenDictionary::FinalizeRanks() {
+  std::vector<TokenId> order(tokens_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](TokenId a, TokenId b) {
+    if (document_frequency_[a] != document_frequency_[b]) {
+      return document_frequency_[a] < document_frequency_[b];
+    }
+    return tokens_[a] < tokens_[b];
+  });
+  ranks_.assign(tokens_.size(), 0);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    ranks_[order[rank]] = static_cast<uint32_t>(rank);
+  }
+  ranks_valid_ = true;
+}
+
+}  // namespace mc

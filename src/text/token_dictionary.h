@@ -1,0 +1,88 @@
+#ifndef MATCHCATCHER_TEXT_TOKEN_DICTIONARY_H_
+#define MATCHCATCHER_TEXT_TOKEN_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mc {
+
+/// Token id type used throughout the SSJ machinery.
+using TokenId = uint32_t;
+
+/// Interns word tokens to dense ids and tracks document frequencies, from
+/// which it derives the global token ordering used by prefix-based joins
+/// (ascending document frequency — rarest first — with ties broken by the
+/// token string for determinism).
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+
+  /// Returns the id of `token`, interning it if new.
+  TokenId Intern(std::string_view token) {
+    auto it = ids_.find(std::string(token));
+    if (it != ids_.end()) return it->second;
+    TokenId id = static_cast<TokenId>(tokens_.size());
+    tokens_.emplace_back(token);
+    document_frequency_.push_back(0);
+    ids_.emplace(tokens_.back(), id);
+    ranks_valid_ = false;
+    return id;
+  }
+
+  /// Returns the id of `token` if already interned.
+  std::optional<TokenId> Find(std::string_view token) const {
+    auto it = ids_.find(std::string(token));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& TokenOf(TokenId id) const {
+    MC_CHECK_LT(id, tokens_.size());
+    return tokens_[id];
+  }
+
+  /// Records one document occurrence for each id in `distinct_ids`; the
+  /// caller must have deduplicated ids within the document.
+  void AddDocument(const std::vector<TokenId>& distinct_ids) {
+    for (TokenId id : distinct_ids) {
+      MC_CHECK_LT(id, document_frequency_.size());
+      ++document_frequency_[id];
+    }
+    ranks_valid_ = false;
+  }
+
+  uint32_t DocumentFrequency(TokenId id) const {
+    MC_CHECK_LT(id, document_frequency_.size());
+    return document_frequency_[id];
+  }
+
+  size_t size() const { return tokens_.size(); }
+
+  /// Global-order rank of a token: lower rank = rarer = earlier in every
+  /// sorted token list. Call FinalizeRanks() after the last AddDocument().
+  uint32_t RankOf(TokenId id) const {
+    MC_CHECK(ranks_valid_) << "FinalizeRanks() not called";
+    MC_CHECK_LT(id, ranks_.size());
+    return ranks_[id];
+  }
+
+  /// Computes the global ordering from current document frequencies.
+  void FinalizeRanks();
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<std::string> tokens_;
+  std::vector<uint32_t> document_frequency_;
+  std::vector<uint32_t> ranks_;
+  bool ranks_valid_ = false;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_TEXT_TOKEN_DICTIONARY_H_

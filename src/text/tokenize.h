@@ -1,0 +1,32 @@
+#ifndef MATCHCATCHER_TEXT_TOKENIZE_H_
+#define MATCHCATCHER_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc {
+
+/// Splits `text` into lower-cased word tokens (maximal alphanumeric runs).
+/// "Dave Smith, Altanta" -> {"dave", "smith", "altanta"}.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Distinct word tokens in first-appearance order (set semantics, which is
+/// how the paper defines Jaccard over strings in §3.1).
+std::vector<std::string> DistinctWordTokens(std::string_view text);
+
+/// Character q-grams of the normalized string (spaces collapsed, the string
+/// padded with q-1 '#' on each side, standard record-linkage convention).
+/// Returns distinct q-grams.
+std::vector<std::string> QGrams(std::string_view text, size_t q);
+
+/// Last word token of `text`, or "" if there is none. Used by hash blockers
+/// such as lastword(a.Name) = lastword(b.Name) in the paper's Example 1.1.
+std::string LastWordToken(std::string_view text);
+
+/// First word token of `text`, or "" if there is none.
+std::string FirstWordToken(std::string_view text);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_TEXT_TOKENIZE_H_

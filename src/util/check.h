@@ -1,0 +1,63 @@
+#ifndef MATCHCATCHER_UTIL_CHECK_H_
+#define MATCHCATCHER_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mc {
+namespace internal_check {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+/// Used only via the MC_CHECK* macros below; never instantiate directly.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "MC_CHECK failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed CheckFailure expression into void so it can sit in the
+/// false branch of the MC_CHECK ternary (glog's "voidify" idiom).
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_check
+}  // namespace mc
+
+/// Fatal invariant check: aborts with a message when `condition` is false.
+/// Supports streaming extra context: MC_CHECK(n > 0) << "n was" << n;
+/// Enabled in all build modes — these guard programming errors, not inputs.
+#define MC_CHECK(condition)                                     \
+  (condition) ? (void)0                                         \
+              : ::mc::internal_check::Voidify() &               \
+                    ::mc::internal_check::CheckFailure(         \
+                        __FILE__, __LINE__, #condition)
+
+#define MC_CHECK_EQ(a, b) MC_CHECK((a) == (b))
+#define MC_CHECK_NE(a, b) MC_CHECK((a) != (b))
+#define MC_CHECK_LT(a, b) MC_CHECK((a) < (b))
+#define MC_CHECK_LE(a, b) MC_CHECK((a) <= (b))
+#define MC_CHECK_GT(a, b) MC_CHECK((a) > (b))
+#define MC_CHECK_GE(a, b) MC_CHECK((a) >= (b))
+
+#endif  // MATCHCATCHER_UTIL_CHECK_H_

@@ -1,0 +1,116 @@
+#ifndef MATCHCATCHER_UTIL_FLAT_HASH_H_
+#define MATCHCATCHER_UTIL_FLAT_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mc {
+
+/// Minimal open-addressing hash map from uint64 keys to small values, used
+/// on the top-k join's hottest path (pair-state bookkeeping: hundreds of
+/// millions of probes per join on large inputs). Insert-only (no erase),
+/// linear probing, power-of-two capacity. ~3-4x faster than
+/// std::unordered_map for this access pattern because probes touch one
+/// cache line and no nodes are allocated.
+///
+/// The all-ones key (0xFFFF...F) is reserved as the empty sentinel; packed
+/// tuple-pair keys never reach it (tables are < 2^32 rows).
+template <typename V>
+class PairFlatMap {
+ public:
+  explicit PairFlatMap(size_t initial_capacity = 1024) {
+    size_t capacity = 64;
+    while (capacity < initial_capacity) capacity <<= 1;
+    keys_.assign(capacity, kEmpty);
+    values_.resize(capacity);
+  }
+
+  /// Pre-sizes the table for ~`expected` entries (no-op if already larger).
+  void Reserve(size_t expected) {
+    size_t capacity = keys_.size();
+    while (capacity * 7 < expected * 10) capacity <<= 1;
+    if (capacity == keys_.size()) return;
+    PairFlatMap<V> larger(capacity);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == kEmpty) continue;
+      bool inserted = false;
+      *larger.FindOrInsert(keys_[i], values_[i], &inserted) = values_[i];
+    }
+    *this = std::move(larger);
+  }
+
+  /// Returns a pointer to the value for `key`, inserting `initial` if the
+  /// key is new; sets *inserted accordingly. The pointer is valid until the
+  /// next FindOrInsert call (growth may reallocate).
+  V* FindOrInsert(uint64_t key, V initial, bool* inserted) {
+    MC_CHECK(key != kEmpty);
+    if ((size_ + 1) * 10 >= keys_.size() * 7) Grow();
+    size_t mask = keys_.size() - 1;
+    size_t slot = Mix(key) & mask;
+    while (true) {
+      if (keys_[slot] == key) {
+        *inserted = false;
+        return &values_[slot];
+      }
+      if (keys_[slot] == kEmpty) {
+        keys_[slot] = key;
+        values_[slot] = initial;
+        ++size_;
+        *inserted = true;
+        return &values_[slot];
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Returns the value pointer for `key`, or nullptr.
+  V* Find(uint64_t key) {
+    size_t mask = keys_.size() - 1;
+    size_t slot = Mix(key) & mask;
+    while (true) {
+      if (keys_[slot] == key) return &values_[slot];
+      if (keys_[slot] == kEmpty) return nullptr;
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  static size_t Mix(uint64_t key) {
+    uint64_t z = key + 0x9E3779B97f4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+
+  void Grow() {
+    // 4x growth while small (rehashing dominates insert cost on
+    // multi-million-entry joins), 2x once large (memory slack dominates).
+    const size_t factor = keys_.size() >= (size_t{1} << 22) ? 2 : 4;
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * factor, kEmpty);
+    values_.assign(old_keys.size() * factor, V{});
+    size_t mask = keys_.size() - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      size_t slot = Mix(old_keys[i]) & mask;
+      while (keys_[slot] != kEmpty) slot = (slot + 1) & mask;
+      keys_[slot] = old_keys[i];
+      values_[slot] = old_values[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  size_t size_ = 0;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_UTIL_FLAT_HASH_H_

@@ -1,0 +1,30 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace mc {
+
+size_t Rng::NextZipf(size_t n, double skew) {
+  MC_CHECK_GT(n, 0u);
+  if (n == 1) return 0;
+  // Inverse-CDF sampling against the (approximate) continuous Zipf CDF.
+  // Accuracy is unimportant here (synthetic-data realism only), so we use the
+  // integral approximation of the generalized harmonic number.
+  if (skew <= 0.0) return NextBelow(n);
+  const double u = NextDouble();
+  if (std::abs(skew - 1.0) < 1e-9) {
+    const double h = std::log(static_cast<double>(n) + 1.0);
+    const double x = std::exp(u * h) - 1.0;
+    size_t r = static_cast<size_t>(x);
+    return r < n ? r : n - 1;
+  }
+  const double one_minus = 1.0 - skew;
+  const double h = (std::pow(static_cast<double>(n) + 1.0, one_minus) - 1.0) /
+                   one_minus;
+  const double x =
+      std::pow(u * h * one_minus + 1.0, 1.0 / one_minus) - 1.0;
+  size_t r = static_cast<size_t>(x);
+  return r < n ? r : n - 1;
+}
+
+}  // namespace mc

@@ -1,0 +1,94 @@
+#ifndef MATCHCATCHER_UTIL_RANDOM_H_
+#define MATCHCATCHER_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mc {
+
+/// Deterministic, seedable PRNG (xoshiro256** seeded via splitmix64).
+/// Every randomized component in the library takes one of these explicitly so
+/// experiments are reproducible; nothing in the library uses global RNG state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound) {
+    MC_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    MC_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Derives an independent child generator; useful for giving each parallel
+  /// task its own deterministic stream.
+  Rng Fork() { return Rng(NextUint64()); }
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Zipf-like index in [0, n): rank r drawn with probability proportional to
+  /// 1 / (r + 1)^skew. Used by the data generator for realistic vocabularies.
+  size_t NextZipf(size_t n, double skew);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_UTIL_RANDOM_H_

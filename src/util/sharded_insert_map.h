@@ -1,0 +1,112 @@
+#ifndef MATCHCATCHER_UTIL_SHARDED_INSERT_MAP_H_
+#define MATCHCATCHER_UTIL_SHARDED_INSERT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mc {
+
+/// Insert-only concurrent hash map.
+///
+/// This is our stand-in for the "Atomic Unordered Hashmap" from Facebook's
+/// Folly package that the paper uses for the shared overlap databases H_g
+/// (§4.2): each write only ever *inserts* a value, never modifies or deletes
+/// one, so readers can safely hold pointers to values across concurrent
+/// inserts. We implement the same contract with shard-striped locks over
+/// node-based maps (std::unordered_map values are pointer-stable), which
+/// preserves the behaviour the paper relies on: concurrent insert + read with
+/// no dirty reads.
+///
+/// Values must not be mutated after insertion (except through the pointer
+/// returned by the inserting call itself, before it is shared).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedInsertMap {
+ public:
+  explicit ShardedInsertMap(size_t num_shards = 64)
+      : shards_(RoundUpToPowerOfTwo(num_shards)) {}
+
+  ShardedInsertMap(const ShardedInsertMap&) = delete;
+  ShardedInsertMap& operator=(const ShardedInsertMap&) = delete;
+
+  /// Inserts (key, value) if absent. Returns {pointer to stored value,
+  /// whether this call performed the insertion}.
+  std::pair<const V*, bool> Insert(const K& key, V value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.map.try_emplace(key, std::move(value));
+    return {&it->second, inserted};
+  }
+
+  /// Inserts the value produced by `factory()` if the key is absent; the
+  /// factory is only invoked on actual insertion (useful when constructing
+  /// the value is expensive).
+  template <typename Factory>
+  std::pair<const V*, bool> InsertWith(const K& key, Factory&& factory) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return {&it->second, false};
+    auto [new_it, inserted] = shard.map.emplace(key, factory());
+    return {&new_it->second, inserted};
+  }
+
+  /// Returns the stored value for `key`, or nullptr if absent. The returned
+  /// pointer remains valid for the lifetime of the map.
+  const V* Find(const K& key) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    return it == shard.map.end() ? nullptr : &it->second;
+  }
+
+  /// Total number of stored entries. Consistent only when no concurrent
+  /// inserts are in flight.
+  size_t Size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  /// Invokes `fn(key, value)` for every entry. Must not run concurrently
+  /// with inserts.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [key, value] : shard.map) fn(key, value);
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<K, V, Hash> map;
+  };
+
+  static size_t RoundUpToPowerOfTwo(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Shard& ShardFor(const K& key) {
+    return shards_[Hash{}(key)&(shards_.size() - 1)];
+  }
+  const Shard& ShardFor(const K& key) const {
+    return shards_[Hash{}(key)&(shards_.size() - 1)];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_UTIL_SHARDED_INSERT_MAP_H_

@@ -1,0 +1,32 @@
+#ifndef MATCHCATCHER_UTIL_STOPWATCH_H_
+#define MATCHCATCHER_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mc {
+
+/// Wall-clock timer used by the benchmark harnesses and the runtime columns
+/// of the experiment tables.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_UTIL_STOPWATCH_H_

@@ -1,0 +1,53 @@
+#ifndef MATCHCATCHER_UTIL_THREAD_POOL_H_
+#define MATCHCATCHER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mc {
+
+/// Fixed-size worker pool with a FIFO task queue. Used by the joint top-k
+/// executor ("one config per core", paper §4.2) and the QJoin q-value race.
+///
+/// Thread-safe: Submit() may be called from any thread, including from inside
+/// a running task. Wait() blocks until the queue is empty and all workers are
+/// idle. The destructor drains outstanding tasks before joining.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by running
+  /// tasks) has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_UTIL_THREAD_POOL_H_

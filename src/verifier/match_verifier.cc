@@ -1,0 +1,256 @@
+#include "verifier/match_verifier.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mc {
+
+MatchVerifier::MatchVerifier(std::vector<std::vector<ScoredPair>> lists,
+                             const PairFeatureExtractor* extractor,
+                             const VerifierOptions& options)
+    : options_(options),
+      aggregator_(std::move(lists), options.seed),
+      wmr_weights_(aggregator_.num_lists()),
+      extractor_(extractor) {
+  MC_CHECK(extractor_ != nullptr);
+  MC_CHECK_GT(options_.pairs_per_iteration, 0u);
+  medrank_order_ = aggregator_.MedRank();
+}
+
+const FeatureVector& MatchVerifier::Features(PairId pair) {
+  auto it = feature_cache_.find(pair);
+  if (it != feature_cache_.end()) return it->second;
+  return feature_cache_.emplace(pair, extractor_->Extract(pair))
+      .first->second;
+}
+
+bool MatchVerifier::HasBothClasses() const {
+  bool has_match = false, has_non_match = false;
+  for (const auto& [pair, label] : labels_) {
+    has_match |= label;
+    has_non_match |= !label;
+  }
+  return has_match && has_non_match;
+}
+
+void MatchVerifier::TrainForest() {
+  std::vector<FeatureVector> features;
+  std::vector<int> labels;
+  features.reserve(labeled_pairs_.size());
+  labels.reserve(labeled_pairs_.size());
+  for (PairId pair : labeled_pairs_) {
+    features.push_back(Features(pair));
+    labels.push_back(labels_.at(pair) ? 1 : 0);
+  }
+  ForestParams params = options_.forest;
+  // Deterministic but fresh randomness per retraining round.
+  params.seed = options_.seed * 1000003ULL + iteration_count_;
+  forest_ = RandomForest::Train(features, labels, params);
+}
+
+std::vector<PairId> MatchVerifier::TakeUnshownPrefix(
+    const std::vector<PairId>& order, size_t count) const {
+  std::vector<PairId> batch;
+  for (PairId pair : order) {
+    if (batch.size() == count) break;
+    if (shown_.count(pair) > 0) continue;
+    batch.push_back(pair);
+  }
+  return batch;
+}
+
+std::vector<PairId> MatchVerifier::SelectActiveBatch() {
+  // n/4 most controversial + 3n/4 highest-confidence unshown pairs.
+  const size_t n = options_.pairs_per_iteration;
+  const size_t controversial_count =
+      n / std::max<size_t>(1, options_.controversial_fraction_denominator);
+
+  struct Scored {
+    PairId pair;
+    double controversy;
+    double confidence;
+  };
+  std::vector<Scored> unshown;
+  for (PairId pair : aggregator_.items()) {
+    if (shown_.count(pair) > 0) continue;
+    const FeatureVector& features = Features(pair);
+    unshown.push_back(Scored{pair, forest_.Controversy(features),
+                             forest_.Confidence(features)});
+  }
+
+  std::vector<PairId> batch;
+  std::unordered_set<PairId, PairIdHash> taken;
+  std::sort(unshown.begin(), unshown.end(),
+            [](const Scored& x, const Scored& y) {
+              if (x.controversy != y.controversy) {
+                return x.controversy < y.controversy;
+              }
+              return x.pair < y.pair;
+            });
+  for (const Scored& entry : unshown) {
+    if (batch.size() == controversial_count) break;
+    batch.push_back(entry.pair);
+    taken.insert(entry.pair);
+  }
+  std::sort(unshown.begin(), unshown.end(),
+            [](const Scored& x, const Scored& y) {
+              if (x.confidence != y.confidence) {
+                return x.confidence > y.confidence;
+              }
+              return x.pair < y.pair;
+            });
+  for (const Scored& entry : unshown) {
+    if (batch.size() == n) break;
+    if (taken.count(entry.pair) > 0) continue;
+    batch.push_back(entry.pair);
+  }
+  return batch;
+}
+
+std::vector<PairId> MatchVerifier::SelectOnlineBatch() {
+  struct Scored {
+    PairId pair;
+    double confidence;
+  };
+  std::vector<Scored> unshown;
+  for (PairId pair : aggregator_.items()) {
+    if (shown_.count(pair) > 0) continue;
+    unshown.push_back(Scored{pair, forest_.Confidence(Features(pair))});
+  }
+  std::sort(unshown.begin(), unshown.end(),
+            [](const Scored& x, const Scored& y) {
+              if (x.confidence != y.confidence) {
+                return x.confidence > y.confidence;
+              }
+              return x.pair < y.pair;
+            });
+  std::vector<PairId> batch;
+  for (const Scored& entry : unshown) {
+    if (batch.size() == options_.pairs_per_iteration) break;
+    batch.push_back(entry.pair);
+  }
+  return batch;
+}
+
+std::vector<PairId> MatchVerifier::NextBatch() {
+  MC_CHECK(pending_batch_.empty())
+      << "SubmitLabels() must be called before the next batch";
+  if (shown_.size() >= aggregator_.items().size()) return {};  // Exhausted.
+
+  std::vector<PairId> batch;
+  if (!options_.use_learning) {
+    pending_phase_ = "wmr";
+    batch = TakeUnshownPrefix(
+        aggregator_.WeightedMedRank(wmr_weights_.weights()),
+        options_.pairs_per_iteration);
+  } else if (!HasBothClasses()) {
+    pending_phase_ = "medrank";
+    batch = TakeUnshownPrefix(medrank_order_, options_.pairs_per_iteration);
+  } else if (active_iterations_done_ < options_.active_learning_iterations) {
+    pending_phase_ = "active";
+    TrainForest();
+    batch = SelectActiveBatch();
+  } else {
+    pending_phase_ = "online";
+    TrainForest();
+    batch = SelectOnlineBatch();
+  }
+  pending_batch_ = batch;
+  return batch;
+}
+
+void MatchVerifier::SubmitLabels(
+    const std::vector<std::pair<PairId, bool>>& labels) {
+  MC_CHECK_EQ(labels.size(), pending_batch_.size());
+  CandidateSet new_matches;
+  for (const auto& [pair, is_match] : labels) {
+    shown_.insert(pair);
+    if (labels_.emplace(pair, is_match).second) {
+      labeled_pairs_.push_back(pair);
+    }
+    if (is_match) {
+      confirmed_.Add(pair);
+      new_matches.Add(pair);
+    }
+  }
+  if (pending_phase_ == "active") ++active_iterations_done_;
+  if (!options_.use_learning) {
+    wmr_weights_.Update(aggregator_, new_matches);
+  }
+
+  IterationTrace trace;
+  trace.phase = pending_phase_;
+  trace.shown = pending_batch_;
+  trace.new_matches = new_matches.size();
+  iterations_.push_back(std::move(trace));
+
+  consecutive_empty_ = new_matches.empty() ? consecutive_empty_ + 1 : 0;
+  ++iteration_count_;
+  pending_batch_.clear();
+}
+
+void MatchVerifier::PreloadLabels(
+    const std::vector<std::pair<PairId, bool>>& labels) {
+  MC_CHECK(pending_batch_.empty() && iteration_count_ == 0)
+      << "PreloadLabels must run before the first batch";
+  for (const auto& [pair, is_match] : labels) {
+    shown_.insert(pair);
+    if (labels_.emplace(pair, is_match).second) {
+      labeled_pairs_.push_back(pair);
+    }
+    if (is_match) confirmed_.Add(pair);
+  }
+}
+
+std::vector<std::pair<PairId, bool>> MatchVerifier::LabeledPairs() const {
+  std::vector<std::pair<PairId, bool>> labels;
+  labels.reserve(labeled_pairs_.size());
+  for (PairId pair : labeled_pairs_) {
+    labels.emplace_back(pair, labels_.at(pair));
+  }
+  return labels;
+}
+
+bool MatchVerifier::ShouldStop() const {
+  if (iteration_count_ >= options_.max_iterations) return true;
+  if (consecutive_empty_ >= options_.stop_after_empty_iterations) return true;
+  return shown_.size() >= aggregator_.items().size();
+}
+
+VerifierResult MatchVerifier::Run(UserOracle& oracle) {
+  while (!ShouldStop()) {
+    if (!RunOneIteration(oracle)) break;
+  }
+  return MakeResult();
+}
+
+VerifierResult MatchVerifier::RunIterations(UserOracle& oracle,
+                                            size_t iterations) {
+  for (size_t i = 0; i < iterations; ++i) {
+    if (!RunOneIteration(oracle)) break;
+  }
+  return MakeResult();
+}
+
+bool MatchVerifier::RunOneIteration(UserOracle& oracle) {
+  std::vector<PairId> batch = NextBatch();
+  if (batch.empty()) return false;
+  std::vector<std::pair<PairId, bool>> labels;
+  labels.reserve(batch.size());
+  for (PairId pair : batch) {
+    labels.emplace_back(pair, oracle.IsMatch(pair));
+  }
+  SubmitLabels(labels);
+  return true;
+}
+
+VerifierResult MatchVerifier::MakeResult() const {
+  VerifierResult result;
+  result.confirmed_matches = confirmed_;
+  result.iterations = iterations_;
+  result.pairs_shown = shown_.size();
+  return result;
+}
+
+}  // namespace mc

@@ -1,0 +1,151 @@
+#ifndef MATCHCATCHER_VERIFIER_MATCH_VERIFIER_H_
+#define MATCHCATCHER_VERIFIER_MATCH_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "blocking/candidate_set.h"
+#include "learn/features.h"
+#include "learn/random_forest.h"
+#include "rank/rank_aggregation.h"
+#include "ssj/topk_list.h"
+#include "verifier/user_oracle.h"
+
+namespace mc {
+
+/// Tuning knobs for the Match Verifier (paper §5).
+struct VerifierOptions {
+  /// n: pairs shown per iteration (paper: 20).
+  size_t pairs_per_iteration = 20;
+  /// Hybrid active-learning iterations before pure online learning
+  /// (paper: 3). The sensitivity bench sweeps this.
+  size_t active_learning_iterations = 3;
+  /// Natural stop: this many consecutive iterations with no new match.
+  size_t stop_after_empty_iterations = 2;
+  /// Hard ceiling on iterations (the synthetic-user experiments run to the
+  /// natural stop well before this).
+  size_t max_iterations = 500;
+  /// false = weighted-median-rank only (the §6.5 learning ablation
+  /// baseline); true = MedRank bootstrap + active/online random forest.
+  bool use_learning = true;
+  /// Of each active-learning batch, 1/controversial_fraction_denominator of
+  /// the pairs are the learner's most controversial picks (paper: n/4).
+  size_t controversial_fraction_denominator = 4;
+  uint64_t seed = 7;
+  ForestParams forest;
+};
+
+/// What happened in one verifier iteration.
+struct IterationTrace {
+  /// "medrank", "wmr", "active", or "online".
+  std::string phase;
+  std::vector<PairId> shown;
+  size_t new_matches = 0;
+};
+
+/// Outcome of a full verifier run.
+struct VerifierResult {
+  CandidateSet confirmed_matches;
+  std::vector<IterationTrace> iterations;
+  size_t pairs_shown = 0;
+
+  size_t num_iterations() const { return iterations.size(); }
+};
+
+/// The Match Verifier: aggregates per-config top-k lists, iteratively shows
+/// n pairs to the user, and reranks from the labels with WMR or
+/// active/online learning until the natural stopping point.
+///
+/// Protocol (paper §5): MedRank bootstrap until at least one match and one
+/// non-match are labeled; then `active_learning_iterations` hybrid rounds
+/// (n/4 most controversial + 3n/4 highest-confidence pairs); then pure
+/// online learning (top-n confidence, retraining on every batch); stop after
+/// `stop_after_empty_iterations` consecutive empty iterations.
+class MatchVerifier {
+ public:
+  /// `lists` are the per-config top-k lists (sorted by score descending);
+  /// `extractor` must outlive the verifier.
+  MatchVerifier(std::vector<std::vector<ScoredPair>> lists,
+                const PairFeatureExtractor* extractor,
+                const VerifierOptions& options);
+
+  /// Candidate set E (union of the lists).
+  const std::vector<PairId>& candidates() const {
+    return aggregator_.items();
+  }
+
+  /// Next batch of pairs to show, empty when the verifier is done.
+  std::vector<PairId> NextBatch();
+
+  /// Records the user's labels for the pairs of the last NextBatch().
+  void SubmitLabels(const std::vector<std::pair<PairId, bool>>& labels);
+
+  /// Restores labels from a previous sitting (see core/session_io.h):
+  /// marks the pairs as shown and labeled without consuming an iteration,
+  /// so the next batch continues where the saved session stopped. Must be
+  /// called before the first NextBatch().
+  void PreloadLabels(const std::vector<std::pair<PairId, bool>>& labels);
+
+  /// Every label accumulated so far, in labeling order — the payload for
+  /// SaveLabeledPairs.
+  std::vector<std::pair<PairId, bool>> LabeledPairs() const;
+
+  /// True once the stopping condition has been reached.
+  bool ShouldStop() const;
+
+  const CandidateSet& confirmed_matches() const { return confirmed_; }
+  const std::vector<IterationTrace>& iterations() const {
+    return iterations_;
+  }
+
+  /// Runs the full loop against `oracle` until the natural stop.
+  VerifierResult Run(UserOracle& oracle);
+
+  /// Convenience: runs exactly `iterations` iterations (or to exhaustion),
+  /// ignoring the natural stop — the Table 4 "first three iterations"
+  /// protocol.
+  VerifierResult RunIterations(UserOracle& oracle, size_t iterations);
+
+ private:
+  /// Shows one batch to `oracle` and records its labels; false when E is
+  /// exhausted.
+  bool RunOneIteration(UserOracle& oracle);
+  VerifierResult MakeResult() const;
+
+  enum class Phase { kBootstrap, kActive, kOnline, kWmrOnly };
+
+  const FeatureVector& Features(PairId pair);
+  void TrainForest();
+  std::vector<PairId> TakeUnshownPrefix(const std::vector<PairId>& order,
+                                        size_t count) const;
+  std::vector<PairId> SelectActiveBatch();
+  std::vector<PairId> SelectOnlineBatch();
+  bool HasBothClasses() const;
+
+  VerifierOptions options_;
+  RankAggregator aggregator_;
+  WmrWeights wmr_weights_;
+  const PairFeatureExtractor* extractor_;
+
+  std::unordered_map<PairId, FeatureVector, PairIdHash> feature_cache_;
+  std::unordered_set<PairId, PairIdHash> shown_;
+  std::vector<PairId> labeled_pairs_;  // In labeling order.
+  std::unordered_map<PairId, bool, PairIdHash> labels_;
+  CandidateSet confirmed_;
+
+  std::vector<PairId> medrank_order_;
+  RandomForest forest_;
+  size_t active_iterations_done_ = 0;
+  size_t consecutive_empty_ = 0;
+  size_t iteration_count_ = 0;
+  std::vector<IterationTrace> iterations_;
+  std::vector<PairId> pending_batch_;
+  std::string pending_phase_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_VERIFIER_MATCH_VERIFIER_H_

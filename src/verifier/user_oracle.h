@@ -1,0 +1,32 @@
+#ifndef MATCHCATCHER_VERIFIER_USER_ORACLE_H_
+#define MATCHCATCHER_VERIFIER_USER_ORACLE_H_
+
+#include "blocking/candidate_set.h"
+#include "blocking/pair.h"
+
+namespace mc {
+
+/// The user in the Match Verifier loop: labels a presented pair as a true
+/// match or not. Production use wires this to a UI; experiments use
+/// GoldOracle, the paper's "synthetic users, whom we assume can identify the
+/// true matches accurately" (§6.1).
+class UserOracle {
+ public:
+  virtual ~UserOracle() = default;
+  virtual bool IsMatch(PairId pair) = 0;
+};
+
+/// Labels from a gold match set.
+class GoldOracle : public UserOracle {
+ public:
+  explicit GoldOracle(const CandidateSet* gold) : gold_(gold) {}
+
+  bool IsMatch(PairId pair) override { return gold_->Contains(pair); }
+
+ private:
+  const CandidateSet* gold_;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_VERIFIER_USER_ORACLE_H_

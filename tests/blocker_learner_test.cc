@@ -1,0 +1,96 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/blocker_learner.h"
+#include "blocking/metrics.h"
+#include "datagen/generator.h"
+#include "util/random.h"
+
+namespace mc {
+namespace {
+
+std::vector<std::pair<PairId, bool>> MakeSample(
+    const datagen::GeneratedDataset& dataset, size_t positives,
+    size_t negatives, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<PairId, bool>> sample;
+  std::vector<PairId> gold = dataset.gold.SortedPairs();
+  rng.Shuffle(gold);
+  for (size_t i = 0; i < positives && i < gold.size(); ++i) {
+    sample.emplace_back(gold[i], true);
+  }
+  while (sample.size() < positives + negatives) {
+    PairId pair = MakePairId(
+        static_cast<RowId>(rng.NextBelow(dataset.table_a.num_rows())),
+        static_cast<RowId>(rng.NextBelow(dataset.table_b.num_rows())));
+    if (dataset.gold.Contains(pair)) continue;
+    sample.emplace_back(pair, false);
+  }
+  return sample;
+}
+
+TEST(BlockerLearnerTest, LearnsSelectiveHighRecallBlocker) {
+  datagen::GeneratedDataset dataset = datagen::GenerateFodorsZagats();
+  auto sample = MakeSample(dataset, 60, 300, 11);
+  BlockerLearnerOptions options;
+  options.max_rule_negative_rate = 0.05;
+  Result<LearnedBlocker> learned =
+      LearnBlocker(dataset.table_a, dataset.table_b, sample, options);
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_GE(learned->sample_recall, 0.9);
+  EXPECT_LE(learned->sample_negative_rate, 0.3);
+
+  // The learned blocker must generalize: decent true recall, far more
+  // selective than the cross product.
+  CandidateSet c = learned->blocker->Run(dataset.table_a, dataset.table_b);
+  BlockerMetrics metrics =
+      EvaluateBlocking(c, dataset.gold, dataset.table_a.num_rows(),
+                       dataset.table_b.num_rows());
+  EXPECT_GE(metrics.recall, 0.7);
+  EXPECT_LE(metrics.selectivity, 0.3);
+}
+
+TEST(BlockerLearnerTest, SampleRecallUsuallyOverstatesTrueRecall) {
+  // The §6.2 premise: blockers learned on samples look better on the
+  // sample than on the full tables (sampling flukes). We only require that
+  // the learner reports a consistent pair of numbers.
+  datagen::GeneratedDataset dataset = datagen::GenerateAcmDblp(
+      datagen::ScaleDims(datagen::kDimsAcmDblp, 0.3));
+  auto sample = MakeSample(dataset, 80, 400, 13);
+  Result<LearnedBlocker> learned =
+      LearnBlocker(dataset.table_a, dataset.table_b, sample);
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_GT(learned->sample_recall, 0.0);
+  EXPECT_LE(learned->sample_recall, 1.0);
+  EXPECT_FALSE(learned->blocker->rules().empty());
+  EXPECT_LE(learned->blocker->rules().size(), 5u);
+}
+
+TEST(BlockerLearnerTest, ErrorsOnDegenerateSamples) {
+  datagen::GeneratedDataset dataset = datagen::GenerateFodorsZagats(
+      datagen::ScaleDims(datagen::kDimsFodorsZagats, 0.2));
+  EXPECT_FALSE(LearnBlocker(dataset.table_a, dataset.table_b, {}).ok());
+  std::vector<std::pair<PairId, bool>> negatives_only{
+      {MakePairId(0, 0), false}, {MakePairId(1, 1), false}};
+  EXPECT_FALSE(
+      LearnBlocker(dataset.table_a, dataset.table_b, negatives_only).ok());
+}
+
+TEST(BlockerLearnerTest, RespectsRuleBudget) {
+  datagen::GeneratedDataset dataset = datagen::GenerateFodorsZagats();
+  auto sample = MakeSample(dataset, 60, 200, 17);
+  BlockerLearnerOptions options;
+  options.max_rules = 2;
+  options.max_conjuncts = 1;
+  Result<LearnedBlocker> learned =
+      LearnBlocker(dataset.table_a, dataset.table_b, sample, options);
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_LE(learned->blocker->rules().size(), 2u);
+  for (const ConjunctiveRule& rule : learned->blocker->rules()) {
+    EXPECT_EQ(rule.predicates().size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mc

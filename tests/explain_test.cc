@@ -1,0 +1,194 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/rule_blocker.h"
+#include "blocking/standard_blockers.h"
+#include "explain/blame.h"
+#include "explain/diagnosis.h"
+#include "explain/summary.h"
+#include "table/table.h"
+
+namespace mc {
+namespace {
+
+std::pair<Table, Table> DiagnosisTables() {
+  Schema schema({{"name", AttributeType::kString},
+                 {"city", AttributeType::kString},
+                 {"price", AttributeType::kNumeric}});
+  Table a(schema), b(schema);
+  // Row 0: clean match.
+  a.AddRow({"dave smith", "atlanta", "10"});
+  b.AddRow({"dave smith", "atlanta", "10"});
+  // Row 1: misspelled name.
+  a.AddRow({"joe welson", "boston", "10"});
+  b.AddRow({"joe wilson", "boston", "10"});
+  // Row 2: extra words (subtitle-style).
+  a.AddRow({"fast query processing", "denver", "10"});
+  b.AddRow({"fast query processing a new approach", "denver", "10"});
+  // Row 3: missing city, numeric difference.
+  a.AddRow({"anna lee", "", "10"});
+  b.AddRow({"anna lee", "chicago", "25"});
+  // Row 4: case jumble.
+  a.AddRow({"love song", "miami", "10"});
+  b.AddRow({"LoVe SONG", "miami", "10"});
+  // Row 5: total disagreement.
+  a.AddRow({"alpha beta", "seattle", "10"});
+  b.AddRow({"gamma delta", "seattle", "10"});
+  return {std::move(a), std::move(b)};
+}
+
+ProblemKind KindOf(const std::vector<AttributeDiagnosis>& diagnosis,
+                   size_t column) {
+  for (const AttributeDiagnosis& entry : diagnosis) {
+    if (entry.column == column) return entry.kind;
+  }
+  return ProblemKind::kNone;
+}
+
+TEST(DiagnosisTest, ClassifiesProblems) {
+  auto [a, b] = DiagnosisTables();
+  EXPECT_EQ(KindOf(DiagnosePair(a, b, MakePairId(0, 0)), 0),
+            ProblemKind::kNone);
+  EXPECT_EQ(KindOf(DiagnosePair(a, b, MakePairId(1, 1)), 0),
+            ProblemKind::kMisspelling);
+  EXPECT_EQ(KindOf(DiagnosePair(a, b, MakePairId(2, 2)), 0),
+            ProblemKind::kExtraWords);
+  EXPECT_EQ(KindOf(DiagnosePair(a, b, MakePairId(3, 3)), 1),
+            ProblemKind::kMissingValue);
+  EXPECT_EQ(KindOf(DiagnosePair(a, b, MakePairId(3, 3)), 2),
+            ProblemKind::kNumericDifference);
+  EXPECT_EQ(KindOf(DiagnosePair(a, b, MakePairId(4, 4)), 0),
+            ProblemKind::kCaseMismatch);
+  EXPECT_EQ(KindOf(DiagnosePair(a, b, MakePairId(5, 5)), 0),
+            ProblemKind::kValueDisagreement);
+}
+
+TEST(DiagnosisTest, SignatureListsOnlyProblems) {
+  auto [a, b] = DiagnosisTables();
+  auto signature = ProblemSignature(DiagnosePair(a, b, MakePairId(3, 3)));
+  ASSERT_EQ(signature.size(), 2u);
+  EXPECT_EQ(signature[0].first, 1u);  // city missing.
+  EXPECT_EQ(signature[1].first, 2u);  // price difference.
+  EXPECT_TRUE(ProblemSignature(DiagnosePair(a, b, MakePairId(0, 0))).empty());
+}
+
+TEST(DiagnosisTest, RenderMentionsValuesAndProblems) {
+  auto [a, b] = DiagnosisTables();
+  PairId pair = MakePairId(1, 1);
+  std::string text = RenderDiagnosis(a, b, pair, DiagnosePair(a, b, pair));
+  EXPECT_NE(text.find("welson"), std::string::npos);
+  EXPECT_NE(text.find("wilson"), std::string::npos);
+  EXPECT_NE(text.find("misspelling"), std::string::npos);
+}
+
+TEST(DiagnosisTest, BothMissingIsNoEvidence) {
+  Schema schema({{"x", AttributeType::kString}});
+  Table a(schema), b(schema);
+  a.AddRow({""});
+  b.AddRow({""});
+  EXPECT_EQ(KindOf(DiagnosePair(a, b, MakePairId(0, 0)), 0),
+            ProblemKind::kNone);
+}
+
+TEST(SummaryTest, GroupsSortedByPervasiveness) {
+  auto [a, b] = DiagnosisTables();
+  // Three pairs with a name problem, one with a city problem.
+  std::vector<PairId> pairs{MakePairId(1, 1), MakePairId(2, 2),
+                            MakePairId(5, 5), MakePairId(3, 3)};
+  std::vector<ProblemGroup> groups = SummarizeProblems(a, b, pairs);
+  ASSERT_FALSE(groups.empty());
+  for (size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_GE(groups[i - 1].count(), groups[i].count());
+  }
+  // Every group references pairs that actually exhibit it.
+  for (const ProblemGroup& group : groups) {
+    for (PairId pair : group.pairs) {
+      EXPECT_EQ(KindOf(DiagnosePair(a, b, pair), group.column), group.kind);
+    }
+  }
+  std::string rendered = RenderProblemSummary(a, b, groups);
+  EXPECT_NE(rendered.find("problem summary"), std::string::npos);
+}
+
+TEST(SummaryTest, FindSimilarlyKilledPairs) {
+  auto [a, b] = DiagnosisTables();
+  std::vector<PairId> pairs{MakePairId(0, 0), MakePairId(1, 1),
+                            MakePairId(2, 2), MakePairId(3, 3)};
+  // Reference: the misspelled-name pair; only it shares that signature.
+  std::vector<PairId> similar =
+      FindSimilarlyKilledPairs(a, b, pairs, MakePairId(1, 1));
+  ASSERT_EQ(similar.size(), 1u);
+  EXPECT_EQ(similar[0], MakePairId(1, 1));
+  // Reference: the clean pair matches every no-problem pair.
+  std::vector<PairId> clean =
+      FindSimilarlyKilledPairs(a, b, pairs, MakePairId(0, 0));
+  EXPECT_EQ(clean.size(), 1u);
+}
+
+TEST(BlameTest, UnionAndRuleBreakdown) {
+  auto [a, b] = DiagnosisTables();
+  // Union of city equality and a rule with two conjuncts.
+  ConjunctiveRule rule({
+      std::make_shared<SetSimilarityPredicate>(0, TokenizerSpec::Word(),
+                                               SetMeasure::kJaccard, 0.9),
+      std::make_shared<NumericDiffPredicate>(2, 1.0),
+  });
+  UnionBlocker blocker({
+      HashBlocker::AttributeEquivalence(1),
+      std::make_shared<RuleBlocker>(std::vector<ConjunctiveRule>{rule}),
+  });
+
+  // Pair (3,3): city missing on one side -> hash rejects; rule fails both
+  // the price conjunct (10 vs 25). Name matches, so the jaccard conjunct
+  // holds.
+  std::string report = ExplainKill(blocker, a, b, MakePairId(3, 3));
+  EXPECT_NE(report.find("KILLED"), std::string::npos);
+  EXPECT_NE(report.find("a.city = b.city rejects"), std::string::npos);
+  EXPECT_NE(report.find("absdiff(price) <= 1"), std::string::npos);
+  // The satisfied conjunct must NOT be listed among failing ones.
+  EXPECT_EQ(report.find("jaccard_word(name) >= 0.9\n"), std::string::npos);
+
+  // A kept pair reports KEPT.
+  std::string kept = ExplainKill(blocker, a, b, MakePairId(0, 0));
+  EXPECT_NE(kept.find("KEPT"), std::string::npos);
+}
+
+TEST(BlameTest, NonDecomposableBlockerSaysSo) {
+  auto [a, b] = DiagnosisTables();
+  SortedNeighborhoodBlocker blocker(
+      KeyFunction(KeyFunction::Kind::kFullValue, 0), 3);
+  std::string report = ExplainKill(blocker, a, b, MakePairId(0, 0));
+  EXPECT_NE(report.find("not pair-decomposable"), std::string::npos);
+}
+
+TEST(KeepsPairTest, AgreesWithRunMembership) {
+  auto [a, b] = DiagnosisTables();
+  std::vector<std::shared_ptr<const Blocker>> blockers{
+      HashBlocker::AttributeEquivalence(1),
+      std::make_shared<SimilarityBlocker>(0, TokenizerSpec::Word(),
+                                          SetMeasure::kJaccard, 0.5),
+      std::make_shared<OverlapBlocker>(0, TokenizerSpec::Word(), 2),
+      std::make_shared<EditDistanceBlocker>(
+          KeyFunction(KeyFunction::Kind::kLastWord, 0), 1),
+      std::make_shared<PhoneticBlocker>(0),
+  };
+  for (const auto& blocker : blockers) {
+    CandidateSet c = blocker->Run(a, b);
+    for (size_t ra = 0; ra < a.num_rows(); ++ra) {
+      for (size_t rb = 0; rb < b.num_rows(); ++rb) {
+        std::optional<bool> keeps = blocker->KeepsPair(a, ra, b, rb);
+        ASSERT_TRUE(keeps.has_value());
+        EXPECT_EQ(*keeps, c.Contains(static_cast<RowId>(ra),
+                                     static_cast<RowId>(rb)))
+            << blocker->Description(a.schema()) << " (" << ra << "," << rb
+            << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mc

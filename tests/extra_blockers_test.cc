@@ -1,0 +1,130 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "blocking/canopy_blocker.h"
+#include "blocking/metrics.h"
+#include "blocking/suffix_array_blocker.h"
+#include "datagen/generator.h"
+#include "table/table.h"
+
+namespace mc {
+namespace {
+
+std::pair<Table, Table> NameTables() {
+  Schema schema({{"name", AttributeType::kString}});
+  Table a(schema), b(schema);
+  a.AddRow({"dave smith atlanta"});     // a0
+  a.AddRow({"charles williams chicago"});  // a1
+  a.AddRow({"completely different words"});  // a2
+  a.AddRow({""});                       // a3 (missing)
+  b.AddRow({"david smith atlanta"});    // b0
+  b.AddRow({"charles williams chicago"});  // b1
+  b.AddRow({"unrelated tokens here"});  // b2
+  return {std::move(a), std::move(b)};
+}
+
+TEST(CanopyBlockerTest, GroupsSimilarTuples) {
+  auto [a, b] = NameTables();
+  CanopyBlocker blocker(0, TokenizerSpec::Word(), /*loose=*/0.3,
+                        /*tight=*/0.8);
+  CandidateSet c = blocker.Run(a, b);
+  // a0-b0 share {smith, atlanta} (jaccard 0.5): same canopy.
+  EXPECT_TRUE(c.Contains(0, 0));
+  // Identical tuples must share a canopy.
+  EXPECT_TRUE(c.Contains(1, 1));
+  // Disjoint token sets can never share a canopy.
+  EXPECT_FALSE(c.Contains(0, 2));
+  EXPECT_FALSE(c.Contains(2, 0));
+}
+
+TEST(CanopyBlockerTest, DeterministicForFixedSeed) {
+  auto [a, b] = NameTables();
+  CanopyBlocker x(0, TokenizerSpec::Word(), 0.3, 0.8, 99);
+  CanopyBlocker y(0, TokenizerSpec::Word(), 0.3, 0.8, 99);
+  CandidateSet cx = x.Run(a, b);
+  CandidateSet cy = y.Run(a, b);
+  EXPECT_EQ(cx.size(), cy.size());
+  for (PairId pair : cx) EXPECT_TRUE(cy.Contains(pair));
+}
+
+TEST(CanopyBlockerTest, LooseThresholdControlsSize) {
+  datagen::GeneratedDataset dataset = datagen::GenerateFodorsZagats(
+      datagen::ScaleDims(datagen::kDimsFodorsZagats, 0.5));
+  size_t name_col = dataset.table_a.schema().RequireIndexOf("name");
+  CanopyBlocker loose(name_col, TokenizerSpec::Word(), 0.2, 0.9);
+  CanopyBlocker strict(name_col, TokenizerSpec::Word(), 0.6, 0.9);
+  CandidateSet c_loose = loose.Run(dataset.table_a, dataset.table_b);
+  CandidateSet c_strict = strict.Run(dataset.table_a, dataset.table_b);
+  EXPECT_GT(c_loose.size(), c_strict.size());
+}
+
+TEST(CanopyBlockerTest, Description) {
+  Schema schema({{"name", AttributeType::kString}});
+  CanopyBlocker blocker(0, TokenizerSpec::Word(), 0.3, 0.8);
+  EXPECT_NE(blocker.Description(schema).find("canopy_word(name"),
+            std::string::npos);
+}
+
+TEST(SuffixArrayBlockerTest, SharedSuffixSurvives) {
+  Schema schema({{"name", AttributeType::kString}});
+  Table a(schema), b(schema);
+  a.AddRow({"katherine"});
+  a.AddRow({"william"});
+  b.AddRow({"catherine"});  // Shares suffix "atherine".
+  b.AddRow({"xyz"});
+  SuffixArrayBlocker blocker(KeyFunction(KeyFunction::Kind::kFullValue, 0),
+                             /*min_suffix_length=*/5, /*max_block_size=*/50);
+  CandidateSet c = blocker.Run(a, b);
+  EXPECT_TRUE(c.Contains(0, 0));
+  EXPECT_FALSE(c.Contains(1, 1));
+  EXPECT_FALSE(c.Contains(1, 0));
+}
+
+TEST(SuffixArrayBlockerTest, ShortKeysNeverBlock) {
+  Schema schema({{"name", AttributeType::kString}});
+  Table a(schema), b(schema);
+  a.AddRow({"abc"});
+  b.AddRow({"abc"});
+  SuffixArrayBlocker blocker(KeyFunction(KeyFunction::Kind::kFullValue, 0),
+                             5, 50);
+  EXPECT_EQ(blocker.Run(a, b).size(), 0u);
+}
+
+TEST(SuffixArrayBlockerTest, OversizedBlocksDropped) {
+  Schema schema({{"name", AttributeType::kString}});
+  Table a(schema), b(schema);
+  // Ten identical keys: the full-key block has 20 members.
+  for (int i = 0; i < 10; ++i) {
+    a.AddRow({"samesuffix"});
+    b.AddRow({"samesuffix"});
+  }
+  SuffixArrayBlocker small_blocks(
+      KeyFunction(KeyFunction::Kind::kFullValue, 0), 5,
+      /*max_block_size=*/10);
+  EXPECT_EQ(small_blocks.Run(a, b).size(), 0u);
+  SuffixArrayBlocker big_blocks(
+      KeyFunction(KeyFunction::Kind::kFullValue, 0), 5,
+      /*max_block_size=*/100);
+  EXPECT_EQ(big_blocks.Run(a, b).size(), 100u);
+}
+
+TEST(SuffixArrayBlockerTest, RecallOnDirtyNames) {
+  // Suffix blocking tolerates prefix corruption (e.g. dropped first word).
+  datagen::GeneratedDataset dataset = datagen::GenerateFodorsZagats(
+      datagen::ScaleDims(datagen::kDimsFodorsZagats, 0.5));
+  size_t phone_col = dataset.table_a.schema().RequireIndexOf("phone");
+  SuffixArrayBlocker blocker(
+      KeyFunction(KeyFunction::Kind::kFullValue, phone_col), 6, 100);
+  CandidateSet c = blocker.Run(dataset.table_a, dataset.table_b);
+  BlockerMetrics metrics =
+      EvaluateBlocking(c, dataset.gold, dataset.table_a.num_rows(),
+                       dataset.table_b.num_rows());
+  // Phones are rarely corrupted, and suffix blocking also survives the
+  // "(415) 555 1234" reformatting for the shared numeric tail.
+  EXPECT_GT(metrics.recall, 0.8);
+}
+
+}  // namespace
+}  // namespace mc

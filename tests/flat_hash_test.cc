@@ -1,0 +1,84 @@
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "util/flat_hash.h"
+#include "util/random.h"
+
+namespace mc {
+namespace {
+
+TEST(PairFlatMapTest, InsertAndFind) {
+  PairFlatMap<uint32_t> map;
+  bool inserted = false;
+  uint32_t* value = map.FindOrInsert(42, 7, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*value, 7u);
+  ++*value;
+  uint32_t* again = map.FindOrInsert(42, 99, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*again, 8u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(42), 8u);
+  EXPECT_EQ(map.Find(43), nullptr);
+}
+
+TEST(PairFlatMapTest, GrowthPreservesEntries) {
+  PairFlatMap<uint32_t> map(64);
+  Rng rng(5);
+  std::unordered_map<uint64_t, uint32_t> reference;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key = rng.NextBelow(20000);
+    bool inserted = false;
+    uint32_t* value = map.FindOrInsert(key, 0, &inserted);
+    ++*value;
+    ++reference[key];
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, count] : reference) {
+    ASSERT_NE(map.Find(key), nullptr) << key;
+    EXPECT_EQ(*map.Find(key), count) << key;
+  }
+}
+
+TEST(PairFlatMapTest, ReservePreservesEntries) {
+  PairFlatMap<int> map(64);
+  bool inserted = false;
+  for (uint64_t key = 0; key < 10; ++key) {
+    *map.FindOrInsert(key, static_cast<int>(key * 3), &inserted) =
+        static_cast<int>(key * 3);
+  }
+  map.Reserve(1 << 14);
+  EXPECT_EQ(map.size(), 10u);
+  for (uint64_t key = 0; key < 10; ++key) {
+    ASSERT_NE(map.Find(key), nullptr);
+    EXPECT_EQ(*map.Find(key), static_cast<int>(key * 3));
+  }
+}
+
+TEST(PairFlatMapTest, ZeroKeyWorks) {
+  // Key 0 (pair (0,0)) must be storable — only the all-ones key is
+  // reserved.
+  PairFlatMap<uint32_t> map;
+  bool inserted = false;
+  map.FindOrInsert(0, 5, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*map.Find(0), 5u);
+}
+
+TEST(PairFlatMapTest, CollidingKeysAllStored) {
+  // Keys chosen to collide in a tiny table exercise linear probing.
+  PairFlatMap<uint32_t> map(64);
+  bool inserted = false;
+  for (uint64_t i = 0; i < 40; ++i) {
+    map.FindOrInsert(i << 32, static_cast<uint32_t>(i), &inserted);
+  }
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_NE(map.Find(i << 32), nullptr);
+    EXPECT_EQ(*map.Find(i << 32), static_cast<uint32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,275 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/config_generator.h"
+#include "joint/caching_scorer.h"
+#include "joint/joint_executor.h"
+#include "joint/overlap_cache.h"
+#include "ssj/corpus.h"
+#include "ssj/topk_join.h"
+#include "table/table.h"
+#include "util/random.h"
+
+namespace mc {
+namespace {
+
+TEST(OverlapCacheTest, ComputeSharedAndFilter) {
+  Schema schema({{"name", AttributeType::kString},
+                 {"city", AttributeType::kString}});
+  Table a(schema), b(schema);
+  a.AddRow({"jim madison", "smithville"});
+  b.AddRow({"jim smithville", "madison"});
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1});
+  CachedOverlap shared = OverlapCache::ComputeShared(corpus.tuples_a()[0],
+                                                     corpus.tuples_b()[0]);
+  EXPECT_EQ(shared.size(), 3u);  // jim, madison, smithville.
+  EXPECT_EQ(OverlapCache::OverlapUnder(shared, 0b11), 3u);
+  EXPECT_EQ(OverlapCache::OverlapUnder(shared, 0b01), 1u);
+  EXPECT_EQ(OverlapCache::OverlapUnder(shared, 0b10), 0u);
+}
+
+TEST(OverlapCacheTest, InsertFindRoundTrip) {
+  OverlapCache cache;
+  EXPECT_EQ(cache.Find(MakePairId(1, 2)), nullptr);
+  CachedOverlap overlap{{0b01, 0b10}};
+  const CachedOverlap* stored = cache.Insert(MakePairId(1, 2), overlap);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(cache.Find(MakePairId(1, 2)), stored);
+  EXPECT_EQ(cache.Size(), 1u);
+}
+
+TEST(CachingScorerTest, AgreesWithDirectScorer) {
+  Rng rng(42);
+  Schema schema({{"name", AttributeType::kString},
+                 {"desc", AttributeType::kString}});
+  Table a(schema), b(schema);
+  for (int i = 0; i < 30; ++i) {
+    std::string name = "name" + std::to_string(rng.NextBelow(10)) + " token" +
+                       std::to_string(rng.NextBelow(5));
+    std::string desc = "d" + std::to_string(rng.NextBelow(8)) + " d" +
+                       std::to_string(rng.NextBelow(8));
+    a.AddRow({name, desc});
+    b.AddRow({name + " extra", desc});
+  }
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1});
+  for (ConfigMask config : {0b11u, 0b01u, 0b10u}) {
+    ConfigView view = corpus.MakeConfigView(config);
+    DirectPairScorer direct(&view, SetMeasure::kJaccard);
+    OverlapCache cache;
+    CachingPairScorer caching(&corpus, &view, config, SetMeasure::kJaccard,
+                              &cache, true);
+    for (RowId i = 0; i < 30; ++i) {
+      for (RowId j = 0; j < 30; j += 7) {
+        EXPECT_NEAR(caching.Score(i, j), direct.Score(i, j), 1e-12)
+            << "config " << config;
+      }
+    }
+  }
+}
+
+TEST(CachingScorerTest, SecondConfigHitsCache) {
+  Schema schema({{"name", AttributeType::kString},
+                 {"city", AttributeType::kString}});
+  Table a(schema), b(schema);
+  a.AddRow({"dave smith", "atlanta"});
+  b.AddRow({"david smith", "atlanta"});
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1});
+  OverlapCache cache;
+
+  ConfigView view_root = corpus.MakeConfigView(0b11);
+  CachingPairScorer root(&corpus, &view_root, 0b11, SetMeasure::kJaccard,
+                         &cache, true);
+  root.Score(0, 0);
+  EXPECT_EQ(root.cache_misses(), 1u);
+  // Only pairs kept in a top-k list are published to the cache.
+  EXPECT_EQ(cache.Size(), 0u);
+  root.NoteKept(0, 0);
+  EXPECT_EQ(cache.Size(), 1u);
+
+  ConfigView view_child = corpus.MakeConfigView(0b01);
+  CachingPairScorer child(&corpus, &view_child, 0b01, SetMeasure::kJaccard,
+                          &cache, true);
+  double score = child.Score(0, 0);
+  EXPECT_EQ(child.cache_hits(), 1u);
+  EXPECT_EQ(child.cache_misses(), 0u);
+  // {dave, smith} vs {david, smith} -> 1/3.
+  EXPECT_NEAR(score, 1.0 / 3.0, 1e-12);
+}
+
+// --------------------------------------------------------------------------
+// Joint execution: Theorem 4.2 — joint result per config equals the
+// independent per-config QJoin (and brute force), for every reuse mode and
+// thread count.
+// --------------------------------------------------------------------------
+
+std::pair<Table, Table> RandomThreeAttrTables(Rng& rng, size_t rows) {
+  Schema schema({{"name", AttributeType::kString},
+                 {"city", AttributeType::kString},
+                 {"desc", AttributeType::kString}});
+  Table a(schema), b(schema);
+  auto word = [&](const char* prefix, size_t vocab) {
+    return std::string(prefix) + std::to_string(rng.NextZipf(vocab, 0.7));
+  };
+  auto make_row = [&](Table& table) {
+    std::string name = word("n", 30) + " " + word("n", 30);
+    std::string city = word("c", 10);
+    std::string desc;
+    size_t len = rng.NextBelow(6);
+    for (size_t i = 0; i < len; ++i) {
+      if (i > 0) desc += ' ';
+      desc += word("d", 40);
+    }
+    if (rng.NextBool(0.1)) name = "";
+    if (rng.NextBool(0.2)) city = "";
+    table.AddRow({name, city, desc});
+  };
+  for (size_t i = 0; i < rows; ++i) make_row(a);
+  for (size_t i = 0; i < rows; ++i) make_row(b);
+  return {std::move(a), std::move(b)};
+}
+
+struct JointModes {
+  bool reuse_overlaps;
+  bool reuse_topk;
+  size_t threads;
+};
+
+class JointEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(JointEquivalenceTest, JointEqualsIndependentPerConfig) {
+  auto [seed, mode_index] = GetParam();
+  const JointModes kModes[] = {
+      {false, false, 1}, {true, false, 1},  {false, true, 1},
+      {true, true, 1},   {true, true, 4},   {false, false, 4},
+  };
+  const JointModes mode = kModes[mode_index];
+
+  Rng rng(seed);
+  auto [a, b] = RandomThreeAttrTables(rng, 50);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1, 2});
+
+  PromisingAttributes attrs;
+  attrs.columns = {0, 1, 2};
+  attrs.e_scores = {0.9, 0.4, 0.6};
+  attrs.avg_len_a = {2, 1, 3};
+  attrs.avg_len_b = {2, 1, 3};
+  ConfigTree tree = GenerateConfigTree(attrs);
+  ASSERT_EQ(tree.size(), 6u);
+
+  // A small exclusion set to exercise the C-filter.
+  CandidateSet exclude;
+  for (RowId i = 0; i < 20; ++i) exclude.Add(i, i);
+
+  JointOptions options;
+  options.k = 25;
+  options.q = 1;
+  options.exclude = &exclude;
+  options.reuse_overlaps = mode.reuse_overlaps;
+  options.reuse_topk = mode.reuse_topk;
+  options.reuse_min_avg_tokens = 0.0;  // Force the cache on when enabled.
+  options.num_threads = mode.threads;
+
+  JointResult joint = RunJointTopKJoins(corpus, tree, options);
+  ASSERT_EQ(joint.per_config.size(), tree.size());
+
+  for (size_t i = 0; i < tree.size(); ++i) {
+    ConfigView view = corpus.MakeConfigView(tree.nodes[i].mask);
+    TopKList brute =
+        BruteForceTopK(view, options.k, options.measure, &exclude);
+    std::vector<ScoredPair> expected = brute.SortedDescending();
+    const std::vector<ScoredPair>& got = joint.per_config[i].topk;
+    ASSERT_EQ(got.size(), expected.size())
+        << "config node " << i << " mask " << tree.nodes[i].mask;
+    DirectPairScorer scorer(&view, options.measure);
+    for (size_t r = 0; r < got.size(); ++r) {
+      EXPECT_NEAR(got[r].score, expected[r].score, 1e-12)
+          << "node " << i << " rank " << r;
+      EXPECT_NEAR(got[r].score,
+                  scorer.Score(PairRowA(got[r].pair), PairRowB(got[r].pair)),
+                  1e-12);
+      EXPECT_FALSE(exclude.Contains(got[r].pair));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, JointEquivalenceTest,
+    ::testing::Combine(::testing::Values(101, 202),
+                       ::testing::Values(0, 1, 2, 3, 4, 5)));
+
+TEST(JointExecutorTest, ReportsReuseActivation) {
+  Rng rng(77);
+  auto [a, b] = RandomThreeAttrTables(rng, 30);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1, 2});
+  PromisingAttributes attrs;
+  attrs.columns = {0, 1, 2};
+  attrs.e_scores = {0.9, 0.4, 0.6};
+  attrs.avg_len_a = {2, 1, 3};
+  attrs.avg_len_b = {2, 1, 3};
+  ConfigTree tree = GenerateConfigTree(attrs);
+
+  JointOptions options;
+  options.k = 10;
+  options.num_threads = 1;
+  options.reuse_min_avg_tokens = 1000.0;  // Never triggers.
+  JointResult no_reuse = RunJointTopKJoins(corpus, tree, options);
+  EXPECT_FALSE(no_reuse.overlap_reuse_active);
+
+  options.reuse_min_avg_tokens = 0.0;
+  JointResult with_reuse = RunJointTopKJoins(corpus, tree, options);
+  EXPECT_TRUE(with_reuse.overlap_reuse_active);
+  // Some child config must have hit the cache.
+  size_t total_hits = 0;
+  for (const auto& config : with_reuse.per_config) {
+    total_hits += config.cache_hits;
+  }
+  EXPECT_GT(total_hits, 0u);
+}
+
+TEST(JointExecutorTest, SequentialChildrenAreSeeded) {
+  Rng rng(88);
+  auto [a, b] = RandomThreeAttrTables(rng, 30);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1, 2});
+  PromisingAttributes attrs;
+  attrs.columns = {0, 1, 2};
+  attrs.e_scores = {0.9, 0.4, 0.6};
+  attrs.avg_len_a = {2, 1, 3};
+  attrs.avg_len_b = {2, 1, 3};
+  ConfigTree tree = GenerateConfigTree(attrs);
+
+  JointOptions options;
+  options.k = 10;
+  options.num_threads = 1;  // BFS order: parents always finish first.
+  options.reuse_topk = true;
+  JointResult result = RunJointTopKJoins(corpus, tree, options);
+  for (size_t i = 1; i < result.per_config.size(); ++i) {
+    EXPECT_TRUE(result.per_config[i].seeded_from_parent) << "node " << i;
+  }
+}
+
+TEST(JointExecutorTest, AutoQRuns) {
+  Rng rng(99);
+  auto [a, b] = RandomThreeAttrTables(rng, 30);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1, 2});
+  PromisingAttributes attrs;
+  attrs.columns = {0, 1, 2};
+  attrs.e_scores = {0.9, 0.4, 0.6};
+  attrs.avg_len_a = {2, 1, 3};
+  attrs.avg_len_b = {2, 1, 3};
+  ConfigTree tree = GenerateConfigTree(attrs);
+  JointOptions options;
+  options.k = 10;
+  options.q = 0;  // Race.
+  options.num_threads = 2;
+  JointResult result = RunJointTopKJoins(corpus, tree, options);
+  EXPECT_GE(result.q_used, 1u);
+  EXPECT_LE(result.q_used, 4u);
+  EXPECT_EQ(result.per_config.size(), tree.size());
+}
+
+}  // namespace
+}  // namespace mc

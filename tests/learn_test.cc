@@ -1,0 +1,162 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "learn/decision_tree.h"
+#include "learn/features.h"
+#include "learn/random_forest.h"
+#include "table/table.h"
+#include "util/random.h"
+
+namespace mc {
+namespace {
+
+TEST(FeaturesTest, NamesAndDimensions) {
+  Schema schema({{"name", AttributeType::kString},
+                 {"price", AttributeType::kNumeric}});
+  Table a(schema), b(schema);
+  a.AddRow({"dave smith", "10"});
+  b.AddRow({"david smith", "12"});
+  PairFeatureExtractor extractor(&a, &b);
+  // 6 string features + 3 numeric features.
+  EXPECT_EQ(extractor.num_features(), 9u);
+  EXPECT_EQ(extractor.feature_names()[0], "name:jaccard_word");
+  EXPECT_EQ(extractor.feature_names()[6], "price:abs_diff");
+
+  FeatureVector features = extractor.Extract(MakePairId(0, 0));
+  ASSERT_EQ(features.size(), 9u);
+  EXPECT_NEAR(features[0], 1.0 / 3.0, 1e-12);  // word jaccard.
+  EXPECT_DOUBLE_EQ(features[5], 1.0);          // both present.
+  EXPECT_DOUBLE_EQ(features[6], 2.0);          // abs diff.
+  EXPECT_NEAR(features[7], 2.0 / 12.0, 1e-12);  // rel diff.
+  EXPECT_DOUBLE_EQ(features[8], 1.0);
+}
+
+TEST(FeaturesTest, MissingValuesZeroed) {
+  Schema schema({{"name", AttributeType::kString},
+                 {"price", AttributeType::kNumeric}});
+  Table a(schema), b(schema);
+  a.AddRow({"", "10"});
+  b.AddRow({"david smith", ""});
+  PairFeatureExtractor extractor(&a, &b);
+  FeatureVector features = extractor.Extract(MakePairId(0, 0));
+  for (double value : features) EXPECT_DOUBLE_EQ(value, 0.0);
+}
+
+TEST(FeaturesTest, IdenticalPairMaximal) {
+  Schema schema({{"name", AttributeType::kString}});
+  Table a(schema), b(schema);
+  a.AddRow({"exact same words"});
+  b.AddRow({"exact same words"});
+  PairFeatureExtractor extractor(&a, &b);
+  FeatureVector features = extractor.Extract(MakePairId(0, 0));
+  for (size_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(features[i], 1.0);
+}
+
+// Synthetic separable data: positives around (0.8, 0.9), negatives around
+// (0.2, 0.1), with a little noise.
+void MakeSeparableData(Rng& rng, size_t n,
+                       std::vector<FeatureVector>* features,
+                       std::vector<int>* labels) {
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = rng.NextBool(0.5);
+    double base = positive ? 0.8 : 0.2;
+    features->push_back(
+        {base + (rng.NextDouble() - 0.5) * 0.2,
+         (positive ? 0.9 : 0.1) + (rng.NextDouble() - 0.5) * 0.2,
+         rng.NextDouble()});  // Third feature is pure noise.
+    labels->push_back(positive ? 1 : 0);
+  }
+}
+
+TEST(DecisionTreeTest, LearnsSeparableData) {
+  Rng rng(10);
+  std::vector<FeatureVector> features;
+  std::vector<int> labels;
+  MakeSeparableData(rng, 200, &features, &labels);
+  std::vector<size_t> all(features.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  TreeParams params;
+  params.features_per_split = 3;  // Use every feature.
+  DecisionTree tree = DecisionTree::Train(features, labels, all, params, rng);
+  size_t correct = 0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (tree.PredictMatch(features[i]) == (labels[i] == 1)) ++correct;
+  }
+  EXPECT_GT(correct, features.size() * 95 / 100);
+}
+
+TEST(DecisionTreeTest, PureNodeIsLeaf) {
+  Rng rng(11);
+  std::vector<FeatureVector> features{{0.1}, {0.2}, {0.3}};
+  std::vector<int> labels{1, 1, 1};
+  DecisionTree tree =
+      DecisionTree::Train(features, labels, {0, 1, 2}, TreeParams{}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.PredictProbability({0.9}), 1.0);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(12);
+  // Alternating labels force deep splits if allowed.
+  std::vector<FeatureVector> features;
+  std::vector<int> labels;
+  std::vector<size_t> all;
+  for (size_t i = 0; i < 64; ++i) {
+    features.push_back({static_cast<double>(i)});
+    labels.push_back(static_cast<int>(i % 2));
+    all.push_back(i);
+  }
+  TreeParams params;
+  params.max_depth = 2;
+  params.features_per_split = 1;
+  DecisionTree tree = DecisionTree::Train(features, labels, all, params, rng);
+  // Depth 2 -> at most 7 nodes.
+  EXPECT_LE(tree.num_nodes(), 7u);
+}
+
+TEST(RandomForestTest, ConfidenceSeparatesClasses) {
+  Rng rng(13);
+  std::vector<FeatureVector> features;
+  std::vector<int> labels;
+  MakeSeparableData(rng, 300, &features, &labels);
+  ForestParams params;
+  params.num_trees = 16;
+  params.seed = 99;
+  RandomForest forest = RandomForest::Train(features, labels, params);
+  EXPECT_TRUE(forest.trained());
+  EXPECT_EQ(forest.num_trees(), 16u);
+  EXPECT_GT(forest.Confidence({0.85, 0.9, 0.5}), 0.8);
+  EXPECT_LT(forest.Confidence({0.15, 0.1, 0.5}), 0.2);
+  // A point straddling the boundary should be more controversial than a
+  // clear positive.
+  EXPECT_LT(forest.Controversy({0.5, 0.5, 0.5}),
+            forest.Controversy({0.9, 0.95, 0.5}) + 1e-9);
+}
+
+TEST(RandomForestTest, Deterministic) {
+  Rng rng(14);
+  std::vector<FeatureVector> features;
+  std::vector<int> labels;
+  MakeSeparableData(rng, 100, &features, &labels);
+  ForestParams params;
+  params.num_trees = 8;
+  params.seed = 7;
+  RandomForest f1 = RandomForest::Train(features, labels, params);
+  RandomForest f2 = RandomForest::Train(features, labels, params);
+  for (const FeatureVector& sample : features) {
+    EXPECT_DOUBLE_EQ(f1.Confidence(sample), f2.Confidence(sample));
+  }
+}
+
+TEST(RandomForestTest, SingleClassTraining) {
+  std::vector<FeatureVector> features{{0.1}, {0.2}};
+  std::vector<int> labels{1, 1};
+  ForestParams params;
+  params.num_trees = 4;
+  RandomForest forest = RandomForest::Train(features, labels, params);
+  EXPECT_DOUBLE_EQ(forest.Confidence({0.15}), 1.0);
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,165 @@
+// Direct tests for RunTopKJoin's MergeSource path — the §4.2 "parent
+// finishes late, child merges its list mid-run" mechanism. On a single-core
+// host the joint executor almost always seeds instead, so this path needs
+// explicit coverage.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ssj/corpus.h"
+#include "ssj/topk_join.h"
+#include "table/table.h"
+#include "util/random.h"
+
+namespace mc {
+namespace {
+
+std::pair<Table, Table> RandomTables(Rng& rng, size_t rows) {
+  Schema schema({{"text", AttributeType::kString}});
+  Table a(schema), b(schema);
+  auto make_row = [&](Table& table) {
+    std::string text;
+    size_t n = 2 + rng.NextBelow(6);
+    for (size_t t = 0; t < n; ++t) {
+      if (t > 0) text += ' ';
+      text += "w" + std::to_string(rng.NextZipf(30, 0.8));
+    }
+    table.AddRow({text});
+  };
+  for (size_t i = 0; i < rows; ++i) {
+    make_row(a);
+    make_row(b);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+// Delivers a payload on the n-th TryFetch call.
+class DelayedMergeSource : public MergeSource {
+ public:
+  DelayedMergeSource(std::vector<ScoredPair> payload, int deliveries_after)
+      : payload_(std::move(payload)), countdown_(deliveries_after) {}
+
+  std::optional<std::vector<ScoredPair>> TryFetch() override {
+    ++calls_;
+    if (--countdown_ > 0) return std::nullopt;
+    if (delivered_) return std::nullopt;
+    delivered_ = true;
+    return payload_;
+  }
+
+  int calls() const { return calls_; }
+  bool delivered() const { return delivered_; }
+
+ private:
+  std::vector<ScoredPair> payload_;
+  int countdown_;
+  int calls_ = 0;
+  bool delivered_ = false;
+};
+
+class MergeSourceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeSourceTest, LateMergePreservesExactness) {
+  Rng rng(404);
+  auto [a, b] = RandomTables(rng, 60);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0});
+  ConfigView view = corpus.MakeConfigView(0b1);
+
+  TopKJoinOptions options;
+  options.k = 25;
+  options.merge_poll_period = 64;  // Poll often so delivery lands mid-run.
+
+  TopKList expected = RunTopKJoin(view, options);
+
+  // Payload: correct scores for an arbitrary slice of pairs (as a parent's
+  // re-adjusted top-k would be).
+  DirectPairScorer scorer(&view, options.measure);
+  std::vector<ScoredPair> payload;
+  for (RowId i = 0; i < 30; ++i) {
+    RowId j = (i * 7) % 60;
+    if (view.tokens_a[i].empty() || view.tokens_b[j].empty()) continue;
+    payload.push_back(ScoredPair{MakePairId(i, j), scorer.Score(i, j)});
+  }
+
+  DelayedMergeSource merge(payload, GetParam());
+  TopKJoinStats stats;
+  TopKList merged =
+      RunTopKJoin(view, options, nullptr, nullptr, &merge, &stats);
+  EXPECT_TRUE(merge.delivered());
+  EXPECT_EQ(stats.merges_applied, 1u);
+
+  std::vector<ScoredPair> got = merged.SortedDescending();
+  std::vector<ScoredPair> want = expected.SortedDescending();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t r = 0; r < got.size(); ++r) {
+    EXPECT_NEAR(got[r].score, want[r].score, 1e-12) << "rank " << r;
+  }
+}
+
+// Delivery after 1 fetch = effectively seeded; later deliveries land
+// mid-run or at the final poll (the join polls once up front, every
+// merge_poll_period events, and once before returning).
+INSTANTIATE_TEST_SUITE_P(DeliveryTimes, MergeSourceTest,
+                         ::testing::Values(1, 2, 3, 5));
+
+TEST(MergeSourceTest, MergeAppliedEvenIfJoinDrainsFirst) {
+  // A tiny input drains before the first poll period; the final poll must
+  // still apply the merge so reuse never loses pairs.
+  Schema schema({{"text", AttributeType::kString}});
+  Table a(schema), b(schema);
+  a.AddRow({"alpha beta"});
+  b.AddRow({"alpha beta"});
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0});
+  ConfigView view = corpus.MakeConfigView(0b1);
+
+  TopKJoinOptions options;
+  options.k = 10;
+  options.merge_poll_period = 1 << 30;  // Never polled mid-run.
+  DelayedMergeSource merge({{MakePairId(0, 0), 1.0}}, 1);
+  TopKJoinStats stats;
+  TopKList result =
+      RunTopKJoin(view, options, nullptr, nullptr, &merge, &stats);
+  EXPECT_TRUE(merge.delivered());
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(MergeSourceTest, SeedPlusMergePlusExclusion) {
+  Rng rng(505);
+  auto [a, b] = RandomTables(rng, 50);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0});
+  ConfigView view = corpus.MakeConfigView(0b1);
+  DirectPairScorer scorer(&view, SetMeasure::kJaccard);
+
+  CandidateSet exclude;
+  for (RowId i = 0; i < 50; i += 3) exclude.Add(i, i);
+
+  TopKJoinOptions options;
+  options.k = 20;
+  options.exclude = &exclude;
+  options.merge_poll_period = 32;
+  TopKList expected = RunTopKJoin(view, options);
+
+  std::vector<ScoredPair> seed, payload;
+  for (RowId i = 1; i < 20; i += 2) {
+    RowId j = (i + 3) % 50;
+    if (view.tokens_a[i].empty() || view.tokens_b[j].empty()) continue;
+    PairId pair = MakePairId(i, j);
+    if (exclude.Contains(pair)) continue;
+    (i % 4 == 1 ? seed : payload)
+        .push_back(ScoredPair{pair, scorer.Score(i, j)});
+  }
+  DelayedMergeSource merge(payload, 3);
+  TopKList got = RunTopKJoin(view, options, nullptr, &seed, &merge, nullptr);
+  std::vector<ScoredPair> got_sorted = got.SortedDescending();
+  std::vector<ScoredPair> want_sorted = expected.SortedDescending();
+  ASSERT_EQ(got_sorted.size(), want_sorted.size());
+  for (size_t r = 0; r < got_sorted.size(); ++r) {
+    EXPECT_NEAR(got_sorted[r].score, want_sorted[r].score, 1e-12);
+    EXPECT_FALSE(exclude.Contains(got_sorted[r].pair));
+  }
+}
+
+}  // namespace
+}  // namespace mc

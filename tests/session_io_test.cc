@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session_io.h"
+#include "learn/features.h"
+#include "table/table.h"
+#include "verifier/match_verifier.h"
+#include "verifier/user_oracle.h"
+
+namespace mc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SessionIoTest, LabeledPairsRoundTrip) {
+  std::vector<std::pair<PairId, bool>> labels{
+      {MakePairId(0, 0), true},
+      {MakePairId(12, 93), false},
+      {MakePairId(4000000, 4000001), true},
+  };
+  std::string path = TempPath("labels.csv");
+  ASSERT_TRUE(SaveLabeledPairs(labels, path).ok());
+  Result<std::vector<std::pair<PairId, bool>>> loaded =
+      LoadLabeledPairs(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, labels);
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, TopKListsRoundTrip) {
+  std::vector<std::vector<ScoredPair>> lists{
+      {{MakePairId(1, 2), 0.875}, {MakePairId(3, 4), 1.0 / 3.0}},
+      {},
+      {{MakePairId(5, 6), 1e-9}},
+  };
+  std::string path = TempPath("lists.mc");
+  ASSERT_TRUE(SaveTopKLists(lists, path).ok());
+  Result<std::vector<std::vector<ScoredPair>>> loaded = LoadTopKLists(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    ASSERT_EQ((*loaded)[i].size(), lists[i].size()) << "list " << i;
+    for (size_t e = 0; e < lists[i].size(); ++e) {
+      EXPECT_EQ((*loaded)[i][e].pair, lists[i][e].pair);
+      EXPECT_DOUBLE_EQ((*loaded)[i][e].score, lists[i][e].score);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, LoadErrors) {
+  EXPECT_FALSE(LoadLabeledPairs("/nonexistent/labels.csv").ok());
+  EXPECT_FALSE(LoadTopKLists("/nonexistent/lists.mc").ok());
+
+  std::string path = TempPath("bad.csv");
+  ASSERT_TRUE(SaveLabeledPairs({}, path).ok());
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "not,a,valid,line\n";
+  }
+  EXPECT_FALSE(LoadLabeledPairs(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, ResumedVerifierContinuesWhereItStopped) {
+  // Build a small world; run two iterations; save; resume in a fresh
+  // verifier; the resumed verifier must not re-show labeled pairs and must
+  // keep the confirmed matches.
+  Schema schema({{"name", AttributeType::kString}});
+  Table a(schema), b(schema);
+  CandidateSet gold;
+  std::vector<ScoredPair> list;
+  for (RowId i = 0; i < 40; ++i) {
+    a.AddRow({"entity" + std::to_string(i) + " alpha beta"});
+    b.AddRow({"entity" + std::to_string(i) + " alpha beta gamma"});
+    gold.Add(i, i);
+    list.push_back({MakePairId(i, i), 0.9 - 0.01 * i});
+    if (i + 1 < 40) {
+      list.push_back({MakePairId(i, i + 1), 0.85 - 0.01 * i});
+    }
+  }
+  std::sort(list.begin(), list.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              return x.score > y.score;
+            });
+  PairFeatureExtractor extractor(&a, &b);
+  VerifierOptions options;
+  options.pairs_per_iteration = 10;
+  options.forest.num_trees = 8;
+
+  MatchVerifier first({list}, &extractor, options);
+  GoldOracle oracle(&gold);
+  first.RunIterations(oracle, 2);
+  size_t confirmed_before = first.confirmed_matches().size();
+  ASSERT_GT(confirmed_before, 0u);
+
+  std::string lists_path = TempPath("resume_lists.mc");
+  std::string labels_path = TempPath("resume_labels.csv");
+  ASSERT_TRUE(SaveTopKLists({list}, lists_path).ok());
+  ASSERT_TRUE(SaveLabeledPairs(first.LabeledPairs(), labels_path).ok());
+
+  MatchVerifier resumed(LoadTopKLists(lists_path).value(), &extractor,
+                        options);
+  resumed.PreloadLabels(LoadLabeledPairs(labels_path).value());
+  EXPECT_EQ(resumed.confirmed_matches().size(), confirmed_before);
+
+  CandidateSet already_shown;
+  for (const auto& [pair, label] : first.LabeledPairs()) {
+    already_shown.Add(pair);
+  }
+  std::vector<PairId> batch = resumed.NextBatch();
+  ASSERT_FALSE(batch.empty());
+  for (PairId pair : batch) {
+    EXPECT_FALSE(already_shown.Contains(pair))
+        << "resumed verifier re-showed a labeled pair";
+  }
+  std::remove(lists_path.c_str());
+  std::remove(labels_path.c_str());
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,190 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+#include "table/profile.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace mc {
+namespace {
+
+Table MakePeopleTable() {
+  Schema schema({{"name", AttributeType::kString},
+                 {"city", AttributeType::kString},
+                 {"age", AttributeType::kString}});
+  Table table(schema);
+  table.AddRow({"Dave Smith", "Altanta", "18"});
+  table.AddRow({"Daniel Smith", "LA", "18"});
+  table.AddRow({"Joe Welson", "New York", "25"});
+  table.AddRow({"Charles Williams", "Chicago", "45"});
+  table.AddRow({"Charlie William", "Atlanta", ""});
+  return table;
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema schema({{"name", AttributeType::kString},
+                 {"age", AttributeType::kNumeric}});
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.IndexOf("age").value(), 1u);
+  EXPECT_FALSE(schema.IndexOf("salary").has_value());
+  EXPECT_EQ(schema.RequireIndexOf("name"), 0u);
+  EXPECT_STREQ(AttributeTypeName(schema.attribute(1).type), "numeric");
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", AttributeType::kString}});
+  Schema b({{"x", AttributeType::kString}});
+  Schema c({{"x", AttributeType::kNumeric}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TableTest, AddAndAccess) {
+  Table table = MakePeopleTable();
+  EXPECT_EQ(table.num_rows(), 5u);
+  EXPECT_EQ(table.num_columns(), 3u);
+  EXPECT_EQ(table.Value(0, 0), "Dave Smith");
+  EXPECT_EQ(table.Value(2, 1), "New York");
+  EXPECT_FALSE(table.IsMissing(0, 2));
+  EXPECT_TRUE(table.IsMissing(4, 2));
+}
+
+TEST(TableTest, NumericValue) {
+  Table table = MakePeopleTable();
+  EXPECT_EQ(table.NumericValue(0, 2).value(), 18.0);
+  EXPECT_FALSE(table.NumericValue(4, 2).has_value());  // missing.
+  EXPECT_FALSE(table.NumericValue(0, 0).has_value());  // non-numeric.
+}
+
+TEST(TableTest, ParseDouble) {
+  EXPECT_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_EQ(ParseDouble(" 42 ").value(), 42.0);
+  EXPECT_EQ(ParseDouble("$19.99").value(), 19.99);
+  EXPECT_EQ(ParseDouble("-7e2").value(), -700.0);
+  EXPECT_FALSE(ParseDouble("12 apples").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table table = MakePeopleTable();
+  std::string csv = WriteCsvString(table);
+  Result<Table> parsed = ReadCsvString(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_rows(), table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      EXPECT_EQ(parsed->Value(r, c), table.Value(r, c));
+    }
+  }
+}
+
+TEST(CsvTest, QuotedFields) {
+  Result<Table> parsed = ReadCsvString(
+      "name,desc\n"
+      "\"Smith, Dave\",\"said \"\"hi\"\"\"\n"
+      "plain,\"multi\nline\"\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->Value(0, 0), "Smith, Dave");
+  EXPECT_EQ(parsed->Value(0, 1), "said \"hi\"");
+  EXPECT_EQ(parsed->Value(1, 1), "multi\nline");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Result<Table> parsed = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->Value(1, 1), "4");
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  Result<Table> parsed = ReadCsvString("a,b\n1,2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 1u);
+  EXPECT_EQ(parsed->Value(0, 1), "2");
+}
+
+TEST(CsvTest, ErrorsAreReported) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n1,2,3\n").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n\"open,2\n").ok());
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/path.csv").ok());
+}
+
+TEST(ProfileTest, MissingAndUniqueRatios) {
+  Schema schema({{"city", AttributeType::kString}});
+  Table table(schema);
+  table.AddRow({"Atlanta"});
+  table.AddRow({"Atlanta"});
+  table.AddRow({"LA"});
+  table.AddRow({""});
+  AttributeProfile profile = ProfileAttribute(table, 0);
+  EXPECT_DOUBLE_EQ(profile.non_missing_ratio, 0.75);
+  EXPECT_DOUBLE_EQ(profile.unique_ratio, 2.0 / 3.0);
+  // harmonic mean of 0.75 and 2/3.
+  EXPECT_NEAR(profile.SingleTableEScore(),
+              2 * 0.75 * (2.0 / 3.0) / (0.75 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(ProfileTest, AverageTokenLengthCountsMissingAsZero) {
+  Schema schema({{"desc", AttributeType::kString}});
+  Table table(schema);
+  table.AddRow({"one two three"});
+  table.AddRow({""});
+  AttributeProfile profile = ProfileAttribute(table, 0);
+  EXPECT_DOUBLE_EQ(profile.average_token_length, 1.5);
+}
+
+TEST(ProfileTest, ValueSetJaccard) {
+  Schema schema({{"gender", AttributeType::kString}});
+  Table ta(schema), tb(schema);
+  ta.AddRow({"Male"});
+  ta.AddRow({"Female"});
+  tb.AddRow({"male"});
+  tb.AddRow({"unknown"});
+  AttributeProfile pa = ProfileAttribute(ta, 0);
+  AttributeProfile pb = ProfileAttribute(tb, 0);
+  // Normalized values: {male, female} vs {male, unknown}: 1/3.
+  EXPECT_NEAR(ValueSetJaccard(pa, pb), 1.0 / 3.0, 1e-12);
+}
+
+TEST(InferTypesTest, DetectsNumericCategoricalBooleanString) {
+  Schema schema({{"price", AttributeType::kString},
+                 {"category", AttributeType::kString},
+                 {"in_stock", AttributeType::kString},
+                 {"title", AttributeType::kString}});
+  Table table(schema);
+  const char* categories[] = {"laptop", "phone", "tablet"};
+  for (int i = 0; i < 60; ++i) {
+    table.AddRow({std::to_string(i * 3.5), categories[i % 3],
+                  i % 2 == 0 ? "yes" : "no",
+                  "Unique Product Title Number " + std::to_string(i)});
+  }
+  Schema inferred = InferAttributeTypes(table);
+  EXPECT_EQ(inferred.attribute(0).type, AttributeType::kNumeric);
+  EXPECT_EQ(inferred.attribute(1).type, AttributeType::kCategorical);
+  EXPECT_EQ(inferred.attribute(2).type, AttributeType::kBoolean);
+  EXPECT_EQ(inferred.attribute(3).type, AttributeType::kString);
+}
+
+TEST(InferTypesTest, MostlyNumericWithNoiseStillNumeric) {
+  Schema schema({{"year", AttributeType::kString}});
+  Table table(schema);
+  for (int i = 0; i < 19; ++i) table.AddRow({std::to_string(1990 + i)});
+  table.AddRow({"unknown"});
+  Schema inferred = InferAttributeTypes(table);
+  EXPECT_EQ(inferred.attribute(0).type, AttributeType::kNumeric);
+}
+
+TEST(TableTest, SetSchemaKeepsNames) {
+  Table table = MakePeopleTable();
+  Schema inferred = InferAttributeTypes(table);
+  table.SetSchema(inferred);
+  EXPECT_EQ(table.schema().attribute(2).type, AttributeType::kNumeric);
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,261 @@
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/sharded_insert_map.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIoError, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(17);
+  size_t low = 0;
+  const size_t n = 1000;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    size_t r = rng.NextZipf(n, 1.0);
+    ASSERT_LT(r, n);
+    if (r < n / 10) ++low;
+  }
+  // With skew 1.0 the first decile should hold far more than 10% of mass.
+  EXPECT_GT(low, static_cast<size_t>(draws / 4));
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(19);
+  size_t low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextZipf(100, 0.0) < 10) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low), 1000.0, 250.0);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ShardedInsertMapTest, InsertAndFind) {
+  ShardedInsertMap<uint64_t, int> map;
+  auto [value, inserted] = map.Insert(5, 50);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*value, 50);
+  auto [value2, inserted2] = map.Insert(5, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*value2, 50);  // First insert wins; values are immutable.
+  EXPECT_EQ(value, value2);
+  EXPECT_EQ(map.Find(5), value);
+  EXPECT_EQ(map.Find(6), nullptr);
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TEST(ShardedInsertMapTest, InsertWithOnlyInvokesFactoryOnInsert) {
+  ShardedInsertMap<int, int> map;
+  int calls = 0;
+  map.InsertWith(1, [&] {
+    ++calls;
+    return 10;
+  });
+  map.InsertWith(1, [&] {
+    ++calls;
+    return 20;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(*map.Find(1), 10);
+}
+
+TEST(ShardedInsertMapTest, PointerStableAcrossInserts) {
+  ShardedInsertMap<int, int> map(4);
+  const int* first = map.Insert(0, 0).first;
+  for (int i = 1; i < 10000; ++i) map.Insert(i, i);
+  EXPECT_EQ(*first, 0);
+  EXPECT_EQ(map.Find(0), first);
+  EXPECT_EQ(map.Size(), 10000u);
+}
+
+TEST(ShardedInsertMapTest, ConcurrentInsertStress) {
+  ShardedInsertMap<uint64_t, uint64_t> map;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 5000;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> wins{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, &wins, t] {
+      for (uint64_t k = 0; k < kKeys; ++k) {
+        auto [value, inserted] = map.Insert(k, static_cast<uint64_t>(t));
+        if (inserted) wins.fetch_add(1);
+        // Whatever thread won, the stored value must be one of the writers'.
+        EXPECT_LT(*value, static_cast<uint64_t>(kThreads));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(map.Size(), kKeys);
+  EXPECT_EQ(wins.load(), kKeys);  // Exactly one insert per key succeeded.
+}
+
+TEST(ShardedInsertMapTest, ForEachVisitsAll) {
+  ShardedInsertMap<int, int> map(8);
+  for (int i = 0; i < 100; ++i) map.Insert(i, i * i);
+  int count = 0;
+  long sum = 0;
+  map.ForEach([&](int key, int value) {
+    ++count;
+    sum += value - key * key;
+  });
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sum, 0);
+}
+
+}  // namespace
+}  // namespace mc

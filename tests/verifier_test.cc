@@ -1,0 +1,228 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "learn/features.h"
+#include "ssj/topk_list.h"
+#include "table/table.h"
+#include "util/random.h"
+#include "verifier/match_verifier.h"
+#include "verifier/user_oracle.h"
+
+namespace mc {
+namespace {
+
+// A small synthetic world: pairs (i, i) are matches, with feature-friendly
+// structure — matching rows share most name words, non-matching share few.
+struct World {
+  Table a, b;
+  CandidateSet gold;
+  std::vector<std::vector<ScoredPair>> lists;
+  std::unique_ptr<PairFeatureExtractor> extractor;
+
+  World() : a(MakeSchema()), b(MakeSchema()) {}
+
+  static Schema MakeSchema() {
+    return Schema({{"name", AttributeType::kString},
+                   {"city", AttributeType::kString}});
+  }
+};
+
+std::unique_ptr<World> MakeWorld(size_t rows, uint64_t seed) {
+  auto world = std::make_unique<World>();
+  Rng rng(seed);
+  static const char* const kCities[] = {"atlanta", "boston", "chicago",
+                                        "denver"};
+  for (size_t i = 0; i < rows; ++i) {
+    std::string base = "entity" + std::to_string(i) + " token" +
+                       std::to_string(rng.NextBelow(6)) + " word" +
+                       std::to_string(i % 7);
+    std::string city = kCities[i % 4];
+    world->a.AddRow({base, city});
+    // Match: same words, maybe one typo'd token appended.
+    std::string matched = base + (rng.NextBool(0.4) ? " extra" : "");
+    world->b.AddRow({matched, city});
+    world->gold.Add(static_cast<RowId>(i), static_cast<RowId>(i));
+  }
+  // Two top-k lists ("configs"): one scoring matches high with some noise
+  // pairs, one mostly noise.
+  std::vector<ScoredPair> list1, list2;
+  for (size_t i = 0; i < rows; ++i) {
+    list1.push_back({MakePairId(static_cast<RowId>(i),
+                                static_cast<RowId>(i)),
+                     0.9 - 0.3 * static_cast<double>(i) / rows});
+    // Noise pair (i, i+1).
+    if (i + 1 < rows) {
+      list1.push_back({MakePairId(static_cast<RowId>(i),
+                                  static_cast<RowId>(i + 1)),
+                       0.85 - 0.4 * static_cast<double>(i) / rows});
+    }
+    list2.push_back({MakePairId(static_cast<RowId>(i),
+                                static_cast<RowId>((i + 2) % rows)),
+                     0.8 - 0.5 * static_cast<double>(i) / rows});
+  }
+  auto by_score = [](const ScoredPair& x, const ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.pair < y.pair;
+  };
+  std::sort(list1.begin(), list1.end(), by_score);
+  std::sort(list2.begin(), list2.end(), by_score);
+  world->lists = {list1, list2};
+  world->extractor =
+      std::make_unique<PairFeatureExtractor>(&world->a, &world->b);
+  return world;
+}
+
+VerifierOptions SmallOptions() {
+  VerifierOptions options;
+  options.pairs_per_iteration = 10;
+  options.forest.num_trees = 8;
+  return options;
+}
+
+TEST(MatchVerifierTest, FindsMostMatchesWithOracle) {
+  auto world = MakeWorld(40, 5);
+  MatchVerifier verifier(world->lists, world->extractor.get(),
+                         SmallOptions());
+  GoldOracle oracle(&world->gold);
+  VerifierResult result = verifier.Run(oracle);
+  // Every confirmed match must be gold.
+  for (PairId pair : result.confirmed_matches) {
+    EXPECT_TRUE(world->gold.Contains(pair));
+  }
+  // The lists contain all 40 gold pairs; the verifier should find most of
+  // them before its natural stop.
+  EXPECT_GE(result.confirmed_matches.size(), 30u);
+  EXPECT_FALSE(result.iterations.empty());
+}
+
+TEST(MatchVerifierTest, PhaseProgression) {
+  auto world = MakeWorld(40, 6);
+  MatchVerifier verifier(world->lists, world->extractor.get(),
+                         SmallOptions());
+  GoldOracle oracle(&world->gold);
+  VerifierResult result = verifier.Run(oracle);
+  // Phases must appear in order: medrank+ then active{<=3} then online*.
+  size_t i = 0;
+  const auto& iterations = result.iterations;
+  while (i < iterations.size() && iterations[i].phase == "medrank") ++i;
+  EXPECT_GT(i, 0u) << "bootstrap must run at least once";
+  size_t active = 0;
+  while (i < iterations.size() && iterations[i].phase == "active") {
+    ++i;
+    ++active;
+  }
+  EXPECT_LE(active, 3u);
+  while (i < iterations.size() && iterations[i].phase == "online") ++i;
+  EXPECT_EQ(i, iterations.size()) << "unexpected phase order";
+}
+
+TEST(MatchVerifierTest, StopsAfterTwoEmptyIterations) {
+  // Gold contains nothing -> every iteration is empty -> stop after 2.
+  auto world = MakeWorld(40, 7);
+  CandidateSet empty_gold;
+  MatchVerifier verifier(world->lists, world->extractor.get(),
+                         SmallOptions());
+  GoldOracle oracle(&empty_gold);
+  VerifierResult result = verifier.Run(oracle);
+  EXPECT_EQ(result.iterations.size(), 2u);
+  EXPECT_EQ(result.confirmed_matches.size(), 0u);
+}
+
+TEST(MatchVerifierTest, RunIterationsIgnoresNaturalStop) {
+  auto world = MakeWorld(40, 8);
+  CandidateSet empty_gold;
+  MatchVerifier verifier(world->lists, world->extractor.get(),
+                         SmallOptions());
+  GoldOracle oracle(&empty_gold);
+  VerifierResult result = verifier.RunIterations(oracle, 5);
+  EXPECT_EQ(result.iterations.size(), 5u);
+}
+
+TEST(MatchVerifierTest, WmrModeWorks) {
+  auto world = MakeWorld(40, 9);
+  VerifierOptions options = SmallOptions();
+  options.use_learning = false;
+  MatchVerifier verifier(world->lists, world->extractor.get(), options);
+  GoldOracle oracle(&world->gold);
+  VerifierResult result = verifier.Run(oracle);
+  for (const IterationTrace& trace : result.iterations) {
+    EXPECT_EQ(trace.phase, "wmr");
+  }
+  EXPECT_GT(result.confirmed_matches.size(), 0u);
+}
+
+TEST(MatchVerifierTest, NeverShowsPairTwice) {
+  auto world = MakeWorld(30, 10);
+  MatchVerifier verifier(world->lists, world->extractor.get(),
+                         SmallOptions());
+  GoldOracle oracle(&world->gold);
+  VerifierResult result = verifier.Run(oracle);
+  CandidateSet seen;
+  for (const IterationTrace& trace : result.iterations) {
+    for (PairId pair : trace.shown) {
+      EXPECT_FALSE(seen.Contains(pair)) << "pair shown twice";
+      seen.Add(pair);
+    }
+  }
+}
+
+TEST(MatchVerifierTest, ExhaustsSmallCandidateSet) {
+  auto world = MakeWorld(4, 11);
+  VerifierOptions options = SmallOptions();
+  options.stop_after_empty_iterations = 100;  // Effectively off.
+  MatchVerifier verifier(world->lists, world->extractor.get(), options);
+  GoldOracle oracle(&world->gold);
+  VerifierResult result = verifier.Run(oracle);
+  // All candidates get shown, then the loop ends.
+  size_t total_candidates =
+      MatchVerifier(world->lists, world->extractor.get(), options)
+          .candidates()
+          .size();
+  EXPECT_EQ(result.pairs_shown, total_candidates);
+}
+
+TEST(MatchVerifierTest, IncrementalApiMatchesBatching) {
+  auto world = MakeWorld(25, 12);
+  MatchVerifier verifier(world->lists, world->extractor.get(),
+                         SmallOptions());
+  GoldOracle oracle(&world->gold);
+  size_t iterations = 0;
+  while (!verifier.ShouldStop()) {
+    std::vector<PairId> batch = verifier.NextBatch();
+    if (batch.empty()) break;
+    std::vector<std::pair<PairId, bool>> labels;
+    for (PairId pair : batch) {
+      labels.emplace_back(pair, oracle.IsMatch(pair));
+    }
+    verifier.SubmitLabels(labels);
+    ++iterations;
+  }
+  EXPECT_GT(iterations, 0u);
+  EXPECT_GT(verifier.confirmed_matches().size(), 0u);
+  EXPECT_EQ(verifier.iterations().size(), iterations);
+}
+
+TEST(MatchVerifierTest, LearningBeatsOrEqualsWmrOnStructuredData) {
+  // The §6.5 claim in miniature: active/online learning should find at
+  // least as many matches as WMR within a fixed iteration budget.
+  auto world = MakeWorld(60, 13);
+  GoldOracle oracle(&world->gold);
+
+  VerifierOptions learn_options = SmallOptions();
+  MatchVerifier learner(world->lists, world->extractor.get(), learn_options);
+  VerifierResult learned = learner.RunIterations(oracle, 8);
+
+  VerifierOptions wmr_options = SmallOptions();
+  wmr_options.use_learning = false;
+  MatchVerifier wmr(world->lists, world->extractor.get(), wmr_options);
+  VerifierResult ranked = wmr.RunIterations(oracle, 8);
+
+  EXPECT_GE(learned.confirmed_matches.size() + 2,
+            ranked.confirmed_matches.size());
+}
+
+}  // namespace
+}  // namespace mc
