@@ -67,8 +67,22 @@ Result<PromisingAttributes> SelectPromisingAttributes(
         "tables A and B must share one schema (different-schema matching is "
         "future work, as in the paper)");
   }
+  // Profiling dominates this phase; check the context around each table
+  // and once more before assembling the result.
+  if (options.run_context.Cancelled()) {
+    return Status::DeadlineExceeded(
+        "config generation cancelled before profiling");
+  }
   std::vector<AttributeProfile> profiles_a = ProfileTable(table_a);
+  if (options.run_context.Cancelled()) {
+    return Status::DeadlineExceeded(
+        "config generation cancelled while profiling table A");
+  }
   std::vector<AttributeProfile> profiles_b = ProfileTable(table_b);
+  if (options.run_context.Cancelled()) {
+    return Status::DeadlineExceeded(
+        "config generation cancelled while profiling table B");
+  }
 
   PromisingAttributes result;
   for (size_t column = 0; column < table_a.num_columns(); ++column) {

@@ -7,6 +7,7 @@
 #include "config/config.h"
 #include "table/profile.h"
 #include "table/table.h"
+#include "util/run_context.h"
 #include "util/status.h"
 
 namespace mc {
@@ -23,6 +24,10 @@ struct ConfigGeneratorOptions {
   bool handle_long_attributes = true;
   /// Safety cap on |T|; when exceeded the highest-e-score attributes win.
   size_t max_attributes = 16;
+  /// Cooperative cancellation/deadline. Unlike the joint executor, config
+  /// generation has no useful partial result, so cancellation mid-selection
+  /// returns Status::DeadlineExceeded instead of a truncated value.
+  RunContext run_context;
 };
 
 /// One node of the config tree.

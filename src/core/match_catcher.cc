@@ -27,18 +27,26 @@ Result<DebugSession> DebugSession::Create(const Table& table_a,
   }
 
   Stopwatch config_watch;
-  Result<PromisingAttributes> attributes = SelectPromisingAttributes(
-      *session.table_a_, *session.table_b_, options.config);
-  if (!attributes.ok()) return attributes.status();
-  session.attributes_ = std::move(attributes).value();
-  session.tree_ = GenerateConfigTree(session.attributes_, options.config);
+  ConfigGeneratorOptions config_options = options.config;
+  config_options.run_context = options.run_context;
+  MC_ASSIGN_OR_RETURN(
+      session.attributes_,
+      SelectPromisingAttributes(*session.table_a_, *session.table_b_,
+                                config_options));
+  session.tree_ = GenerateConfigTree(session.attributes_, config_options);
   session.config_seconds_ = config_watch.ElapsedSeconds();
 
+  if (options.run_context.Cancelled()) {
+    return Status::DeadlineExceeded(
+        "session creation cancelled before the joint top-k phase");
+  }
   SsjCorpus corpus = SsjCorpus::Build(*session.table_a_, *session.table_b_,
                                       session.attributes_.columns);
   JointOptions joint_options = options.joint;
   joint_options.exclude = &blocker_output;
+  joint_options.run_context = options.run_context;
   session.joint_ = RunJointTopKJoins(corpus, session.tree_, joint_options);
+  if (!session.joint_.task_error.ok()) return session.joint_.task_error;
 
   session.extractor_ = std::make_unique<PairFeatureExtractor>(
       session.table_a_.get(), session.table_b_.get());

@@ -27,6 +27,13 @@ struct MatchCatcherOptions {
   /// Run rule-based attribute type inference on the inputs (recommended for
   /// freshly loaded CSVs whose schema types are all kString).
   bool infer_types = true;
+  /// Cooperative cancellation/deadline for the whole Create() pipeline,
+  /// propagated into config generation and the joint executor (overrides
+  /// any context set on `config`/`joint`). Expiry during config generation
+  /// fails Create() with kDeadlineExceeded (no partial result exists yet);
+  /// expiry during the joint top-k phase still yields a session whose
+  /// best-so-far lists are flagged via truncated() — see docs/robustness.md.
+  RunContext run_context;
 };
 
 /// A MatchCatcher debugging session: given tables A, B and the output C of
@@ -59,6 +66,11 @@ class DebugSession {
 
   /// E: the distinct pairs across all top-k lists.
   std::vector<PairId> CandidatePairs() const;
+
+  /// True when the joint top-k phase was cut short by the run context: the
+  /// per-config lists are best-so-far (exact scores, possibly fewer than k
+  /// pairs) rather than the full top-k. They remain valid verifier input.
+  bool truncated() const { return joint_.truncated; }
 
   /// Wall-clock seconds of the top-k SSJ module (the paper's §6.4 metric).
   double topk_seconds() const { return joint_.total_seconds; }

@@ -4,24 +4,144 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "util/crc32.h"
+#include "util/fault_injection.h"
 
 namespace mc {
 
 namespace {
 
-Status WriteTextFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path);
-  out << content;
-  if (!out) return Status::IoError("write failed for " + path);
+// Checkpoint framing (docs/robustness.md): new-format files carry a magic
+// header line and a CRC32 footer over the payload bytes between them.
+// Legacy (pre-framing) files have neither and load without verification.
+constexpr char kCheckpointMagic[] = "# mc-checkpoint v1\n";
+constexpr char kFooterPrefix[] = "# mc-crc32 ";
+
+std::string MakeFooter(const std::string& payload) {
+  char footer[64];
+  std::snprintf(footer, sizeof(footer), "%s%08x %zu\n", kFooterPrefix,
+                Crc32(payload), payload.size());
+  return footer;
+}
+
+// Writes `<magic><payload><footer>` to `path` via `<path>.tmp` + rename(),
+// so a crash at any point leaves either the previous file or the complete
+// new one — never a torn target. The .tmp is fsync'd before the rename
+// where the platform allows it.
+Status WriteCheckpointAtomic(const std::string& path,
+                             const std::string& payload) {
+  switch (MC_FAULT_POINT("session_io/write")) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kThrow:
+      throw std::runtime_error("injected fault: session_io/write " + path);
+    case FaultKind::kError:
+      return Status::IoError("injected write fault for " + path);
+    case FaultKind::kPartialWrite: {
+      // Simulate a crash mid-write: leave a torn .tmp, never touch `path`.
+      std::string full = kCheckpointMagic + payload + MakeFooter(payload);
+      std::ofstream torn(path + ".tmp", std::ios::binary);
+      torn.write(full.data(),
+                 static_cast<std::streamsize>(full.size() / 2));
+      return Status::IoError("injected mid-write crash for " + path);
+    }
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+    if (out == nullptr) return Status::IoError("cannot open " + tmp_path);
+    const std::string footer = MakeFooter(payload);
+    bool written =
+        std::fwrite(kCheckpointMagic, 1, sizeof(kCheckpointMagic) - 1,
+                    out) == sizeof(kCheckpointMagic) - 1 &&
+        std::fwrite(payload.data(), 1, payload.size(), out) ==
+            payload.size() &&
+        std::fwrite(footer.data(), 1, footer.size(), out) == footer.size() &&
+        std::fflush(out) == 0;
+#ifdef __unix__
+    written = written && fsync(fileno(out)) == 0;
+#endif
+    written = (std::fclose(out) == 0) && written;
+    if (!written) {
+      std::remove(tmp_path.c_str());
+      return Status::IoError("write failed for " + tmp_path);
+    }
+  }
+
+  if (MC_FAULT_POINT("session_io/rename") == FaultKind::kError) {
+    // Simulate a crash between write and rename: complete .tmp left behind,
+    // target untouched.
+    return Status::IoError("injected rename fault for " + path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("rename failed for " + path);
+  }
   return Status::Ok();
 }
 
-Result<std::vector<std::string>> ReadLines(const std::string& path) {
+// Reads `path` and strips/verifies checkpoint framing. New-format files
+// (magic header) must carry an intact footer: a missing or malformed footer
+// means the tail was lost (truncation), a byte-count or CRC mismatch means
+// corruption — both are typed kIoError. Files without the magic are legacy
+// and returned unverified.
+Result<std::string> ReadCheckpointPayload(const std::string& path) {
+  if (MC_FAULT_POINT("session_io/read") == FaultKind::kError) {
+    return Status::IoError("injected read fault for " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  std::string content = std::move(buffer).str();
+
+  constexpr size_t kMagicLen = sizeof(kCheckpointMagic) - 1;
+  if (content.compare(0, kMagicLen, kCheckpointMagic) != 0) {
+    return content;  // Legacy checksum-less file; parse as-is.
+  }
+
+  // Locate the footer: the last newline-terminated line.
+  std::string body = content.substr(kMagicLen);
+  size_t footer_start = std::string::npos;
+  if (!body.empty() && body.back() == '\n' && body.size() >= 2) {
+    footer_start = body.rfind('\n', body.size() - 2);
+    footer_start = footer_start == std::string::npos ? 0 : footer_start + 1;
+  }
+  uint32_t stored_crc = 0;
+  size_t stored_bytes = 0;
+  if (footer_start == std::string::npos ||
+      std::sscanf(body.c_str() + footer_start, "# mc-crc32 %" SCNx32 " %zu",
+                  &stored_crc, &stored_bytes) != 2) {
+    return Status::IoError(path +
+                           ": truncated checkpoint (footer missing; the "
+                           "file lost its tail)");
+  }
+  std::string payload = body.substr(0, footer_start);
+  if (payload.size() != stored_bytes) {
+    return Status::IoError(
+        path + ": truncated checkpoint (payload is " +
+        std::to_string(payload.size()) + " bytes, footer declares " +
+        std::to_string(stored_bytes) + ")");
+  }
+  if (Crc32(payload) != stored_crc) {
+    return Status::IoError(path +
+                           ": checksum mismatch (corrupt checkpoint)");
+  }
+  return payload;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
   std::vector<std::string> lines;
   std::string line;
+  std::istringstream in(text);
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     lines.push_back(line);
@@ -40,16 +160,16 @@ Status SaveLabeledPairs(
     out << PairRowA(pair) << "," << PairRowB(pair) << ","
         << (is_match ? 1 : 0) << "\n";
   }
-  return WriteTextFile(path, out.str());
+  return WriteCheckpointAtomic(path, out.str());
 }
 
 Result<std::vector<std::pair<PairId, bool>>> LoadLabeledPairs(
     const std::string& path) {
-  Result<std::vector<std::string>> lines = ReadLines(path);
-  if (!lines.ok()) return lines.status();
+  MC_ASSIGN_OR_RETURN(std::string payload, ReadCheckpointPayload(path));
+  std::vector<std::string> lines = SplitLines(payload);
   std::vector<std::pair<PairId, bool>> labels;
-  for (size_t i = 1; i < lines->size(); ++i) {  // Skip header.
-    const std::string& line = (*lines)[i];
+  for (size_t i = 1; i < lines.size(); ++i) {  // Skip header.
+    const std::string& line = lines[i];
     if (line.empty()) continue;
     uint32_t a = 0, b = 0;
     int label = 0;
@@ -77,28 +197,28 @@ Status SaveTopKLists(const std::vector<std::vector<ScoredPair>>& lists,
       out << buffer;
     }
   }
-  return WriteTextFile(path, out.str());
+  return WriteCheckpointAtomic(path, out.str());
 }
 
 Result<std::vector<std::vector<ScoredPair>>> LoadTopKLists(
     const std::string& path) {
-  Result<std::vector<std::string>> lines = ReadLines(path);
-  if (!lines.ok()) return lines.status();
-  if (lines->empty()) return Status::InvalidArgument(path + ": empty file");
+  MC_ASSIGN_OR_RETURN(std::string payload, ReadCheckpointPayload(path));
+  std::vector<std::string> lines = SplitLines(payload);
+  if (lines.empty()) return Status::InvalidArgument(path + ": empty file");
 
   size_t num_lists = 0;
-  if (std::sscanf((*lines)[0].c_str(), "topk_lists %zu", &num_lists) != 1) {
+  if (std::sscanf(lines[0].c_str(), "topk_lists %zu", &num_lists) != 1) {
     return Status::InvalidArgument(path + ": bad header");
   }
   std::vector<std::vector<ScoredPair>> lists;
   lists.reserve(num_lists);
   size_t row = 1;
   for (size_t i = 0; i < num_lists; ++i) {
-    if (row >= lines->size()) {
+    if (row >= lines.size()) {
       return Status::InvalidArgument(path + ": truncated file");
     }
     size_t index = 0, count = 0;
-    if (std::sscanf((*lines)[row].c_str(), "list %zu %zu", &index,
+    if (std::sscanf(lines[row].c_str(), "list %zu %zu", &index,
                     &count) != 2 ||
         index != i) {
       return Status::InvalidArgument(path + ": bad list header at line " +
@@ -108,13 +228,13 @@ Result<std::vector<std::vector<ScoredPair>>> LoadTopKLists(
     std::vector<ScoredPair> list;
     list.reserve(count);
     for (size_t e = 0; e < count; ++e, ++row) {
-      if (row >= lines->size()) {
+      if (row >= lines.size()) {
         return Status::InvalidArgument(path + ": truncated list " +
                                        std::to_string(i));
       }
       uint32_t a = 0, b = 0;
       double score = 0.0;
-      if (std::sscanf((*lines)[row].c_str(), "%" SCNu32 ",%" SCNu32 ",%lg",
+      if (std::sscanf(lines[row].c_str(), "%" SCNu32 ",%" SCNu32 ",%lg",
                       &a, &b, &score) != 3) {
         return Status::InvalidArgument(path + ": bad entry at line " +
                                        std::to_string(row + 1));

@@ -25,6 +25,14 @@ namespace mc {
 ///
 /// Formats are plain text: labels as "a,b,label" CSV; lists as one
 /// "list <index>" header per config followed by "a,b,score" rows.
+///
+/// Crash safety (docs/robustness.md): saves write to `<path>.tmp` and
+/// rename() it into place, so an interrupted save leaves the previous
+/// checkpoint intact. Files are framed by a magic header line and a CRC32
+/// footer; loads detect truncated or corrupt checkpoints and return a typed
+/// kIoError. Legacy files without the framing still load (unverified).
+/// Fault points: "session_io/write", "session_io/rename", "session_io/read"
+/// (util/fault_injection.h).
 
 Status SaveLabeledPairs(
     const std::vector<std::pair<PairId, bool>>& labels,

@@ -5,9 +5,12 @@
 #include <mutex>
 #include <thread>
 
+#include <stdexcept>
+
 #include "joint/caching_scorer.h"
 #include "joint/overlap_cache.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -79,12 +82,14 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
   JointResult result;
   result.per_config.resize(tree.size());
 
-  // Decide q (optionally by racing on the root config).
+  // Decide q (optionally by racing on the root config). The race respects
+  // the run context, so a deadline also bounds this warm-up phase.
   size_t q = options.q;
   ConfigView root_view = corpus.MakeConfigView(tree.nodes[0].mask);
   if (q == 0) {
     size_t max_q = 4;
-    q = SelectQByRace(root_view, options.measure, options.exclude, max_q);
+    q = SelectQByRace(root_view, options.measure, options.exclude, max_q,
+                      /*probe_k=*/50, options.run_context);
   }
   result.q_used = q;
 
@@ -105,7 +110,29 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
     const ConfigNode& node = tree.nodes[node_index];
     ConfigJoinResult& out = result.per_config[node_index];
     out.config = node.mask;
+    out.completed = false;  // Set true only when the join drains fully.
     Stopwatch watch;
+
+    // MarkDone guarantees children polling this node never wait on a task
+    // that bailed out (cancelled or threw): every exit path publishes
+    // whatever list exists, even an empty one.
+    struct MarkDone {
+      NodeState* state;
+      const std::vector<ScoredPair>* topk;
+      ~MarkDone() {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->result = *topk;
+        state->done = true;
+      }
+    } mark_done{&states[node_index], &out.topk};
+
+    if (options.run_context.Cancelled()) {
+      return;  // Skipped entirely: deadline hit before this config started.
+    }
+    if (MC_FAULT_POINT("joint/run_node") == FaultKind::kThrow) {
+      throw std::runtime_error("injected fault: joint/run_node " +
+                               std::to_string(node_index));
+    }
 
     ConfigView view = corpus.MakeConfigView(node.mask);
 
@@ -123,6 +150,7 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
     join_options.q = q;
     join_options.exclude = options.exclude;
     join_options.merge_poll_period = options.merge_poll_period;
+    join_options.run_context = options.run_context;
 
     // Top-k reuse: seed from a finished parent, else poll it mid-run.
     std::vector<ScoredPair> seed;
@@ -153,24 +181,41 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
     out.seconds = watch.ElapsedSeconds();
     out.cache_hits = caching.cache_hits();
     out.cache_misses = caching.cache_misses();
+    out.completed = !out.stats.truncated;
+  };
 
-    NodeState& state = states[node_index];
-    std::lock_guard<std::mutex> lock(state.mutex);
-    state.result = out.topk;
-    state.done = true;
+  std::mutex error_mutex;
+  auto record_task_error = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (result.task_error.ok()) result.task_error = status;
   };
 
   if (num_threads == 1) {
     // Sequential BFS (deterministic; every child sees a finished parent).
-    for (size_t i = 0; i < tree.size(); ++i) run_node(i);
+    // The task boundary matches the pool's: a throwing node is captured as
+    // a Status and the remaining configs still run.
+    for (size_t i = 0; i < tree.size(); ++i) {
+      try {
+        run_node(i);
+      } catch (const std::exception& e) {
+        record_task_error(
+            Status::Internal(std::string("config task threw: ") + e.what()));
+      } catch (...) {
+        record_task_error(
+            Status::Internal("config task threw a non-std exception"));
+      }
+    }
   } else {
     ThreadPool pool(num_threads);
     for (size_t i = 0; i < tree.size(); ++i) {
-      pool.Submit([&run_node, i] { run_node(i); });
+      pool.Submit([&run_node, i] { run_node(i); }, record_task_error);
     }
     pool.Wait();
   }
 
+  for (const ConfigJoinResult& config : result.per_config) {
+    if (!config.completed) result.truncated = true;
+  }
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;
 }

@@ -9,6 +9,8 @@
 #include "ssj/corpus.h"
 #include "ssj/topk_join.h"
 #include "text/similarity.h"
+#include "util/run_context.h"
+#include "util/status.h"
 
 namespace mc {
 
@@ -32,8 +34,18 @@ struct JointOptions {
   double reuse_min_avg_tokens = 20.0;
   /// Blocker output C: pairs to exclude from every top-k list.
   const CandidateSet* exclude = nullptr;
-  /// Poll period for late-parent merges, in join events.
+  /// Poll period for late-parent merges, in join events. Cancellation is
+  /// checked at the same cadence.
   size_t merge_poll_period = 1024;
+  /// Cooperative cancellation/deadline (util/run_context.h). When it fires,
+  /// every running join stops at its next poll and unstarted configs are
+  /// skipped; the result carries each config's best-so-far list with
+  /// `ConfigJoinResult::completed == false` and `JointResult::truncated ==
+  /// true`. Partial lists are still valid (every score exact, every pair in
+  /// D), so the verifier can rank them — graceful degradation, not an
+  /// error. The default inert context leaves behavior byte-identical to a
+  /// run without deadlines.
+  RunContext run_context;
 };
 
 /// Per-config outcome of the joint execution.
@@ -46,6 +58,10 @@ struct ConfigJoinResult {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   bool seeded_from_parent = false;
+  /// False when this config's join was cut short (deadline/cancel) or its
+  /// task failed; `topk` then holds the best-so-far list (possibly empty),
+  /// not the exact top-k.
+  bool completed = true;
 };
 
 /// Outcome of the whole joint execution, in config-tree node order.
@@ -56,6 +72,14 @@ struct JointResult {
   size_t q_used = 1;
   /// Whether the overlap cache was active (average length reached t).
   bool overlap_reuse_active = false;
+  /// True when any config did not complete (deadline, cancellation, or a
+  /// failed task) — the partial-result flag of the graceful-degradation
+  /// contract (docs/robustness.md).
+  bool truncated = false;
+  /// First error captured from a config task (a task that threw is caught
+  /// at the pool boundary and converted to Status); OK when all tasks ran
+  /// clean. The affected config has `completed == false`.
+  Status task_error;
 };
 
 /// Runs one top-k SSJ per config of `tree` over `corpus`, in parallel, with

@@ -118,6 +118,14 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
     if (topk.Add(pair, score)) scorer->NoteKept(row_a, row_b);
   };
 
+  // Cancellation: checked before the loop and every merge_poll_period
+  // events. On expiry the partially filled list is still returned (the
+  // best-so-far contract, docs/robustness.md).
+  if (options.run_context.Cancelled()) {
+    stats->truncated = true;
+    return topk;
+  }
+
   bool merge_pending = merge_source != nullptr;
   auto poll_merge = [&] {
     if (!merge_pending) return;
@@ -142,7 +150,13 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
     if (event.cap <= topk.KthScore()) break;
     events.pop();
     ++stats->events_popped;
-    if ((stats->events_popped % options.merge_poll_period) == 0) poll_merge();
+    if ((stats->events_popped % options.merge_poll_period) == 0) {
+      poll_merge();
+      if (options.run_context.Cancelled()) {
+        stats->truncated = true;
+        break;
+      }
+    }
 
     const bool from_a = event.side == 0;
     const std::vector<uint32_t>& tokens =
@@ -258,7 +272,7 @@ TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,
 
 size_t SelectQByRace(const ConfigView& view, SetMeasure measure,
                      const CandidateSet* exclude, size_t max_q,
-                     size_t probe_k) {
+                     size_t probe_k, const RunContext& run_context) {
   MC_CHECK_GE(max_q, 1u);
   // Race each q on its own thread for a top-probe_k list (paper §4.1: "one
   // q value for each core, for k = 50"); the first finisher wins. We time
@@ -275,6 +289,7 @@ size_t SelectQByRace(const ConfigView& view, SetMeasure measure,
       options.measure = measure;
       options.q = q;
       options.exclude = exclude;
+      options.run_context = run_context;
       RunTopKJoin(view, options);
       elapsed[q - 1] = watch.ElapsedSeconds();
     });

@@ -9,6 +9,7 @@
 #include "ssj/corpus.h"
 #include "ssj/topk_list.h"
 #include "text/similarity.h"
+#include "util/run_context.h"
 
 namespace mc {
 
@@ -66,7 +67,13 @@ struct TopKJoinOptions {
   /// Pairs to skip — the blocker output C (killed-off search, Def. 2.2).
   const CandidateSet* exclude = nullptr;
   /// How often (in popped prefix-extension events) to poll merge_source.
+  /// Cancellation (run_context) is checked at the same cadence.
   size_t merge_poll_period = 1024;
+  /// Cooperative cancellation/deadline. When it fires mid-run the join
+  /// stops at the next poll, returns its best-so-far list, and sets
+  /// TopKJoinStats::truncated. The default inert context never fires and
+  /// leaves the join byte-identical to an uncancellable run.
+  RunContext run_context;
 };
 
 /// Counters exposing where the join spends its effort; drives the QJoin-vs-
@@ -80,6 +87,9 @@ struct TopKJoinStats {
   size_t pairs_pruned = 0;
   size_t tokens_indexed = 0;
   size_t merges_applied = 0;
+  /// True when the join was cancelled (run_context) before draining its
+  /// event heap: the returned list is best-so-far, not the exact top-k.
+  bool truncated = false;
 };
 
 /// Runs the prefix-event top-k string similarity join over a config view.
@@ -111,7 +121,8 @@ TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,
 /// paper's selection is a wall-clock race by design.
 size_t SelectQByRace(const ConfigView& view, SetMeasure measure,
                      const CandidateSet* exclude, size_t max_q = 4,
-                     size_t probe_k = 50);
+                     size_t probe_k = 50,
+                     const RunContext& run_context = {});
 
 }  // namespace mc
 

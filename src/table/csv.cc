@@ -8,14 +8,30 @@ namespace mc {
 
 namespace {
 
-// Splits CSV text into records of fields, honoring quotes.
-Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
-  std::vector<std::vector<std::string>> records;
+// One parsed CSV record plus the 1-based line it started on — quoted
+// fields may span lines, so error reporting needs the start, not the end.
+struct CsvRecord {
+  std::vector<std::string> fields;
+  size_t line = 1;
+};
+
+std::string LinePrefix(size_t line) {
+  return "CSV line " + std::to_string(line) + ": ";
+}
+
+// Splits CSV text into records of fields, honoring quotes. Malformed input
+// (stray quotes, unterminated quotes, embedded NUL bytes) fails with
+// InvalidArgument and a 1-based line number instead of misparsing.
+Result<std::vector<CsvRecord>> ParseCsv(std::string_view text) {
+  std::vector<CsvRecord> records;
   std::vector<std::string> record;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
   size_t i = 0;
+  size_t line = 1;          // Current 1-based line.
+  size_t record_line = 1;   // Line the current record started on.
+  size_t quote_line = 1;    // Line the open quote started on.
 
   auto end_field = [&] {
     record.push_back(std::move(field));
@@ -24,12 +40,19 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
   };
   auto end_record = [&] {
     end_field();
-    records.push_back(std::move(record));
+    records.push_back(CsvRecord{std::move(record), record_line});
     record.clear();
   };
 
   while (i < text.size()) {
     char c = text[i];
+    if (c == '\0') {
+      // NUL never belongs in CSV text; it usually means a binary file or a
+      // torn write. Parsing on would silently corrupt downstream C string
+      // handling, so reject it even inside quotes.
+      return Status::InvalidArgument(LinePrefix(line) +
+                                     "embedded NUL byte");
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -39,29 +62,41 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field.push_back(c);
       }
     } else if (c == '"') {
       if (field.empty() && !field_started) {
         in_quotes = true;
+        quote_line = line;
         field_started = true;
       } else {
-        return Status::InvalidArgument("quote inside unquoted CSV field");
+        return Status::InvalidArgument(LinePrefix(line) +
+                                       "quote inside unquoted field");
       }
     } else if (c == ',') {
       end_field();
     } else if (c == '\r') {
       // Swallow; \r\n and bare \r both end the line via the \n / next char.
-      if (i + 1 >= text.size() || text[i + 1] != '\n') end_record();
+      if (i + 1 >= text.size() || text[i + 1] != '\n') {
+        end_record();
+        ++line;
+        record_line = line;
+      }
     } else if (c == '\n') {
       end_record();
+      ++line;
+      record_line = line;
     } else {
       field.push_back(c);
       field_started = true;
     }
     ++i;
   }
-  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  if (in_quotes) {
+    return Status::InvalidArgument(LinePrefix(quote_line) +
+                                   "unterminated quoted field");
+  }
   if (field_started || !field.empty() || !record.empty()) end_record();
   return records;
 }
@@ -89,28 +124,27 @@ void AppendCsvField(std::string_view field, std::string& out) {
 }  // namespace
 
 Result<Table> ReadCsvString(std::string_view text) {
-  Result<std::vector<std::vector<std::string>>> parsed = ParseCsv(text);
-  if (!parsed.ok()) return parsed.status();
-  const std::vector<std::vector<std::string>>& records = parsed.value();
+  MC_ASSIGN_OR_RETURN(std::vector<CsvRecord> records, ParseCsv(text));
   if (records.empty()) {
     return Status::InvalidArgument("CSV has no header record");
   }
 
   std::vector<Attribute> attributes;
-  attributes.reserve(records[0].size());
-  for (const std::string& name : records[0]) {
+  attributes.reserve(records[0].fields.size());
+  for (const std::string& name : records[0].fields) {
     attributes.push_back(Attribute{name, AttributeType::kString});
   }
   Table table((Schema(std::move(attributes))));
 
   for (size_t r = 1; r < records.size(); ++r) {
-    if (records[r].size() != table.schema().size()) {
+    if (records[r].fields.size() != table.schema().size()) {
       std::ostringstream message;
-      message << "record " << r << " has " << records[r].size()
-              << " fields, expected " << table.schema().size();
+      message << LinePrefix(records[r].line) << "record has "
+              << records[r].fields.size() << " fields, expected "
+              << table.schema().size();
       return Status::InvalidArgument(message.str());
     }
-    table.AddRow(records[r]);
+    table.AddRow(records[r].fields);
   }
   return table;
 }

@@ -1,0 +1,25 @@
+#ifndef MATCHCATCHER_UTIL_CRC32_H_
+#define MATCHCATCHER_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mc {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) over
+/// `data`. Used by the session checkpoint footer (core/session_io) to
+/// detect torn or bit-rotted files; not a cryptographic hash.
+///
+/// `seed` lets callers chain incremental updates:
+///   uint32_t c = Crc32(part1);
+///   c = Crc32(part2, c);
+/// equals Crc32(part1 + part2).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// Raw-buffer overload.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_UTIL_CRC32_H_

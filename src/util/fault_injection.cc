@@ -1,0 +1,78 @@
+#include "util/fault_injection.h"
+
+namespace mc {
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::ArmNthHit(const std::string& point, FaultKind kind,
+                              size_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& state = points_[point];
+  state.mode = PointState::Mode::kNth;
+  state.kind = kind;
+  state.nth = nth;
+  state.hits = 0;
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultRegistry::ArmEveryHit(const std::string& point, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& state = points_[point];
+  state.mode = PointState::Mode::kEvery;
+  state.kind = kind;
+  state.hits = 0;
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultRegistry::ArmWithProbability(const std::string& point,
+                                       FaultKind kind, double p,
+                                       uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& state = points_[point];
+  state.mode = PointState::Mode::kProbability;
+  state.kind = kind;
+  state.probability = p;
+  state.hits = 0;
+  state.rng = Rng(seed);
+  any_armed_.store(true, std::memory_order_release);
+}
+
+FaultKind FaultRegistry::Check(const std::string& point) {
+  if (!any_armed_.load(std::memory_order_acquire)) return FaultKind::kNone;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& state = points_[point];
+  ++state.hits;
+  switch (state.mode) {
+    case PointState::Mode::kDisarmed:
+      return FaultKind::kNone;
+    case PointState::Mode::kNth:
+      if (state.hits == state.nth) {
+        state.mode = PointState::Mode::kDisarmed;  // One-shot.
+        return state.kind;
+      }
+      return FaultKind::kNone;
+    case PointState::Mode::kEvery:
+      return state.kind;
+    case PointState::Mode::kProbability:
+      return state.rng.NextDouble() < state.probability ? state.kind
+                                                        : FaultKind::kNone;
+  }
+  return FaultKind::kNone;
+}
+
+size_t FaultRegistry::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  any_armed_.store(false, std::memory_order_release);
+}
+
+}  // namespace mc

@@ -1,0 +1,97 @@
+#ifndef MATCHCATCHER_UTIL_FAULT_INJECTION_H_
+#define MATCHCATCHER_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace mc {
+
+/// What an armed fault point should do when it fires. The *point* only
+/// reports the kind; the code hosting it interprets it (e.g. session_io
+/// turns kError into Status::IoError, kPartialWrite into a torn .tmp file).
+enum class FaultKind {
+  kNone = 0,
+  /// Fail with a typed Status (an injected IO/parse failure).
+  kError,
+  /// Throw std::runtime_error (exercises exception paths, e.g. ThreadPool).
+  kThrow,
+  /// IO points: write a truncated artifact, then fail — simulates a crash
+  /// mid-write.
+  kPartialWrite,
+};
+
+/// Process-wide registry of named fault points for deterministic fault
+/// injection in tests. Production code marks recoverable failure sites with
+/// MC_FAULT_POINT("area/operation"); tests arm a point, run the real code
+/// path, and assert the recovery behavior — real faults, not mocks.
+///
+///   FaultRegistry::Instance().ArmNthHit("session_io/write", FaultKind::kError, 1);
+///   Status s = SaveTopKLists(lists, path);   // fails with the injected fault
+///   FaultRegistry::Instance().Reset();
+///
+/// Determinism: arming is explicit and counted — ArmNthHit fires on exactly
+/// the nth hit, ArmWithProbability draws from a private seeded Rng, so a
+/// given (arm calls, execution order) always yields the same faults. When
+/// nothing is armed, Check() is one relaxed atomic load and hits are not
+/// counted; the registry costs nothing in production.
+///
+/// Thread-safe: Check() may race with worker threads; arming/Reset should
+/// happen while the system is quiescent (between test phases).
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  /// Fires `kind` on exactly the `nth` (1-based) hit of `point`, once.
+  void ArmNthHit(const std::string& point, FaultKind kind, size_t nth);
+
+  /// Fires `kind` on every hit of `point` until Reset().
+  void ArmEveryHit(const std::string& point, FaultKind kind);
+
+  /// Fires `kind` on each hit with probability `p`, drawn from an Rng
+  /// seeded with `seed` — deterministic for a fixed execution order.
+  void ArmWithProbability(const std::string& point, FaultKind kind, double p,
+                          uint64_t seed);
+
+  /// Called by MC_FAULT_POINT: counts the hit and returns the armed action,
+  /// or kNone. Fast no-op when nothing is armed anywhere.
+  FaultKind Check(const std::string& point);
+
+  /// Hits seen by `point` since the last Reset(). Counted only while at
+  /// least one point is armed (the disarmed fast path skips bookkeeping).
+  size_t HitCount(const std::string& point) const;
+
+  /// Disarms every point and clears all hit counters.
+  void Reset();
+
+ private:
+  FaultRegistry() = default;
+
+  struct PointState {
+    enum class Mode { kDisarmed, kNth, kEvery, kProbability };
+    Mode mode = Mode::kDisarmed;
+    FaultKind kind = FaultKind::kNone;
+    size_t nth = 0;
+    size_t hits = 0;
+    double probability = 0.0;
+    Rng rng{0};
+  };
+
+  std::atomic<bool> any_armed_{false};
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, PointState> points_;
+};
+
+}  // namespace mc
+
+/// Marks a recoverable failure site. Expands to the armed FaultKind for
+/// this hit (kNone when disarmed). Name points "area/operation"
+/// (e.g. "session_io/write"); the catalog lives in docs/robustness.md.
+#define MC_FAULT_POINT(point) (::mc::FaultRegistry::Instance().Check(point))
+
+#endif  // MATCHCATCHER_UTIL_FAULT_INJECTION_H_

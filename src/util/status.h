@@ -18,6 +18,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -115,5 +119,24 @@ class Result {
     ::mc::Status mc_status_ = (expr);              \
     if (!mc_status_.ok()) return mc_status_;       \
   } while (false)
+
+/// Evaluates `expr` (a Result<T>), propagates its error out of the current
+/// function, or assigns the value to `lhs`. `lhs` may declare a variable:
+///
+///   MC_ASSIGN_OR_RETURN(Table table, ReadCsvFile(path));
+///   MC_ASSIGN_OR_RETURN(auto lines, ReadLines(path));
+///
+/// The enclosing function must return Status or Result<U>.
+#define MC_ASSIGN_OR_RETURN(lhs, expr) \
+  MC_ASSIGN_OR_RETURN_IMPL_(           \
+      MC_STATUS_MACRO_CONCAT_(mc_result_, __LINE__), lhs, expr)
+
+#define MC_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value()
+
+#define MC_STATUS_MACRO_CONCAT_(a, b) MC_STATUS_MACRO_CONCAT_IMPL_(a, b)
+#define MC_STATUS_MACRO_CONCAT_IMPL_(a, b) a##b
 
 #endif  // MATCHCATCHER_UTIL_STATUS_H_

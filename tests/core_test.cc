@@ -127,6 +127,24 @@ TEST(DebugSessionTest, ExplainPairFlagsProblems) {
   EXPECT_NE(variation.find("city"), std::string::npos);
 }
 
+TEST(DebugSessionTest, PreCancelledContextFailsCreateWithDeadlineExceeded) {
+  Table a = FigureOneTableA();
+  Table b = FigureOneTableB();
+  auto blocker = HashBlocker::AttributeEquivalence(1);
+  CandidateSet c1 = blocker->Run(a, b);
+
+  MatchCatcherOptions options = SmallOptions();
+  RunContext context = RunContext::Cancellable();
+  context.Cancel();
+  options.run_context = context;
+
+  // Cancellation during config generation leaves nothing useful, so Create
+  // fails with the typed code instead of returning a degenerate session.
+  Result<DebugSession> session = DebugSession::Create(a, b, c1, options);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kDeadlineExceeded);
+}
+
 TEST(DebugSessionTest, ErrorsPropagate) {
   // Tables with only a numeric attribute -> no promising attributes.
   Schema schema({{"price", AttributeType::kString}});

@@ -1,17 +1,24 @@
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "config/config_generator.h"
+#include "datagen/generator.h"
 #include "joint/caching_scorer.h"
 #include "joint/joint_executor.h"
 #include "joint/overlap_cache.h"
+#include "learn/features.h"
 #include "ssj/corpus.h"
 #include "ssj/topk_join.h"
 #include "table/table.h"
+#include "util/fault_injection.h"
 #include "util/random.h"
+#include "util/run_context.h"
+#include "util/stopwatch.h"
+#include "verifier/match_verifier.h"
 
 namespace mc {
 namespace {
@@ -270,6 +277,152 @@ TEST(JointExecutorTest, AutoQRuns) {
   EXPECT_LE(result.q_used, 4u);
   EXPECT_EQ(result.per_config.size(), tree.size());
 }
+
+// --------------------------------------------------------------------------
+// Fault tolerance: deadlines, cancellation, and injected task failures
+// (docs/robustness.md).
+// --------------------------------------------------------------------------
+
+PromisingAttributes ThreeColumnAttrs() {
+  PromisingAttributes attrs;
+  attrs.columns = {0, 1, 2};
+  attrs.e_scores = {0.9, 0.4, 0.6};
+  attrs.avg_len_a = {2, 1, 3};
+  attrs.avg_len_b = {2, 1, 3};
+  return attrs;
+}
+
+TEST(JointFaultToleranceTest, DeadlineTruncatesButPartialListsFeedVerifier) {
+  // A corpus big enough that the joint run cannot finish inside 50ms: the
+  // Amazon-Google-style generator at full Table 1 dims, long descriptions.
+  datagen::GeneratedDataset data = datagen::GenerateAmazonGoogle();
+  SsjCorpus corpus =
+      SsjCorpus::Build(data.table_a, data.table_b, {0, 1, 2});
+  ConfigTree tree = GenerateConfigTree(ThreeColumnAttrs());
+
+  JointOptions options;
+  options.k = 1000;
+  options.num_threads = 4;
+  options.run_context = RunContext::WithDeadline(50);
+
+  Stopwatch watch;
+  JointResult joint = RunJointTopKJoins(corpus, tree, options);
+  double elapsed_ms = watch.ElapsedSeconds() * 1000.0;
+
+  EXPECT_TRUE(joint.truncated);
+  EXPECT_TRUE(joint.task_error.ok()) << joint.task_error.ToString();
+  ASSERT_EQ(joint.per_config.size(), tree.size());
+  bool any_incomplete = false;
+  for (const ConfigJoinResult& config : joint.per_config) {
+    if (!config.completed) any_incomplete = true;
+    EXPECT_LE(config.topk.size(), options.k);
+  }
+  EXPECT_TRUE(any_incomplete);
+
+  // The join must return shortly after the deadline, not run to completion.
+  // Sanitizer builds run the join an order of magnitude slower, so the
+  // bound is loosened there.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  EXPECT_LT(elapsed_ms, 10000.0);
+#else
+  EXPECT_LT(elapsed_ms, 1000.0);
+#endif
+
+  // Graceful degradation: the best-so-far lists are valid verifier input.
+  std::vector<std::vector<ScoredPair>> lists;
+  for (const ConfigJoinResult& config : joint.per_config) {
+    lists.push_back(config.topk);
+  }
+  PairFeatureExtractor extractor(&data.table_a, &data.table_b);
+  MatchVerifier verifier(std::move(lists), &extractor, VerifierOptions{});
+  std::vector<PairId> batch = verifier.NextBatch();
+  EXPECT_LE(batch.size(), VerifierOptions{}.pairs_per_iteration);
+}
+
+TEST(JointFaultToleranceTest, CancelledBeforeStartSkipsEveryConfig) {
+  Rng rng(55);
+  auto [a, b] = RandomThreeAttrTables(rng, 30);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1, 2});
+  ConfigTree tree = GenerateConfigTree(ThreeColumnAttrs());
+
+  RunContext context = RunContext::Cancellable();
+  context.Cancel();
+  JointOptions options;
+  options.k = 10;
+  options.num_threads = 1;
+  options.run_context = context;
+
+  JointResult joint = RunJointTopKJoins(corpus, tree, options);
+  EXPECT_TRUE(joint.truncated);
+  ASSERT_EQ(joint.per_config.size(), tree.size());
+  for (const ConfigJoinResult& config : joint.per_config) {
+    EXPECT_FALSE(config.completed);
+    EXPECT_TRUE(config.topk.empty());
+  }
+}
+
+TEST(JointFaultToleranceTest, NoDeadlineRunMatchesSeedBehavior) {
+  // An inert (default) run context must leave results identical to a run
+  // with no context plumbing at all — the byte-identical contract.
+  Rng rng(101);
+  auto [a, b] = RandomThreeAttrTables(rng, 50);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1, 2});
+  ConfigTree tree = GenerateConfigTree(ThreeColumnAttrs());
+
+  JointOptions options;
+  options.k = 25;
+  options.num_threads = 1;
+  JointResult joint = RunJointTopKJoins(corpus, tree, options);
+  EXPECT_FALSE(joint.truncated);
+  EXPECT_TRUE(joint.task_error.ok());
+  for (const ConfigJoinResult& config : joint.per_config) {
+    EXPECT_TRUE(config.completed);
+    EXPECT_FALSE(config.stats.truncated);
+  }
+}
+
+class JointTaskFaultTest : public ::testing::TestWithParam<size_t> {
+  void TearDown() override { FaultRegistry::Instance().Reset(); }
+};
+
+TEST_P(JointTaskFaultTest, ThrowingConfigTaskIsCapturedNotFatal) {
+  const size_t num_threads = GetParam();
+  Rng rng(66);
+  auto [a, b] = RandomThreeAttrTables(rng, 30);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1, 2});
+  ConfigTree tree = GenerateConfigTree(ThreeColumnAttrs());
+
+  FaultRegistry::Instance().Reset();
+  FaultRegistry::Instance().ArmNthHit("joint/run_node", FaultKind::kThrow, 1);
+
+  JointOptions options;
+  options.k = 10;
+  options.num_threads = num_threads;
+  JointResult joint = RunJointTopKJoins(corpus, tree, options);
+
+  // Exactly one config task threw; it is captured as a typed error, the
+  // workers survive, and every other config still ran to completion.
+  EXPECT_EQ(joint.task_error.code(), StatusCode::kInternal);
+  // Sequential runs report "config task threw ..."; pooled runs surface the
+  // pool boundary's "pool task threw ...". Both carry the injected message.
+  EXPECT_NE(joint.task_error.message().find("task threw"), std::string::npos)
+      << joint.task_error.ToString();
+  EXPECT_NE(joint.task_error.message().find("joint/run_node"),
+            std::string::npos)
+      << joint.task_error.ToString();
+  EXPECT_TRUE(joint.truncated);
+  size_t incomplete = 0;
+  for (const ConfigJoinResult& config : joint.per_config) {
+    if (!config.completed) {
+      ++incomplete;
+      EXPECT_TRUE(config.topk.empty());
+    }
+  }
+  EXPECT_EQ(incomplete, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, JointTaskFaultTest,
+                         ::testing::Values(1, 4));
 
 }  // namespace
 }  // namespace mc

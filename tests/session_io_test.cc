@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "core/session_io.h"
 #include "learn/features.h"
 #include "table/table.h"
+#include "util/fault_injection.h"
 #include "verifier/match_verifier.h"
 #include "verifier/user_oracle.h"
 
@@ -17,6 +19,38 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+std::vector<std::vector<ScoredPair>> SampleLists() {
+  return {
+      {{MakePairId(1, 2), 0.875}, {MakePairId(3, 4), 1.0 / 3.0}},
+      {},
+      {{MakePairId(5, 6), 1e-9}},
+  };
+}
+
+void ExpectListsEqual(const std::vector<std::vector<ScoredPair>>& got,
+                      const std::vector<std::vector<ScoredPair>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].size(), want[i].size()) << "list " << i;
+    for (size_t e = 0; e < want[i].size(); ++e) {
+      EXPECT_EQ(got[i][e].pair, want[i][e].pair);
+      EXPECT_DOUBLE_EQ(got[i][e].score, want[i][e].score);
+    }
+  }
 }
 
 TEST(SessionIoTest, LabeledPairsRoundTrip) {
@@ -66,6 +100,133 @@ TEST(SessionIoTest, LoadErrors) {
     out << "not,a,valid,line\n";
   }
   EXPECT_FALSE(LoadLabeledPairs(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoRecoveryTest, TruncatedCheckpointIsDetected) {
+  std::string path = TempPath("truncated.mc");
+  ASSERT_TRUE(SaveTopKLists(SampleLists(), path).ok());
+  std::string content = ReadAll(path);
+  // Chop the tail off, as a torn write or partial copy would: the CRC
+  // footer is lost but the magic header survives.
+  WriteAll(path, content.substr(0, content.size() - 20));
+  Result<std::vector<std::vector<ScoredPair>>> loaded = LoadTopKLists(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoRecoveryTest, BitFlippedPayloadFailsChecksum) {
+  std::string path = TempPath("bitflip.mc");
+  ASSERT_TRUE(SaveTopKLists(SampleLists(), path).ok());
+  std::string content = ReadAll(path);
+  content[content.size() / 2] ^= 0x04;  // One flipped bit mid-payload.
+  WriteAll(path, content);
+  Result<std::vector<std::vector<ScoredPair>>> loaded = LoadTopKLists(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoRecoveryTest, TmpLeftoverFromCrashIsIgnoredAndReclaimed) {
+  std::string path = TempPath("leftover.mc");
+  std::vector<std::vector<ScoredPair>> lists = SampleLists();
+  ASSERT_TRUE(SaveTopKLists(lists, path).ok());
+  // Simulate a crash that died after writing half a .tmp: the leftover must
+  // not affect loads of the real checkpoint.
+  WriteAll(path + ".tmp", "# mc-checkpoint v1\ntopk_lis");
+  Result<std::vector<std::vector<ScoredPair>>> loaded = LoadTopKLists(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectListsEqual(*loaded, lists);
+  // The next save overwrites the stale .tmp and completes normally.
+  ASSERT_TRUE(SaveTopKLists(lists, path).ok());
+  EXPECT_TRUE(LoadTopKLists(path).ok());
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoRecoveryTest, LegacyChecksumlessFilesStillLoad) {
+  // Files written before the checkpoint framing: no magic, no footer.
+  std::string lists_path = TempPath("legacy.mc");
+  WriteAll(lists_path,
+           "topk_lists 2\n"
+           "list 0 1\n"
+           "1,2,0.875\n"
+           "list 1 0\n");
+  Result<std::vector<std::vector<ScoredPair>>> lists =
+      LoadTopKLists(lists_path);
+  ASSERT_TRUE(lists.ok()) << lists.status().ToString();
+  ASSERT_EQ(lists->size(), 2u);
+  ASSERT_EQ((*lists)[0].size(), 1u);
+  EXPECT_EQ((*lists)[0][0].pair, MakePairId(1, 2));
+  EXPECT_DOUBLE_EQ((*lists)[0][0].score, 0.875);
+
+  std::string labels_path = TempPath("legacy_labels.csv");
+  WriteAll(labels_path, "a,b,label\n3,4,1\n5,6,0\n");
+  Result<std::vector<std::pair<PairId, bool>>> labels =
+      LoadLabeledPairs(labels_path);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels->size(), 2u);
+  EXPECT_EQ((*labels)[0], (std::pair<PairId, bool>{MakePairId(3, 4), true}));
+  std::remove(lists_path.c_str());
+  std::remove(labels_path.c_str());
+}
+
+TEST(SessionIoRecoveryTest, InjectedWriteFaultKeepsPreviousCheckpoint) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  registry.Reset();
+  std::string path = TempPath("faulted.mc");
+  std::vector<std::vector<ScoredPair>> good = SampleLists();
+  std::vector<std::vector<ScoredPair>> newer{{{MakePairId(9, 9), 0.5}}};
+  ASSERT_TRUE(SaveTopKLists(good, path).ok());
+
+  // IO failure before anything is written.
+  registry.ArmNthHit("session_io/write", FaultKind::kError, 1);
+  Status failed = SaveTopKLists(newer, path);
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+
+  // Crash mid-write: torn .tmp left behind, target untouched.
+  registry.Reset();
+  registry.ArmNthHit("session_io/write", FaultKind::kPartialWrite, 1);
+  failed = SaveTopKLists(newer, path);
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+
+  // Crash between the .tmp write and the rename.
+  registry.Reset();
+  registry.ArmNthHit("session_io/rename", FaultKind::kError, 1);
+  failed = SaveTopKLists(newer, path);
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+
+  // After every failure mode, the previous checkpoint round-trips intact.
+  registry.Reset();
+  Result<std::vector<std::vector<ScoredPair>>> loaded = LoadTopKLists(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectListsEqual(*loaded, good);
+
+  // With faults cleared the new save lands.
+  ASSERT_TRUE(SaveTopKLists(newer, path).ok());
+  loaded = LoadTopKLists(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectListsEqual(*loaded, newer);
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoRecoveryTest, InjectedReadFaultIsTyped) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  registry.Reset();
+  std::string path = TempPath("readfault.mc");
+  ASSERT_TRUE(SaveTopKLists(SampleLists(), path).ok());
+  registry.ArmNthHit("session_io/read", FaultKind::kError, 1);
+  Result<std::vector<std::vector<ScoredPair>>> loaded = LoadTopKLists(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  registry.Reset();
+  EXPECT_TRUE(LoadTopKLists(path).ok());
   std::remove(path.c_str());
 }
 

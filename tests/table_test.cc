@@ -114,6 +114,68 @@ TEST(CsvTest, ErrorsAreReported) {
   EXPECT_FALSE(ReadCsvFile("/nonexistent/path.csv").ok());
 }
 
+TEST(CsvMalformedTest, RaggedRowReportsLineNumber) {
+  Result<Table> parsed = ReadCsvString("a,b\n1,2\n3,4,5\n6,7\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("CSV line 3"), std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("3 fields, expected 2"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(CsvMalformedTest, UnterminatedQuoteReportsOpeningLine) {
+  Result<Table> parsed = ReadCsvString("a,b\n1,2\n3,\"never closed\n5,6\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  // Reported at the line the quote opened, not where the input ran out.
+  EXPECT_NE(parsed.status().message().find("CSV line 3"), std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("unterminated"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(CsvMalformedTest, EmbeddedNulByteIsRejected) {
+  std::string text("a,b\n1,x\0y\n", 10);
+  Result<Table> parsed = ReadCsvString(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("CSV line 2"), std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("NUL"), std::string::npos)
+      << parsed.status().ToString();
+
+  // NUL inside a quoted field is just as suspect.
+  std::string quoted("a,b\n1,\"x\0y\"\n", 12);
+  Result<Table> parsed_quoted = ReadCsvString(quoted);
+  ASSERT_FALSE(parsed_quoted.ok());
+  EXPECT_EQ(parsed_quoted.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvMalformedTest, QuoteInsideUnquotedFieldIsRejected) {
+  Result<Table> parsed = ReadCsvString("a,b\n1,mid\"dle\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("CSV line 2"), std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("quote inside unquoted field"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(CsvMalformedTest, LineNumbersCountThroughMultilineQuotedFields) {
+  // The quoted field on line 2 spans three physical lines, so the ragged
+  // record after it starts on physical line 5.
+  Result<Table> parsed =
+      ReadCsvString("a,b\n1,\"two\nphysical\nlines\"\n5,6,7\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("CSV line 5"), std::string::npos)
+      << parsed.status().ToString();
+}
+
 TEST(ProfileTest, MissingAndUniqueRatios) {
   Schema schema({{"city", AttributeType::kString}});
   Table table(schema);

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI driver: builds and tests the suite three ways — a plain Release build,
+# then AddressSanitizer and ThreadSanitizer builds (MC_SANITIZE, see the
+# top-level CMakeLists.txt). Each configuration uses its own build tree so
+# the sanitizer runtimes never mix.
+#
+# Usage: tools/ci.sh [build-root]   (default build root: ./build-ci)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_root="${1:-${repo_root}/build-ci}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"
+  local sanitize="$2"
+  local build_dir="${build_root}/${name}"
+  echo "==== [${name}] configure ===="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DMC_SANITIZE="${sanitize}"
+  echo "==== [${name}] build ===="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "==== [${name}] test ===="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config release ""
+run_config asan address
+run_config tsan thread
+
+echo "==== all configurations passed ===="
