@@ -1,0 +1,64 @@
+#ifndef MATCHCATCHER_BENCH_BENCH_JSON_H_
+#define MATCHCATCHER_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace mc {
+namespace bench {
+
+/// Minimal streaming JSON writer for the machine-readable benchmark records
+/// (BENCH_ssj.json and friends). Emits valid JSON with deterministic
+/// formatting so perf records diff cleanly across PRs. No external
+/// dependencies; the schema is validated in CI by
+/// tools/validate_bench_json.py (the bench-smoke step of tools/ci.sh).
+///
+/// Usage:
+///   JsonWriter json(out);
+///   json.BeginObject();
+///   json.KV("schema_version", uint64_t{1});
+///   json.Key("results");
+///   json.BeginArray();
+///   ...
+///   json.EndArray();
+///   json.EndObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the key of the next key/value pair (objects only).
+  void Key(std::string_view key);
+
+  /// Value emitters (array elements, or after Key() in an object).
+  void String(std::string_view value);
+  void Double(double value);
+  void UInt(uint64_t value);
+  void Bool(bool value);
+
+  /// Convenience: Key() followed by the value.
+  void KV(std::string_view key, std::string_view value);
+  void KV(std::string_view key, const char* value);
+  void KV(std::string_view key, double value);
+  void KV(std::string_view key, uint64_t value);
+  void KV(std::string_view key, bool value);
+
+ private:
+  void BeforeValue();
+
+  std::ostream& out_;
+  // One entry per open container: whether a comma is needed before the next
+  // element.
+  std::vector<bool> needs_comma_{false};
+};
+
+}  // namespace bench
+}  // namespace mc
+
+#endif  // MATCHCATCHER_BENCH_BENCH_JSON_H_

@@ -27,19 +27,19 @@ double CachingPairScorer::Score(RowId row_a, RowId row_b) {
     overlap = OverlapCache::OverlapUnder(**cached, config_);
   } else {
     ++misses_;
-    overlap = SsjCorpus::ConfigOverlap(corpus_->tuples_a()[row_a],
-                                       corpus_->tuples_b()[row_b], config_);
+    overlap = SsjCorpus::ConfigOverlap(corpus_->tuple_a(row_a),
+                                       corpus_->tuple_b(row_b), config_);
   }
-  return SetSimilarityFromCounts(measure_, view_->tokens_a[row_a].size(),
-                                 view_->tokens_b[row_b].size(), overlap);
+  return SetSimilarityFromCounts(measure_, view_->a(row_a).size(),
+                                 view_->b(row_b).size(), overlap);
 }
 
 void CachingPairScorer::NoteKept(RowId row_a, RowId row_b) {
   if (!write_enabled_) return;
   const PairId pair = MakePairId(row_a, row_b);
   const CachedOverlap* stored = cache_->InsertWith(pair, [&] {
-    return OverlapCache::ComputeShared(corpus_->tuples_a()[row_a],
-                                       corpus_->tuples_b()[row_b]);
+    return OverlapCache::ComputeShared(corpus_->tuple_a(row_a),
+                                       corpus_->tuple_b(row_b));
   });
   bool inserted = false;
   *snapshot_.FindOrInsert(pair, stored, &inserted) = stored;

@@ -41,7 +41,7 @@ std::vector<ScoredPair> ReadjustToConfig(const std::vector<ScoredPair>& pairs,
   for (const ScoredPair& entry : pairs) {
     RowId row_a = PairRowA(entry.pair);
     RowId row_b = PairRowB(entry.pair);
-    if (view.tokens_a[row_a].empty() || view.tokens_b[row_b].empty()) {
+    if (view.a(row_a).empty() || view.b(row_b).empty()) {
       continue;
     }
     adjusted.push_back(ScoredPair{entry.pair, scorer.Score(row_a, row_b)});
@@ -96,7 +96,7 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
   // The reuse trigger uses the average tuple length over the root config.
   const bool overlap_reuse =
       options.reuse_overlaps &&
-      root_view.average_tokens >= options.reuse_min_avg_tokens;
+      root_view.average_tokens() >= options.reuse_min_avg_tokens;
   result.overlap_reuse_active = overlap_reuse;
 
   OverlapCache cache;
@@ -136,13 +136,19 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
 
     ConfigView view = corpus.MakeConfigView(node.mask);
 
-    // Scorer: caching when overlap reuse is on; writes enabled always (any
-    // config's computation can serve any other under mask-based caching).
+    // Scorer: caching only when overlap reuse is on — constructing the
+    // caching scorer snapshots the shared cache, which is wasted work (and
+    // misleading hit/miss counters) when reuse is disabled. With reuse off
+    // the direct scorer runs and cache_hits/cache_misses stay 0.
     DirectPairScorer direct(&view, options.measure);
-    CachingPairScorer caching(&corpus, &view, node.mask, options.measure,
-                              &cache, /*write_enabled=*/true);
-    PairScorer* scorer =
-        overlap_reuse ? static_cast<PairScorer*>(&caching) : &direct;
+    std::unique_ptr<CachingPairScorer> caching;
+    PairScorer* scorer = &direct;
+    if (overlap_reuse) {
+      caching = std::make_unique<CachingPairScorer>(
+          &corpus, &view, node.mask, options.measure, &cache,
+          /*write_enabled=*/true);
+      scorer = caching.get();
+    }
 
     TopKJoinOptions join_options;
     join_options.k = options.k;
@@ -179,8 +185,8 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
 
     out.topk = topk.SortedDescending();
     out.seconds = watch.ElapsedSeconds();
-    out.cache_hits = caching.cache_hits();
-    out.cache_misses = caching.cache_misses();
+    out.cache_hits = caching != nullptr ? caching->cache_hits() : 0;
+    out.cache_misses = caching != nullptr ? caching->cache_misses() : 0;
     out.completed = !out.stats.truncated;
   };
 

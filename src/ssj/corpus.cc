@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "text/tokenize.h"
 #include "util/check.h"
@@ -10,12 +11,14 @@ namespace mc {
 
 namespace {
 
-// Tokenizes one table: per tuple, distinct tokens with attribute masks,
-// still keyed by raw TokenId (ranks assigned later).
-std::vector<TupleTokens> TokenizeTable(const Table& table,
-                                       const std::vector<size_t>& columns,
-                                       TokenDictionary& dictionary) {
-  std::vector<TupleTokens> tuples(table.num_rows());
+// Per-row (raw token id, attribute mask) entries of one table; ids are
+// converted to global ranks once the dictionary is finalized.
+using RowEntries = std::vector<std::pair<uint32_t, uint32_t>>;
+
+std::vector<RowEntries> TokenizeTable(const Table& table,
+                                      const std::vector<size_t>& columns,
+                                      TokenDictionary& dictionary) {
+  std::vector<RowEntries> rows(table.num_rows());
   std::unordered_map<TokenId, uint32_t> tuple_masks;
   std::vector<TokenId> distinct_ids;
   for (size_t row = 0; row < table.num_rows(); ++row) {
@@ -28,36 +31,40 @@ std::vector<TupleTokens> TokenizeTable(const Table& table,
         tuple_masks[id] |= (uint32_t{1} << bit);
       }
     }
-    TupleTokens& tuple = tuples[row];
-    tuple.ranks.reserve(tuple_masks.size());
-    tuple.masks.reserve(tuple_masks.size());
+    RowEntries& entries = rows[row];
+    entries.reserve(tuple_masks.size());
     distinct_ids.clear();
     for (const auto& [id, mask] : tuple_masks) {
-      tuple.ranks.push_back(id);  // Raw id; converted to rank later.
-      tuple.masks.push_back(mask);
+      entries.emplace_back(id, mask);
       distinct_ids.push_back(id);
     }
     dictionary.AddDocument(distinct_ids);
   }
-  return tuples;
+  return rows;
 }
 
-// Converts raw token ids into global ranks and sorts each tuple's entries.
-void RankAndSort(std::vector<TupleTokens>& tuples,
-                 const TokenDictionary& dictionary) {
-  std::vector<std::pair<uint32_t, uint32_t>> entries;
-  for (TupleTokens& tuple : tuples) {
+// Converts raw token ids into global ranks, sorts each row by rank, and
+// appends the rows to the CSR arenas.
+void FlattenIntoArenas(const std::vector<RowEntries>& rows,
+                       const TokenDictionary& dictionary,
+                       std::vector<uint32_t>& ranks,
+                       std::vector<uint32_t>& masks,
+                       std::vector<uint64_t>& offsets) {
+  offsets.reserve(rows.size() + 1);
+  offsets.push_back(ranks.size());
+  RowEntries entries;
+  for (const RowEntries& row : rows) {
     entries.clear();
-    entries.reserve(tuple.size());
-    for (size_t i = 0; i < tuple.size(); ++i) {
-      entries.emplace_back(dictionary.RankOf(tuple.ranks[i]),
-                           tuple.masks[i]);
+    entries.reserve(row.size());
+    for (const auto& [id, mask] : row) {
+      entries.emplace_back(dictionary.RankOf(id), mask);
     }
     std::sort(entries.begin(), entries.end());
-    for (size_t i = 0; i < entries.size(); ++i) {
-      tuple.ranks[i] = entries[i].first;
-      tuple.masks[i] = entries[i].second;
+    for (const auto& [rank, mask] : entries) {
+      ranks.push_back(rank);
+      masks.push_back(mask);
     }
+    offsets.push_back(ranks.size());
   }
 }
 
@@ -69,44 +76,73 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
   MC_CHECK_LE(columns.size(), 32u);
   SsjCorpus corpus;
   corpus.num_attributes_ = columns.size();
-  corpus.tuples_a_ = TokenizeTable(table_a, columns, corpus.dictionary_);
-  corpus.tuples_b_ = TokenizeTable(table_b, columns, corpus.dictionary_);
+  std::vector<RowEntries> rows_a =
+      TokenizeTable(table_a, columns, corpus.dictionary_);
+  std::vector<RowEntries> rows_b =
+      TokenizeTable(table_b, columns, corpus.dictionary_);
   corpus.dictionary_.FinalizeRanks();
-  RankAndSort(corpus.tuples_a_, corpus.dictionary_);
-  RankAndSort(corpus.tuples_b_, corpus.dictionary_);
+
+  size_t total_entries = 0;
+  for (const RowEntries& row : rows_a) total_entries += row.size();
+  for (const RowEntries& row : rows_b) total_entries += row.size();
+  corpus.ranks_.reserve(total_entries);
+  corpus.masks_.reserve(total_entries);
+  FlattenIntoArenas(rows_a, corpus.dictionary_, corpus.ranks_, corpus.masks_,
+                    corpus.offsets_a_);
+  FlattenIntoArenas(rows_b, corpus.dictionary_, corpus.ranks_, corpus.masks_,
+                    corpus.offsets_b_);
   return corpus;
 }
 
 ConfigView SsjCorpus::MakeConfigView(ConfigMask config) const {
   ConfigView view;
-  size_t total_tokens = 0;
-  auto materialize = [&](const std::vector<TupleTokens>& tuples,
-                         std::vector<std::vector<uint32_t>>& out) {
-    out.resize(tuples.size());
-    for (size_t row = 0; row < tuples.size(); ++row) {
-      const TupleTokens& tuple = tuples[row];
-      std::vector<uint32_t>& tokens = out[row];
-      tokens.clear();
-      for (size_t i = 0; i < tuple.size(); ++i) {
-        if (tuple.masks[i] & config) tokens.push_back(tuple.ranks[i]);
+  view.rank_limit_ = static_cast<uint32_t>(dictionary_.size());
+
+  // Pass 1: per-row selected-token counts -> offsets (and the arena size).
+  auto count_side = [&](const std::vector<uint64_t>& offsets,
+                        std::vector<uint64_t>& out, uint64_t base) {
+    size_t rows = ConfigView::NumRows(offsets);
+    out.reserve(rows + 1);
+    uint64_t position = base;
+    out.push_back(position);
+    for (size_t row = 0; row < rows; ++row) {
+      for (uint64_t i = offsets[row]; i < offsets[row + 1]; ++i) {
+        if (masks_[i] & config) ++position;
       }
-      total_tokens += tokens.size();
+      out.push_back(position);
+    }
+    return position;
+  };
+  uint64_t after_a = count_side(offsets_a_, view.offsets_a_, 0);
+  uint64_t total = count_side(offsets_b_, view.offsets_b_, after_a);
+
+  // Pass 2: fill the arena.
+  view.arena_.resize(total);
+  uint64_t write = 0;
+  auto fill_side = [&](const std::vector<uint64_t>& offsets) {
+    size_t rows = ConfigView::NumRows(offsets);
+    for (size_t row = 0; row < rows; ++row) {
+      for (uint64_t i = offsets[row]; i < offsets[row + 1]; ++i) {
+        if (masks_[i] & config) view.arena_[write++] = ranks_[i];
+      }
     }
   };
-  materialize(tuples_a_, view.tokens_a);
-  materialize(tuples_b_, view.tokens_b);
-  size_t total_tuples = tuples_a_.size() + tuples_b_.size();
-  view.average_tokens =
+  fill_side(offsets_a_);
+  fill_side(offsets_b_);
+  MC_CHECK_EQ(write, total);
+
+  size_t total_tuples = rows_a() + rows_b();
+  view.average_tokens_ =
       total_tuples == 0
           ? 0.0
-          : static_cast<double>(total_tokens) / static_cast<double>(total_tuples);
+          : static_cast<double>(total) / static_cast<double>(total_tuples);
   return view;
 }
 
 size_t SsjCorpus::ConfigLength(const TupleTokens& tuple, ConfigMask config) {
   size_t length = 0;
-  for (uint32_t mask : tuple.masks) {
-    if (mask & config) ++length;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple.masks[i] & config) ++length;
   }
   return length;
 }

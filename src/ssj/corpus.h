@@ -1,6 +1,7 @@
 #ifndef MATCHCATCHER_SSJ_CORPUS_H_
 #define MATCHCATCHER_SSJ_CORPUS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -10,34 +11,87 @@
 
 namespace mc {
 
+/// Non-owning view of one tuple's sorted token ranks — a slice of a CSR
+/// arena (see docs/algorithms.md §"CSR token arenas"). Cheap to copy; valid
+/// as long as the owning SsjCorpus/ConfigView is alive.
+struct TokenSpan {
+  const uint32_t* data = nullptr;
+  uint32_t length = 0;
+
+  size_t size() const { return length; }
+  bool empty() const { return length == 0; }
+  uint32_t operator[](size_t i) const { return data[i]; }
+  const uint32_t* begin() const { return data; }
+  const uint32_t* end() const { return data + length; }
+};
+
 /// Token content of one tuple over the promising attributes: for each
 /// distinct token, its global-order rank and the bitmask of promising
 /// attributes in which it appears. From this, the token set of the tuple
 /// under *any* config is derivable exactly — the key to reusing work across
 /// configs (see DESIGN.md §5): a token belongs to config g iff mask ∧ g ≠ 0.
+///
+/// Non-owning view into the corpus's CSR arenas; `ranks[i]`/`masks[i]` are
+/// parallel arrays of `length` entries, ranks sorted ascending (rarest token
+/// first).
 struct TupleTokens {
-  /// Global-order ranks, sorted ascending (rarest token first).
-  std::vector<uint32_t> ranks;
-  /// masks[i] = attribute bitmask of ranks[i].
-  std::vector<uint32_t> masks;
+  const uint32_t* ranks = nullptr;
+  const uint32_t* masks = nullptr;
+  uint32_t length = 0;
 
-  size_t size() const { return ranks.size(); }
+  size_t size() const { return length; }
 };
 
 /// Per-config token view of both tables: for each tuple, the sorted rank
 /// array of its tokens under the config. This is what the top-k joins
 /// consume; string content never reappears past corpus construction.
-struct ConfigView {
-  std::vector<std::vector<uint32_t>> tokens_a;
-  std::vector<std::vector<uint32_t>> tokens_b;
+///
+/// Storage is a single contiguous CSR arena (rows of A, then rows of B)
+/// plus per-side offset arrays — one allocation instead of one vector per
+/// row, so the join's sequential sweeps stay in cache and a row access is
+/// two loads with no pointer chase.
+class ConfigView {
+ public:
+  ConfigView() = default;
+
+  size_t rows_a() const { return NumRows(offsets_a_); }
+  size_t rows_b() const { return NumRows(offsets_b_); }
+
+  /// Token ranks of one row, sorted ascending.
+  TokenSpan a(size_t row) const { return Span(offsets_a_, row); }
+  TokenSpan b(size_t row) const { return Span(offsets_b_, row); }
+
+  /// Exclusive upper bound on every token rank in the view (the dictionary
+  /// size). Dense token-indexed structures (the join's inverted indexes)
+  /// are sized by this.
+  uint32_t rank_limit() const { return rank_limit_; }
 
   /// Average token count per tuple (both tables), used for the reuse
   /// trigger t = 20 of paper §4.2.
-  double average_tokens = 0.0;
+  double average_tokens() const { return average_tokens_; }
+
+ private:
+  friend class SsjCorpus;
+
+  static size_t NumRows(const std::vector<uint64_t>& offsets) {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  TokenSpan Span(const std::vector<uint64_t>& offsets, size_t row) const {
+    return TokenSpan{arena_.data() + offsets[row],
+                     static_cast<uint32_t>(offsets[row + 1] - offsets[row])};
+  }
+
+  std::vector<uint32_t> arena_;
+  std::vector<uint64_t> offsets_a_;  // rows_a + 1 entries into arena_.
+  std::vector<uint64_t> offsets_b_;  // rows_b + 1 entries into arena_.
+  uint32_t rank_limit_ = 0;
+  double average_tokens_ = 0.0;
 };
 
 /// Tokenized form of tables A and B over the promising attributes, with a
 /// shared dictionary and global token order (ascending document frequency).
+/// Tuple entries live in CSR arenas (parallel rank/mask buffers plus
+/// per-side offsets), mirroring ConfigView's layout.
 class SsjCorpus {
  public:
   /// Tokenizes both tables. `columns` lists the table columns that form the
@@ -45,8 +99,13 @@ class SsjCorpus {
   static SsjCorpus Build(const Table& table_a, const Table& table_b,
                          const std::vector<size_t>& columns);
 
-  const std::vector<TupleTokens>& tuples_a() const { return tuples_a_; }
-  const std::vector<TupleTokens>& tuples_b() const { return tuples_b_; }
+  size_t rows_a() const { return ConfigView::NumRows(offsets_a_); }
+  size_t rows_b() const { return ConfigView::NumRows(offsets_b_); }
+
+  /// Rank/mask entries of one tuple (view into the CSR arenas).
+  TupleTokens tuple_a(size_t row) const { return Tuple(offsets_a_, row); }
+  TupleTokens tuple_b(size_t row) const { return Tuple(offsets_b_, row); }
+
   const TokenDictionary& dictionary() const { return dictionary_; }
   size_t num_attributes() const { return num_attributes_; }
 
@@ -63,8 +122,16 @@ class SsjCorpus {
                               ConfigMask config);
 
  private:
-  std::vector<TupleTokens> tuples_a_;
-  std::vector<TupleTokens> tuples_b_;
+  TupleTokens Tuple(const std::vector<uint64_t>& offsets, size_t row) const {
+    return TupleTokens{ranks_.data() + offsets[row],
+                       masks_.data() + offsets[row],
+                       static_cast<uint32_t>(offsets[row + 1] - offsets[row])};
+  }
+
+  std::vector<uint32_t> ranks_;      // CSR arena: rows of A, then rows of B.
+  std::vector<uint32_t> masks_;      // Parallel to ranks_.
+  std::vector<uint64_t> offsets_a_;  // rows_a + 1 entries.
+  std::vector<uint64_t> offsets_b_;  // rows_b + 1 entries.
   TokenDictionary dictionary_;
   size_t num_attributes_ = 0;
 };

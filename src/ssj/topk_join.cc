@@ -1,30 +1,26 @@
 #include "ssj/topk_join.h"
 
 #include <algorithm>
-#include <queue>
+#include <cmath>
 #include <thread>
-#include <unordered_map>
+#include <type_traits>
 
 #include "util/check.h"
-#include "util/flat_hash.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace mc {
 
 double DirectPairScorer::Score(RowId row_a, RowId row_b) {
-  const std::vector<uint32_t>& a = view_->tokens_a[row_a];
-  const std::vector<uint32_t>& b = view_->tokens_b[row_b];
+  const TokenSpan a = view_->a(row_a);
+  const TokenSpan b = view_->b(row_b);
   size_t i = 0, j = 0, overlap = 0;
   while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++overlap;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    overlap += x == y;
+    i += x <= y;
+    j += y <= x;
   }
   return SetSimilarityFromCounts(measure_, a.size(), b.size(), overlap);
 }
@@ -50,59 +46,232 @@ struct EventLess {
   }
 };
 
-constexpr uint32_t kScored = 0xFFFFFFFFu;
+// One posting of the prefix inverted index: `row` has revealed the token at
+// `position`.
+struct IndexEntry {
+  RowId row;
+  uint32_t position;
+};
 
-}  // namespace
+// Exact |a[0..len_a) ∩ b[0..len_b)| of two rank-sorted prefixes, stopping
+// as soon as the count exceeds `limit` (the caller only needs equality with
+// a value <= limit). Counts below or equal to `limit` are exact.
+inline size_t PrefixOverlap(const uint32_t* a, size_t len_a, const uint32_t* b,
+                            size_t len_b, size_t limit) {
+  // Branchless advance: which pointer moves is data-dependent and
+  // unpredictable, so `i += (x <= y)` beats a three-way if/else chain. Only
+  // the match test (rare, predictable) stays a branch.
+  size_t i = 0, j = 0, count = 0;
+  while (i < len_a && j < len_b) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    if (x == y && ++count > limit) return count;
+    i += x <= y;
+    j += y <= x;
+  }
+  return count;
+}
 
-TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
-                     PairScorer* scorer, const std::vector<ScoredPair>* seed,
-                     MergeSource* merge_source, TopKJoinStats* stats) {
-  MC_CHECK_GE(options.q, 1u);
-  MC_CHECK_GE(options.merge_poll_period, 1u);
-  DirectPairScorer direct(&view, options.measure);
-  if (scorer == nullptr) scorer = &direct;
-  TopKJoinStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
+// Exact similarity of a pair by merging its token spans, with the measure
+// fixed at compile time (same arithmetic as DirectPairScorer::Score).
+template <SetMeasure kMeasure>
+double SpanScore(const ConfigView& view, RowId row_a, RowId row_b) {
+  const TokenSpan a = view.a(row_a);
+  const TokenSpan b = view.b(row_b);
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    overlap += x == y;
+    i += x <= y;
+    j += y <= x;
+  }
+  return SetSimilarityFromCounts(kMeasure, a.size(), b.size(), overlap);
+}
 
-  TopKList topk(options.k);
-  // Shared-prefix-token count per discovered pair; kScored once computed
-  // (or proven hopeless). Flat map: this is the join's hottest structure.
-  PairFlatMap<uint32_t> pair_state(4096);
-
-  auto mark_scored = [&](PairId pair) {
-    bool inserted = false;
-    *pair_state.FindOrInsert(pair, kScored, &inserted) = kScored;
+// Smallest integer overlap whose similarity under kMeasure reaches
+// `threshold` (kStrict = false: >= threshold; kStrict = true: strictly
+// above it) for spans of the given sizes, or min(size_a, size_b) + 1 when
+// even full overlap falls short. Seeded from the analytic inverse of the
+// measure and then adjusted with exact SetSimilarityFromCounts evaluations
+// (a step or two at most), so the boundary agrees bit for bit with the
+// scoring arithmetic — no float-rounding slack in either direction.
+// Because the rounded similarity is monotone in the overlap for fixed
+// sizes, "similarity above threshold" is exactly "overlap >= required":
+// callers can replace a float division + compare with an integer compare.
+template <SetMeasure kMeasure, bool kStrict>
+size_t RequiredOverlap(size_t size_a, size_t size_b, double threshold) {
+  const size_t max_overlap = std::min(size_a, size_b);
+  const double a = static_cast<double>(size_a);
+  const double b = static_cast<double>(size_b);
+  auto reaches = [&](size_t overlap) {
+    const double sim = SetSimilarityFromCounts(kMeasure, size_a, size_b,
+                                               overlap);
+    return kStrict ? sim > threshold : sim >= threshold;
   };
+  double guess;
+  if constexpr (kMeasure == SetMeasure::kJaccard) {
+    guess = threshold * (a + b) / (1.0 + threshold);
+  } else if constexpr (kMeasure == SetMeasure::kCosine) {
+    guess = threshold * std::sqrt(a * b);
+  } else if constexpr (kMeasure == SetMeasure::kDice) {
+    guess = threshold * (a + b) / 2.0;
+  } else {
+    static_assert(kMeasure == SetMeasure::kOverlapCoefficient);
+    guess = threshold * std::min(a, b);
+  }
+  size_t o = guess <= 0.0                                ? 0
+             : guess >= static_cast<double>(max_overlap) ? max_overlap
+                                                         : static_cast<size_t>(guess);
+  while (o > 0 && reaches(o - 1)) --o;
+  while (o <= max_overlap && !reaches(o)) ++o;
+  return o;
+}
 
+// Exact similarity like SpanScore, but abandons the merge (returning false)
+// as soon as the pair provably cannot reach `threshold`: when even matching
+// every remaining token leaves the overlap below RequiredOverlap. The
+// comparison is strict — a pair whose exact score ties the k-th entry is
+// still scored in full, because ties can displace a larger pair id — so
+// callers may treat `false` exactly as "TopKList::Add would have rejected
+// it". On true, *score holds the exact similarity.
+template <SetMeasure kMeasure>
+bool SpanScoreAbove(const ConfigView& view, RowId row_a, RowId row_b,
+                    double threshold, double* score) {
+  const TokenSpan a = view.a(row_a);
+  const TokenSpan b = view.b(row_b);
+  const size_t required =
+      RequiredOverlap<kMeasure, /*kStrict=*/false>(a.size(), b.size(),
+                                                   threshold);
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    if (overlap + std::min(a.size() - i, b.size() - j) < required) {
+      return false;
+    }
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    overlap += x == y;
+    i += x <= y;
+    j += y <= x;
+  }
+  *score = SetSimilarityFromCounts(kMeasure, a.size(), b.size(), overlap);
+  return true;
+}
+
+// Runs the sequential prefix-event join over the rows of table A whose
+// index is congruent to `shard` mod `shard_count` (joined against all of
+// table B). shard = 0, shard_count = 1 is the full join; the engine is
+// bit-identical to the pre-CSR implementation in that case.
+//
+// Templated on the measure (folds the similarity switch out of the bound
+// computations, which run once or twice per probe) and on the concrete
+// scorer type (Scorer = DirectPairScorer scores inline with the same folded
+// measure; Scorer = PairScorer keeps the virtual call for custom scorers).
+template <SetMeasure kMeasure, typename Scorer>
+TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
+                      Scorer* scorer, const std::vector<ScoredPair>* seed,
+                      MergeSource* merge_source, TopKJoinStats* stats,
+                      size_t shard, size_t shard_count) {
+  TopKList topk(options.k);
+
+  // Seeds initialize the list (raising the pruning threshold early). The
+  // engine may later re-derive a seeded pair at its q-th shared token and
+  // score it again; scoring is deterministic, so TopKList::Add sees the
+  // same value and the list is unchanged.
   if (seed != nullptr) {
     for (const ScoredPair& entry : *seed) {
-      mark_scored(entry.pair);
       topk.Add(entry.pair, entry.score);
     }
   }
 
-  // Inverted indexes over the *extended* prefixes, one per side. Each entry
-  // records the position of the token within its string, enabling the
-  // positional upper bound below.
-  struct IndexEntry {
-    RowId row;
-    uint32_t position;
+  const size_t q = options.q;
+  // Deferred-scoring cap: a pair still unscored when a row's prefix reaches
+  // `position` has at most q - 1 shared tokens before `position` (it scores
+  // the moment its count hits q), so its overlap is bounded as if the
+  // suffix started q - 1 positions earlier. Using the classic cap at the
+  // raw position (valid only for q = 1) undercounts those carried tokens
+  // and silently drops pairs whose q-th shared token sits deep in a prefix.
+  // q = 1 reduces to SetSimilarityCap exactly.
+  auto extension_cap = [&](size_t len, size_t position) {
+    const size_t effective = position >= q ? position - (q - 1) : 0;
+    return SetSimilarityCap(kMeasure, len, effective);
   };
-  std::unordered_map<uint32_t, std::vector<IndexEntry>> index_a;
-  std::unordered_map<uint32_t, std::vector<IndexEntry>> index_b;
 
-  std::priority_queue<Event, std::vector<Event>, EventLess> events;
-  auto push_initial = [&](const std::vector<std::vector<uint32_t>>& tokens,
-                          uint8_t side) {
-    for (size_t row = 0; row < tokens.size(); ++row) {
-      if (tokens[row].empty()) continue;
-      events.push(Event{
-          SetSimilarityCap(options.measure, tokens[row].size(), 0), side,
-          static_cast<RowId>(row), 0});
+  // Inverted indexes over the *extended* prefixes, one per side, indexed
+  // densely by token rank (every rank is < view.rank_limit()). Replaces the
+  // former unordered_map indexes: a probe is one array load instead of a
+  // hash walk, and the postings of hot (frequent) tokens stay contiguous.
+  std::vector<std::vector<IndexEntry>> index_a(view.rank_limit());
+  std::vector<std::vector<IndexEntry>> index_b(view.rank_limit());
+
+  // Required-overlap table: req_value[len] caches
+  // RequiredOverlap<kMeasure, true>(own_len, len, kth) for the event being
+  // processed, so each probe's pruning bound is an integer compare instead
+  // of a float division (SetSimilarityFromCounts). Entries are valid while
+  // req_epoch is unchanged; the epoch advances on every new event (own_len
+  // changes) and whenever the k-th score moves (a scored pair entered the
+  // list or a merge landed). Rounded similarity is monotone in the overlap,
+  // so the integer compare reproduces the float compare bit for bit.
+  size_t max_len = 0;
+  for (size_t row = 0; row < view.rows_a(); ++row) {
+    max_len = std::max(max_len, view.a(row).size());
+  }
+  for (size_t row = 0; row < view.rows_b(); ++row) {
+    max_len = std::max(max_len, view.b(row).size());
+  }
+  std::vector<uint32_t> req_value(max_len + 1, 0);
+  std::vector<uint64_t> req_stamp(max_len + 1, 0);
+  uint64_t req_epoch = 1;  // 64-bit: never wraps into a stale stamp.
+  double epoch_kth = topk.KthScore();
+  auto note_kth_change = [&] {
+    if (topk.KthScore() != epoch_kth) {
+      epoch_kth = topk.KthScore();
+      ++req_epoch;
     }
   };
-  push_initial(view.tokens_a, 0);
-  push_initial(view.tokens_b, 1);
+
+  // Event heap: a plain binary max-heap under EventLess. EventLess is a
+  // total order on distinct (cap, side, row, position) keys, so the pop
+  // sequence — and therefore the join's output — is independent of heap
+  // internals; a hand-rolled heap buys a replace-top operation (assign the
+  // root, one sift-down) that halves the per-event sift work versus
+  // priority_queue's pop-then-push.
+  std::vector<Event> events;
+  const EventLess event_less;
+  auto push_initial = [&](uint8_t side) {
+    const size_t rows = side == 0 ? view.rows_a() : view.rows_b();
+    const size_t step = side == 0 ? shard_count : 1;
+    for (size_t row = side == 0 ? shard : 0; row < rows; row += step) {
+      const TokenSpan tokens = side == 0 ? view.a(row) : view.b(row);
+      if (tokens.empty()) continue;
+      events.push_back(Event{extension_cap(tokens.size(), 0), side,
+                             static_cast<RowId>(row), 0});
+    }
+  };
+  push_initial(0);
+  push_initial(1);
+  std::make_heap(events.begin(), events.end(), event_less);
+
+  // Overwrites the root with `e` and restores the heap property downward.
+  auto replace_top = [&](const Event& e) {
+    size_t i = 0;
+    const size_t n = events.size();
+    while (true) {
+      size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && event_less(events[child], events[child + 1])) {
+        ++child;
+      }
+      if (!event_less(e, events[child])) break;
+      events[i] = events[child];
+      i = child;
+    }
+    events[i] = e;
+  };
+  auto pop_top = [&] {
+    std::pop_heap(events.begin(), events.end(), event_less);
+    events.pop_back();
+  };
 
   // The exclusion filter (blocker output C) runs at scoring time, not at
   // discovery time: hopeless pairs die via the positional bound without the
@@ -114,8 +283,21 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
     ++stats->pairs_scored;
     RowId row_a = PairRowA(pair);
     RowId row_b = PairRowB(pair);
-    double score = scorer->Score(row_a, row_b);
+    double score;
+    if constexpr (std::is_same_v<Scorer, DirectPairScorer>) {
+      const double kth = topk.KthScore();  // -1 until the list fills.
+      if (kth < 0.0 || topk.Contains(pair)) {
+        // A not-yet-full list accepts everything, and a kept pair must be
+        // re-scored in full so a corrected score lands in place.
+        score = SpanScore<kMeasure>(view, row_a, row_b);
+      } else if (!SpanScoreAbove<kMeasure>(view, row_a, row_b, kth, &score)) {
+        return;  // Provably below the k-th score: Add would reject it.
+      }
+    } else {
+      score = scorer->Score(row_a, row_b);
+    }
     if (topk.Add(pair, score)) scorer->NoteKept(row_a, row_b);
+    note_kth_change();
   };
 
   // Cancellation: checked before the loop and every merge_poll_period
@@ -134,21 +316,20 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
     merge_pending = false;
     ++stats->merges_applied;
     for (const ScoredPair& entry : *merged) {
-      // A pair the parent already scored must not be re-scored here; the
-      // re-adjusted score is exact for this config.
-      mark_scored(entry.pair);
+      // The re-adjusted score is exact for this config and overrides any
+      // stale score already in the list (TopKList::Add updates in place).
       topk.Add(entry.pair, entry.score);
     }
+    note_kth_change();
   };
   poll_merge();
 
   while (!events.empty()) {
-    Event event = events.top();
+    const Event event = events.front();
     // Termination: no pending extension can create a pair beating the k-th
     // score. (KthScore() is -1 until the list fills, so we never stop
     // early with fewer than k results while extensions remain.)
     if (event.cap <= topk.KthScore()) break;
-    events.pop();
     ++stats->events_popped;
     if ((stats->events_popped % options.merge_poll_period) == 0) {
       poll_merge();
@@ -159,78 +340,84 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
     }
 
     const bool from_a = event.side == 0;
-    const std::vector<uint32_t>& tokens =
-        from_a ? view.tokens_a[event.row] : view.tokens_b[event.row];
+    ++req_epoch;  // New event: own_len changes, so cached bounds expire.
+    const TokenSpan tokens = from_a ? view.a(event.row) : view.b(event.row);
     const uint32_t token = tokens[event.position];
     auto& own_index = from_a ? index_a : index_b;
     auto& other_index = from_a ? index_b : index_a;
 
-    // Probe partners whose prefix already covers `token`.
-    auto it = other_index.find(token);
-    if (it != other_index.end()) {
+    // Probe partners whose prefix already covers `token`. Every shared
+    // token of a pair produces exactly one probe (whichever side reveals
+    // it second finds the other side's posting), so the probe sequence of
+    // a pair enumerates its shared tokens in event order — and the pair's
+    // exact shared count at each probe is recomputable from the CSR
+    // prefixes alone. That makes the join stateless per pair: no hash map
+    // of pair state (formerly the join's dominant cost — one random cache
+    // miss per probe), just a short sequential merge over arena data.
+    const std::vector<IndexEntry>& postings = other_index[token];
+    if (!postings.empty()) {
       const size_t own_len = tokens.size();
       const size_t own_remaining = own_len - 1 - event.position;
-      for (const IndexEntry& entry : it->second) {
+      for (const IndexEntry& entry : postings) {
         RowId partner = entry.row;
 
-        // Positional upper bound, computed from positions alone — no pair
-        // state needed. Shared tokens ranked before the current one sit in
-        // both prefixes (at most min(i, j), since the token streams are
-        // sorted by global rank); shared tokens ranked after it sit in both
-        // suffixes (at most min of the remainders). So
-        //   overlap <= min(i, j) + 1 + min(own_rem, partner_rem).
-        // If that cannot beat the current k-th score, skip this probe
-        // without touching the pair map: the same bound (or a tighter one)
-        // re-fires at every later shared token, and any pair whose true
-        // score exceeds the final k-th always passes (score <= bound).
-        const size_t partner_len =
-            from_a ? view.tokens_b[partner].size()
-                   : view.tokens_a[partner].size();
+        // A probe only matters if it is the pair's *scoring* probe — the
+        // one where its shared-token count c = |own_prefix ∩ partner_prefix|
+        // + 1 equals q (c is distinct at every probe of a pair, so this
+        // holds at exactly one probe). At that probe the pair's overlap is
+        // bounded by positions alone:
+        //   - shared tokens so far: c = q, and also at most min(i, j) + 1
+        //     (they all precede the current token in both rank-sorted
+        //     rows);
+        //   - shared tokens still to come: at most min of the remainders.
+        // So overlap <= min(min(i, j) + 1, q) + min(own_rem, partner_rem),
+        // capped at min of the lengths. If that cannot beat the k-th
+        // score, skip before touching the prefixes: pruning a non-scoring
+        // probe is harmless (it would have been a no-op), and a pair whose
+        // true score exceeds the final k-th always passes at its scoring
+        // probe (score <= bound, and the k-th only rises).
+        const TokenSpan partner_tokens =
+            from_a ? view.b(partner) : view.a(partner);
+        const size_t partner_len = partner_tokens.size();
         const size_t partner_remaining = partner_len - 1 - entry.position;
-        const size_t prefix_overlap =
+        const size_t prefix_limit =
             std::min(static_cast<size_t>(event.position),
-                     static_cast<size_t>(entry.position)) +
-            1;
-        size_t max_overlap =
-            std::min(prefix_overlap +
+                     static_cast<size_t>(entry.position));
+        if (prefix_limit + 1 < q) continue;  // c <= prefix_limit + 1 < q.
+        const size_t max_overlap =
+            std::min(std::min(prefix_limit + 1, q) +
                          std::min(own_remaining, partner_remaining),
                      std::min(own_len, partner_len));
-        double upper_bound = SetSimilarityFromCounts(
-            options.measure, own_len, partner_len, max_overlap);
-        if (upper_bound <= topk.KthScore()) {
+        // Bound check in integer form: the probe survives iff its overlap
+        // bound reaches the smallest overlap whose similarity beats the
+        // k-th score (cached per partner length for the current event +
+        // k-th score, see req_value above). No float math on this path.
+        uint32_t required;
+        if (req_stamp[partner_len] == req_epoch) {
+          required = req_value[partner_len];
+        } else {
+          required = static_cast<uint32_t>(
+              RequiredOverlap<kMeasure, /*kStrict=*/true>(
+                  own_len, partner_len, topk.KthScore()));
+          req_value[partner_len] = required;
+          req_stamp[partner_len] = req_epoch;
+        }
+        if (max_overlap < required) {
           ++stats->pairs_pruned;
           continue;
         }
 
-        PairId pair = from_a ? MakePairId(event.row, partner)
-                             : MakePairId(partner, event.row);
-        bool inserted = false;
-        uint32_t* state = pair_state.FindOrInsert(pair, 0u, &inserted);
-        if (*state == kScored) continue;
-        if (inserted) ++stats->pairs_discovered;
-        ++*state;
-
-        // Tighter count-based bound with permanent dead-marking: shared
-        // tokens not yet counted lie in both suffixes (see above), so
-        //   overlap <= count + min(own_rem, partner_rem).
-        // (If an earlier probe of this pair was pre-skipped, the count may
-        // undercount — but a pre-skip already proved the pair can never
-        // beat the final k-th, so marking it dead stays correct.)
-        size_t count_overlap =
-            std::min(static_cast<size_t>(*state) +
-                         std::min(own_remaining, partner_remaining),
-                     std::min(own_len, partner_len));
-        double count_bound = SetSimilarityFromCounts(
-            options.measure, own_len, partner_len, count_overlap);
-        if (count_bound <= topk.KthScore()) {
-          *state = kScored;  // Dead: provably below the k-th, forever.
-          ++stats->pairs_pruned;
-          continue;
-        }
-        if (*state >= options.q) {
-          *state = kScored;
-          score_pair(pair);
-        }
+        // Exact c via a short merge of the rank-sorted CSR prefixes — the
+        // join is stateless per pair: no hash map of pair counts (formerly
+        // the dominant cost — one random cache miss per probe).
+        const size_t before =
+            PrefixOverlap(tokens.begin(), event.position,
+                          partner_tokens.begin(), entry.position,
+                          /*limit=*/q - 1);
+        if (before == 0) ++stats->pairs_discovered;
+        if (before != q - 1) continue;  // Not the q-th shared token.
+        score_pair(from_a ? MakePairId(event.row, partner)
+                          : MakePairId(partner, event.row));
       }
     }
 
@@ -238,14 +425,18 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
     own_index[token].push_back(IndexEntry{event.row, event.position});
     ++stats->tokens_indexed;
 
-    // Schedule the next extension unless it provably cannot matter.
+    // Schedule the next extension unless it provably cannot matter. The
+    // common case (extension survives) replaces the just-processed root in
+    // place instead of pop + push.
     uint32_t next = event.position + 1;
     if (next < tokens.size()) {
-      double cap = SetSimilarityCap(options.measure, tokens.size(), next);
+      double cap = extension_cap(tokens.size(), next);
       if (cap > topk.KthScore()) {
-        events.push(Event{cap, event.side, event.row, next});
+        replace_top(Event{cap, event.side, event.row, next});
+        continue;
       }
     }
+    pop_top();
   }
   // A late parent list may still be pending (e.g. the join drained early);
   // apply it so reuse never loses pairs.
@@ -253,18 +444,135 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
   return topk;
 }
 
+// Measure/scorer-kind dispatch into the templated shard runner. `direct` is
+// non-null exactly when the caller did not supply a custom scorer.
+TopKList RunShard(const ConfigView& view, const TopKJoinOptions& options,
+                  PairScorer* scorer, DirectPairScorer* direct,
+                  const std::vector<ScoredPair>* seed,
+                  MergeSource* merge_source, TopKJoinStats* stats,
+                  size_t shard, size_t shard_count) {
+  auto run = [&](auto measure_tag) {
+    constexpr SetMeasure kMeasure = decltype(measure_tag)::value;
+    if (direct != nullptr) {
+      return RunShardImpl<kMeasure, DirectPairScorer>(
+          view, options, direct, seed, merge_source, stats, shard,
+          shard_count);
+    }
+    return RunShardImpl<kMeasure, PairScorer>(view, options, scorer, seed,
+                                              merge_source, stats, shard,
+                                              shard_count);
+  };
+  switch (options.measure) {
+    case SetMeasure::kJaccard:
+      return run(
+          std::integral_constant<SetMeasure, SetMeasure::kJaccard>{});
+    case SetMeasure::kCosine:
+      return run(std::integral_constant<SetMeasure, SetMeasure::kCosine>{});
+    case SetMeasure::kDice:
+      return run(std::integral_constant<SetMeasure, SetMeasure::kDice>{});
+    case SetMeasure::kOverlapCoefficient:
+      return run(std::integral_constant<SetMeasure,
+                                        SetMeasure::kOverlapCoefficient>{});
+  }
+  MC_CHECK(false) << "unknown measure";
+  return TopKList(options.k);
+}
+
+}  // namespace
+
+TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
+                     PairScorer* scorer, const std::vector<ScoredPair>* seed,
+                     MergeSource* merge_source, TopKJoinStats* stats) {
+  MC_CHECK_GE(options.q, 1u);
+  MC_CHECK_GE(options.merge_poll_period, 1u);
+  MC_CHECK_GE(options.shards, 1u);
+  DirectPairScorer direct_scorer(&view, options.measure);
+  DirectPairScorer* direct = scorer == nullptr ? &direct_scorer : nullptr;
+  if (scorer == nullptr) scorer = &direct_scorer;
+  TopKJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  if (options.shards == 1) {
+    return RunShard(view, options, scorer, direct, seed, merge_source, stats,
+                    /*shard=*/0, /*shard_count=*/1);
+  }
+
+  // Parallel mode: independent sub-joins over table-A shards, merged at the
+  // end. Each shard's result is its exact top-k over (shard x B), so the
+  // merged list's score multiset equals the sequential run's (see
+  // docs/algorithms.md §"Sharded execution"). The seed is offered to every
+  // shard — its scores raise each shard's pruning threshold early, and the
+  // final merge deduplicates. The merge source is polled once at the end
+  // instead (its one-shot contract does not allow concurrent polling from
+  // shards).
+  const size_t shard_count = options.shards;
+  const size_t hardware =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  std::vector<TopKList> shard_lists(shard_count, TopKList(options.k));
+  std::vector<TopKJoinStats> shard_stats(shard_count);
+  {
+    ThreadPool pool(std::min(shard_count, hardware));
+    for (size_t s = 0; s < shard_count; ++s) {
+      pool.Submit([&, s] {
+        shard_lists[s] = RunShard(view, options, scorer, direct, seed,
+                                  /*merge_source=*/nullptr, &shard_stats[s],
+                                  s, shard_count);
+      });
+    }
+    Status status = pool.Wait();
+    // Scorers are the only user code on this path; a throwing scorer is a
+    // programming error, not a data condition.
+    MC_CHECK(status.ok()) << status.message();
+  }
+
+  TopKList merged(options.k);
+  for (size_t s = 0; s < shard_count; ++s) {
+    for (const ScoredPair& entry : shard_lists[s].Entries()) {
+      merged.Add(entry.pair, entry.score);
+    }
+    stats->events_popped += shard_stats[s].events_popped;
+    stats->pairs_discovered += shard_stats[s].pairs_discovered;
+    stats->pairs_scored += shard_stats[s].pairs_scored;
+    stats->pairs_pruned += shard_stats[s].pairs_pruned;
+    stats->tokens_indexed += shard_stats[s].tokens_indexed;
+    stats->merges_applied += shard_stats[s].merges_applied;
+    stats->truncated = stats->truncated || shard_stats[s].truncated;
+  }
+  if (merge_source != nullptr) {
+    if (std::optional<std::vector<ScoredPair>> late = merge_source->TryFetch()) {
+      ++stats->merges_applied;
+      merged.MergeFrom(*late);
+    }
+  }
+  return merged;
+}
+
 TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,
-                        const CandidateSet* exclude) {
+                        const CandidateSet* exclude, size_t min_overlap) {
   TopKList topk(k);
-  DirectPairScorer scorer(&view, measure);
-  for (size_t a = 0; a < view.tokens_a.size(); ++a) {
-    if (view.tokens_a[a].empty()) continue;
-    for (size_t b = 0; b < view.tokens_b.size(); ++b) {
-      if (view.tokens_b[b].empty()) continue;
+  for (size_t a = 0; a < view.rows_a(); ++a) {
+    const TokenSpan ta = view.a(a);
+    if (ta.empty()) continue;
+    for (size_t b = 0; b < view.rows_b(); ++b) {
+      const TokenSpan tb = view.b(b);
+      if (tb.empty()) continue;
       PairId pair = MakePairId(static_cast<RowId>(a), static_cast<RowId>(b));
       if (exclude != nullptr && exclude->Contains(pair)) continue;
-      topk.Add(pair, scorer.Score(static_cast<RowId>(a),
-                                  static_cast<RowId>(b)));
+      size_t i = 0, j = 0, overlap = 0;
+      while (i < ta.size() && j < tb.size()) {
+        if (ta[i] == tb[j]) {
+          ++overlap;
+          ++i;
+          ++j;
+        } else if (ta[i] < tb[j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      if (overlap < min_overlap) continue;
+      topk.Add(pair,
+               SetSimilarityFromCounts(measure, ta.size(), tb.size(), overlap));
     }
   }
   return topk;
@@ -274,32 +582,45 @@ size_t SelectQByRace(const ConfigView& view, SetMeasure measure,
                      const CandidateSet* exclude, size_t max_q,
                      size_t probe_k, const RunContext& run_context) {
   MC_CHECK_GE(max_q, 1u);
-  // Race each q on its own thread for a top-probe_k list (paper §4.1: "one
-  // q value for each core, for k = 50"); the first finisher wins. We time
-  // the runs and pick the minimum, which selects the same winner without
-  // having to kill losing threads.
+  // Race each q for a top-probe_k list (paper §4.1: "one q value for each
+  // core, for k = 50") and pick the minimum elapsed time, which selects the
+  // same winner as a first-past-the-post race without having to kill losing
+  // threads. Concurrency is capped at the hardware so candidate runs do not
+  // oversubscribe the machine and distort each other's timings; a run
+  // truncated by the deadline finished early *because it did less work*, so
+  // it is disqualified rather than crowned.
+  const size_t hardware =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
   std::vector<double> elapsed(max_q, 0.0);
-  std::vector<std::thread> threads;
-  threads.reserve(max_q);
+  std::vector<char> truncated(max_q, 0);
+  {
+    ThreadPool pool(std::min(max_q, hardware));
+    for (size_t q = 1; q <= max_q; ++q) {
+      pool.Submit([&, q] {
+        Stopwatch watch;
+        TopKJoinOptions options;
+        options.k = probe_k;
+        options.measure = measure;
+        options.q = q;
+        options.exclude = exclude;
+        options.run_context = run_context;
+        TopKJoinStats stats;
+        RunTopKJoin(view, options, nullptr, nullptr, nullptr, &stats);
+        elapsed[q - 1] = watch.ElapsedSeconds();
+        truncated[q - 1] = stats.truncated ? 1 : 0;
+      });
+    }
+    Status status = pool.Wait();
+    MC_CHECK(status.ok()) << status.message();
+  }
+  size_t best_q = 0;  // 0 = no eligible run yet.
   for (size_t q = 1; q <= max_q; ++q) {
-    threads.emplace_back([&, q] {
-      Stopwatch watch;
-      TopKJoinOptions options;
-      options.k = probe_k;
-      options.measure = measure;
-      options.q = q;
-      options.exclude = exclude;
-      options.run_context = run_context;
-      RunTopKJoin(view, options);
-      elapsed[q - 1] = watch.ElapsedSeconds();
-    });
+    if (truncated[q - 1]) continue;
+    if (best_q == 0 || elapsed[q - 1] < elapsed[best_q - 1]) best_q = q;
   }
-  for (auto& thread : threads) thread.join();
-  size_t best_q = 1;
-  for (size_t q = 2; q <= max_q; ++q) {
-    if (elapsed[q - 1] < elapsed[best_q - 1]) best_q = q;
-  }
-  return best_q;
+  // All runs truncated (deadline expired): fall back to the conservative
+  // exact-join default instead of crowning whichever run was cut shortest.
+  return best_q == 0 ? 1 : best_q;
 }
 
 }  // namespace mc

@@ -32,7 +32,8 @@ class PairScorer {
   }
 };
 
-/// Merge-scores from the config view's token arrays.
+/// Merge-scores from the config view's CSR token arena. Stateless per call:
+/// safe to share across shard threads.
 class DirectPairScorer : public PairScorer {
  public:
   DirectPairScorer(const ConfigView* view, SetMeasure measure)
@@ -74,10 +75,23 @@ struct TopKJoinOptions {
   /// TopKJoinStats::truncated. The default inert context never fires and
   /// leaves the join byte-identical to an uncancellable run.
   RunContext run_context;
+  /// Intra-config parallelism: number of table-A shards. 1 (the default)
+  /// runs the sequential engine. With n > 1 the table-A event stream is
+  /// split into n independent sub-joins (shard s owns rows with
+  /// row % n == s, each joined against all of table B) executed on a
+  /// ThreadPool of min(n, hardware_concurrency()) workers; the per-shard
+  /// top-k lists are merged into the final list at the end. The merged
+  /// result has the same score multiset as the sequential run and is
+  /// deterministic (independent of thread scheduling). A custom `scorer`
+  /// must tolerate concurrent Score/NoteKept calls when shards > 1
+  /// (DirectPairScorer does); `merge_source`, if any, is polled exactly
+  /// once on the calling thread after the shard joins complete.
+  size_t shards = 1;
 };
 
 /// Counters exposing where the join spends its effort; drives the QJoin-vs-
-/// TopKJoin benchmarks.
+/// TopKJoin benchmarks. In sharded mode the counters are summed across
+/// shards.
 struct TopKJoinStats {
   size_t events_popped = 0;
   size_t pairs_discovered = 0;
@@ -95,30 +109,43 @@ struct TopKJoinStats {
 /// Runs the prefix-event top-k string similarity join over a config view.
 ///
 /// `seed` (optional) holds already-scored pairs — a parent config's top-k
-/// list with scores re-adjusted to this config — which initialize the list
-/// and are never re-scored. `merge_source` (optional) is polled during the
-/// run for a late parent list. `scorer` may be null (DirectPairScorer is
-/// used). `stats` may be null.
+/// list with scores re-adjusted to this config — which initialize the list.
+/// The engine may later re-derive and re-score a seeded pair; scoring is
+/// deterministic and TopKList::Add updates in place, so the list is
+/// unchanged. `merge_source` (optional) is polled during the run for a late
+/// parent list. `scorer` may be null (DirectPairScorer is used). `stats`
+/// may be null.
 ///
 /// With q = 1 the result is exact: the returned list contains k pairs whose
 /// score multiset equals the true top-k of D = A x B - C under the measure
 /// (pair identity at the boundary score may differ among equal-score ties).
+/// With q > 1 the result is the exact top-k restricted to pairs sharing at
+/// least q tokens (the deferred-scoring heuristic never scores a pair whose
+/// overlap is below q) — pinned against brute force by the
+/// SsjEquivalenceTest harness.
 TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
                      PairScorer* scorer = nullptr,
                      const std::vector<ScoredPair>* seed = nullptr,
                      MergeSource* merge_source = nullptr,
                      TopKJoinStats* stats = nullptr);
 
-/// Reference implementation: scores every non-excluded pair. Quadratic;
-/// used by tests and tiny inputs only.
+/// Reference implementation: scores every non-excluded pair whose token
+/// overlap is at least `min_overlap` (0 admits even disjoint pairs, the
+/// historical behavior; pass q to mirror RunTopKJoin's q-restricted
+/// semantics). Quadratic; used by tests and tiny inputs only.
 TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,
-                        const CandidateSet* exclude = nullptr);
+                        const CandidateSet* exclude = nullptr,
+                        size_t min_overlap = 0);
 
 /// Selects the QJoin q value empirically (paper §4.1): races candidate q
-/// values on `num_threads` threads, each computing a top-`probe_k` list, and
-/// returns the q whose race finished first. Deterministic tie-breaking by
-/// preferring the smaller q on near-equal times is *not* attempted — the
-/// paper's selection is a wall-clock race by design.
+/// values, each computing a top-`probe_k` list, and returns the q with the
+/// fastest run. The race executes on a ThreadPool of
+/// min(max_q, hardware_concurrency()) workers so candidate runs do not
+/// oversubscribe the machine and distort each other's timings. A run cut
+/// short by `run_context` (deadline/cancellation) finishes early without
+/// doing its full work, so truncated runs are disqualified; if every run
+/// was truncated the conservative default q = 1 (exact TopKJoin semantics)
+/// is returned.
 size_t SelectQByRace(const ConfigView& view, SetMeasure measure,
                      const CandidateSet* exclude, size_t max_q = 4,
                      size_t probe_k = 50,

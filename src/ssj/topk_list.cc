@@ -6,7 +6,7 @@
 
 namespace mc {
 
-TopKList::TopKList(size_t k) : k_(k) {
+TopKList::TopKList(size_t k) : k_(k), positions_(k) {
   MC_CHECK_GT(k, 0u);
   heap_.reserve(k);
 }
@@ -21,8 +21,8 @@ void TopKList::SiftUp(size_t index) {
     size_t parent = (index - 1) / 2;
     if (!WorseThan(heap_[index], heap_[parent])) break;
     std::swap(heap_[index], heap_[parent]);
-    positions_[heap_[index].pair] = index;
-    positions_[heap_[parent].pair] = parent;
+    *positions_.Find(heap_[index].pair) = index;
+    *positions_.Find(heap_[parent].pair) = parent;
     index = parent;
   }
 }
@@ -37,28 +37,37 @@ void TopKList::SiftDown(size_t index) {
     if (right < n && WorseThan(heap_[right], heap_[worst])) worst = right;
     if (worst == index) break;
     std::swap(heap_[index], heap_[worst]);
-    positions_[heap_[index].pair] = index;
-    positions_[heap_[worst].pair] = worst;
+    *positions_.Find(heap_[index].pair) = index;
+    *positions_.Find(heap_[worst].pair) = worst;
     index = worst;
   }
 }
 
 bool TopKList::Add(PairId pair, double score) {
-  // Fast reject: strictly below the k-th score can neither enter nor be a
-  // duplicate of a kept pair (kept pairs all score >= KthScore()).
+  // A re-offered pair updates its stored score in place. The duplicate
+  // check must run before any score-based rejection: a downward correction
+  // of a kept pair's score would otherwise be fast-rejected, leaving the
+  // stale (too-high) score in the list.
+  if (size_t* found = positions_.Find(pair)) {
+    size_t index = *found;
+    if (heap_[index].score == score) return true;
+    heap_[index].score = score;
+    SiftUp(index);
+    SiftDown(*positions_.Find(pair));
+    return true;
+  }
   if (full() && score < heap_[0].score) return false;
-  if (positions_.count(pair) > 0) return true;  // Already kept.
   ScoredPair entry{pair, score};
   if (heap_.size() < k_) {
     heap_.push_back(entry);
-    positions_[pair] = heap_.size() - 1;
+    positions_.Insert(pair, heap_.size() - 1);
     SiftUp(heap_.size() - 1);
     return true;
   }
   if (!WorseThan(heap_[0], entry)) return false;  // Not better than k-th.
-  positions_.erase(heap_[0].pair);
+  positions_.Erase(heap_[0].pair);
   heap_[0] = entry;
-  positions_[pair] = 0;
+  positions_.Insert(pair, 0);
   SiftDown(0);
   return true;
 }

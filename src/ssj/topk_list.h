@@ -2,10 +2,10 @@
 #define MATCHCATCHER_SSJ_TOPK_LIST_H_
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "blocking/pair.h"
+#include "util/flat_hash.h"
 
 namespace mc {
 
@@ -33,11 +33,16 @@ class TopKList {
   double KthScore() const { return full() ? heap_[0].score : -1.0; }
 
   /// True iff `pair` is currently in the list.
-  bool Contains(PairId pair) const { return positions_.count(pair) > 0; }
+  bool Contains(PairId pair) const { return positions_.Contains(pair); }
 
-  /// Offers (pair, score). Returns true iff the pair is now in the list.
-  /// A pair already present is left untouched (scores are deterministic per
-  /// config, so a re-offer always carries the same score).
+  /// Offers (pair, score). Returns true iff the pair is in the list after
+  /// the call — which covers three cases: the pair was inserted, the pair
+  /// was already present (its stored score is updated to `score` in place
+  /// and re-sifted, so a re-offer with a corrected score — e.g. a parent
+  /// list re-adjusted to this config arriving after the pair was scored
+  /// directly — never leaves a stale score behind), or the list was not yet
+  /// full. Returns false only when the list is full and `score` does not
+  /// beat the k-th entry under the (score desc, pair asc) order.
   bool Add(PairId pair, double score);
 
   /// Offers every entry of `other` (used when a child config merges a late
@@ -52,14 +57,16 @@ class TopKList {
 
  private:
   // heap_ is a min-heap on (score asc, pair desc): heap_[0] is the entry
-  // that would be evicted next. positions_ maps pair -> index in heap_.
+  // that would be evicted next. positions_ maps pair -> index in heap_; it
+  // holds at most k entries, so the bounded flat map stays cache-resident
+  // and the membership probe paid by every scored pair is cheap.
   bool WorseThan(const ScoredPair& x, const ScoredPair& y) const;
   void SiftUp(size_t index);
   void SiftDown(size_t index);
 
   size_t k_;
   std::vector<ScoredPair> heap_;
-  std::unordered_map<PairId, size_t, PairIdHash> positions_;
+  PairPositionMap positions_;
 };
 
 }  // namespace mc

@@ -200,47 +200,4 @@ const char* SetMeasureName(SetMeasure measure) {
   return "unknown";
 }
 
-double SetSimilarityFromCounts(SetMeasure measure, size_t size_a,
-                               size_t size_b, size_t overlap) {
-  MC_CHECK_LE(overlap, std::min(size_a, size_b));
-  if (size_a == 0 && size_b == 0) return 1.0;
-  if (size_a == 0 || size_b == 0) return 0.0;
-  const double o = static_cast<double>(overlap);
-  const double a = static_cast<double>(size_a);
-  const double b = static_cast<double>(size_b);
-  switch (measure) {
-    case SetMeasure::kJaccard:
-      return o / (a + b - o);
-    case SetMeasure::kCosine:
-      return o / std::sqrt(a * b);
-    case SetMeasure::kDice:
-      return 2.0 * o / (a + b);
-    case SetMeasure::kOverlapCoefficient:
-      return o / std::min(a, b);
-  }
-  return 0.0;
-}
-
-double SetSimilarityCap(SetMeasure measure, size_t size_a, size_t position) {
-  if (size_a == 0 || position >= size_a) return 0.0;
-  const double remaining = static_cast<double>(size_a - position);
-  const double a = static_cast<double>(size_a);
-  switch (measure) {
-    case SetMeasure::kJaccard:
-      // overlap <= remaining and union >= |a|.
-      return remaining / a;
-    case SetMeasure::kCosine:
-      // max over |y| of min(remaining, |y|) / sqrt(a * |y|) at |y|=remaining.
-      return std::sqrt(remaining / a);
-    case SetMeasure::kDice:
-      // max over |y| of 2 * min(remaining, |y|) / (a + |y|) at |y|=remaining.
-      return 2.0 * remaining / (a + remaining);
-    case SetMeasure::kOverlapCoefficient:
-      // A partner fully contained in the remaining suffix scores 1.0; the
-      // overlap coefficient admits no non-trivial prefix bound.
-      return 1.0;
-  }
-  return 1.0;
-}
-
 }  // namespace mc

@@ -15,6 +15,10 @@ namespace mc {
 /// std::unordered_map for this access pattern because probes touch one
 /// cache line and no nodes are allocated.
 ///
+/// Key and value live side by side in one slot so a probe costs a single
+/// cache-line fetch; with split key/value arrays every hit paid two misses
+/// once the table outgrew the cache, which dominated join runtime.
+///
 /// The all-ones key (0xFFFF...F) is reserved as the empty sentinel; packed
 /// tuple-pair keys never reach it (tables are < 2^32 rows).
 template <typename V>
@@ -23,20 +27,19 @@ class PairFlatMap {
   explicit PairFlatMap(size_t initial_capacity = 1024) {
     size_t capacity = 64;
     while (capacity < initial_capacity) capacity <<= 1;
-    keys_.assign(capacity, kEmpty);
-    values_.resize(capacity);
+    slots_.assign(capacity, Slot{kEmpty, V{}});
   }
 
   /// Pre-sizes the table for ~`expected` entries (no-op if already larger).
   void Reserve(size_t expected) {
-    size_t capacity = keys_.size();
+    size_t capacity = slots_.size();
     while (capacity * 7 < expected * 10) capacity <<= 1;
-    if (capacity == keys_.size()) return;
+    if (capacity == slots_.size()) return;
     PairFlatMap<V> larger(capacity);
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] == kEmpty) continue;
+    for (const Slot& slot : slots_) {
+      if (slot.key == kEmpty) continue;
       bool inserted = false;
-      *larger.FindOrInsert(keys_[i], values_[i], &inserted) = values_[i];
+      *larger.FindOrInsert(slot.key, slot.value, &inserted) = slot.value;
     }
     *this = std::move(larger);
   }
@@ -46,33 +49,35 @@ class PairFlatMap {
   /// next FindOrInsert call (growth may reallocate).
   V* FindOrInsert(uint64_t key, V initial, bool* inserted) {
     MC_CHECK(key != kEmpty);
-    if ((size_ + 1) * 10 >= keys_.size() * 7) Grow();
-    size_t mask = keys_.size() - 1;
-    size_t slot = Mix(key) & mask;
+    if ((size_ + 1) * 10 >= slots_.size() * 7) Grow();
+    size_t mask = slots_.size() - 1;
+    size_t index = Mix(key) & mask;
     while (true) {
-      if (keys_[slot] == key) {
+      Slot& slot = slots_[index];
+      if (slot.key == key) {
         *inserted = false;
-        return &values_[slot];
+        return &slot.value;
       }
-      if (keys_[slot] == kEmpty) {
-        keys_[slot] = key;
-        values_[slot] = initial;
+      if (slot.key == kEmpty) {
+        slot.key = key;
+        slot.value = initial;
         ++size_;
         *inserted = true;
-        return &values_[slot];
+        return &slot.value;
       }
-      slot = (slot + 1) & mask;
+      index = (index + 1) & mask;
     }
   }
 
   /// Returns the value pointer for `key`, or nullptr.
   V* Find(uint64_t key) {
-    size_t mask = keys_.size() - 1;
-    size_t slot = Mix(key) & mask;
+    size_t mask = slots_.size() - 1;
+    size_t index = Mix(key) & mask;
     while (true) {
-      if (keys_[slot] == key) return &values_[slot];
-      if (keys_[slot] == kEmpty) return nullptr;
-      slot = (slot + 1) & mask;
+      Slot& slot = slots_[index];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmpty) return nullptr;
+      index = (index + 1) & mask;
     }
   }
 
@@ -80,6 +85,11 @@ class PairFlatMap {
 
  private:
   static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  struct Slot {
+    uint64_t key;
+    V value;
+  };
 
   static size_t Mix(uint64_t key) {
     uint64_t z = key + 0x9E3779B97f4A7C15ULL;
@@ -91,24 +101,106 @@ class PairFlatMap {
   void Grow() {
     // 4x growth while small (rehashing dominates insert cost on
     // multi-million-entry joins), 2x once large (memory slack dominates).
-    const size_t factor = keys_.size() >= (size_t{1} << 22) ? 2 : 4;
-    std::vector<uint64_t> old_keys = std::move(keys_);
-    std::vector<V> old_values = std::move(values_);
-    keys_.assign(old_keys.size() * factor, kEmpty);
-    values_.assign(old_keys.size() * factor, V{});
-    size_t mask = keys_.size() - 1;
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == kEmpty) continue;
-      size_t slot = Mix(old_keys[i]) & mask;
-      while (keys_[slot] != kEmpty) slot = (slot + 1) & mask;
-      keys_[slot] = old_keys[i];
-      values_[slot] = old_values[i];
+    const size_t factor = slots_.size() >= (size_t{1} << 22) ? 2 : 4;
+    std::vector<Slot> old_slots = std::move(slots_);
+    slots_.assign(old_slots.size() * factor, Slot{kEmpty, V{}});
+    size_t mask = slots_.size() - 1;
+    for (const Slot& old : old_slots) {
+      if (old.key == kEmpty) continue;
+      size_t index = Mix(old.key) & mask;
+      while (slots_[index].key != kEmpty) index = (index + 1) & mask;
+      slots_[index] = old;
     }
   }
 
-  std::vector<uint64_t> keys_;
-  std::vector<V> values_;
+  std::vector<Slot> slots_;
   size_t size_ = 0;
+};
+
+/// Bounded open-addressing map from uint64 keys to array indexes, sized
+/// once for a known maximum entry count (no growth). Unlike PairFlatMap it
+/// supports erase, via backward-shift deletion, so lookups never cross
+/// tombstones. Used by TopKList for pair -> heap-position tracking: the
+/// table holds at most k entries and stays cache-resident, so the
+/// membership probe on the join's every scored pair is a couple of loads
+/// instead of an unordered_map hash walk.
+class PairPositionMap {
+ public:
+  /// Sizes the table for at most `max_entries` live entries (load <= 0.5).
+  explicit PairPositionMap(size_t max_entries) {
+    size_t capacity = 64;
+    while (capacity < max_entries * 2) capacity <<= 1;
+    slots_.assign(capacity, Slot{kEmpty, 0});
+  }
+
+  /// Returns a pointer to the index stored for `key`, or nullptr. The
+  /// pointer is valid until the next Insert/Erase.
+  size_t* Find(uint64_t key) {
+    size_t mask = slots_.size() - 1;
+    size_t i = Mix(key) & mask;
+    while (true) {
+      if (slots_[i].key == key) return &slots_[i].index;
+      if (slots_[i].key == kEmpty) return nullptr;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool Contains(uint64_t key) const {
+    return const_cast<PairPositionMap*>(this)->Find(key) != nullptr;
+  }
+
+  /// Inserts (`key` must be absent and the table not at max_entries).
+  void Insert(uint64_t key, size_t index) {
+    size_t mask = slots_.size() - 1;
+    size_t i = Mix(key) & mask;
+    while (slots_[i].key != kEmpty) {
+      MC_CHECK(slots_[i].key != key);
+      i = (i + 1) & mask;
+    }
+    slots_[i] = Slot{key, index};
+  }
+
+  /// Removes `key` (must be present), back-shifting the probe chain so no
+  /// tombstone is left behind.
+  void Erase(uint64_t key) {
+    size_t mask = slots_.size() - 1;
+    size_t i = Mix(key) & mask;
+    while (slots_[i].key != key) {
+      MC_CHECK(slots_[i].key != kEmpty);
+      i = (i + 1) & mask;
+    }
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (slots_[j].key == kEmpty) break;
+      size_t ideal = Mix(slots_[j].key) & mask;
+      // Entry at j may fill the hole at i only if its probe chain started
+      // at or before i (cyclically): otherwise a later Find would stop at
+      // the new hole before reaching it.
+      if (((j - ideal) & mask) >= ((j - i) & mask)) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i].key = kEmpty;
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  struct Slot {
+    uint64_t key;
+    size_t index;
+  };
+
+  static size_t Mix(uint64_t key) {
+    uint64_t z = key + 0x9E3779B97f4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+
+  std::vector<Slot> slots_;
 };
 
 }  // namespace mc

@@ -68,7 +68,7 @@ TEST_P(CorpusSemanticsTest, ConfigScoreEqualsTextJaccard) {
         std::string text_b = ConcatConfig(b, j, columns, config);
         // The join machinery never scores empty-token tuples; the text
         // convention (both empty -> 1.0) differs there by design.
-        if (view.tokens_a[i].empty() || view.tokens_b[j].empty()) continue;
+        if (view.a(i).empty() || view.b(j).empty()) continue;
         double expected = JaccardSimilarity(DistinctWordTokens(text_a),
                                             DistinctWordTokens(text_b));
         EXPECT_NEAR(scorer.Score(i, j), expected, 1e-12)
@@ -89,9 +89,9 @@ TEST_P(CorpusSemanticsTest, ConfigLengthEqualsDistinctTokenCount) {
     ConfigView view = corpus.MakeConfigView(config);
     for (RowId i = 0; i < 20; ++i) {
       std::string text = ConcatConfig(a, i, columns, config);
-      EXPECT_EQ(view.tokens_a[i].size(), DistinctWordTokens(text).size());
-      EXPECT_EQ(SsjCorpus::ConfigLength(corpus.tuples_a()[i], config),
-                view.tokens_a[i].size());
+      EXPECT_EQ(view.a(i).size(), DistinctWordTokens(text).size());
+      EXPECT_EQ(SsjCorpus::ConfigLength(corpus.tuple_a(i), config),
+                view.a(i).size());
     }
   }
 }

@@ -30,8 +30,8 @@ TEST(OverlapCacheTest, ComputeSharedAndFilter) {
   a.AddRow({"jim madison", "smithville"});
   b.AddRow({"jim smithville", "madison"});
   SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1});
-  CachedOverlap shared = OverlapCache::ComputeShared(corpus.tuples_a()[0],
-                                                     corpus.tuples_b()[0]);
+  CachedOverlap shared = OverlapCache::ComputeShared(corpus.tuple_a(0),
+                                                     corpus.tuple_b(0));
   EXPECT_EQ(shared.size(), 3u);  // jim, madison, smithville.
   EXPECT_EQ(OverlapCache::OverlapUnder(shared, 0b11), 3u);
   EXPECT_EQ(OverlapCache::OverlapUnder(shared, 0b01), 1u);
@@ -225,6 +225,12 @@ TEST(JointExecutorTest, ReportsReuseActivation) {
   options.reuse_min_avg_tokens = 1000.0;  // Never triggers.
   JointResult no_reuse = RunJointTopKJoins(corpus, tree, options);
   EXPECT_FALSE(no_reuse.overlap_reuse_active);
+  // No CachingPairScorer is ever constructed when reuse is off: the cache
+  // counters are absent (0), not counters of a cache that saw no traffic.
+  for (const auto& config : no_reuse.per_config) {
+    EXPECT_EQ(config.cache_hits, 0u);
+    EXPECT_EQ(config.cache_misses, 0u);
+  }
 
   options.reuse_min_avg_tokens = 0.0;
   JointResult with_reuse = RunJointTopKJoins(corpus, tree, options);

@@ -79,7 +79,7 @@ TEST_P(MergeSourceTest, LateMergePreservesExactness) {
   std::vector<ScoredPair> payload;
   for (RowId i = 0; i < 30; ++i) {
     RowId j = (i * 7) % 60;
-    if (view.tokens_a[i].empty() || view.tokens_b[j].empty()) continue;
+    if (view.a(i).empty() || view.b(j).empty()) continue;
     payload.push_back(ScoredPair{MakePairId(i, j), scorer.Score(i, j)});
   }
 
@@ -144,7 +144,7 @@ TEST(MergeSourceTest, SeedPlusMergePlusExclusion) {
   std::vector<ScoredPair> seed, payload;
   for (RowId i = 1; i < 20; i += 2) {
     RowId j = (i + 3) % 50;
-    if (view.tokens_a[i].empty() || view.tokens_b[j].empty()) continue;
+    if (view.a(i).empty() || view.b(j).empty()) continue;
     PairId pair = MakePairId(i, j);
     if (exclude.Contains(pair)) continue;
     (i % 4 == 1 ? seed : payload)

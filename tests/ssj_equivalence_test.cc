@@ -1,0 +1,264 @@
+// Randomized equivalence harness for the QJoin engine: RunTopKJoin must
+// match BruteForceTopK(min_overlap = q) — the exact top-k restricted to
+// pairs sharing at least q tokens — across every SetMeasure, q in 1..4,
+// the seeded/merged/excluded variants, and the sharded parallel mode.
+// Scores must agree exactly (both sides use the same merge + count
+// arithmetic); pair identity must agree everywhere except among equal-score
+// ties at the boundary (k-th) score, where either engine may legitimately
+// keep a different member of the tie.
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ssj/corpus.h"
+#include "ssj/topk_join.h"
+#include "table/table.h"
+#include "util/random.h"
+#include "util/run_context.h"
+
+namespace mc {
+namespace {
+
+std::pair<Table, Table> RandomTables(Rng& rng, size_t rows) {
+  Schema schema({{"text", AttributeType::kString}});
+  Table a(schema), b(schema);
+  auto make_row = [&](Table& table) {
+    std::string text;
+    size_t n = 2 + rng.NextBelow(7);
+    for (size_t t = 0; t < n; ++t) {
+      if (t > 0) text += ' ';
+      text += "w" + std::to_string(rng.NextZipf(40, 0.8));
+    }
+    table.AddRow({text});
+  };
+  for (size_t i = 0; i < rows; ++i) {
+    make_row(a);
+    make_row(b);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+size_t OverlapOf(const ConfigView& view, RowId i, RowId j) {
+  TokenSpan a = view.a(i);
+  TokenSpan b = view.b(j);
+  size_t x = 0, y = 0, overlap = 0;
+  while (x < a.size() && y < b.size()) {
+    if (a[x] == b[y]) {
+      ++overlap;
+      ++x;
+      ++y;
+    } else if (a[x] < b[y]) {
+      ++x;
+    } else {
+      ++y;
+    }
+  }
+  return overlap;
+}
+
+// Exact-score, boundary-tie-tolerant comparison (see file comment).
+void ExpectSameTopK(const TopKList& got, const TopKList& want) {
+  std::vector<ScoredPair> g = got.SortedDescending();
+  std::vector<ScoredPair> w = want.SortedDescending();
+  ASSERT_EQ(g.size(), w.size());
+  if (w.empty()) return;
+  const double boundary = w.back().score;
+  for (size_t r = 0; r < g.size(); ++r) {
+    ASSERT_EQ(g[r].score, w[r].score) << "rank " << r;
+    if (w[r].score != boundary) {
+      EXPECT_EQ(g[r].pair, w[r].pair) << "rank " << r;
+    }
+  }
+}
+
+// Delivers a payload on the n-th TryFetch call (a late parent list).
+class DelayedMergeSource : public MergeSource {
+ public:
+  DelayedMergeSource(std::vector<ScoredPair> payload, int deliveries_after)
+      : payload_(std::move(payload)), countdown_(deliveries_after) {}
+
+  std::optional<std::vector<ScoredPair>> TryFetch() override {
+    if (--countdown_ > 0 || delivered_) return std::nullopt;
+    delivered_ = true;
+    return payload_;
+  }
+
+ private:
+  std::vector<ScoredPair> payload_;
+  int countdown_;
+  bool delivered_ = false;
+};
+
+// Cancels the join's RunContext on the n-th poll, simulating a deadline
+// firing mid-run.
+class CancellingMergeSource : public MergeSource {
+ public:
+  CancellingMergeSource(RunContext context, int cancel_on_call)
+      : context_(context), countdown_(cancel_on_call) {}
+
+  std::optional<std::vector<ScoredPair>> TryFetch() override {
+    if (--countdown_ <= 0) context_.Cancel();
+    return std::nullopt;
+  }
+
+ private:
+  RunContext context_;
+  int countdown_;
+};
+
+struct CaseName {
+  template <typename ParamType>
+  std::string operator()(
+      const ::testing::TestParamInfo<ParamType>& info) const {
+    static const char* kMeasureNames[] = {"jaccard", "cosine", "dice",
+                                          "overlap"};
+    return std::string(kMeasureNames[static_cast<int>(
+               std::get<0>(info.param))]) +
+           "_q" + std::to_string(std::get<1>(info.param));
+  }
+};
+
+class SsjEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SetMeasure, size_t>> {
+ protected:
+  SetMeasure measure() const { return std::get<0>(GetParam()); }
+  size_t q() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SsjEquivalenceTest, MatchesBruteForce) {
+  Rng rng(1000 + static_cast<uint64_t>(measure()) * 10 + q());
+  auto [a, b] = RandomTables(rng, 90);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0});
+  ConfigView view = corpus.MakeConfigView(0b1);
+
+  TopKJoinOptions options;
+  options.k = 30;
+  options.measure = measure();
+  options.q = q();
+  TopKList want = BruteForceTopK(view, options.k, measure(), nullptr, q());
+  ExpectSameTopK(RunTopKJoin(view, options), want);
+}
+
+TEST_P(SsjEquivalenceTest, MatchesBruteForceWithExclusion) {
+  Rng rng(2000 + static_cast<uint64_t>(measure()) * 10 + q());
+  auto [a, b] = RandomTables(rng, 80);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0});
+  ConfigView view = corpus.MakeConfigView(0b1);
+
+  CandidateSet exclude;
+  for (RowId i = 0; i < 80; i += 2) exclude.Add(i, (i * 5 + 1) % 80);
+  for (RowId i = 0; i < 80; i += 3) exclude.Add(i, i);
+
+  TopKJoinOptions options;
+  options.k = 25;
+  options.measure = measure();
+  options.q = q();
+  options.exclude = &exclude;
+  TopKList want = BruteForceTopK(view, options.k, measure(), &exclude, q());
+  TopKList got = RunTopKJoin(view, options);
+  ExpectSameTopK(got, want);
+  for (const ScoredPair& entry : got.Entries()) {
+    EXPECT_FALSE(exclude.Contains(entry.pair));
+  }
+}
+
+TEST_P(SsjEquivalenceTest, MatchesBruteForceSeededAndMerged) {
+  Rng rng(3000 + static_cast<uint64_t>(measure()) * 10 + q());
+  auto [a, b] = RandomTables(rng, 80);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0});
+  ConfigView view = corpus.MakeConfigView(0b1);
+
+  // Seed and merge payloads: exact scores for arbitrary q-eligible pairs
+  // (as a parent's re-adjusted top-k would deliver). Pairs below the
+  // q-overlap floor are left out so the q-restricted brute force stays the
+  // ground truth.
+  DirectPairScorer scorer(&view, measure());
+  std::vector<ScoredPair> seed, payload;
+  for (RowId i = 0; i < 80; ++i) {
+    RowId j = (i * 11 + 2) % 80;
+    if (OverlapOf(view, i, j) < q()) continue;
+    (i % 2 == 0 ? seed : payload)
+        .push_back(ScoredPair{MakePairId(i, j), scorer.Score(i, j)});
+  }
+
+  TopKJoinOptions options;
+  options.k = 25;
+  options.measure = measure();
+  options.q = q();
+  options.merge_poll_period = 64;  // Deliver the merge mid-run.
+  DelayedMergeSource merge(payload, 3);
+  TopKJoinStats stats;
+  TopKList got = RunTopKJoin(view, options, nullptr, &seed, &merge, &stats);
+  EXPECT_EQ(stats.merges_applied, 1u);
+  ExpectSameTopK(got, BruteForceTopK(view, options.k, measure(), nullptr,
+                                     q()));
+}
+
+TEST_P(SsjEquivalenceTest, ShardedMatchesSequentialScores) {
+  Rng rng(4000 + static_cast<uint64_t>(measure()) * 10 + q());
+  auto [a, b] = RandomTables(rng, 90);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0});
+  ConfigView view = corpus.MakeConfigView(0b1);
+
+  TopKJoinOptions options;
+  options.k = 30;
+  options.measure = measure();
+  options.q = q();
+  TopKList want = BruteForceTopK(view, options.k, measure(), nullptr, q());
+  for (size_t shards : {size_t{2}, size_t{7}}) {
+    options.shards = shards;
+    ExpectSameTopK(RunTopKJoin(view, options), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasuresAllQ, SsjEquivalenceTest,
+    ::testing::Combine(::testing::Values(SetMeasure::kJaccard,
+                                         SetMeasure::kCosine,
+                                         SetMeasure::kDice,
+                                         SetMeasure::kOverlapCoefficient),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{3},
+                                         size_t{4})),
+    CaseName());
+
+TEST(SsjCancellationTest, TruncatedJoinReturnsExactlyScoredBestSoFar) {
+  Rng rng(5000);
+  auto [a, b] = RandomTables(rng, 150);
+  SsjCorpus corpus = SsjCorpus::Build(a, b, {0});
+  ConfigView view = corpus.MakeConfigView(0b1);
+
+  TopKJoinOptions options;
+  options.k = 40;
+  options.merge_poll_period = 32;  // Poll often so the cancel lands mid-run.
+  options.run_context = RunContext::Cancellable();
+  CancellingMergeSource cancel(options.run_context, /*cancel_on_call=*/4);
+  TopKJoinStats stats;
+  TopKList got = RunTopKJoin(view, options, nullptr, nullptr, &cancel,
+                             &stats);
+
+  // The run was cut mid-join: flagged truncated, and the best-so-far list
+  // is a subset of the true q-eligible pair space with *exact* scores — a
+  // cancelled join never returns an unverified or partially computed score.
+  EXPECT_TRUE(stats.truncated);
+  TopKList full = RunTopKJoin(view, TopKJoinOptions{
+                                        .k = options.k,
+                                        .measure = options.measure,
+                                        .q = options.q,
+                                    });
+  EXPECT_LT(stats.events_popped, 150u * 7u);  // Stopped before draining.
+  DirectPairScorer scorer(&view, options.measure);
+  for (const ScoredPair& entry : got.Entries()) {
+    EXPECT_EQ(entry.score, scorer.Score(PairRowA(entry.pair),
+                                        PairRowB(entry.pair)));
+    EXPECT_GE(OverlapOf(view, PairRowA(entry.pair), PairRowB(entry.pair)),
+              options.q);
+  }
+  EXPECT_LE(got.size(), full.size());
+}
+
+}  // namespace
+}  // namespace mc

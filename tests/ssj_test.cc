@@ -53,6 +53,29 @@ TEST(TopKListTest, DuplicatePairIgnored) {
   EXPECT_EQ(list.size(), 1u);
 }
 
+TEST(TopKListTest, ReAddUpdatesScoreInPlace) {
+  TopKList list(3);
+  list.Add(MakePairId(0, 0), 0.9);
+  list.Add(MakePairId(0, 1), 0.5);
+  list.Add(MakePairId(0, 2), 0.3);
+  // Upward correction re-sifts: the k-th entry changes.
+  EXPECT_TRUE(list.Add(MakePairId(0, 2), 0.7));
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list.KthScore(), 0.5);
+  // Downward correction must not be fast-rejected even when the new score
+  // is below the current k-th: the stored score updates in place.
+  EXPECT_TRUE(list.Add(MakePairId(0, 0), 0.1));
+  EXPECT_DOUBLE_EQ(list.KthScore(), 0.1);
+  std::vector<ScoredPair> sorted = list.SortedDescending();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].pair, MakePairId(0, 2));
+  EXPECT_DOUBLE_EQ(sorted[0].score, 0.7);
+  EXPECT_EQ(sorted[2].pair, MakePairId(0, 0));
+  EXPECT_DOUBLE_EQ(sorted[2].score, 0.1);
+  // A fresh pair below the (corrected) k-th is still rejected.
+  EXPECT_FALSE(list.Add(MakePairId(0, 9), 0.05));
+}
+
 TEST(TopKListTest, MergeDeduplicates) {
   TopKList list(4);
   list.Add(MakePairId(0, 0), 0.9);
@@ -109,23 +132,32 @@ TEST(CorpusTest, BuildAndConfigViews) {
   auto [a, b] = SmallTables();
   SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1});
   EXPECT_EQ(corpus.num_attributes(), 2u);
-  ASSERT_EQ(corpus.tuples_a().size(), 3u);
-  ASSERT_EQ(corpus.tuples_b().size(), 2u);
+  ASSERT_EQ(corpus.rows_a(), 3u);
+  ASSERT_EQ(corpus.rows_b(), 2u);
   // a0 = {dave, smith} in name; {altanta} in city.
-  EXPECT_EQ(corpus.tuples_a()[0].size(), 3u);
-  EXPECT_EQ(corpus.tuples_a()[2].size(), 0u);  // Empty tuple.
+  EXPECT_EQ(corpus.tuple_a(0).size(), 3u);
+  EXPECT_EQ(corpus.tuple_a(2).size(), 0u);  // Empty tuple.
 
   ConfigView both = corpus.MakeConfigView(0b11);
-  EXPECT_EQ(both.tokens_a[0].size(), 3u);
+  EXPECT_EQ(both.a(0).size(), 3u);
   ConfigView name_only = corpus.MakeConfigView(0b01);
-  EXPECT_EQ(name_only.tokens_a[0].size(), 2u);
+  EXPECT_EQ(name_only.a(0).size(), 2u);
   ConfigView city_only = corpus.MakeConfigView(0b10);
-  EXPECT_EQ(city_only.tokens_a[0].size(), 1u);
-  EXPECT_EQ(city_only.tokens_a[1].size(), 2u);  // new, york.
+  EXPECT_EQ(city_only.a(0).size(), 1u);
+  EXPECT_EQ(city_only.a(1).size(), 2u);  // new, york.
 
   // Token arrays must be sorted by global rank.
-  for (const auto& tokens : both.tokens_a) {
+  for (size_t row = 0; row < both.rows_a(); ++row) {
+    TokenSpan tokens = both.a(row);
     EXPECT_TRUE(std::is_sorted(tokens.begin(), tokens.end()));
+  }
+  // Dense-index sizing contract: every rank is below rank_limit().
+  EXPECT_EQ(both.rank_limit(), corpus.dictionary().size());
+  for (size_t row = 0; row < both.rows_a(); ++row) {
+    for (uint32_t rank : both.a(row)) EXPECT_LT(rank, both.rank_limit());
+  }
+  for (size_t row = 0; row < both.rows_b(); ++row) {
+    for (uint32_t rank : both.b(row)) EXPECT_LT(rank, both.rank_limit());
   }
 }
 
@@ -137,7 +169,7 @@ TEST(CorpusTest, TokenSharedAcrossAttributesHasCombinedMask) {
   b.AddRow({"x", "y"});
   SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1});
   // "madison" appears in both attributes -> one entry with mask 0b11.
-  const TupleTokens& tuple = corpus.tuples_a()[0];
+  const TupleTokens tuple = corpus.tuple_a(0);
   ASSERT_EQ(tuple.size(), 2u);  // {madison, smith}.
   bool found_combined = false;
   for (size_t i = 0; i < tuple.size(); ++i) {
@@ -156,8 +188,8 @@ TEST(CorpusTest, ConfigOverlapFiltersByMask) {
   a.AddRow({"jim madison", "smithville"});
   b.AddRow({"jim smithville", "madison"});
   SsjCorpus corpus = SsjCorpus::Build(a, b, {0, 1});
-  const TupleTokens& ta = corpus.tuples_a()[0];
-  const TupleTokens& tb = corpus.tuples_b()[0];
+  const TupleTokens ta = corpus.tuple_a(0);
+  const TupleTokens tb = corpus.tuple_b(0);
   // Under both attributes: jim, madison, smithville all shared.
   EXPECT_EQ(SsjCorpus::ConfigOverlap(ta, tb, 0b11), 3u);
   // Under name only: jim shared; madison is in a.name but b.city.
@@ -271,9 +303,9 @@ TEST_P(TopKJoinPropertyTest, SeedingDoesNotChangeResult) {
   // does after re-adjustment).
   DirectPairScorer scorer(&view, options.measure);
   std::vector<ScoredPair> seed;
-  for (RowId i = 0; i < 10 && i < view.tokens_a.size(); ++i) {
-    RowId j = i % static_cast<RowId>(view.tokens_b.size());
-    if (view.tokens_a[i].empty() || view.tokens_b[j].empty()) continue;
+  for (RowId i = 0; i < 10 && i < view.rows_a(); ++i) {
+    RowId j = i % static_cast<RowId>(view.rows_b());
+    if (view.a(i).empty() || view.b(j).empty()) continue;
     seed.push_back(ScoredPair{MakePairId(i, j), scorer.Score(i, j)});
   }
   TopKList seeded = RunTopKJoin(view, options, nullptr, &seed);

@@ -29,4 +29,14 @@ run_config release ""
 run_config asan address
 run_config tsan thread
 
+# Bench smoke: emit a perf record on a tiny workload and validate its schema
+# (plus the committed archive). Catches drift between the JSON writer, the
+# record schema, and tools/validate_bench_json.py without a full bench run.
+echo "==== [bench-smoke] emit + validate perf record ===="
+bench_json="${build_root}/release/bench_smoke.json"
+"${build_root}/release/bench/micro_ssj" \
+    --json="${bench_json}" --engine=ci-smoke --scale=0.002 --reps=1
+python3 "${repo_root}/tools/validate_bench_json.py" \
+    "${bench_json}" "${repo_root}/bench/BENCH_ssj.json"
+
 echo "==== all configurations passed ===="

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validates machine-readable benchmark records (schema version 1).
+
+Usage: tools/validate_bench_json.py RECORD.json [RECORD.json ...]
+
+Accepts either a single record object (as emitted by `micro_ssj --json=`)
+or an array of records (the committed bench/BENCH_ssj.json archives
+[before, after]). Exits non-zero with a message naming the offending field
+on the first violation. Run by the bench-smoke step of tools/ci.sh.
+"""
+
+import json
+import re
+import sys
+
+WORKLOAD_FIELDS = {
+    "dataset": str,
+    "scale": (int, float),
+    "rows_a": int,
+    "rows_b": int,
+    "config_mask": int,
+    "measure": str,
+    "k": int,
+    "repetitions": int,
+}
+
+RESULT_FIELDS = {
+    "name": str,
+    "q": int,
+    "shards": int,
+    "best_seconds": (int, float),
+    "mean_seconds": (int, float),
+    "pairs": int,
+    "events_popped": int,
+    "pairs_scored": int,
+    "topk_checksum": str,
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def require(condition, message):
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_fields(obj, fields, where):
+    require(isinstance(obj, dict), f"{where}: expected an object")
+    for name, types in fields.items():
+        require(name in obj, f"{where}: missing field '{name}'")
+        require(
+            isinstance(obj[name], types) and not isinstance(obj[name], bool),
+            f"{where}: field '{name}' has wrong type "
+            f"({type(obj[name]).__name__})",
+        )
+
+
+def validate_record(record, where):
+    require(isinstance(record, dict), f"{where}: expected an object")
+    require(record.get("schema_version") == 1,
+            f"{where}: schema_version must be 1")
+    require(isinstance(record.get("benchmark"), str) and record["benchmark"],
+            f"{where}: missing/empty 'benchmark'")
+    require(isinstance(record.get("engine"), str) and record["engine"],
+            f"{where}: missing/empty 'engine'")
+    check_fields(record.get("workload"), WORKLOAD_FIELDS, f"{where}.workload")
+
+    results = record.get("results")
+    require(isinstance(results, list) and results,
+            f"{where}: 'results' must be a non-empty array")
+    for i, result in enumerate(results):
+        where_r = f"{where}.results[{i}]"
+        check_fields(result, RESULT_FIELDS, where_r)
+        require(result["q"] >= 1, f"{where_r}: q must be >= 1")
+        require(result["shards"] >= 1, f"{where_r}: shards must be >= 1")
+        require(result["best_seconds"] > 0.0,
+                f"{where_r}: best_seconds must be positive")
+        require(result["mean_seconds"] >= result["best_seconds"],
+                f"{where_r}: mean_seconds < best_seconds")
+        require(result["pairs"] <= record["workload"]["k"],
+                f"{where_r}: pairs exceeds workload k")
+        require(re.fullmatch(r"[0-9a-f]{8}", result["topk_checksum"]),
+                f"{where_r}: topk_checksum is not 8 lowercase hex digits")
+
+
+def validate_file(path):
+    with open(path) as f:
+        data = json.load(f)
+    records = data if isinstance(data, list) else [data]
+    require(records, f"{path}: empty record array")
+    for i, record in enumerate(records):
+        where = f"{path}[{i}]" if isinstance(data, list) else path
+        validate_record(record, where)
+    return len(records)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            n = validate_file(path)
+        except (ValidationError, json.JSONDecodeError, OSError) as error:
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            return 1
+        print(f"OK {path}: {n} record(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
