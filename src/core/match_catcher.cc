@@ -40,8 +40,12 @@ Result<DebugSession> DebugSession::Create(const Table& table_a,
     return Status::DeadlineExceeded(
         "session creation cancelled before the joint top-k phase");
   }
+  CorpusBuildOptions build_options;
+  build_options.num_threads = options.joint.num_threads;
+  build_options.run_context = options.run_context;
   SsjCorpus corpus = SsjCorpus::Build(*session.table_a_, *session.table_b_,
-                                      session.attributes_.columns);
+                                      session.attributes_.columns,
+                                      build_options);
   JointOptions joint_options = options.joint;
   joint_options.exclude = &blocker_output;
   joint_options.run_context = options.run_context;

@@ -25,11 +25,27 @@ class CachingPairScorer : public PairScorer {
   /// Snapshots the cache's current contents into a lock-free local index;
   /// entries published after construction are simply recomputed on miss
   /// (cache values are pointer-stable, so the snapshot stays valid).
+  ///
+  /// A miss is scored by merging the rows' *view* spans — already filtered
+  /// to the config, so the merge touches only surviving tokens. Passing
+  /// `corpus_miss_path = true` restores the historical miss path (merge the
+  /// full tuples from the corpus, mask-filtering on the fly); the overlap
+  /// is identical either way. Kept for the micro_joint before/after
+  /// ablation.
   CachingPairScorer(const SsjCorpus* corpus, const ConfigView* view,
                     ConfigMask config, SetMeasure measure, OverlapCache* cache,
-                    bool write_enabled);
+                    bool write_enabled, bool corpus_miss_path = false);
 
   double Score(RowId row_a, RowId row_b) override;
+
+  /// Bounded scoring (see PairScorer::ScoreAbove). On a snapshot hit the
+  /// exact score comes from the cached masks (already cheap). On a miss the
+  /// view-span merge is abandoned as soon as the remaining tokens cannot
+  /// reach the overlap required for `threshold` — the same positional bound
+  /// the engine's inline fast path uses. With `corpus_miss_path` the
+  /// historical full-merge behavior is kept (no early abort).
+  bool ScoreAbove(RowId row_a, RowId row_b, double threshold,
+                  double* score) override;
 
   void NoteKept(RowId row_a, RowId row_b) override;
 
@@ -43,6 +59,7 @@ class CachingPairScorer : public PairScorer {
   SetMeasure measure_;
   OverlapCache* cache_;
   bool write_enabled_;
+  bool corpus_miss_path_ = false;
   // Local snapshot: pair -> pointer into the shared cache.
   PairFlatMap<const CachedOverlap*> snapshot_;
   size_t hits_ = 0;

@@ -1,14 +1,17 @@
 #include "joint/joint_executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
-#include <thread>
-
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
 
 #include "joint/caching_scorer.h"
 #include "joint/overlap_cache.h"
+#include "joint/parent_merge.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/stopwatch.h"
@@ -18,97 +21,61 @@ namespace mc {
 
 namespace {
 
-// Completion state of one config task, read by its children.
-struct NodeState {
-  std::mutex mutex;
-  bool done = false;
-  // Final top-k of the config, with scores under *that* config.
-  std::vector<ScoredPair> result;
+// Everything both schedulers need, threaded through one struct instead of
+// a dozen lambda captures.
+struct JointContext {
+  JointContext(const SsjCorpus& corpus, const ConfigTree& tree,
+               const JointOptions& options, JointResult& result, size_t q,
+               bool overlap_reuse, OverlapCache& cache, size_t num_threads)
+      : corpus(corpus),
+        tree(tree),
+        options(options),
+        result(result),
+        q(q),
+        overlap_reuse(overlap_reuse),
+        cache(cache),
+        num_threads(num_threads) {}
+
+  const SsjCorpus& corpus;
+  const ConfigTree& tree;
+  const JointOptions& options;
+  JointResult& result;
+  size_t q;
+  bool overlap_reuse;
+  OverlapCache& cache;
+  size_t num_threads;
+
+  std::mutex error_mutex;
+  void RecordTaskError(const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (result.task_error.ok()) result.task_error = status;
+  }
+
+  TopKJoinOptions JoinOptions() const {
+    TopKJoinOptions join_options;
+    join_options.k = options.k;
+    join_options.measure = options.measure;
+    join_options.q = q;
+    join_options.exclude = options.exclude;
+    join_options.merge_poll_period = options.merge_poll_period;
+    join_options.run_context = options.run_context;
+    return join_options;
+  }
 };
 
-// Re-scores a parent's top-k pairs under the child config using the child's
-// scorer ("this re-adjustment is fairly straightforward (and inexpensive)
-// because the overlap information ... should already be in H", §4.2).
-// Pairs where either tuple has no tokens under the child config are dropped:
-// such tuples never take part in the child's join (an empty string carries
-// no similarity evidence), and the empty-vs-empty case would degenerately
-// score 1.0.
-std::vector<ScoredPair> ReadjustToConfig(const std::vector<ScoredPair>& pairs,
-                                         const ConfigView& view,
-                                         PairScorer& scorer) {
-  std::vector<ScoredPair> adjusted;
-  adjusted.reserve(pairs.size());
-  for (const ScoredPair& entry : pairs) {
-    RowId row_a = PairRowA(entry.pair);
-    RowId row_b = PairRowB(entry.pair);
-    if (view.a(row_a).empty() || view.b(row_b).empty()) {
-      continue;
-    }
-    adjusted.push_back(ScoredPair{entry.pair, scorer.Score(row_a, row_b)});
-  }
-  return adjusted;
-}
+// ---------------------------------------------------------------------------
+// Legacy scheduler (JointScheduler::kConfigPerTask): one monolithic task per
+// config, all submitted at once; children poll unfinished parents through
+// ParentMergeSource. Kept as the determinism pin's "old BFS path" and the
+// micro_joint ablation baseline.
+// ---------------------------------------------------------------------------
 
-// MergeSource that waits for a parent task and re-adjusts its list when it
-// lands.
-class ParentMergeSource : public MergeSource {
- public:
-  ParentMergeSource(NodeState* parent, const ConfigView* view,
-                    PairScorer* scorer)
-      : parent_(parent), view_(view), scorer_(scorer) {}
-
-  std::optional<std::vector<ScoredPair>> TryFetch() override {
-    std::vector<ScoredPair> snapshot;
-    {
-      std::lock_guard<std::mutex> lock(parent_->mutex);
-      if (!parent_->done) return std::nullopt;
-      snapshot = parent_->result;
-    }
-    return ReadjustToConfig(snapshot, *view_, *scorer_);
-  }
-
- private:
-  NodeState* parent_;
-  const ConfigView* view_;
-  PairScorer* scorer_;
-};
-
-}  // namespace
-
-JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
-                              const JointOptions& options) {
-  MC_CHECK_GT(tree.size(), 0u);
-  Stopwatch total_watch;
-  JointResult result;
-  result.per_config.resize(tree.size());
-
-  // Decide q (optionally by racing on the root config). The race respects
-  // the run context, so a deadline also bounds this warm-up phase.
-  size_t q = options.q;
-  ConfigView root_view = corpus.MakeConfigView(tree.nodes[0].mask);
-  if (q == 0) {
-    size_t max_q = 4;
-    q = SelectQByRace(root_view, options.measure, options.exclude, max_q,
-                      /*probe_k=*/50, options.run_context);
-  }
-  result.q_used = q;
-
-  // The reuse trigger uses the average tuple length over the root config.
-  const bool overlap_reuse =
-      options.reuse_overlaps &&
-      root_view.average_tokens() >= options.reuse_min_avg_tokens;
-  result.overlap_reuse_active = overlap_reuse;
-
-  OverlapCache cache;
-  std::vector<NodeState> states(tree.size());
-
-  size_t num_threads = options.num_threads != 0
-                           ? options.num_threads
-                           : std::max(1u, std::thread::hardware_concurrency());
+void RunConfigPerTask(JointContext& ctx) {
+  std::vector<ParentPublication> states(ctx.tree.size());
 
   auto run_node = [&](size_t node_index) {
-    const ConfigNode& node = tree.nodes[node_index];
-    ConfigJoinResult& out = result.per_config[node_index];
+    const ConfigNode& node = ctx.tree.nodes[node_index];
+    ConfigJoinResult& out = ctx.result.per_config[node_index];
     out.config = node.mask;
     out.completed = false;  // Set true only when the join drains fully.
     Stopwatch watch;
@@ -117,16 +84,12 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
     // that bailed out (cancelled or threw): every exit path publishes
     // whatever list exists, even an empty one.
     struct MarkDone {
-      NodeState* state;
+      ParentPublication* publication;
       const std::vector<ScoredPair>* topk;
-      ~MarkDone() {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        state->result = *topk;
-        state->done = true;
-      }
+      ~MarkDone() { publication->Publish(*topk); }
     } mark_done{&states[node_index], &out.topk};
 
-    if (options.run_context.Cancelled()) {
+    if (ctx.options.run_context.Cancelled()) {
       return;  // Skipped entirely: deadline hit before this config started.
     }
     if (MC_FAULT_POINT("joint/run_node") == FaultKind::kThrow) {
@@ -134,44 +97,35 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
                                std::to_string(node_index));
     }
 
-    ConfigView view = corpus.MakeConfigView(node.mask);
+    Stopwatch view_watch;
+    ConfigView view = ctx.corpus.MakeConfigView(node.mask, ctx.options.view_mode);
+    out.view_seconds = view_watch.ElapsedSeconds();
 
     // Scorer: caching only when overlap reuse is on — constructing the
     // caching scorer snapshots the shared cache, which is wasted work (and
     // misleading hit/miss counters) when reuse is disabled. With reuse off
     // the direct scorer runs and cache_hits/cache_misses stay 0.
-    DirectPairScorer direct(&view, options.measure);
+    DirectPairScorer direct(&view, ctx.options.measure);
     std::unique_ptr<CachingPairScorer> caching;
     PairScorer* scorer = &direct;
-    if (overlap_reuse) {
+    if (ctx.overlap_reuse) {
       caching = std::make_unique<CachingPairScorer>(
-          &corpus, &view, node.mask, options.measure, &cache,
-          /*write_enabled=*/true);
+          &ctx.corpus, &view, node.mask, ctx.options.measure, &ctx.cache,
+          /*write_enabled=*/true, ctx.options.corpus_miss_path);
       scorer = caching.get();
     }
 
-    TopKJoinOptions join_options;
-    join_options.k = options.k;
-    join_options.measure = options.measure;
-    join_options.q = q;
-    join_options.exclude = options.exclude;
-    join_options.merge_poll_period = options.merge_poll_period;
-    join_options.run_context = options.run_context;
+    TopKJoinOptions join_options = ctx.JoinOptions();
 
     // Top-k reuse: seed from a finished parent, else poll it mid-run.
     std::vector<ScoredPair> seed;
     const std::vector<ScoredPair>* seed_ptr = nullptr;
     std::unique_ptr<ParentMergeSource> merge_source;
-    if (options.reuse_topk && node.parent >= 0) {
-      NodeState& parent = states[node.parent];
-      bool parent_done = false;
-      {
-        std::lock_guard<std::mutex> lock(parent.mutex);
-        parent_done = parent.done;
-        if (parent_done) seed = parent.result;  // Snapshot under the lock.
-      }
-      if (parent_done) {
-        seed = ReadjustToConfig(seed, view, *scorer);
+    if (ctx.options.reuse_topk && node.parent >= 0) {
+      ParentPublication& parent = states[node.parent];
+      if (parent.done()) {
+        // Final and immutable: re-adjust straight from the published list.
+        seed = ReadjustToConfig(parent.result(), view, *scorer);
         seed_ptr = &seed;
         out.seeded_from_parent = true;
       } else {
@@ -190,17 +144,15 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
     out.completed = !out.stats.truncated;
   };
 
-  std::mutex error_mutex;
   auto record_task_error = [&](const Status& status) {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    if (result.task_error.ok()) result.task_error = status;
+    ctx.RecordTaskError(status);
   };
 
-  if (num_threads == 1) {
+  if (ctx.num_threads == 1) {
     // Sequential BFS (deterministic; every child sees a finished parent).
     // The task boundary matches the pool's: a throwing node is captured as
     // a Status and the remaining configs still run.
-    for (size_t i = 0; i < tree.size(); ++i) {
+    for (size_t i = 0; i < ctx.tree.size(); ++i) {
       try {
         run_node(i);
       } catch (const std::exception& e) {
@@ -212,16 +164,333 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
       }
     }
   } else {
-    ThreadPool pool(num_threads);
-    for (size_t i = 0; i < tree.size(); ++i) {
+    ThreadPool pool(ctx.num_threads);
+    for (size_t i = 0; i < ctx.tree.size(); ++i) {
       pool.Submit([&run_node, i] { run_node(i); }, record_task_error);
     }
     pool.Wait();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Two-level scheduler (JointScheduler::kTwoLevel, the default).
+//
+// Level 1: configs are scheduled over the config tree parents-first — a
+// config's setup task is submitted only after its parent published its
+// final list, so every child seeds from a finished parent (no mid-run
+// polling, no idle spinning). Level 2: each config's join is decomposed
+// into table-A shard sub-joins (RunTopKJoinShard) that run as independent
+// pool tasks, so the machine stays busy even when few configs are ready.
+//
+// Determinism: every shard list is the canonical top-k of its sub-space
+// under (score desc, pair asc), so the shard merge reproduces the
+// sequential join's list exactly; parents-first makes the seeds — and hence
+// every per-config list — identical for every thread count, shard count,
+// and scheduling interleaving.
+//
+// Liveness: every setup path — cancelled, faulted, or normal — ends in
+// PublishAndCascade, which publishes the (possibly empty) list and submits
+// the children's setups. No task ever blocks on another task, so a full
+// drain of the pool is guaranteed; a failed parent yields one incomplete
+// config, not an orphaned subtree.
+// ---------------------------------------------------------------------------
+
+class TwoLevelExecutor {
+ public:
+  TwoLevelExecutor(JointContext& ctx) : ctx_(ctx), nodes_(ctx.tree.size()) {
+    for (size_t i = 0; i < ctx_.tree.size(); ++i) {
+      const int32_t parent = ctx_.tree.nodes[i].parent;
+      if (parent >= 0) nodes_[static_cast<size_t>(parent)].children.push_back(i);
+    }
+    shard_count_ = ctx_.options.shards_per_config != 0
+                       ? ctx_.options.shards_per_config
+                       : std::max<size_t>(
+                             1, std::min<size_t>(
+                                    ctx_.num_threads,
+                                    std::max<size_t>(
+                                        1, std::thread::hardware_concurrency())));
+  }
+
+  void Run() {
+    pool_ = std::make_unique<ThreadPool>(ctx_.num_threads);
+    for (size_t i = 0; i < ctx_.tree.size(); ++i) {
+      if (ctx_.tree.nodes[i].parent < 0) {
+        pool_->Submit([this, i] { StartNode(i); });
+      }
+    }
+    pool_->Wait();
+    pool_.reset();
+  }
+
+ private:
+  struct Node {
+    ParentPublication publication;
+    std::vector<size_t> children;
+    // Setup products; alive from StartNode until FinishNode (shard tasks
+    // reference them).
+    ConfigView view;
+    std::vector<std::unique_ptr<CachingPairScorer>> scorers;  // Per shard.
+    std::vector<ScoredPair> seed;
+    bool use_seed = false;
+    std::vector<TopKList> shard_lists;
+    std::vector<TopKJoinStats> shard_stats;
+    std::atomic<size_t> shards_remaining{0};
+    std::atomic<bool> failed{false};
+    Stopwatch watch;
+  };
+
+  // Node-ready step: build the view and scorers, re-adjust the parent's
+  // published list into the seed, and fan the config out into shard tasks.
+  void StartNode(size_t index) {
+    Node& node = nodes_[index];
+    const ConfigNode& tree_node = ctx_.tree.nodes[index];
+    ConfigJoinResult& out = ctx_.result.per_config[index];
+    node.watch.Reset();
+    out.config = tree_node.mask;
+    out.completed = false;
+    try {
+      if (ctx_.options.run_context.Cancelled()) {
+        // Skipped entirely; children still cascade (and skip too).
+        PublishAndCascade(index);
+        return;
+      }
+      if (MC_FAULT_POINT("joint/run_node") == FaultKind::kThrow) {
+        throw std::runtime_error("injected fault: joint/run_node " +
+                                 std::to_string(index));
+      }
+
+      Stopwatch view_watch;
+      node.view =
+          ctx_.corpus.MakeConfigView(tree_node.mask, ctx_.options.view_mode);
+      out.view_seconds = view_watch.ElapsedSeconds();
+      out.shards_used = shard_count_;
+
+      // Per-shard caching scorers: CachingPairScorer is single-threaded
+      // (local snapshot + counters), so each shard gets its own instance
+      // over the shared concurrent cache. Snapshots taken here — after the
+      // parent finished — already contain every ancestor's kept pairs.
+      // Writes are disabled on the hot path: the legacy engine pays a
+      // ComputeShared (full-tuple merge + allocation) for every pair that
+      // *enters* a top-k list, including the many later evicted; the
+      // two-level scheduler instead writes the k pairs that actually
+      // survived, once, at config completion (FinishNode) — which is all a
+      // child's snapshot can observe anyway, since children start only
+      // after the parent published.
+      if (ctx_.overlap_reuse) {
+        node.scorers.reserve(shard_count_);
+        for (size_t s = 0; s < shard_count_; ++s) {
+          node.scorers.push_back(std::make_unique<CachingPairScorer>(
+              &ctx_.corpus, &node.view, tree_node.mask, ctx_.options.measure,
+              &ctx_.cache, /*write_enabled=*/false,
+              ctx_.options.corpus_miss_path));
+        }
+      }
+
+      // Parents-first guarantee: the parent published before this task was
+      // submitted, so the seed is always available — children never poll.
+      if (ctx_.options.reuse_topk && tree_node.parent >= 0) {
+        const ParentPublication& parent =
+            nodes_[static_cast<size_t>(tree_node.parent)].publication;
+        if (!node.scorers.empty()) {
+          node.seed =
+              ReadjustToConfig(parent.result(), node.view, *node.scorers[0]);
+        } else {
+          DirectPairScorer direct(&node.view, ctx_.options.measure);
+          node.seed = ReadjustToConfig(parent.result(), node.view, direct);
+        }
+        node.use_seed = true;
+        out.seeded_from_parent = true;
+      }
+
+      node.shard_lists.reserve(shard_count_);
+      for (size_t s = 0; s < shard_count_; ++s) {
+        node.shard_lists.emplace_back(ctx_.options.k);
+      }
+      node.shard_stats.assign(shard_count_, TopKJoinStats{});
+      node.shards_remaining.store(shard_count_, std::memory_order_relaxed);
+      for (size_t s = 0; s < shard_count_; ++s) {
+        pool_->Submit([this, index, s] { RunShardTask(index, s); });
+      }
+    } catch (const std::exception& e) {
+      ctx_.RecordTaskError(
+          Status::Internal(std::string("config task threw: ") + e.what()));
+      node.failed.store(true, std::memory_order_relaxed);
+      PublishAndCascade(index);
+    } catch (...) {
+      ctx_.RecordTaskError(
+          Status::Internal("config task threw a non-std exception"));
+      node.failed.store(true, std::memory_order_relaxed);
+      PublishAndCascade(index);
+    }
+  }
+
+  void RunShardTask(size_t index, size_t s) {
+    Node& node = nodes_[index];
+    try {
+      if (MC_FAULT_POINT("joint/shard_task") == FaultKind::kThrow) {
+        throw std::runtime_error("injected fault: joint/shard_task " +
+                                 std::to_string(index) + "/" +
+                                 std::to_string(s));
+      }
+      PairScorer* scorer =
+          node.scorers.empty() ? nullptr : node.scorers[s].get();
+      node.shard_lists[s] = RunTopKJoinShard(
+          node.view, ctx_.JoinOptions(), s, node.shard_lists.size(), scorer,
+          node.use_seed ? &node.seed : nullptr, &node.shard_stats[s]);
+    } catch (const std::exception& e) {
+      ctx_.RecordTaskError(
+          Status::Internal(std::string("config task threw: ") + e.what()));
+      node.failed.store(true, std::memory_order_relaxed);
+      node.shard_stats[s].truncated = true;
+    } catch (...) {
+      ctx_.RecordTaskError(
+          Status::Internal("config task threw a non-std exception"));
+      node.failed.store(true, std::memory_order_relaxed);
+      node.shard_stats[s].truncated = true;
+    }
+    // The last shard to finish merges and cascades (acq_rel: it observes
+    // every other shard's list writes).
+    if (node.shards_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      FinishNode(index);
+    }
+  }
+
+  // Runs on the worker that finished the config's last shard: merge the
+  // shard lists deterministically, finalize the per-config result, release
+  // the setup products, publish, and cascade the children.
+  void FinishNode(size_t index) {
+    Node& node = nodes_[index];
+    ConfigJoinResult& out = ctx_.result.per_config[index];
+
+    TopKList merged(ctx_.options.k);
+    for (const TopKList& list : node.shard_lists) {
+      for (const ScoredPair& entry : list.Entries()) {
+        merged.Add(entry.pair, entry.score);
+      }
+    }
+    for (const TopKJoinStats& stats : node.shard_stats) {
+      out.stats.events_popped += stats.events_popped;
+      out.stats.pairs_discovered += stats.pairs_discovered;
+      out.stats.pairs_scored += stats.pairs_scored;
+      out.stats.pairs_pruned += stats.pairs_pruned;
+      out.stats.tokens_indexed += stats.tokens_indexed;
+      out.stats.merges_applied += stats.merges_applied;
+      out.stats.truncated = out.stats.truncated || stats.truncated;
+    }
+    for (const std::unique_ptr<CachingPairScorer>& scorer : node.scorers) {
+      out.cache_hits += scorer->cache_hits();
+      out.cache_misses += scorer->cache_misses();
+    }
+    out.topk = merged.SortedDescending();
+    // Deferred cache writes: publish the overlap structure of the pairs
+    // that survived the merge — exactly what descendants' snapshots will
+    // re-score. Insert-only, first writer wins, so pairs already published
+    // by an ancestor skip the ComputeShared entirely.
+    if (!node.scorers.empty()) {
+      for (const ScoredPair& entry : out.topk) {
+        ctx_.cache.InsertWith(entry.pair, [&] {
+          return OverlapCache::ComputeShared(
+              ctx_.corpus.tuple_a(PairRowA(entry.pair)),
+              ctx_.corpus.tuple_b(PairRowB(entry.pair)));
+        });
+      }
+    }
+    out.completed =
+        !out.stats.truncated && !node.failed.load(std::memory_order_relaxed);
+    out.seconds = node.watch.ElapsedSeconds();
+
+    // Release the setup products now: the view's scratch buffer returns to
+    // the corpus pool for the configs still to come.
+    node.scorers.clear();
+    node.view = ConfigView();
+    node.seed.clear();
+    node.seed.shrink_to_fit();
+    node.shard_lists.clear();
+    node.shard_stats.clear();
+
+    PublishAndCascade(index);
+  }
+
+  // Every setup/finish path ends here exactly once per node: publish the
+  // (possibly empty) final list for the children to seed from, then submit
+  // their setup tasks.
+  void PublishAndCascade(size_t index) {
+    Node& node = nodes_[index];
+    node.publication.Publish(
+        std::vector<ScoredPair>(ctx_.result.per_config[index].topk));
+    for (size_t child : node.children) {
+      pool_->Submit([this, child] { StartNode(child); });
+    }
+  }
+
+  JointContext& ctx_;
+  std::vector<Node> nodes_;
+  size_t shard_count_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace
+
+JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
+                              const JointOptions& options) {
+  MC_CHECK_GT(tree.size(), 0u);
+  Stopwatch total_watch;
+  JointResult result;
+  result.per_config.resize(tree.size());
+
+  // Decide q (optionally by racing on the root config). The race respects
+  // the run context, so a deadline also bounds this warm-up phase.
+  size_t q = options.q;
+  Stopwatch root_view_watch;
+  ConfigView root_view =
+      corpus.MakeConfigView(tree.nodes[0].mask, options.view_mode);
+  result.stages.view_seconds += root_view_watch.ElapsedSeconds();
+  Stopwatch q_watch;
+  if (q == 0) {
+    size_t max_q = 4;
+    q = SelectQByRace(root_view, options.measure, options.exclude, max_q,
+                      /*probe_k=*/50, options.run_context);
+  }
+  result.q_used = q;
+  result.stages.q_select_seconds = q_watch.ElapsedSeconds();
+
+  // The reuse trigger uses the average tuple length over the root config.
+  const bool overlap_reuse =
+      options.reuse_overlaps &&
+      root_view.average_tokens() >= options.reuse_min_avg_tokens;
+  result.overlap_reuse_active = overlap_reuse;
+
+  const size_t cache_shards =
+      options.overlap_cache_shards != 0
+          ? options.overlap_cache_shards
+          : OverlapCache::RecommendShards(corpus.rows_a(), corpus.rows_b(),
+                                          options.k, tree.size());
+  result.overlap_cache_shards_used = cache_shards;
+  OverlapCache cache(cache_shards);
+
+  const size_t num_threads =
+      options.num_threads != 0
+          ? options.num_threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+
+  JointContext ctx(corpus, tree, options, result, q, overlap_reuse, cache,
+                   num_threads);
+
+  if (options.scheduler == JointScheduler::kConfigPerTask) {
+    RunConfigPerTask(ctx);
+  } else {
+    TwoLevelExecutor(ctx).Run();
+  }
 
   for (const ConfigJoinResult& config : result.per_config) {
     if (!config.completed) result.truncated = true;
+    result.stages.view_seconds += config.view_seconds;
+    result.stages.join_seconds +=
+        std::max(0.0, config.seconds - config.view_seconds);
   }
+  // A corpus cut short mid-build (deadline/fault during tokenization) makes
+  // every per-config list best-so-far, not exact.
+  if (corpus.truncated()) result.truncated = true;
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;
 }

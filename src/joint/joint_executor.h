@@ -14,6 +14,23 @@
 
 namespace mc {
 
+/// How RunJointTopKJoins schedules the per-config joins.
+enum class JointScheduler {
+  /// Two-level scheduler (the default): configs are scheduled
+  /// parents-first over the config tree, and each config is decomposed
+  /// into table-A shard sub-joins that run as independent pool tasks. A
+  /// child starts only after its parent published its final list, so every
+  /// child seeds from a finished parent (no polling); the per-shard top-k
+  /// lists merge deterministically (each shard list is canonical under
+  /// (score desc, pair asc)), making the output bit-identical to the
+  /// sequential BFS run for every thread count and shard count.
+  kTwoLevel,
+  /// Legacy scheduler: one monolithic task per config, all submitted at
+  /// once; children poll unfinished parents via ParentMergeSource. Kept
+  /// for the determinism pin (old-vs-new) and the micro_joint ablation.
+  kConfigPerTask,
+};
+
 /// Options for joint execution of top-k SSJs over all configs (paper §4.2).
 struct JointOptions {
   /// Top-k size per config.
@@ -24,6 +41,31 @@ struct JointOptions {
   size_t q = 1;
   /// Worker threads ("one config per core"); 0 = hardware concurrency.
   size_t num_threads = 0;
+  /// Scheduling strategy; see JointScheduler.
+  JointScheduler scheduler = JointScheduler::kTwoLevel;
+  /// Table-A shards per config under the two-level scheduler. 0 = auto:
+  /// min(num_threads, hardware concurrency) — enough decomposition to fill
+  /// the machine when ready configs are scarce (sharding splits only the
+  /// table-A event stream; each shard re-walks table B, so shards beyond
+  /// the core count only add overhead). The join output is independent of
+  /// this value (canonical shard merge).
+  size_t shards_per_config = 0;
+  /// Stripe count for the shared OverlapCache. 0 = auto-sized from the
+  /// expected pair volume via OverlapCache::RecommendShards(rows_a, rows_b,
+  /// k, config count); the value actually used is reported in
+  /// JointResult::overlap_cache_shards_used (bench sweeps set it
+  /// explicitly).
+  size_t overlap_cache_shards = 0;
+  /// How per-config token views are built. The default zero-copy mode
+  /// serves fully covered rows straight from the corpus arena;
+  /// kMaterialize copies every row (the pre-zero-copy cost model, kept for
+  /// the micro_joint before/after ablation). The join output is identical
+  /// either way.
+  SsjCorpus::ViewMode view_mode = SsjCorpus::ViewMode::kAuto;
+  /// Score cache misses by merging the full tuples from the corpus instead
+  /// of the config-filtered view spans — the pre-zero-copy cost model, kept
+  /// for the micro_joint ablation. The computed scores are identical.
+  bool corpus_miss_path = false;
   /// Reuse similarity-score computations through the shared overlap cache.
   bool reuse_overlaps = true;
   /// Seed each config's top-k list from its parent's re-adjusted list (and
@@ -55,6 +97,10 @@ struct ConfigJoinResult {
   std::vector<ScoredPair> topk;
   TopKJoinStats stats;
   double seconds = 0.0;
+  /// Time spent building this config's token view (part of `seconds`).
+  double view_seconds = 0.0;
+  /// Table-A shard tasks this config's join was decomposed into.
+  size_t shards_used = 1;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   bool seeded_from_parent = false;
@@ -64,17 +110,35 @@ struct ConfigJoinResult {
   bool completed = true;
 };
 
+/// Where the joint execution spent its time, aggregated across configs
+/// (bench/micro_joint reports these alongside corpus-build timings).
+struct JointStageTimings {
+  /// The optional q race (runs once, on the root view).
+  double q_select_seconds = 0.0;
+  /// Sum of per-config view construction times.
+  double view_seconds = 0.0;
+  /// Sum of per-config join execution times (shard runs + merge + seeding;
+  /// per-config `seconds` minus `view_seconds`). Sums task time, not wall
+  /// time: with parallel workers this exceeds the elapsed total_seconds.
+  double join_seconds = 0.0;
+};
+
 /// Outcome of the whole joint execution, in config-tree node order.
 struct JointResult {
   std::vector<ConfigJoinResult> per_config;
   double total_seconds = 0.0;
+  /// Per-stage breakdown of total_seconds (see JointStageTimings).
+  JointStageTimings stages;
+  /// OverlapCache stripe count actually used (auto-sized or explicit).
+  size_t overlap_cache_shards_used = 0;
   /// The q value actually used (after the optional race).
   size_t q_used = 1;
   /// Whether the overlap cache was active (average length reached t).
   bool overlap_reuse_active = false;
   /// True when any config did not complete (deadline, cancellation, or a
-  /// failed task) — the partial-result flag of the graceful-degradation
-  /// contract (docs/robustness.md).
+  /// failed task), or when the corpus itself was truncated mid-build — the
+  /// partial-result flag of the graceful-degradation contract
+  /// (docs/robustness.md).
   bool truncated = false;
   /// First error captured from a config task (a task that threw is caught
   /// at the pool boundary and converted to Status); OK when all tasks ran
@@ -85,8 +149,10 @@ struct JointResult {
 /// Runs one top-k SSJ per config of `tree` over `corpus`, in parallel, with
 /// score-computation and top-k reuse across configs. With q = 1 each
 /// config's result is exactly the top-k of D under that config (Theorem
-/// 4.2), independent of scheduling — pinned by the joint_test property
-/// suite.
+/// 4.2). Under the two-level scheduler the per-config lists (pairs and
+/// scores) are bit-identical for every num_threads/shards_per_config
+/// combination and match the sequential BFS run — pinned by the joint_test
+/// property suite and the joint determinism test.
 JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
                               const JointOptions& options);
 

@@ -1,6 +1,26 @@
 #include "joint/overlap_cache.h"
 
+#include <algorithm>
+
 namespace mc {
+
+size_t OverlapCache::RecommendShards(size_t rows_a, size_t rows_b, size_t k,
+                                     size_t num_configs) {
+  // Expected entries: one per kept pair, ~k per config, never more than
+  // the pair space itself (tiny corpora).
+  const uint64_t pair_space =
+      static_cast<uint64_t>(rows_a) * static_cast<uint64_t>(rows_b);
+  const uint64_t expected = std::min<uint64_t>(
+      static_cast<uint64_t>(k) * std::max<uint64_t>(num_configs, 1),
+      pair_space);
+  // ~8 entries per stripe keeps insert contention negligible without
+  // allocating thousands of mutexes for toy workloads.
+  uint64_t shards = std::min<uint64_t>(
+      std::max<uint64_t>(expected / 8, 64), 8192);
+  uint64_t rounded = 1;
+  while (rounded < shards) rounded <<= 1;
+  return static_cast<size_t>(rounded);
+}
 
 CachedOverlap OverlapCache::ComputeShared(const TupleTokens& a,
                                           const TupleTokens& b) {

@@ -30,7 +30,20 @@ using CachedOverlap = std::vector<SharedToken>;
 /// DESIGN.md §2).
 class OverlapCache {
  public:
-  OverlapCache() : map_(256) {}
+  /// `num_shards` stripes the underlying insert map (rounded up to a power
+  /// of two). Size it from the expected pair volume — RecommendShards — or
+  /// accept the historical default.
+  explicit OverlapCache(size_t num_shards = 256) : map_(num_shards) {}
+
+  /// Shard count sized from the expected entry volume. The cache holds
+  /// only *kept* pairs — at most k per config, bounded by the pair space —
+  /// inserted concurrently by the scheduler's shard tasks. Targets a few
+  /// entries per stripe so concurrent NoteKept inserts rarely contend on a
+  /// mutex, clamped to [64, 8192] and rounded up to a power of two (so the
+  /// returned value is exactly the stripe count the map will use).
+  /// Exposed through JointOptions::overlap_cache_shards for bench sweeps.
+  static size_t RecommendShards(size_t rows_a, size_t rows_b, size_t k,
+                                size_t num_configs);
 
   /// The cached overlap of `pair`, or nullptr.
   const CachedOverlap* Find(PairId pair) const { return map_.Find(pair); }

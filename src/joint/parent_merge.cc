@@ -1,0 +1,21 @@
+#include "joint/parent_merge.h"
+
+namespace mc {
+
+std::vector<ScoredPair> ReadjustToConfig(const std::vector<ScoredPair>& pairs,
+                                         const ConfigView& view,
+                                         PairScorer& scorer) {
+  std::vector<ScoredPair> adjusted;
+  adjusted.reserve(pairs.size());
+  for (const ScoredPair& entry : pairs) {
+    RowId row_a = PairRowA(entry.pair);
+    RowId row_b = PairRowB(entry.pair);
+    if (view.a(row_a).empty() || view.b(row_b).empty()) {
+      continue;
+    }
+    adjusted.push_back(ScoredPair{entry.pair, scorer.Score(row_a, row_b)});
+  }
+  return adjusted;
+}
+
+}  // namespace mc

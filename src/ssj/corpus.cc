@@ -1,141 +1,438 @@
 #include "ssj/corpus.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <unordered_map>
-#include <utility>
 
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace mc {
 
+std::vector<uint32_t> ViewArenaPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (buffers_.empty()) return {};
+  std::vector<uint32_t> buffer = std::move(buffers_.back());
+  buffers_.pop_back();
+  return buffer;
+}
+
+void ViewArenaPool::Release(std::vector<uint32_t> buffer) {
+  buffer.clear();  // Keeps capacity; the next Acquire reuses it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::move(buffer));
+}
+
+size_t ViewArenaPool::idle_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+ConfigView::~ConfigView() { ReleaseScratch(); }
+
+void ConfigView::ReleaseScratch() {
+  if (pool_ != nullptr) {
+    pool_->Release(std::move(scratch_));
+    pool_ = nullptr;
+  }
+}
+
+ConfigView::ConfigView(ConfigView&& other) noexcept
+    : spans_a_(std::move(other.spans_a_)),
+      spans_b_(std::move(other.spans_b_)),
+      scratch_(std::move(other.scratch_)),
+      pool_(other.pool_),
+      rank_limit_(other.rank_limit_),
+      average_tokens_(other.average_tokens_),
+      zero_copy_rows_(other.zero_copy_rows_),
+      materialized_rows_(other.materialized_rows_) {
+  other.pool_ = nullptr;
+}
+
+ConfigView& ConfigView::operator=(ConfigView&& other) noexcept {
+  if (this != &other) {
+    ReleaseScratch();
+    spans_a_ = std::move(other.spans_a_);
+    spans_b_ = std::move(other.spans_b_);
+    scratch_ = std::move(other.scratch_);
+    pool_ = other.pool_;
+    rank_limit_ = other.rank_limit_;
+    average_tokens_ = other.average_tokens_;
+    zero_copy_rows_ = other.zero_copy_rows_;
+    materialized_rows_ = other.materialized_rows_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
 namespace {
 
-// Per-row (raw token id, attribute mask) entries of one table; ids are
-// converted to global ranks once the dictionary is finalized.
-using RowEntries = std::vector<std::pair<uint32_t, uint32_t>>;
+// Product of tokenizing one block of rows with a thread-local dictionary.
+// Local token ids are assigned in first-occurrence order within the block;
+// the sequential block-order merge then reproduces the global stream-order
+// ids a single-threaded build would have assigned (a token's first global
+// occurrence lies in the earliest block containing it), which is what makes
+// the built corpus bit-identical for every thread count.
+struct TokenizedBlock {
+  size_t begin_row = 0;
+  size_t num_rows = 0;
+  std::vector<std::string> tokens;  // Local id -> token string.
+  std::vector<uint32_t> local_df;   // Document frequency within the block.
+  // Per-row (local id, attribute mask) entries, rows concatenated in order;
+  // row r of the block owns row_sizes[r] consecutive entries.
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  std::vector<uint32_t> row_sizes;
+  std::vector<TokenId> id_map;  // Local id -> global id (set by the merge).
+  // Cancelled or fault-injected: rows stay empty, corpus marked truncated.
+  bool dropped = false;
+};
 
-std::vector<RowEntries> TokenizeTable(const Table& table,
-                                      const std::vector<size_t>& columns,
-                                      TokenDictionary& dictionary) {
-  std::vector<RowEntries> rows(table.num_rows());
-  std::unordered_map<TokenId, uint32_t> tuple_masks;
-  std::vector<TokenId> distinct_ids;
-  for (size_t row = 0; row < table.num_rows(); ++row) {
+void TokenizeBlock(const Table& table, const std::vector<size_t>& columns,
+                   TokenizedBlock& block) {
+  std::unordered_map<std::string, uint32_t> local_ids;
+  std::unordered_map<uint32_t, uint32_t> tuple_masks;  // local id -> mask.
+  block.row_sizes.reserve(block.num_rows);
+  for (size_t row = block.begin_row; row < block.begin_row + block.num_rows;
+       ++row) {
     tuple_masks.clear();
     for (size_t bit = 0; bit < columns.size(); ++bit) {
       if (table.IsMissing(row, columns[bit])) continue;
       for (const std::string& token :
            DistinctWordTokens(table.Value(row, columns[bit]))) {
-        TokenId id = dictionary.Intern(token);
-        tuple_masks[id] |= (uint32_t{1} << bit);
+        auto [it, inserted] = local_ids.emplace(
+            token, static_cast<uint32_t>(block.tokens.size()));
+        if (inserted) {
+          block.tokens.push_back(token);
+          block.local_df.push_back(0);
+        }
+        tuple_masks[it->second] |= uint32_t{1} << bit;
       }
     }
-    RowEntries& entries = rows[row];
-    entries.reserve(tuple_masks.size());
-    distinct_ids.clear();
     for (const auto& [id, mask] : tuple_masks) {
-      entries.emplace_back(id, mask);
-      distinct_ids.push_back(id);
+      block.entries.emplace_back(id, mask);
+      ++block.local_df[id];
     }
-    dictionary.AddDocument(distinct_ids);
+    block.row_sizes.push_back(static_cast<uint32_t>(tuple_masks.size()));
   }
-  return rows;
 }
 
-// Converts raw token ids into global ranks, sorts each row by rank, and
-// appends the rows to the CSR arenas.
-void FlattenIntoArenas(const std::vector<RowEntries>& rows,
-                       const TokenDictionary& dictionary,
-                       std::vector<uint32_t>& ranks,
-                       std::vector<uint32_t>& masks,
-                       std::vector<uint64_t>& offsets) {
-  offsets.reserve(rows.size() + 1);
-  offsets.push_back(ranks.size());
-  RowEntries entries;
-  for (const RowEntries& row : rows) {
-    entries.clear();
-    entries.reserve(row.size());
-    for (const auto& [id, mask] : row) {
-      entries.emplace_back(dictionary.RankOf(id), mask);
-    }
-    std::sort(entries.begin(), entries.end());
-    for (const auto& [rank, mask] : entries) {
-      ranks.push_back(rank);
-      masks.push_back(mask);
-    }
-    offsets.push_back(ranks.size());
-  }
-}
+// Rank-sorted rows of one block plus their distinct-mask summaries, ready
+// for sequential concatenation into the corpus CSR arenas.
+struct FlattenedBlock {
+  std::vector<uint32_t> row_masks;
+  std::vector<uint32_t> row_mask_counts;
+  std::vector<uint32_t> row_mask_sizes;  // Distinct masks per row.
+};
 
 }  // namespace
 
 SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
                            const std::vector<size_t>& columns) {
-  MC_CHECK_GT(columns.size(), 0u);
-  MC_CHECK_LE(columns.size(), 32u);
-  SsjCorpus corpus;
-  corpus.num_attributes_ = columns.size();
-  std::vector<RowEntries> rows_a =
-      TokenizeTable(table_a, columns, corpus.dictionary_);
-  std::vector<RowEntries> rows_b =
-      TokenizeTable(table_b, columns, corpus.dictionary_);
-  corpus.dictionary_.FinalizeRanks();
-
-  size_t total_entries = 0;
-  for (const RowEntries& row : rows_a) total_entries += row.size();
-  for (const RowEntries& row : rows_b) total_entries += row.size();
-  corpus.ranks_.reserve(total_entries);
-  corpus.masks_.reserve(total_entries);
-  FlattenIntoArenas(rows_a, corpus.dictionary_, corpus.ranks_, corpus.masks_,
-                    corpus.offsets_a_);
-  FlattenIntoArenas(rows_b, corpus.dictionary_, corpus.ranks_, corpus.masks_,
-                    corpus.offsets_b_);
-  return corpus;
+  return Build(table_a, table_b, columns, CorpusBuildOptions{});
 }
 
-ConfigView SsjCorpus::MakeConfigView(ConfigMask config) const {
-  ConfigView view;
-  view.rank_limit_ = static_cast<uint32_t>(dictionary_.size());
+SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
+                           const std::vector<size_t>& columns,
+                           const CorpusBuildOptions& options,
+                           CorpusBuildStats* stats) {
+  MC_CHECK_GT(columns.size(), 0u);
+  MC_CHECK_LE(columns.size(), 32u);
+  MC_CHECK_GE(options.block_rows, 1u);
+  SsjCorpus corpus;
+  corpus.num_attributes_ = columns.size();
 
-  // Pass 1: per-row selected-token counts -> offsets (and the arena size).
-  auto count_side = [&](const std::vector<uint64_t>& offsets,
-                        std::vector<uint64_t>& out, uint64_t base) {
-    size_t rows = ConfigView::NumRows(offsets);
-    out.reserve(rows + 1);
-    uint64_t position = base;
-    out.push_back(position);
-    for (size_t row = 0; row < rows; ++row) {
-      for (uint64_t i = offsets[row]; i < offsets[row + 1]; ++i) {
-        if (masks_[i] & config) ++position;
+  // Carve both tables into fixed-size row blocks (A blocks then B blocks).
+  // The decomposition depends only on block_rows, never on the thread
+  // count, so every thread count produces the same blocks — and therefore
+  // the same corpus.
+  std::vector<TokenizedBlock> blocks;
+  size_t blocks_a = 0;
+  auto plan_table = [&](const Table& table) {
+    size_t planned = 0;
+    for (size_t begin = 0; begin < table.num_rows();
+         begin += options.block_rows) {
+      TokenizedBlock block;
+      block.begin_row = begin;
+      block.num_rows = std::min(options.block_rows, table.num_rows() - begin);
+      blocks.push_back(std::move(block));
+      ++planned;
+    }
+    return planned;
+  };
+  blocks_a = plan_table(table_a);
+  plan_table(table_b);
+
+  const size_t threads =
+      std::min(blocks.empty() ? size_t{1} : blocks.size(),
+               options.num_threads != 0
+                   ? options.num_threads
+                   : std::max<size_t>(1, std::thread::hardware_concurrency()));
+  corpus.build_stats_.blocks = blocks.size();
+  corpus.build_stats_.threads = threads;
+
+  // Phase 1 (parallel): tokenize blocks with thread-local dictionaries.
+  // Cancellation and the corpus/build_block fault point are checked once
+  // per block; a dropped block leaves its rows empty and marks the corpus
+  // truncated (best-so-far contract, docs/robustness.md).
+  Stopwatch tokenize_watch;
+  auto tokenize_one = [&](TokenizedBlock& block, const Table& table) {
+    if (options.run_context.Cancelled()) {
+      block.dropped = true;
+      return;
+    }
+    const FaultKind kind = MC_FAULT_POINT("corpus/build_block");
+    if (kind == FaultKind::kThrow) {
+      block.dropped = true;
+      throw std::runtime_error("injected fault: corpus/build_block");
+    }
+    if (kind != FaultKind::kNone) {
+      block.dropped = true;
+      return;
+    }
+    TokenizeBlock(table, columns, block);
+  };
+  if (threads == 1) {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      try {
+        tokenize_one(blocks[i], i < blocks_a ? table_a : table_b);
+      } catch (const std::exception&) {
+        // Injected fault: the block is already marked dropped.
       }
-      out.push_back(position);
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      pool.Submit([&, i] {
+        tokenize_one(blocks[i], i < blocks_a ? table_a : table_b);
+      });
+    }
+    // A throwing block (injected fault) is already marked dropped; the
+    // pool's captured Status carries no extra information.
+    pool.Wait();
+  }
+  corpus.build_stats_.tokenize_seconds = tokenize_watch.ElapsedSeconds();
+
+  // Phase 2 (sequential, block order): merge the thread-local dictionaries
+  // into the global one. Interning block-by-block in local first-occurrence
+  // order assigns exactly the ids a sequential pass over all rows would
+  // have assigned; per-token document frequencies merge additively.
+  Stopwatch merge_watch;
+  for (TokenizedBlock& block : blocks) {
+    if (block.dropped) {
+      corpus.truncated_ = true;
+      ++corpus.build_stats_.dropped_blocks;
+      continue;
+    }
+    block.id_map.resize(block.tokens.size());
+    for (size_t local = 0; local < block.tokens.size(); ++local) {
+      block.id_map[local] = corpus.dictionary_.Intern(block.tokens[local]);
+    }
+    for (size_t local = 0; local < block.tokens.size(); ++local) {
+      corpus.dictionary_.AddDocumentFrequency(block.id_map[local],
+                                              block.local_df[local]);
+    }
+  }
+  corpus.dictionary_.FinalizeRanks();
+  corpus.build_stats_.merge_seconds = merge_watch.ElapsedSeconds();
+
+  // Phase 3 (sequential): row offsets for both CSR arenas.
+  Stopwatch flatten_watch;
+  auto fill_offsets = [&](size_t first_block, size_t block_count,
+                          std::vector<uint64_t>& offsets, uint64_t base) {
+    size_t rows = 0;
+    for (size_t b = first_block; b < first_block + block_count; ++b) {
+      rows += blocks[b].num_rows;
+    }
+    offsets.clear();
+    offsets.reserve(rows + 1);
+    uint64_t position = base;
+    offsets.push_back(position);
+    for (size_t b = first_block; b < first_block + block_count; ++b) {
+      const TokenizedBlock& block = blocks[b];
+      for (size_t r = 0; r < block.num_rows; ++r) {
+        position += block.dropped ? 0 : block.row_sizes[r];
+        offsets.push_back(position);
+      }
     }
     return position;
   };
-  uint64_t after_a = count_side(offsets_a_, view.offsets_a_, 0);
-  uint64_t total = count_side(offsets_b_, view.offsets_b_, after_a);
+  const size_t blocks_b = blocks.size() - blocks_a;
+  uint64_t after_a = fill_offsets(0, blocks_a, corpus.offsets_a_, 0);
+  uint64_t total = fill_offsets(blocks_a, blocks_b, corpus.offsets_b_,
+                                after_a);
+  corpus.ranks_.resize(total);
+  corpus.masks_.resize(total);
 
-  // Pass 2: fill the arena.
-  view.arena_.resize(total);
-  uint64_t write = 0;
-  auto fill_side = [&](const std::vector<uint64_t>& offsets) {
-    size_t rows = ConfigView::NumRows(offsets);
+  // Phase 4 (parallel): convert local ids to global ranks, sort each row,
+  // and write it into its precomputed arena slice; derive each row's
+  // distinct-mask summary (in rank order — deterministic) on the way.
+  std::vector<FlattenedBlock> flattened(blocks.size());
+  auto flatten_one = [&](size_t block_index) {
+    TokenizedBlock& block = blocks[block_index];
+    if (block.dropped) return;
+    FlattenedBlock& out = flattened[block_index];
+    out.row_mask_sizes.reserve(block.num_rows);
+    const bool is_a = block_index < blocks_a;
+    const std::vector<uint64_t>& offsets =
+        is_a ? corpus.offsets_a_ : corpus.offsets_b_;
+    std::vector<std::pair<uint32_t, uint32_t>> row_buf;
+    size_t entry_pos = 0;
+    for (size_t r = 0; r < block.num_rows; ++r) {
+      const size_t n = block.row_sizes[r];
+      row_buf.clear();
+      row_buf.reserve(n);
+      for (size_t e = entry_pos; e < entry_pos + n; ++e) {
+        const auto& [local_id, mask] = block.entries[e];
+        row_buf.emplace_back(
+            corpus.dictionary_.RankOf(block.id_map[local_id]), mask);
+      }
+      entry_pos += n;
+      std::sort(row_buf.begin(), row_buf.end());
+      uint64_t write = offsets[block.begin_row + r];
+      const size_t masks_before = out.row_masks.size();
+      for (const auto& [rank, mask] : row_buf) {
+        corpus.ranks_[write] = rank;
+        corpus.masks_[write] = mask;
+        ++write;
+        // Distinct-mask summary: rows carry a handful of distinct masks,
+        // so a linear scan beats any map.
+        bool found = false;
+        for (size_t m = masks_before; m < out.row_masks.size(); ++m) {
+          if (out.row_masks[m] == mask) {
+            ++out.row_mask_counts[m];
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          out.row_masks.push_back(mask);
+          out.row_mask_counts.push_back(1);
+        }
+      }
+      out.row_mask_sizes.push_back(
+          static_cast<uint32_t>(out.row_masks.size() - masks_before));
+    }
+  };
+  if (threads == 1) {
+    for (size_t i = 0; i < blocks.size(); ++i) flatten_one(i);
+  } else {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      pool.Submit([&, i] { flatten_one(i); });
+    }
+    Status status = pool.Wait();
+    MC_CHECK(status.ok()) << status.message();
+  }
+
+  // Sequential concatenation of the per-block distinct-mask summaries into
+  // the corpus CSR (cheap: a fraction of the token arena size).
+  const size_t total_rows = corpus.rows_a() + corpus.rows_b();
+  corpus.mask_offsets_.reserve(total_rows + 1);
+  corpus.mask_offsets_.push_back(0);
+  uint64_t mask_total = 0;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const TokenizedBlock& block = blocks[b];
+    const FlattenedBlock& out = flattened[b];
+    for (size_t r = 0; r < block.num_rows; ++r) {
+      mask_total += block.dropped ? 0 : out.row_mask_sizes[r];
+      corpus.mask_offsets_.push_back(mask_total);
+    }
+  }
+  corpus.row_masks_.reserve(mask_total);
+  corpus.row_mask_counts_.reserve(mask_total);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (blocks[b].dropped) continue;
+    const FlattenedBlock& out = flattened[b];
+    corpus.row_masks_.insert(corpus.row_masks_.end(), out.row_masks.begin(),
+                             out.row_masks.end());
+    corpus.row_mask_counts_.insert(corpus.row_mask_counts_.end(),
+                                   out.row_mask_counts.begin(),
+                                   out.row_mask_counts.end());
+  }
+  corpus.build_stats_.flatten_seconds = flatten_watch.ElapsedSeconds();
+
+  if (stats != nullptr) *stats = corpus.build_stats_;
+  return corpus;
+}
+
+ConfigView SsjCorpus::MakeConfigView(ConfigMask config, ViewMode mode) const {
+  ConfigView view;
+  view.rank_limit_ = static_cast<uint32_t>(dictionary_.size());
+  const size_t na = rows_a();
+  const size_t nb = rows_b();
+  view.spans_a_.resize(na);
+  view.spans_b_.resize(nb);
+
+  // Pass 1 — O(distinct masks) per row: classify each row as fully covered
+  // (every distinct mask intersects the config: serve the whole row
+  // zero-copy from the corpus arena) or filtered (count the surviving
+  // tokens; materialize in pass 2). Note the per-mask test must be "each
+  // mask intersects g", not "the AND of masks intersects g": masks {01,10}
+  // are both covered by g=11 though their AND is 0.
+  uint64_t selected_total = 0;
+  uint64_t scratch_needed = 0;
+  std::vector<std::pair<uint8_t, uint32_t>> filtered_rows;  // (side, row).
+  auto classify_side = [&](uint8_t side, size_t rows,
+                           const std::vector<uint64_t>& offsets,
+                           size_t global_base,
+                           std::vector<TokenSpan>& spans) {
     for (size_t row = 0; row < rows; ++row) {
-      for (uint64_t i = offsets[row]; i < offsets[row + 1]; ++i) {
-        if (masks_[i] & config) view.arena_[write++] = ranks_[i];
+      const size_t g = global_base + row;
+      bool covered = mode == ViewMode::kAuto;
+      uint64_t selected = 0;
+      for (uint64_t m = mask_offsets_[g]; m < mask_offsets_[g + 1]; ++m) {
+        if (row_masks_[m] & config) {
+          selected += row_mask_counts_[m];
+        } else {
+          covered = false;
+        }
+      }
+      selected_total += selected;
+      if (covered) {
+        spans[row] = TokenSpan{ranks_.data() + offsets[row],
+                               static_cast<uint32_t>(selected)};
+        ++view.zero_copy_rows_;
+      } else {
+        spans[row].length = static_cast<uint32_t>(selected);
+        scratch_needed += selected;
+        filtered_rows.emplace_back(side, static_cast<uint32_t>(row));
+        ++view.materialized_rows_;
       }
     }
   };
-  fill_side(offsets_a_);
-  fill_side(offsets_b_);
-  MC_CHECK_EQ(write, total);
+  classify_side(0, na, offsets_a_, 0, view.spans_a_);
+  classify_side(1, nb, offsets_b_, na, view.spans_b_);
 
-  size_t total_tuples = rows_a() + rows_b();
+  // Pass 2 — materialize only the filtered rows, into a pooled scratch
+  // buffer sized exactly up front (spans point into it; it must never
+  // reallocate).
+  if (!filtered_rows.empty()) {
+    view.scratch_ = view_pool_->Acquire();
+    view.pool_ = view_pool_.get();
+    view.scratch_.resize(scratch_needed);
+    uint64_t write = 0;
+    for (const auto& [side, row] : filtered_rows) {
+      const std::vector<uint64_t>& offsets =
+          side == 0 ? offsets_a_ : offsets_b_;
+      TokenSpan& span = side == 0 ? view.spans_a_[row] : view.spans_b_[row];
+      span.data = view.scratch_.data() + write;
+      for (uint64_t i = offsets[row]; i < offsets[row + 1]; ++i) {
+        if (masks_[i] & config) view.scratch_[write++] = ranks_[i];
+      }
+    }
+    MC_CHECK_EQ(write, scratch_needed);
+  }
+
+  const size_t total_tuples = na + nb;
   view.average_tokens_ =
-      total_tuples == 0
-          ? 0.0
-          : static_cast<double>(total) / static_cast<double>(total_tuples);
+      total_tuples == 0 ? 0.0
+                        : static_cast<double>(selected_total) /
+                              static_cast<double>(total_tuples);
   return view;
 }
 

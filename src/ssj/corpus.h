@@ -3,11 +3,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "config/config.h"
 #include "table/table.h"
 #include "text/token_dictionary.h"
+#include "util/run_context.h"
 
 namespace mc {
 
@@ -42,24 +46,58 @@ struct TupleTokens {
   size_t size() const { return length; }
 };
 
+/// Pool of reusable scratch buffers backing the materialized rows of
+/// ConfigViews. A view that needs scratch (some of its rows are not fully
+/// covered by the config, see SsjCorpus::MakeConfigView) borrows one buffer
+/// on construction and returns it — capacity intact — on destruction, so a
+/// joint execution building one view per config reuses the same few
+/// allocations instead of paying a fresh arena per config. Thread-safe.
+class ViewArenaPool {
+ public:
+  /// Returns a pooled buffer (empty but with its old capacity) or a fresh
+  /// empty one.
+  std::vector<uint32_t> Acquire();
+
+  /// Returns a buffer to the pool for reuse.
+  void Release(std::vector<uint32_t> buffer);
+
+  /// Buffers currently parked in the pool (for tests).
+  size_t idle_buffers() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<uint32_t>> buffers_;
+};
+
 /// Per-config token view of both tables: for each tuple, the sorted rank
 /// array of its tokens under the config. This is what the top-k joins
 /// consume; string content never reappears past corpus construction.
 ///
-/// Storage is a single contiguous CSR arena (rows of A, then rows of B)
-/// plus per-side offset arrays — one allocation instead of one vector per
-/// row, so the join's sequential sweeps stay in cache and a row access is
-/// two loads with no pointer chase.
+/// Storage is a per-row span table. A row whose every token survives the
+/// config's attribute filter ("fully covered") is served zero-copy: its
+/// span points straight into the corpus's rank arena. Only rows the config
+/// actually filters are materialized, into a scratch buffer borrowed from
+/// the corpus's ViewArenaPool. Construction is O(rows) plus the tokens of
+/// the filtered rows — not O(total tokens) — and the root config (full
+/// mask) is always 100% zero-copy.
+///
+/// Move-only (the scratch buffer returns to the pool exactly once); spans
+/// are valid while both this view and the corpus it came from are alive.
 class ConfigView {
  public:
   ConfigView() = default;
+  ~ConfigView();
+  ConfigView(ConfigView&& other) noexcept;
+  ConfigView& operator=(ConfigView&& other) noexcept;
+  ConfigView(const ConfigView&) = delete;
+  ConfigView& operator=(const ConfigView&) = delete;
 
-  size_t rows_a() const { return NumRows(offsets_a_); }
-  size_t rows_b() const { return NumRows(offsets_b_); }
+  size_t rows_a() const { return spans_a_.size(); }
+  size_t rows_b() const { return spans_b_.size(); }
 
   /// Token ranks of one row, sorted ascending.
-  TokenSpan a(size_t row) const { return Span(offsets_a_, row); }
-  TokenSpan b(size_t row) const { return Span(offsets_b_, row); }
+  TokenSpan a(size_t row) const { return spans_a_[row]; }
+  TokenSpan b(size_t row) const { return spans_b_[row]; }
 
   /// Exclusive upper bound on every token rank in the view (the dictionary
   /// size). Dense token-indexed structures (the join's inverted indexes)
@@ -70,37 +108,87 @@ class ConfigView {
   /// trigger t = 20 of paper §4.2.
   double average_tokens() const { return average_tokens_; }
 
+  /// Rows served straight from the corpus arena vs. copied into scratch
+  /// (diagnostics for the zero-copy path; micro_joint reports the split).
+  size_t zero_copy_rows() const { return zero_copy_rows_; }
+  size_t materialized_rows() const { return materialized_rows_; }
+
  private:
   friend class SsjCorpus;
 
-  static size_t NumRows(const std::vector<uint64_t>& offsets) {
-    return offsets.empty() ? 0 : offsets.size() - 1;
-  }
-  TokenSpan Span(const std::vector<uint64_t>& offsets, size_t row) const {
-    return TokenSpan{arena_.data() + offsets[row],
-                     static_cast<uint32_t>(offsets[row + 1] - offsets[row])};
-  }
+  void ReleaseScratch();
 
-  std::vector<uint32_t> arena_;
-  std::vector<uint64_t> offsets_a_;  // rows_a + 1 entries into arena_.
-  std::vector<uint64_t> offsets_b_;  // rows_b + 1 entries into arena_.
+  std::vector<TokenSpan> spans_a_;
+  std::vector<TokenSpan> spans_b_;
+  // Materialized tokens of rows the config filters. Spans of those rows
+  // point into this buffer; it must never reallocate after construction
+  // (MakeConfigView sizes it exactly up front).
+  std::vector<uint32_t> scratch_;
+  ViewArenaPool* pool_ = nullptr;  // Where scratch_ returns on destruction.
   uint32_t rank_limit_ = 0;
   double average_tokens_ = 0.0;
+  size_t zero_copy_rows_ = 0;
+  size_t materialized_rows_ = 0;
+};
+
+/// Options for SsjCorpus::Build.
+struct CorpusBuildOptions {
+  /// Worker threads for the block-parallel tokenize/flatten phases;
+  /// 0 = hardware concurrency. The built corpus is bit-identical for every
+  /// thread count (per-block dictionaries merge in block order, which
+  /// reproduces the sequential first-occurrence token ids exactly).
+  size_t num_threads = 0;
+  /// Rows per tokenize block. The block structure (not the thread count)
+  /// determines the work decomposition, so it must stay fixed across runs
+  /// being compared.
+  size_t block_rows = 1024;
+  /// Cooperative cancellation/deadline. When it fires mid-build, remaining
+  /// blocks are skipped: their rows get empty token lists and the corpus is
+  /// marked truncated() — joins over it return best-so-far results, and
+  /// RunJointTopKJoins propagates the flag into JointResult::truncated.
+  RunContext run_context;
+};
+
+/// Where SsjCorpus::Build spent its time (surfaced by bench/micro_joint).
+struct CorpusBuildStats {
+  double tokenize_seconds = 0.0;  // Parallel per-block tokenization.
+  double merge_seconds = 0.0;     // Block-order dictionary/frequency merge.
+  double flatten_seconds = 0.0;   // Rank conversion + CSR arena fill.
+  size_t blocks = 0;
+  size_t dropped_blocks = 0;  // Cancelled or fault-injected blocks.
+  size_t threads = 0;
 };
 
 /// Tokenized form of tables A and B over the promising attributes, with a
 /// shared dictionary and global token order (ascending document frequency).
 /// Tuple entries live in CSR arenas (parallel rank/mask buffers plus
-/// per-side offsets), mirroring ConfigView's layout.
+/// per-side offsets).
 class SsjCorpus {
  public:
+  /// How MakeConfigView builds the view.
+  enum class ViewMode {
+    /// Zero-copy spans for fully covered rows, pooled scratch for the rest.
+    kAuto,
+    /// Copy every row into scratch — the pre-zero-copy cost model, kept for
+    /// the micro_joint before/after ablation and as a fallback when callers
+    /// want the view independent of the corpus arenas' cache footprint.
+    kMaterialize,
+  };
+
   /// Tokenizes both tables. `columns` lists the table columns that form the
   /// promising attributes, in bit order (at most 32).
   static SsjCorpus Build(const Table& table_a, const Table& table_b,
                          const std::vector<size_t>& columns);
 
-  size_t rows_a() const { return ConfigView::NumRows(offsets_a_); }
-  size_t rows_b() const { return ConfigView::NumRows(offsets_b_); }
+  /// As above with explicit build options (parallelism, cancellation).
+  /// `stats`, if non-null, receives the stage timings.
+  static SsjCorpus Build(const Table& table_a, const Table& table_b,
+                         const std::vector<size_t>& columns,
+                         const CorpusBuildOptions& options,
+                         CorpusBuildStats* stats = nullptr);
+
+  size_t rows_a() const { return NumRows(offsets_a_); }
+  size_t rows_b() const { return NumRows(offsets_b_); }
 
   /// Rank/mask entries of one tuple (view into the CSR arenas).
   TupleTokens tuple_a(size_t row) const { return Tuple(offsets_a_, row); }
@@ -109,8 +197,19 @@ class SsjCorpus {
   const TokenDictionary& dictionary() const { return dictionary_; }
   size_t num_attributes() const { return num_attributes_; }
 
-  /// Materializes the token view of a config.
-  ConfigView MakeConfigView(ConfigMask config) const;
+  /// True when the build was cut short (CorpusBuildOptions::run_context or
+  /// an injected fault): some rows have empty token lists and any join over
+  /// the corpus is best-so-far, not exact.
+  bool truncated() const { return truncated_; }
+
+  /// Stage timings of the build that produced this corpus.
+  const CorpusBuildStats& build_stats() const { return build_stats_; }
+
+  /// Builds the token view of a config. Thread-safe (concurrent calls from
+  /// scheduler tasks share the scratch pool under its mutex). The returned
+  /// view holds spans into this corpus: the corpus must outlive it.
+  ConfigView MakeConfigView(ConfigMask config,
+                            ViewMode mode = ViewMode::kAuto) const;
 
   /// Token count of one tuple under `config`.
   static size_t ConfigLength(const TupleTokens& tuple, ConfigMask config);
@@ -122,6 +221,9 @@ class SsjCorpus {
                               ConfigMask config);
 
  private:
+  static size_t NumRows(const std::vector<uint64_t>& offsets) {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
   TupleTokens Tuple(const std::vector<uint64_t>& offsets, size_t row) const {
     return TupleTokens{ranks_.data() + offsets[row],
                        masks_.data() + offsets[row],
@@ -132,8 +234,25 @@ class SsjCorpus {
   std::vector<uint32_t> masks_;      // Parallel to ranks_.
   std::vector<uint64_t> offsets_a_;  // rows_a + 1 entries.
   std::vector<uint64_t> offsets_b_;  // rows_b + 1 entries.
+  // Distinct attribute-mask summary per row (A rows then B rows), CSR:
+  // row r's distinct masks are row_masks_[mask_offsets_[r]..[r+1]) with
+  // parallel token counts in row_mask_counts_. A row is fully covered by
+  // config g iff every one of its distinct masks intersects g — the O(#
+  // distinct masks) test that makes zero-copy views O(rows). Rows carry a
+  // handful of distinct masks (one per attribute combination that actually
+  // occurs), so this is a fraction of the token arenas.
+  std::vector<uint32_t> row_masks_;
+  std::vector<uint32_t> row_mask_counts_;
+  std::vector<uint64_t> mask_offsets_;  // rows_a + rows_b + 1 entries.
   TokenDictionary dictionary_;
   size_t num_attributes_ = 0;
+  bool truncated_ = false;
+  CorpusBuildStats build_stats_;
+  // unique_ptr: keeps the pool's address stable across corpus moves (live
+  // ConfigViews hold a pointer to it) and keeps SsjCorpus movable (the pool
+  // owns a mutex).
+  std::unique_ptr<ViewArenaPool> view_pool_ =
+      std::make_unique<ViewArenaPool>();
 };
 
 }  // namespace mc

@@ -294,7 +294,12 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
         return;  // Provably below the k-th score: Add would reject it.
       }
     } else {
-      score = scorer->Score(row_a, row_b);
+      const double kth = topk.KthScore();
+      if (kth < 0.0 || topk.Contains(pair)) {
+        score = scorer->Score(row_a, row_b);
+      } else if (!scorer->ScoreAbove(row_a, row_b, kth, &score)) {
+        return;  // Scorer proved it below the k-th score: Add would reject.
+      }
     }
     if (topk.Add(pair, score)) scorer->NoteKept(row_a, row_b);
     note_kth_change();
@@ -326,10 +331,18 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
 
   while (!events.empty()) {
     const Event event = events.front();
-    // Termination: no pending extension can create a pair beating the k-th
-    // score. (KthScore() is -1 until the list fills, so we never stop
-    // early with fewer than k results while extensions remain.)
-    if (event.cap <= topk.KthScore()) break;
+    // Termination: no pending extension can create a pair beating *or
+    // tying* the k-th score. The comparison is strict — events whose cap
+    // equals the k-th score still run, because a tied pair with a smaller
+    // pair id displaces the boundary entry under TopKList's total order
+    // (score desc, pair asc). That makes the returned list the *canonical*
+    // top-k of the searched pair space: the unique k-minimum under the
+    // total order, independent of discovery order — which is what lets
+    // shard-merged and seeded runs reproduce the sequential list bit for
+    // bit (see docs/algorithms.md §"Canonical tie handling").
+    // (KthScore() is -1 until the list fills, so we never stop early with
+    // fewer than k results while extensions remain.)
+    if (event.cap < topk.KthScore()) break;
     ++stats->events_popped;
     if ((stats->events_popped % options.merge_poll_period) == 0) {
       poll_merge();
@@ -396,8 +409,11 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
         if (req_stamp[partner_len] == req_epoch) {
           required = req_value[partner_len];
         } else {
+          // Non-strict: a pair that can only *tie* the k-th score must
+          // still be scored — a tie with a smaller pair id displaces the
+          // boundary entry (canonical tie handling).
           required = static_cast<uint32_t>(
-              RequiredOverlap<kMeasure, /*kStrict=*/true>(
+              RequiredOverlap<kMeasure, /*kStrict=*/false>(
                   own_len, partner_len, topk.KthScore()));
           req_value[partner_len] = required;
           req_stamp[partner_len] = req_epoch;
@@ -425,13 +441,15 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
     own_index[token].push_back(IndexEntry{event.row, event.position});
     ++stats->tokens_indexed;
 
-    // Schedule the next extension unless it provably cannot matter. The
+    // Schedule the next extension unless it provably cannot matter — i.e.
+    // unless its cap is strictly below the k-th score (a cap that ties can
+    // still surface a smaller-pair-id tie, canonical tie handling). The
     // common case (extension survives) replaces the just-processed root in
     // place instead of pop + push.
     uint32_t next = event.position + 1;
     if (next < tokens.size()) {
       double cap = extension_cap(tokens.size(), next);
-      if (cap > topk.KthScore()) {
+      if (cap >= topk.KthScore()) {
         replace_top(Event{cap, event.side, event.row, next});
         continue;
       }
@@ -498,13 +516,14 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
   }
 
   // Parallel mode: independent sub-joins over table-A shards, merged at the
-  // end. Each shard's result is its exact top-k over (shard x B), so the
-  // merged list's score multiset equals the sequential run's (see
-  // docs/algorithms.md §"Sharded execution"). The seed is offered to every
-  // shard — its scores raise each shard's pruning threshold early, and the
-  // final merge deduplicates. The merge source is polled once at the end
-  // instead (its one-shot contract does not allow concurrent polling from
-  // shards).
+  // end. Each shard's result is its canonical top-k over (shard x B) — the
+  // k-minimum under (score desc, pair asc) — so merging the shard lists
+  // through TopKList::Add reproduces the sequential run's list bit for bit
+  // (see docs/algorithms.md §"Canonical tie handling"). The seed is offered
+  // to every shard — its scores raise each shard's pruning threshold early,
+  // and the final merge deduplicates. The merge source is polled once at
+  // the end instead (its one-shot contract does not allow concurrent
+  // polling from shards).
   const size_t shard_count = options.shards;
   const size_t hardware =
       std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -545,6 +564,23 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
     }
   }
   return merged;
+}
+
+TopKList RunTopKJoinShard(const ConfigView& view,
+                          const TopKJoinOptions& options, size_t shard,
+                          size_t shard_count, PairScorer* scorer,
+                          const std::vector<ScoredPair>* seed,
+                          TopKJoinStats* stats) {
+  MC_CHECK_GE(options.q, 1u);
+  MC_CHECK_GE(options.merge_poll_period, 1u);
+  MC_CHECK_LT(shard, shard_count);
+  DirectPairScorer direct_scorer(&view, options.measure);
+  DirectPairScorer* direct = scorer == nullptr ? &direct_scorer : nullptr;
+  if (scorer == nullptr) scorer = &direct_scorer;
+  TopKJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  return RunShard(view, options, scorer, direct, seed,
+                  /*merge_source=*/nullptr, stats, shard, shard_count);
 }
 
 TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,

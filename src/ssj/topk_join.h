@@ -22,6 +22,22 @@ class PairScorer {
   virtual ~PairScorer() = default;
   virtual double Score(RowId row_a, RowId row_b) = 0;
 
+  /// Bounded scoring: may return false as soon as the pair provably scores
+  /// strictly below `threshold` (the caller's current k-th score), in which
+  /// case *score is unspecified — the join engine treats false exactly as
+  /// "TopKList::Add would have rejected this pair". Pairs that reach or tie
+  /// the threshold must be scored exactly (return true with the exact
+  /// score), because a tie can still displace a larger pair id. The default
+  /// always scores in full, so plain scorers stay correct; scorers over
+  /// sorted token spans override this to abandon merges early, matching the
+  /// engine's inline fast path.
+  virtual bool ScoreAbove(RowId row_a, RowId row_b, double threshold,
+                          double* score) {
+    (void)threshold;
+    *score = Score(row_a, row_b);
+    return true;
+  }
+
   /// Called when (row_a, row_b) entered the top-k list. Caching scorers use
   /// this to persist overlap structure for *kept* pairs only — the pairs
   /// that parent-to-child top-k reuse will re-score — rather than for every
@@ -81,11 +97,13 @@ struct TopKJoinOptions {
   /// row % n == s, each joined against all of table B) executed on a
   /// ThreadPool of min(n, hardware_concurrency()) workers; the per-shard
   /// top-k lists are merged into the final list at the end. The merged
-  /// result has the same score multiset as the sequential run and is
-  /// deterministic (independent of thread scheduling). A custom `scorer`
-  /// must tolerate concurrent Score/NoteKept calls when shards > 1
-  /// (DirectPairScorer does); `merge_source`, if any, is polled exactly
-  /// once on the calling thread after the shard joins complete.
+  /// result is *bit-identical* to the sequential run — every shard returns
+  /// the canonical top-k of its sub-space under (score desc, pair asc), so
+  /// the merge reproduces the canonical global list for any shard count
+  /// and any thread scheduling. A custom `scorer` must tolerate concurrent
+  /// Score/NoteKept calls when shards > 1 (DirectPairScorer does);
+  /// `merge_source`, if any, is polled exactly once on the calling thread
+  /// after the shard joins complete.
   size_t shards = 1;
 };
 
@@ -116,18 +134,37 @@ struct TopKJoinStats {
 /// parent list. `scorer` may be null (DirectPairScorer is used). `stats`
 /// may be null.
 ///
-/// With q = 1 the result is exact: the returned list contains k pairs whose
-/// score multiset equals the true top-k of D = A x B - C under the measure
-/// (pair identity at the boundary score may differ among equal-score ties).
-/// With q > 1 the result is the exact top-k restricted to pairs sharing at
-/// least q tokens (the deferred-scoring heuristic never scores a pair whose
-/// overlap is below q) — pinned against brute force by the
-/// SsjEquivalenceTest harness.
+/// With q = 1 the result is exact and *canonical*: the returned list is the
+/// unique k-minimum of D = A x B - C under the total order
+/// (score desc, pair asc) — equal-score ties at the boundary are broken by
+/// pair id, so the list is a pure function of the searched pair space,
+/// independent of discovery order, shard count, and thread scheduling
+/// (BruteForceTopK returns the same list). With q > 1 the result is the
+/// canonical top-k restricted to pairs sharing at least q tokens (the
+/// deferred-scoring heuristic never scores a pair whose overlap is below
+/// q), unioned with any seeded/merged pairs — pinned against brute force by
+/// the SsjEquivalenceTest harness.
 TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
                      PairScorer* scorer = nullptr,
                      const std::vector<ScoredPair>* seed = nullptr,
                      MergeSource* merge_source = nullptr,
                      TopKJoinStats* stats = nullptr);
+
+/// Runs a single table-A shard sub-join (shard `shard` of `shard_count`:
+/// rows with row % shard_count == shard joined against all of table B) on
+/// the calling thread and returns its canonical top-k list. This is the
+/// building block the joint executor's two-level scheduler uses to run one
+/// config's shards as independent pool tasks: merging the shard lists of
+/// shards 0..shard_count-1 (in any order) through TopKList::Add yields
+/// exactly RunTopKJoin's list for the same options/seed.
+/// `options.shards` is ignored; `seed` is offered to the shard like
+/// RunTopKJoin's seed; there is no merge source (the scheduler seeds
+/// children directly from finished parents instead of polling).
+TopKList RunTopKJoinShard(const ConfigView& view,
+                          const TopKJoinOptions& options, size_t shard,
+                          size_t shard_count, PairScorer* scorer = nullptr,
+                          const std::vector<ScoredPair>* seed = nullptr,
+                          TopKJoinStats* stats = nullptr);
 
 /// Reference implementation: scores every non-excluded pair whose token
 /// overlap is at least `min_overlap` (0 admits even disjoint pairs, the

@@ -57,6 +57,15 @@ class TokenDictionary {
     ranks_valid_ = false;
   }
 
+  /// Adds `count` document occurrences to `id` in one step. The parallel
+  /// corpus build tallies frequencies in per-block dictionaries and merges
+  /// them here; the result is identical to `count` AddDocument calls.
+  void AddDocumentFrequency(TokenId id, uint32_t count) {
+    MC_CHECK_LT(id, document_frequency_.size());
+    document_frequency_[id] += count;
+    ranks_valid_ = false;
+  }
+
   uint32_t DocumentFrequency(TokenId id) const {
     MC_CHECK_LT(id, document_frequency_.size());
     return document_frequency_[id];

@@ -36,7 +36,11 @@ echo "==== [bench-smoke] emit + validate perf record ===="
 bench_json="${build_root}/release/bench_smoke.json"
 "${build_root}/release/bench/micro_ssj" \
     --json="${bench_json}" --engine=ci-smoke --scale=0.002 --reps=1
+joint_json="${build_root}/release/bench_smoke_joint.json"
+"${build_root}/release/bench/micro_joint" \
+    --json="${joint_json}" --engine=ci-smoke --scale=0.05 --reps=1 --k=50
 python3 "${repo_root}/tools/validate_bench_json.py" \
-    "${bench_json}" "${repo_root}/bench/BENCH_ssj.json"
+    "${bench_json}" "${joint_json}" \
+    "${repo_root}/bench/BENCH_ssj.json" "${repo_root}/bench/BENCH_joint.json"
 
 echo "==== all configurations passed ===="

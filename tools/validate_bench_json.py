@@ -3,10 +3,12 @@
 
 Usage: tools/validate_bench_json.py RECORD.json [RECORD.json ...]
 
-Accepts either a single record object (as emitted by `micro_ssj --json=`)
-or an array of records (the committed bench/BENCH_ssj.json archives
-[before, after]). Exits non-zero with a message naming the offending field
-on the first violation. Run by the bench-smoke step of tools/ci.sh.
+Accepts either a single record object (as emitted by `micro_ssj --json=` or
+`micro_joint --json=`) or an array of records (the committed
+bench/BENCH_ssj.json and bench/BENCH_joint.json archives [before, after]).
+The per-record shape is dispatched on the "benchmark" field. Exits non-zero
+with a message naming the offending field on the first violation. Run by
+the bench-smoke step of tools/ci.sh.
 """
 
 import json
@@ -36,6 +38,48 @@ RESULT_FIELDS = {
     "topk_checksum": str,
 }
 
+JOINT_WORKLOAD_FIELDS = {
+    "dataset": str,
+    "scale": (int, float),
+    "rows_a": int,
+    "rows_b": int,
+    "configs": int,
+    "k": int,
+    "q": int,
+    "threads": int,
+    "build_threads": int,
+    "scheduler": str,
+    "view_mode": str,
+    "legacy_miss_path": bool,
+    "reuse_trigger": (int, float),
+    "repetitions": int,
+}
+
+# micro_joint stage timings, in emission order.
+JOINT_STAGE_NAMES = ["corpus_build", "view_build", "joint_execute",
+                     "end_to_end"]
+
+JOINT_STAGE_FIELDS = {
+    "name": str,
+    "best_seconds": (int, float),
+    "mean_seconds": (int, float),
+}
+
+JOINT_OUTPUT_FIELDS = {
+    "pairs": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "seeded_configs": int,
+    "events_popped": int,
+    "pairs_scored": int,
+    "zero_copy_rows": int,
+    "materialized_rows": int,
+    "overlap_cache_shards": int,
+    "topk_checksum": str,
+    "determinism_checked": bool,
+    "identical_to_single_thread": bool,
+}
+
 
 class ValidationError(Exception):
     pass
@@ -50,11 +94,43 @@ def check_fields(obj, fields, where):
     require(isinstance(obj, dict), f"{where}: expected an object")
     for name, types in fields.items():
         require(name in obj, f"{where}: missing field '{name}'")
+        # bool is an int subclass in Python: reject it for numeric fields,
+        # but accept it where the schema asks for bool explicitly.
+        wants_bool = types is bool
         require(
-            isinstance(obj[name], types) and not isinstance(obj[name], bool),
+            isinstance(obj[name], types)
+            and (wants_bool or not isinstance(obj[name], bool)),
             f"{where}: field '{name}' has wrong type "
             f"({type(obj[name]).__name__})",
         )
+
+
+def validate_joint_record(record, where):
+    """micro_joint_executor: stage timings + a single output block."""
+    check_fields(record.get("workload"), JOINT_WORKLOAD_FIELDS,
+                 f"{where}.workload")
+    results = record.get("results")
+    require(isinstance(results, list), f"{where}: 'results' must be an array")
+    require([r.get("name") for r in results if isinstance(r, dict)]
+            == JOINT_STAGE_NAMES,
+            f"{where}: results must be the stages {JOINT_STAGE_NAMES}")
+    for i, result in enumerate(results):
+        where_r = f"{where}.results[{i}]"
+        check_fields(result, JOINT_STAGE_FIELDS, where_r)
+        require(result["best_seconds"] > 0.0,
+                f"{where_r}: best_seconds must be positive")
+        require(result["mean_seconds"] >= result["best_seconds"],
+                f"{where_r}: mean_seconds < best_seconds")
+    output = record.get("output")
+    check_fields(output, JOINT_OUTPUT_FIELDS, f"{where}.output")
+    workload = record["workload"]
+    require(output["pairs"] <= workload["k"] * workload["configs"],
+            f"{where}.output: pairs exceeds k x configs")
+    require(re.fullmatch(r"[0-9a-f]{8}", output["topk_checksum"]),
+            f"{where}.output: topk_checksum is not 8 lowercase hex digits")
+    if output["determinism_checked"]:
+        require(output["identical_to_single_thread"],
+                f"{where}.output: determinism check ran but failed")
 
 
 def validate_record(record, where):
@@ -65,6 +141,9 @@ def validate_record(record, where):
             f"{where}: missing/empty 'benchmark'")
     require(isinstance(record.get("engine"), str) and record["engine"],
             f"{where}: missing/empty 'engine'")
+    if record["benchmark"] == "micro_joint_executor":
+        validate_joint_record(record, where)
+        return
     check_fields(record.get("workload"), WORKLOAD_FIELDS, f"{where}.workload")
 
     results = record.get("results")
