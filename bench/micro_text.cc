@@ -1,0 +1,334 @@
+// Microbenchmark for the tokenize-once text plane (table/tokenized_table.h):
+// times the text-heavy pipeline stages — table profiling, promising-column
+// corpus build, and pair featurization — on the legacy per-call string
+// tokenizer vs. the shared TokenizedTable span reads.
+//
+// `--json=PATH` emits a machine-readable stage-timing record;
+// bench/BENCH_text.json archives the before/after pair of the text-plane PR,
+// both produced by this binary:
+//
+//   before:  --text-plane=legacy
+//   after:   --text-plane=tokenized (default)
+//
+// The tokenized record re-runs one legacy repetition and reports whether the
+// profile / corpus / feature checksums are identical (the bit-identity
+// contract of tests/text_plane_equivalence_test.cc).
+//
+// Knobs: --engine=LABEL, --dataset=amazon_google|music, --scale=F (default
+// 1.0), --reps=N (default 3), --threads=N (default 8), --pairs=N (default
+// 20000), --text-plane=legacy|tokenized.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "config/config_generator.h"
+#include "datagen/generator.h"
+#include "learn/features.h"
+#include "ssj/corpus.h"
+#include "table/profile.h"
+#include "table/tokenized_table.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/stopwatch.h"
+
+namespace mc {
+namespace {
+
+struct BenchConfig {
+  std::string path;
+  std::string engine = "unspecified";
+  std::string dataset = "amazon_google";
+  double scale = 1.0;
+  size_t reps = 3;
+  size_t threads = 8;
+  size_t pairs = 20000;
+  bool tokenized = true;
+};
+
+struct StageTiming {
+  double best = 0.0;
+  double total = 0.0;
+  bool recorded = false;
+  void Record(size_t rep, double seconds) {
+    total += seconds;
+    if (rep == 0 || seconds < best) best = seconds;
+    recorded = true;
+  }
+  double mean(size_t reps) const {
+    return total / static_cast<double>(reps);
+  }
+};
+
+// The three output checksums compared across engines: bit-identical
+// profiles, corpus arenas, and feature vectors are the PR's contract.
+struct Checksums {
+  uint32_t profile = 0;
+  uint32_t corpus = 0;
+  uint32_t features = 0;
+
+  bool operator==(const Checksums& other) const {
+    return profile == other.profile && corpus == other.corpus &&
+           features == other.features;
+  }
+};
+
+uint32_t CrcDouble(double value, uint32_t crc) {
+  return Crc32(&value, sizeof(value), crc);
+}
+
+uint32_t ProfileChecksum(const std::vector<AttributeProfile>& profiles,
+                         uint32_t crc) {
+  for (const AttributeProfile& profile : profiles) {
+    crc = CrcDouble(profile.non_missing_ratio, crc);
+    crc = CrcDouble(profile.unique_ratio, crc);
+    crc = CrcDouble(profile.average_token_length, crc);
+    crc = CrcDouble(profile.SingleTableEScore(), crc);
+  }
+  return crc;
+}
+
+uint32_t CorpusChecksum(const SsjCorpus& corpus) {
+  uint32_t crc = 0;
+  const uint64_t dictionary = corpus.dictionary().size();
+  crc = Crc32(&dictionary, sizeof(dictionary), crc);
+  auto side = [&](size_t rows, bool is_a) {
+    for (size_t row = 0; row < rows; ++row) {
+      TupleTokens tuple =
+          is_a ? corpus.tuple_a(row) : corpus.tuple_b(row);
+      crc = Crc32(tuple.ranks, tuple.length * sizeof(uint32_t), crc);
+      crc = Crc32(tuple.masks, tuple.length * sizeof(uint32_t), crc);
+    }
+  };
+  side(corpus.rows_a(), true);
+  side(corpus.rows_b(), false);
+  return crc;
+}
+
+// Deterministic dense-ish probe of cross-table pairs for featurization:
+// strides through both tables so every attribute mix is hit.
+std::vector<PairId> FeaturePairs(size_t rows_a, size_t rows_b, size_t count) {
+  std::vector<PairId> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.push_back(MakePairId(static_cast<RowId>(i % rows_a),
+                               static_cast<RowId>((i * 7 + 3) % rows_b)));
+  }
+  return pairs;
+}
+
+struct RepResult {
+  Checksums checksums;
+  double plane_seconds = 0.0;
+  double profile_seconds = 0.0;
+  double corpus_seconds = 0.0;
+  double featurize_seconds = 0.0;
+};
+
+// One full pipeline repetition over copies of the tables. `tokenized`
+// builds and attaches the plane first (timed); the stages themselves are
+// identical code — the plane fast paths engage through SharedTextPlane.
+RepResult RunOnce(const Table& input_a, const Table& input_b,
+                  const std::vector<size_t>& columns,
+                  const std::vector<PairId>& pairs, size_t threads,
+                  bool tokenized) {
+  RepResult result;
+  Table table_a = input_a;
+  Table table_b = input_b;
+  table_a.DetachTextPlane();
+  table_b.DetachTextPlane();
+  if (tokenized) {
+    Stopwatch plane_watch;
+    TextPlaneBuildOptions plane_options;
+    plane_options.num_threads = threads;
+    TokenizedTable::BuildAndAttach(table_a, table_b, plane_options);
+    result.plane_seconds = plane_watch.ElapsedSeconds();
+    MC_CHECK(SharedTextPlane(table_a, table_b) != nullptr);
+  }
+
+  Stopwatch profile_watch;
+  uint32_t profile_crc = ProfileChecksum(ProfileTable(table_a), 0);
+  result.checksums.profile =
+      ProfileChecksum(ProfileTable(table_b), profile_crc);
+  result.profile_seconds = profile_watch.ElapsedSeconds();
+
+  Stopwatch corpus_watch;
+  CorpusBuildOptions build_options;
+  build_options.num_threads = threads;
+  SsjCorpus corpus = SsjCorpus::Build(table_a, table_b, columns, build_options);
+  result.checksums.corpus = CorpusChecksum(corpus);
+  result.corpus_seconds = corpus_watch.ElapsedSeconds();
+
+  Stopwatch featurize_watch;
+  PairFeatureExtractor extractor(&table_a, &table_b);
+  uint32_t feature_crc = 0;
+  for (PairId pair : pairs) {
+    FeatureVector features = extractor.Extract(pair);
+    feature_crc =
+        Crc32(features.data(), features.size() * sizeof(double), feature_crc);
+  }
+  result.checksums.features = feature_crc;
+  result.featurize_seconds = featurize_watch.ElapsedSeconds();
+  return result;
+}
+
+int RunJsonBench(const BenchConfig& config) {
+  datagen::GeneratedDataset dataset =
+      config.dataset == "music"
+          ? datagen::GenerateMusic(
+                datagen::ScaleDims(datagen::kDimsMusic1, config.scale))
+          : datagen::GenerateAmazonGoogle(
+                datagen::ScaleDims(datagen::kDimsAmazonGoogle, config.scale));
+  Table table_a = dataset.table_a;
+  Table table_b = dataset.table_b;
+  // Shared up-front workload for both engines: types and promising columns
+  // come from the bare tables, so legacy and tokenized runs time the exact
+  // same profiling/corpus/featurization work.
+  table_a.SetSchema(InferAttributeTypes(table_a));
+  table_b.SetSchema(table_a.schema());
+  Result<PromisingAttributes> attributes =
+      SelectPromisingAttributes(table_a, table_b);
+  MC_CHECK(attributes.ok()) << attributes.status().ToString();
+
+  const std::vector<PairId> pairs =
+      FeaturePairs(table_a.num_rows(), table_b.num_rows(), config.pairs);
+
+  StageTiming plane_stage, profile_stage, corpus_stage, featurize_stage,
+      end_to_end_stage;
+  Checksums checksums;
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    Stopwatch end_to_end;
+    RepResult result = RunOnce(table_a, table_b, attributes->columns, pairs,
+                               config.threads, config.tokenized);
+    end_to_end_stage.Record(rep, end_to_end.ElapsedSeconds());
+    if (config.tokenized) plane_stage.Record(rep, result.plane_seconds);
+    profile_stage.Record(rep, result.profile_seconds);
+    corpus_stage.Record(rep, result.corpus_seconds);
+    featurize_stage.Record(rep, result.featurize_seconds);
+    if (rep > 0) MC_CHECK(checksums == result.checksums);
+    checksums = result.checksums;
+  }
+
+  // Equivalence spot-check for the tokenized engine: one legacy repetition
+  // must produce the same three checksums (and a single-threaded tokenized
+  // run guards the plane's thread-count determinism end to end).
+  bool equivalence_checked = false;
+  bool identical_to_legacy = false;
+  if (config.tokenized) {
+    RepResult legacy = RunOnce(table_a, table_b, attributes->columns, pairs,
+                               config.threads, false);
+    RepResult single = RunOnce(table_a, table_b, attributes->columns, pairs,
+                               1, true);
+    equivalence_checked = true;
+    identical_to_legacy =
+        checksums == legacy.checksums && checksums == single.checksums;
+  }
+
+  std::ofstream out(config.path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", config.path.c_str());
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.KV("schema_version", uint64_t{1});
+  json.KV("benchmark", "micro_text_plane");
+  json.KV("engine", config.engine);
+  json.Key("workload");
+  json.BeginObject();
+  json.KV("dataset", config.dataset);
+  json.KV("scale", config.scale);
+  json.KV("rows_a", uint64_t{table_a.num_rows()});
+  json.KV("rows_b", uint64_t{table_b.num_rows()});
+  json.KV("columns", uint64_t{table_a.num_columns()});
+  json.KV("promising_columns", uint64_t{attributes->columns.size()});
+  json.KV("feature_pairs", uint64_t{pairs.size()});
+  json.KV("threads", uint64_t{config.threads});
+  json.KV("text_plane", config.tokenized ? "tokenized" : "legacy");
+  json.KV("repetitions", uint64_t{config.reps});
+  json.EndObject();
+  json.Key("results");
+  json.BeginArray();
+  auto stage = [&](const char* name, const StageTiming& timing) {
+    if (!timing.recorded) return;
+    json.BeginObject();
+    json.KV("name", name);
+    json.KV("best_seconds", timing.best);
+    json.KV("mean_seconds", timing.mean(config.reps));
+    json.EndObject();
+  };
+  stage("plane_build", plane_stage);
+  stage("profile", profile_stage);
+  stage("corpus_build", corpus_stage);
+  stage("featurize", featurize_stage);
+  stage("end_to_end", end_to_end_stage);
+  json.EndArray();
+  json.Key("output");
+  json.BeginObject();
+  auto hex = [&](const char* key, uint32_t crc) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+    json.KV(key, buffer);
+  };
+  hex("profile_checksum", checksums.profile);
+  hex("corpus_checksum", checksums.corpus);
+  hex("feature_checksum", checksums.features);
+  json.KV("equivalence_checked", equivalence_checked);
+  json.KV("identical_to_legacy", identical_to_legacy);
+  json.EndObject();
+  json.EndObject();
+  out << "\n";
+  std::printf("wrote %s (end_to_end best %.3fs, featurize best %.3fs)\n",
+              config.path.c_str(), end_to_end_stage.best,
+              featurize_stage.best);
+  if (equivalence_checked && !identical_to_legacy) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE VIOLATION: tokenized checksums differ from the "
+                 "legacy string path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mc
+
+int main(int argc, char** argv) {
+  mc::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--json=")) {
+      config.path = v;
+    } else if (const char* v = value_of("--engine=")) {
+      config.engine = v;
+    } else if (const char* v = value_of("--dataset=")) {
+      config.dataset = v;
+    } else if (const char* v = value_of("--scale=")) {
+      config.scale = std::atof(v);
+    } else if (const char* v = value_of("--reps=")) {
+      config.reps = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--threads=")) {
+      config.threads = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--pairs=")) {
+      config.pairs = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--text-plane=")) {
+      config.tokenized = std::string(v) != "legacy";
+    }
+  }
+  if (config.path.empty()) {
+    std::fprintf(stderr,
+                 "usage: micro_text --json=PATH [--engine=L] "
+                 "[--dataset=amazon_google|music] [--scale=F] [--reps=N] "
+                 "[--threads=N] [--pairs=N] [--text-plane=legacy|tokenized]\n");
+    return 2;
+  }
+  return mc::RunJsonBench(config);
+}

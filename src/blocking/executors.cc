@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "table/tokenized_table.h"
 #include "text/similarity.h"
 #include "text/token_dictionary.h"
 #include "util/check.h"
@@ -34,12 +35,49 @@ struct TokenizedColumn {
   std::vector<std::vector<TokenId>> rows;
 };
 
+// Plane fast path for TokenizeColumns: per-cell distinct-token spans are
+// precomputed and already sorted in a consistent total order shared by both
+// sides, which is all PrefixFilterJoin needs — its exact verification makes
+// the resulting candidate set independent of which total order is used.
+// Returns false when the tables don't share a plane (or the q-gram plane is
+// unavailable); callers then tokenize from strings.
+bool TokenizeColumnsFromPlane(const Table& table_a, const Table& table_b,
+                              size_t column, const TokenizerSpec& tokenizer,
+                              TokenizedColumn* a, TokenizedColumn* b) {
+  const TokenizedTable* plane = SharedTextPlane(table_a, table_b);
+  if (plane == nullptr) return false;
+  const TokenizedTable::QGramColumn* grams = nullptr;
+  if (tokenizer.kind == TokenizerSpec::Kind::kQGram) {
+    grams = plane->QGramsForColumn(tokenizer.q, column);
+    if (grams == nullptr) return false;
+  }
+  auto copy_side = [&](const Table& table, TokenizedColumn* out) {
+    const size_t side = table.text_plane_side();
+    out->rows.resize(table.num_rows());
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      if (table.IsMissing(row, column)) continue;
+      CellSpan span = grams != nullptr
+                          ? grams->Row(side, row)
+                          : plane->SortedRanks(side, row, column);
+      out->rows[row].assign(span.begin(), span.end());
+    }
+  };
+  copy_side(table_a, a);
+  copy_side(table_b, b);
+  return true;
+}
+
 // Tokenizes the predicate column of both tables into a shared dictionary and
 // sorts each row's distinct tokens by the global (df, token) order, encoded
 // as ranks so plain integer comparison gives the global order.
 std::pair<TokenizedColumn, TokenizedColumn> TokenizeColumns(
     const Table& table_a, const Table& table_b, size_t column,
     const TokenizerSpec& tokenizer) {
+  TokenizedColumn plane_a, plane_b;
+  if (TokenizeColumnsFromPlane(table_a, table_b, column, tokenizer, &plane_a,
+                               &plane_b)) {
+    return {std::move(plane_a), std::move(plane_b)};
+  }
   TokenDictionary dictionary;
   auto intern_table = [&](const Table& table) {
     std::vector<std::vector<TokenId>> rows(table.num_rows());

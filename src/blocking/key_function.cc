@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "table/tokenized_table.h"
 #include "text/normalize.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
@@ -13,6 +14,38 @@ namespace mc {
 std::optional<std::string> KeyFunction::Apply(const Table& table,
                                               size_t row) const {
   if (table.IsMissing(row, column_)) return std::nullopt;
+  const TokenizedTable* plane = AttachedTextPlane(table);
+  if (plane != nullptr) {
+    // The normalized value and word tokens are precomputed in the plane;
+    // kRawValue/kSoundex/kNumericBucket need the raw cell and fall through.
+    const size_t side = table.text_plane_side();
+    switch (kind_) {
+      case Kind::kFullValue: {
+        std::string_view normalized =
+            TrimWhitespace(plane->NormalizedValue(side, row, column_));
+        if (normalized.empty()) return std::nullopt;
+        return std::string(normalized);
+      }
+      case Kind::kLastWord: {
+        std::string_view word = plane->LastTokenOf(side, row, column_);
+        if (word.empty()) return std::nullopt;
+        return std::string(word);
+      }
+      case Kind::kFirstWord: {
+        std::string_view word = plane->FirstTokenOf(side, row, column_);
+        if (word.empty()) return std::nullopt;
+        return std::string(word);
+      }
+      case Kind::kPrefix: {
+        std::string_view normalized =
+            TrimWhitespace(plane->NormalizedValue(side, row, column_));
+        if (normalized.empty()) return std::nullopt;
+        return std::string(normalized.substr(0, param_));
+      }
+      default:
+        break;
+    }
+  }
   std::string_view raw = table.Value(row, column_);
   switch (kind_) {
     case Kind::kFullValue: {

@@ -3,9 +3,50 @@
 #include <cmath>
 #include <sstream>
 
+#include "table/tokenized_table.h"
 #include "text/tokenize.h"
 
 namespace mc {
+
+namespace {
+
+// Token counts and overlap of a cell pair straight from the shared text
+// plane (no per-call tokenization). Returns false — meaning "use the string
+// path" — when the tables don't share a plane or the q-gram plane for this
+// column is unavailable.
+bool PlaneTokenCounts(const Table& table_a, size_t row_a, const Table& table_b,
+                      size_t row_b, size_t column,
+                      const TokenizerSpec& tokenizer, size_t* size_a,
+                      size_t* size_b, size_t* overlap) {
+  const TokenizedTable* plane = SharedTextPlane(table_a, table_b);
+  if (plane == nullptr) return false;
+  const size_t side_a = table_a.text_plane_side();
+  const size_t side_b = table_b.text_plane_side();
+  switch (tokenizer.kind) {
+    case TokenizerSpec::Kind::kWord: {
+      CellSpan a = plane->SortedRanks(side_a, row_a, column);
+      CellSpan b = plane->SortedRanks(side_b, row_b, column);
+      *size_a = a.size();
+      *size_b = b.size();
+      *overlap = SortedSpanOverlap(a, b);
+      return true;
+    }
+    case TokenizerSpec::Kind::kQGram: {
+      const TokenizedTable::QGramColumn* grams =
+          plane->QGramsForColumn(tokenizer.q, column);
+      if (grams == nullptr) return false;
+      CellSpan a = grams->Row(side_a, row_a);
+      CellSpan b = grams->Row(side_b, row_b);
+      *size_a = a.size();
+      *size_b = b.size();
+      *overlap = SortedSpanOverlap(a, b);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 std::vector<std::string> TokenizerSpec::Tokens(std::string_view text) const {
   switch (kind) {
@@ -47,13 +88,20 @@ bool SetSimilarityPredicate::Evaluate(const Table& table_a, size_t row_a,
   if (table_a.IsMissing(row_a, column_) || table_b.IsMissing(row_b, column_)) {
     return false;
   }
-  std::vector<std::string> tokens_a =
-      tokenizer_.Tokens(table_a.Value(row_a, column_));
-  std::vector<std::string> tokens_b =
-      tokenizer_.Tokens(table_b.Value(row_b, column_));
-  size_t overlap = OverlapSize(tokens_a, tokens_b);
-  double score = SetSimilarityFromCounts(measure_, tokens_a.size(),
-                                         tokens_b.size(), overlap);
+  size_t size_a = 0;
+  size_t size_b = 0;
+  size_t overlap = 0;
+  if (!PlaneTokenCounts(table_a, row_a, table_b, row_b, column_, tokenizer_,
+                        &size_a, &size_b, &overlap)) {
+    std::vector<std::string> tokens_a =
+        tokenizer_.Tokens(table_a.Value(row_a, column_));
+    std::vector<std::string> tokens_b =
+        tokenizer_.Tokens(table_b.Value(row_b, column_));
+    size_a = tokens_a.size();
+    size_b = tokens_b.size();
+    overlap = OverlapSize(tokens_a, tokens_b);
+  }
+  double score = SetSimilarityFromCounts(measure_, size_a, size_b, overlap);
   return score >= threshold_;
 }
 
@@ -69,11 +117,18 @@ bool OverlapPredicate::Evaluate(const Table& table_a, size_t row_a,
   if (table_a.IsMissing(row_a, column_) || table_b.IsMissing(row_b, column_)) {
     return false;
   }
-  std::vector<std::string> tokens_a =
-      tokenizer_.Tokens(table_a.Value(row_a, column_));
-  std::vector<std::string> tokens_b =
-      tokenizer_.Tokens(table_b.Value(row_b, column_));
-  return OverlapSize(tokens_a, tokens_b) >= min_overlap_;
+  size_t size_a = 0;
+  size_t size_b = 0;
+  size_t overlap = 0;
+  if (!PlaneTokenCounts(table_a, row_a, table_b, row_b, column_, tokenizer_,
+                        &size_a, &size_b, &overlap)) {
+    std::vector<std::string> tokens_a =
+        tokenizer_.Tokens(table_a.Value(row_a, column_));
+    std::vector<std::string> tokens_b =
+        tokenizer_.Tokens(table_b.Value(row_b, column_));
+    overlap = OverlapSize(tokens_a, tokens_b);
+  }
+  return overlap >= min_overlap_;
 }
 
 std::string OverlapPredicate::Description(const Schema& schema) const {

@@ -18,6 +18,25 @@ Result<DebugSession> DebugSession::Create(const Table& table_a,
   session.options_ = options;
   session.table_a_ = std::make_unique<Table>(table_a);
   session.table_b_ = std::make_unique<Table>(table_b);
+  if (options.text_plane == TextPlane::kLegacy) {
+    // Ablation contract: the legacy path never consults a plane, even one
+    // the caller attached to the inputs.
+    session.table_a_->DetachTextPlane();
+    session.table_b_->DetachTextPlane();
+  } else if (SharedTextPlane(*session.table_a_, *session.table_b_) ==
+             nullptr) {
+    // Tokenize once, before profiling: type inference, attribute selection,
+    // corpus build, features, and repair all read this plane. A truncated
+    // build (cancellation mid-plane) is simply not attached; every stage
+    // then falls back to per-call string tokenization.
+    Stopwatch plane_watch;
+    TextPlaneBuildOptions plane_options;
+    plane_options.num_threads = options.joint.num_threads;
+    plane_options.run_context = options.run_context;
+    TokenizedTable::BuildAndAttach(*session.table_a_, *session.table_b_,
+                                   plane_options);
+    session.text_plane_seconds_ = plane_watch.ElapsedSeconds();
+  }
   if (options.infer_types) {
     if (!(table_a.schema() == table_b.schema())) {
       return Status::InvalidArgument("tables A and B must share one schema");

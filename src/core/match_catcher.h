@@ -11,6 +11,7 @@
 #include "joint/joint_executor.h"
 #include "learn/features.h"
 #include "table/table.h"
+#include "table/tokenized_table.h"
 #include "util/status.h"
 #include "verifier/match_verifier.h"
 #include "verifier/user_oracle.h"
@@ -27,6 +28,14 @@ struct MatchCatcherOptions {
   /// Run rule-based attribute type inference on the inputs (recommended for
   /// freshly loaded CSVs whose schema types are all kString).
   bool infer_types = true;
+  /// Which text data path the session runs on. kTokenized builds the
+  /// tokenize-once TokenizedTable up front (unless the caller already
+  /// attached one to both inputs) and every stage — profiling, corpus build,
+  /// features, repair — reads spans from it. kLegacy detaches any plane and
+  /// re-tokenizes strings per call; outputs are bit-identical either way
+  /// (tests/text_plane_equivalence_test.cc), so kLegacy exists for
+  /// before/after benchmarking and ablation.
+  TextPlane text_plane = TextPlane::kTokenized;
   /// Cooperative cancellation/deadline for the whole Create() pipeline,
   /// propagated into config generation and the joint executor (overrides
   /// any context set on `config`/`joint`). Expiry during config generation
@@ -76,6 +85,9 @@ class DebugSession {
   double topk_seconds() const { return joint_.total_seconds; }
   /// Wall-clock seconds of config generation.
   double config_seconds() const { return config_seconds_; }
+  /// Wall-clock seconds of the tokenize-once text plane build (0 under
+  /// TextPlane::kLegacy or when the caller supplied an attached plane).
+  double text_plane_seconds() const { return text_plane_seconds_; }
 
   /// Fresh Match Verifier over this session's top-k lists. The verifier
   /// borrows the session's feature extractor; the session must outlive it.
@@ -109,6 +121,7 @@ class DebugSession {
   JointResult joint_;
   std::unique_ptr<PairFeatureExtractor> extractor_;
   double config_seconds_ = 0.0;
+  double text_plane_seconds_ = 0.0;
 };
 
 }  // namespace mc

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "blocking/standard_blockers.h"
+#include "table/tokenized_table.h"
 #include "text/similarity.h"
 
 namespace mc {
@@ -16,6 +17,9 @@ namespace {
 int BestComplementaryAttribute(const Table& table_a, const Table& table_b,
                                const ProblemGroup& group) {
   const Schema& schema = table_a.schema();
+  const TokenizedTable* plane = SharedTextPlane(table_a, table_b);
+  const size_t side_a = table_a.text_plane_side();
+  const size_t side_b = table_b.text_plane_side();
   int best = -1;
   double best_similarity = 0.35;  // Require meaningful agreement.
   for (size_t c = 0; c < schema.size(); ++c) {
@@ -29,7 +33,15 @@ int BestComplementaryAttribute(const Table& table_a, const Table& table_b,
       if (table_a.IsMissing(row_a, c) || table_b.IsMissing(row_b, c)) {
         continue;
       }
-      total += WordJaccard(table_a.Value(row_a, c), table_b.Value(row_b, c));
+      if (plane != nullptr) {
+        CellSpan ranks_a = plane->SortedRanks(side_a, row_a, c);
+        CellSpan ranks_b = plane->SortedRanks(side_b, row_b, c);
+        total += SetSimilarityFromCounts(SetMeasure::kJaccard, ranks_a.size(),
+                                         ranks_b.size(),
+                                         SortedSpanOverlap(ranks_a, ranks_b));
+      } else {
+        total += WordJaccard(table_a.Value(row_a, c), table_b.Value(row_b, c));
+      }
       ++counted;
     }
     if (counted * 2 < group.pairs.size()) continue;  // Mostly missing.

@@ -14,6 +14,12 @@ PairFeatureExtractor::PairFeatureExtractor(const Table* table_a,
                                            const Table* table_b)
     : table_a_(table_a), table_b_(table_b) {
   MC_CHECK(table_a_->schema() == table_b_->schema());
+  plane_ = SharedTextPlane(*table_a_, *table_b_);
+  if (plane_ != nullptr) {
+    plane_side_a_ = table_a_->text_plane_side();
+    plane_side_b_ = table_b_->text_plane_side();
+    grams3_.resize(table_a_->num_columns(), nullptr);
+  }
   const Schema& schema = table_a_->schema();
   for (size_t c = 0; c < schema.size(); ++c) {
     const std::string& name = schema.attribute(c).name;
@@ -24,6 +30,11 @@ PairFeatureExtractor::PairFeatureExtractor(const Table* table_a,
       feature_names_.push_back(name + ":both_present");
     } else {
       string_columns_.push_back(c);
+      if (plane_ != nullptr) {
+        // Resolve the lazy 3-gram plane up front so Extract stays lock-free
+        // on its hot path.
+        grams3_[c] = plane_->QGramsForColumn(3, c);
+      }
       feature_names_.push_back(name + ":jaccard_word");
       feature_names_.push_back(name + ":jaccard_3gram");
       feature_names_.push_back(name + ":cosine_word");
@@ -61,7 +72,37 @@ FeatureVector PairFeatureExtractor::Extract(PairId pair) const {
     } else {
       bool present = !table_a_->IsMissing(row_a, c) &&
                      !table_b_->IsMissing(row_b, c);
-      if (present) {
+      if (present && plane_ != nullptr) {
+        // Span path: every quantity below comes from the tokenize-once
+        // plane; no strings are tokenized per pair. Identical doubles to
+        // the string path — all four set measures reduce to
+        // SetSimilarityFromCounts over the same (|A|, |B|, overlap).
+        CellSpan words_a = plane_->SortedRanks(plane_side_a_, row_a, c);
+        CellSpan words_b = plane_->SortedRanks(plane_side_b_, row_b, c);
+        const size_t word_overlap = SortedSpanOverlap(words_a, words_b);
+        features.push_back(SetSimilarityFromCounts(
+            SetMeasure::kJaccard, words_a.size(), words_b.size(),
+            word_overlap));
+        CellSpan grams_a = grams3_[c]->Row(plane_side_a_, row_a);
+        CellSpan grams_b = grams3_[c]->Row(plane_side_b_, row_b);
+        features.push_back(SetSimilarityFromCounts(
+            SetMeasure::kJaccard, grams_a.size(), grams_b.size(),
+            SortedSpanOverlap(grams_a, grams_b)));
+        features.push_back(SetSimilarityFromCounts(
+            SetMeasure::kCosine, words_a.size(), words_b.size(),
+            word_overlap));
+        features.push_back(SetSimilarityFromCounts(
+            SetMeasure::kOverlapCoefficient, words_a.size(), words_b.size(),
+            word_overlap));
+        std::string_view norm_a =
+            plane_->NormalizedValue(plane_side_a_, row_a, c)
+                .substr(0, kEditPrefixLimit);
+        std::string_view norm_b =
+            plane_->NormalizedValue(plane_side_b_, row_b, c)
+                .substr(0, kEditPrefixLimit);
+        features.push_back(NormalizedEditSimilarity(norm_a, norm_b));
+        features.push_back(1.0);
+      } else if (present) {
         std::string_view value_a = table_a_->Value(row_a, c);
         std::string_view value_b = table_b_->Value(row_b, c);
         std::vector<std::string> words_a = DistinctWordTokens(value_a);

@@ -6,6 +6,7 @@
 
 #include "blocking/pair.h"
 #include "table/table.h"
+#include "table/tokenized_table.h"
 
 namespace mc {
 
@@ -36,6 +37,15 @@ class PairFeatureExtractor {
 
   const Table* table_a_;
   const Table* table_b_;
+  // Shared text plane of the pair, when attached: Extract reads per-cell
+  // spans instead of re-tokenizing both cell strings per call, so the
+  // verifier's re-ranking iterations do zero tokenization. The 3-gram
+  // planes of the string columns are resolved once here (they are lazy in
+  // the TokenizedTable).
+  const TokenizedTable* plane_ = nullptr;
+  size_t plane_side_a_ = 0;
+  size_t plane_side_b_ = 0;
+  std::vector<const TokenizedTable::QGramColumn*> grams3_;  // By column.
   std::vector<std::string> feature_names_;
   std::vector<size_t> string_columns_;
   std::vector<size_t> numeric_columns_;

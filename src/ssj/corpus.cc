@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "table/tokenized_table.h"
 #include "text/tokenize.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -81,7 +82,10 @@ namespace {
 struct TokenizedBlock {
   size_t begin_row = 0;
   size_t num_rows = 0;
-  std::vector<std::string> tokens;  // Local id -> token string.
+  std::vector<std::string> tokens;  // Local id -> token string (string path).
+  // Local id -> plane token id (text-plane path; tokens stays empty). The
+  // merge resolves strings through the plane's dictionary instead.
+  std::vector<uint32_t> plane_ids;
   std::vector<uint32_t> local_df;   // Document frequency within the block.
   // Per-row (local id, attribute mask) entries, rows concatenated in order;
   // row r of the block owns row_sizes[r] consecutive entries.
@@ -121,6 +125,42 @@ void TokenizeBlock(const Table& table, const std::vector<size_t>& columns,
   }
 }
 
+// Text-plane variant of TokenizeBlock: reads each cell's distinct token
+// stream (interned ids, first-appearance order — exactly the
+// DistinctWordTokens sequence) instead of re-tokenizing strings. Local ids
+// are assigned by plane-id first occurrence over the same traversal order
+// as the string path assigns them by token-string first occurrence, so the
+// block-order merge produces an identical global dictionary and corpus.
+void TokenizeBlockFromPlane(const TokenizedTable& plane, size_t side,
+                            const std::vector<size_t>& columns,
+                            TokenizedBlock& block) {
+  std::unordered_map<uint32_t, uint32_t> local_ids;  // plane id -> local id.
+  std::unordered_map<uint32_t, uint32_t> tuple_masks;  // local id -> mask.
+  block.row_sizes.reserve(block.num_rows);
+  for (size_t row = block.begin_row; row < block.begin_row + block.num_rows;
+       ++row) {
+    tuple_masks.clear();
+    for (size_t bit = 0; bit < columns.size(); ++bit) {
+      if (plane.missing(side, row, columns[bit])) continue;
+      for (uint32_t entry : plane.TokenStream(side, row, columns[bit])) {
+        if (entry & kTextRepeatBit) continue;
+        auto [it, inserted] = local_ids.emplace(
+            entry, static_cast<uint32_t>(block.plane_ids.size()));
+        if (inserted) {
+          block.plane_ids.push_back(entry);
+          block.local_df.push_back(0);
+        }
+        tuple_masks[it->second] |= uint32_t{1} << bit;
+      }
+    }
+    for (const auto& [id, mask] : tuple_masks) {
+      block.entries.emplace_back(id, mask);
+      ++block.local_df[id];
+    }
+    block.row_sizes.push_back(static_cast<uint32_t>(tuple_masks.size()));
+  }
+}
+
 // Rank-sorted rows of one block plus their distinct-mask summaries, ready
 // for sequential concatenation into the corpus CSR arenas.
 struct FlattenedBlock {
@@ -145,6 +185,13 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
   MC_CHECK_GE(options.block_rows, 1u);
   SsjCorpus corpus;
   corpus.num_attributes_ = columns.size();
+
+  // Tokenize-once fast path: when both tables share an attached text plane,
+  // phase 1 projects its per-cell spans instead of re-tokenizing strings.
+  const TokenizedTable* plane =
+      options.use_text_plane ? SharedTextPlane(table_a, table_b) : nullptr;
+  const size_t plane_side_a = table_a.text_plane_side();
+  const size_t plane_side_b = table_b.text_plane_side();
 
   // Carve both tables into fixed-size row blocks (A blocks then B blocks).
   // The decomposition depends only on block_rows, never on the thread
@@ -180,7 +227,7 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
   // per block; a dropped block leaves its rows empty and marks the corpus
   // truncated (best-so-far contract, docs/robustness.md).
   Stopwatch tokenize_watch;
-  auto tokenize_one = [&](TokenizedBlock& block, const Table& table) {
+  auto tokenize_one = [&](TokenizedBlock& block, bool is_a) {
     if (options.run_context.Cancelled()) {
       block.dropped = true;
       return;
@@ -194,12 +241,17 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
       block.dropped = true;
       return;
     }
-    TokenizeBlock(table, columns, block);
+    if (plane != nullptr) {
+      TokenizeBlockFromPlane(*plane, is_a ? plane_side_a : plane_side_b,
+                             columns, block);
+    } else {
+      TokenizeBlock(is_a ? table_a : table_b, columns, block);
+    }
   };
   if (threads == 1) {
     for (size_t i = 0; i < blocks.size(); ++i) {
       try {
-        tokenize_one(blocks[i], i < blocks_a ? table_a : table_b);
+        tokenize_one(blocks[i], i < blocks_a);
       } catch (const std::exception&) {
         // Injected fault: the block is already marked dropped.
       }
@@ -207,9 +259,7 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
   } else {
     ThreadPool pool(threads);
     for (size_t i = 0; i < blocks.size(); ++i) {
-      pool.Submit([&, i] {
-        tokenize_one(blocks[i], i < blocks_a ? table_a : table_b);
-      });
+      pool.Submit([&, i] { tokenize_one(blocks[i], i < blocks_a); });
     }
     // A throwing block (injected fault) is already marked dropped; the
     // pool's captured Status carries no extra information.
@@ -228,11 +278,19 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
       ++corpus.build_stats_.dropped_blocks;
       continue;
     }
-    block.id_map.resize(block.tokens.size());
-    for (size_t local = 0; local < block.tokens.size(); ++local) {
-      block.id_map[local] = corpus.dictionary_.Intern(block.tokens[local]);
+    const size_t local_count =
+        plane != nullptr ? block.plane_ids.size() : block.tokens.size();
+    block.id_map.resize(local_count);
+    for (size_t local = 0; local < local_count; ++local) {
+      // Plane path: the token string is resolved from the plane's
+      // dictionary (one interning per distinct block token, no
+      // re-tokenization); same merge order, same global ids.
+      block.id_map[local] = corpus.dictionary_.Intern(
+          plane != nullptr
+              ? plane->word_dictionary().TokenOf(block.plane_ids[local])
+              : block.tokens[local]);
     }
-    for (size_t local = 0; local < block.tokens.size(); ++local) {
+    for (size_t local = 0; local < local_count; ++local) {
       corpus.dictionary_.AddDocumentFrequency(block.id_map[local],
                                               block.local_df[local]);
     }

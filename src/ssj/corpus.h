@@ -142,6 +142,12 @@ struct CorpusBuildOptions {
   /// determines the work decomposition, so it must stay fixed across runs
   /// being compared.
   size_t block_rows = 1024;
+  /// When both tables carry the same attached, non-truncated TokenizedTable
+  /// (table/tokenized_table.h), phase 1 projects per-cell token spans out of
+  /// the plane instead of re-tokenizing cell strings. The built corpus is
+  /// bit-identical to the string path (the plane's distinct streams are the
+  /// DistinctWordTokens sequences); disable to force the legacy path.
+  bool use_text_plane = true;
   /// Cooperative cancellation/deadline. When it fires mid-build, remaining
   /// blocks are skipped: their rows get empty token lists and the corpus is
   /// marked truncated() — joins over it return best-so-far results, and

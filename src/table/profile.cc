@@ -1,7 +1,9 @@
 #include "table/profile.h"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "table/tokenized_table.h"
 #include "text/normalize.h"
 #include "text/tokenize.h"
 
@@ -21,17 +23,41 @@ AttributeProfile ProfileAttribute(const Table& table, size_t column) {
 
   size_t non_missing = 0;
   size_t total_tokens = 0;
-  for (size_t r = 0; r < rows; ++r) {
-    if (table.IsMissing(r, column)) continue;
-    ++non_missing;
-    std::string normalized = NormalizeForTokens(table.Value(r, column));
-    total_tokens += WordTokens(normalized).size();
-    if (!profile.distinct_values_truncated) {
-      profile.distinct_values.insert(std::string(
-          TrimWhitespace(normalized)));
-      if (profile.distinct_values.size() >
-          AttributeProfile::kMaxDistinctTracked) {
-        profile.distinct_values_truncated = true;
+  const TokenizedTable* plane = AttachedTextPlane(table);
+  if (plane != nullptr) {
+    // Span path: token counts and normalized values were computed once at
+    // plane build; dedup on interned norm ids before touching the string
+    // set. Same insert/cap trajectory as the string path below.
+    const size_t side = table.text_plane_side();
+    std::unordered_set<uint32_t> seen_norms;
+    for (size_t r = 0; r < rows; ++r) {
+      if (table.IsMissing(r, column)) continue;
+      ++non_missing;
+      total_tokens += plane->TokenCount(side, r, column);
+      if (!profile.distinct_values_truncated) {
+        if (seen_norms.insert(plane->NormId(side, r, column)).second) {
+          profile.distinct_values.insert(std::string(
+              TrimWhitespace(plane->NormalizedValue(side, r, column))));
+        }
+        if (profile.distinct_values.size() >
+            AttributeProfile::kMaxDistinctTracked) {
+          profile.distinct_values_truncated = true;
+        }
+      }
+    }
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      if (table.IsMissing(r, column)) continue;
+      ++non_missing;
+      std::string normalized = NormalizeForTokens(table.Value(r, column));
+      total_tokens += WordTokens(normalized).size();
+      if (!profile.distinct_values_truncated) {
+        profile.distinct_values.insert(std::string(
+            TrimWhitespace(normalized)));
+        if (profile.distinct_values.size() >
+            AttributeProfile::kMaxDistinctTracked) {
+          profile.distinct_values_truncated = true;
+        }
       }
     }
   }

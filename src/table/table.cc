@@ -9,13 +9,12 @@ namespace mc {
 void Table::AddRow(std::vector<std::string> values) {
   MC_CHECK_EQ(values.size(), schema_.size());
   for (size_t i = 0; i < values.size(); ++i) {
+    missing_[i].push_back(TrimWhitespace(values[i]).empty() ? 1 : 0);
     columns_[i].push_back(std::move(values[i]));
   }
   ++num_rows_;
-}
-
-bool Table::IsMissing(size_t row, size_t column) const {
-  return TrimWhitespace(Value(row, column)).empty();
+  // Any attached text plane no longer matches the cell contents.
+  text_plane_.reset();
 }
 
 std::optional<double> Table::NumericValue(size_t row, size_t column) const {

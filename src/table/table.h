@@ -1,6 +1,8 @@
 #ifndef MATCHCATCHER_TABLE_TABLE_H_
 #define MATCHCATCHER_TABLE_TABLE_H_
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -11,15 +13,20 @@
 
 namespace mc {
 
+class TokenizedTable;
+
 /// Column-oriented in-memory table. Cell values are stored as raw strings
 /// (the form in which EM source data arrives); an empty string after
-/// whitespace trimming is treated as a missing value. Numeric access parses
+/// whitespace trimming is treated as a missing value (the missing bit is
+/// precomputed at AddRow time, so IsMissing is O(1)). Numeric access parses
 /// on demand.
 class Table {
  public:
   Table() = default;
   explicit Table(Schema schema)
-      : schema_(std::move(schema)), columns_(schema_.size()) {}
+      : schema_(std::move(schema)),
+        columns_(schema_.size()),
+        missing_(schema_.size()) {}
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
@@ -35,8 +42,13 @@ class Table {
     return columns_[column][row];
   }
 
-  /// True when the cell is empty / whitespace-only.
-  bool IsMissing(size_t row, size_t column) const;
+  /// True when the cell is empty / whitespace-only. O(1): the bit is
+  /// precomputed by AddRow (this is called in hot profiling loops).
+  bool IsMissing(size_t row, size_t column) const {
+    MC_CHECK_LT(row, num_rows_);
+    MC_CHECK_LT(column, missing_.size());
+    return missing_[column][row] != 0;
+  }
 
   /// Cell parsed as double, if present and parseable.
   std::optional<double> NumericValue(size_t row, size_t column) const;
@@ -48,13 +60,40 @@ class Table {
   }
 
   /// Replaces the schema's attribute types (used after type inference).
-  /// Names and arity must be unchanged.
+  /// Names and arity must be unchanged. Does not detach the text plane
+  /// (plane content depends only on cell values, never on types).
   void SetSchema(Schema schema);
+
+  /// Attaches a tokenize-once text plane (table/tokenized_table.h); `side`
+  /// is this table's side within the plane (0 = A, 1 = B). Consumers use
+  /// the plane for span reads instead of re-tokenizing cell strings.
+  /// AddRow detaches it again — a mutated table no longer matches the
+  /// plane's cell contents.
+  void AttachTextPlane(std::shared_ptr<const TokenizedTable> plane,
+                       uint8_t side) {
+    text_plane_ = std::move(plane);
+    text_plane_side_ = side;
+  }
+
+  /// Drops the attached plane (forces the legacy string path).
+  void DetachTextPlane() { text_plane_.reset(); }
+
+  /// The attached plane, or nullptr. Prefer AttachedTextPlane() /
+  /// SharedTextPlane() (tokenized_table.h), which also verify coverage.
+  const TokenizedTable* text_plane() const { return text_plane_.get(); }
+  std::shared_ptr<const TokenizedTable> text_plane_ref() const {
+    return text_plane_;
+  }
+  uint8_t text_plane_side() const { return text_plane_side_; }
 
  private:
   Schema schema_;
   std::vector<std::vector<std::string>> columns_;
+  // Per-column missing bitmap, parallel to columns_ (1 = whitespace-only).
+  std::vector<std::vector<uint8_t>> missing_;
   size_t num_rows_ = 0;
+  std::shared_ptr<const TokenizedTable> text_plane_;
+  uint8_t text_plane_side_ = 0;
 };
 
 /// Parses `text` as a double; rejects trailing garbage.

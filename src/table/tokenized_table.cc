@@ -1,0 +1,404 @@
+#include "table/tokenized_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "text/normalize.h"
+#include "text/tokenize.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace mc {
+
+namespace {
+
+// Product of tokenizing one block of rows with thread-local dictionaries.
+// Local ids are assigned in first-occurrence order within the block; the
+// sequential block-order merge then reproduces the global stream-order ids
+// a single-threaded build would have assigned (a token's first global
+// occurrence lies in the earliest block containing it) — the same recipe
+// that makes SsjCorpus::Build bit-identical for every thread count.
+struct PlaneBlock {
+  size_t begin_row = 0;
+  size_t num_rows = 0;
+  std::vector<std::string> tokens;  // Local word id -> token string.
+  std::vector<uint32_t> local_df;   // Cells containing the token (distinct).
+  std::vector<std::string> norms;   // Local norm id -> normalized value.
+  // Cells concatenated row-major: local ids in appearance order, within-cell
+  // repeats flagged with kTextRepeatBit.
+  std::vector<uint32_t> stream;
+  std::vector<uint32_t> cell_stream_sizes;
+  std::vector<uint32_t> cell_distinct_sizes;
+  std::vector<uint32_t> cell_norm_ids;  // Local norm id per cell.
+  std::vector<TokenId> id_map;          // Local -> global (set by the merge).
+  std::vector<uint32_t> norm_id_map;    // Local -> pool id (set by the merge).
+  // Cancelled or fault-injected: cells stay empty, plane marked truncated.
+  bool dropped = false;
+};
+
+void TokenizePlaneBlock(const Table& table, size_t num_columns,
+                        PlaneBlock& block) {
+  std::unordered_map<std::string, uint32_t> local_ids;
+  std::unordered_map<std::string, uint32_t> local_norms;
+  std::vector<uint32_t> cell_distinct;  // Scratch: cells hold few tokens.
+  std::string token;
+  block.cell_stream_sizes.reserve(block.num_rows * num_columns);
+  block.cell_distinct_sizes.reserve(block.num_rows * num_columns);
+  block.cell_norm_ids.reserve(block.num_rows * num_columns);
+  for (size_t row = block.begin_row; row < block.begin_row + block.num_rows;
+       ++row) {
+    for (size_t column = 0; column < num_columns; ++column) {
+      std::string normalized = NormalizeForTokens(table.Value(row, column));
+      auto [norm_it, norm_inserted] = local_norms.emplace(
+          std::move(normalized), static_cast<uint32_t>(block.norms.size()));
+      if (norm_inserted) block.norms.push_back(norm_it->first);
+      block.cell_norm_ids.push_back(norm_it->second);
+
+      // Word tokens are the maximal non-space runs of the normalized value
+      // (NormalizeForTokens lower-cases and maps every non-alphanumeric
+      // byte to a space) — byte-identical to WordTokens(raw value).
+      const std::string& norm = norm_it->first;
+      const size_t stream_before = block.stream.size();
+      cell_distinct.clear();
+      size_t i = 0;
+      while (i < norm.size()) {
+        if (norm[i] == ' ') {
+          ++i;
+          continue;
+        }
+        size_t j = i;
+        while (j < norm.size() && norm[j] != ' ') ++j;
+        token.assign(norm, i, j - i);
+        i = j;
+        auto [it, inserted] = local_ids.emplace(
+            token, static_cast<uint32_t>(block.tokens.size()));
+        if (inserted) {
+          MC_CHECK_LT(block.tokens.size(), size_t{kTextRepeatBit});
+          block.tokens.push_back(token);
+          block.local_df.push_back(0);
+        }
+        const uint32_t local = it->second;
+        const bool repeat =
+            std::find(cell_distinct.begin(), cell_distinct.end(), local) !=
+            cell_distinct.end();
+        if (repeat) {
+          block.stream.push_back(local | kTextRepeatBit);
+        } else {
+          block.stream.push_back(local);
+          cell_distinct.push_back(local);
+          ++block.local_df[local];
+        }
+      }
+      block.cell_stream_sizes.push_back(
+          static_cast<uint32_t>(block.stream.size() - stream_before));
+      block.cell_distinct_sizes.push_back(
+          static_cast<uint32_t>(cell_distinct.size()));
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
+    const Table& table_a, const Table& table_b,
+    const TextPlaneBuildOptions& options, TextPlaneBuildStats* stats) {
+  MC_CHECK_EQ(table_a.num_columns(), table_b.num_columns());
+  MC_CHECK_GE(options.block_rows, 1u);
+  std::shared_ptr<TokenizedTable> plane_ptr(new TokenizedTable());
+  TokenizedTable& plane = *plane_ptr;
+  plane.num_columns_ = table_a.num_columns();
+  plane.rows_[0] = table_a.num_rows();
+  plane.rows_[1] = table_b.num_rows();
+
+  // Carve both tables into fixed-size row blocks (A blocks then B blocks);
+  // the decomposition depends only on block_rows, never on the thread
+  // count, so every thread count produces the same plane.
+  std::vector<PlaneBlock> blocks;
+  auto plan_table = [&](const Table& table) {
+    size_t planned = 0;
+    for (size_t begin = 0; begin < table.num_rows();
+         begin += options.block_rows) {
+      PlaneBlock block;
+      block.begin_row = begin;
+      block.num_rows = std::min(options.block_rows, table.num_rows() - begin);
+      blocks.push_back(std::move(block));
+      ++planned;
+    }
+    return planned;
+  };
+  const size_t blocks_a = plan_table(table_a);
+  plan_table(table_b);
+
+  const size_t threads =
+      std::min(blocks.empty() ? size_t{1} : blocks.size(),
+               options.num_threads != 0
+                   ? options.num_threads
+                   : std::max<size_t>(1, std::thread::hardware_concurrency()));
+  plane.build_stats_.blocks = blocks.size();
+  plane.build_stats_.threads = threads;
+
+  // Phase 1 (parallel): tokenize blocks with thread-local dictionaries.
+  // Cancellation and the text_plane/build_block fault point are checked
+  // once per block; a dropped block leaves its cells empty and marks the
+  // plane truncated (it is then never attached/served).
+  Stopwatch tokenize_watch;
+  auto tokenize_one = [&](PlaneBlock& block, const Table& table) {
+    if (options.run_context.Cancelled()) {
+      block.dropped = true;
+      return;
+    }
+    const FaultKind kind = MC_FAULT_POINT("text_plane/build_block");
+    if (kind == FaultKind::kThrow) {
+      block.dropped = true;
+      throw std::runtime_error("injected fault: text_plane/build_block");
+    }
+    if (kind != FaultKind::kNone) {
+      block.dropped = true;
+      return;
+    }
+    TokenizePlaneBlock(table, plane.num_columns_, block);
+  };
+  if (threads == 1) {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      try {
+        tokenize_one(blocks[i], i < blocks_a ? table_a : table_b);
+      } catch (const std::exception&) {
+        // Injected fault: the block is already marked dropped.
+      }
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      pool.Submit([&, i] {
+        tokenize_one(blocks[i], i < blocks_a ? table_a : table_b);
+      });
+    }
+    // A throwing block (injected fault) is already marked dropped.
+    pool.Wait();
+  }
+  plane.build_stats_.tokenize_seconds = tokenize_watch.ElapsedSeconds();
+
+  // Phase 2 (sequential, block order): merge the thread-local dictionaries
+  // and normalized-value pools. Interning block-by-block in local
+  // first-occurrence order assigns exactly the ids a sequential pass over
+  // all cells would have assigned.
+  Stopwatch merge_watch;
+  std::unordered_map<std::string, uint32_t> norm_pool_ids;
+  // Pool id 0 is always "": cells of dropped blocks point at it, and its
+  // unconditional presence keeps pool ids thread-count independent.
+  norm_pool_ids.emplace("", 0);
+  plane.norm_values_.emplace_back();
+  for (PlaneBlock& block : blocks) {
+    if (block.dropped) {
+      plane.truncated_ = true;
+      ++plane.build_stats_.dropped_blocks;
+      continue;
+    }
+    block.id_map.resize(block.tokens.size());
+    for (size_t local = 0; local < block.tokens.size(); ++local) {
+      block.id_map[local] = plane.dictionary_.Intern(block.tokens[local]);
+    }
+    for (size_t local = 0; local < block.tokens.size(); ++local) {
+      plane.dictionary_.AddDocumentFrequency(block.id_map[local],
+                                             block.local_df[local]);
+    }
+    block.norm_id_map.resize(block.norms.size());
+    for (size_t local = 0; local < block.norms.size(); ++local) {
+      auto [it, inserted] = norm_pool_ids.emplace(
+          block.norms[local],
+          static_cast<uint32_t>(plane.norm_values_.size()));
+      if (inserted) plane.norm_values_.push_back(block.norms[local]);
+      block.norm_id_map[local] = it->second;
+    }
+  }
+  MC_CHECK_LE(plane.dictionary_.size(), size_t{kTextTokenIdMask});
+  plane.dictionary_.FinalizeRanks();
+  plane.build_stats_.merge_seconds = merge_watch.ElapsedSeconds();
+
+  // Phase 3 (sequential): per-cell offsets, missing bits, pool-resolved
+  // norm ids for both sides.
+  Stopwatch flatten_watch;
+  auto fill_side = [&](size_t first_block, size_t block_count, size_t side,
+                       const Table& table) {
+    const size_t cells = plane.rows_[side] * plane.num_columns_;
+    auto& stream_offsets = plane.stream_offsets_[side];
+    auto& sorted_offsets = plane.sorted_offsets_[side];
+    stream_offsets.reserve(cells + 1);
+    sorted_offsets.reserve(cells + 1);
+    stream_offsets.push_back(0);
+    sorted_offsets.push_back(0);
+    plane.norm_ids_[side].reserve(cells);
+    plane.missing_[side].reserve(cells);
+    uint64_t stream_position = 0;
+    uint64_t sorted_position = 0;
+    for (size_t b = first_block; b < first_block + block_count; ++b) {
+      const PlaneBlock& block = blocks[b];
+      const size_t block_cells = block.num_rows * plane.num_columns_;
+      for (size_t cell = 0; cell < block_cells; ++cell) {
+        const size_t row = block.begin_row + cell / plane.num_columns_;
+        const size_t column = cell % plane.num_columns_;
+        plane.missing_[side].push_back(table.IsMissing(row, column) ? 1 : 0);
+        if (block.dropped) {
+          plane.norm_ids_[side].push_back(0);
+        } else {
+          plane.norm_ids_[side].push_back(
+              block.norm_id_map[block.cell_norm_ids[cell]]);
+          stream_position += block.cell_stream_sizes[cell];
+          sorted_position += block.cell_distinct_sizes[cell];
+        }
+        stream_offsets.push_back(stream_position);
+        sorted_offsets.push_back(sorted_position);
+      }
+    }
+    plane.stream_[side].resize(stream_position);
+    plane.sorted_[side].resize(sorted_position);
+  };
+  fill_side(0, blocks_a, 0, table_a);
+  fill_side(blocks_a, blocks.size() - blocks_a, 1, table_b);
+
+  // Phase 4 (parallel): translate local ids to global, derive each cell's
+  // sorted distinct ranks, and write both into their precomputed arena
+  // slices (blocks write disjoint regions).
+  auto flatten_one = [&](size_t block_index) {
+    const PlaneBlock& block = blocks[block_index];
+    if (block.dropped) return;
+    const size_t side = block_index < blocks_a ? 0 : 1;
+    auto& stream_arena = plane.stream_[side];
+    auto& sorted_arena = plane.sorted_[side];
+    const auto& stream_offsets = plane.stream_offsets_[side];
+    const auto& sorted_offsets = plane.sorted_offsets_[side];
+    const size_t first_cell = block.begin_row * plane.num_columns_;
+    const size_t block_cells = block.num_rows * plane.num_columns_;
+    std::vector<uint32_t> ranks;
+    size_t read = 0;
+    for (size_t cell = 0; cell < block_cells; ++cell) {
+      const size_t n = block.cell_stream_sizes[cell];
+      uint64_t write = stream_offsets[first_cell + cell];
+      ranks.clear();
+      for (size_t e = read; e < read + n; ++e) {
+        const uint32_t entry = block.stream[e];
+        const uint32_t global = block.id_map[entry & kTextTokenIdMask];
+        if (entry & kTextRepeatBit) {
+          stream_arena[write++] = global | kTextRepeatBit;
+        } else {
+          stream_arena[write++] = global;
+          ranks.push_back(plane.dictionary_.RankOf(global));
+        }
+      }
+      read += n;
+      std::sort(ranks.begin(), ranks.end());
+      uint64_t sorted_write = sorted_offsets[first_cell + cell];
+      for (uint32_t rank : ranks) sorted_arena[sorted_write++] = rank;
+    }
+  };
+  if (threads == 1) {
+    for (size_t i = 0; i < blocks.size(); ++i) flatten_one(i);
+  } else {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      pool.Submit([&, i] { flatten_one(i); });
+    }
+    Status status = pool.Wait();
+    MC_CHECK(status.ok()) << status.message();
+  }
+  plane.build_stats_.flatten_seconds = flatten_watch.ElapsedSeconds();
+
+  if (stats != nullptr) *stats = plane.build_stats_;
+  return plane_ptr;
+}
+
+std::shared_ptr<const TokenizedTable> TokenizedTable::BuildAndAttach(
+    Table& table_a, Table& table_b, const TextPlaneBuildOptions& options,
+    TextPlaneBuildStats* stats) {
+  std::shared_ptr<const TokenizedTable> plane =
+      Build(table_a, table_b, options, stats);
+  if (!plane->truncated()) {
+    table_a.AttachTextPlane(plane, 0);
+    table_b.AttachTextPlane(plane, 1);
+  }
+  return plane;
+}
+
+const TokenizedTable::QGramColumn* TokenizedTable::QGramsForColumn(
+    size_t q, size_t column) const {
+  if (q == 0 || column >= num_columns_ || truncated_) return nullptr;
+  const uint64_t key = (static_cast<uint64_t>(q) << 32) | column;
+  {
+    std::shared_lock<std::shared_mutex> lock(qgram_mutex_);
+    auto it = qgram_cache_.find(key);
+    if (it != qgram_cache_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(qgram_mutex_);
+  auto it = qgram_cache_.find(key);
+  if (it != qgram_cache_.end()) return it->second.get();
+
+  auto built = std::make_unique<QGramColumn>();
+  std::unordered_map<std::string, uint32_t> gram_ids;
+  std::vector<uint32_t> cell;
+  for (size_t side = 0; side < 2; ++side) {
+    built->offsets[side].reserve(rows_[side] + 1);
+    built->offsets[side].push_back(0);
+    for (size_t row = 0; row < rows_[side]; ++row) {
+      cell.clear();
+      // QGrams(normalized) == QGrams(raw): QGrams' internal normalization
+      // (lowercase, non-alnum -> space, collapse) is idempotent over
+      // NormalizeForTokens output, so the pooled value suffices.
+      for (const std::string& gram :
+           QGrams(NormalizedValue(side, row, column), q)) {
+        const uint32_t next = static_cast<uint32_t>(gram_ids.size());
+        auto [gram_it, inserted] = gram_ids.emplace(gram, next);
+        (void)inserted;
+        cell.push_back(gram_it->second);
+      }
+      std::sort(cell.begin(), cell.end());
+      built->grams[side].insert(built->grams[side].end(), cell.begin(),
+                                cell.end());
+      built->offsets[side].push_back(built->grams[side].size());
+    }
+  }
+  built->dictionary_size = gram_ids.size();
+  const QGramColumn* result = built.get();
+  qgram_cache_.emplace(key, std::move(built));
+  return result;
+}
+
+const TokenizedTable* AttachedTextPlane(const Table& table) {
+  const TokenizedTable* plane = table.text_plane();
+  if (plane == nullptr || plane->truncated()) return nullptr;
+  const size_t side = table.text_plane_side();
+  if (side > 1 || plane->num_rows(side) != table.num_rows() ||
+      plane->num_columns() != table.num_columns()) {
+    return nullptr;
+  }
+  return plane;
+}
+
+const TokenizedTable* SharedTextPlane(const Table& table_a,
+                                      const Table& table_b) {
+  const TokenizedTable* plane = AttachedTextPlane(table_a);
+  if (plane == nullptr || plane != AttachedTextPlane(table_b)) return nullptr;
+  return plane;
+}
+
+size_t SortedSpanOverlap(CellSpan a, CellSpan b) {
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace mc

@@ -1,0 +1,262 @@
+#ifndef MATCHCATCHER_TABLE_TOKENIZED_TABLE_H_
+#define MATCHCATCHER_TABLE_TOKENIZED_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+#include "text/token_dictionary.h"
+#include "util/run_context.h"
+
+namespace mc {
+
+/// Which text data path a pipeline runs on. kTokenized is the production
+/// path: every cell is normalized and tokenized exactly once into the
+/// TokenizedTable arenas below, and all downstream stages (corpus build,
+/// profiling, blockers, features, repair) read spans. kLegacy keeps the
+/// original WordTokens(std::string)-per-call string path, retained for
+/// before/after benchmarking and ablation; both paths produce bit-identical
+/// outputs (tests/text_plane_equivalence_test.cc).
+enum class TextPlane {
+  kTokenized,
+  kLegacy,
+};
+
+/// High bit of a token-stream entry: set when the token already appeared
+/// earlier in the same cell. Masking repeats out of the stream yields the
+/// cell's DistinctWordTokens sequence (first-appearance order); keeping
+/// them yields the full WordTokens sequence with duplicates.
+inline constexpr uint32_t kTextRepeatBit = 0x80000000u;
+inline constexpr uint32_t kTextTokenIdMask = 0x7fffffffu;
+
+/// Non-owning view of one cell's slice of a CSR arena. Valid while the
+/// owning TokenizedTable is alive.
+struct CellSpan {
+  const uint32_t* data = nullptr;
+  uint32_t length = 0;
+
+  size_t size() const { return length; }
+  bool empty() const { return length == 0; }
+  uint32_t operator[](size_t i) const { return data[i]; }
+  const uint32_t* begin() const { return data; }
+  const uint32_t* end() const { return data + length; }
+};
+
+/// Options for TokenizedTable::Build.
+struct TextPlaneBuildOptions {
+  /// Worker threads for the block-parallel tokenize/flatten phases;
+  /// 0 = hardware concurrency. The built plane is bit-identical for every
+  /// thread count (per-block dictionaries merge in block order, the same
+  /// determinism recipe as SsjCorpus::Build).
+  size_t num_threads = 0;
+  /// Rows per tokenize block; the decomposition depends only on this,
+  /// never on the thread count.
+  size_t block_rows = 1024;
+  /// Cooperative cancellation/deadline. When it fires mid-build, remaining
+  /// blocks are skipped and the plane is marked truncated(); a truncated
+  /// plane is never served to consumers (SharedTextPlane returns nullptr)
+  /// and DebugSession falls back to the legacy string path.
+  RunContext run_context;
+};
+
+/// Where TokenizedTable::Build spent its time.
+struct TextPlaneBuildStats {
+  double tokenize_seconds = 0.0;  // Parallel per-block tokenization.
+  double merge_seconds = 0.0;     // Block-order dictionary/pool merge.
+  double flatten_seconds = 0.0;   // Rank conversion + CSR arena fill.
+  size_t blocks = 0;
+  size_t dropped_blocks = 0;  // Cancelled or fault-injected blocks.
+  size_t threads = 0;
+};
+
+/// The tokenize-once text plane of a table pair: every cell of tables A and
+/// B, over *all* columns, normalized and word-tokenized exactly once into
+/// CSR arenas at build time. Consumers read spans instead of re-tokenizing
+/// strings; string content never leaves the shared dictionary/pool.
+///
+/// Per cell (addressed side/row/column, cells flattened row-major):
+///  - token stream: the full WordTokens sequence as interned ids in
+///    appearance order, within-cell repeats flagged with kTextRepeatBit;
+///  - sorted ranks: the distinct tokens as global ranks, sorted ascending
+///    (rank = position in the dictionary's (document frequency, token)
+///    order, rarest first — a consistent total order for O(n+m) overlap
+///    merges and prefix filtering);
+///  - the interned NormalizeForTokens value (untrimmed; shared pool across
+///    both sides, so repeated values cost one string);
+///  - q-gram planes, built lazily per (q, column) on first use and cached.
+/// Missingness is not duplicated here: Table::IsMissing is already O(1).
+///
+/// Build parallelism follows SsjCorpus::Build: fixed row blocks tokenized
+/// with thread-local dictionaries, then a sequential in-order merge that
+/// reproduces the global stream-first-occurrence ids a single-threaded pass
+/// would assign — the plane is bit-identical for every thread count.
+///
+/// Immutable after Build (the lazy q-gram cache is internally locked), so
+/// one plane is safely shared by both tables and all threads.
+class TokenizedTable {
+ public:
+  /// Lazily built per-(q, column) gram plane: distinct q-gram ids of every
+  /// cell in the column (both sides), sorted ascending per cell. Gram ids
+  /// are local to this plane; only counts/overlaps are meaningful.
+  struct QGramColumn {
+    std::vector<uint64_t> offsets[2];  // rows(side) + 1 entries.
+    std::vector<uint32_t> grams[2];
+    size_t dictionary_size = 0;
+
+    CellSpan Row(size_t side, size_t row) const {
+      return CellSpan{
+          grams[side].data() + offsets[side][row],
+          static_cast<uint32_t>(offsets[side][row + 1] -
+                                offsets[side][row])};
+    }
+  };
+
+  /// Tokenizes every cell of both tables. Never fails: cancellation and
+  /// injected faults drop blocks and mark the plane truncated().
+  static std::shared_ptr<const TokenizedTable> Build(
+      const Table& table_a, const Table& table_b,
+      const TextPlaneBuildOptions& options = {},
+      TextPlaneBuildStats* stats = nullptr);
+
+  /// Build() + attach to both tables (side 0 = `table_a`, 1 = `table_b`).
+  /// A truncated plane is not attached. Returns the plane either way.
+  static std::shared_ptr<const TokenizedTable> BuildAndAttach(
+      Table& table_a, Table& table_b,
+      const TextPlaneBuildOptions& options = {},
+      TextPlaneBuildStats* stats = nullptr);
+
+  size_t num_rows(size_t side) const { return rows_[side]; }
+  size_t num_columns() const { return num_columns_; }
+
+  /// O(1) missing bit, mirroring Table::IsMissing at build time.
+  bool missing(size_t side, size_t row, size_t column) const {
+    return missing_[side][Cell(side, row, column)] != 0;
+  }
+
+  /// Full WordTokens sequence of the cell: interned ids in appearance
+  /// order; entries with kTextRepeatBit set are within-cell repeats.
+  CellSpan TokenStream(size_t side, size_t row, size_t column) const {
+    return Span(stream_[side], stream_offsets_[side],
+                Cell(side, row, column));
+  }
+
+  /// Distinct tokens of the cell as global ranks, sorted ascending.
+  CellSpan SortedRanks(size_t side, size_t row, size_t column) const {
+    return Span(sorted_[side], sorted_offsets_[side],
+                Cell(side, row, column));
+  }
+
+  /// Word-token count with duplicates (what profiling averages).
+  uint32_t TokenCount(size_t side, size_t row, size_t column) const {
+    const size_t cell = Cell(side, row, column);
+    return static_cast<uint32_t>(stream_offsets_[side][cell + 1] -
+                                 stream_offsets_[side][cell]);
+  }
+
+  /// Distinct word-token count (set semantics).
+  uint32_t DistinctTokenCount(size_t side, size_t row, size_t column) const {
+    const size_t cell = Cell(side, row, column);
+    return static_cast<uint32_t>(sorted_offsets_[side][cell + 1] -
+                                 sorted_offsets_[side][cell]);
+  }
+
+  /// The cell's NormalizeForTokens value, untrimmed (consumers trim on the
+  /// fly where legacy code did). Interned: equal values share one string.
+  std::string_view NormalizedValue(size_t side, size_t row,
+                                   size_t column) const {
+    return norm_values_[norm_ids_[side][Cell(side, row, column)]];
+  }
+
+  /// Pool id of the cell's normalized value — equal ids iff equal
+  /// normalized values (profiling dedups on this instead of re-hashing
+  /// strings).
+  uint32_t NormId(size_t side, size_t row, size_t column) const {
+    return norm_ids_[side][Cell(side, row, column)];
+  }
+
+  /// First / last word token of the cell ("" when the cell has none).
+  std::string_view FirstTokenOf(size_t side, size_t row,
+                                size_t column) const {
+    CellSpan stream = TokenStream(side, row, column);
+    if (stream.empty()) return {};
+    return dictionary_.TokenOf(stream[0] & kTextTokenIdMask);
+  }
+  std::string_view LastTokenOf(size_t side, size_t row,
+                               size_t column) const {
+    CellSpan stream = TokenStream(side, row, column);
+    if (stream.empty()) return {};
+    return dictionary_.TokenOf(stream[stream.size() - 1] & kTextTokenIdMask);
+  }
+
+  /// The shared word dictionary (ids comparable across both sides). Ranks
+  /// are finalized: RankOf is valid for every id in the streams.
+  const TokenDictionary& word_dictionary() const { return dictionary_; }
+
+  /// The (q, column) gram plane, built on first use and cached (lazy:
+  /// q-gram consumers touch few columns). Returns nullptr for q == 0,
+  /// out-of-range columns, or a truncated plane. Thread-safe.
+  const QGramColumn* QGramsForColumn(size_t q, size_t column) const;
+
+  /// True when the build was cut short: some cells have empty token lists
+  /// and the plane must not be consulted (SharedTextPlane / attach both
+  /// refuse truncated planes).
+  bool truncated() const { return truncated_; }
+
+  const TextPlaneBuildStats& build_stats() const { return build_stats_; }
+
+ private:
+  TokenizedTable() = default;
+
+  size_t Cell(size_t side, size_t row, size_t column) const {
+    MC_CHECK_LT(row, rows_[side]);
+    MC_CHECK_LT(column, num_columns_);
+    return row * num_columns_ + column;
+  }
+  static CellSpan Span(const std::vector<uint32_t>& arena,
+                       const std::vector<uint64_t>& offsets, size_t cell) {
+    return CellSpan{arena.data() + offsets[cell],
+                    static_cast<uint32_t>(offsets[cell + 1] - offsets[cell])};
+  }
+
+  size_t num_columns_ = 0;
+  size_t rows_[2] = {0, 0};
+  std::vector<uint64_t> stream_offsets_[2];  // rows * columns + 1 entries.
+  std::vector<uint32_t> stream_[2];
+  std::vector<uint64_t> sorted_offsets_[2];
+  std::vector<uint32_t> sorted_[2];
+  std::vector<uint32_t> norm_ids_[2];
+  std::vector<uint8_t> missing_[2];
+  std::vector<std::string> norm_values_;  // Shared normalized-value pool.
+  TokenDictionary dictionary_;
+  bool truncated_ = false;
+  TextPlaneBuildStats build_stats_;
+  // Lazy (q, column) gram planes; unique_ptr keeps returned pointers
+  // stable across rehashes. Guarded for concurrent consumers.
+  mutable std::shared_mutex qgram_mutex_;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<QGramColumn>>
+      qgram_cache_;
+};
+
+/// The plane attached to `table`, or nullptr when there is none, it is
+/// truncated, or its dimensions no longer cover the table. Single-table
+/// consumers (profiling, key functions) gate their fast path on this.
+const TokenizedTable* AttachedTextPlane(const Table& table);
+
+/// The plane shared by both tables (same object attached to each, covering
+/// both), or nullptr. Pair consumers (predicates, features, repair, corpus
+/// build) gate their fast path on this; nullptr means the legacy string
+/// path — which is exactly the TextPlane::kLegacy behaviour.
+const TokenizedTable* SharedTextPlane(const Table& table_a,
+                                      const Table& table_b);
+
+/// Intersection size of two ascending-sorted spans (O(n + m) merge).
+size_t SortedSpanOverlap(CellSpan a, CellSpan b);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_TABLE_TOKENIZED_TABLE_H_

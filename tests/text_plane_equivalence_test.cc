@@ -1,0 +1,179 @@
+// The PR-level acceptance test for the tokenize-once text plane: every
+// output of the debugging pipeline — promising-attribute e-scores, per-config
+// top-k lists (pairs AND score bits), the candidate set E, pair feature
+// vectors, blocker candidate sets, and repair suggestions — must be
+// bit-identical between TextPlane::kLegacy (per-call string tokenization)
+// and TextPlane::kTokenized (span reads), at 1 and N threads.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/standard_blockers.h"
+#include "core/match_catcher.h"
+#include "datagen/generator.h"
+#include "explain/repair.h"
+#include "table/tokenized_table.h"
+
+namespace mc {
+namespace {
+
+datagen::GeneratedDataset TestDataset() {
+  return datagen::GenerateFodorsZagats(
+      datagen::ScaleDims(datagen::kDimsFodorsZagats, 0.3));
+}
+
+Result<DebugSession> MakeSession(const datagen::GeneratedDataset& dataset,
+                                 const CandidateSet& blocker_output,
+                                 TextPlane text_plane, size_t threads) {
+  MatchCatcherOptions options;
+  options.joint.k = 50;
+  options.joint.num_threads = threads;
+  options.text_plane = text_plane;
+  return DebugSession::Create(dataset.table_a, dataset.table_b,
+                              blocker_output, options);
+}
+
+// Exact double equality, expressed over the bit patterns so the failure
+// message shows which bits moved (== on doubles would also be exact, but
+// hides denormal/negative-zero differences).
+::testing::AssertionResult SameBits(double x, double y) {
+  uint64_t bx, by;
+  std::memcpy(&bx, &x, sizeof(bx));
+  std::memcpy(&by, &y, sizeof(by));
+  if (bx == by) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << x << " vs " << y << " (bits " << bx << " vs " << by << ")";
+}
+
+TEST(TextPlaneEquivalenceTest, FullSessionBitIdentical) {
+  datagen::GeneratedDataset dataset = TestDataset();
+  size_t city = dataset.table_a.schema().RequireIndexOf("city");
+  auto blocker = HashBlocker::AttributeEquivalence(city);
+  CandidateSet blocked = blocker->Run(dataset.table_a, dataset.table_b);
+
+  Result<DebugSession> legacy =
+      MakeSession(dataset, blocked, TextPlane::kLegacy, 1);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->text_plane_seconds(), 0.0);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Result<DebugSession> tokenized =
+        MakeSession(dataset, blocked, TextPlane::kTokenized, threads);
+    ASSERT_TRUE(tokenized.ok());
+    EXPECT_GT(tokenized->text_plane_seconds(), 0.0);
+    EXPECT_NE(SharedTextPlane(tokenized->table_a(), tokenized->table_b()),
+              nullptr);
+    EXPECT_EQ(SharedTextPlane(legacy->table_a(), legacy->table_b()), nullptr);
+
+    // Promising attributes: same columns, bit-identical e-scores and
+    // average lengths (profiling ran on spans vs strings).
+    const PromisingAttributes& pa = tokenized->attributes();
+    const PromisingAttributes& pl = legacy->attributes();
+    ASSERT_EQ(pa.columns, pl.columns) << threads << " threads";
+    ASSERT_EQ(pa.e_scores.size(), pl.e_scores.size());
+    for (size_t i = 0; i < pa.e_scores.size(); ++i) {
+      EXPECT_TRUE(SameBits(pa.e_scores[i], pl.e_scores[i])) << "e_score " << i;
+      EXPECT_TRUE(SameBits(pa.avg_len_a[i], pl.avg_len_a[i]));
+      EXPECT_TRUE(SameBits(pa.avg_len_b[i], pl.avg_len_b[i]));
+    }
+
+    // Inferred schema types must agree (type inference profiles via the
+    // plane under kTokenized).
+    ASSERT_TRUE(tokenized->table_a().schema() == legacy->table_a().schema());
+
+    // Per-config top-k lists: identical pairs and score bits, in order.
+    auto lists_t = tokenized->TopKLists();
+    auto lists_l = legacy->TopKLists();
+    ASSERT_EQ(lists_t.size(), lists_l.size());
+    for (size_t c = 0; c < lists_t.size(); ++c) {
+      ASSERT_EQ(lists_t[c].size(), lists_l[c].size()) << "config " << c;
+      for (size_t i = 0; i < lists_t[c].size(); ++i) {
+        EXPECT_EQ(lists_t[c][i].pair, lists_l[c][i].pair)
+            << "config " << c << " entry " << i;
+        EXPECT_TRUE(SameBits(lists_t[c][i].score, lists_l[c][i].score))
+            << "config " << c << " entry " << i;
+      }
+    }
+
+    // E and per-pair feature vectors.
+    std::vector<PairId> pairs_t = tokenized->CandidatePairs();
+    std::vector<PairId> pairs_l = legacy->CandidatePairs();
+    ASSERT_EQ(pairs_t, pairs_l);
+    for (PairId pair : pairs_t) {
+      FeatureVector ft = tokenized->extractor().Extract(pair);
+      FeatureVector fl = legacy->extractor().Extract(pair);
+      ASSERT_EQ(ft.size(), fl.size());
+      for (size_t i = 0; i < ft.size(); ++i) {
+        EXPECT_TRUE(SameBits(ft[i], fl[i]))
+            << "pair " << pair << " feature " << i << " ("
+            << tokenized->extractor().feature_names()[i] << ")";
+      }
+    }
+
+    // Repair suggestions render identically (BestComplementaryAttribute
+    // averages span Jaccards vs string Jaccards).
+    std::vector<PairId> confirmed(pairs_t.begin(),
+                                  pairs_t.begin() +
+                                      std::min<size_t>(pairs_t.size(), 20));
+    std::string repairs_t = RenderRepairs(
+        tokenized->table_a().schema(),
+        SuggestRepairs(tokenized->table_a(), tokenized->table_b(),
+                       confirmed));
+    std::string repairs_l = RenderRepairs(
+        legacy->table_a().schema(),
+        SuggestRepairs(legacy->table_a(), legacy->table_b(), confirmed));
+    EXPECT_EQ(repairs_t, repairs_l);
+  }
+}
+
+TEST(TextPlaneEquivalenceTest, BlockerCandidateSetsIdentical) {
+  datagen::GeneratedDataset dataset = TestDataset();
+  Table plain_a = dataset.table_a;
+  Table plain_b = dataset.table_b;
+  Table span_a = dataset.table_a;
+  Table span_b = dataset.table_b;
+  TokenizedTable::BuildAndAttach(span_a, span_b);
+  ASSERT_NE(SharedTextPlane(span_a, span_b), nullptr);
+
+  size_t name = dataset.table_a.schema().RequireIndexOf("name");
+  size_t city = dataset.table_a.schema().RequireIndexOf("city");
+  std::vector<std::shared_ptr<const Blocker>> blockers = {
+      HashBlocker::AttributeEquivalence(city),
+      std::make_shared<HashBlocker>(
+          KeyFunction(KeyFunction::Kind::kLastWord, name)),
+      std::make_shared<HashBlocker>(
+          KeyFunction(KeyFunction::Kind::kPrefix, name, 4)),
+      std::make_shared<SimilarityBlocker>(name, TokenizerSpec::Word(),
+                                          SetMeasure::kJaccard, 0.4),
+      std::make_shared<SimilarityBlocker>(name, TokenizerSpec::QGram(3),
+                                          SetMeasure::kCosine, 0.5),
+      std::make_shared<OverlapBlocker>(name, TokenizerSpec::Word(), 2),
+      std::make_shared<SortedNeighborhoodBlocker>(
+          KeyFunction(KeyFunction::Kind::kFullValue, name), 4),
+  };
+  for (const auto& blocker : blockers) {
+    CandidateSet plain = blocker->Run(plain_a, plain_b);
+    CandidateSet spans = blocker->Run(span_a, span_b);
+    EXPECT_EQ(plain.SortedPairs(), spans.SortedPairs())
+        << blocker->Description(dataset.table_a.schema());
+  }
+
+  // KeepsPair (the predicate path) agrees on a dense probe of pairs.
+  for (const auto& blocker : blockers) {
+    for (size_t r = 0; r < std::min<size_t>(plain_a.num_rows(), 25); ++r) {
+      for (size_t s = 0; s < std::min<size_t>(plain_b.num_rows(), 25); ++s) {
+        std::optional<bool> plain = blocker->KeepsPair(plain_a, r, plain_b, s);
+        std::optional<bool> spans = blocker->KeepsPair(span_a, r, span_b, s);
+        EXPECT_EQ(plain, spans)
+            << blocker->Description(dataset.table_a.schema()) << " pair ("
+            << r << "," << s << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mc

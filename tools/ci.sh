@@ -23,6 +23,12 @@ run_config() {
   cmake --build "${build_dir}" -j "${jobs}"
   echo "==== [${name}] test ===="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  # The tokenized-table determinism suite is the data-race canary of the
+  # text plane's parallel build; run it by name so sanitizer logs call it
+  # out even though the full ctest pass above already covers it.
+  echo "==== [${name}] text-plane determinism ===="
+  ctest --test-dir "${build_dir}" --output-on-failure \
+        -R 'TokenizedTableDeterminismTest'
 }
 
 run_config release ""
@@ -39,8 +45,13 @@ bench_json="${build_root}/release/bench_smoke.json"
 joint_json="${build_root}/release/bench_smoke_joint.json"
 "${build_root}/release/bench/micro_joint" \
     --json="${joint_json}" --engine=ci-smoke --scale=0.05 --reps=1 --k=50
+text_json="${build_root}/release/bench_smoke_text.json"
+"${build_root}/release/bench/micro_text" \
+    --json="${text_json}" --engine=ci-smoke --scale=0.1 --reps=1 --pairs=2000
 python3 "${repo_root}/tools/validate_bench_json.py" \
-    "${bench_json}" "${joint_json}" \
-    "${repo_root}/bench/BENCH_ssj.json" "${repo_root}/bench/BENCH_joint.json"
+    "${bench_json}" "${joint_json}" "${text_json}" \
+    "${repo_root}/bench/BENCH_ssj.json" \
+    "${repo_root}/bench/BENCH_joint.json" \
+    "${repo_root}/bench/BENCH_text.json"
 
 echo "==== all configurations passed ===="

@@ -81,6 +81,36 @@ JOINT_OUTPUT_FIELDS = {
 }
 
 
+TEXT_WORKLOAD_FIELDS = {
+    "dataset": str,
+    "scale": (int, float),
+    "rows_a": int,
+    "rows_b": int,
+    "columns": int,
+    "promising_columns": int,
+    "feature_pairs": int,
+    "threads": int,
+    "text_plane": str,
+    "repetitions": int,
+}
+
+# micro_text stage timings, in emission order. Legacy records have no
+# plane_build stage (there is no plane to build).
+TEXT_STAGE_NAMES = ["plane_build", "profile", "corpus_build", "featurize",
+                    "end_to_end"]
+
+TEXT_OUTPUT_FIELDS = {
+    "profile_checksum": str,
+    "corpus_checksum": str,
+    "feature_checksum": str,
+    "equivalence_checked": bool,
+    "identical_to_legacy": bool,
+}
+
+TEXT_CHECKSUM_KEYS = ["profile_checksum", "corpus_checksum",
+                      "feature_checksum"]
+
+
 class ValidationError(Exception):
     pass
 
@@ -133,6 +163,42 @@ def validate_joint_record(record, where):
                 f"{where}.output: determinism check ran but failed")
 
 
+def validate_text_record(record, where):
+    """micro_text_plane: stage timings + the three output checksums."""
+    check_fields(record.get("workload"), TEXT_WORKLOAD_FIELDS,
+                 f"{where}.workload")
+    workload = record["workload"]
+    require(workload["text_plane"] in ("legacy", "tokenized"),
+            f"{where}.workload: text_plane must be legacy|tokenized")
+    tokenized = workload["text_plane"] == "tokenized"
+    expected_stages = (TEXT_STAGE_NAMES if tokenized
+                       else TEXT_STAGE_NAMES[1:])
+    results = record.get("results")
+    require(isinstance(results, list), f"{where}: 'results' must be an array")
+    require([r.get("name") for r in results if isinstance(r, dict)]
+            == expected_stages,
+            f"{where}: results must be the stages {expected_stages}")
+    for i, result in enumerate(results):
+        where_r = f"{where}.results[{i}]"
+        check_fields(result, JOINT_STAGE_FIELDS, where_r)
+        require(result["best_seconds"] > 0.0,
+                f"{where_r}: best_seconds must be positive")
+        require(result["mean_seconds"] >= result["best_seconds"],
+                f"{where_r}: mean_seconds < best_seconds")
+    output = record.get("output")
+    check_fields(output, TEXT_OUTPUT_FIELDS, f"{where}.output")
+    for key in TEXT_CHECKSUM_KEYS:
+        require(re.fullmatch(r"[0-9a-f]{8}", output[key]),
+                f"{where}.output: {key} is not 8 lowercase hex digits")
+    if tokenized:
+        require(output["equivalence_checked"],
+                f"{where}.output: tokenized records must run the "
+                "legacy-equivalence check")
+    if output["equivalence_checked"]:
+        require(output["identical_to_legacy"],
+                f"{where}.output: equivalence check ran but failed")
+
+
 def validate_record(record, where):
     require(isinstance(record, dict), f"{where}: expected an object")
     require(record.get("schema_version") == 1,
@@ -143,6 +209,9 @@ def validate_record(record, where):
             f"{where}: missing/empty 'engine'")
     if record["benchmark"] == "micro_joint_executor":
         validate_joint_record(record, where)
+        return
+    if record["benchmark"] == "micro_text_plane":
+        validate_text_record(record, where)
         return
     check_fields(record.get("workload"), WORKLOAD_FIELDS, f"{where}.workload")
 
@@ -172,6 +241,16 @@ def validate_file(path):
     for i, record in enumerate(records):
         where = f"{path}[{i}]" if isinstance(data, list) else path
         validate_record(record, where)
+    # A [before, after] text-plane archive must prove identical outputs:
+    # the engines are ablations of one another, not different workloads.
+    text_outputs = [r["output"] for r in records
+                    if isinstance(r, dict)
+                    and r.get("benchmark") == "micro_text_plane"]
+    for key in TEXT_CHECKSUM_KEYS:
+        values = {output[key] for output in text_outputs}
+        require(len(values) <= 1,
+                f"{path}: micro_text_plane records disagree on {key} "
+                f"({sorted(values)})")
     return len(records)
 
 
