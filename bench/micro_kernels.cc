@@ -1,0 +1,404 @@
+// Microbenchmark for the SIMD-dispatched similarity kernel plane
+// (simd/kernels.h) and the batched verifier re-ranking built on it: times
+// the overlap kernels (full / capped / early-abandon), the batched ScoreMany
+// entry point, and an end-to-end verifier re-rank at 1 and 4 threads.
+//
+// `--json=PATH` emits a machine-readable record; bench/BENCH_kernels.json
+// archives one record per dispatch level, all produced by this binary:
+//
+//   before:  --simd-level=scalar
+//   after:   --simd-level=sse4 / --simd-level=avx2 (or auto, the default)
+//
+// Every record carries the kernel/score/verifier output checksums; the
+// validator (tools/validate_bench_json.py) asserts they are identical across
+// levels — the bit-identity contract of tests/simd_kernels_test.cc. The
+// record also stores the *active* level (the request is clamped to what the
+// CPU/build supports) and the CPU flags that drove the clamp.
+//
+// Knobs: --engine=LABEL, --simd-level=auto|scalar|sse4|avx2, --spans=N
+// (default 4096), --pairs=N (default 2000000), --verifier-rows=N (default
+// 400), --reps=N (default 3).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "learn/features.h"
+#include "simd/kernels.h"
+#include "ssj/topk_list.h"
+#include "table/table.h"
+#include "table/tokenized_table.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "verifier/match_verifier.h"
+#include "verifier/user_oracle.h"
+
+namespace mc {
+namespace {
+
+struct BenchConfig {
+  std::string path;
+  std::string engine = "unspecified";
+  std::string simd_level = "auto";
+  size_t spans = 4096;
+  size_t pairs = 2000000;
+  size_t verifier_rows = 1500;
+  size_t reps = 3;
+};
+
+struct StageTiming {
+  double best = 0.0;
+  double total = 0.0;
+  bool recorded = false;
+  void Record(size_t rep, double seconds) {
+    total += seconds;
+    if (rep == 0 || seconds < best) best = seconds;
+    recorded = true;
+  }
+  double mean(size_t reps) const {
+    return total / static_cast<double>(reps);
+  }
+};
+
+// Sorted-span corpus the kernel stages run over: token-frequency-shaped
+// lengths (mostly short cells, a long tail). Like the production spans the
+// kernels see (SortedRanks, SsjCorpus tuples), most are distinct; a 5%
+// minority carries duplicate runs (the lazy q-gram cells), exercising the
+// vector kernels' duplicate screen at bench time without letting the
+// scalar-resume fallback dominate the measurement.
+std::vector<std::vector<uint32_t>> MakeSpans(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> spans(count);
+  for (auto& span : spans) {
+    const size_t bucket = rng.NextBelow(100);
+    const size_t length = bucket < 60   ? 8 + rng.NextBelow(24)
+                          : bucket < 90 ? 32 + rng.NextBelow(96)
+                                        : 128 + rng.NextBelow(384);
+    const bool with_duplicates = rng.NextBelow(20) == 0;
+    span.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      span.push_back(static_cast<uint32_t>(rng.NextBelow(1 << 14)));
+      if (with_duplicates && i + 1 < length && rng.NextBelow(16) == 0) {
+        span.push_back(span.back());
+        ++i;
+      }
+    }
+    std::sort(span.begin(), span.end());
+    if (!with_duplicates) {
+      span.erase(std::unique(span.begin(), span.end()), span.end());
+    }
+  }
+  return spans;
+}
+
+// The synthetic verifier world of tests/verifier_test.cc, sized up: pairs
+// (i, i) are matches, two top-k lists with noise, features read from an
+// attached text plane.
+struct VerifierWorld {
+  Table a, b;
+  CandidateSet gold;
+  std::vector<std::vector<ScoredPair>> lists;
+  std::unique_ptr<PairFeatureExtractor> extractor;
+
+  VerifierWorld()
+      : a(Schema({{"name", AttributeType::kString},
+                  {"city", AttributeType::kString}})),
+        b(a.schema()) {}
+};
+
+std::unique_ptr<VerifierWorld> MakeVerifierWorld(size_t rows, uint64_t seed) {
+  auto world = std::make_unique<VerifierWorld>();
+  Rng rng(seed);
+  static const char* const kCities[] = {"atlanta", "boston", "chicago",
+                                        "denver"};
+  for (size_t i = 0; i < rows; ++i) {
+    std::string base = "entity" + std::to_string(i) + " token" +
+                       std::to_string(rng.NextBelow(6)) + " word" +
+                       std::to_string(i % 7);
+    world->a.AddRow({base, kCities[i % 4]});
+    world->b.AddRow({base + (rng.NextBool(0.4) ? " extra" : ""),
+                     kCities[i % 4]});
+    world->gold.Add(static_cast<RowId>(i), static_cast<RowId>(i));
+  }
+  std::vector<ScoredPair> list1, list2;
+  for (size_t i = 0; i < rows; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(rows);
+    list1.push_back(
+        {MakePairId(static_cast<RowId>(i), static_cast<RowId>(i)),
+         0.9 - 0.3 * frac});
+    if (i + 1 < rows) {
+      list1.push_back(
+          {MakePairId(static_cast<RowId>(i), static_cast<RowId>(i + 1)),
+           0.85 - 0.4 * frac});
+    }
+    list2.push_back({MakePairId(static_cast<RowId>(i),
+                                static_cast<RowId>((i + 2) % rows)),
+                     0.8 - 0.5 * frac});
+  }
+  auto by_score = [](const ScoredPair& x, const ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.pair < y.pair;
+  };
+  std::sort(list1.begin(), list1.end(), by_score);
+  std::sort(list2.begin(), list2.end(), by_score);
+  world->lists = {list1, list2};
+  TokenizedTable::BuildAndAttach(world->a, world->b, {});
+  world->extractor =
+      std::make_unique<PairFeatureExtractor>(&world->a, &world->b);
+  return world;
+}
+
+uint32_t VerifierChecksum(const VerifierResult& result) {
+  uint32_t crc = 0;
+  for (const IterationTrace& trace : result.iterations) {
+    crc = Crc32(trace.phase.data(), trace.phase.size(), crc);
+    crc = Crc32(trace.shown.data(), trace.shown.size() * sizeof(PairId), crc);
+  }
+  const std::vector<PairId> confirmed =
+      result.confirmed_matches.SortedPairs();
+  return Crc32(confirmed.data(), confirmed.size() * sizeof(PairId), crc);
+}
+
+int RunJsonBench(const BenchConfig& config) {
+  // Pin the dispatch level. An unsupported request is clamped (stderr note
+  // comes from the dispatcher); the record stores what actually ran.
+  if (config.simd_level != "auto") {
+    simd::SimdLevel requested = simd::SimdLevel::kScalar;
+    if (config.simd_level == "sse4") {
+      requested = simd::SimdLevel::kSse4;
+    } else if (config.simd_level == "avx2") {
+      requested = simd::SimdLevel::kAvx2;
+    } else if (config.simd_level != "scalar") {
+      std::fprintf(stderr, "unknown --simd-level=%s\n",
+                   config.simd_level.c_str());
+      return 2;
+    }
+    if (!simd::SetSimdLevel(requested)) {
+      std::fprintf(stderr, "requested level %s unsupported; running at %s\n",
+                   simd::SimdLevelName(requested),
+                   simd::SimdLevelName(simd::ActiveSimdLevel()));
+    }
+  }
+  const char* active_level = simd::SimdLevelName(simd::ActiveSimdLevel());
+
+  const std::vector<std::vector<uint32_t>> spans =
+      MakeSpans(config.spans, 20260805);
+  std::vector<simd::RankSpan> views(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    views[i] = {spans[i].data(), static_cast<uint32_t>(spans[i].size())};
+  }
+  auto pair_at = [&](size_t p) {
+    return std::pair<size_t, size_t>{p % views.size(),
+                                     (p * 7 + 3) % views.size()};
+  };
+
+  StageTiming overlap_stage, capped_stage, at_least_stage, score_stage,
+      rerank_1t_stage, rerank_4t_stage;
+  uint32_t overlap_crc = 0, capped_crc = 0, at_least_crc = 0, score_crc = 0,
+           verifier_crc = 0;
+  bool verifier_identical = true;
+
+  std::vector<uint32_t> counts(config.pairs);
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    // Stage 1: the full overlap kernel (the >= 1.5x acceptance stage).
+    Stopwatch overlap_watch;
+    for (size_t p = 0; p < config.pairs; ++p) {
+      const auto [i, j] = pair_at(p);
+      counts[p] = static_cast<uint32_t>(
+          simd::OverlapCount(views[i].data, views[i].length, views[j].data,
+                             views[j].length));
+    }
+    overlap_stage.Record(rep, overlap_watch.ElapsedSeconds());
+    const uint32_t crc =
+        Crc32(counts.data(), counts.size() * sizeof(uint32_t), 0);
+    MC_CHECK(rep == 0 || crc == overlap_crc);
+    overlap_crc = crc;
+
+    // Stage 2: the capped kernel with a QJoin-like small limit.
+    Stopwatch capped_watch;
+    for (size_t p = 0; p < config.pairs; ++p) {
+      const auto [i, j] = pair_at(p);
+      counts[p] = static_cast<uint32_t>(simd::OverlapCountCapped(
+          views[i].data, views[i].length, views[j].data, views[j].length,
+          /*limit=*/3));
+    }
+    capped_stage.Record(rep, capped_watch.ElapsedSeconds());
+    capped_crc = Crc32(counts.data(), counts.size() * sizeof(uint32_t), 0);
+
+    // Stage 3: the early-abandon kernel at a mid-range requirement.
+    Stopwatch at_least_watch;
+    for (size_t p = 0; p < config.pairs; ++p) {
+      const auto [i, j] = pair_at(p);
+      const size_t required =
+          std::min(views[i].size(), views[j].size()) / 2;
+      size_t overlap = 0;
+      const bool ok =
+          simd::OverlapAtLeast(views[i].data, views[i].length, views[j].data,
+                               views[j].length, required, &overlap);
+      counts[p] = ok ? static_cast<uint32_t>(overlap + 1) : 0;
+    }
+    at_least_stage.Record(rep, at_least_watch.ElapsedSeconds());
+    at_least_crc = Crc32(counts.data(), counts.size() * sizeof(uint32_t), 0);
+  }
+
+  // Stage 4: batched scoring — every span probes a sliding window of 64
+  // candidates through ScoreMany.
+  std::vector<double> scores(64);
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    uint32_t crc = 0;
+    Stopwatch score_watch;
+    for (size_t i = 0; i < views.size(); ++i) {
+      const size_t begin = (i * 17) % (views.size() - 64);
+      simd::ScoreMany(views[i], views.data() + begin, 64,
+                      SetMeasure::kJaccard, scores.data());
+      crc = Crc32(scores.data(), scores.size() * sizeof(double), crc);
+    }
+    score_stage.Record(rep, score_watch.ElapsedSeconds());
+    MC_CHECK(rep == 0 || crc == score_crc);
+    score_crc = crc;
+  }
+
+  // Stage 5: end-to-end verifier re-rank (feature matrix + fused forest
+  // batch scoring) at 1 and 4 threads; both runs must be byte-identical.
+  // Fixed 20 iterations (bootstrap + active + online) over the same world,
+  // so both thread counts re-rank the same unshown pool the same number of
+  // times. The world is built once per thread count outside the clock.
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      auto world = MakeVerifierWorld(config.verifier_rows, 11);
+      VerifierOptions options;
+      options.pairs_per_iteration = 20;
+      options.forest.num_trees = 128;
+      options.num_threads = threads;
+      MatchVerifier verifier(world->lists, world->extractor.get(), options);
+      GoldOracle oracle(&world->gold);
+      Stopwatch watch;
+      const VerifierResult result = verifier.RunIterations(oracle, 20);
+      const double seconds = watch.ElapsedSeconds();
+      (threads == 1 ? rerank_1t_stage : rerank_4t_stage)
+          .Record(rep, seconds);
+      const uint32_t crc = VerifierChecksum(result);
+      if (rep == 0 && threads == 1) {
+        verifier_crc = crc;
+      } else {
+        verifier_identical = verifier_identical && crc == verifier_crc;
+      }
+    }
+  }
+
+  std::ofstream out(config.path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", config.path.c_str());
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.KV("schema_version", uint64_t{1});
+  json.KV("benchmark", "micro_kernels");
+  json.KV("engine", config.engine);
+  json.Key("workload");
+  json.BeginObject();
+  json.KV("simd_level", active_level);
+  json.KV("simd_level_requested", config.simd_level);
+  json.KV("cpu_flags", simd::SimdCpuFlags());
+  // Interpreting rerank_4t vs rerank_1t requires knowing the core budget:
+  // on a single-core machine the 4-thread run can only match, never beat,
+  // the sequential one.
+  json.KV("cpu_cores",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.KV("spans", uint64_t{config.spans});
+  json.KV("kernel_pairs", uint64_t{config.pairs});
+  json.KV("verifier_rows", uint64_t{config.verifier_rows});
+  json.KV("repetitions", uint64_t{config.reps});
+  json.EndObject();
+  json.Key("results");
+  json.BeginArray();
+  auto stage = [&](const char* name, const StageTiming& timing) {
+    if (!timing.recorded) return;
+    json.BeginObject();
+    json.KV("name", name);
+    json.KV("best_seconds", timing.best);
+    json.KV("mean_seconds", timing.mean(config.reps));
+    json.EndObject();
+  };
+  stage("overlap_kernel", overlap_stage);
+  stage("overlap_capped", capped_stage);
+  stage("overlap_at_least", at_least_stage);
+  stage("score_many", score_stage);
+  stage("verifier_rerank_1t", rerank_1t_stage);
+  stage("verifier_rerank_4t", rerank_4t_stage);
+  json.EndArray();
+  json.Key("output");
+  json.BeginObject();
+  auto hex = [&](const char* key, uint32_t crc) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+    json.KV(key, buffer);
+  };
+  hex("overlap_checksum", overlap_crc);
+  hex("capped_checksum", capped_crc);
+  hex("at_least_checksum", at_least_crc);
+  hex("score_checksum", score_crc);
+  hex("verifier_checksum", verifier_crc);
+  json.KV("verifier_identical_across_threads", verifier_identical);
+  json.EndObject();
+  json.EndObject();
+  out << "\n";
+  std::printf(
+      "wrote %s (level %s, overlap best %.3fs, rerank 1t %.3fs / 4t %.3fs)\n",
+      config.path.c_str(), active_level, overlap_stage.best,
+      rerank_1t_stage.best, rerank_4t_stage.best);
+  if (!verifier_identical) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: verifier output differs across "
+                 "thread counts or repetitions\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mc
+
+int main(int argc, char** argv) {
+  mc::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--json=")) {
+      config.path = v;
+    } else if (const char* v = value_of("--engine=")) {
+      config.engine = v;
+    } else if (const char* v = value_of("--simd-level=")) {
+      config.simd_level = v;
+    } else if (const char* v = value_of("--spans=")) {
+      config.spans = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--pairs=")) {
+      config.pairs = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--verifier-rows=")) {
+      config.verifier_rows = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--reps=")) {
+      config.reps = static_cast<size_t>(std::atoll(v));
+    }
+  }
+  if (config.path.empty() || config.spans < 128) {
+    std::fprintf(stderr,
+                 "usage: micro_kernels --json=PATH [--engine=L] "
+                 "[--simd-level=auto|scalar|sse4|avx2] [--spans=N>=128] "
+                 "[--pairs=N] [--verifier-rows=N] [--reps=N]\n");
+    return 2;
+  }
+  return mc::RunJsonBench(config);
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/kernels.h"
+
 namespace mc {
 
 namespace {
@@ -12,20 +14,7 @@ namespace {
 // a token survives the view iff its mask intersects the config on that side
 // — but merges only the surviving tokens instead of the full tuples.
 size_t SpanOverlap(TokenSpan a, TokenSpan b) {
-  size_t overlap = 0;
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++overlap;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return overlap;
+  return simd::OverlapCount(a.data, a.size(), b.data, b.size());
 }
 
 // Smallest overlap whose similarity reaches `threshold` for the given set
@@ -68,19 +57,8 @@ size_t RequiredOverlapFor(SetMeasure measure, size_t size_a, size_t size_b,
 // every remaining token would still leave the overlap below `required`.
 bool SpanOverlapAbove(TokenSpan a, TokenSpan b, size_t required,
                       size_t* overlap_out) {
-  size_t i = 0, j = 0, overlap = 0;
-  while (i < a.size() && j < b.size()) {
-    if (overlap + std::min(a.size() - i, b.size() - j) < required) {
-      return false;
-    }
-    const uint32_t x = a[i];
-    const uint32_t y = b[j];
-    overlap += x == y;
-    i += x <= y;
-    j += y <= x;
-  }
-  *overlap_out = overlap;
-  return true;
+  return simd::OverlapAtLeast(a.data, a.size(), b.data, b.size(), required,
+                              overlap_out);
 }
 
 }  // namespace

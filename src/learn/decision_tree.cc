@@ -139,11 +139,16 @@ int DecisionTree::BuildNode(const std::vector<FeatureVector>& features,
 }
 
 double DecisionTree::PredictProbability(const FeatureVector& sample) const {
+  return PredictProbability(sample.data(), sample.size());
+}
+
+double DecisionTree::PredictProbability(const double* sample,
+                                        size_t num_features) const {
   MC_CHECK(!nodes_.empty()) << "predict on untrained tree";
   int node = 0;
   while (nodes_[node].feature >= 0) {
     const Node& current = nodes_[node];
-    MC_CHECK_LT(static_cast<size_t>(current.feature), sample.size());
+    MC_CHECK_LT(static_cast<size_t>(current.feature), num_features);
     node = sample[current.feature] <= current.threshold ? current.left
                                                         : current.right;
   }

@@ -36,9 +36,19 @@ class DecisionTree {
   /// Positive-class probability estimate for `sample`.
   double PredictProbability(const FeatureVector& sample) const;
 
+  /// Raw-row variant for the batch paths: `sample` points at one row of a
+  /// row-major feature matrix with `num_features` columns (bounds-checked
+  /// against the node's feature index like the vector overload).
+  double PredictProbability(const double* sample, size_t num_features) const;
+
   /// Hard vote: probability >= 0.5.
   bool PredictMatch(const FeatureVector& sample) const {
     return PredictProbability(sample) >= 0.5;
+  }
+
+  /// Hard vote over a raw matrix row.
+  bool PredictMatch(const double* sample, size_t num_features) const {
+    return PredictProbability(sample, num_features) >= 0.5;
   }
 
   size_t num_nodes() const { return nodes_.size(); }

@@ -7,6 +7,7 @@
 #include "text/similarity.h"
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace mc {
 
@@ -46,13 +47,18 @@ PairFeatureExtractor::PairFeatureExtractor(const Table* table_a,
 }
 
 FeatureVector PairFeatureExtractor::Extract(PairId pair) const {
+  FeatureVector features(num_features());
+  ExtractInto(pair, features.data());
+  return features;
+}
+
+void PairFeatureExtractor::ExtractInto(PairId pair, double* out) const {
   const size_t row_a = PairRowA(pair);
   const size_t row_b = PairRowB(pair);
   MC_CHECK_LT(row_a, table_a_->num_rows());
   MC_CHECK_LT(row_b, table_b_->num_rows());
 
-  FeatureVector features;
-  features.reserve(num_features());
+  double* f = out;
   const Schema& schema = table_a_->schema();
   for (size_t c = 0; c < schema.size(); ++c) {
     if (schema.attribute(c).type == AttributeType::kNumeric) {
@@ -61,13 +67,13 @@ FeatureVector PairFeatureExtractor::Extract(PairId pair) const {
       if (value_a.has_value() && value_b.has_value()) {
         double abs_diff = std::abs(*value_a - *value_b);
         double magnitude = std::max(std::abs(*value_a), std::abs(*value_b));
-        features.push_back(abs_diff);
-        features.push_back(magnitude > 0.0 ? abs_diff / magnitude : 0.0);
-        features.push_back(1.0);
+        *f++ = abs_diff;
+        *f++ = magnitude > 0.0 ? abs_diff / magnitude : 0.0;
+        *f++ = 1.0;
       } else {
-        features.push_back(0.0);
-        features.push_back(0.0);
-        features.push_back(0.0);
+        *f++ = 0.0;
+        *f++ = 0.0;
+        *f++ = 0.0;
       }
     } else {
       bool present = !table_a_->IsMissing(row_a, c) &&
@@ -80,51 +86,82 @@ FeatureVector PairFeatureExtractor::Extract(PairId pair) const {
         CellSpan words_a = plane_->SortedRanks(plane_side_a_, row_a, c);
         CellSpan words_b = plane_->SortedRanks(plane_side_b_, row_b, c);
         const size_t word_overlap = SortedSpanOverlap(words_a, words_b);
-        features.push_back(SetSimilarityFromCounts(
-            SetMeasure::kJaccard, words_a.size(), words_b.size(),
-            word_overlap));
+        *f++ = SetSimilarityFromCounts(SetMeasure::kJaccard, words_a.size(),
+                                       words_b.size(), word_overlap);
         CellSpan grams_a = grams3_[c]->Row(plane_side_a_, row_a);
         CellSpan grams_b = grams3_[c]->Row(plane_side_b_, row_b);
-        features.push_back(SetSimilarityFromCounts(
-            SetMeasure::kJaccard, grams_a.size(), grams_b.size(),
-            SortedSpanOverlap(grams_a, grams_b)));
-        features.push_back(SetSimilarityFromCounts(
-            SetMeasure::kCosine, words_a.size(), words_b.size(),
-            word_overlap));
-        features.push_back(SetSimilarityFromCounts(
-            SetMeasure::kOverlapCoefficient, words_a.size(), words_b.size(),
-            word_overlap));
+        *f++ = SetSimilarityFromCounts(SetMeasure::kJaccard, grams_a.size(),
+                                       grams_b.size(),
+                                       SortedSpanOverlap(grams_a, grams_b));
+        *f++ = SetSimilarityFromCounts(SetMeasure::kCosine, words_a.size(),
+                                       words_b.size(), word_overlap);
+        *f++ = SetSimilarityFromCounts(SetMeasure::kOverlapCoefficient,
+                                       words_a.size(), words_b.size(),
+                                       word_overlap);
         std::string_view norm_a =
             plane_->NormalizedValue(plane_side_a_, row_a, c)
                 .substr(0, kEditPrefixLimit);
         std::string_view norm_b =
             plane_->NormalizedValue(plane_side_b_, row_b, c)
                 .substr(0, kEditPrefixLimit);
-        features.push_back(NormalizedEditSimilarity(norm_a, norm_b));
-        features.push_back(1.0);
+        *f++ = NormalizedEditSimilarity(norm_a, norm_b);
+        *f++ = 1.0;
       } else if (present) {
         std::string_view value_a = table_a_->Value(row_a, c);
         std::string_view value_b = table_b_->Value(row_b, c);
         std::vector<std::string> words_a = DistinctWordTokens(value_a);
         std::vector<std::string> words_b = DistinctWordTokens(value_b);
-        features.push_back(JaccardSimilarity(words_a, words_b));
-        features.push_back(QGramJaccard(value_a, value_b, 3));
-        features.push_back(CosineSimilarity(words_a, words_b));
-        features.push_back(OverlapCoefficient(words_a, words_b));
+        *f++ = JaccardSimilarity(words_a, words_b);
+        *f++ = QGramJaccard(value_a, value_b, 3);
+        *f++ = CosineSimilarity(words_a, words_b);
+        *f++ = OverlapCoefficient(words_a, words_b);
         std::string norm_a = NormalizeForTokens(value_a).substr(
             0, kEditPrefixLimit);
         std::string norm_b = NormalizeForTokens(value_b).substr(
             0, kEditPrefixLimit);
-        features.push_back(NormalizedEditSimilarity(norm_a, norm_b));
-        features.push_back(1.0);
+        *f++ = NormalizedEditSimilarity(norm_a, norm_b);
+        *f++ = 1.0;
       } else {
-        for (int i = 0; i < 5; ++i) features.push_back(0.0);
-        features.push_back(0.0);
+        for (int i = 0; i < 6; ++i) *f++ = 0.0;
       }
     }
   }
-  MC_CHECK_EQ(features.size(), num_features());
-  return features;
+  MC_CHECK_EQ(static_cast<size_t>(f - out), num_features());
+}
+
+void PairFeatureExtractor::ExtractBatch(const PairId* pairs, size_t count,
+                                        size_t num_threads,
+                                        double* matrix) const {
+  if (num_threads <= 1 || count <= 1) {
+    ExtractBatch(pairs, count, static_cast<ThreadPool*>(nullptr), matrix);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  ExtractBatch(pairs, count, &pool, matrix);
+}
+
+void PairFeatureExtractor::ExtractBatch(const PairId* pairs, size_t count,
+                                        ThreadPool* pool,
+                                        double* matrix) const {
+  const size_t nf = num_features();
+  const size_t threads =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), count);
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) ExtractInto(pairs[i], matrix + i * nf);
+    return;
+  }
+  // Contiguous row ranges, one per worker; rows are disjoint writes.
+  const size_t chunk = (count + threads - 1) / threads;
+  for (size_t begin = 0; begin < count; begin += chunk) {
+    const size_t end = std::min(begin + chunk, count);
+    pool->Submit([this, pairs, matrix, nf, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        ExtractInto(pairs[i], matrix + i * nf);
+      }
+    });
+  }
+  const Status status = pool->Wait();
+  MC_CHECK(status.ok()) << status.message();
 }
 
 }  // namespace mc

@@ -10,6 +10,8 @@
 
 namespace mc {
 
+class ThreadPool;
+
 /// A pair's feature vector for the Match Verifier's random forest.
 using FeatureVector = std::vector<double>;
 
@@ -31,6 +33,24 @@ class PairFeatureExtractor {
   }
 
   FeatureVector Extract(PairId pair) const;
+
+  /// Writes the features of `pair` into out[0..num_features()).
+  void ExtractInto(PairId pair, double* out) const;
+
+  /// Fills a row-major feature matrix (count x num_features()): row i gets
+  /// the features of pairs[i]. `num_threads > 1` extracts rows in parallel
+  /// over a ThreadPool — rows are disjoint writes and extraction is
+  /// read-only over the tables/plane, so the matrix is bit-identical for
+  /// every thread count. This is the once-per-iteration matrix build of the
+  /// verifier's batched re-ranking.
+  void ExtractBatch(const PairId* pairs, size_t count, size_t num_threads,
+                    double* matrix) const;
+
+  /// Same, but reusing a caller-owned pool (nullptr = sequential). Callers
+  /// building matrices every iteration (the verifier loop) avoid spawning
+  /// workers per call.
+  void ExtractBatch(const PairId* pairs, size_t count, ThreadPool* pool,
+                    double* matrix) const;
 
  private:
   static constexpr size_t kEditPrefixLimit = 30;

@@ -1,9 +1,11 @@
 #include "learn/random_forest.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace mc {
 
@@ -28,16 +30,78 @@ RandomForest RandomForest::Train(const std::vector<FeatureVector>& features,
 }
 
 double RandomForest::Confidence(const FeatureVector& sample) const {
+  return Predict(sample).confidence;
+}
+
+double RandomForest::Controversy(const FeatureVector& sample) const {
+  return Predict(sample).controversy;
+}
+
+ForestPrediction RandomForest::Predict(const FeatureVector& sample) const {
   MC_CHECK(trained());
   size_t votes = 0;
   for (const DecisionTree& tree : trees_) {
     if (tree.PredictMatch(sample)) ++votes;
   }
-  return static_cast<double>(votes) / static_cast<double>(trees_.size());
+  ForestPrediction prediction;
+  prediction.confidence =
+      static_cast<double>(votes) / static_cast<double>(trees_.size());
+  prediction.controversy = std::abs(prediction.confidence - 0.5);
+  return prediction;
 }
 
-double RandomForest::Controversy(const FeatureVector& sample) const {
-  return std::abs(Confidence(sample) - 0.5);
+void RandomForest::PredictBatch(const double* matrix, size_t num_samples,
+                                size_t num_features, size_t num_threads,
+                                double* confidence, double* controversy) const {
+  if (num_threads <= 1 || num_samples <= 1) {
+    PredictBatch(matrix, num_samples, num_features,
+                 static_cast<ThreadPool*>(nullptr), confidence, controversy);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  PredictBatch(matrix, num_samples, num_features, &pool, confidence,
+               controversy);
+}
+
+void RandomForest::PredictBatch(const double* matrix, size_t num_samples,
+                                size_t num_features, ThreadPool* pool,
+                                double* confidence,
+                                double* controversy) const {
+  MC_CHECK(trained());
+  if (num_samples == 0) return;
+  const double total = static_cast<double>(trees_.size());
+  // Per-sample integer votes make the result independent of chunking and
+  // thread count: every partition sums the same per-tree hard votes.
+  auto score_range = [&](size_t begin, size_t end) {
+    // Trees outer, samples inner: one tree's node array stays cache-resident
+    // while it sweeps the chunk's rows.
+    std::vector<uint32_t> votes(end - begin, 0);
+    for (const DecisionTree& tree : trees_) {
+      for (size_t i = begin; i < end; ++i) {
+        votes[i - begin] +=
+            tree.PredictMatch(matrix + i * num_features, num_features);
+      }
+    }
+    for (size_t i = begin; i < end; ++i) {
+      const double c = static_cast<double>(votes[i - begin]) / total;
+      confidence[i] = c;
+      controversy[i] = std::abs(c - 0.5);
+    }
+  };
+  const size_t threads =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), num_samples);
+  if (threads <= 1) {
+    score_range(0, num_samples);
+    return;
+  }
+  // Contiguous sample ranges, one per worker; outputs are disjoint.
+  const size_t chunk = (num_samples + threads - 1) / threads;
+  for (size_t begin = 0; begin < num_samples; begin += chunk) {
+    const size_t end = std::min(begin + chunk, num_samples);
+    pool->Submit([=] { score_range(begin, end); });
+  }
+  const Status status = pool->Wait();
+  MC_CHECK(status.ok()) << status.message();
 }
 
 }  // namespace mc

@@ -9,10 +9,22 @@
 
 namespace mc {
 
+class ThreadPool;
+
 struct ForestParams {
   size_t num_trees = 32;
   TreeParams tree;
   uint64_t seed = 1234;
+};
+
+/// Confidence and controversy of one sample, produced by a single forest
+/// traversal (see RandomForest::Predict).
+struct ForestPrediction {
+  /// Fraction of trees voting match.
+  double confidence = 0.0;
+  /// |confidence - 0.5| — smaller is more controversial (the active-learning
+  /// selection criterion).
+  double controversy = 0.0;
 };
 
 /// Bagged random forest of CART trees — the classifier F of paper §5. The
@@ -38,6 +50,30 @@ class RandomForest {
   /// |confidence - 0.5| — smaller is more controversial (the active-learning
   /// selection criterion).
   double Controversy(const FeatureVector& sample) const;
+
+  /// Both quantities from one walk over the trees — callers needing
+  /// confidence and controversy of the same sample (the verifier's active
+  /// batch) pay a single traversal instead of two. Bit-identical to the
+  /// separate getters (same integer vote count through the same division).
+  ForestPrediction Predict(const FeatureVector& sample) const;
+
+  /// Batched fused prediction over a row-major feature matrix
+  /// (num_samples x num_features): confidence[i] / controversy[i] get the
+  /// prediction of row i. One pass per (tree, sample) — trees outer within a
+  /// chunk of samples, so a tree's nodes stay cache-resident across the
+  /// chunk. `num_threads > 1` splits the sample range over a ThreadPool;
+  /// outputs are disjoint per sample, so results are bit-identical for every
+  /// thread count (and to the single-sample getters).
+  void PredictBatch(const double* matrix, size_t num_samples,
+                    size_t num_features, size_t num_threads,
+                    double* confidence, double* controversy) const;
+
+  /// Same, but reusing a caller-owned pool (nullptr = sequential). Callers
+  /// scoring many batches (the verifier loop) avoid spawning workers per
+  /// call.
+  void PredictBatch(const double* matrix, size_t num_samples,
+                    size_t num_features, ThreadPool* pool, double* confidence,
+                    double* controversy) const;
 
  private:
   std::vector<DecisionTree> trees_;

@@ -5,6 +5,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "simd/kernels.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -14,14 +15,7 @@ namespace mc {
 double DirectPairScorer::Score(RowId row_a, RowId row_b) {
   const TokenSpan a = view_->a(row_a);
   const TokenSpan b = view_->b(row_b);
-  size_t i = 0, j = 0, overlap = 0;
-  while (i < a.size() && j < b.size()) {
-    const uint32_t x = a[i];
-    const uint32_t y = b[j];
-    overlap += x == y;
-    i += x <= y;
-    j += y <= x;
-  }
+  const size_t overlap = simd::OverlapCount(a.data, a.size(), b.data, b.size());
   return SetSimilarityFromCounts(measure_, a.size(), b.size(), overlap);
 }
 
@@ -55,21 +49,12 @@ struct IndexEntry {
 
 // Exact |a[0..len_a) ∩ b[0..len_b)| of two rank-sorted prefixes, stopping
 // as soon as the count exceeds `limit` (the caller only needs equality with
-// a value <= limit). Counts below or equal to `limit` are exact.
+// a value <= limit). Counts below or equal to `limit` are exact. The capped
+// kernel's contract (exactly limit + 1 once exceeded) keeps the return value
+// level-independent.
 inline size_t PrefixOverlap(const uint32_t* a, size_t len_a, const uint32_t* b,
                             size_t len_b, size_t limit) {
-  // Branchless advance: which pointer moves is data-dependent and
-  // unpredictable, so `i += (x <= y)` beats a three-way if/else chain. Only
-  // the match test (rare, predictable) stays a branch.
-  size_t i = 0, j = 0, count = 0;
-  while (i < len_a && j < len_b) {
-    const uint32_t x = a[i];
-    const uint32_t y = b[j];
-    if (x == y && ++count > limit) return count;
-    i += x <= y;
-    j += y <= x;
-  }
-  return count;
+  return simd::OverlapCountCapped(a, len_a, b, len_b, limit);
 }
 
 // Exact similarity of a pair by merging its token spans, with the measure
@@ -78,14 +63,7 @@ template <SetMeasure kMeasure>
 double SpanScore(const ConfigView& view, RowId row_a, RowId row_b) {
   const TokenSpan a = view.a(row_a);
   const TokenSpan b = view.b(row_b);
-  size_t i = 0, j = 0, overlap = 0;
-  while (i < a.size() && j < b.size()) {
-    const uint32_t x = a[i];
-    const uint32_t y = b[j];
-    overlap += x == y;
-    i += x <= y;
-    j += y <= x;
-  }
+  const size_t overlap = simd::OverlapCount(a.data, a.size(), b.data, b.size());
   return SetSimilarityFromCounts(kMeasure, a.size(), b.size(), overlap);
 }
 
@@ -143,16 +121,10 @@ bool SpanScoreAbove(const ConfigView& view, RowId row_a, RowId row_b,
   const size_t required =
       RequiredOverlap<kMeasure, /*kStrict=*/false>(a.size(), b.size(),
                                                    threshold);
-  size_t i = 0, j = 0, overlap = 0;
-  while (i < a.size() && j < b.size()) {
-    if (overlap + std::min(a.size() - i, b.size() - j) < required) {
-      return false;
-    }
-    const uint32_t x = a[i];
-    const uint32_t y = b[j];
-    overlap += x == y;
-    i += x <= y;
-    j += y <= x;
+  size_t overlap = 0;
+  if (!simd::OverlapAtLeast(a.data, a.size(), b.data, b.size(), required,
+                            &overlap)) {
+    return false;
   }
   *score = SetSimilarityFromCounts(kMeasure, a.size(), b.size(), overlap);
   return true;
@@ -586,29 +558,29 @@ TopKList RunTopKJoinShard(const ConfigView& view,
 TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,
                         const CandidateSet* exclude, size_t min_overlap) {
   TopKList topk(k);
+  // Batch one probe row against all of table B through the kernel plane's
+  // OverlapMany: one dispatch per probe, and the probe span stays
+  // cache-resident across candidates. Iteration (and thus tie handling in
+  // TopKList::Add) is unchanged: a outer ascending, b inner ascending.
+  std::vector<simd::RankSpan> candidates(view.rows_b());
+  for (size_t b = 0; b < view.rows_b(); ++b) {
+    const TokenSpan tb = view.b(b);
+    candidates[b] = {tb.data, tb.length};
+  }
+  std::vector<size_t> overlaps(view.rows_b());
   for (size_t a = 0; a < view.rows_a(); ++a) {
     const TokenSpan ta = view.a(a);
     if (ta.empty()) continue;
+    simd::OverlapMany({ta.data, ta.length}, candidates.data(),
+                      candidates.size(), overlaps.data());
     for (size_t b = 0; b < view.rows_b(); ++b) {
-      const TokenSpan tb = view.b(b);
-      if (tb.empty()) continue;
+      if (candidates[b].length == 0) continue;
       PairId pair = MakePairId(static_cast<RowId>(a), static_cast<RowId>(b));
       if (exclude != nullptr && exclude->Contains(pair)) continue;
-      size_t i = 0, j = 0, overlap = 0;
-      while (i < ta.size() && j < tb.size()) {
-        if (ta[i] == tb[j]) {
-          ++overlap;
-          ++i;
-          ++j;
-        } else if (ta[i] < tb[j]) {
-          ++i;
-        } else {
-          ++j;
-        }
-      }
+      const size_t overlap = overlaps[b];
       if (overlap < min_overlap) continue;
-      topk.Add(pair,
-               SetSimilarityFromCounts(measure, ta.size(), tb.size(), overlap));
+      topk.Add(pair, SetSimilarityFromCounts(measure, ta.size(),
+                                             candidates[b].size(), overlap));
     }
   }
   return topk;

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "simd/kernels.h"
 #include "text/normalize.h"
 #include "text/tokenize.h"
 #include "util/check.h"
@@ -386,19 +387,7 @@ const TokenizedTable* SharedTextPlane(const Table& table_a,
 }
 
 size_t SortedSpanOverlap(CellSpan a, CellSpan b) {
-  size_t i = 0, j = 0, overlap = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++overlap;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return overlap;
+  return simd::OverlapCount(a.data, a.length, b.data, b.length);
 }
 
 }  // namespace mc

@@ -254,7 +254,10 @@ const TokenizedTable* AttachedTextPlane(const Table& table);
 const TokenizedTable* SharedTextPlane(const Table& table_a,
                                       const Table& table_b);
 
-/// Intersection size of two ascending-sorted spans (O(n + m) merge).
+/// Intersection size of two ascending-sorted spans (greedy merge count;
+/// duplicates count with multiset semantics). Routed through the
+/// SIMD-dispatched kernel plane (simd/kernels.h) — bit-identical at every
+/// dispatch level.
 size_t SortedSpanOverlap(CellSpan a, CellSpan b);
 
 }  // namespace mc

@@ -19,6 +19,12 @@ namespace mc {
 
 /// Size of the intersection of two token sets. Duplicates in the inputs are
 /// ignored (set semantics).
+///
+/// Legacy-only: plane-attached callers must not tokenize strings per pair —
+/// they go through the SIMD-dispatched rank-span kernels instead
+/// (simd::OverlapSize / SortedSpanOverlap over TokenizedTable spans). These
+/// string-vector entry points remain for the TextPlane::kLegacy paths (no
+/// plane attached: ad-hoc predicates, raw-string diagnosis/explain).
 size_t OverlapSize(const std::vector<std::string>& a,
                    const std::vector<std::string>& b);
 
@@ -47,7 +53,8 @@ double QGramJaccard(std::string_view a, std::string_view b, size_t q);
 /// Convenience: cosine over distinct word tokens of two raw strings.
 double WordCosine(std::string_view a, std::string_view b);
 
-/// Convenience: word-token overlap size of two raw strings.
+/// Convenience: word-token overlap size of two raw strings. Legacy-only,
+/// like OverlapSize above.
 size_t WordOverlapSize(std::string_view a, std::string_view b);
 
 /// Levenshtein distance (unit costs).

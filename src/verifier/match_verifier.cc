@@ -60,6 +60,56 @@ std::vector<PairId> MatchVerifier::TakeUnshownPrefix(
   return batch;
 }
 
+ThreadPool* MatchVerifier::WorkerPool() {
+  if (options_.num_threads <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
+MatchVerifier::UnshownScores MatchVerifier::ScoreUnshown() {
+  UnshownScores out;
+  for (PairId pair : aggregator_.items()) {
+    if (shown_.count(pair) > 0) continue;
+    out.pairs.push_back(pair);
+  }
+  const size_t nf = extractor_->num_features();
+  // Build the iteration's feature matrix once (SoA for the forest): cached
+  // rows are copied, the rest extracted in parallel and then cached for the
+  // next retraining round. Row order = aggregator order, so the matrix (and
+  // everything derived from it) is independent of thread count.
+  std::vector<double> matrix(out.pairs.size() * nf);
+  std::vector<PairId> missing;
+  std::vector<size_t> missing_rows;
+  for (size_t i = 0; i < out.pairs.size(); ++i) {
+    auto it = feature_cache_.find(out.pairs[i]);
+    if (it != feature_cache_.end()) {
+      std::copy(it->second.begin(), it->second.end(),
+                matrix.data() + i * nf);
+    } else {
+      missing.push_back(out.pairs[i]);
+      missing_rows.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    std::vector<double> fresh(missing.size() * nf);
+    extractor_->ExtractBatch(missing.data(), missing.size(), WorkerPool(),
+                             fresh.data());
+    for (size_t k = 0; k < missing.size(); ++k) {
+      const double* row = fresh.data() + k * nf;
+      double* dst = matrix.data() + missing_rows[k] * nf;
+      for (size_t c = 0; c < nf; ++c) dst[c] = row[c];
+      feature_cache_.emplace(missing[k], FeatureVector(row, row + nf));
+    }
+  }
+  out.confidence.resize(out.pairs.size());
+  out.controversy.resize(out.pairs.size());
+  forest_.PredictBatch(matrix.data(), out.pairs.size(), nf, WorkerPool(),
+                       out.confidence.data(), out.controversy.data());
+  return out;
+}
+
 std::vector<PairId> MatchVerifier::SelectActiveBatch() {
   // n/4 most controversial + 3n/4 highest-confidence unshown pairs.
   const size_t n = options_.pairs_per_iteration;
@@ -71,12 +121,12 @@ std::vector<PairId> MatchVerifier::SelectActiveBatch() {
     double controversy;
     double confidence;
   };
+  const UnshownScores scores = ScoreUnshown();
   std::vector<Scored> unshown;
-  for (PairId pair : aggregator_.items()) {
-    if (shown_.count(pair) > 0) continue;
-    const FeatureVector& features = Features(pair);
-    unshown.push_back(Scored{pair, forest_.Controversy(features),
-                             forest_.Confidence(features)});
+  unshown.reserve(scores.pairs.size());
+  for (size_t i = 0; i < scores.pairs.size(); ++i) {
+    unshown.push_back(Scored{scores.pairs[i], scores.controversy[i],
+                             scores.confidence[i]});
   }
 
   std::vector<PairId> batch;
@@ -113,10 +163,11 @@ std::vector<PairId> MatchVerifier::SelectOnlineBatch() {
     PairId pair;
     double confidence;
   };
+  const UnshownScores scores = ScoreUnshown();
   std::vector<Scored> unshown;
-  for (PairId pair : aggregator_.items()) {
-    if (shown_.count(pair) > 0) continue;
-    unshown.push_back(Scored{pair, forest_.Confidence(Features(pair))});
+  unshown.reserve(scores.pairs.size());
+  for (size_t i = 0; i < scores.pairs.size(); ++i) {
+    unshown.push_back(Scored{scores.pairs[i], scores.confidence[i]});
   }
   std::sort(unshown.begin(), unshown.end(),
             [](const Scored& x, const Scored& y) {

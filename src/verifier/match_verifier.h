@@ -2,6 +2,7 @@
 #define MATCHCATCHER_VERIFIER_MATCH_VERIFIER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +13,7 @@
 #include "learn/random_forest.h"
 #include "rank/rank_aggregation.h"
 #include "ssj/topk_list.h"
+#include "util/thread_pool.h"
 #include "verifier/user_oracle.h"
 
 namespace mc {
@@ -34,6 +36,12 @@ struct VerifierOptions {
   /// Of each active-learning batch, 1/controversial_fraction_denominator of
   /// the pairs are the learner's most controversial picks (paper: n/4).
   size_t controversial_fraction_denominator = 4;
+  /// Worker threads for the batched re-ranking (feature-matrix build and
+  /// fused forest scoring of the unshown pool); 1 = sequential. Batches,
+  /// confirmed matches, and traces are bit-identical for every value — the
+  /// parallel stages write disjoint rows/outputs and the merge is
+  /// deterministic (see tests/verifier_test.cc).
+  size_t num_threads = 1;
   uint64_t seed = 7;
   ForestParams forest;
 };
@@ -121,6 +129,24 @@ class MatchVerifier {
   void TrainForest();
   std::vector<PairId> TakeUnshownPrefix(const std::vector<PairId>& order,
                                         size_t count) const;
+
+  /// The batched re-ranking core: the unshown pairs (aggregator order) with
+  /// their fused forest predictions, computed from a feature matrix built
+  /// once per iteration (cached rows copied, missing rows extracted in
+  /// parallel) and scored with RandomForest::PredictBatch over
+  /// options_.num_threads workers.
+  struct UnshownScores {
+    std::vector<PairId> pairs;
+    std::vector<double> confidence;   // By index into `pairs`.
+    std::vector<double> controversy;  // |confidence - 0.5|.
+  };
+  UnshownScores ScoreUnshown();
+
+  /// The shared worker pool for the batched re-ranking, created on first
+  /// use; nullptr while options_.num_threads <= 1. One pool serves every
+  /// iteration — re-spawning workers per batch would dominate small pools.
+  ThreadPool* WorkerPool();
+
   std::vector<PairId> SelectActiveBatch();
   std::vector<PairId> SelectOnlineBatch();
   bool HasBothClasses() const;
@@ -137,6 +163,7 @@ class MatchVerifier {
   CandidateSet confirmed_;
 
   std::vector<PairId> medrank_order_;
+  std::unique_ptr<ThreadPool> pool_;  // See WorkerPool().
   RandomForest forest_;
   size_t active_iterations_done_ = 0;
   size_t consecutive_empty_ = 0;

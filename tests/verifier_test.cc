@@ -224,5 +224,100 @@ TEST(MatchVerifierTest, LearningBeatsOrEqualsWmrOnStructuredData) {
             ranked.confirmed_matches.size());
 }
 
+TEST(MatchVerifierTest, BatchedRerankIsBitIdenticalAcrossThreadCounts) {
+  // The batched re-ranking (parallel feature-matrix build + fused
+  // PredictBatch) must produce byte-identical runs at 1 and 4 threads:
+  // same batches in the same order, same phases, same confirmed matches.
+  auto make_result = [](size_t num_threads) {
+    auto world = MakeWorld(60, 11);
+    VerifierOptions options = SmallOptions();
+    options.num_threads = num_threads;
+    MatchVerifier verifier(world->lists, world->extractor.get(), options);
+    GoldOracle oracle(&world->gold);
+    return verifier.Run(oracle);
+  };
+  const VerifierResult sequential = make_result(1);
+  const VerifierResult parallel = make_result(4);
+
+  ASSERT_EQ(sequential.num_iterations(), parallel.num_iterations());
+  for (size_t i = 0; i < sequential.num_iterations(); ++i) {
+    EXPECT_EQ(sequential.iterations[i].phase, parallel.iterations[i].phase)
+        << "iteration " << i;
+    EXPECT_EQ(sequential.iterations[i].shown, parallel.iterations[i].shown)
+        << "iteration " << i;
+    EXPECT_EQ(sequential.iterations[i].new_matches,
+              parallel.iterations[i].new_matches)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(sequential.confirmed_matches.SortedPairs(),
+            parallel.confirmed_matches.SortedPairs());
+  EXPECT_EQ(sequential.pairs_shown, parallel.pairs_shown);
+}
+
+TEST(RandomForestBatchTest, PredictBatchMatchesSingleSamplePredictions) {
+  // Train a small forest on the synthetic world's features, then check the
+  // fused batch path against the per-sample getters, at 1 and 4 threads.
+  auto world = MakeWorld(30, 3);
+  std::vector<FeatureVector> features;
+  std::vector<int> labels;
+  for (size_t i = 0; i < 30; ++i) {
+    const PairId match = MakePairId(static_cast<RowId>(i),
+                                    static_cast<RowId>(i));
+    features.push_back(world->extractor->Extract(match));
+    labels.push_back(1);
+    const PairId non_match = MakePairId(static_cast<RowId>(i),
+                                        static_cast<RowId>((i + 5) % 30));
+    features.push_back(world->extractor->Extract(non_match));
+    labels.push_back(0);
+  }
+  ForestParams params;
+  params.num_trees = 16;
+  const RandomForest forest = RandomForest::Train(features, labels, params);
+
+  const size_t nf = world->extractor->num_features();
+  std::vector<double> matrix(features.size() * nf);
+  for (size_t i = 0; i < features.size(); ++i) {
+    std::copy(features[i].begin(), features[i].end(),
+              matrix.begin() + i * nf);
+  }
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    std::vector<double> confidence(features.size(), -1.0);
+    std::vector<double> controversy(features.size(), -1.0);
+    forest.PredictBatch(matrix.data(), features.size(), nf, threads,
+                        confidence.data(), controversy.data());
+    for (size_t i = 0; i < features.size(); ++i) {
+      const ForestPrediction fused = forest.Predict(features[i]);
+      EXPECT_EQ(confidence[i], forest.Confidence(features[i]))
+          << "threads=" << threads << " sample=" << i;
+      EXPECT_EQ(confidence[i], fused.confidence)
+          << "threads=" << threads << " sample=" << i;
+      EXPECT_EQ(controversy[i], fused.controversy)
+          << "threads=" << threads << " sample=" << i;
+    }
+  }
+}
+
+TEST(PairFeatureExtractorBatchTest, ExtractBatchMatchesExtract) {
+  auto world = MakeWorld(25, 9);
+  std::vector<PairId> pairs;
+  for (size_t i = 0; i < 25; ++i) {
+    pairs.push_back(MakePairId(static_cast<RowId>(i), static_cast<RowId>(i)));
+    pairs.push_back(MakePairId(static_cast<RowId>(i),
+                               static_cast<RowId>((i + 3) % 25)));
+  }
+  const size_t nf = world->extractor->num_features();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    std::vector<double> matrix(pairs.size() * nf, -1.0);
+    world->extractor->ExtractBatch(pairs.data(), pairs.size(), threads,
+                                   matrix.data());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const FeatureVector want = world->extractor->Extract(pairs[i]);
+      const FeatureVector got(matrix.begin() + i * nf,
+                              matrix.begin() + (i + 1) * nf);
+      EXPECT_EQ(got, want) << "threads=" << threads << " pair=" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mc

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# CI driver: builds and tests the suite three ways — a plain Release build,
-# then AddressSanitizer and ThreadSanitizer builds (MC_SANITIZE, see the
-# top-level CMakeLists.txt). Each configuration uses its own build tree so
-# the sanitizer runtimes never mix.
+# CI driver: builds and tests the suite four ways — a plain Release build,
+# then AddressSanitizer, ThreadSanitizer, and UBSan builds (MC_SANITIZE,
+# see the top-level CMakeLists.txt). Each configuration uses its own build
+# tree so the sanitizer runtimes never mix.
 #
 # Usage: tools/ci.sh [build-root]   (default build root: ./build-ci)
 set -euo pipefail
@@ -29,11 +29,22 @@ run_config() {
   echo "==== [${name}] text-plane determinism ===="
   ctest --test-dir "${build_dir}" --output-on-failure \
         -R 'TokenizedTableDeterminismTest'
+  # Kernel bit-identity, once per dispatch level: MC_SIMD_LEVEL pins the
+  # startup dispatch, and the suite compares every usable level against the
+  # scalar merge reference (tests/simd_kernels_test.cc). Under ASan/UBSan
+  # this also bounds-checks the vector kernels' boundary loads.
+  echo "==== [${name}] simd kernel equivalence per level ===="
+  local level
+  for level in scalar sse4 avx2; do
+    MC_SIMD_LEVEL="${level}" ctest --test-dir "${build_dir}" \
+        --output-on-failure -R 'SimdKernels'
+  done
 }
 
 run_config release ""
 run_config asan address
 run_config tsan thread
+run_config ubsan undefined
 
 # Bench smoke: emit a perf record on a tiny workload and validate its schema
 # (plus the committed archive). Catches drift between the JSON writer, the
@@ -48,10 +59,28 @@ joint_json="${build_root}/release/bench_smoke_joint.json"
 text_json="${build_root}/release/bench_smoke_text.json"
 "${build_root}/release/bench/micro_text" \
     --json="${text_json}" --engine=ci-smoke --scale=0.1 --reps=1 --pairs=2000
+# micro_kernels: one smoke record per dispatch level, merged into a single
+# array so the validator's cross-level checksum-equality check runs on
+# fresh data (not just the committed archive).
+kernels_json="${build_root}/release/bench_smoke_kernels.json"
+for level in scalar sse4 avx2; do
+  "${build_root}/release/bench/micro_kernels" \
+      --json="${build_root}/release/bench_smoke_kernels_${level}.json" \
+      --engine=ci-smoke --simd-level="${level}" \
+      --spans=512 --pairs=20000 --verifier-rows=120 --reps=1
+done
+python3 - "${kernels_json}" \
+    "${build_root}/release/bench_smoke_kernels_"{scalar,sse4,avx2}.json \
+    <<'PY'
+import json, sys
+out, *parts = sys.argv[1:]
+json.dump([json.load(open(p)) for p in parts], open(out, "w"), indent=1)
+PY
 python3 "${repo_root}/tools/validate_bench_json.py" \
-    "${bench_json}" "${joint_json}" "${text_json}" \
+    "${bench_json}" "${joint_json}" "${text_json}" "${kernels_json}" \
     "${repo_root}/bench/BENCH_ssj.json" \
     "${repo_root}/bench/BENCH_joint.json" \
-    "${repo_root}/bench/BENCH_text.json"
+    "${repo_root}/bench/BENCH_text.json" \
+    "${repo_root}/bench/BENCH_kernels.json"
 
 echo "==== all configurations passed ===="

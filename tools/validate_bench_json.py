@@ -111,6 +111,38 @@ TEXT_CHECKSUM_KEYS = ["profile_checksum", "corpus_checksum",
                       "feature_checksum"]
 
 
+KERNELS_WORKLOAD_FIELDS = {
+    "simd_level": str,
+    "simd_level_requested": str,
+    "cpu_flags": str,
+    "cpu_cores": int,
+    "spans": int,
+    "kernel_pairs": int,
+    "verifier_rows": int,
+    "repetitions": int,
+}
+
+# micro_kernels stage timings, in emission order.
+KERNELS_STAGE_NAMES = ["overlap_kernel", "overlap_capped", "overlap_at_least",
+                       "score_many", "verifier_rerank_1t",
+                       "verifier_rerank_4t"]
+
+KERNELS_OUTPUT_FIELDS = {
+    "overlap_checksum": str,
+    "capped_checksum": str,
+    "at_least_checksum": str,
+    "score_checksum": str,
+    "verifier_checksum": str,
+    "verifier_identical_across_threads": bool,
+}
+
+KERNELS_CHECKSUM_KEYS = ["overlap_checksum", "capped_checksum",
+                         "at_least_checksum", "score_checksum",
+                         "verifier_checksum"]
+
+KERNELS_LEVELS = ("scalar", "sse4", "avx2")
+
+
 class ValidationError(Exception):
     pass
 
@@ -199,6 +231,39 @@ def validate_text_record(record, where):
                 f"{where}.output: equivalence check ran but failed")
 
 
+def validate_kernels_record(record, where):
+    """micro_kernels: per-level stage timings + output checksums."""
+    check_fields(record.get("workload"), KERNELS_WORKLOAD_FIELDS,
+                 f"{where}.workload")
+    workload = record["workload"]
+    require(workload["simd_level"] in KERNELS_LEVELS,
+            f"{where}.workload: simd_level must be one of {KERNELS_LEVELS}")
+    require(workload["simd_level_requested"] in KERNELS_LEVELS + ("auto",),
+            f"{where}.workload: simd_level_requested must be "
+            f"auto|{'|'.join(KERNELS_LEVELS)}")
+    require(workload["cpu_cores"] >= 1,
+            f"{where}.workload: cpu_cores must be >= 1")
+    results = record.get("results")
+    require(isinstance(results, list), f"{where}: 'results' must be an array")
+    require([r.get("name") for r in results if isinstance(r, dict)]
+            == KERNELS_STAGE_NAMES,
+            f"{where}: results must be the stages {KERNELS_STAGE_NAMES}")
+    for i, result in enumerate(results):
+        where_r = f"{where}.results[{i}]"
+        check_fields(result, JOINT_STAGE_FIELDS, where_r)
+        require(result["best_seconds"] > 0.0,
+                f"{where_r}: best_seconds must be positive")
+        require(result["mean_seconds"] >= result["best_seconds"],
+                f"{where_r}: mean_seconds < best_seconds")
+    output = record.get("output")
+    check_fields(output, KERNELS_OUTPUT_FIELDS, f"{where}.output")
+    for key in KERNELS_CHECKSUM_KEYS:
+        require(re.fullmatch(r"[0-9a-f]{8}", output[key]),
+                f"{where}.output: {key} is not 8 lowercase hex digits")
+    require(output["verifier_identical_across_threads"],
+            f"{where}.output: verifier re-rank differed across thread counts")
+
+
 def validate_record(record, where):
     require(isinstance(record, dict), f"{where}: expected an object")
     require(record.get("schema_version") == 1,
@@ -212,6 +277,9 @@ def validate_record(record, where):
         return
     if record["benchmark"] == "micro_text_plane":
         validate_text_record(record, where)
+        return
+    if record["benchmark"] == "micro_kernels":
+        validate_kernels_record(record, where)
         return
     check_fields(record.get("workload"), WORKLOAD_FIELDS, f"{where}.workload")
 
@@ -251,6 +319,25 @@ def validate_file(path):
         require(len(values) <= 1,
                 f"{path}: micro_text_plane records disagree on {key} "
                 f"({sorted(values)})")
+    # Cross-level bit-identity: every micro_kernels record on the same
+    # workload must produce the same checksums no matter which SIMD level
+    # ran — the dispatch contract of simd/kernels.h. Group by workload
+    # (minus the level fields) so differently-sized runs don't collide.
+    kernels_by_workload = {}
+    for r in records:
+        if not (isinstance(r, dict) and r.get("benchmark") == "micro_kernels"):
+            continue
+        key = tuple(sorted((k, v) for k, v in r["workload"].items()
+                           if k not in ("simd_level", "simd_level_requested",
+                                        "cpu_flags", "cpu_cores")))
+        kernels_by_workload.setdefault(key, []).append(r)
+    for group in kernels_by_workload.values():
+        for key in KERNELS_CHECKSUM_KEYS:
+            values = {r["output"][key] for r in group}
+            levels = sorted(r["workload"]["simd_level"] for r in group)
+            require(len(values) <= 1,
+                    f"{path}: micro_kernels levels {levels} disagree on "
+                    f"{key} ({sorted(values)})")
     return len(records)
 
 
