@@ -1,0 +1,303 @@
+// Microbenchmark for the session service's plane sharing: N concurrent
+// debugging sessions on the same table pair through a SessionManager
+// (tokenize once, share the corpus) versus N isolated DebugSession::Create
+// calls at the same concurrency (each paying its own build).
+//
+// `--json=PATH` emits a machine-readable record (benchmark
+// "micro_service"); bench/BENCH_service.json archives one run of this
+// binary on the default workload. The record carries the sharing wins
+// (sessions/sec, speedup, plane-cache hit rate, p99 admission wait) and a
+// checksum proving the shared lists are bit-identical to the isolated ones
+// — sharing is a cost optimization, never a semantic one.
+//
+// Knobs: --engine=LABEL, --dataset=amazon_google|fodors_zagats, --scale=F
+// (default 0.05), --sessions=N (default 24), --concurrency=N (default 4),
+// --reps=N (default 3), --k=N (default 10), --threads=N (per-session
+// joint workers, default 2).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/match_catcher.h"
+#include "datagen/generator.h"
+#include "service/session_manager.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace mc {
+namespace {
+
+struct BenchConfig {
+  std::string path;
+  std::string engine = "unspecified";
+  // Long description attributes make tokenization + corpus build the
+  // dominant cost — the regime plane sharing targets.
+  std::string dataset = "amazon_google";
+  double scale = 0.05;
+  size_t sessions = 24;
+  size_t concurrency = 4;
+  size_t reps = 3;
+  size_t k = 10;
+  size_t threads = 2;
+};
+
+struct StageTiming {
+  double best = 0.0;
+  double total = 0.0;
+  void Record(size_t rep, double seconds) {
+    total += seconds;
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  double mean(size_t reps) const {
+    return total / static_cast<double>(reps);
+  }
+};
+
+uint32_t ListsChecksum(const std::vector<std::vector<ScoredPair>>& lists) {
+  uint32_t crc = 0;
+  for (const std::vector<ScoredPair>& list : lists) {
+    for (const ScoredPair& entry : list) {
+      crc = Crc32(&entry.pair, sizeof(entry.pair), crc);
+      crc = Crc32(&entry.score, sizeof(entry.score), crc);
+    }
+  }
+  return crc;
+}
+
+MatchCatcherOptions SessionOptions(const BenchConfig& config) {
+  MatchCatcherOptions options;
+  options.joint.k = config.k;
+  options.joint.num_threads = config.threads;
+  return options;
+}
+
+int RunJsonBench(const BenchConfig& config) {
+  datagen::GeneratedDataset dataset =
+      config.dataset == "fodors_zagats"
+          ? datagen::GenerateFodorsZagats(
+                datagen::ScaleDims(datagen::kDimsFodorsZagats, config.scale))
+          : datagen::GenerateAmazonGoogle(
+                datagen::ScaleDims(datagen::kDimsAmazonGoogle, config.scale));
+
+  StageTiming isolated_stage, shared_stage;
+  uint32_t isolated_checksum = 0, shared_checksum = 0;
+  bool identical = true;
+  double admission_p99_millis = 0.0;
+  size_t plane_hits = 0, plane_misses = 0, corpus_hits = 0;
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    // Both arms run the same steady-state shape: one leader session first
+    // (in the shared arm it warms the plane + corpus caches), then the
+    // remaining N-1 as a concurrent burst.
+    //
+    // Isolated: N independent DebugSession::Create calls at the same
+    // concurrency the manager would run them — every session tokenizes and
+    // builds its own corpus from scratch.
+    {
+      std::vector<uint32_t> checksums(config.sessions, 0);
+      ThreadPool pool(config.concurrency, "mc-iso");
+      Stopwatch watch;
+      auto run_isolated = [&](size_t s) {
+        Result<DebugSession> session = DebugSession::Create(
+            dataset.table_a, dataset.table_b, dataset.gold,
+            SessionOptions(config));
+        MC_CHECK(session.ok()) << session.status().ToString();
+        checksums[s] = ListsChecksum(session->TopKLists());
+      };
+      run_isolated(0);
+      for (size_t s = 1; s < config.sessions; ++s) {
+        pool.Submit([&, s] { run_isolated(s); });
+      }
+      Status status = pool.Wait();
+      MC_CHECK(status.ok()) << status.ToString();
+      isolated_stage.Record(rep, watch.ElapsedSeconds());
+      isolated_checksum = checksums[0];
+      for (uint32_t checksum : checksums) {
+        identical = identical && checksum == isolated_checksum;
+      }
+    }
+
+    // Shared: the same N sessions through one SessionManager — the first
+    // builds the plane + corpus, the rest reuse them.
+    {
+      ServiceLimits limits;
+      limits.max_concurrent_sessions = config.concurrency;
+      limits.max_queued_sessions = config.sessions;
+      SessionManager manager(limits);
+      Status registered = manager.RegisterTablePair(
+          "bench", dataset.table_a, dataset.table_b, dataset.gold);
+      MC_CHECK(registered.ok()) << registered.ToString();
+      SessionRequest request;
+      request.pair_key = "bench";
+      request.options = SessionOptions(config);
+
+      Stopwatch watch;
+      std::vector<uint64_t> ids;
+      ids.reserve(config.sessions);
+      // Leader session runs alone and publishes the shared plane + corpus;
+      // the burst behind it rides the caches.
+      Result<uint64_t> leader = manager.Submit(request);
+      MC_CHECK(leader.ok()) << leader.status().ToString();
+      ids.push_back(*leader);
+      Result<SessionOutcome> leader_outcome = manager.Wait(*leader);
+      MC_CHECK(leader_outcome.ok() &&
+               leader_outcome->state == SessionState::kComplete)
+          << (leader_outcome.ok() ? leader_outcome->status.ToString()
+                                  : leader_outcome.status().ToString());
+      for (size_t s = 1; s < config.sessions; ++s) {
+        Result<uint64_t> id = manager.Submit(request);
+        MC_CHECK(id.ok()) << id.status().ToString();
+        ids.push_back(*id);
+      }
+      std::vector<double> waits;
+      for (uint64_t id : ids) {
+        Result<SessionOutcome> outcome = manager.Wait(id);
+        MC_CHECK(outcome.ok()) << outcome.status().ToString();
+        MC_CHECK(outcome->state == SessionState::kComplete)
+            << SessionStateName(outcome->state) << ": "
+            << outcome->status.ToString();
+        shared_checksum = ListsChecksum(outcome->lists);
+        identical = identical && shared_checksum == isolated_checksum;
+        waits.push_back(outcome->admission_wait_seconds);
+      }
+      shared_stage.Record(rep, watch.ElapsedSeconds());
+
+      std::sort(waits.begin(), waits.end());
+      const size_t p99_index =
+          std::min(waits.size() - 1,
+                   static_cast<size_t>(0.99 * static_cast<double>(
+                                                  waits.size())));
+      admission_p99_millis = waits[p99_index] * 1000.0;
+      const ServiceStats stats = manager.stats();
+      plane_hits = stats.plane_cache_hits;
+      plane_misses = stats.plane_cache_misses;
+      corpus_hits = stats.corpus_cache_hits;
+      manager.Shutdown();
+    }
+  }
+
+  const double sessions = static_cast<double>(config.sessions);
+  const double shared_speedup = isolated_stage.best / shared_stage.best;
+  const double hit_rate =
+      plane_hits + plane_misses == 0
+          ? 0.0
+          : static_cast<double>(plane_hits) /
+                static_cast<double>(plane_hits + plane_misses);
+
+  std::ofstream out(config.path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", config.path.c_str());
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.KV("schema_version", uint64_t{1});
+  json.KV("benchmark", "micro_service");
+  json.KV("engine", config.engine);
+  json.Key("workload");
+  json.BeginObject();
+  json.KV("dataset", config.dataset);
+  json.KV("scale", config.scale);
+  json.KV("rows_a", uint64_t{dataset.table_a.num_rows()});
+  json.KV("rows_b", uint64_t{dataset.table_b.num_rows()});
+  json.KV("sessions", uint64_t{config.sessions});
+  json.KV("concurrency", uint64_t{config.concurrency});
+  json.KV("k", uint64_t{config.k});
+  json.KV("threads", uint64_t{config.threads});
+  json.KV("repetitions", uint64_t{config.reps});
+  json.EndObject();
+  json.Key("results");
+  json.BeginArray();
+  auto stage = [&](const char* name, const StageTiming& timing) {
+    json.BeginObject();
+    json.KV("name", name);
+    json.KV("best_seconds", timing.best);
+    json.KV("mean_seconds", timing.mean(config.reps));
+    json.KV("sessions_per_sec", sessions / timing.best);
+    json.EndObject();
+  };
+  stage("isolated", isolated_stage);
+  stage("shared", shared_stage);
+  json.EndArray();
+  json.Key("output");
+  json.BeginObject();
+  json.KV("shared_speedup", shared_speedup);
+  json.KV("admission_p99_millis", admission_p99_millis);
+  json.KV("plane_cache_hits", uint64_t{plane_hits});
+  json.KV("plane_cache_misses", uint64_t{plane_misses});
+  json.KV("plane_hit_rate", hit_rate);
+  json.KV("corpus_cache_hits", uint64_t{corpus_hits});
+  json.KV("identical_to_isolated", identical);
+  char checksum_hex[16];
+  std::snprintf(checksum_hex, sizeof(checksum_hex), "%08x", shared_checksum);
+  json.KV("topk_checksum", checksum_hex);
+  json.EndObject();
+  json.EndObject();
+  out << "\n";
+  std::printf(
+      "wrote %s (isolated %.3fs, shared %.3fs, speedup %.2fx, plane hit "
+      "rate %.0f%%)\n",
+      config.path.c_str(), isolated_stage.best, shared_stage.best,
+      shared_speedup, hit_rate * 100.0);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "SHARING VIOLATION: shared-session lists differ from "
+                 "isolated sessions\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mc
+
+int main(int argc, char** argv) {
+  mc::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--json=")) {
+      config.path = v;
+    } else if (const char* v = value_of("--engine=")) {
+      config.engine = v;
+    } else if (const char* v = value_of("--dataset=")) {
+      config.dataset = v;
+    } else if (const char* v = value_of("--scale=")) {
+      config.scale = std::atof(v);
+    } else if (const char* v = value_of("--sessions=")) {
+      config.sessions = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--concurrency=")) {
+      config.concurrency = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--reps=")) {
+      config.reps = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--k=")) {
+      config.k = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--threads=")) {
+      config.threads = static_cast<size_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (config.path.empty()) {
+    std::fprintf(stderr,
+                 "usage: micro_service --json=PATH [--engine=LABEL] "
+                 "[--dataset=NAME] [--scale=F] [--sessions=N] "
+                 "[--concurrency=N] [--reps=N] [--k=N] [--threads=N]\n");
+    return 2;
+  }
+  if (config.sessions == 0 || config.concurrency == 0 || config.reps == 0) {
+    std::fprintf(stderr, "sessions, concurrency, reps must be >= 1\n");
+    return 2;
+  }
+  return mc::RunJsonBench(config);
+}

@@ -33,6 +33,7 @@ Result<DebugSession> DebugSession::Create(const Table& table_a,
     TextPlaneBuildOptions plane_options;
     plane_options.num_threads = options.joint.num_threads;
     plane_options.run_context = options.run_context;
+    plane_options.memory_budget = options.memory_budget;
     TokenizedTable::BuildAndAttach(*session.table_a_, *session.table_b_,
                                    plane_options);
     session.text_plane_seconds_ = plane_watch.ElapsedSeconds();
@@ -59,16 +60,34 @@ Result<DebugSession> DebugSession::Create(const Table& table_a,
     return Status::DeadlineExceeded(
         "session creation cancelled before the joint top-k phase");
   }
-  CorpusBuildOptions build_options;
-  build_options.num_threads = options.joint.num_threads;
-  build_options.run_context = options.run_context;
-  SsjCorpus corpus = SsjCorpus::Build(*session.table_a_, *session.table_b_,
-                                      session.attributes_.columns,
-                                      build_options);
+  // Corpus sharing: when the service supplies a pre-built corpus for
+  // exactly the columns this session selected, reuse it — MakeConfigView is
+  // const and thread-safe, so N concurrent sessions on one table pair pay
+  // one build. Anything else (no shared corpus, or the cached columns
+  // guessed wrong) builds fresh and, when a sink is registered, publishes
+  // the result for the next session.
+  std::shared_ptr<const SsjCorpus> corpus;
+  if (options.shared_corpus != nullptr &&
+      options.shared_corpus_columns == session.attributes_.columns) {
+    corpus = options.shared_corpus;
+    session.used_shared_corpus_ = true;
+  } else {
+    CorpusBuildOptions build_options;
+    build_options.num_threads = options.joint.num_threads;
+    build_options.run_context = options.run_context;
+    build_options.memory_budget = options.memory_budget;
+    auto built = std::make_shared<SsjCorpus>(
+        SsjCorpus::Build(*session.table_a_, *session.table_b_,
+                         session.attributes_.columns, build_options));
+    if (options.corpus_sink != nullptr && !built->truncated()) {
+      options.corpus_sink(built, session.attributes_.columns);
+    }
+    corpus = std::move(built);
+  }
   JointOptions joint_options = options.joint;
   joint_options.exclude = &blocker_output;
   joint_options.run_context = options.run_context;
-  session.joint_ = RunJointTopKJoins(corpus, session.tree_, joint_options);
+  session.joint_ = RunJointTopKJoins(*corpus, session.tree_, joint_options);
   if (!session.joint_.task_error.ok()) return session.joint_.task_error;
 
   session.extractor_ = std::make_unique<PairFeatureExtractor>(

@@ -1,6 +1,7 @@
 #ifndef MATCHCATCHER_CORE_MATCH_CATCHER_H_
 #define MATCHCATCHER_CORE_MATCH_CATCHER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,8 +11,10 @@
 #include "explain/summary.h"
 #include "joint/joint_executor.h"
 #include "learn/features.h"
+#include "ssj/corpus.h"
 #include "table/table.h"
 #include "table/tokenized_table.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 #include "verifier/match_verifier.h"
 #include "verifier/user_oracle.h"
@@ -43,6 +46,27 @@ struct MatchCatcherOptions {
   /// expiry during the joint top-k phase still yields a session whose
   /// best-so-far lists are flagged via truncated() — see docs/robustness.md.
   RunContext run_context;
+
+  // --- Service integration (src/service/session_manager.h) --------------
+  /// Pre-built corpus to reuse instead of building one. Used only when
+  /// `shared_corpus_columns` matches the promising attribute columns this
+  /// session selects (a mismatch silently falls back to a fresh build —
+  /// column selection is data-dependent, so the service's cached corpus is
+  /// a guess until the first session on a pair confirms it). The corpus
+  /// must have been built over these exact tables; the session keeps a
+  /// reference for the joint phase only.
+  std::shared_ptr<const SsjCorpus> shared_corpus;
+  std::vector<size_t> shared_corpus_columns;
+  /// Called with each freshly built non-truncated corpus and the columns it
+  /// covers — the service's hook for populating its corpus cache so later
+  /// sessions on the same table pair skip the build entirely.
+  std::function<void(std::shared_ptr<const SsjCorpus>,
+                     const std::vector<size_t>&)>
+      corpus_sink;
+  /// Service-wide memory ceiling, threaded into the text-plane and corpus
+  /// builds (see CorpusBuildOptions::memory_budget for the degradation
+  /// contract). Must outlive the session.
+  MemoryBudget* memory_budget = nullptr;
 };
 
 /// A MatchCatcher debugging session: given tables A, B and the output C of
@@ -89,6 +113,10 @@ class DebugSession {
   /// TextPlane::kLegacy or when the caller supplied an attached plane).
   double text_plane_seconds() const { return text_plane_seconds_; }
 
+  /// True when the joint phase ran over MatchCatcherOptions::shared_corpus
+  /// instead of a freshly built one (service plane-sharing diagnostics).
+  bool used_shared_corpus() const { return used_shared_corpus_; }
+
   /// Fresh Match Verifier over this session's top-k lists. The verifier
   /// borrows the session's feature extractor; the session must outlive it.
   MatchVerifier MakeVerifier() const;
@@ -122,6 +150,7 @@ class DebugSession {
   std::unique_ptr<PairFeatureExtractor> extractor_;
   double config_seconds_ = 0.0;
   double text_plane_seconds_ = 0.0;
+  bool used_shared_corpus_ = false;
 };
 
 }  // namespace mc

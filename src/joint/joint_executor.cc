@@ -52,13 +52,19 @@ struct JointContext {
   }
 
   TopKJoinOptions JoinOptions() const {
+    return JoinOptions(options.run_context);
+  }
+
+  /// Variant running the join under a derived context (the two-level
+  /// scheduler gives each config a child of the session context).
+  TopKJoinOptions JoinOptions(const RunContext& run_context) const {
     TopKJoinOptions join_options;
     join_options.k = options.k;
     join_options.measure = options.measure;
     join_options.q = q;
     join_options.exclude = options.exclude;
     join_options.merge_poll_period = options.merge_poll_period;
-    join_options.run_context = options.run_context;
+    join_options.run_context = run_context;
     return join_options;
   }
 };
@@ -164,7 +170,7 @@ void RunConfigPerTask(JointContext& ctx) {
       }
     }
   } else {
-    ThreadPool pool(ctx.num_threads);
+    ThreadPool pool(ctx.num_threads, "mc-joint");
     for (size_t i = 0; i < ctx.tree.size(); ++i) {
       pool.Submit([&run_node, i] { run_node(i); }, record_task_error);
     }
@@ -212,7 +218,7 @@ class TwoLevelExecutor {
   }
 
   void Run() {
-    pool_ = std::make_unique<ThreadPool>(ctx_.num_threads);
+    pool_ = std::make_unique<ThreadPool>(ctx_.num_threads, "mc-joint");
     for (size_t i = 0; i < ctx_.tree.size(); ++i) {
       if (ctx_.tree.nodes[i].parent < 0) {
         pool_->Submit([this, i] { StartNode(i); });
@@ -236,6 +242,10 @@ class TwoLevelExecutor {
     std::vector<TopKJoinStats> shard_stats;
     std::atomic<size_t> shards_remaining{0};
     std::atomic<bool> failed{false};
+    // Child of the session context (RunContext::WithParent): the session's
+    // cancel/deadline still stops every shard, while a failed shard cancels
+    // only its sibling shards — other configs keep running.
+    RunContext context;
     Stopwatch watch;
   };
 
@@ -302,6 +312,7 @@ class TwoLevelExecutor {
         out.seeded_from_parent = true;
       }
 
+      node.context = RunContext::WithParent(ctx_.options.run_context);
       node.shard_lists.reserve(shard_count_);
       for (size_t s = 0; s < shard_count_; ++s) {
         node.shard_lists.emplace_back(ctx_.options.k);
@@ -335,18 +346,23 @@ class TwoLevelExecutor {
       PairScorer* scorer =
           node.scorers.empty() ? nullptr : node.scorers[s].get();
       node.shard_lists[s] = RunTopKJoinShard(
-          node.view, ctx_.JoinOptions(), s, node.shard_lists.size(), scorer,
+          node.view, ctx_.JoinOptions(node.context), s,
+          node.shard_lists.size(), scorer,
           node.use_seed ? &node.seed : nullptr, &node.shard_stats[s]);
     } catch (const std::exception& e) {
       ctx_.RecordTaskError(
           Status::Internal(std::string("config task threw: ") + e.what()));
       node.failed.store(true, std::memory_order_relaxed);
       node.shard_stats[s].truncated = true;
+      // The config is already lost; stop its sibling shards at their next
+      // poll instead of letting them run the join to completion.
+      node.context.Cancel();
     } catch (...) {
       ctx_.RecordTaskError(
           Status::Internal("config task threw a non-std exception"));
       node.failed.store(true, std::memory_order_relaxed);
       node.shard_stats[s].truncated = true;
+      node.context.Cancel();
     }
     // The last shard to finish merges and cascades (acq_rel: it observes
     // every other shard's list writes).

@@ -136,7 +136,7 @@ void PairFeatureExtractor::ExtractBatch(const PairId* pairs, size_t count,
     ExtractBatch(pairs, count, static_cast<ThreadPool*>(nullptr), matrix);
     return;
   }
-  ThreadPool pool(num_threads);
+  ThreadPool pool(num_threads, "mc-feat");
   ExtractBatch(pairs, count, &pool, matrix);
 }
 

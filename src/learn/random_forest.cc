@@ -58,7 +58,7 @@ void RandomForest::PredictBatch(const double* matrix, size_t num_samples,
                  static_cast<ThreadPool*>(nullptr), confidence, controversy);
     return;
   }
-  ThreadPool pool(num_threads);
+  ThreadPool pool(num_threads, "mc-forest");
   PredictBatch(matrix, num_samples, num_features, &pool, confidence,
                controversy);
 }

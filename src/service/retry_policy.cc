@@ -1,0 +1,74 @@
+#include "service/retry_policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/check.h"
+
+namespace mc {
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIoError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Retrier::Retrier(const RetryPolicy& policy, uint64_t seed)
+    : policy_(policy), rng_(seed) {
+  MC_CHECK_GE(policy_.max_attempts, 1u);
+  MC_CHECK_GE(policy_.jitter, 0.0);
+  MC_CHECK_GE(policy_.multiplier, 1.0);
+}
+
+int64_t Retrier::BackoffMillis(size_t retry) {
+  MC_CHECK_GE(retry, 1u);
+  double backoff = static_cast<double>(policy_.initial_backoff_millis);
+  for (size_t i = 1; i < retry; ++i) {
+    backoff *= policy_.multiplier;
+    if (backoff >= static_cast<double>(policy_.max_backoff_millis)) break;
+  }
+  backoff = std::min(backoff, static_cast<double>(policy_.max_backoff_millis));
+  if (policy_.jitter > 0.0) {
+    const double spread = (rng_.NextDouble() * 2.0 - 1.0) * policy_.jitter;
+    backoff *= 1.0 + spread;
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(backoff));
+}
+
+Status Retrier::Run(const std::function<Status()>& op,
+                    const RunContext& run_context, bool idempotent) {
+  MC_CHECK(op != nullptr);
+  last_attempts_ = 0;
+  Status last = Status::Ok();
+  for (size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (run_context.Cancelled()) {
+      // Cancelled before this attempt: report the last real failure, or the
+      // cancellation itself when the first attempt never ran.
+      if (last_attempts_ == 0) {
+        return Status::DeadlineExceeded("retry cancelled before first attempt");
+      }
+      return last;
+    }
+    ++last_attempts_;
+    last = op();
+    if (last.ok() || !IsRetryableStatus(last) || !idempotent) return last;
+    if (attempt == policy_.max_attempts) break;
+
+    // Jittered backoff, polled so a cancel interrupts the sleep promptly.
+    int64_t remaining = BackoffMillis(attempt);
+    while (remaining > 0 && !run_context.Cancelled()) {
+      const int64_t slice = std::min<int64_t>(remaining, 10);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      remaining -= slice;
+    }
+  }
+  return last;
+}
+
+}  // namespace mc

@@ -1,0 +1,79 @@
+#ifndef MATCHCATCHER_SERVICE_RETRY_POLICY_H_
+#define MATCHCATCHER_SERVICE_RETRY_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/random.h"
+#include "util/run_context.h"
+#include "util/status.h"
+
+namespace mc {
+
+/// Capped exponential backoff with deterministic jitter. The service wraps
+/// its transient-failure sites — checkpoint IO, session (re)build — in a
+/// Retrier configured from this policy; every knob has the conventional
+/// meaning, every draw comes from a seeded Rng so a test's retry schedule
+/// is reproducible.
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retrying.
+  size_t max_attempts = 3;
+  /// Backoff before the first retry.
+  int64_t initial_backoff_millis = 10;
+  /// Ceiling the exponential growth saturates at.
+  int64_t max_backoff_millis = 2000;
+  /// Growth factor between consecutive backoffs.
+  double multiplier = 2.0;
+  /// Fraction of each backoff randomized: the sleep is drawn uniformly from
+  /// [backoff * (1 - jitter), backoff * (1 + jitter)]. 0 = fully
+  /// deterministic sleeps.
+  double jitter = 0.5;
+};
+
+/// True for the transient codes worth retrying: kUnavailable (by
+/// definition), kResourceExhausted (capacity frees up), kIoError (the
+/// filesystem flake / torn write that the checkpoint layer reports).
+/// Everything else — invalid argument, not found, internal — repeats
+/// identically on retry and fails fast.
+bool IsRetryableStatus(const Status& status);
+
+/// Executes an operation under a RetryPolicy. Not thread-safe (owns the
+/// jitter Rng); make one per call site or guard externally.
+class Retrier {
+ public:
+  Retrier(const RetryPolicy& policy, uint64_t seed);
+
+  /// Runs `op` until it returns OK, a non-retryable error, the attempt
+  /// budget is spent, or `run_context` cancels. Returns the last status.
+  ///
+  /// `idempotent` is the caller's promise that re-running `op` after a
+  /// partial failure is safe. Non-idempotent operations never retry — the
+  /// first failure is final — because a "failed" attempt may still have
+  /// applied its effect (the classic double-apply hazard). The service's
+  /// retry sites are all idempotent by construction: checkpoint saves go
+  /// through .tmp+rename (re-running overwrites the same artifact) and
+  /// session builds are pure until their single publish step.
+  ///
+  /// Backoff sleeps poll `run_context` (~10 ms cadence) so cancellation
+  /// interrupts a long backoff promptly; a cancelled wait returns the last
+  /// operation status, never invents one.
+  Status Run(const std::function<Status()>& op,
+             const RunContext& run_context = {}, bool idempotent = true);
+
+  /// Attempts consumed by the last Run() (for tests/stats).
+  size_t last_attempts() const { return last_attempts_; }
+
+  /// The jittered backoff before retry number `retry` (1-based). Draws from
+  /// the Rng — calling it advances the schedule. Exposed for tests.
+  int64_t BackoffMillis(size_t retry);
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  size_t last_attempts_ = 0;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_SERVICE_RETRY_POLICY_H_

@@ -1,0 +1,619 @@
+#include "service/session_manager.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "core/session_io.h"
+#include "table/tokenized_table.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/thread_name.h"
+
+namespace mc {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string CheckpointPath(const std::string& dir, uint64_t id) {
+  return dir + "/session-" + std::to_string(id) + ".mc";
+}
+
+}  // namespace
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued:
+      return "Queued";
+    case SessionState::kBuilding:
+      return "Building";
+    case SessionState::kComplete:
+      return "Complete";
+    case SessionState::kTruncated:
+      return "Truncated";
+    case SessionState::kFailed:
+      return "Failed";
+    case SessionState::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+bool IsTerminalState(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued:
+    case SessionState::kBuilding:
+      return false;
+    case SessionState::kComplete:
+    case SessionState::kTruncated:
+    case SessionState::kFailed:
+    case SessionState::kCancelled:
+      return true;
+  }
+  return true;
+}
+
+int64_t ParseRetryAfterMillis(const std::string& message) {
+  const std::string tag = "retry-after-ms=";
+  const size_t at = message.find(tag);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(message.c_str() + at + tag.size(), nullptr, 10);
+}
+
+SessionManager::SessionManager(const ServiceLimits& limits)
+    : limits_(limits),
+      budget_(limits.memory_limit_bytes),
+      retry_seeds_(limits.seed),
+      root_context_(RunContext::Cancellable()) {
+  MC_CHECK_GE(limits_.max_concurrent_sessions, 1u);
+  if (!limits_.checkpoint_dir.empty()) {
+    // Best effort: a missing directory would otherwise fail every save as
+    // a (retried) kIoError. An uncreatable one still degrades that way —
+    // checkpoint failures never fail sessions.
+    std::error_code ignored;
+    std::filesystem::create_directories(limits_.checkpoint_dir, ignored);
+  }
+  const size_t workers = limits_.num_worker_threads != 0
+                             ? limits_.num_worker_threads
+                             : limits_.max_concurrent_sessions;
+  pool_ = std::make_unique<ThreadPool>(workers, "mcserve");
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+void SessionManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  // Every session context is a child of the root: one cancel stops the
+  // whole fleet at its next poll. Builds degrade to truncated planes and
+  // best-so-far joins — the drain below is bounded by poll latency, not by
+  // remaining work.
+  root_context_.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  // Drains queued and running sessions; each ends terminal (RunSession
+  // finishes on every path, including the already-cancelled fast path).
+  pool_.reset();
+}
+
+Status SessionManager::RegisterTablePair(const std::string& key,
+                                         const Table& table_a,
+                                         const Table& table_b,
+                                         const CandidateSet& blocker_output) {
+  if (key.empty()) {
+    return Status::InvalidArgument("table pair key must be non-empty");
+  }
+  auto entry = std::make_shared<PairEntry>();
+  entry->table_a = table_a;
+  entry->table_b = table_b;
+  entry->blocker_output = blocker_output;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutting_down_) {
+    return Status::Unavailable("session manager is shutting down");
+  }
+  pairs_[key] = std::move(entry);  // Replaces (and drops the old cache).
+  return Status::Ok();
+}
+
+uint64_t SessionManager::EstimateCost(
+    const PairEntry& entry, const MatchCatcherOptions& options) const {
+  const uint64_t rows = static_cast<uint64_t>(entry.table_a.num_rows()) +
+                        static_cast<uint64_t>(entry.table_b.num_rows());
+  // The config tree of §3.2 holds at most a*(a+1)/2 + 1 nodes for a
+  // promising attributes; max_attributes caps a before any data is seen,
+  // which makes this a pre-admission upper bound.
+  const uint64_t attrs =
+      std::min<uint64_t>(options.config.max_attributes, 32u);
+  const uint64_t configs = attrs * (attrs + 1) / 2 + 1;
+  return rows * configs;
+}
+
+Result<uint64_t> SessionManager::Submit(const SessionRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+  if (shutting_down_) {
+    ++stats_.rejected;
+    return Status::Unavailable("session manager is shutting down");
+  }
+  if (MC_FAULT_POINT("service/admit") != FaultKind::kNone) {
+    ++stats_.rejected;
+    return Status::Unavailable("injected fault: service/admit");
+  }
+  auto it = pairs_.find(request.pair_key);
+  if (it == pairs_.end()) {
+    ++stats_.rejected;
+    return Status::NotFound("unknown table pair: " + request.pair_key);
+  }
+  const uint64_t cost = EstimateCost(*it->second, request.options);
+  if (limits_.max_session_cost != 0 && cost > limits_.max_session_cost) {
+    // Permanently over the ceiling — a retry cannot change the estimate, so
+    // this is kInvalidArgument, not kResourceExhausted.
+    ++stats_.rejected;
+    return Status::InvalidArgument(
+        "estimated session cost " + std::to_string(cost) +
+        " exceeds max_session_cost " +
+        std::to_string(limits_.max_session_cost));
+  }
+  const size_t capacity =
+      limits_.max_concurrent_sessions + limits_.max_queued_sessions;
+  if (live_count_ >= capacity) {
+    ++stats_.rejected;
+    // Retry-after: the backlog beyond one free slot drains at
+    // max_concurrent sessions per observed average duration.
+    const double avg =
+        avg_session_seconds_ > 0.0 ? avg_session_seconds_ : 0.05;
+    const uint64_t backlog = live_count_ - capacity + 1;
+    const int64_t hint_millis = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               1000.0 * avg * static_cast<double>(backlog) /
+               static_cast<double>(limits_.max_concurrent_sessions)));
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(live_count_) +
+        " live sessions, capacity " + std::to_string(capacity) +
+        "); retry-after-ms=" + std::to_string(hint_millis));
+  }
+
+  const uint64_t id = next_id_++;
+  SessionRecord record;
+  record.pair_key = request.pair_key;
+  record.request = request;
+  const int64_t deadline_millis = request.deadline_millis >= 0
+                                      ? request.deadline_millis
+                                      : limits_.default_deadline_millis;
+  record.context = RunContext::WithParent(root_context_, deadline_millis);
+  record.submit_time = Clock::now();
+  if (deadline_millis >= 0) {
+    record.has_deadline = true;
+    record.deadline_time =
+        record.submit_time + std::chrono::milliseconds(deadline_millis);
+  }
+  record.outcome.id = id;
+  sessions_.emplace(id, std::move(record));
+  ++live_count_;
+  ++stats_.admitted;
+  pool_->Submit([this, id] { RunSession(id); });
+  return id;
+}
+
+void SessionManager::RunSession(uint64_t id) {
+  // Claim the record and snapshot what the build needs.
+  SessionRequest request;
+  RunContext context;
+  std::shared_ptr<PairEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || IsTerminalState(it->second.state)) return;
+    SessionRecord& record = it->second;
+    record.state = SessionState::kBuilding;
+    record.outcome.admission_wait_seconds = SecondsSince(record.submit_time);
+    request = record.request;
+    context = record.context;
+    auto pair_it = pairs_.find(record.pair_key);
+    if (pair_it != pairs_.end()) {
+      entry = pair_it->second;
+      entry->last_used_tick = ++lru_tick_;
+    }
+  }
+  if (entry == nullptr) {
+    SessionOutcome outcome;
+    outcome.id = id;
+    outcome.state = SessionState::kFailed;
+    outcome.status =
+        Status::NotFound("table pair vanished: " + request.pair_key);
+    FinishSession(id, std::move(outcome));
+    return;
+  }
+  if (context.Cancelled()) {
+    // Cancelled (or shut down, or past deadline) while queued: end without
+    // paying for a build.
+    SessionOutcome outcome;
+    outcome.id = id;
+    outcome.state = SessionState::kCancelled;
+    outcome.status =
+        Status::DeadlineExceeded("session cancelled while queued");
+    FinishSession(id, std::move(outcome));
+    return;
+  }
+
+  // Pair setup, single-flight under the pair's lock: the first session on
+  // the pair tokenizes and attaches the shared plane; everyone snapshots
+  // table copies (which inherit the attached plane) and the cached corpus.
+  Table table_a;
+  Table table_b;
+  CandidateSet blocker_output;
+  std::shared_ptr<const SsjCorpus> shared_corpus;
+  std::vector<size_t> shared_corpus_columns;
+  bool built_plane = false;
+  {
+    std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
+    if (request.options.text_plane == TextPlane::kTokenized &&
+        AttachedTextPlane(entry->table_a) == nullptr &&
+        !context.Cancelled()) {
+      // Built under the root context, not the session's: the plane outlives
+      // this session, so one session's deadline must not truncate it. A
+      // truncated build (shutdown mid-flight, budget refusal) is simply not
+      // attached; this and later sessions fall back to the legacy path.
+      TextPlaneBuildOptions plane_options;
+      plane_options.num_threads = request.options.joint.num_threads;
+      plane_options.run_context = root_context_;
+      plane_options.memory_budget = &budget_;
+      TokenizedTable::BuildAndAttach(entry->table_a, entry->table_b,
+                                     plane_options);
+      built_plane = true;
+    }
+    table_a = entry->table_a;
+    table_b = entry->table_b;
+    blocker_output = entry->blocker_output;
+    shared_corpus = entry->corpus;
+    shared_corpus_columns = entry->corpus_columns;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (request.options.text_plane == TextPlane::kTokenized) {
+      if (built_plane) {
+        ++stats_.plane_cache_misses;
+      } else {
+        ++stats_.plane_cache_hits;
+      }
+    }
+    if (shared_corpus != nullptr) ++stats_.corpus_cache_hits;
+  }
+
+  MatchCatcherOptions options = request.options;
+  options.run_context = context;
+  options.memory_budget = &budget_;
+  options.shared_corpus = std::move(shared_corpus);
+  options.shared_corpus_columns = std::move(shared_corpus_columns);
+  options.corpus_sink = [this, entry](
+                            std::shared_ptr<const SsjCorpus> corpus,
+                            const std::vector<size_t>& columns) {
+    {
+      std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
+      if (entry->corpus == nullptr) {
+        entry->corpus = std::move(corpus);
+        entry->corpus_columns = columns;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corpus_builds;
+  };
+
+  // The build is pure until FinishSession publishes, so rebuilding after a
+  // transient failure (the "service/build" fault, a budget rejection that
+  // cleared) is safe — exactly the idempotent case RetryPolicy covers.
+  uint64_t retry_seed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retry_seed = retry_seeds_.NextUint64();
+  }
+  Retrier retrier(limits_.retry, retry_seed);
+  std::optional<DebugSession> session;
+  const Status build_status = retrier.Run(
+      [&]() -> Status {
+        if (MC_FAULT_POINT("service/build") != FaultKind::kNone) {
+          return Status::Unavailable("injected fault: service/build");
+        }
+        Result<DebugSession> result =
+            DebugSession::Create(table_a, table_b, blocker_output, options);
+        if (!result.ok()) return result.status();
+        session.emplace(std::move(result).value());
+        return Status::Ok();
+      },
+      context);
+
+  SessionOutcome outcome;
+  outcome.id = id;
+  if (!build_status.ok()) {
+    outcome.status = build_status;
+    // A cancel/deadline that fired before the joint phase produced anything
+    // is a cancellation, not a failure; everything else is typed failure.
+    outcome.state =
+        (build_status.code() == StatusCode::kDeadlineExceeded ||
+         context.Cancelled())
+            ? SessionState::kCancelled
+            : SessionState::kFailed;
+    FinishSession(id, std::move(outcome));
+    return;
+  }
+
+  outcome.lists = session->TopKLists();
+  outcome.truncated = session->truncated();
+  outcome.used_shared_corpus = session->used_shared_corpus();
+  outcome.state = session->truncated() ? SessionState::kTruncated
+                                       : SessionState::kComplete;
+  if (!limits_.checkpoint_dir.empty()) {
+    // Checkpoint IO under the same retry schedule; .tmp+rename makes the
+    // save idempotent. A save that still fails is recorded, not fatal —
+    // the session's result exists regardless.
+    const std::string path = CheckpointPath(limits_.checkpoint_dir, id);
+    outcome.checkpoint_status = retrier.Run(
+        [&] { return SaveTopKLists(outcome.lists, path); }, context);
+  }
+  FinishSession(id, std::move(outcome));
+}
+
+void SessionManager::FinishSession(uint64_t id, SessionOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || IsTerminalState(it->second.state)) return;
+  SessionRecord& record = it->second;
+  outcome.admission_wait_seconds = record.outcome.admission_wait_seconds;
+  outcome.total_seconds = SecondsSince(record.submit_time);
+  record.state = outcome.state;
+  record.outcome = std::move(outcome);
+  MC_CHECK_GT(live_count_, 0u);
+  --live_count_;
+  switch (record.state) {
+    case SessionState::kComplete:
+      ++stats_.completed;
+      break;
+    case SessionState::kTruncated:
+      ++stats_.truncated;
+      break;
+    case SessionState::kFailed:
+      ++stats_.failed;
+      break;
+    case SessionState::kCancelled:
+      ++stats_.cancelled;
+      break;
+    default:
+      break;
+  }
+  // EMA of session duration feeds the admission retry-after hint.
+  const double seconds = record.outcome.total_seconds;
+  avg_session_seconds_ = avg_session_seconds_ == 0.0
+                             ? seconds
+                             : 0.8 * avg_session_seconds_ + 0.2 * seconds;
+  terminal_cv_.notify_all();
+}
+
+Result<SessionOutcome> SessionManager::Wait(uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session id " +
+                            std::to_string(session_id));
+  }
+  terminal_cv_.wait(lock, [&] {
+    return IsTerminalState(sessions_.at(session_id).state);
+  });
+  return sessions_.at(session_id).outcome;
+}
+
+Result<SessionOutcome> SessionManager::WaitFor(uint64_t session_id,
+                                               int64_t timeout_millis) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session id " +
+                            std::to_string(session_id));
+  }
+  const bool terminal = terminal_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_millis),
+      [&] { return IsTerminalState(sessions_.at(session_id).state); });
+  if (!terminal) {
+    return Status::DeadlineExceeded(
+        "session " + std::to_string(session_id) + " still " +
+        SessionStateName(sessions_.at(session_id).state) + " after " +
+        std::to_string(timeout_millis) + " ms");
+  }
+  return sessions_.at(session_id).outcome;
+}
+
+Status SessionManager::CancelSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session id " +
+                            std::to_string(session_id));
+  }
+  it->second.context.Cancel();
+  return Status::Ok();
+}
+
+Result<SessionState> SessionManager::StateOf(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session id " +
+                            std::to_string(session_id));
+  }
+  return it->second.state;
+}
+
+size_t SessionManager::EvictSharedPlanes(size_t max_evictions) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EvictSharedPlanesLocked(max_evictions);
+}
+
+size_t SessionManager::EvictSharedPlanesLocked(size_t max_evictions) {
+  // LRU order over the registered pairs.
+  std::vector<std::pair<uint64_t, PairEntry*>> order;
+  order.reserve(pairs_.size());
+  for (auto& [key, entry] : pairs_) {
+    order.emplace_back(entry->last_used_tick, entry.get());
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t evicted = 0;
+  for (auto& [tick, entry] : order) {
+    if (max_evictions != 0 && evicted >= max_evictions) break;
+    // try_lock: a pair whose plane is being built (or snapshotted) right
+    // now is busy, not idle — skip it rather than invert the mutex_ →
+    // pair_mutex order and deadlock.
+    std::unique_lock<std::mutex> pair_lock(entry->pair_mutex,
+                                           std::try_to_lock);
+    if (!pair_lock.owns_lock()) continue;
+    const bool had_plane = AttachedTextPlane(entry->table_a) != nullptr;
+    const bool had_corpus = entry->corpus != nullptr;
+    if (!had_plane && !had_corpus) continue;
+    entry->table_a.DetachTextPlane();
+    entry->table_b.DetachTextPlane();
+    entry->corpus.reset();
+    entry->corpus_columns.clear();
+    ++evicted;
+    ++stats_.planes_evicted;
+  }
+  return evicted;
+}
+
+Result<size_t> SessionManager::RestoreFromCheckpoints() {
+  if (limits_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreFromCheckpoints requires ServiceLimits::checkpoint_dir");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator dir(limits_.checkpoint_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot read checkpoint dir " +
+                           limits_.checkpoint_dir + ": " + ec.message());
+  }
+  size_t restored = 0;
+  for (const fs::directory_entry& file : dir) {
+    const std::string name = file.path().filename().string();
+    const std::string prefix = "session-";
+    const std::string suffix = ".mc";
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    char* end = nullptr;
+    const uint64_t id =
+        std::strtoull(name.c_str() + prefix.size(), &end, 10);
+    if (end == nullptr || std::string(end) != suffix || id == 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.restore_failures;
+      continue;
+    }
+    uint64_t retry_seed;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (sessions_.count(id) != 0) continue;  // Live or already restored.
+      retry_seed = retry_seeds_.NextUint64();
+    }
+    // Reads go through the same retry schedule as writes; a CRC-corrupt or
+    // torn checkpoint keeps returning its typed kIoError and is skipped —
+    // one bad file never aborts the whole restore.
+    Retrier retrier(limits_.retry, retry_seed);
+    std::vector<std::vector<ScoredPair>> lists;
+    const Status status = retrier.Run([&]() -> Status {
+      Result<std::vector<std::vector<ScoredPair>>> result =
+          LoadTopKLists(file.path().string());
+      if (!result.ok()) return result.status();
+      lists = std::move(result).value();
+      return Status::Ok();
+    });
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!status.ok()) {
+      ++stats_.restore_failures;
+      continue;
+    }
+    if (sessions_.count(id) != 0) continue;
+    SessionRecord record;
+    record.state = SessionState::kComplete;
+    record.outcome.id = id;
+    record.outcome.state = SessionState::kComplete;
+    record.outcome.lists = std::move(lists);
+    record.outcome.restored = true;
+    sessions_.emplace(id, std::move(record));
+    next_id_ = std::max(next_id_, id + 1);
+    ++stats_.sessions_restored;
+    ++restored;
+  }
+  return restored;
+}
+
+ServiceStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats snapshot = stats_;
+  snapshot.memory_used_bytes = budget_.used();
+  snapshot.memory_peak_bytes = budget_.peak();
+  snapshot.memory_rejected_charges = budget_.rejected();
+  return snapshot;
+}
+
+size_t SessionManager::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_count_;
+}
+
+void SessionManager::WatchdogLoop() {
+  SetCurrentThreadName("mc-watchdog");
+  std::unique_lock<std::mutex> watchdog_lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(
+        watchdog_lock,
+        std::chrono::milliseconds(std::max<int64_t>(
+            1, limits_.watchdog_period_millis)),
+        [this] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    watchdog_lock.unlock();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Force-cancel sessions past their deadline. Contexts self-cancel
+      // when polled, but a session wedged between polls (a long build
+      // phase, a stuck fault) needs the push; the counter also surfaces
+      // how often deadlines actually bite.
+      const Clock::time_point now = Clock::now();
+      for (auto& [id, record] : sessions_) {
+        if (IsTerminalState(record.state) || !record.has_deadline ||
+            record.watchdog_cancelled || now <= record.deadline_time) {
+          continue;
+        }
+        record.context.Cancel();
+        record.watchdog_cancelled = true;
+        ++stats_.watchdog_cancelled;
+      }
+      // Memory pressure: shed the least-recently-used idle planes once
+      // usage crosses ~90% of the ceiling. In-flight sessions keep their
+      // references; the bytes return when the last one drops.
+      if (limits_.memory_limit_bytes != 0 &&
+          budget_.used() >
+              limits_.memory_limit_bytes - limits_.memory_limit_bytes / 10) {
+        EvictSharedPlanesLocked(1);
+      }
+    }
+    watchdog_lock.lock();
+  }
+}
+
+}  // namespace mc

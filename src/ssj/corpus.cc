@@ -257,7 +257,7 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
       }
     }
   } else {
-    ThreadPool pool(threads);
+    ThreadPool pool(threads, "mc-corpus");
     for (size_t i = 0; i < blocks.size(); ++i) {
       pool.Submit([&, i] { tokenize_one(blocks[i], i < blocks_a); });
     }
@@ -323,6 +323,25 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
   uint64_t after_a = fill_offsets(0, blocks_a, corpus.offsets_a_, 0);
   uint64_t total = fill_offsets(blocks_a, blocks_b, corpus.offsets_b_,
                                 after_a);
+
+  // Memory admission: the rank/mask arenas dominate the corpus footprint.
+  // Charge them before allocating; a refusal drops every block — the
+  // offsets recompute to an all-empty (truncated) corpus — instead of
+  // blowing through the service's ceiling. Joins over it still terminate
+  // with best-so-far (empty) lists, same contract as cancellation.
+  const size_t arena_bytes =
+      static_cast<size_t>(total) * 2 * sizeof(uint32_t);
+  if (!corpus.reservation_.Acquire(options.memory_budget, arena_bytes)) {
+    for (TokenizedBlock& block : blocks) {
+      if (!block.dropped) {
+        block.dropped = true;
+        ++corpus.build_stats_.dropped_blocks;
+      }
+    }
+    corpus.truncated_ = true;
+    after_a = fill_offsets(0, blocks_a, corpus.offsets_a_, 0);
+    total = fill_offsets(blocks_a, blocks_b, corpus.offsets_b_, after_a);
+  }
   corpus.ranks_.resize(total);
   corpus.masks_.resize(total);
 
@@ -379,7 +398,7 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
   if (threads == 1) {
     for (size_t i = 0; i < blocks.size(); ++i) flatten_one(i);
   } else {
-    ThreadPool pool(threads);
+    ThreadPool pool(threads, "mc-corpus");
     for (size_t i = 0; i < blocks.size(); ++i) {
       pool.Submit([&, i] { flatten_one(i); });
     }

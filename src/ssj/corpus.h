@@ -11,6 +11,7 @@
 #include "config/config.h"
 #include "table/table.h"
 #include "text/token_dictionary.h"
+#include "util/memory_budget.h"
 #include "util/run_context.h"
 
 namespace mc {
@@ -153,6 +154,12 @@ struct CorpusBuildOptions {
   /// marked truncated() — joins over it return best-so-far results, and
   /// RunJointTopKJoins propagates the flag into JointResult::truncated.
   RunContext run_context;
+  /// Optional service-wide memory ceiling. The CSR token arenas (the
+  /// corpus's dominant footprint) are charged against it once their exact
+  /// size is known, before allocation; a refused charge degrades the build
+  /// to an empty truncated corpus instead of overshooting the ceiling. The
+  /// budget must outlive the corpus (the charge releases on destruction).
+  MemoryBudget* memory_budget = nullptr;
 };
 
 /// Where SsjCorpus::Build spent its time (surfaced by bench/micro_joint).
@@ -211,6 +218,17 @@ class SsjCorpus {
   /// Stage timings of the build that produced this corpus.
   const CorpusBuildStats& build_stats() const { return build_stats_; }
 
+  /// Approximate resident footprint of the CSR arenas and offset tables —
+  /// the sizing signal for the service's shared-plane LRU cache. Excludes
+  /// the dictionary's string storage (small next to the arenas).
+  size_t MemoryBytes() const {
+    return (ranks_.size() + masks_.size() + row_masks_.size() +
+            row_mask_counts_.size()) *
+               sizeof(uint32_t) +
+           (offsets_a_.size() + offsets_b_.size() + mask_offsets_.size()) *
+               sizeof(uint64_t);
+  }
+
   /// Builds the token view of a config. Thread-safe (concurrent calls from
   /// scheduler tasks share the scratch pool under its mutex). The returned
   /// view holds spans into this corpus: the corpus must outlive it.
@@ -254,6 +272,8 @@ class SsjCorpus {
   size_t num_attributes_ = 0;
   bool truncated_ = false;
   CorpusBuildStats build_stats_;
+  // Budget charge for the arenas; releases when the corpus dies.
+  MemoryReservation reservation_;
   // unique_ptr: keeps the pool's address stable across corpus moves (live
   // ConfigViews hold a pointer to it) and keeps SsjCorpus movable (the pool
   // owns a mutex).

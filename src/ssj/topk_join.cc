@@ -502,7 +502,7 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
   std::vector<TopKList> shard_lists(shard_count, TopKList(options.k));
   std::vector<TopKJoinStats> shard_stats(shard_count);
   {
-    ThreadPool pool(std::min(shard_count, hardware));
+    ThreadPool pool(std::min(shard_count, hardware), "mc-shard");
     for (size_t s = 0; s < shard_count; ++s) {
       pool.Submit([&, s] {
         shard_lists[s] = RunShard(view, options, scorer, direct, seed,
@@ -602,7 +602,7 @@ size_t SelectQByRace(const ConfigView& view, SetMeasure measure,
   std::vector<double> elapsed(max_q, 0.0);
   std::vector<char> truncated(max_q, 0);
   {
-    ThreadPool pool(std::min(max_q, hardware));
+    ThreadPool pool(std::min(max_q, hardware), "mc-qrace");
     for (size_t q = 1; q <= max_q; ++q) {
       pool.Submit([&, q] {
         Stopwatch watch;

@@ -173,7 +173,7 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
       }
     }
   } else {
-    ThreadPool pool(threads);
+    ThreadPool pool(threads, "mc-txtplane");
     for (size_t i = 0; i < blocks.size(); ++i) {
       pool.Submit([&, i] {
         tokenize_one(blocks[i], i < blocks_a ? table_a : table_b);
@@ -222,13 +222,19 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
   plane.build_stats_.merge_seconds = merge_watch.ElapsedSeconds();
 
   // Phase 3 (sequential): per-cell offsets, missing bits, pool-resolved
-  // norm ids for both sides.
+  // norm ids for both sides. Idempotent (clears its outputs first) so the
+  // budget-refusal path below can re-run it after dropping every block.
   Stopwatch flatten_watch;
+  uint64_t arena_sizes[2][2] = {{0, 0}, {0, 0}};  // [side][stream, sorted].
   auto fill_side = [&](size_t first_block, size_t block_count, size_t side,
                        const Table& table) {
     const size_t cells = plane.rows_[side] * plane.num_columns_;
     auto& stream_offsets = plane.stream_offsets_[side];
     auto& sorted_offsets = plane.sorted_offsets_[side];
+    stream_offsets.clear();
+    sorted_offsets.clear();
+    plane.norm_ids_[side].clear();
+    plane.missing_[side].clear();
     stream_offsets.reserve(cells + 1);
     sorted_offsets.reserve(cells + 1);
     stream_offsets.push_back(0);
@@ -256,11 +262,35 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
         sorted_offsets.push_back(sorted_position);
       }
     }
-    plane.stream_[side].resize(stream_position);
-    plane.sorted_[side].resize(sorted_position);
+    arena_sizes[side][0] = stream_position;
+    arena_sizes[side][1] = sorted_position;
   };
   fill_side(0, blocks_a, 0, table_a);
   fill_side(blocks_a, blocks.size() - blocks_a, 1, table_b);
+
+  // Memory admission: the cell arenas dominate the plane footprint. Charge
+  // them before allocating; a refusal drops every block — the offsets
+  // recompute to an all-empty truncated plane, which is never attached, so
+  // consumers fall back to the legacy string path.
+  const size_t arena_bytes =
+      static_cast<size_t>(arena_sizes[0][0] + arena_sizes[0][1] +
+                          arena_sizes[1][0] + arena_sizes[1][1]) *
+      sizeof(uint32_t);
+  if (!plane.reservation_.Acquire(options.memory_budget, arena_bytes)) {
+    for (PlaneBlock& block : blocks) {
+      if (!block.dropped) {
+        block.dropped = true;
+        ++plane.build_stats_.dropped_blocks;
+      }
+    }
+    plane.truncated_ = true;
+    fill_side(0, blocks_a, 0, table_a);
+    fill_side(blocks_a, blocks.size() - blocks_a, 1, table_b);
+  }
+  for (size_t side = 0; side < 2; ++side) {
+    plane.stream_[side].resize(arena_sizes[side][0]);
+    plane.sorted_[side].resize(arena_sizes[side][1]);
+  }
 
   // Phase 4 (parallel): translate local ids to global, derive each cell's
   // sorted distinct ranks, and write both into their precomputed arena
@@ -300,7 +330,7 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
   if (threads == 1) {
     for (size_t i = 0; i < blocks.size(); ++i) flatten_one(i);
   } else {
-    ThreadPool pool(threads);
+    ThreadPool pool(threads, "mc-txtplane");
     for (size_t i = 0; i < blocks.size(); ++i) {
       pool.Submit([&, i] { flatten_one(i); });
     }

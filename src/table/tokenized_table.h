@@ -11,6 +11,7 @@
 
 #include "table/table.h"
 #include "text/token_dictionary.h"
+#include "util/memory_budget.h"
 #include "util/run_context.h"
 
 namespace mc {
@@ -62,6 +63,12 @@ struct TextPlaneBuildOptions {
   /// plane is never served to consumers (SharedTextPlane returns nullptr)
   /// and DebugSession falls back to the legacy string path.
   RunContext run_context;
+  /// Optional service-wide memory ceiling. The cell arenas (the plane's
+  /// dominant footprint) are charged once their exact size is known, before
+  /// allocation; a refused charge marks the plane truncated — it is then
+  /// never attached, and consumers fall back to the legacy string path.
+  /// The budget must outlive the plane.
+  MemoryBudget* memory_budget = nullptr;
 };
 
 /// Where TokenizedTable::Build spent its time.
@@ -209,6 +216,22 @@ class TokenizedTable {
 
   const TextPlaneBuildStats& build_stats() const { return build_stats_; }
 
+  /// Approximate resident footprint of the cell arenas and offset tables —
+  /// the sizing signal for the service's shared-plane LRU cache. Excludes
+  /// dictionary/pool string storage and lazy q-gram planes.
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (size_t side = 0; side < 2; ++side) {
+      bytes += (stream_[side].size() + sorted_[side].size() +
+                norm_ids_[side].size()) *
+                   sizeof(uint32_t) +
+               (stream_offsets_[side].size() + sorted_offsets_[side].size()) *
+                   sizeof(uint64_t) +
+               missing_[side].size();
+    }
+    return bytes;
+  }
+
  private:
   TokenizedTable() = default;
 
@@ -235,6 +258,8 @@ class TokenizedTable {
   TokenDictionary dictionary_;
   bool truncated_ = false;
   TextPlaneBuildStats build_stats_;
+  // Budget charge for the arenas; releases when the plane dies.
+  MemoryReservation reservation_;
   // Lazy (q, column) gram planes; unique_ptr keeps returned pointers
   // stable across rehashes. Guarded for concurrent consumers.
   mutable std::shared_mutex qgram_mutex_;

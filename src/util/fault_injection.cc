@@ -69,10 +69,49 @@ size_t FaultRegistry::HitCount(const std::string& point) const {
   return it == points_.end() ? 0 : it->second.hits;
 }
 
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.erase(point);
+  for (const auto& [name, state] : points_) {
+    (void)name;
+    if (state.mode != PointState::Mode::kDisarmed) return;
+  }
+  any_armed_.store(false, std::memory_order_release);
+}
+
 void FaultRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   points_.clear();
   any_armed_.store(false, std::memory_order_release);
+}
+
+ScopedFaultArm::ScopedFaultArm(std::string point, FaultKind kind)
+    : point_(std::move(point)) {
+  FaultRegistry::Instance().ArmEveryHit(point_, kind);
+}
+
+ScopedFaultArm::ScopedFaultArm(std::string point, FaultKind kind, size_t nth)
+    : point_(std::move(point)) {
+  FaultRegistry::Instance().ArmNthHit(point_, kind, nth);
+}
+
+ScopedFaultArm::ScopedFaultArm(std::string point, FaultKind kind, double p,
+                               uint64_t seed)
+    : point_(std::move(point)) {
+  FaultRegistry::Instance().ArmWithProbability(point_, kind, p, seed);
+}
+
+ScopedFaultArm::ScopedFaultArm(ScopedFaultArm&& other) noexcept
+    : point_(std::move(other.point_)) {
+  other.point_.clear();
+}
+
+ScopedFaultArm::~ScopedFaultArm() {
+  if (!point_.empty()) FaultRegistry::Instance().Disarm(point_);
+}
+
+size_t ScopedFaultArm::HitCount() const {
+  return FaultRegistry::Instance().HitCount(point_);
 }
 
 }  // namespace mc

@@ -66,6 +66,11 @@ class FaultRegistry {
   /// least one point is armed (the disarmed fast path skips bookkeeping).
   size_t HitCount(const std::string& point) const;
 
+  /// Disarms `point` only (dropping its hit counter), leaving other armed
+  /// points and their counters untouched. Used by ScopedFaultArm so
+  /// overlapping guards don't clobber one another.
+  void Disarm(const std::string& point);
+
   /// Disarms every point and clears all hit counters.
   void Reset();
 
@@ -85,6 +90,43 @@ class FaultRegistry {
   std::atomic<bool> any_armed_{false};
   mutable std::mutex mutex_;
   std::unordered_map<std::string, PointState> points_;
+};
+
+/// RAII guard that arms one fault point for the current scope and disarms
+/// it — that point only — on destruction, even when the scope is left by an
+/// early `return`, a failed ASSERT, or an exception. Prefer this over
+/// manual Arm…/Reset() pairs in tests: a tear-down Reset() skipped by an
+/// assert failure leaks the armed fault into every later test case.
+///
+///   {
+///     ScopedFaultArm fault("session_io/write", FaultKind::kError);
+///     ASSERT_FALSE(SaveTopKLists(lists, path).ok());   // guard still fires
+///   }                                                  // disarmed here
+///
+/// Guards over *different* points nest freely. Two live guards over the
+/// same point are a test bug (the second re-arms over the first, and the
+/// first destructor disarms both).
+class ScopedFaultArm {
+ public:
+  /// Arms `kind` on every hit of `point` (ArmEveryHit).
+  ScopedFaultArm(std::string point, FaultKind kind);
+  /// Arms `kind` on exactly the `nth` hit (ArmNthHit).
+  ScopedFaultArm(std::string point, FaultKind kind, size_t nth);
+  /// Arms `kind` with probability `p` per hit (ArmWithProbability).
+  ScopedFaultArm(std::string point, FaultKind kind, double p, uint64_t seed);
+
+  ScopedFaultArm(const ScopedFaultArm&) = delete;
+  ScopedFaultArm& operator=(const ScopedFaultArm&) = delete;
+  ScopedFaultArm(ScopedFaultArm&& other) noexcept;
+  ScopedFaultArm& operator=(ScopedFaultArm&&) = delete;
+
+  ~ScopedFaultArm();
+
+  /// Hits the guarded point has seen since arming.
+  size_t HitCount() const;
+
+ private:
+  std::string point_;  // Empty after being moved from.
 };
 
 }  // namespace mc

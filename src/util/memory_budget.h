@@ -1,0 +1,126 @@
+#ifndef MATCHCATCHER_UTIL_MEMORY_BUDGET_H_
+#define MATCHCATCHER_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace mc {
+
+/// Shared byte-accounting gauge with a hard ceiling. The session service
+/// owns one and threads a pointer into every arena-building stage
+/// (SsjCorpus::Build, TokenizedTable::Build), so the total footprint of all
+/// concurrent sessions' planes is bounded by construction: a charge that
+/// would cross the limit is *refused* — the builder then degrades to a
+/// truncated result instead of OOM-ing the process.
+///
+/// Accounting covers the large CSR arenas, not every small allocation; the
+/// limit is an engineering bound, not an exact rlimit. Thread-safe; a limit
+/// of 0 means unlimited (every charge succeeds, usage still tracked).
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(size_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Charges `bytes` unless that would push usage past the limit; returns
+  /// whether the charge was taken. Refusals are counted.
+  bool TryCharge(size_t bytes) {
+    size_t used = used_.load(std::memory_order_relaxed);
+    while (true) {
+      const size_t next = used + bytes;
+      if (limit_ != 0 && (next > limit_ || next < used)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+        // Racy max update; peak is diagnostic, not a correctness value.
+        size_t peak = peak_.load(std::memory_order_relaxed);
+        while (next > peak &&
+               !peak_.compare_exchange_weak(peak, next,
+                                            std::memory_order_relaxed)) {
+        }
+        return true;
+      }
+    }
+  }
+
+  /// Returns a previous charge. Releasing more than was charged is a bug;
+  /// usage clamps at 0 rather than wrapping.
+  void Release(size_t bytes) {
+    size_t used = used_.load(std::memory_order_relaxed);
+    while (!used_.compare_exchange_weak(
+        used, used >= bytes ? used - bytes : 0, std::memory_order_relaxed)) {
+    }
+  }
+
+  size_t limit() const { return limit_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  /// Charges refused since construction.
+  size_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  /// Bytes left under the limit (SIZE_MAX when unlimited).
+  size_t remaining() const {
+    if (limit_ == 0) return static_cast<size_t>(-1);
+    const size_t used = used_.load(std::memory_order_relaxed);
+    return used >= limit_ ? 0 : limit_ - used;
+  }
+
+ private:
+  const size_t limit_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<size_t> rejected_{0};
+};
+
+/// Movable RAII handle over one MemoryBudget charge: acquired by a builder
+/// when its arena sizes are known, released when the owning object (corpus,
+/// text plane) is destroyed. The budget must outlive every reservation
+/// taken from it — the service declares its budget before its caches and
+/// sessions so it destructs last.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  ~MemoryReservation() { Release(); }
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : budget_(std::exchange(other.budget_, nullptr)),
+        bytes_(std::exchange(other.bytes_, 0)) {}
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Release();
+      budget_ = std::exchange(other.budget_, nullptr);
+      bytes_ = std::exchange(other.bytes_, 0);
+    }
+    return *this;
+  }
+
+  /// Charges `bytes` against `budget`, releasing any previous charge first.
+  /// Returns false — holding nothing — when the budget refuses. A null
+  /// budget always succeeds (unlimited, nothing tracked).
+  bool Acquire(MemoryBudget* budget, size_t bytes) {
+    Release();
+    if (budget == nullptr) return true;
+    if (!budget->TryCharge(bytes)) return false;
+    budget_ = budget;
+    bytes_ = bytes;
+    return true;
+  }
+
+  void Release() {
+    if (budget_ != nullptr) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_UTIL_MEMORY_BUDGET_H_

@@ -48,6 +48,36 @@ class RunContext {
     return context;
   }
 
+  /// Child context derived from `parent`: it cancels as soon as the parent
+  /// cancels (deadline or manual), and cancelling the child never affects
+  /// the parent. The optional own deadline may tighten but never loosen the
+  /// parent's: the effective deadline is the earlier of the two. Pass a
+  /// negative `deadline_millis` (the default) for no additional deadline.
+  ///
+  /// The service layer derives one child per session from a manager-wide
+  /// root (so shutdown cancels everything), and the joint executor derives
+  /// one per config node (so a failed shard stops its siblings without
+  /// touching other configs).
+  static RunContext WithParent(const RunContext& parent,
+                               int64_t deadline_millis = -1) {
+    RunContext context = Cancellable();
+    if (deadline_millis >= 0) {
+      context.state_->deadline =
+          Clock::now() + std::chrono::milliseconds(deadline_millis);
+      context.state_->has_deadline = true;
+    }
+    if (parent.state_ != nullptr) {
+      context.state_->parent = parent.state_;
+      if (parent.state_->has_deadline &&
+          (!context.state_->has_deadline ||
+           parent.state_->deadline < context.state_->deadline)) {
+        context.state_->deadline = parent.state_->deadline;
+        context.state_->has_deadline = true;
+      }
+    }
+    return context;
+  }
+
   /// Requests cancellation. Safe from any thread; no-op on an inert
   /// context. Idempotent.
   void Cancel() {
@@ -67,6 +97,15 @@ class RunContext {
       state_->cancelled.store(true, std::memory_order_relaxed);
       return true;
     }
+    // Parent deadlines are folded into this state's deadline at WithParent
+    // time; the chain walk only has to observe manual ancestor cancels.
+    for (const State* ancestor = state_->parent.get(); ancestor != nullptr;
+         ancestor = ancestor->parent.get()) {
+      if (ancestor->cancelled.load(std::memory_order_relaxed)) {
+        state_->cancelled.store(true, std::memory_order_relaxed);
+        return true;
+      }
+    }
     return false;
   }
 
@@ -74,7 +113,7 @@ class RunContext {
   /// deadline is set. An already-cancelled context reports 0.
   int64_t RemainingMillis() const {
     if (state_ == nullptr) return std::numeric_limits<int64_t>::max();
-    if (state_->cancelled.load(std::memory_order_relaxed)) return 0;
+    if (Cancelled()) return 0;
     if (!state_->has_deadline) return std::numeric_limits<int64_t>::max();
     auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
                          state_->deadline - Clock::now())
@@ -92,6 +131,9 @@ class RunContext {
     std::atomic<bool> cancelled{false};
     bool has_deadline = false;
     Clock::time_point deadline{};
+    // Set only by WithParent; immutable afterwards. Keeps the parent's
+    // state alive so a child may outlive the handle it was derived from.
+    std::shared_ptr<const State> parent;
   };
 
   std::shared_ptr<State> state_;

@@ -19,6 +19,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kDeadlineExceeded,
+  /// A bounded resource (admission queue, memory budget, session slots) is
+  /// full. The condition is expected to clear; messages carry a retry-after
+  /// hint where the rejecting layer can estimate one.
+  kResourceExhausted,
+  /// A transient failure worth retrying as-is (RetryPolicy treats this and
+  /// kResourceExhausted as retryable; kInvalidArgument and friends are not).
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -55,6 +62,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,46 @@
+#ifndef MATCHCATCHER_UTIL_THREAD_NAME_H_
+#define MATCHCATCHER_UTIL_THREAD_NAME_H_
+
+#include <string>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+namespace mc {
+
+/// Portability shim over pthread_setname_np: names the calling thread so
+/// sanitizer reports, core dumps, and debugger sessions attribute work to
+/// the pool that ran it ("mcserve-2", "mc-watchdog") instead of an
+/// anonymous "Thread T17". Best effort: truncated to the platform limit
+/// (15 chars + NUL on Linux) and a no-op where the platform offers nothing.
+inline void SetCurrentThreadName(const std::string& name) {
+#if defined(__linux__)
+  char truncated[16];
+  const size_t n = name.size() < 15 ? name.size() : 15;
+  name.copy(truncated, n);
+  truncated[n] = '\0';
+  pthread_setname_np(pthread_self(), truncated);
+#elif defined(__APPLE__)
+  pthread_setname_np(name.substr(0, 63).c_str());
+#else
+  (void)name;
+#endif
+}
+
+/// The calling thread's name ("" where unsupported); for tests.
+inline std::string CurrentThreadName() {
+#if defined(__linux__) || defined(__APPLE__)
+  char buffer[64] = {0};
+  if (pthread_getname_np(pthread_self(), buffer, sizeof(buffer)) != 0) {
+    return std::string();
+  }
+  return std::string(buffer);
+#else
+  return std::string();
+#endif
+}
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_UTIL_THREAD_NAME_H_

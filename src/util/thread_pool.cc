@@ -1,17 +1,23 @@
 #include "util/thread_pool.h"
 
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "util/check.h"
+#include "util/thread_name.h"
 
 namespace mc {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, const std::string& name_prefix) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, name = name_prefix + "-" +
+                                     std::to_string(i)] {
+      SetCurrentThreadName(name);
+      WorkerLoop();
+    });
   }
 }
 

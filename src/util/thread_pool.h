@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,8 +46,11 @@ class ThreadPool {
   /// Sink invoked (on the worker thread) with the Status of a failed task.
   using ErrorSink = std::function<void(const Status&)>;
 
-  /// Creates a pool with `num_threads` workers (minimum 1).
-  explicit ThreadPool(size_t num_threads);
+  /// Creates a pool with `num_threads` workers (minimum 1). Workers are
+  /// named `<name_prefix>-<index>` (util/thread_name.h) so sanitizer
+  /// reports and debugger sessions are attributable to the owning pool.
+  explicit ThreadPool(size_t num_threads,
+                      const std::string& name_prefix = "mcpool");
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

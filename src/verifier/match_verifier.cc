@@ -63,7 +63,7 @@ std::vector<PairId> MatchVerifier::TakeUnshownPrefix(
 ThreadPool* MatchVerifier::WorkerPool() {
   if (options_.num_threads <= 1) return nullptr;
   if (pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads, "mc-verify");
   }
   return pool_.get();
 }

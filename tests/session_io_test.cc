@@ -176,6 +176,47 @@ TEST(SessionIoRecoveryTest, LegacyChecksumlessFilesStillLoad) {
   std::remove(labels_path.c_str());
 }
 
+// The committed fixtures under tests/testdata/ pin the on-disk contract
+// against files produced by *old builds*, not by the code under test: a
+// framing change that silently broke legacy loads (or stopped detecting
+// corruption) would pass the round-trip tests above but fail here.
+std::string TestdataPath(const char* name) {
+  return std::string(MC_TESTDATA_DIR) + "/" + name;
+}
+
+TEST(SessionIoRecoveryTest, CommittedLegacyFixtureLoads) {
+  Result<std::vector<std::vector<ScoredPair>>> lists =
+      LoadTopKLists(TestdataPath("legacy_lists.mc"));
+  ASSERT_TRUE(lists.ok()) << lists.status().ToString();
+  ASSERT_EQ(lists->size(), 2u);
+  ASSERT_EQ((*lists)[0].size(), 2u);
+  EXPECT_EQ((*lists)[0][0].pair, MakePairId(1, 2));
+  EXPECT_DOUBLE_EQ((*lists)[0][0].score, 0.75);
+  EXPECT_EQ((*lists)[0][1].pair, MakePairId(3, 4));
+  ASSERT_EQ((*lists)[1].size(), 1u);
+  EXPECT_EQ((*lists)[1][0].pair, MakePairId(5, 6));
+  EXPECT_DOUBLE_EQ((*lists)[1][0].score, 0.25);
+}
+
+TEST(SessionIoRecoveryTest, CommittedCorruptCrcFixtureIsTypedError) {
+  Result<std::vector<std::vector<ScoredPair>>> lists =
+      LoadTopKLists(TestdataPath("corrupt_crc_lists.mc"));
+  ASSERT_FALSE(lists.ok());
+  EXPECT_EQ(lists.status().code(), StatusCode::kIoError);
+  EXPECT_NE(lists.status().message().find("checksum"), std::string::npos)
+      << lists.status().ToString();
+}
+
+TEST(SessionIoRecoveryTest, CommittedTornFixtureIsTypedError) {
+  // Framed file whose footer (and trailing newline) was lost mid-write.
+  Result<std::vector<std::vector<ScoredPair>>> lists =
+      LoadTopKLists(TestdataPath("torn_lists.mc"));
+  ASSERT_FALSE(lists.ok());
+  EXPECT_EQ(lists.status().code(), StatusCode::kIoError);
+  EXPECT_NE(lists.status().message().find("truncated"), std::string::npos)
+      << lists.status().ToString();
+}
+
 TEST(SessionIoRecoveryTest, InjectedWriteFaultKeepsPreviousCheckpoint) {
   FaultRegistry& registry = FaultRegistry::Instance();
   registry.Reset();

@@ -14,10 +14,12 @@
 
 #include "util/crc32.h"
 #include "util/fault_injection.h"
+#include "util/memory_budget.h"
 #include "util/random.h"
 #include "util/run_context.h"
 #include "util/sharded_insert_map.h"
 #include "util/status.h"
+#include "util/thread_name.h"
 #include "util/thread_pool.h"
 
 namespace mc {
@@ -419,6 +421,158 @@ TEST(FaultRegistryTest, ProbabilityIsSeededAndDeterministic) {
   EXPECT_GT(fired, 0u);
   EXPECT_LT(fired, 64u);
   registry.Reset();
+}
+
+TEST(ScopedFaultArmTest, DisarmsOnScopeExitOnly) {
+  FaultRegistry::Instance().Reset();
+  {
+    ScopedFaultArm fault("util_test/scoped", FaultKind::kError);
+    EXPECT_EQ(MC_FAULT_POINT("util_test/scoped"), FaultKind::kError);
+    EXPECT_EQ(fault.HitCount(), 1u);
+  }
+  EXPECT_EQ(MC_FAULT_POINT("util_test/scoped"), FaultKind::kNone);
+}
+
+TEST(ScopedFaultArmTest, DisarmLeavesOtherPointsArmed) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  registry.Reset();
+  ScopedFaultArm outer("util_test/outer", FaultKind::kError);
+  {
+    ScopedFaultArm inner("util_test/inner", FaultKind::kThrow);
+    EXPECT_EQ(MC_FAULT_POINT("util_test/inner"), FaultKind::kThrow);
+  }
+  // The inner guard's destructor disarmed its own point, not the outer's.
+  EXPECT_EQ(MC_FAULT_POINT("util_test/inner"), FaultKind::kNone);
+  EXPECT_EQ(MC_FAULT_POINT("util_test/outer"), FaultKind::kError);
+}
+
+TEST(ScopedFaultArmTest, MoveTransfersOwnership) {
+  FaultRegistry::Instance().Reset();
+  {
+    ScopedFaultArm original("util_test/moved", FaultKind::kError, size_t{2});
+    ScopedFaultArm stolen = std::move(original);
+    // The moved-from guard's destructor must not disarm the point...
+    { ScopedFaultArm graveyard = std::move(original); }
+    EXPECT_EQ(MC_FAULT_POINT("util_test/moved"), FaultKind::kNone);  // hit 1
+    EXPECT_EQ(MC_FAULT_POINT("util_test/moved"), FaultKind::kError);  // hit 2
+    EXPECT_EQ(stolen.HitCount(), 2u);
+  }  // ...while the stealing guard's destructor does.
+  EXPECT_EQ(MC_FAULT_POINT("util_test/moved"), FaultKind::kNone);
+  EXPECT_EQ(FaultRegistry::Instance().HitCount("util_test/moved"), 0u);
+}
+
+TEST(RunContextTest, ParentCancelPropagatesToChild) {
+  RunContext parent = RunContext::Cancellable();
+  RunContext child = RunContext::WithParent(parent);
+  RunContext grandchild = RunContext::WithParent(child);
+  EXPECT_FALSE(grandchild.Cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(child.Cancelled());
+  EXPECT_TRUE(grandchild.Cancelled());
+}
+
+TEST(RunContextTest, ChildCancelDoesNotAffectParentOrSibling) {
+  RunContext parent = RunContext::Cancellable();
+  RunContext child = RunContext::WithParent(parent);
+  RunContext sibling = RunContext::WithParent(parent);
+  child.Cancel();
+  EXPECT_TRUE(child.Cancelled());
+  EXPECT_FALSE(parent.Cancelled());
+  EXPECT_FALSE(sibling.Cancelled());
+}
+
+TEST(RunContextTest, ChildDeadlineTightensButNeverLoosens) {
+  RunContext parent = RunContext::WithDeadline(10'000);
+  // A looser child deadline is clamped to the parent's.
+  RunContext loose = RunContext::WithParent(parent, 60'000);
+  EXPECT_LE(loose.RemainingMillis(), 10'000);
+  // A tighter one sticks.
+  RunContext tight = RunContext::WithParent(parent, 5);
+  EXPECT_LE(tight.RemainingMillis(), 5);
+  // No own deadline: inherits the parent's.
+  RunContext inherit = RunContext::WithParent(parent);
+  EXPECT_LE(inherit.RemainingMillis(), 10'000);
+  EXPECT_LT(inherit.RemainingMillis(),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(RunContextTest, ChildOfInertParentIsIndependentlyCancellable) {
+  RunContext child = RunContext::WithParent(RunContext());
+  EXPECT_TRUE(child.can_cancel());
+  EXPECT_FALSE(child.Cancelled());
+  child.Cancel();
+  EXPECT_TRUE(child.Cancelled());
+}
+
+TEST(ThreadNameTest, PoolWorkersCarryThePoolName) {
+  ThreadPool pool(2, "mc-utest");
+  std::mutex mutex;
+  std::set<std::string> names;
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      std::string name = CurrentThreadName();
+      std::lock_guard<std::mutex> lock(mutex);
+      names.insert(name);
+    });
+  }
+  pool.Wait();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    EXPECT_EQ(name.rfind("mc-utest-", 0), 0u) << "worker named " << name;
+  }
+}
+
+TEST(ThreadNameTest, LongNamesTruncateToPlatformLimit) {
+  const std::string before = CurrentThreadName();
+  SetCurrentThreadName("mc-a-name-far-beyond-the-linux-limit");
+  const std::string name = CurrentThreadName();
+#if defined(__linux__)
+  EXPECT_EQ(name, "mc-a-name-far-b");  // 15 chars + NUL.
+#endif
+  SetCurrentThreadName(before.empty() ? "mc_tests" : before);
+}
+
+TEST(MemoryBudgetTest, ChargesReleasesAndRejects) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.TryCharge(60));
+  EXPECT_EQ(budget.remaining(), 40u);
+  EXPECT_FALSE(budget.TryCharge(41));  // Would cross the limit.
+  EXPECT_EQ(budget.rejected(), 1u);
+  EXPECT_TRUE(budget.TryCharge(40));
+  EXPECT_EQ(budget.used(), 100u);
+  budget.Release(60);
+  EXPECT_EQ(budget.used(), 40u);
+  EXPECT_EQ(budget.peak(), 100u);  // Peak survives releases.
+  budget.Release(1'000'000);       // Over-release clamps at zero.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, UnlimitedBudgetAcceptsEverything) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.TryCharge(std::numeric_limits<size_t>::max() / 2));
+  EXPECT_EQ(budget.rejected(), 0u);
+  EXPECT_EQ(budget.remaining(), std::numeric_limits<size_t>::max());
+}
+
+TEST(MemoryBudgetTest, ReservationIsRaiiAndMovable) {
+  MemoryBudget budget(100);
+  {
+    MemoryReservation reservation;
+    EXPECT_TRUE(reservation.Acquire(&budget, 80));
+    EXPECT_EQ(budget.used(), 80u);
+    // Re-acquiring releases the previous charge first.
+    EXPECT_TRUE(reservation.Acquire(&budget, 30));
+    EXPECT_EQ(budget.used(), 30u);
+    EXPECT_FALSE(reservation.Acquire(&budget, 200));
+    EXPECT_EQ(budget.used(), 0u);  // Failed acquire holds nothing.
+    EXPECT_TRUE(reservation.Acquire(&budget, 50));
+    MemoryReservation moved = std::move(reservation);
+    EXPECT_EQ(budget.used(), 50u);  // Move transfers, not double-charges.
+  }
+  EXPECT_EQ(budget.used(), 0u);  // Destructor released.
+  // A null budget always succeeds and holds nothing.
+  MemoryReservation free_reservation;
+  EXPECT_TRUE(free_reservation.Acquire(nullptr, 1'000'000));
 }
 
 TEST(ShardedInsertMapTest, InsertAndFind) {

@@ -46,6 +46,20 @@ run_config asan address
 run_config tsan thread
 run_config ubsan undefined
 
+# Service chaos: the session-service survival contract (docs/robustness.md)
+# under the sanitizers that catch what a green exit code can't — leaks and
+# lifetime bugs under ASan, lock-order and data races under TSan. The fixed
+# seed matrix re-runs the harness's concurrent fault/cancel/evict schedules
+# beyond the built-in seeds; every admitted session must still end terminal.
+echo "==== [service-chaos] chaos suite under ASan + TSan ===="
+for config in asan tsan; do
+  for seed in 101 202 303 8675309; do
+    echo "---- [service-chaos] ${config} seed ${seed} ----"
+    MC_CHAOS_SEED="${seed}" ctest --test-dir "${build_root}/${config}" \
+        --output-on-failure -R 'ServiceChaosTest'
+  done
+done
+
 # Bench smoke: emit a perf record on a tiny workload and validate its schema
 # (plus the committed archive). Catches drift between the JSON writer, the
 # record schema, and tools/validate_bench_json.py without a full bench run.
@@ -76,11 +90,17 @@ import json, sys
 out, *parts = sys.argv[1:]
 json.dump([json.load(open(p)) for p in parts], open(out, "w"), indent=1)
 PY
+service_json="${build_root}/release/bench_smoke_service.json"
+"${build_root}/release/bench/micro_service" \
+    --json="${service_json}" --engine=ci-smoke --scale=0.02 --reps=1 \
+    --sessions=4 --concurrency=2
 python3 "${repo_root}/tools/validate_bench_json.py" \
     "${bench_json}" "${joint_json}" "${text_json}" "${kernels_json}" \
+    "${service_json}" \
     "${repo_root}/bench/BENCH_ssj.json" \
     "${repo_root}/bench/BENCH_joint.json" \
     "${repo_root}/bench/BENCH_text.json" \
-    "${repo_root}/bench/BENCH_kernels.json"
+    "${repo_root}/bench/BENCH_kernels.json" \
+    "${repo_root}/bench/BENCH_service.json"
 
 echo "==== all configurations passed ===="

@@ -143,6 +143,40 @@ KERNELS_CHECKSUM_KEYS = ["overlap_checksum", "capped_checksum",
 KERNELS_LEVELS = ("scalar", "sse4", "avx2")
 
 
+SERVICE_WORKLOAD_FIELDS = {
+    "dataset": str,
+    "scale": (int, float),
+    "rows_a": int,
+    "rows_b": int,
+    "sessions": int,
+    "concurrency": int,
+    "k": int,
+    "threads": int,
+    "repetitions": int,
+}
+
+# micro_service stage timings, in emission order.
+SERVICE_STAGE_NAMES = ["isolated", "shared"]
+
+SERVICE_STAGE_FIELDS = {
+    "name": str,
+    "best_seconds": (int, float),
+    "mean_seconds": (int, float),
+    "sessions_per_sec": (int, float),
+}
+
+SERVICE_OUTPUT_FIELDS = {
+    "shared_speedup": (int, float),
+    "admission_p99_millis": (int, float),
+    "plane_cache_hits": int,
+    "plane_cache_misses": int,
+    "plane_hit_rate": (int, float),
+    "corpus_cache_hits": int,
+    "identical_to_isolated": bool,
+    "topk_checksum": str,
+}
+
+
 class ValidationError(Exception):
     pass
 
@@ -264,6 +298,43 @@ def validate_kernels_record(record, where):
             f"{where}.output: verifier re-rank differed across thread counts")
 
 
+def validate_service_record(record, where):
+    """micro_service: isolated-vs-shared session timings + sharing stats."""
+    check_fields(record.get("workload"), SERVICE_WORKLOAD_FIELDS,
+                 f"{where}.workload")
+    workload = record["workload"]
+    require(workload["sessions"] >= 1 and workload["concurrency"] >= 1,
+            f"{where}.workload: sessions and concurrency must be >= 1")
+    results = record.get("results")
+    require(isinstance(results, list), f"{where}: 'results' must be an array")
+    require([r.get("name") for r in results if isinstance(r, dict)]
+            == SERVICE_STAGE_NAMES,
+            f"{where}: results must be the stages {SERVICE_STAGE_NAMES}")
+    for i, result in enumerate(results):
+        where_r = f"{where}.results[{i}]"
+        check_fields(result, SERVICE_STAGE_FIELDS, where_r)
+        require(result["best_seconds"] > 0.0,
+                f"{where_r}: best_seconds must be positive")
+        require(result["mean_seconds"] >= result["best_seconds"],
+                f"{where_r}: mean_seconds < best_seconds")
+        require(result["sessions_per_sec"] > 0.0,
+                f"{where_r}: sessions_per_sec must be positive")
+    output = record.get("output")
+    check_fields(output, SERVICE_OUTPUT_FIELDS, f"{where}.output")
+    require(output["shared_speedup"] > 0.0,
+            f"{where}.output: shared_speedup must be positive")
+    require(0.0 <= output["plane_hit_rate"] <= 1.0,
+            f"{where}.output: plane_hit_rate must be in [0, 1]")
+    require(output["admission_p99_millis"] >= 0.0,
+            f"{where}.output: admission_p99_millis must be >= 0")
+    require(re.fullmatch(r"[0-9a-f]{8}", output["topk_checksum"]),
+            f"{where}.output: topk_checksum is not 8 lowercase hex digits")
+    # Sharing is only a cost optimization: shared lists must be
+    # bit-identical to isolated sessions, always.
+    require(output["identical_to_isolated"],
+            f"{where}.output: shared sessions differ from isolated runs")
+
+
 def validate_record(record, where):
     require(isinstance(record, dict), f"{where}: expected an object")
     require(record.get("schema_version") == 1,
@@ -280,6 +351,9 @@ def validate_record(record, where):
         return
     if record["benchmark"] == "micro_kernels":
         validate_kernels_record(record, where)
+        return
+    if record["benchmark"] == "micro_service":
+        validate_service_record(record, where)
         return
     check_fields(record.get("workload"), WORKLOAD_FIELDS, f"{where}.workload")
 
