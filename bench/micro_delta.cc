@@ -1,0 +1,389 @@
+// Microbenchmark for incremental delta ingestion: G generations of small
+// table deltas applied to the shared planes by patching (TokenizedTable::
+// ApplyDelta + SsjCorpus::ApplyDelta + RepairJointLists) versus rebuilding
+// everything from scratch each generation (Build + Build + re-running the
+// joint top-k joins over the same config tree).
+//
+// `--json=PATH` emits a machine-readable record (benchmark "micro_delta");
+// bench/BENCH_delta.json archives one run of this binary on the default
+// workload. The record carries the patch-vs-rebuild speedup and checksums
+// proving the patched plane, corpus, and repaired lists are bit-identical
+// to the rebuild at every generation — patching is a cost optimization,
+// never a semantic one (identical_to_rebuild must be true; the binary
+// exits 1 otherwise, and tools/validate_bench_json.py re-enforces it).
+//
+// Knobs: --engine=LABEL, --dataset=amazon_google|fodors_zagats, --scale=F
+// (default 0.05), --generations=N (default 8), --delta-rows=N (mutations
+// per delta, default 4), --reps=N (default 3), --k=N (default 10),
+// --threads=N (default 2), --seed=S (default 17).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "config/config_generator.h"
+#include "core/session_io.h"
+#include "datagen/generator.h"
+#include "joint/joint_executor.h"
+#include "joint/joint_repair.h"
+#include "ssj/corpus.h"
+#include "table/table_delta.h"
+#include "table/tokenized_table.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace mc {
+namespace {
+
+struct BenchConfig {
+  std::string path;
+  std::string engine = "unspecified";
+  // Long description attributes make tokenization + corpus build the
+  // dominant cost — the regime incremental patching targets.
+  std::string dataset = "amazon_google";
+  double scale = 0.05;
+  size_t generations = 8;
+  size_t delta_rows = 4;
+  size_t reps = 3;
+  size_t k = 10;
+  size_t threads = 2;
+  uint64_t seed = 17;
+};
+
+struct StageTiming {
+  double best = 0.0;
+  double total = 0.0;
+  void Record(size_t rep, double seconds) {
+    total += seconds;
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  double mean(size_t reps) const {
+    return total / static_cast<double>(reps);
+  }
+};
+
+// A small delta against `table`: `delta_rows` mutated rows (one cell each
+// gets fresh tokens) plus one appended row — the "few rows changed out of
+// thousands" shape incremental ingestion is built for.
+TableDelta SmallRandomDelta(const Table& table, uint8_t side,
+                            size_t generation, size_t delta_rows, Rng& rng) {
+  TableDelta delta;
+  delta.side = side;
+  const size_t rows = table.num_rows();
+  const size_t cols = table.num_columns();
+  auto row_values = [&](size_t row) {
+    std::vector<std::string> values;
+    values.reserve(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      values.emplace_back(table.Value(row, c));
+    }
+    return values;
+  };
+  std::vector<uint32_t> used;
+  for (size_t m = 0; m < delta_rows; ++m) {
+    const uint32_t row = static_cast<uint32_t>(rng.NextBelow(rows));
+    bool seen = false;
+    for (uint32_t u : used) seen = seen || u == row;
+    if (seen) continue;
+    used.push_back(row);
+    TableDelta::RowEdit edit;
+    edit.row = row;
+    edit.values = row_values(row);
+    edit.values[rng.NextBelow(cols)] +=
+        " g" + std::to_string(generation) + "m" + std::to_string(m);
+    delta.mutated.push_back(std::move(edit));
+  }
+  std::vector<std::string> appended = row_values(rng.NextBelow(rows));
+  appended[0] += " appended" + std::to_string(generation);
+  delta.appended.push_back(std::move(appended));
+  return delta;
+}
+
+int RunJsonBench(const BenchConfig& config) {
+  datagen::GeneratedDataset dataset =
+      config.dataset == "fodors_zagats"
+          ? datagen::GenerateFodorsZagats(
+                datagen::ScaleDims(datagen::kDimsFodorsZagats, config.scale))
+          : datagen::GenerateAmazonGoogle(
+                datagen::ScaleDims(datagen::kDimsAmazonGoogle, config.scale));
+
+  ConfigGeneratorOptions config_options;
+  Result<PromisingAttributes> attributes = SelectPromisingAttributes(
+      dataset.table_a, dataset.table_b, config_options);
+  MC_CHECK(attributes.ok()) << attributes.status().ToString();
+  const std::vector<size_t> columns = attributes->columns;
+  const ConfigTree tree = GenerateConfigTree(*attributes, config_options);
+
+  TextPlaneBuildOptions plane_options;
+  plane_options.num_threads = config.threads;
+  CorpusBuildOptions corpus_options;
+  corpus_options.num_threads = config.threads;
+  JointOptions joint_options;
+  joint_options.k = config.k;
+  joint_options.num_threads = config.threads;
+  joint_options.exclude = &dataset.gold;
+
+  StageTiming rebuild_stage, patch_stage;
+  bool identical = true;
+  uint32_t patched_checksum = 0, rebuilt_checksum = 0;
+  uint32_t plane_crc = 0, corpus_crc = 0;
+  double dead_token_fraction = 0.0;
+  size_t lists_repaired = 0, lists_rejoined = 0;
+
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    // Untimed setup: the pre-delta planes and lists both arms start from,
+    // plus the per-generation table states and row deltas (table mutation
+    // itself is common to both arms).
+    Rng rng(config.seed + rep);
+    std::vector<Table> tables_a{dataset.table_a};
+    std::vector<Table> tables_b{dataset.table_b};
+    std::vector<RowsDelta> row_deltas;
+    for (size_t g = 1; g <= config.generations; ++g) {
+      Table table_a = tables_a.back();
+      Table table_b = tables_b.back();
+      const uint8_t side = static_cast<uint8_t>(g % 2);
+      Table& target = side == 0 ? table_a : table_b;
+      const TableDelta delta =
+          SmallRandomDelta(target, side, g, config.delta_rows, rng);
+      const size_t base_rows = target.num_rows();
+      Status applied = ApplyDeltaToTable(target, delta);
+      MC_CHECK(applied.ok()) << applied.ToString();
+      Result<RowsDelta> rows = MakeRowsDelta(delta, base_rows);
+      MC_CHECK(rows.ok()) << rows.status().ToString();
+      row_deltas.push_back(*std::move(rows));
+      tables_a.push_back(std::move(table_a));
+      tables_b.push_back(std::move(table_b));
+    }
+
+    std::shared_ptr<const TokenizedTable> base_plane = TokenizedTable::Build(
+        tables_a[0], tables_b[0], plane_options);
+    MC_CHECK(base_plane != nullptr && !base_plane->truncated());
+    auto base_corpus = std::make_shared<SsjCorpus>(SsjCorpus::Build(
+        tables_a[0], tables_b[0], columns, corpus_options));
+    MC_CHECK(!base_corpus->truncated());
+    JointResult base_joint =
+        RunJointTopKJoins(*base_corpus, tree, joint_options);
+    MC_CHECK(!base_joint.truncated);
+    JointListsSnapshot base_snapshot;
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      base_snapshot.configs.push_back(tree.nodes[i].mask);
+      base_snapshot.parents.push_back(tree.nodes[i].parent);
+      base_snapshot.seeded.push_back(
+          base_joint.per_config[i].seeded_from_parent ? 1 : 0);
+      base_snapshot.lists.push_back(base_joint.per_config[i].topk);
+    }
+    base_snapshot.k = config.k;
+    base_snapshot.measure = joint_options.measure;
+    base_snapshot.q_used = base_joint.q_used;
+
+    // Rebuild arm: every generation pays a full plane + corpus build and a
+    // full re-run of the joint joins. CRCs are taken outside the timer.
+    std::vector<uint32_t> rebuilt_plane_crcs, rebuilt_corpus_crcs;
+    std::vector<uint32_t> rebuilt_list_crcs;
+    {
+      double seconds = 0.0;
+      for (size_t g = 1; g <= config.generations; ++g) {
+        Stopwatch watch;
+        std::shared_ptr<const TokenizedTable> plane = TokenizedTable::Build(
+            tables_a[g], tables_b[g], plane_options);
+        SsjCorpus corpus = SsjCorpus::Build(tables_a[g], tables_b[g],
+                                            columns, corpus_options);
+        JointResult joint = RunJointTopKJoins(corpus, tree, joint_options);
+        seconds += watch.ElapsedSeconds();
+        MC_CHECK(plane != nullptr && !plane->truncated());
+        MC_CHECK(!corpus.truncated() && !joint.truncated);
+        std::vector<std::vector<ScoredPair>> lists;
+        for (const ConfigJoinResult& result : joint.per_config) {
+          lists.push_back(result.topk);
+        }
+        rebuilt_plane_crcs.push_back(plane->ContentCrc());
+        rebuilt_corpus_crcs.push_back(corpus.ContentCrc());
+        rebuilt_list_crcs.push_back(TopKListsCrc(lists));
+      }
+      rebuild_stage.Record(rep, seconds);
+    }
+
+    // Patch arm: the chained incremental path the service runs — each
+    // generation patches the previous generation's artifacts in place.
+    {
+      std::shared_ptr<const TokenizedTable> plane = base_plane;
+      std::shared_ptr<SsjCorpus> corpus = base_corpus;
+      JointListsSnapshot snapshot = base_snapshot;
+      double seconds = 0.0;
+      for (size_t g = 1; g <= config.generations; ++g) {
+        const RowsDelta& rows = row_deltas[g - 1];
+        std::vector<RowId> touched_a, touched_b;
+        std::vector<RowId>& touched =
+            rows.side == 0 ? touched_a : touched_b;
+        touched.assign(rows.touched.begin(), rows.touched.end());
+        for (size_t i = 0; i < rows.appended; ++i) {
+          touched.push_back(static_cast<RowId>(rows.base_rows + i));
+        }
+        JointRepairOptions repair_options;
+        repair_options.exclude = &dataset.gold;
+        JointRepairStats repair_stats;
+        Stopwatch watch;
+        std::shared_ptr<const TokenizedTable> patched_plane =
+            TokenizedTable::ApplyDelta(*plane, tables_a[g], tables_b[g],
+                                       rows, plane_options);
+        std::optional<SsjCorpus> patched_corpus = SsjCorpus::ApplyDelta(
+            *corpus, tables_a[g], tables_b[g], columns, rows,
+            corpus_options);
+        MC_CHECK(patched_plane != nullptr) << "plane patch failed, gen " << g;
+        MC_CHECK(patched_corpus.has_value())
+            << "corpus patch failed, gen " << g;
+        std::vector<std::vector<ScoredPair>> repaired = RepairJointLists(
+            *patched_corpus, snapshot, touched_a, touched_b, repair_options,
+            &repair_stats);
+        seconds += watch.ElapsedSeconds();
+        plane = std::move(patched_plane);
+        corpus = std::make_shared<SsjCorpus>(*std::move(patched_corpus));
+        snapshot.lists = repaired;
+        lists_repaired += repair_stats.configs_repaired;
+        lists_rejoined += repair_stats.configs_rejoined;
+        // Bit-identity at every generation, not just the last.
+        identical = identical &&
+                    plane->ContentCrc() == rebuilt_plane_crcs[g - 1] &&
+                    corpus->ContentCrc() == rebuilt_corpus_crcs[g - 1] &&
+                    TopKListsCrc(repaired) == rebuilt_list_crcs[g - 1];
+        if (g == config.generations) {
+          plane_crc = plane->ContentCrc();
+          corpus_crc = corpus->ContentCrc();
+          patched_checksum = TopKListsCrc(repaired);
+          rebuilt_checksum = rebuilt_list_crcs[g - 1];
+          dead_token_fraction = plane->dead_token_fraction();
+        }
+      }
+      patch_stage.Record(rep, seconds);
+    }
+  }
+
+  const double patch_speedup = rebuild_stage.best / patch_stage.best;
+  const double generations = static_cast<double>(config.generations);
+
+  std::ofstream out(config.path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", config.path.c_str());
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.KV("schema_version", uint64_t{1});
+  json.KV("benchmark", "micro_delta");
+  json.KV("engine", config.engine);
+  json.Key("workload");
+  json.BeginObject();
+  json.KV("dataset", config.dataset);
+  json.KV("scale", config.scale);
+  json.KV("rows_a", uint64_t{dataset.table_a.num_rows()});
+  json.KV("rows_b", uint64_t{dataset.table_b.num_rows()});
+  json.KV("generations", uint64_t{config.generations});
+  json.KV("delta_rows", uint64_t{config.delta_rows});
+  json.KV("k", uint64_t{config.k});
+  json.KV("threads", uint64_t{config.threads});
+  json.KV("repetitions", uint64_t{config.reps});
+  json.KV("seed", config.seed);
+  json.EndObject();
+  json.Key("results");
+  json.BeginArray();
+  auto stage = [&](const char* name, const StageTiming& timing) {
+    json.BeginObject();
+    json.KV("name", name);
+    json.KV("best_seconds", timing.best);
+    json.KV("mean_seconds", timing.mean(config.reps));
+    json.KV("generations_per_sec", generations / timing.best);
+    json.EndObject();
+  };
+  stage("rebuild", rebuild_stage);
+  stage("patch", patch_stage);
+  json.EndArray();
+  json.Key("output");
+  json.BeginObject();
+  json.KV("patch_speedup", patch_speedup);
+  json.KV("lists_repaired", uint64_t{lists_repaired});
+  json.KV("lists_rejoined", uint64_t{lists_rejoined});
+  json.KV("dead_token_fraction", dead_token_fraction);
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08x", plane_crc);
+  json.KV("plane_crc", hex);
+  std::snprintf(hex, sizeof(hex), "%08x", corpus_crc);
+  json.KV("corpus_crc", hex);
+  std::snprintf(hex, sizeof(hex), "%08x", patched_checksum);
+  json.KV("topk_checksum", hex);
+  std::snprintf(hex, sizeof(hex), "%08x", rebuilt_checksum);
+  json.KV("rebuilt_topk_checksum", hex);
+  json.KV("identical_to_rebuild", identical);
+  json.EndObject();
+  json.EndObject();
+  out << "\n";
+  std::printf(
+      "wrote %s (rebuild %.3fs, patch %.3fs, speedup %.2fx, repaired %zu, "
+      "rejoined %zu)\n",
+      config.path.c_str(), rebuild_stage.best, patch_stage.best,
+      patch_speedup, lists_repaired, lists_rejoined);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "PATCH VIOLATION: patched planes/lists differ from a "
+                 "from-scratch rebuild\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mc
+
+int main(int argc, char** argv) {
+  mc::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--json=")) {
+      config.path = v;
+    } else if (const char* v = value_of("--engine=")) {
+      config.engine = v;
+    } else if (const char* v = value_of("--dataset=")) {
+      config.dataset = v;
+    } else if (const char* v = value_of("--scale=")) {
+      config.scale = std::atof(v);
+    } else if (const char* v = value_of("--generations=")) {
+      config.generations = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--delta-rows=")) {
+      config.delta_rows = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--reps=")) {
+      config.reps = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--k=")) {
+      config.k = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--threads=")) {
+      config.threads = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--seed=")) {
+      config.seed = static_cast<uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (config.path.empty()) {
+    std::fprintf(stderr,
+                 "usage: micro_delta --json=PATH [--engine=LABEL] "
+                 "[--dataset=NAME] [--scale=F] [--generations=N] "
+                 "[--delta-rows=N] [--reps=N] [--k=N] [--threads=N] "
+                 "[--seed=S]\n");
+    return 2;
+  }
+  if (config.generations == 0 || config.reps == 0 ||
+      config.delta_rows == 0) {
+    std::fprintf(stderr, "generations, delta-rows, reps must be >= 1\n");
+    return 2;
+  }
+  return mc::RunJsonBench(config);
+}

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -244,6 +245,26 @@ Result<std::vector<std::vector<ScoredPair>>> LoadTopKLists(
     lists.push_back(std::move(list));
   }
   return lists;
+}
+
+uint32_t TopKListsCrc(const std::vector<std::vector<ScoredPair>>& lists) {
+  uint32_t crc = 0;
+  auto hash_u64 = [&crc](uint64_t value) {
+    crc = Crc32(&value, sizeof(value), crc);
+  };
+  hash_u64(lists.size());
+  for (const std::vector<ScoredPair>& list : lists) {
+    hash_u64(list.size());
+    for (const ScoredPair& entry : list) {
+      hash_u64(entry.pair);
+      // Score bits, not a textual rendering: bit-identity is the contract.
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(entry.score));
+      std::memcpy(&bits, &entry.score, sizeof(bits));
+      hash_u64(bits);
+    }
+  }
+  return crc;
 }
 
 }  // namespace mc

@@ -47,6 +47,12 @@ Status SaveTopKLists(const std::vector<std::vector<ScoredPair>>& lists,
 Result<std::vector<std::vector<ScoredPair>>> LoadTopKLists(
     const std::string& path);
 
+/// Checksum over per-config lists: list count, then each list's length and
+/// (pair, score-bits) entries in order. Two runs produce equal CRCs iff
+/// their lists are bit-identical — what the delta-equivalence suite and
+/// bench/micro_delta compare patched vs rebuilt outputs with.
+uint32_t TopKListsCrc(const std::vector<std::vector<ScoredPair>>& lists);
+
 }  // namespace mc
 
 #endif  // MATCHCATCHER_CORE_SESSION_IO_H_

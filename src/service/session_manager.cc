@@ -26,6 +26,12 @@ std::string CheckpointPath(const std::string& dir, uint64_t id) {
   return dir + "/session-" + std::to_string(id) + ".mc";
 }
 
+// Once this fraction of a plane's or corpus's dictionary is dead (df == 0
+// through retired delta tokens), patching stops paying: compact by
+// rebuilding from scratch instead. Content equality with a rebuild holds on
+// either path.
+constexpr double kDeadTokenCompactionThreshold = 0.5;
+
 }  // namespace
 
 const char* SessionStateName(SessionState state) {
@@ -58,13 +64,6 @@ bool IsTerminalState(SessionState state) {
       return true;
   }
   return true;
-}
-
-int64_t ParseRetryAfterMillis(const std::string& message) {
-  const std::string tag = "retry-after-ms=";
-  const size_t at = message.find(tag);
-  if (at == std::string::npos) return -1;
-  return std::strtoll(message.c_str() + at + tag.size(), nullptr, 10);
 }
 
 SessionManager::SessionManager(const ServiceLimits& limits)
@@ -182,10 +181,13 @@ Result<uint64_t> SessionManager::Submit(const SessionRequest& request) {
         1, static_cast<int64_t>(
                1000.0 * avg * static_cast<double>(backlog) /
                static_cast<double>(limits_.max_concurrent_sessions)));
+    // The hint travels as a typed Status payload; the message repeats it
+    // for humans reading logs.
     return Status::ResourceExhausted(
-        "admission queue full (" + std::to_string(live_count_) +
-        " live sessions, capacity " + std::to_string(capacity) +
-        "); retry-after-ms=" + std::to_string(hint_millis));
+               "admission queue full (" + std::to_string(live_count_) +
+               " live sessions, capacity " + std::to_string(capacity) +
+               "); retry-after-ms=" + std::to_string(hint_millis))
+        .WithRetryAfter(hint_millis);
   }
 
   const uint64_t id = next_id_++;
@@ -210,6 +212,182 @@ Result<uint64_t> SessionManager::Submit(const SessionRequest& request) {
   return id;
 }
 
+Status SessionManager::ApplyTableDelta(const std::string& key,
+                                       const TableDelta& delta) {
+  std::shared_ptr<PairEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::Unavailable("session manager is shutting down");
+    }
+    auto it = pairs_.find(key);
+    if (it == pairs_.end()) {
+      return Status::NotFound("unknown table pair: " + key);
+    }
+    entry = it->second;
+  }
+
+  bool patched_plane = false;
+  bool patched_corpus = false;
+  JointRepairStats repair_stats;
+  const Status status = [&]() -> Status {
+    if (delta.empty()) {
+      return Status::InvalidArgument("empty delta for pair " + key);
+    }
+    if (MC_FAULT_POINT("service/delta") != FaultKind::kNone) {
+      return Status::Unavailable("injected fault: service/delta");
+    }
+    std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
+
+    // Every artifact is staged on copies; the entry flips to the new
+    // generation only after the whole batch succeeded, so any failure
+    // below leaves the prior generation intact and visible.
+    Table staged_a = entry->table_a;
+    Table staged_b = entry->table_b;
+    Table& target = delta.side == 0 ? staged_a : staged_b;
+    const size_t base_rows = target.num_rows();
+    MC_RETURN_IF_ERROR(ApplyDeltaToTable(target, delta));
+    MC_ASSIGN_OR_RETURN(RowsDelta rows, MakeRowsDelta(delta, base_rows));
+
+    // The row edits already detached the stale plane from the mutated copy;
+    // drop it from the untouched side too, then patch — or, past the
+    // dead-token compaction threshold, rebuild — and re-attach.
+    const std::shared_ptr<const TokenizedTable> old_plane =
+        entry->table_a.text_plane_ref();
+    staged_a.DetachTextPlane();
+    staged_b.DetachTextPlane();
+    std::shared_ptr<const TokenizedTable> new_plane;
+    if (old_plane != nullptr && !old_plane->truncated()) {
+      TextPlaneBuildOptions plane_options;
+      plane_options.run_context = root_context_;
+      plane_options.memory_budget = &budget_;
+      if (old_plane->dead_token_fraction() > kDeadTokenCompactionThreshold) {
+        new_plane = TokenizedTable::Build(staged_a, staged_b, plane_options);
+        if (new_plane == nullptr || new_plane->truncated()) {
+          return Status::ResourceExhausted(
+              "plane compaction rebuild truncated for pair " + key);
+        }
+      } else {
+        new_plane = TokenizedTable::ApplyDelta(*old_plane, staged_a,
+                                               staged_b, rows, plane_options);
+        if (new_plane == nullptr) {
+          return Status::Unavailable("plane patch failed for pair " + key);
+        }
+        patched_plane = true;
+      }
+      staged_a.AttachTextPlane(new_plane, 0);
+      staged_b.AttachTextPlane(new_plane, 1);
+    }
+
+    std::shared_ptr<const SsjCorpus> new_corpus;
+    if (entry->corpus != nullptr && !entry->corpus->truncated()) {
+      CorpusBuildOptions corpus_options;
+      corpus_options.run_context = root_context_;
+      corpus_options.memory_budget = &budget_;
+      if (entry->corpus->dead_token_fraction() >
+          kDeadTokenCompactionThreshold) {
+        auto rebuilt = std::make_shared<SsjCorpus>(SsjCorpus::Build(
+            staged_a, staged_b, entry->corpus_columns, corpus_options));
+        if (rebuilt->truncated()) {
+          return Status::ResourceExhausted(
+              "corpus compaction rebuild truncated for pair " + key);
+        }
+        new_corpus = std::move(rebuilt);
+      } else {
+        std::optional<SsjCorpus> patched = SsjCorpus::ApplyDelta(
+            *entry->corpus, staged_a, staged_b, entry->corpus_columns, rows,
+            corpus_options);
+        if (!patched.has_value()) {
+          return Status::Unavailable("corpus patch failed for pair " + key);
+        }
+        new_corpus = std::make_shared<SsjCorpus>(*std::move(patched));
+        patched_corpus = true;
+      }
+    }
+
+    // Repair the cached top-k lists against the patched corpus. Without a
+    // corpus (evicted, or never published) the snapshot cannot be repaired
+    // and is dropped — serving stale lists would be wrong.
+    std::shared_ptr<const JointListsSnapshot> new_lists;
+    if (entry->joint_lists != nullptr && new_corpus != nullptr) {
+      std::vector<RowId> touched_a;
+      std::vector<RowId> touched_b;
+      std::vector<RowId>& touched = delta.side == 0 ? touched_a : touched_b;
+      touched.assign(rows.touched.begin(), rows.touched.end());
+      for (size_t i = 0; i < rows.appended; ++i) {
+        touched.push_back(static_cast<RowId>(rows.base_rows + i));
+      }
+      JointRepairOptions repair_options;
+      repair_options.exclude = &entry->blocker_output;
+      repair_options.run_context = root_context_;
+      auto repaired =
+          std::make_shared<JointListsSnapshot>(*entry->joint_lists);
+      repaired->lists =
+          RepairJointLists(*new_corpus, *entry->joint_lists, touched_a,
+                           touched_b, repair_options, &repair_stats);
+      new_lists = std::move(repaired);
+    }
+
+    // Publish. The displaced generation's plane/corpus park on the
+    // superseded list — in-flight sessions keep their own references, and
+    // the evictor reclaims these before any live plane.
+    if (old_plane != nullptr || entry->corpus != nullptr) {
+      entry->superseded.push_back(SupersededPlane{
+          entry->generation, old_plane, std::move(entry->corpus)});
+    }
+    entry->table_a = std::move(staged_a);
+    entry->table_b = std::move(staged_b);
+    entry->corpus = std::move(new_corpus);
+    entry->joint_lists = std::move(new_lists);
+    ++entry->generation;
+    return Status::Ok();
+  }();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!status.ok()) {
+    ++stats_.delta_failures;
+    return status;
+  }
+  ++stats_.deltas_applied;
+  if (patched_plane) ++stats_.planes_patched;
+  if (patched_corpus) ++stats_.corpora_patched;
+  stats_.lists_repaired += repair_stats.configs_repaired;
+  stats_.lists_rejoined += repair_stats.configs_rejoined;
+  return status;
+}
+
+Result<uint64_t> SessionManager::PairGeneration(const std::string& key) const {
+  std::shared_ptr<PairEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pairs_.find(key);
+    if (it == pairs_.end()) {
+      return Status::NotFound("unknown table pair: " + key);
+    }
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
+  return entry->generation;
+}
+
+Result<std::vector<std::vector<ScoredPair>>> SessionManager::CachedTopKLists(
+    const std::string& key) const {
+  std::shared_ptr<PairEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pairs_.find(key);
+    if (it == pairs_.end()) {
+      return Status::NotFound("unknown table pair: " + key);
+    }
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
+  if (entry->joint_lists == nullptr) {
+    return Status::NotFound("no cached top-k lists for pair: " + key);
+  }
+  return entry->joint_lists->lists;
+}
+
 void SessionManager::RunSession(uint64_t id) {
   // Claim the record and snapshot what the build needs.
   SessionRequest request;
@@ -228,6 +406,10 @@ void SessionManager::RunSession(uint64_t id) {
     if (pair_it != pairs_.end()) {
       entry = pair_it->second;
       entry->last_used_tick = ++lru_tick_;
+      // Pin the pair while this session is live: the evictor leaves pinned
+      // pairs' live planes alone, and FinishSession drops the pin.
+      ++entry->active_sessions;
+      record.entry = entry;
     }
   }
   if (entry == nullptr) {
@@ -260,6 +442,7 @@ void SessionManager::RunSession(uint64_t id) {
   std::shared_ptr<const SsjCorpus> shared_corpus;
   std::vector<size_t> shared_corpus_columns;
   bool built_plane = false;
+  uint64_t plane_generation = 0;
   {
     std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
     if (request.options.text_plane == TextPlane::kTokenized &&
@@ -282,6 +465,11 @@ void SessionManager::RunSession(uint64_t id) {
     blocker_output = entry->blocker_output;
     shared_corpus = entry->corpus;
     shared_corpus_columns = entry->corpus_columns;
+    // The generation this session runs over. A delta committed from here
+    // on supersedes it, but these snapshots stay valid — and the sinks
+    // below check it so a stale session never publishes into a patched
+    // entry.
+    plane_generation = entry->generation;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -300,12 +488,16 @@ void SessionManager::RunSession(uint64_t id) {
   options.memory_budget = &budget_;
   options.shared_corpus = std::move(shared_corpus);
   options.shared_corpus_columns = std::move(shared_corpus_columns);
-  options.corpus_sink = [this, entry](
+  options.corpus_sink = [this, entry, plane_generation](
                             std::shared_ptr<const SsjCorpus> corpus,
                             const std::vector<size_t>& columns) {
     {
       std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
-      if (entry->corpus == nullptr) {
+      // Publish first-wins, and only into the generation this session
+      // snapshotted: a corpus built over pre-delta tables must not land in
+      // a patched entry.
+      if (entry->generation == plane_generation &&
+          entry->corpus == nullptr) {
         entry->corpus = std::move(corpus);
         entry->corpus_columns = columns;
       }
@@ -313,6 +505,21 @@ void SessionManager::RunSession(uint64_t id) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.corpus_builds;
   };
+  if (request.options.joint.q >= 1) {
+    // Cache repairable top-k state, first qualifying session wins. Gated on
+    // a caller-fixed q: under joint.q == 0 the executor races q against the
+    // data, so a rebuild could legitimately pick a different q than the
+    // snapshot replays — only a deterministic q makes repair-vs-rebuild
+    // equivalence provable. Truncated executions never reach the sink.
+    options.joint_sink = [this, entry,
+                          plane_generation](const JointListsSnapshot& lists) {
+      std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
+      if (entry->generation != plane_generation) return;  // Stale session.
+      if (entry->joint_lists == nullptr) {
+        entry->joint_lists = std::make_shared<const JointListsSnapshot>(lists);
+      }
+    };
+  }
 
   // The build is pure until FinishSession publishes, so rebuilding after a
   // transient failure (the "service/build" fault, a budget rejection that
@@ -339,6 +546,7 @@ void SessionManager::RunSession(uint64_t id) {
 
   SessionOutcome outcome;
   outcome.id = id;
+  outcome.plane_generation = plane_generation;
   if (!build_status.ok()) {
     outcome.status = build_status;
     // A cancel/deadline that fired before the joint phase produced anything
@@ -373,6 +581,11 @@ void SessionManager::FinishSession(uint64_t id, SessionOutcome outcome) {
   auto it = sessions_.find(id);
   if (it == sessions_.end() || IsTerminalState(it->second.state)) return;
   SessionRecord& record = it->second;
+  if (record.entry != nullptr) {
+    MC_CHECK_GT(record.entry->active_sessions, 0u);
+    --record.entry->active_sessions;
+    record.entry.reset();
+  }
   outcome.admission_wait_seconds = record.outcome.admission_wait_seconds;
   outcome.total_seconds = SecondsSince(record.submit_time);
   record.state = outcome.state;
@@ -472,11 +685,30 @@ size_t SessionManager::EvictSharedPlanesLocked(size_t max_evictions) {
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   size_t evicted = 0;
+  // Pass 1: superseded generations. No new session can ever see them, so
+  // they are pure reclaim — they go before any live plane is touched, and
+  // pinned sessions are unaffected (they hold their own references).
   for (auto& [tick, entry] : order) {
     if (max_evictions != 0 && evicted >= max_evictions) break;
-    // try_lock: a pair whose plane is being built (or snapshotted) right
-    // now is busy, not idle — skip it rather than invert the mutex_ →
-    // pair_mutex order and deadlock.
+    // try_lock: a pair whose plane is being built (or snapshotted, or
+    // patched) right now is busy, not idle — skip it rather than invert
+    // the mutex_ → pair_mutex order and deadlock.
+    std::unique_lock<std::mutex> pair_lock(entry->pair_mutex,
+                                           std::try_to_lock);
+    if (!pair_lock.owns_lock()) continue;
+    while (!entry->superseded.empty() &&
+           (max_evictions == 0 || evicted < max_evictions)) {
+      entry->superseded.erase(entry->superseded.begin());  // Oldest first.
+      ++evicted;
+      ++stats_.planes_evicted;
+      ++stats_.superseded_planes_evicted;
+    }
+  }
+  // Pass 2: live planes, LRU first — but only on pairs no live session is
+  // pinned to, so a running session never loses the shared cache under it.
+  for (auto& [tick, entry] : order) {
+    if (max_evictions != 0 && evicted >= max_evictions) break;
+    if (entry->active_sessions != 0) continue;
     std::unique_lock<std::mutex> pair_lock(entry->pair_mutex,
                                            std::try_to_lock);
     if (!pair_lock.owns_lock()) continue;
@@ -487,6 +719,9 @@ size_t SessionManager::EvictSharedPlanesLocked(size_t max_evictions) {
     entry->table_b.DetachTextPlane();
     entry->corpus.reset();
     entry->corpus_columns.clear();
+    // Without a corpus the snapshot can no longer be repaired by a delta;
+    // drop it with the cache it rode on.
+    entry->joint_lists.reset();
     ++evicted;
     ++stats_.planes_evicted;
   }
@@ -568,6 +803,7 @@ ServiceStats SessionManager::stats() const {
   snapshot.memory_used_bytes = budget_.used();
   snapshot.memory_peak_bytes = budget_.peak();
   snapshot.memory_rejected_charges = budget_.rejected();
+  snapshot.memory_release_violations = budget_.release_violations();
   return snapshot;
 }
 

@@ -16,6 +16,7 @@
 #include "core/match_catcher.h"
 #include "service/retry_policy.h"
 #include "table/table.h"
+#include "table/table_delta.h"
 #include "util/memory_budget.h"
 #include "util/run_context.h"
 #include "util/status.h"
@@ -105,6 +106,11 @@ struct SessionOutcome {
   bool used_shared_corpus = false;
   /// Reloaded from a checkpoint by RestoreFromCheckpoints(), not computed.
   bool restored = false;
+  /// Generation of the pair's shared planes this session ran over (0 when
+  /// the pair vanished or the session never reached the build). A delta
+  /// committed mid-session bumps the pair's generation, but the session
+  /// keeps the one it pinned here — its table/corpus references stay valid.
+  uint64_t plane_generation = 0;
   double admission_wait_seconds = 0.0;
   double total_seconds = 0.0;
 };
@@ -126,14 +132,19 @@ struct ServiceStats {
   size_t planes_evicted = 0;
   size_t sessions_restored = 0;
   size_t restore_failures = 0;  // Corrupt/unreadable checkpoints skipped.
+  size_t deltas_applied = 0;    // ApplyTableDelta commits (generation bumps).
+  size_t delta_failures = 0;    // Failed deltas; prior generation kept.
+  size_t planes_patched = 0;    // Planes updated via TokenizedTable::ApplyDelta.
+  size_t corpora_patched = 0;   // Corpora updated via SsjCorpus::ApplyDelta.
+  size_t lists_repaired = 0;    // Config lists repaired by incremental merge.
+  size_t lists_rejoined = 0;    // Config lists that fell back to a full join.
+  size_t superseded_planes_evicted = 0;  // Subset of planes_evicted that
+                                         // were superseded generations.
   size_t memory_used_bytes = 0;
   size_t memory_peak_bytes = 0;
   size_t memory_rejected_charges = 0;
+  size_t memory_release_violations = 0;  // Over-releases clamped at zero.
 };
-
-/// Extracts the "retry-after-ms=<n>" hint a kResourceExhausted admission
-/// rejection carries in its message; -1 when absent.
-int64_t ParseRetryAfterMillis(const std::string& message);
 
 /// Long-lived multiplexer of concurrent DebugSessions over shared immutable
 /// planes. The survival contract (docs/robustness.md): any number of
@@ -143,8 +154,9 @@ int64_t ParseRetryAfterMillis(const std::string& message);
 /// typed error — never a hang, leak, or crash.
 ///
 ///   - Admission control: a bounded queue plus per-session cost estimates;
-///     over-capacity submissions get kResourceExhausted with a
-///     retry-after-ms hint derived from the observed session rate.
+///     over-capacity submissions get kResourceExhausted carrying a typed
+///     retry-after payload (Status::retry_after_millis()) derived from the
+///     observed session rate.
 ///   - Budget enforcement: each session runs under a RunContext child of
 ///     the manager root (session deadline tightens, shutdown cancels all),
 ///     and all plane/corpus arenas charge one shared MemoryBudget.
@@ -154,6 +166,12 @@ int64_t ParseRetryAfterMillis(const std::string& message);
 ///     N sessions cost ~1 tokenization. The first finished corpus build is
 ///     published the same way. Shared results are bit-identical to isolated
 ///     builds (the builders are thread-count deterministic).
+///   - Incremental deltas: ApplyTableDelta() patches the stored tables, the
+///     shared plane, the cached corpus, and the cached per-config top-k
+///     lists in place of a rebuild, then bumps the pair's generation.
+///     In-flight sessions keep the generation they pinned at snapshot time;
+///     superseded generations park on a reclaim list the evictor drains
+///     first. A failed delta leaves the prior generation intact and visible.
 ///   - Retry/backoff: session builds and checkpoint IO run under the
 ///     configured RetryPolicy; injected faults ("service/build",
 ///     "session_io/*") exercise the real paths.
@@ -181,9 +199,42 @@ class SessionManager {
 
   /// Admission control. Returns the session id, or a typed rejection:
   /// kNotFound (unknown pair), kInvalidArgument (cost can never fit),
-  /// kResourceExhausted with a retry-after-ms hint (queue full),
-  /// kUnavailable (shutting down, or the "service/admit" fault fired).
+  /// kResourceExhausted with a typed retry-after hint — read it with
+  /// status.retry_after_millis() — when the queue is full, kUnavailable
+  /// (shutting down, or the "service/admit" fault fired).
   Result<uint64_t> Submit(const SessionRequest& request);
+
+  /// Applies a batch of row edits to one side of a registered pair and
+  /// patches every cached artifact incrementally: the stored tables, the
+  /// attached TokenizedTable (TokenizedTable::ApplyDelta), the cached
+  /// corpus (SsjCorpus::ApplyDelta), and the cached per-config top-k lists
+  /// (RepairJointLists) — all staged on copies and published atomically as
+  /// a new plane generation. Patched artifacts are content-identical to
+  /// from-scratch rebuilds of the mutated tables (the delta-equivalence
+  /// suite holds this bit for bit). When an artifact's dead-token fraction
+  /// passes the compaction threshold (0.5), it is rebuilt instead of
+  /// patched — same contract, fresh dictionary.
+  ///
+  /// In-flight sessions are unaffected: they hold references to the
+  /// generation they snapshotted. On any failure — validation, the
+  /// "service/delta" fault, a budget refusal mid-patch — the prior
+  /// generation stays intact and visible, and nothing is published.
+  /// Typed errors: kNotFound (unknown key), kInvalidArgument (empty or
+  /// malformed delta), kUnavailable (fault/patch failure, shutting down),
+  /// kResourceExhausted (compaction rebuild truncated by the budget).
+  Status ApplyTableDelta(const std::string& key, const TableDelta& delta);
+
+  /// Current plane generation of a registered pair (starts at 1; each
+  /// committed delta increments it). kNotFound for unknown keys.
+  Result<uint64_t> PairGeneration(const std::string& key) const;
+
+  /// The pair's cached per-config top-k lists — populated by the first
+  /// non-truncated session that ran with a deterministic q (joint.q >= 1),
+  /// then repaired in place by every committed delta. kNotFound when the
+  /// pair is unknown or nothing is cached (no qualifying session yet, or
+  /// the cache was evicted).
+  Result<std::vector<std::vector<ScoredPair>>> CachedTopKLists(
+      const std::string& key) const;
 
   /// Blocks until the session is terminal; returns its outcome.
   Result<SessionOutcome> Wait(uint64_t session_id);
@@ -228,6 +279,16 @@ class SessionManager {
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// A plane generation displaced by a committed delta. New sessions can
+  /// never see it again, so the evictor reclaims these before touching any
+  /// live plane; in-flight sessions pinned to it hold their own references
+  /// and are unaffected by the reclaim.
+  struct SupersededPlane {
+    uint64_t generation = 0;
+    std::shared_ptr<const TokenizedTable> plane;
+    std::shared_ptr<const SsjCorpus> corpus;
+  };
+
   struct PairEntry {
     Table table_a;
     Table table_b;
@@ -236,9 +297,23 @@ class SessionManager {
     /// over it directly.
     std::shared_ptr<const SsjCorpus> corpus;
     std::vector<size_t> corpus_columns;
+    /// Cached repairable top-k state: published by the first qualifying
+    /// session's joint_sink, repaired in place by every committed delta.
+    /// Guarded by pair_mutex, like corpus.
+    std::shared_ptr<const JointListsSnapshot> joint_lists;
+    /// Monotone plane generation; ApplyTableDelta bumps it on commit.
+    /// Guarded by pair_mutex.
+    uint64_t generation = 1;
+    /// Prior generations awaiting reclaim, oldest first. Guarded by
+    /// pair_mutex.
+    std::vector<SupersededPlane> superseded;
     uint64_t last_used_tick = 0;
-    /// Serializes the single-flight plane build (and table snapshotting)
-    /// for this pair; never held together with mutex_.
+    /// Sessions currently pinned to this entry (claimed but not yet
+    /// terminal). Guarded by mutex_ — the evictor reads it there to skip
+    /// busy pairs.
+    size_t active_sessions = 0;
+    /// Serializes the single-flight plane build, table snapshotting, and
+    /// delta application for this pair; never held together with mutex_.
     std::mutex pair_mutex;
   };
 
@@ -251,6 +326,9 @@ class SessionManager {
     Clock::time_point deadline_time;  // Meaningful iff has_deadline.
     bool has_deadline = false;
     bool watchdog_cancelled = false;
+    /// Pin on the pair entry while the session is live; FinishSession drops
+    /// it and decrements active_sessions.
+    std::shared_ptr<PairEntry> entry;
     SessionOutcome outcome;
   };
 

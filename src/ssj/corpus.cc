@@ -9,6 +9,7 @@
 #include "table/tokenized_table.h"
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -435,6 +436,205 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
 
   if (stats != nullptr) *stats = corpus.build_stats_;
   return corpus;
+}
+
+std::optional<SsjCorpus> SsjCorpus::ApplyDelta(
+    const SsjCorpus& base, const Table& table_a, const Table& table_b,
+    const std::vector<size_t>& columns, const RowsDelta& delta,
+    const CorpusBuildOptions& options) {
+  if (base.truncated() || delta.side > 1 ||
+      columns.size() != base.num_attributes_) {
+    return std::nullopt;
+  }
+  const size_t side = delta.side;
+  const Table& delta_table = side == 0 ? table_a : table_b;
+  const Table& other_table = side == 0 ? table_b : table_a;
+  const size_t base_side_rows = side == 0 ? base.rows_a() : base.rows_b();
+  const size_t base_other_rows = side == 0 ? base.rows_b() : base.rows_a();
+  const size_t new_side_rows = delta.base_rows + delta.appended;
+  if (base_side_rows != delta.base_rows ||
+      delta_table.num_rows() != new_side_rows ||
+      other_table.num_rows() != base_other_rows) {
+    return std::nullopt;
+  }
+  if (MC_FAULT_POINT("corpus/apply_delta") != FaultKind::kNone) {
+    return std::nullopt;
+  }
+
+  SsjCorpus out;
+  out.num_attributes_ = base.num_attributes_;
+  out.dictionary_ = base.dictionary_;
+  out.build_stats_ = base.build_stats_;
+
+  // Retire each touched row's old entries: corpus entries are distinct per
+  // row, so one df decrement per entry. Entries are ranks; recover ids
+  // through the inverse of the base ranking.
+  std::vector<TokenId> id_of_rank(base.dictionary_.size());
+  for (TokenId id = 0; id < id_of_rank.size(); ++id) {
+    id_of_rank[base.dictionary_.RankOf(id)] = id;
+  }
+  auto base_tuple = [&](size_t row) {
+    return side == 0 ? base.tuple_a(row) : base.tuple_b(row);
+  };
+  for (uint32_t row : delta.touched) {
+    const TupleTokens tuple = base_tuple(row);
+    for (size_t e = 0; e < tuple.size(); ++e) {
+      out.dictionary_.SubtractDocumentFrequency(id_of_rank[tuple.ranks[e]], 1);
+    }
+  }
+
+  // Re-tokenize only the touched + appended rows from the mutated table,
+  // interning directly into the published dictionary (new tokens take ids
+  // past the base's; ranks are re-derived below). Mirrors TokenizeBlock.
+  std::unordered_map<size_t, std::vector<std::pair<TokenId, uint32_t>>> fresh;
+  std::unordered_map<TokenId, uint32_t> tuple_masks;  // Global id -> mask.
+  auto tokenize_row = [&](size_t row) {
+    tuple_masks.clear();
+    for (size_t bit = 0; bit < columns.size(); ++bit) {
+      if (delta_table.IsMissing(row, columns[bit])) continue;
+      for (const std::string& token :
+           DistinctWordTokens(delta_table.Value(row, columns[bit]))) {
+        tuple_masks[out.dictionary_.Intern(token)] |= uint32_t{1} << bit;
+      }
+    }
+    std::vector<std::pair<TokenId, uint32_t>>& entries = fresh[row];
+    entries.reserve(tuple_masks.size());
+    for (const auto& [id, mask] : tuple_masks) {
+      entries.emplace_back(id, mask);
+      out.dictionary_.AddDocumentFrequency(id, 1);
+    }
+  };
+  for (uint32_t row : delta.touched) tokenize_row(row);
+  for (size_t row = delta.base_rows; row < new_side_rows; ++row) {
+    tokenize_row(row);
+  }
+  out.dictionary_.FinalizeRanks();
+  out.dead_tokens_ = out.dictionary_.DeadTokenCount();
+
+  // Old rank -> new rank (every base id survives; dead tokens rank last).
+  std::vector<uint32_t> rank_map(base.dictionary_.size());
+  for (TokenId id = 0; id < rank_map.size(); ++id) {
+    rank_map[base.dictionary_.RankOf(id)] = out.dictionary_.RankOf(id);
+  }
+
+  // Arena sizes: untouched rows keep their entry counts, patched rows take
+  // their fresh counts. A rows precede B rows in the arena, so the
+  // delta-side totals shift the other side's offsets when side == 0.
+  const size_t out_rows_a = side == 0 ? new_side_rows : base.rows_a();
+  const size_t out_rows_b = side == 0 ? base.rows_b() : new_side_rows;
+  auto row_entries = [&](size_t out_side, size_t row) -> size_t {
+    if (out_side == side) {
+      if (row >= delta.base_rows || delta.Touches(static_cast<uint32_t>(row))) {
+        return fresh.at(row).size();
+      }
+      return base_tuple(row).size();
+    }
+    return (out_side == 0 ? base.tuple_a(row) : base.tuple_b(row)).size();
+  };
+  uint64_t total = 0;
+  out.offsets_a_.reserve(out_rows_a + 1);
+  out.offsets_a_.push_back(0);
+  for (size_t row = 0; row < out_rows_a; ++row) {
+    total += row_entries(0, row);
+    out.offsets_a_.push_back(total);
+  }
+  out.offsets_b_.reserve(out_rows_b + 1);
+  out.offsets_b_.push_back(total);
+  for (size_t row = 0; row < out_rows_b; ++row) {
+    total += row_entries(1, row);
+    out.offsets_b_.push_back(total);
+  }
+
+  // Memory admission before the big allocations, mirroring Build.
+  const size_t arena_bytes =
+      static_cast<size_t>(total) * 2 * sizeof(uint32_t);
+  if (!out.reservation_.Acquire(options.memory_budget, arena_bytes)) {
+    return std::nullopt;
+  }
+  out.ranks_.resize(total);
+  out.masks_.resize(total);
+
+  // Fill both arenas and the distinct-mask row summaries in one sequential
+  // pass (row order A then B — the order Build writes). Untouched rows go
+  // through rank_map and re-sort: document-frequency changes can reorder
+  // live tokens, so the old sort order does not survive the patch. The
+  // summary derivation matches Build's flatten phase (distinct masks in
+  // rank order of the sorted row).
+  const size_t total_rows = out_rows_a + out_rows_b;
+  out.mask_offsets_.reserve(total_rows + 1);
+  out.mask_offsets_.push_back(0);
+  std::vector<std::pair<uint32_t, uint32_t>> row_buf;
+  auto write_row = [&](size_t out_side, size_t row, uint64_t write) {
+    row_buf.clear();
+    if (out_side == side &&
+        (row >= delta.base_rows ||
+         delta.Touches(static_cast<uint32_t>(row)))) {
+      for (const auto& [id, mask] : fresh.at(row)) {
+        row_buf.emplace_back(out.dictionary_.RankOf(id), mask);
+      }
+    } else {
+      const TupleTokens tuple =
+          out_side == 0 ? base.tuple_a(row) : base.tuple_b(row);
+      for (size_t e = 0; e < tuple.size(); ++e) {
+        row_buf.emplace_back(rank_map[tuple.ranks[e]], tuple.masks[e]);
+      }
+    }
+    std::sort(row_buf.begin(), row_buf.end());
+    const size_t masks_before = out.row_masks_.size();
+    for (const auto& [rank, mask] : row_buf) {
+      out.ranks_[write] = rank;
+      out.masks_[write] = mask;
+      ++write;
+      bool found = false;
+      for (size_t m = masks_before; m < out.row_masks_.size(); ++m) {
+        if (out.row_masks_[m] == mask) {
+          ++out.row_mask_counts_[m];
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        out.row_masks_.push_back(mask);
+        out.row_mask_counts_.push_back(1);
+      }
+    }
+    out.mask_offsets_.push_back(out.row_masks_.size());
+  };
+  for (size_t row = 0; row < out_rows_a; ++row) {
+    write_row(0, row, out.offsets_a_[row]);
+  }
+  for (size_t row = 0; row < out_rows_b; ++row) {
+    write_row(1, row, out.offsets_b_[row]);
+  }
+  return out;
+}
+
+uint32_t SsjCorpus::ContentCrc() const {
+  uint32_t crc = 0;
+  auto hash_u64 = [&crc](uint64_t value) {
+    crc = Crc32(&value, sizeof(value), crc);
+  };
+  hash_u64(num_attributes_);
+  hash_u64(rows_a());
+  hash_u64(rows_b());
+  auto hash_side = [&](const std::vector<uint64_t>& offsets) {
+    for (size_t row = 0; row + 1 < offsets.size(); ++row) {
+      const uint64_t begin = offsets[row];
+      const uint64_t end = offsets[row + 1];
+      hash_u64(end - begin);
+      if (end > begin) {
+        // Ranks are canonical (live ranks of a patched dictionary equal a
+        // rebuild's); ids are not, and are deliberately excluded.
+        crc = Crc32(ranks_.data() + begin, (end - begin) * sizeof(uint32_t),
+                    crc);
+        crc = Crc32(masks_.data() + begin, (end - begin) * sizeof(uint32_t),
+                    crc);
+      }
+    }
+  };
+  hash_side(offsets_a_);
+  hash_side(offsets_b_);
+  return crc;
 }
 
 ConfigView SsjCorpus::MakeConfigView(ConfigMask config, ViewMode mode) const {

@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "config/config.h"
 #include "table/table.h"
+#include "table/table_delta.h"
 #include "text/token_dictionary.h"
 #include "util/memory_budget.h"
 #include "util/run_context.h"
@@ -200,6 +202,28 @@ class SsjCorpus {
                          const CorpusBuildOptions& options,
                          CorpusBuildStats* stats = nullptr);
 
+  /// Patches `base` with a row delta instead of rebuilding: only the
+  /// touched and appended rows of the delta side are re-tokenized (their
+  /// old entries retire by document-frequency subtraction; new tokens are
+  /// interned past the published dictionary and retired tokens keep their
+  /// ids with df 0, ranking after every live token), and both sides' CSR
+  /// rank/mask arenas are rewritten through an old-rank -> new-rank map —
+  /// an integer transform, no string work for untouched rows.
+  ///
+  /// `table_a`/`table_b` must already hold the post-delta contents and
+  /// `columns` must be the column set the base corpus was built with. The
+  /// result is content-identical to Build() on the mutated tables
+  /// (ContentCrc matches bit for bit: live token ranks of a patched
+  /// dictionary equal the rebuild's ranks exactly).
+  ///
+  /// Returns nullopt — base untouched — when the delta does not match the
+  /// corpus's dimensions, the memory budget refuses the patched arenas, or
+  /// the "corpus/apply_delta" fault point fires.
+  static std::optional<SsjCorpus> ApplyDelta(
+      const SsjCorpus& base, const Table& table_a, const Table& table_b,
+      const std::vector<size_t>& columns, const RowsDelta& delta,
+      const CorpusBuildOptions& options = {});
+
   size_t rows_a() const { return NumRows(offsets_a_); }
   size_t rows_b() const { return NumRows(offsets_b_); }
 
@@ -217,6 +241,25 @@ class SsjCorpus {
 
   /// Stage timings of the build that produced this corpus.
   const CorpusBuildStats& build_stats() const { return build_stats_; }
+
+  /// Dictionary entries whose document frequency dropped to zero through
+  /// deltas (always 0 on freshly built corpora). Dead tokens rank after all
+  /// live tokens, so content equality with a rebuild holds; once they
+  /// dominate, the service compacts by rebuilding from scratch.
+  size_t dead_tokens() const { return dead_tokens_; }
+  double dead_token_fraction() const {
+    return dictionary_.size() == 0
+               ? 0.0
+               : static_cast<double>(dead_tokens_) /
+                     static_cast<double>(dictionary_.size());
+  }
+
+  /// Canonical content checksum: attribute count, row counts, and every
+  /// row's sorted (rank, mask) entries. Token ids are build-order artifacts
+  /// and are excluded; ranks are canonical, so a patched corpus and a
+  /// from-scratch rebuild of the same mutated tables produce the same CRC —
+  /// the delta-equivalence contract.
+  uint32_t ContentCrc() const;
 
   /// Approximate resident footprint of the CSR arenas and offset tables —
   /// the sizing signal for the service's shared-plane LRU cache. Excludes
@@ -270,6 +313,7 @@ class SsjCorpus {
   std::vector<uint64_t> mask_offsets_;  // rows_a + rows_b + 1 entries.
   TokenDictionary dictionary_;
   size_t num_attributes_ = 0;
+  size_t dead_tokens_ = 0;
   bool truncated_ = false;
   CorpusBuildStats build_stats_;
   // Budget charge for the arenas; releases when the corpus dies.

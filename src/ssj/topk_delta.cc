@@ -1,0 +1,162 @@
+#include "ssj/topk_delta.h"
+
+#include <algorithm>
+
+#include "simd/kernels.h"
+#include "ssj/topk_join.h"
+
+namespace mc {
+
+namespace {
+
+// Canonical order: (score desc, pair asc). True when x sorts after y —
+// i.e. x is the worse of the two.
+bool CanonicallyAfter(const ScoredPair& x, const ScoredPair& y) {
+  if (x.score != y.score) return x.score < y.score;
+  return x.pair > y.pair;
+}
+
+simd::RankSpan AsRankSpan(TokenSpan span) {
+  return simd::RankSpan{span.data, span.length};
+}
+
+}  // namespace
+
+TopKList RepairTopKList(const ConfigView& view,
+                        const std::vector<ScoredPair>& old_list,
+                        const std::vector<RowId>& touched_a,
+                        const std::vector<RowId>& touched_b,
+                        const TopKRepairOptions& options,
+                        const std::vector<ScoredPair>* seed,
+                        TopKRepairStats* stats) {
+  TopKRepairStats local_stats;
+  TopKRepairStats& s = stats != nullptr ? *stats : local_stats;
+  s = TopKRepairStats{};
+
+  const size_t na = view.rows_a();
+  const size_t nb = view.rows_b();
+  // The join's candidate space: pairs sharing at least q tokens (a prefix
+  // join can never discover a disjoint pair, so the floor is 1 even when
+  // q's deferred-scoring heuristic is off).
+  const size_t min_overlap = std::max<size_t>(options.q, 1);
+
+  std::vector<uint8_t> touched_flag_a(na, 0);
+  std::vector<uint8_t> touched_flag_b(nb, 0);
+  for (RowId row : touched_a) {
+    if (row < na) touched_flag_a[row] = 1;
+  }
+  for (RowId row : touched_b) {
+    if (row < nb) touched_flag_b[row] = 1;
+  }
+
+  TopKList merged(options.k);
+
+  // Source 3 first — the seed mirrors how RunTopKJoin initializes its list
+  // from a parent (order does not matter: Add updates in place and the
+  // canonical result is order-independent, but seeding early tightens the
+  // k-th bound for nothing extra).
+  if (seed != nullptr) merged.MergeFrom(*seed);
+
+  // Source 1: old entries over untouched rows carry over verbatim — their
+  // spans (and therefore scores) are unchanged. Entries that no longer
+  // clear the q gate are dropped: they were only ever legitimate through
+  // the seed, and the seed re-adds them when the parent still has them.
+  for (const ScoredPair& entry : old_list) {
+    const RowId row_a = PairRowA(entry.pair);
+    const RowId row_b = PairRowB(entry.pair);
+    if (row_a < na && touched_flag_a[row_a] != 0) continue;
+    if (row_b < nb && touched_flag_b[row_b] != 0) continue;
+    const TokenSpan span_a = view.a(row_a);
+    const TokenSpan span_b = view.b(row_b);
+    if (simd::OverlapCountCapped(span_a.data, span_a.length, span_b.data,
+                                 span_b.length, min_overlap - 1) <
+        min_overlap) {
+      continue;
+    }
+    merged.Add(entry.pair, entry.score);
+    ++s.pairs_carried;
+  }
+
+  // Source 2: every pair with a touched endpoint, overlap-counted in
+  // batches (touched_a x B, then (A \ touched_a) x touched_b so the
+  // touched-x-touched block is not scored twice). Deleted rows have empty
+  // spans and fall out at the overlap gate.
+  std::vector<size_t> overlaps(std::max(na, nb));
+  std::vector<simd::RankSpan> b_spans;
+  if (!touched_a.empty()) {
+    b_spans.reserve(nb);
+    for (size_t row = 0; row < nb; ++row) {
+      b_spans.push_back(AsRankSpan(view.b(row)));
+    }
+  }
+  auto offer = [&](RowId row_a, RowId row_b, size_t size_a, size_t size_b,
+                   size_t overlap) {
+    if (overlap < min_overlap) return;
+    const PairId pair = MakePairId(row_a, row_b);
+    if (options.exclude != nullptr && options.exclude->Contains(pair)) return;
+    merged.Add(pair,
+               SetSimilarityFromCounts(options.measure, size_a, size_b,
+                                       overlap));
+    ++s.pairs_rescored;
+  };
+  for (RowId row_a : touched_a) {
+    if (row_a >= na) continue;
+    const TokenSpan span_a = view.a(row_a);
+    simd::OverlapMany(AsRankSpan(span_a), b_spans.data(), nb,
+                      overlaps.data());
+    s.pairs_examined += nb;
+    for (size_t row_b = 0; row_b < nb; ++row_b) {
+      offer(row_a, static_cast<RowId>(row_b), span_a.size(),
+            b_spans[row_b].size(), overlaps[row_b]);
+    }
+  }
+  if (!touched_b.empty()) {
+    std::vector<simd::RankSpan> a_spans;
+    a_spans.reserve(na);
+    for (size_t row = 0; row < na; ++row) {
+      a_spans.push_back(AsRankSpan(view.a(row)));
+    }
+    for (RowId row_b : touched_b) {
+      if (row_b >= nb) continue;
+      const TokenSpan span_b = view.b(row_b);
+      simd::OverlapMany(AsRankSpan(span_b), a_spans.data(), na,
+                        overlaps.data());
+      s.pairs_examined += na;
+      for (size_t row_a = 0; row_a < na; ++row_a) {
+        if (touched_flag_a[row_a] != 0) continue;  // Covered above.
+        offer(static_cast<RowId>(row_a), row_b, a_spans[row_a].size(),
+              span_b.size(), overlaps[row_a]);
+      }
+    }
+  }
+
+  // Exactness: the only candidates the merge does not see are untouched
+  // pairs absent from the old list — all strictly after the old k-th
+  // boundary under (score desc, pair asc). They are provably shut out when
+  // the old list was not full (the old candidate space was exhausted, so
+  // there are no such pairs) or when the merged boundary is not-after the
+  // old one.
+  bool exact = old_list.size() < options.k;
+  if (!exact && merged.full()) {
+    const ScoredPair& old_boundary = old_list.back();
+    ScoredPair new_boundary = merged.Entries().front();
+    for (const ScoredPair& entry : merged.Entries()) {
+      if (CanonicallyAfter(entry, new_boundary)) new_boundary = entry;
+    }
+    exact = !CanonicallyAfter(new_boundary, old_boundary);
+  }
+  if (exact) return merged;
+
+  // Fallback: a full join over the patched view — exact by construction,
+  // and seeded exactly as a from-scratch joint execution would seed it.
+  s.fell_back = true;
+  TopKJoinOptions join_options;
+  join_options.k = options.k;
+  join_options.measure = options.measure;
+  join_options.q = options.q;
+  join_options.exclude = options.exclude;
+  join_options.run_context = options.run_context;
+  return RunTopKJoin(view, join_options, nullptr, seed);
+}
+
+}  // namespace mc

@@ -1,0 +1,75 @@
+#ifndef MATCHCATCHER_SSJ_TOPK_DELTA_H_
+#define MATCHCATCHER_SSJ_TOPK_DELTA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "blocking/candidate_set.h"
+#include "blocking/pair.h"
+#include "ssj/corpus.h"
+#include "ssj/topk_list.h"
+#include "text/similarity.h"
+#include "util/run_context.h"
+
+namespace mc {
+
+/// Options for RepairTopKList. Mirrors the TopKJoinOptions the original
+/// list was produced with — the repair must search the same pair space
+/// under the same order to reproduce the join's canonical result.
+struct TopKRepairOptions {
+  size_t k = 1000;
+  SetMeasure measure = SetMeasure::kJaccard;
+  /// The q the original join ran with (q-restricted candidate space: pairs
+  /// sharing fewer than q tokens are only reachable through the seed).
+  size_t q = 1;
+  const CandidateSet* exclude = nullptr;
+  RunContext run_context;
+};
+
+/// Where RepairTopKList spent its effort (and whether the incremental path
+/// sufficed).
+struct TopKRepairStats {
+  /// Touched-row pairs whose overlap was batch-computed.
+  size_t pairs_examined = 0;
+  /// Pairs that cleared the q gate and were scored + offered.
+  size_t pairs_rescored = 0;
+  /// Old entries carried over without re-scoring (both rows untouched).
+  size_t pairs_carried = 0;
+  /// True when the incremental merge could not prove exactness and the
+  /// repair fell back to a full RunTopKJoin.
+  bool fell_back = false;
+};
+
+/// Repairs one config's canonical top-k list after a row delta, given the
+/// *patched* view (built over the patched corpus) and the sorted touched
+/// row sets of each side (mutated, deleted, or appended rows).
+///
+/// The incremental path merges three exact candidate sources:
+///  1. old entries whose rows are both untouched and whose overlap still
+///     clears the q gate (their scores are unchanged — scores are pure
+///     functions of the rows' token spans);
+///  2. every (touched_a x B) and ((A \ touched_a) x touched_b) pair with
+///     overlap >= max(q, 1), overlap-counted with the batched SIMD kernel
+///     and scored from counts;
+///  3. `seed` — the parent config's repaired list re-adjusted to this view
+///     (exactly the seed a from-scratch joint execution would use).
+///
+/// The merge is provably the canonical top-k when the old list was not
+/// full (the old candidate space was exhausted) or when the merged k-th
+/// boundary is not-after the old k-th boundary under (score desc, pair
+/// asc) — any untouched pair absent from the old list sits strictly after
+/// the old boundary and cannot enter. Otherwise the repair falls back to
+/// RunTopKJoin over the patched view, which is exact by construction; the
+/// returned list is the canonical top-k either way, bit-identical to a
+/// from-scratch rebuild.
+TopKList RepairTopKList(const ConfigView& view,
+                        const std::vector<ScoredPair>& old_list,
+                        const std::vector<RowId>& touched_a,
+                        const std::vector<RowId>& touched_b,
+                        const TopKRepairOptions& options,
+                        const std::vector<ScoredPair>* seed = nullptr,
+                        TopKRepairStats* stats = nullptr);
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_SSJ_TOPK_DELTA_H_

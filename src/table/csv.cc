@@ -144,7 +144,11 @@ Result<Table> ReadCsvString(std::string_view text) {
               << table.schema().size();
       return Status::InvalidArgument(message.str());
     }
-    table.AddRow(records[r].fields);
+    Status added = table.TryAddRow(std::move(records[r].fields));
+    if (!added.ok()) {
+      return Status::InvalidArgument(LinePrefix(records[r].line) +
+                                     added.message());
+    }
   }
   return table;
 }

@@ -5,9 +5,29 @@
 #include "text/normalize.h"
 
 namespace mc {
+namespace {
+
+// Cells are tokenized into uint32-length spans (tokenized_table.h); at one
+// token per byte, capping cells below 2^31 bytes keeps every span length
+// representable with room for the repeat-bit encoding.
+constexpr size_t kDefaultMaxCellBytes = size_t{1} << 31;
+size_t g_max_cell_bytes = kDefaultMaxCellBytes;
+
+}  // namespace
+
+size_t Table::MaxCellBytes() { return g_max_cell_bytes; }
+
+void Table::SetMaxCellBytesForTest(size_t bytes) {
+  g_max_cell_bytes = bytes == 0 ? kDefaultMaxCellBytes : bytes;
+}
 
 void Table::AddRow(std::vector<std::string> values) {
-  MC_CHECK_EQ(values.size(), schema_.size());
+  Status status = TryAddRow(std::move(values));
+  MC_CHECK(status.ok()) << status.ToString();
+}
+
+Status Table::TryAddRow(std::vector<std::string> values) {
+  MC_RETURN_IF_ERROR(ValidateRow(values));
   for (size_t i = 0; i < values.size(); ++i) {
     missing_[i].push_back(TrimWhitespace(values[i]).empty() ? 1 : 0);
     columns_[i].push_back(std::move(values[i]));
@@ -15,6 +35,40 @@ void Table::AddRow(std::vector<std::string> values) {
   ++num_rows_;
   // Any attached text plane no longer matches the cell contents.
   text_plane_.reset();
+  return Status::Ok();
+}
+
+Status Table::SetRow(size_t row, std::vector<std::string> values) {
+  if (row >= num_rows_) {
+    return Status::InvalidArgument("SetRow: row " + std::to_string(row) +
+                                   " out of range (" +
+                                   std::to_string(num_rows_) + " rows)");
+  }
+  MC_RETURN_IF_ERROR(ValidateRow(values));
+  for (size_t i = 0; i < values.size(); ++i) {
+    missing_[i][row] = TrimWhitespace(values[i]).empty() ? 1 : 0;
+    columns_[i][row] = std::move(values[i]);
+  }
+  text_plane_.reset();
+  return Status::Ok();
+}
+
+Status Table::ValidateRow(const std::vector<std::string>& values) const {
+  if (values.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " cells, schema has " +
+        std::to_string(schema_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].size() > MaxCellBytes()) {
+      return Status::InvalidArgument(
+          "cell for attribute '" + schema_.attribute(i).name + "' is " +
+          std::to_string(values[i].size()) + " bytes, limit " +
+          std::to_string(MaxCellBytes()) +
+          " (token spans are uint32-length)");
+    }
+  }
+  return Status::Ok();
 }
 
 std::optional<double> Table::NumericValue(size_t row, size_t column) const {

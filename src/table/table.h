@@ -10,6 +10,7 @@
 
 #include "table/schema.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace mc {
 
@@ -33,7 +34,28 @@ class Table {
   size_t num_columns() const { return schema_.size(); }
 
   /// Appends a row; `values` must have one entry per schema attribute.
+  /// Fatally checks the TryAddRow preconditions — use TryAddRow for
+  /// untrusted input.
   void AddRow(std::vector<std::string> values);
+
+  /// Appends a row with typed validation: kInvalidArgument when the arity
+  /// does not match the schema or a cell exceeds MaxCellBytes() (a cell
+  /// that large would overflow the text plane's uint32 span lengths —
+  /// tokenized_table.h TokenSpan/CellSpan).
+  Status TryAddRow(std::vector<std::string> values);
+
+  /// Replaces an existing row's cells in place (same validation as
+  /// TryAddRow, plus `row < num_rows()`). Missing bits are recomputed;
+  /// any attached text plane is detached.
+  Status SetRow(size_t row, std::vector<std::string> values);
+
+  /// Largest accepted cell, in bytes. One token per byte is the worst case,
+  /// so this bound keeps every per-cell token count below the text plane's
+  /// uint32 span-length limit.
+  static size_t MaxCellBytes();
+  /// Test hook: lowers the cell-size ceiling so the rejection path is
+  /// reachable without allocating gigabytes. 0 restores the default.
+  static void SetMaxCellBytesForTest(size_t bytes);
 
   /// Raw cell value ("" when missing).
   std::string_view Value(size_t row, size_t column) const {
@@ -87,6 +109,8 @@ class Table {
   uint8_t text_plane_side() const { return text_plane_side_; }
 
  private:
+  Status ValidateRow(const std::vector<std::string>& values) const;
+
   Schema schema_;
   std::vector<std::vector<std::string>> columns_;
   // Per-column missing bitmap, parallel to columns_ (1 = whitespace-only).

@@ -1,0 +1,60 @@
+#include "table/table_delta.h"
+
+#include <algorithm>
+
+namespace mc {
+
+bool RowsDelta::Touches(uint32_t row) const {
+  return std::binary_search(touched.begin(), touched.end(), row);
+}
+
+Result<RowsDelta> MakeRowsDelta(const TableDelta& delta, size_t base_rows) {
+  RowsDelta rows;
+  rows.side = delta.side;
+  rows.appended = delta.appended.size();
+  rows.base_rows = base_rows;
+  rows.touched.reserve(delta.mutated.size() + delta.deleted.size());
+  for (const TableDelta::RowEdit& edit : delta.mutated) {
+    rows.touched.push_back(edit.row);
+  }
+  rows.touched.insert(rows.touched.end(), delta.deleted.begin(),
+                      delta.deleted.end());
+  std::sort(rows.touched.begin(), rows.touched.end());
+  if (std::adjacent_find(rows.touched.begin(), rows.touched.end()) !=
+      rows.touched.end()) {
+    return Status::InvalidArgument(
+        "delta edits the same row twice (mutated/deleted overlap)");
+  }
+  if (!rows.touched.empty() && rows.touched.back() >= base_rows) {
+    return Status::InvalidArgument(
+        "delta touches row " + std::to_string(rows.touched.back()) +
+        " of a " + std::to_string(base_rows) + "-row table");
+  }
+  rows.deleted = delta.deleted;
+  std::sort(rows.deleted.begin(), rows.deleted.end());
+  return rows;
+}
+
+Status ApplyDeltaToTable(Table& table, const TableDelta& delta) {
+  // Validate the touched-row set up front so row-index errors surface
+  // before any cell is changed.
+  MC_ASSIGN_OR_RETURN(RowsDelta rows,
+                      MakeRowsDelta(delta, table.num_rows()));
+  (void)rows;
+  for (const TableDelta::RowEdit& edit : delta.mutated) {
+    MC_RETURN_IF_ERROR(table.SetRow(edit.row, edit.values));
+  }
+  // A tombstone clears every cell to missing: the row keeps its id (so
+  // PairIds stay stable) but contributes no tokens — exactly what a
+  // from-scratch build of the mutated table sees.
+  const std::vector<std::string> empty_row(table.num_columns());
+  for (uint32_t row : delta.deleted) {
+    MC_RETURN_IF_ERROR(table.SetRow(row, empty_row));
+  }
+  for (const std::vector<std::string>& values : delta.appended) {
+    MC_RETURN_IF_ERROR(table.TryAddRow(values));
+  }
+  return Status::Ok();
+}
+
+}  // namespace mc

@@ -10,6 +10,7 @@
 #include "text/normalize.h"
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -341,6 +342,269 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
 
   if (stats != nullptr) *stats = plane.build_stats_;
   return plane_ptr;
+}
+
+std::shared_ptr<const TokenizedTable> TokenizedTable::ApplyDelta(
+    const TokenizedTable& base, const Table& table_a, const Table& table_b,
+    const RowsDelta& delta, const TextPlaneBuildOptions& options) {
+  if (base.truncated()) return nullptr;
+  if (delta.side > 1) return nullptr;
+  const size_t side = delta.side;
+  const size_t other = 1 - side;
+  const Table& delta_table = side == 0 ? table_a : table_b;
+  const Table& other_table = side == 0 ? table_b : table_a;
+  const size_t new_rows = delta.base_rows + delta.appended;
+  if (base.num_columns_ != table_a.num_columns() ||
+      base.num_columns_ != table_b.num_columns() ||
+      base.rows_[side] != delta.base_rows ||
+      delta_table.num_rows() != new_rows ||
+      other_table.num_rows() != base.rows_[other]) {
+    return nullptr;
+  }
+  if (MC_FAULT_POINT("text_plane/apply_delta") != FaultKind::kNone) {
+    return nullptr;
+  }
+
+  std::shared_ptr<TokenizedTable> out_ptr(new TokenizedTable());
+  TokenizedTable& out = *out_ptr;
+  const size_t cols = base.num_columns_;
+  out.num_columns_ = cols;
+  out.rows_[side] = new_rows;
+  out.rows_[other] = base.rows_[other];
+  out.dictionary_ = base.dictionary_;
+  out.norm_values_ = base.norm_values_;
+  out.build_stats_ = base.build_stats_;
+
+  // Retire the old content of every touched cell: one df decrement per
+  // distinct token (the non-repeat stream entries).
+  for (uint32_t row : delta.touched) {
+    for (size_t column = 0; column < cols; ++column) {
+      const CellSpan stream = base.TokenStream(side, row, column);
+      for (uint32_t entry : stream) {
+        if ((entry & kTextRepeatBit) == 0) {
+          out.dictionary_.SubtractDocumentFrequency(entry, 1);
+        }
+      }
+    }
+  }
+
+  // Re-tokenize only the touched + appended cells, interning directly into
+  // the published dictionary and pool (new tokens take ids past the base's;
+  // ranks are re-derived below, so id order is irrelevant to content).
+  std::unordered_map<std::string, uint32_t> norm_pool_ids;
+  norm_pool_ids.reserve(out.norm_values_.size());
+  for (size_t i = 0; i < out.norm_values_.size(); ++i) {
+    norm_pool_ids.emplace(out.norm_values_[i], static_cast<uint32_t>(i));
+  }
+  struct NewCell {
+    std::vector<uint32_t> stream;  // Global ids, repeats flagged.
+    std::vector<TokenId> distinct;
+    uint32_t norm_id = 0;
+  };
+  std::unordered_map<size_t, NewCell> fresh;  // Keyed by new-layout cell.
+  std::string token;
+  auto tokenize_cell = [&](size_t row, size_t column) {
+    NewCell cell;
+    std::string normalized =
+        NormalizeForTokens(delta_table.Value(row, column));
+    auto [norm_it, norm_inserted] = norm_pool_ids.emplace(
+        std::move(normalized), static_cast<uint32_t>(out.norm_values_.size()));
+    if (norm_inserted) out.norm_values_.push_back(norm_it->first);
+    cell.norm_id = norm_it->second;
+    const std::string& norm = norm_it->first;
+    size_t i = 0;
+    while (i < norm.size()) {
+      if (norm[i] == ' ') {
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < norm.size() && norm[j] != ' ') ++j;
+      token.assign(norm, i, j - i);
+      i = j;
+      const TokenId id = out.dictionary_.Intern(token);
+      const bool repeat =
+          std::find(cell.distinct.begin(), cell.distinct.end(), id) !=
+          cell.distinct.end();
+      if (repeat) {
+        cell.stream.push_back(id | kTextRepeatBit);
+      } else {
+        cell.stream.push_back(id);
+        cell.distinct.push_back(id);
+        out.dictionary_.AddDocumentFrequency(id, 1);
+      }
+    }
+    fresh.emplace(row * cols + column, std::move(cell));
+  };
+  for (uint32_t row : delta.touched) {
+    for (size_t column = 0; column < cols; ++column) tokenize_cell(row, column);
+  }
+  for (size_t row = delta.base_rows; row < new_rows; ++row) {
+    for (size_t column = 0; column < cols; ++column) tokenize_cell(row, column);
+  }
+  MC_CHECK_LE(out.dictionary_.size(), size_t{kTextTokenIdMask});
+  out.dictionary_.FinalizeRanks();
+  out.dead_tokens_ = out.dictionary_.DeadTokenCount();
+
+  // Old rank -> new rank, for rewriting the sorted arenas without touching
+  // strings: every base id exists in the patched dictionary too (dead
+  // tokens keep their ids).
+  std::vector<uint32_t> rank_map(base.dictionary_.size());
+  for (TokenId id = 0; id < rank_map.size(); ++id) {
+    rank_map[base.dictionary_.RankOf(id)] = out.dictionary_.RankOf(id);
+  }
+
+  // Delta-side layout: per-cell sizes, then one pass of bulk copies.
+  const size_t cells = new_rows * cols;
+  auto& stream_offsets = out.stream_offsets_[side];
+  auto& sorted_offsets = out.sorted_offsets_[side];
+  stream_offsets.reserve(cells + 1);
+  sorted_offsets.reserve(cells + 1);
+  stream_offsets.push_back(0);
+  sorted_offsets.push_back(0);
+  out.norm_ids_[side].reserve(cells);
+  out.missing_[side].reserve(cells);
+  uint64_t stream_position = 0;
+  uint64_t sorted_position = 0;
+  for (size_t row = 0; row < new_rows; ++row) {
+    const bool untouched = row < delta.base_rows && !delta.Touches(row);
+    for (size_t column = 0; column < cols; ++column) {
+      out.missing_[side].push_back(
+          delta_table.IsMissing(row, column) ? 1 : 0);
+      if (untouched) {
+        const size_t cell = row * cols + column;
+        out.norm_ids_[side].push_back(base.norm_ids_[side][cell]);
+        stream_position += base.stream_offsets_[side][cell + 1] -
+                           base.stream_offsets_[side][cell];
+        sorted_position += base.sorted_offsets_[side][cell + 1] -
+                           base.sorted_offsets_[side][cell];
+      } else {
+        const NewCell& cell = fresh.at(row * cols + column);
+        out.norm_ids_[side].push_back(cell.norm_id);
+        stream_position += cell.stream.size();
+        sorted_position += cell.distinct.size();
+      }
+      stream_offsets.push_back(stream_position);
+      sorted_offsets.push_back(sorted_position);
+    }
+  }
+
+  // Memory admission before the big allocations, mirroring Build. The
+  // other side's arenas are copied, so charge both sides.
+  const size_t arena_bytes =
+      static_cast<size_t>(stream_position + sorted_position +
+                          base.stream_[other].size() +
+                          base.sorted_[other].size()) *
+      sizeof(uint32_t);
+  if (!out.reservation_.Acquire(options.memory_budget, arena_bytes)) {
+    return nullptr;
+  }
+
+  out.stream_[side].resize(stream_position);
+  out.sorted_[side].resize(sorted_position);
+  for (size_t row = 0; row < new_rows; ++row) {
+    const bool untouched = row < delta.base_rows && !delta.Touches(row);
+    if (untouched) {
+      // Whole-row bulk copy: a row's cells are contiguous in the arena.
+      const size_t first = row * cols;
+      const uint64_t src = base.stream_offsets_[side][first];
+      const uint64_t src_end = base.stream_offsets_[side][first + cols];
+      std::copy(base.stream_[side].begin() + src,
+                base.stream_[side].begin() + src_end,
+                out.stream_[side].begin() + stream_offsets[first]);
+    } else {
+      for (size_t column = 0; column < cols; ++column) {
+        const size_t cell = row * cols + column;
+        const NewCell& content = fresh.at(cell);
+        std::copy(content.stream.begin(), content.stream.end(),
+                  out.stream_[side].begin() + stream_offsets[cell]);
+      }
+    }
+  }
+
+  // Other side: streams, offsets, norm ids, missing bits copy verbatim.
+  out.stream_offsets_[other] = base.stream_offsets_[other];
+  out.stream_[other] = base.stream_[other];
+  out.sorted_offsets_[other] = base.sorted_offsets_[other];
+  out.norm_ids_[other] = base.norm_ids_[other];
+  out.missing_[other] = base.missing_[other];
+  out.sorted_[other].resize(base.sorted_[other].size());
+
+  // Both sides' sorted arenas are rewritten: df changes shift ranks
+  // globally. Untouched cells go through rank_map (integer transform +
+  // re-sort, no strings); fresh cells derive ranks from their distinct ids.
+  std::vector<uint32_t> ranks;
+  auto rewrite_sorted = [&](size_t s) {
+    const auto& offsets = out.sorted_offsets_[s];
+    for (size_t cell = 0; cell + 1 < offsets.size(); ++cell) {
+      ranks.clear();
+      auto fresh_it = s == side ? fresh.find(cell) : fresh.end();
+      if (fresh_it != fresh.end()) {
+        for (TokenId id : fresh_it->second.distinct) {
+          ranks.push_back(out.dictionary_.RankOf(id));
+        }
+      } else {
+        const uint64_t begin = base.sorted_offsets_[s][cell];
+        const uint64_t end = base.sorted_offsets_[s][cell + 1];
+        for (uint64_t e = begin; e < end; ++e) {
+          ranks.push_back(rank_map[base.sorted_[s][e]]);
+        }
+      }
+      std::sort(ranks.begin(), ranks.end());
+      std::copy(ranks.begin(), ranks.end(),
+                out.sorted_[s].begin() + offsets[cell]);
+    }
+  };
+  rewrite_sorted(0);
+  rewrite_sorted(1);
+
+  // Tombstones: inherit, extend to the new row count, mark fresh deletes.
+  out.tombstones_[other] = base.tombstones_[other];
+  out.tombstones_[side] = base.tombstones_[side];
+  if (!delta.deleted.empty() || !out.tombstones_[side].empty()) {
+    out.tombstones_[side].resize(new_rows, 0);
+    for (uint32_t row : delta.deleted) out.tombstones_[side][row] = 1;
+  }
+  return out_ptr;
+}
+
+uint32_t TokenizedTable::ContentCrc() const {
+  uint32_t crc = 0;
+  auto hash_u64 = [&crc](uint64_t value) {
+    crc = Crc32(&value, sizeof(value), crc);
+  };
+  hash_u64(num_columns_);
+  hash_u64(rows_[0]);
+  hash_u64(rows_[1]);
+  for (size_t side = 0; side < 2; ++side) {
+    const size_t cells = rows_[side] * num_columns_;
+    for (size_t cell = 0; cell < cells; ++cell) {
+      crc = Crc32(&missing_[side][cell], 1, crc);
+      const std::string& norm = norm_values_[norm_ids_[side][cell]];
+      hash_u64(norm.size());
+      crc = Crc32(norm.data(), norm.size(), crc);
+      // Streams hash as ranks (repeat bit preserved): token ids are
+      // build-order artifacts that differ between a patch and a rebuild.
+      const uint64_t begin = stream_offsets_[side][cell];
+      const uint64_t end = stream_offsets_[side][cell + 1];
+      hash_u64(end - begin);
+      for (uint64_t e = begin; e < end; ++e) {
+        const uint32_t entry = stream_[side][e];
+        const uint32_t canonical =
+            dictionary_.RankOf(entry & kTextTokenIdMask) |
+            (entry & kTextRepeatBit);
+        crc = Crc32(&canonical, sizeof(canonical), crc);
+      }
+      const uint64_t sorted_begin = sorted_offsets_[side][cell];
+      const uint64_t sorted_end = sorted_offsets_[side][cell + 1];
+      hash_u64(sorted_end - sorted_begin);
+      if (sorted_end > sorted_begin) {
+        crc = Crc32(sorted_[side].data() + sorted_begin,
+                    (sorted_end - sorted_begin) * sizeof(uint32_t), crc);
+      }
+    }
+  }
+  return crc;
 }
 
 std::shared_ptr<const TokenizedTable> TokenizedTable::BuildAndAttach(

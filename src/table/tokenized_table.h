@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "table/table.h"
+#include "table/table_delta.h"
 #include "text/token_dictionary.h"
 #include "util/memory_budget.h"
 #include "util/run_context.h"
@@ -137,6 +138,28 @@ class TokenizedTable {
       const TextPlaneBuildOptions& options = {},
       TextPlaneBuildStats* stats = nullptr);
 
+  /// Patches `base` with a row delta instead of rebuilding: only the
+  /// touched and appended cells of the delta side are re-tokenized (new
+  /// tokens are interned past the published dictionary; retired tokens keep
+  /// their ids with df 0 and rank after every live token), untouched cell
+  /// content is bulk-copied, and both sides' sorted-rank arenas are
+  /// rewritten through an old-rank -> new-rank map (integer-only). Deleted
+  /// rows are recorded in the tombstone bitmap; their cells are empty, as a
+  /// rebuild of the mutated tables would see them.
+  ///
+  /// `table_a`/`table_b` must already hold the post-delta contents. The
+  /// result is content-identical to Build() on the mutated tables
+  /// (ContentCrc matches bit for bit); ids and pool slots may differ, so
+  /// equality is defined over ranks and strings, which is all consumers
+  /// observe.
+  ///
+  /// Returns nullptr — base untouched, nothing attached — when the delta
+  /// does not match the plane's dimensions, the memory budget refuses the
+  /// patched arenas, or the "text_plane/apply_delta" fault point fires.
+  static std::shared_ptr<const TokenizedTable> ApplyDelta(
+      const TokenizedTable& base, const Table& table_a, const Table& table_b,
+      const RowsDelta& delta, const TextPlaneBuildOptions& options = {});
+
   size_t num_rows(size_t side) const { return rows_[side]; }
   size_t num_columns() const { return num_columns_; }
 
@@ -214,6 +237,39 @@ class TokenizedTable {
   /// refuse truncated planes).
   bool truncated() const { return truncated_; }
 
+  /// True when `row` was deleted by a delta (its cells are empty and its
+  /// missing bits set; the row id stays valid). Always false on freshly
+  /// built planes.
+  bool row_tombstoned(size_t side, size_t row) const {
+    return row < tombstones_[side].size() && tombstones_[side][row] != 0;
+  }
+  size_t tombstone_count(size_t side) const {
+    size_t count = 0;
+    for (uint8_t bit : tombstones_[side]) count += bit;
+    return count;
+  }
+
+  /// Dictionary entries whose document frequency dropped to zero through
+  /// deltas. They rank after all live tokens (so content equality with a
+  /// rebuild holds) but still occupy id space and string storage — the
+  /// service triggers compaction (a full rebuild) once
+  /// dead_token_fraction() passes its threshold.
+  size_t dead_tokens() const { return dead_tokens_; }
+  double dead_token_fraction() const {
+    return dictionary_.size() == 0
+               ? 0.0
+               : static_cast<double>(dead_tokens_) /
+                     static_cast<double>(dictionary_.size());
+  }
+
+  /// Canonical content checksum: dims, missing bits, normalized value
+  /// strings, token streams and sorted arenas with every token expressed as
+  /// its global *rank* (ids and pool slots are build-order artifacts; ranks
+  /// and strings are what consumers observe). A patched plane and a
+  /// from-scratch rebuild of the same mutated tables produce the same CRC —
+  /// the delta-equivalence contract.
+  uint32_t ContentCrc() const;
+
   const TextPlaneBuildStats& build_stats() const { return build_stats_; }
 
   /// Approximate resident footprint of the cell arenas and offset tables —
@@ -254,8 +310,11 @@ class TokenizedTable {
   std::vector<uint32_t> sorted_[2];
   std::vector<uint32_t> norm_ids_[2];
   std::vector<uint8_t> missing_[2];
+  // Rows deleted by deltas (empty on freshly built planes; sized lazily).
+  std::vector<uint8_t> tombstones_[2];
   std::vector<std::string> norm_values_;  // Shared normalized-value pool.
   TokenDictionary dictionary_;
+  size_t dead_tokens_ = 0;
   bool truncated_ = false;
   TextPlaneBuildStats build_stats_;
   // Budget charge for the arenas; releases when the plane dies.

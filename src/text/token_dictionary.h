@@ -66,9 +66,30 @@ class TokenDictionary {
     ranks_valid_ = false;
   }
 
+  /// Removes `count` document occurrences from `id` — the delta path's
+  /// inverse of AddDocumentFrequency, used when a row's old content is
+  /// retired. Subtracting below zero is a programming error.
+  void SubtractDocumentFrequency(TokenId id, uint32_t count) {
+    MC_CHECK_LT(id, document_frequency_.size());
+    MC_CHECK_GE(document_frequency_[id], count)
+        << "document frequency underflow for token '" << tokens_[id] << "'";
+    document_frequency_[id] -= count;
+    ranks_valid_ = false;
+  }
+
   uint32_t DocumentFrequency(TokenId id) const {
     MC_CHECK_LT(id, document_frequency_.size());
     return document_frequency_[id];
+  }
+
+  /// Tokens whose document frequency has dropped to zero (possible only
+  /// after SubtractDocumentFrequency). They keep their ids — consumers may
+  /// still hold streams referencing them — but rank after all live tokens
+  /// and motivate compaction (a full rebuild) once they dominate.
+  size_t DeadTokenCount() const {
+    size_t dead = 0;
+    for (uint32_t df : document_frequency_) dead += (df == 0);
+    return dead;
   }
 
   size_t size() const { return tokens_.size(); }

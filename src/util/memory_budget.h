@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <utility>
 
+#include "util/check.h"
+
 namespace mc {
 
 /// Shared byte-accounting gauge with a hard ceiling. The session service
@@ -46,12 +48,25 @@ class MemoryBudget {
     }
   }
 
-  /// Returns a previous charge. Releasing more than was charged is a bug;
-  /// usage clamps at 0 rather than wrapping.
+  /// Returns a previous charge. Releasing more than was charged is a bug
+  /// (e.g. a MemoryReservation destroyed against the wrong budget): usage
+  /// clamps at 0 rather than wrapping, the violation is counted, and debug
+  /// builds assert unless the over-release was expected by a test
+  /// (set_tolerate_release_violations).
   void Release(size_t bytes) {
     size_t used = used_.load(std::memory_order_relaxed);
     while (!used_.compare_exchange_weak(
         used, used >= bytes ? used - bytes : 0, std::memory_order_relaxed)) {
+    }
+    // `used` now holds the pre-exchange value of the successful CAS, so the
+    // violation is counted exactly once, not once per CAS retry.
+    if (bytes > used) {
+      release_violations_.fetch_add(1, std::memory_order_relaxed);
+#ifndef NDEBUG
+      MC_CHECK(tolerate_release_violations_.load(std::memory_order_relaxed))
+          << "MemoryBudget::Release(" << bytes << ") exceeds the " << used
+          << " bytes currently charged";
+#endif
     }
   }
 
@@ -60,6 +75,15 @@ class MemoryBudget {
   size_t peak() const { return peak_.load(std::memory_order_relaxed); }
   /// Charges refused since construction.
   size_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  /// Over-releases observed (each clamped at zero instead of wrapping).
+  size_t release_violations() const {
+    return release_violations_.load(std::memory_order_relaxed);
+  }
+  /// Lets a regression test trigger an over-release without tripping the
+  /// debug assert. Production code never calls this.
+  void set_tolerate_release_violations(bool tolerate) {
+    tolerate_release_violations_.store(tolerate, std::memory_order_relaxed);
+  }
   /// Bytes left under the limit (SIZE_MAX when unlimited).
   size_t remaining() const {
     if (limit_ == 0) return static_cast<size_t>(-1);
@@ -72,6 +96,8 @@ class MemoryBudget {
   std::atomic<size_t> used_{0};
   std::atomic<size_t> peak_{0};
   std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> release_violations_{0};
+  std::atomic<bool> tolerate_release_violations_{false};
 };
 
 /// Movable RAII handle over one MemoryBudget charge: acquired by a builder

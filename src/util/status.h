@@ -74,12 +74,33 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Attaches a typed retry-after hint (milliseconds) and returns the
+  /// status, builder style:
+  ///
+  ///   return Status::ResourceExhausted("queue full").WithRetryAfter(250);
+  ///
+  /// The hint is the payload callers act on; any "retry-after-ms=<n>" text
+  /// in the message is for humans only and is never parsed back.
+  Status&& WithRetryAfter(int64_t millis) && {
+    retry_after_millis_ = millis;
+    return std::move(*this);
+  }
+  Status& WithRetryAfter(int64_t millis) & {
+    retry_after_millis_ = millis;
+    return *this;
+  }
+
+  /// The retry-after hint in milliseconds, or -1 when none was attached.
+  int64_t retry_after_millis() const { return retry_after_millis_; }
+  bool has_retry_after() const { return retry_after_millis_ >= 0; }
+
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  int64_t retry_after_millis_ = -1;
 };
 
 /// Holds either a value of type `T` or an error `Status`. Accessing the

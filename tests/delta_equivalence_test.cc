@@ -1,0 +1,622 @@
+// Randomized delta-equivalence suite: every incrementally patched artifact
+// — text plane, SSJ corpus, per-config top-k lists, and the service's
+// shared planes — must be content-identical to rebuilding from scratch on
+// the mutated tables, across seeded random delta schedules, at 1 and N
+// threads, and under injected faults mid-patch (a failed patch leaves the
+// prior generation intact). Run under ASan/TSan by the ci.sh
+// `delta-equivalence` stage; override the seed matrix with MC_DELTA_SEED.
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/config_generator.h"
+#include "core/match_catcher.h"
+#include "core/session_io.h"
+#include "datagen/generator.h"
+#include "joint/joint_executor.h"
+#include "joint/joint_repair.h"
+#include "service/session_manager.h"
+#include "ssj/corpus.h"
+#include "table/table_delta.h"
+#include "table/tokenized_table.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+
+namespace mc {
+namespace {
+
+datagen::GeneratedDataset SmallDataset(uint64_t seed = 47) {
+  return datagen::GenerateFodorsZagats(
+      datagen::ScaleDims(datagen::kDimsFodorsZagats, 0.12), seed);
+}
+
+std::vector<uint64_t> SeedMatrix() {
+  if (const char* env = std::getenv("MC_DELTA_SEED")) {
+    return {static_cast<uint64_t>(std::strtoull(env, nullptr, 10))};
+  }
+  return {3, 11, 29};
+}
+
+// One random delta against `table`: a few mutated rows (fresh tokens, value
+// swaps, cleared cells), some appends, an occasional tombstone. Exercises
+// every edit kind the patchers distinguish.
+TableDelta RandomDelta(const Table& table, uint8_t side, size_t generation,
+                       Rng& rng) {
+  TableDelta delta;
+  delta.side = side;
+  const size_t rows = table.num_rows();
+  const size_t cols = table.num_columns();
+  auto row_values = [&](size_t row) {
+    std::vector<std::string> values;
+    values.reserve(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      values.emplace_back(table.Value(row, c));
+    }
+    return values;
+  };
+  std::vector<uint32_t> used;
+  auto fresh_row = [&]() -> std::optional<uint32_t> {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const uint32_t row = static_cast<uint32_t>(rng.NextBelow(rows));
+      bool seen = false;
+      for (uint32_t u : used) seen = seen || u == row;
+      if (!seen) {
+        used.push_back(row);
+        return row;
+      }
+    }
+    return std::nullopt;
+  };
+  const size_t mutations = 1 + rng.NextBelow(3);
+  for (size_t m = 0; m < mutations; ++m) {
+    std::optional<uint32_t> row = fresh_row();
+    if (!row.has_value()) break;
+    TableDelta::RowEdit edit;
+    edit.row = *row;
+    edit.values = row_values(*row);
+    const size_t column = rng.NextBelow(cols);
+    switch (rng.NextBelow(3)) {
+      case 0:  // Fresh tokens: grows the dictionary past the base build.
+        edit.values[column] +=
+            " delta" + std::to_string(generation) + "tok" + std::to_string(m);
+        break;
+      case 1:  // Existing tokens from another row: df shifts, no growth.
+        edit.values[column] = row_values(rng.NextBelow(rows))[column];
+        break;
+      default:  // Cleared cell: tokens retire, the cell goes missing.
+        edit.values[column] = "";
+        break;
+    }
+    delta.mutated.push_back(std::move(edit));
+  }
+  if (rng.NextBool(0.7)) {
+    std::vector<std::string> appended = row_values(rng.NextBelow(rows));
+    appended[0] += " appended" + std::to_string(generation);
+    delta.appended.push_back(std::move(appended));
+  }
+  if (rng.NextBool(0.4)) {
+    std::optional<uint32_t> victim = fresh_row();
+    if (victim.has_value()) delta.deleted.push_back(*victim);
+  }
+  return delta;
+}
+
+void ExpectListsEqual(const std::vector<std::vector<ScoredPair>>& got,
+                      const std::vector<std::vector<ScoredPair>>& want,
+                      const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].size(), want[i].size()) << label << " list " << i;
+    for (size_t e = 0; e < want[i].size(); ++e) {
+      EXPECT_EQ(got[i][e].pair, want[i][e].pair)
+          << label << " list " << i << " entry " << e;
+      EXPECT_DOUBLE_EQ(got[i][e].score, want[i][e].score)
+          << label << " list " << i << " entry " << e;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Text plane: patched CSR arenas == from-scratch rebuild, bit for bit.
+
+TEST(DeltaEquivalenceTest, PlanePatchMatchesRebuildAcrossRandomSchedules) {
+  datagen::GeneratedDataset dataset = SmallDataset();
+  for (const uint64_t seed : SeedMatrix()) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      Rng rng(seed);
+      Table table_a = dataset.table_a;
+      Table table_b = dataset.table_b;
+      TextPlaneBuildOptions options;
+      options.num_threads = threads;
+      std::shared_ptr<const TokenizedTable> plane =
+          TokenizedTable::Build(table_a, table_b, options);
+      ASSERT_FALSE(plane->truncated());
+      for (size_t generation = 1; generation <= 5; ++generation) {
+        const uint8_t side = static_cast<uint8_t>(generation % 2);
+        const Table& target = side == 0 ? table_a : table_b;
+        const TableDelta delta =
+            RandomDelta(target, side, generation, rng);
+        const size_t base_rows = target.num_rows();
+        ASSERT_TRUE(
+            ApplyDeltaToTable(side == 0 ? table_a : table_b, delta).ok());
+        Result<RowsDelta> rows = MakeRowsDelta(delta, base_rows);
+        ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+        std::shared_ptr<const TokenizedTable> patched =
+            TokenizedTable::ApplyDelta(*plane, table_a, table_b, *rows,
+                                       options);
+        ASSERT_NE(patched, nullptr)
+            << "seed " << seed << " generation " << generation;
+        std::shared_ptr<const TokenizedTable> rebuilt =
+            TokenizedTable::Build(table_a, table_b, options);
+        ASSERT_FALSE(rebuilt->truncated());
+        EXPECT_EQ(patched->ContentCrc(), rebuilt->ContentCrc())
+            << "seed " << seed << " threads " << threads << " generation "
+            << generation;
+        EXPECT_EQ(rebuilt->dead_tokens(), 0u);
+        plane = std::move(patched);  // Patches compound across generations.
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSJ corpus: patched rank/mask arenas == from-scratch rebuild.
+
+TEST(DeltaEquivalenceTest, CorpusPatchMatchesRebuildAcrossRandomSchedules) {
+  datagen::GeneratedDataset dataset = SmallDataset();
+  ConfigGeneratorOptions config_options;
+  Result<PromisingAttributes> attributes = SelectPromisingAttributes(
+      dataset.table_a, dataset.table_b, config_options);
+  ASSERT_TRUE(attributes.ok()) << attributes.status().ToString();
+  const std::vector<size_t> columns = attributes->columns;
+
+  for (const uint64_t seed : SeedMatrix()) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      Rng rng(seed ^ 0x9e3779b9);
+      Table table_a = dataset.table_a;
+      Table table_b = dataset.table_b;
+      CorpusBuildOptions options;
+      options.num_threads = threads;
+      auto corpus = std::make_shared<SsjCorpus>(
+          SsjCorpus::Build(table_a, table_b, columns, options));
+      ASSERT_FALSE(corpus->truncated());
+      for (size_t generation = 1; generation <= 5; ++generation) {
+        const uint8_t side = static_cast<uint8_t>((generation + 1) % 2);
+        const Table& target = side == 0 ? table_a : table_b;
+        const TableDelta delta =
+            RandomDelta(target, side, generation, rng);
+        const size_t base_rows = target.num_rows();
+        ASSERT_TRUE(
+            ApplyDeltaToTable(side == 0 ? table_a : table_b, delta).ok());
+        Result<RowsDelta> rows = MakeRowsDelta(delta, base_rows);
+        ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+        std::optional<SsjCorpus> patched = SsjCorpus::ApplyDelta(
+            *corpus, table_a, table_b, columns, *rows, options);
+        ASSERT_TRUE(patched.has_value())
+            << "seed " << seed << " generation " << generation;
+        const SsjCorpus rebuilt =
+            SsjCorpus::Build(table_a, table_b, columns, options);
+        ASSERT_FALSE(rebuilt.truncated());
+        EXPECT_EQ(patched->ContentCrc(), rebuilt.ContentCrc())
+            << "seed " << seed << " threads " << threads << " generation "
+            << generation;
+        corpus = std::make_shared<SsjCorpus>(*std::move(patched));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top-k lists: RepairJointLists == rerunning the joint joins over a rebuilt
+// corpus with the same config tree.
+
+TEST(DeltaEquivalenceTest, JointRepairMatchesRerunOverRebuiltCorpus) {
+  datagen::GeneratedDataset dataset = SmallDataset();
+  ConfigGeneratorOptions config_options;
+  Result<PromisingAttributes> attributes = SelectPromisingAttributes(
+      dataset.table_a, dataset.table_b, config_options);
+  ASSERT_TRUE(attributes.ok()) << attributes.status().ToString();
+  const std::vector<size_t> columns = attributes->columns;
+  const ConfigTree tree = GenerateConfigTree(*attributes, config_options);
+
+  JointOptions joint_options;
+  joint_options.k = 25;
+  joint_options.num_threads = 2;
+  joint_options.exclude = &dataset.gold;
+
+  for (const uint64_t seed : SeedMatrix()) {
+    Rng rng(seed ^ 0x5bd1e995);
+    Table table_a = dataset.table_a;
+    Table table_b = dataset.table_b;
+    auto corpus = std::make_shared<SsjCorpus>(
+        SsjCorpus::Build(table_a, table_b, columns));
+    JointResult joint = RunJointTopKJoins(*corpus, tree, joint_options);
+    ASSERT_FALSE(joint.truncated);
+
+    JointListsSnapshot snapshot;
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      snapshot.configs.push_back(tree.nodes[i].mask);
+      snapshot.parents.push_back(tree.nodes[i].parent);
+      snapshot.seeded.push_back(joint.per_config[i].seeded_from_parent ? 1
+                                                                      : 0);
+      snapshot.lists.push_back(joint.per_config[i].topk);
+    }
+    snapshot.k = joint_options.k;
+    snapshot.measure = joint_options.measure;
+    snapshot.q_used = joint.q_used;
+
+    for (size_t generation = 1; generation <= 4; ++generation) {
+      const uint8_t side = static_cast<uint8_t>(generation % 2);
+      const Table& target = side == 0 ? table_a : table_b;
+      const TableDelta delta = RandomDelta(target, side, generation, rng);
+      const size_t base_rows = target.num_rows();
+      ASSERT_TRUE(
+          ApplyDeltaToTable(side == 0 ? table_a : table_b, delta).ok());
+      Result<RowsDelta> rows = MakeRowsDelta(delta, base_rows);
+      ASSERT_TRUE(rows.ok());
+
+      std::optional<SsjCorpus> patched =
+          SsjCorpus::ApplyDelta(*corpus, table_a, table_b, columns, *rows);
+      ASSERT_TRUE(patched.has_value());
+      corpus = std::make_shared<SsjCorpus>(*std::move(patched));
+
+      std::vector<RowId> touched_a;
+      std::vector<RowId> touched_b;
+      std::vector<RowId>& touched = side == 0 ? touched_a : touched_b;
+      touched.assign(rows->touched.begin(), rows->touched.end());
+      for (size_t i = 0; i < rows->appended; ++i) {
+        touched.push_back(static_cast<RowId>(rows->base_rows + i));
+      }
+      JointRepairOptions repair_options;
+      repair_options.exclude = &dataset.gold;
+      JointRepairStats repair_stats;
+      const std::vector<std::vector<ScoredPair>> repaired = RepairJointLists(
+          *corpus, snapshot, touched_a, touched_b, repair_options,
+          &repair_stats);
+
+      // Ground truth: the same joins over a from-scratch corpus.
+      const SsjCorpus rebuilt =
+          SsjCorpus::Build(table_a, table_b, columns);
+      JointResult rerun = RunJointTopKJoins(rebuilt, tree, joint_options);
+      ASSERT_FALSE(rerun.truncated);
+      std::vector<std::vector<ScoredPair>> want;
+      for (const ConfigJoinResult& result : rerun.per_config) {
+        want.push_back(result.topk);
+      }
+      ExpectListsEqual(repaired, want,
+                       "seed " + std::to_string(seed) + " generation " +
+                           std::to_string(generation));
+      EXPECT_EQ(TopKListsCrc(repaired), TopKListsCrc(want));
+      EXPECT_EQ(repair_stats.configs_repaired + repair_stats.configs_rejoined,
+                tree.nodes.size());
+
+      // Next generation repairs on top of this one, exactly like the
+      // service's cached snapshot.
+      snapshot.lists = repaired;
+      snapshot.q_used = rerun.q_used;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service: ApplyTableDelta patches the shared planes; sessions on the
+// patched pair are bit-identical to a fresh isolated session on the
+// mutated tables, and the cached lists track the repairs.
+
+TEST(DeltaEquivalenceTest, ServiceDeltaMatchesFreshSessionOnMutatedTables) {
+  datagen::GeneratedDataset dataset = SmallDataset();
+  Table table_a = dataset.table_a;  // Mirror of the service's tables.
+  Table table_b = dataset.table_b;
+
+  MatchCatcherOptions options;
+  options.joint.k = 25;
+  options.joint.num_threads = 2;
+  // Keep the schema fixed so the config tree the first session caches can
+  // be reconstructed here as the ground truth for the repaired lists.
+  options.infer_types = false;
+
+  // The cached snapshot repairs the configs the FIRST session ran — later
+  // sessions may select a drifted tree from the mutated tables, so the
+  // cache's ground truth is a rerun of the original tree, not the fresh
+  // session's lists.
+  Result<PromisingAttributes> base_attributes =
+      SelectPromisingAttributes(table_a, table_b, options.config);
+  ASSERT_TRUE(base_attributes.ok()) << base_attributes.status().ToString();
+  const std::vector<size_t> base_columns = base_attributes->columns;
+  const ConfigTree base_tree =
+      GenerateConfigTree(*base_attributes, options.config);
+  JointOptions rerun_options = options.joint;
+  rerun_options.exclude = &dataset.gold;
+
+  ServiceLimits limits;
+  limits.max_concurrent_sessions = 2;
+  SessionManager manager(limits);
+  ASSERT_TRUE(
+      manager.RegisterTablePair("fz", table_a, table_b, dataset.gold).ok());
+
+  SessionRequest request;
+  request.pair_key = "fz";
+  request.options = options;
+
+  // First session: builds and caches plane, corpus, and repairable lists.
+  Result<uint64_t> first = manager.Submit(request);
+  ASSERT_TRUE(first.ok());
+  Result<SessionOutcome> first_outcome = manager.Wait(*first);
+  ASSERT_TRUE(first_outcome.ok());
+  ASSERT_EQ(first_outcome->state, SessionState::kComplete);
+  EXPECT_EQ(first_outcome->plane_generation, 1u);
+  Result<std::vector<std::vector<ScoredPair>>> cached =
+      manager.CachedTopKLists("fz");
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  ExpectListsEqual(*cached, first_outcome->lists, "initial cache");
+
+  Rng rng(101);
+  for (size_t generation = 1; generation <= 3; ++generation) {
+    const uint8_t side = static_cast<uint8_t>(generation % 2);
+    const TableDelta delta = RandomDelta(side == 0 ? table_a : table_b,
+                                         side, generation, rng);
+    ASSERT_TRUE(
+        ApplyDeltaToTable(side == 0 ? table_a : table_b, delta).ok());
+    const Status applied = manager.ApplyTableDelta("fz", delta);
+    ASSERT_TRUE(applied.ok()) << applied.ToString();
+    Result<uint64_t> pair_generation = manager.PairGeneration("fz");
+    ASSERT_TRUE(pair_generation.ok());
+    EXPECT_EQ(*pair_generation, generation + 1);
+
+    // A fresh isolated session over the mutated tables is the ground
+    // truth for everything the service now serves.
+    Result<DebugSession> isolated =
+        DebugSession::Create(table_a, table_b, dataset.gold, options);
+    ASSERT_TRUE(isolated.ok()) << isolated.status().ToString();
+    const std::vector<std::vector<ScoredPair>> want = isolated->TopKLists();
+
+    Result<uint64_t> id = manager.Submit(request);
+    ASSERT_TRUE(id.ok());
+    Result<SessionOutcome> outcome = manager.Wait(*id);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_EQ(outcome->state, SessionState::kComplete)
+        << outcome->status.ToString();
+    EXPECT_EQ(outcome->plane_generation, generation + 1);
+    ExpectListsEqual(outcome->lists, want,
+                     "post-delta session, generation " +
+                         std::to_string(generation + 1));
+
+    // The repaired cache must equal rerunning the ORIGINAL config tree
+    // over a from-scratch corpus on the mutated tables.
+    const SsjCorpus rebuilt =
+        SsjCorpus::Build(table_a, table_b, base_columns);
+    JointResult rerun = RunJointTopKJoins(rebuilt, base_tree, rerun_options);
+    ASSERT_FALSE(rerun.truncated);
+    std::vector<std::vector<ScoredPair>> cache_want;
+    for (const ConfigJoinResult& result : rerun.per_config) {
+      cache_want.push_back(result.topk);
+    }
+    cached = manager.CachedTopKLists("fz");
+    ASSERT_TRUE(cached.ok());
+    EXPECT_EQ(TopKListsCrc(*cached), TopKListsCrc(cache_want))
+        << "cached lists diverged at generation " << generation + 1;
+  }
+
+  const ServiceStats stats = manager.stats();
+  EXPECT_EQ(stats.deltas_applied, 3u);
+  EXPECT_EQ(stats.delta_failures, 0u);
+  EXPECT_EQ(stats.planes_patched, 3u);
+  EXPECT_EQ(stats.corpora_patched, 3u);
+  EXPECT_GT(stats.lists_repaired + stats.lists_rejoined, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Faults mid-patch: a failed delta must leave the prior generation — plane,
+// corpus, cached lists — intact and visible, with a typed error.
+
+TEST(DeltaEquivalenceTest, FaultMidPatchLeavesPriorGenerationIntact) {
+  datagen::GeneratedDataset dataset = SmallDataset();
+  MatchCatcherOptions options;
+  options.joint.k = 20;
+  options.joint.num_threads = 2;
+
+  for (const char* point :
+       {"service/delta", "text_plane/apply_delta", "corpus/apply_delta"}) {
+    SCOPED_TRACE(point);
+    ServiceLimits limits;
+    limits.max_concurrent_sessions = 2;
+    SessionManager manager(limits);
+    ASSERT_TRUE(manager
+                    .RegisterTablePair("fz", dataset.table_a,
+                                       dataset.table_b, dataset.gold)
+                    .ok());
+    SessionRequest request;
+    request.pair_key = "fz";
+    request.options = options;
+    Result<uint64_t> first = manager.Submit(request);
+    ASSERT_TRUE(first.ok());
+    Result<SessionOutcome> first_outcome = manager.Wait(*first);
+    ASSERT_TRUE(first_outcome.ok());
+    ASSERT_EQ(first_outcome->state, SessionState::kComplete);
+    Result<std::vector<std::vector<ScoredPair>>> before =
+        manager.CachedTopKLists("fz");
+    ASSERT_TRUE(before.ok());
+
+    TableDelta delta;
+    delta.side = 0;
+    delta.mutated.push_back(
+        {0, [&] {
+           std::vector<std::string> values;
+           for (size_t c = 0; c < dataset.table_a.num_columns(); ++c) {
+             values.emplace_back(dataset.table_a.Value(0, c));
+           }
+           values[0] += " faulted";
+           return values;
+         }()});
+
+    {
+      ScopedFaultArm fault(point, FaultKind::kError);
+      const Status applied = manager.ApplyTableDelta("fz", delta);
+      EXPECT_FALSE(applied.ok());
+      EXPECT_EQ(applied.code(), StatusCode::kUnavailable)
+          << applied.ToString();
+    }
+    // Prior generation fully intact: generation number, cached lists, and
+    // a session that still runs over the old planes with the old content.
+    Result<uint64_t> generation = manager.PairGeneration("fz");
+    ASSERT_TRUE(generation.ok());
+    EXPECT_EQ(*generation, 1u);
+    Result<std::vector<std::vector<ScoredPair>>> after =
+        manager.CachedTopKLists("fz");
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(TopKListsCrc(*after), TopKListsCrc(*before));
+    Result<uint64_t> id = manager.Submit(request);
+    ASSERT_TRUE(id.ok());
+    Result<SessionOutcome> outcome = manager.Wait(*id);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->state, SessionState::kComplete);
+    EXPECT_EQ(outcome->plane_generation, 1u);
+    EXPECT_EQ(TopKListsCrc(outcome->lists), TopKListsCrc(*before));
+
+    // With the fault gone the same delta commits.
+    const Status applied = manager.ApplyTableDelta("fz", delta);
+    EXPECT_TRUE(applied.ok()) << applied.ToString();
+    generation = manager.PairGeneration("fz");
+    ASSERT_TRUE(generation.ok());
+    EXPECT_EQ(*generation, 2u);
+    const ServiceStats stats = manager.stats();
+    EXPECT_EQ(stats.delta_failures, 1u);
+    EXPECT_EQ(stats.deltas_applied, 1u);
+  }
+}
+
+TEST(DeltaEquivalenceTest, MalformedDeltasAreTypedAndChangeNothing) {
+  datagen::GeneratedDataset dataset = SmallDataset();
+  ServiceLimits limits;
+  SessionManager manager(limits);
+  ASSERT_TRUE(manager
+                  .RegisterTablePair("fz", dataset.table_a, dataset.table_b,
+                                     dataset.gold)
+                  .ok());
+
+  EXPECT_EQ(manager.ApplyTableDelta("nope", {}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager.ApplyTableDelta("fz", {}).code(),
+            StatusCode::kInvalidArgument);  // Empty delta.
+
+  TableDelta out_of_range;
+  out_of_range.side = 0;
+  out_of_range.deleted.push_back(
+      static_cast<uint32_t>(dataset.table_a.num_rows() + 100));
+  EXPECT_EQ(manager.ApplyTableDelta("fz", out_of_range).code(),
+            StatusCode::kInvalidArgument);
+
+  TableDelta bad_arity;
+  bad_arity.side = 1;
+  bad_arity.mutated.push_back({0, {"just one cell"}});
+  EXPECT_EQ(manager.ApplyTableDelta("fz", bad_arity).code(),
+            StatusCode::kInvalidArgument);
+
+  Result<uint64_t> generation = manager.PairGeneration("fz");
+  ASSERT_TRUE(generation.ok());
+  EXPECT_EQ(*generation, 1u);  // Nothing committed.
+  EXPECT_EQ(manager.stats().delta_failures, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction: superseded generations reclaim first, a pair with a live
+// session keeps its planes, and the eviction counters stay conserved.
+
+TEST(ServiceEvictionTest, SupersededGenerationsReclaimBeforeLivePlanes) {
+  datagen::GeneratedDataset dataset = SmallDataset();
+  MatchCatcherOptions options;
+  options.joint.k = 10;
+  options.joint.num_threads = 1;
+
+  ServiceLimits limits;
+  limits.max_concurrent_sessions = 1;
+  SessionManager manager(limits);
+  ASSERT_TRUE(manager
+                  .RegisterTablePair("fz", dataset.table_a, dataset.table_b,
+                                     dataset.gold)
+                  .ok());
+  SessionRequest request;
+  request.pair_key = "fz";
+  request.options = options;
+  Result<uint64_t> first = manager.Submit(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(manager.Wait(*first).ok());
+
+  // Two committed deltas park two superseded generations.
+  for (size_t g = 0; g < 2; ++g) {
+    TableDelta delta;
+    delta.side = 0;
+    std::vector<std::string> values;
+    for (size_t c = 0; c < dataset.table_a.num_columns(); ++c) {
+      values.emplace_back(dataset.table_a.Value(0, c));
+    }
+    values[0] += " gen" + std::to_string(g);
+    delta.mutated.push_back({0, std::move(values)});
+    ASSERT_TRUE(manager.ApplyTableDelta("fz", delta).ok());
+  }
+  Result<uint64_t> generation = manager.PairGeneration("fz");
+  ASSERT_TRUE(generation.ok());
+  ASSERT_EQ(*generation, 3u);
+
+  // max_evictions = 1 twice: both reclaims must hit the superseded list
+  // (oldest generation first), never the live plane — the next session
+  // still rides the cache.
+  EXPECT_EQ(manager.EvictSharedPlanes(1), 1u);
+  EXPECT_EQ(manager.EvictSharedPlanes(1), 1u);
+  ServiceStats stats = manager.stats();
+  EXPECT_EQ(stats.superseded_planes_evicted, 2u);
+  EXPECT_EQ(stats.planes_evicted, 2u);
+
+  Result<uint64_t> second = manager.Submit(request);
+  ASSERT_TRUE(second.ok());
+  Result<SessionOutcome> outcome = manager.Wait(*second);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->state, SessionState::kComplete);
+  stats = manager.stats();
+  EXPECT_EQ(stats.plane_cache_hits, 1u);  // Live plane survived both passes.
+  EXPECT_EQ(stats.corpus_cache_hits, 1u);
+
+  // With nothing superseded left, an unbounded eviction takes the live
+  // plane (the pair is idle) — and the counters conserve: every eviction
+  // the calls returned is accounted once.
+  const size_t evicted = manager.EvictSharedPlanes(0);
+  EXPECT_EQ(evicted, 1u);
+  stats = manager.stats();
+  EXPECT_EQ(stats.planes_evicted, 3u);
+  EXPECT_EQ(stats.superseded_planes_evicted, 2u);
+  EXPECT_FALSE(manager.CachedTopKLists("fz").ok());  // Evicted with corpus.
+
+  // An in-flight session pins its pair: while it is building, the evictor
+  // must leave the pair's live planes alone. kBuilding is set in the same
+  // critical section that pins the entry, so observing it guarantees the
+  // pin is held.
+  Result<uint64_t> third = manager.Submit(request);
+  ASSERT_TRUE(third.ok());
+  bool observed_building = false;
+  for (int i = 0; i < 10000; ++i) {
+    Result<SessionState> state = manager.StateOf(*third);
+    ASSERT_TRUE(state.ok());
+    if (IsTerminalState(*state)) break;
+    if (*state == SessionState::kBuilding) {
+      observed_building = true;
+      break;
+    }
+  }
+  if (observed_building) {
+    manager.EvictSharedPlanes(0);
+    // Whatever the evictor managed, the running session's pair was pinned;
+    // it still finishes with valid lists.
+  }
+  Result<SessionOutcome> third_outcome = manager.Wait(*third);
+  ASSERT_TRUE(third_outcome.ok());
+  EXPECT_TRUE(third_outcome->state == SessionState::kComplete ||
+              third_outcome->state == SessionState::kTruncated);
+}
+
+}  // namespace
+}  // namespace mc

@@ -176,7 +176,10 @@ void RunChaosScenario(uint64_t seed) {
                                 0.02, seed ^ 0x3);
     ScopedFaultArm write_fault("session_io/write", FaultKind::kPartialWrite,
                                0.20, seed ^ 0x4);
+    ScopedFaultArm delta_fault("service/delta", FaultKind::kError, 0.25,
+                               seed ^ 0x5);
 
+    size_t delta_attempts = 0;
     for (int i = 0; i < 14; ++i) {
       SessionRequest request;
       request.pair_key = rng.NextBool(0.5) ? "p0" : "p1";
@@ -192,7 +195,9 @@ void RunChaosScenario(uint64_t seed) {
                     id.status().code() == StatusCode::kUnavailable)
             << id.status().ToString();
         if (id.status().code() == StatusCode::kResourceExhausted) {
-          EXPECT_GE(ParseRetryAfterMillis(id.status().message()), 1);
+          EXPECT_TRUE(id.status().has_retry_after())
+              << id.status().ToString();
+          EXPECT_GE(id.status().retry_after_millis(), 1);
         }
         continue;
       }
@@ -203,6 +208,33 @@ void RunChaosScenario(uint64_t seed) {
       }
       if (rng.NextBool(0.15)) {
         manager.EvictSharedPlanes();
+      }
+      // Interleave incremental deltas with live sessions: a failed patch
+      // (fault, eviction-forced rebuild refusal, ...) must be typed and
+      // leave the pair serving its prior generation; a committed one bumps
+      // it. Either way sessions keep terminating with valid lists.
+      if (rng.NextBool(0.35)) {
+        const bool on_p0 = rng.NextBool(0.5);
+        const datagen::GeneratedDataset& source = on_p0 ? fz : fz2;
+        TableDelta delta;
+        delta.side = static_cast<uint8_t>(rng.NextBool(0.5) ? 0 : 1);
+        const Table& base =
+            delta.side == 0 ? source.table_a : source.table_b;
+        TableDelta::RowEdit edit;
+        edit.row = 0;
+        for (size_t c = 0; c < base.num_columns(); ++c) {
+          edit.values.emplace_back(base.Value(0, c));
+        }
+        edit.values[0] += " chaos" + std::to_string(i);
+        delta.mutated.push_back(std::move(edit));
+        ++delta_attempts;
+        const Status applied =
+            manager.ApplyTableDelta(on_p0 ? "p0" : "p1", delta);
+        if (!applied.ok()) {
+          EXPECT_TRUE(applied.code() == StatusCode::kUnavailable ||
+                      applied.code() == StatusCode::kResourceExhausted)
+              << applied.ToString();
+        }
       }
     }
 
@@ -241,6 +273,9 @@ void RunChaosScenario(uint64_t seed) {
     EXPECT_EQ(stats.completed + stats.truncated + stats.failed +
                   stats.cancelled,
               admitted);
+    // Delta conservation: every attempt either committed or failed typed.
+    EXPECT_EQ(stats.deltas_applied + stats.delta_failures, delta_attempts);
+    EXPECT_EQ(stats.memory_release_violations, 0u);
     EXPECT_EQ(manager.live_sessions(), 0u);
     manager.Shutdown();
   }
@@ -279,7 +314,8 @@ TEST(ServiceChaosTest, AdmissionRejectsTypedWhenFull) {
   Result<uint64_t> second = manager.Submit(request);
   ASSERT_FALSE(second.ok());
   EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_GE(ParseRetryAfterMillis(second.status().message()), 1);
+  EXPECT_TRUE(second.status().has_retry_after());
+  EXPECT_GE(second.status().retry_after_millis(), 1);
 
   // Unknown pair and impossible cost are final, not retryable.
   SessionRequest unknown = request;

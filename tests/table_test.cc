@@ -52,6 +52,42 @@ TEST(TableTest, AddAndAccess) {
   EXPECT_TRUE(table.IsMissing(4, 2));
 }
 
+TEST(TableTest, TryAddRowValidatesArityAndCellSize) {
+  Table table = MakePeopleTable();
+  EXPECT_EQ(table.TryAddRow({"Ann Lee", "Boston", "30"}).code(),
+            StatusCode::kOk);
+  EXPECT_EQ(table.num_rows(), 6u);
+  // Wrong arity is a typed rejection, not a crash, and adds nothing.
+  EXPECT_EQ(table.TryAddRow({"too", "short"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 6u);
+
+  // A cell past MaxCellBytes would overflow the text plane's uint32 span
+  // lengths; it must be rejected up front, not silently truncated later.
+  Table::SetMaxCellBytesForTest(16);
+  EXPECT_EQ(
+      table.TryAddRow({"a cell well beyond sixteen bytes", "x", "1"}).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 6u);
+  EXPECT_EQ(table.TryAddRow({"short", "x", "1"}).code(), StatusCode::kOk);
+  Table::SetMaxCellBytesForTest(0);  // Restore the default.
+}
+
+TEST(TableTest, SetRowReplacesInPlaceAndRevalidates) {
+  Table table = MakePeopleTable();
+  ASSERT_EQ(table.SetRow(1, {"Dan Smith", "", "19"}).code(), StatusCode::kOk);
+  EXPECT_EQ(table.num_rows(), 5u);  // In place, no growth.
+  EXPECT_EQ(table.Value(1, 0), "Dan Smith");
+  EXPECT_TRUE(table.IsMissing(1, 1));   // Missing bits recomputed.
+  EXPECT_FALSE(table.IsMissing(1, 0));
+  // Out-of-range row and bad arity are typed errors that change nothing.
+  EXPECT_EQ(table.SetRow(5, {"x", "y", "z"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.SetRow(0, {"just one"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.Value(0, 0), "Dave Smith");
+}
+
 TEST(TableTest, NumericValue) {
   Table table = MakePeopleTable();
   EXPECT_EQ(table.NumericValue(0, 2).value(), 18.0);

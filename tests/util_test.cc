@@ -543,8 +543,30 @@ TEST(MemoryBudgetTest, ChargesReleasesAndRejects) {
   budget.Release(60);
   EXPECT_EQ(budget.used(), 40u);
   EXPECT_EQ(budget.peak(), 100u);  // Peak survives releases.
-  budget.Release(1'000'000);       // Over-release clamps at zero.
+  budget.set_tolerate_release_violations(true);  // Deliberate below.
+  budget.Release(1'000'000);  // Over-release clamps at zero.
   EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.release_violations(), 1u);
+}
+
+TEST(MemoryBudgetTest, OverReleaseClampsCountsAndKeepsAccounting) {
+  MemoryBudget budget(1000);
+  budget.set_tolerate_release_violations(true);
+  ASSERT_TRUE(budget.TryCharge(300));
+  // The historical bug: releasing more than `used` wrapped the unsigned
+  // counter to ~SIZE_MAX, so every later TryCharge "fit" and the ceiling
+  // stopped existing. Now the release clamps at zero and is counted.
+  budget.Release(500);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.release_violations(), 1u);
+  EXPECT_EQ(budget.remaining(), 1000u);  // Not SIZE_MAX - wrap.
+  // Accounting still works after the clamp: the ceiling holds.
+  EXPECT_TRUE(budget.TryCharge(1000));
+  EXPECT_FALSE(budget.TryCharge(1));
+  EXPECT_EQ(budget.rejected(), 1u);
+  budget.Release(1000);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.release_violations(), 1u);  // Exact release: no count.
 }
 
 TEST(MemoryBudgetTest, UnlimitedBudgetAcceptsEverything) {

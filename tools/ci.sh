@@ -60,6 +60,21 @@ for config in asan tsan; do
   done
 done
 
+# Delta equivalence: incremental plane/corpus/list patching must stay
+# bit-identical to from-scratch rebuilds across randomized delta schedules,
+# including faults mid-patch (a failed patch leaves the prior generation
+# intact). ASan catches arena lifetime bugs in the CSR patchers; TSan
+# catches races between ApplyTableDelta and in-flight sessions pinned to
+# the superseded generation. The seed matrix extends the built-in seeds.
+echo "==== [delta-equivalence] patch-vs-rebuild suite under ASan + TSan ===="
+for config in asan tsan; do
+  for seed in 7 1234 424242; do
+    echo "---- [delta-equivalence] ${config} seed ${seed} ----"
+    MC_DELTA_SEED="${seed}" ctest --test-dir "${build_root}/${config}" \
+        --output-on-failure -R 'DeltaEquivalenceTest|ServiceEvictionTest'
+  done
+done
+
 # Bench smoke: emit a perf record on a tiny workload and validate its schema
 # (plus the committed archive). Catches drift between the JSON writer, the
 # record schema, and tools/validate_bench_json.py without a full bench run.
@@ -94,13 +109,20 @@ service_json="${build_root}/release/bench_smoke_service.json"
 "${build_root}/release/bench/micro_service" \
     --json="${service_json}" --engine=ci-smoke --scale=0.02 --reps=1 \
     --sessions=4 --concurrency=2
+# micro_delta exits 1 on any patch-vs-rebuild divergence; the validator
+# re-checks the checksum equality on both the smoke record and the archive.
+delta_json="${build_root}/release/bench_smoke_delta.json"
+"${build_root}/release/bench/micro_delta" \
+    --json="${delta_json}" --engine=ci-smoke --scale=0.05 --reps=1 \
+    --generations=3
 python3 "${repo_root}/tools/validate_bench_json.py" \
     "${bench_json}" "${joint_json}" "${text_json}" "${kernels_json}" \
-    "${service_json}" \
+    "${service_json}" "${delta_json}" \
     "${repo_root}/bench/BENCH_ssj.json" \
     "${repo_root}/bench/BENCH_joint.json" \
     "${repo_root}/bench/BENCH_text.json" \
     "${repo_root}/bench/BENCH_kernels.json" \
-    "${repo_root}/bench/BENCH_service.json"
+    "${repo_root}/bench/BENCH_service.json" \
+    "${repo_root}/bench/BENCH_delta.json"
 
 echo "==== all configurations passed ===="

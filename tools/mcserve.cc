@@ -24,6 +24,10 @@
 //   --chaos-seed S     arm probabilistic faults at the service fault points
 //   --retry-after      honor kResourceExhausted retry-after hints and
 //                      resubmit instead of dropping
+//   --deltas N         the apply-delta command: after the session burst,
+//                      push N synthetic row deltas (mutate + append + delete)
+//                      through ApplyTableDelta and report the patch counters
+//   --delta-seed S     seed for the synthetic delta generator (default 7)
 //
 // Exit status: 0 when every admitted session ends complete or truncated,
 // 1 when any session fails, 2 on usage errors.
@@ -32,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,6 +65,8 @@ struct Args {
   uint64_t chaos_seed = 0;
   bool chaos = false;
   bool honor_retry_after = false;
+  size_t deltas = 0;
+  uint64_t delta_seed = 7;
 };
 
 int Usage(const char* argv0) {
@@ -67,7 +74,8 @@ int Usage(const char* argv0) {
                "usage: %s [--dataset NAME] [--scale F] [--sessions N] "
                "[--concurrency N] [--queue N] [--k N] [--threads N] "
                "[--deadline-ms N] [--memory-limit B] [--checkpoint DIR] "
-               "[--chaos-seed S] [--retry-after]\n"
+               "[--chaos-seed S] [--retry-after] [--deltas N] "
+               "[--delta-seed S]\n"
                "       %s --tables A.csv,B.csv --candidates C.csv [...]\n",
                argv0, argv0);
   return 2;
@@ -113,6 +121,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->chaos_seed = static_cast<uint64_t>(std::atoll(value));
     } else if (arg == "--retry-after") {
       args->honor_retry_after = true;
+    } else if (arg == "--deltas" && (value = next())) {
+      args->deltas = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--delta-seed" && (value = next())) {
+      args->delta_seed = static_cast<uint64_t>(std::atoll(value));
     } else {
       return false;
     }
@@ -143,6 +155,52 @@ mc::Result<mc::CandidateSet> LoadPairs(const std::string& path,
     pairs.Add(static_cast<mc::RowId>(*a), static_cast<mc::RowId>(*b));
   }
   return pairs;
+}
+
+// One synthetic delta against the registered pair: mutate a couple of rows
+// (a "rev<g>" marker keeps each generation's content distinct), append one
+// row cloned from an existing one, and tombstone a row every third delta.
+// Deterministic for a given (seed, generation, table shape).
+mc::TableDelta SynthesizeDelta(const mc::Table& table_a,
+                               const mc::Table& table_b, size_t generation,
+                               std::mt19937_64& rng) {
+  mc::TableDelta delta;
+  delta.side = static_cast<uint8_t>(generation % 2);
+  const mc::Table& table = delta.side == 0 ? table_a : table_b;
+  if (table.num_rows() == 0) return delta;
+  auto row_values = [&](size_t row) {
+    std::vector<std::string> values;
+    values.reserve(table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      values.emplace_back(table.Value(row, c));
+    }
+    return values;
+  };
+  const std::string marker = " rev" + std::to_string(generation);
+  for (size_t m = 0; m < 2; ++m) {
+    mc::TableDelta::RowEdit edit;
+    edit.row = static_cast<uint32_t>(rng() % table.num_rows());
+    edit.values = row_values(edit.row);
+    edit.values[0] += marker;
+    // ApplyTableDelta rejects duplicate row edits; skip collisions.
+    bool duplicate = false;
+    for (const auto& prior : delta.mutated) {
+      duplicate = duplicate || prior.row == edit.row;
+    }
+    if (!duplicate) delta.mutated.push_back(std::move(edit));
+  }
+  std::vector<std::string> appended = row_values(rng() % table.num_rows());
+  appended[0] += marker + " appended";
+  delta.appended.push_back(std::move(appended));
+  if (generation % 3 == 2) {
+    const uint32_t victim = static_cast<uint32_t>(rng() % table.num_rows());
+    bool duplicate = false;
+    for (const auto& prior : delta.mutated) {
+      duplicate = duplicate || prior.row == victim;
+    }
+    if (!duplicate) delta.deleted.push_back(victim);
+  }
+  return delta;
 }
 
 mc::datagen::GeneratedDataset Generate(const Args& args) {
@@ -245,8 +303,7 @@ int main(int argc, char** argv) {
     mc::Result<uint64_t> id = manager.Submit(request);
     if (!id.ok() && args.honor_retry_after &&
         id.status().code() == mc::StatusCode::kResourceExhausted) {
-      const int64_t wait_ms =
-          mc::ParseRetryAfterMillis(id.status().message());
+      const int64_t wait_ms = id.status().retry_after_millis();
       std::printf("queue full; retrying in %lld ms\n",
                   static_cast<long long>(wait_ms));
       std::this_thread::sleep_for(
@@ -288,21 +345,61 @@ int main(int argc, char** argv) {
     if (outcome->state == mc::SessionState::kFailed) exit_code = 1;
   }
 
+  if (args.deltas > 0) {
+    // The apply-delta command: push synthetic row deltas through the
+    // incremental path. Each commit bumps the pair's generation and patches
+    // the shared plane / corpus / cached lists in place of a rebuild; a
+    // follow-up session then runs over the patched planes.
+    std::mt19937_64 delta_rng(args.delta_seed);
+    for (size_t g = 1; g <= args.deltas; ++g) {
+      const mc::TableDelta delta =
+          SynthesizeDelta(table_a, table_b, g, delta_rng);
+      const mc::Status applied = manager.ApplyTableDelta(pair_key, delta);
+      const mc::Result<uint64_t> generation = manager.PairGeneration(pair_key);
+      std::printf("delta %-3zu side=%d rows(~%zu/+%zu/-%zu) -> %s "
+                  "(generation %llu)\n",
+                  g, delta.side, delta.mutated.size(), delta.appended.size(),
+                  delta.deleted.size(),
+                  applied.ok() ? "applied" : applied.ToString().c_str(),
+                  static_cast<unsigned long long>(
+                      generation.ok() ? *generation : 0));
+      if (!applied.ok()) exit_code = 1;
+    }
+    mc::Result<uint64_t> id = manager.Submit(request);
+    if (id.ok()) {
+      mc::Result<mc::SessionOutcome> outcome = manager.Wait(*id);
+      if (outcome.ok()) {
+        std::printf("post-delta session %llu: %s (plane generation %llu)\n",
+                    static_cast<unsigned long long>(*id),
+                    mc::SessionStateName(outcome->state),
+                    static_cast<unsigned long long>(
+                        outcome->plane_generation));
+        if (outcome->state == mc::SessionState::kFailed) exit_code = 1;
+      }
+    }
+  }
+
   const mc::ServiceStats stats = manager.stats();
   std::printf(
       "\nservice: submitted=%zu admitted=%zu rejected=%zu completed=%zu "
       "truncated=%zu failed=%zu cancelled=%zu\n"
       "sharing: plane hits/misses=%zu/%zu corpus hits=%zu builds=%zu "
       "evicted=%zu\n"
-      "memory: used=%zu peak=%zu rejected_charges=%zu | restored=%zu "
+      "deltas: applied=%zu failed=%zu planes_patched=%zu "
+      "corpora_patched=%zu lists repaired/rejoined=%zu/%zu\n"
+      "memory: used=%zu peak=%zu rejected_charges=%zu "
+      "release_violations=%zu | restored=%zu "
       "restore_failures=%zu watchdog_cancelled=%zu\n",
       stats.submitted, stats.admitted, stats.rejected + rejected,
       stats.completed, stats.truncated, stats.failed, stats.cancelled,
       stats.plane_cache_hits, stats.plane_cache_misses,
       stats.corpus_cache_hits, stats.corpus_builds, stats.planes_evicted,
+      stats.deltas_applied, stats.delta_failures, stats.planes_patched,
+      stats.corpora_patched, stats.lists_repaired, stats.lists_rejoined,
       stats.memory_used_bytes, stats.memory_peak_bytes,
-      stats.memory_rejected_charges, stats.sessions_restored,
-      stats.restore_failures, stats.watchdog_cancelled);
+      stats.memory_rejected_charges, stats.memory_release_violations,
+      stats.sessions_restored, stats.restore_failures,
+      stats.watchdog_cancelled);
   manager.Shutdown();
   if (args.chaos) mc::FaultRegistry::Instance().Reset();
   return exit_code;

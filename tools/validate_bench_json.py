@@ -177,6 +177,42 @@ SERVICE_OUTPUT_FIELDS = {
 }
 
 
+DELTA_WORKLOAD_FIELDS = {
+    "dataset": str,
+    "scale": (int, float),
+    "rows_a": int,
+    "rows_b": int,
+    "generations": int,
+    "delta_rows": int,
+    "k": int,
+    "threads": int,
+    "repetitions": int,
+    "seed": int,
+}
+
+# micro_delta stage timings, in emission order.
+DELTA_STAGE_NAMES = ["rebuild", "patch"]
+
+DELTA_STAGE_FIELDS = {
+    "name": str,
+    "best_seconds": (int, float),
+    "mean_seconds": (int, float),
+    "generations_per_sec": (int, float),
+}
+
+DELTA_OUTPUT_FIELDS = {
+    "patch_speedup": (int, float),
+    "lists_repaired": int,
+    "lists_rejoined": int,
+    "dead_token_fraction": (int, float),
+    "plane_crc": str,
+    "corpus_crc": str,
+    "topk_checksum": str,
+    "rebuilt_topk_checksum": str,
+    "identical_to_rebuild": bool,
+}
+
+
 class ValidationError(Exception):
     pass
 
@@ -335,6 +371,45 @@ def validate_service_record(record, where):
             f"{where}.output: shared sessions differ from isolated runs")
 
 
+def validate_delta_record(record, where):
+    """micro_delta: patch-vs-rebuild timings + bit-identity checksums."""
+    check_fields(record.get("workload"), DELTA_WORKLOAD_FIELDS,
+                 f"{where}.workload")
+    workload = record["workload"]
+    require(workload["generations"] >= 1 and workload["delta_rows"] >= 1,
+            f"{where}.workload: generations and delta_rows must be >= 1")
+    results = record.get("results")
+    require(isinstance(results, list), f"{where}: 'results' must be an array")
+    require([r.get("name") for r in results if isinstance(r, dict)]
+            == DELTA_STAGE_NAMES,
+            f"{where}: results must be the stages {DELTA_STAGE_NAMES}")
+    for i, result in enumerate(results):
+        where_r = f"{where}.results[{i}]"
+        check_fields(result, DELTA_STAGE_FIELDS, where_r)
+        require(result["best_seconds"] > 0.0,
+                f"{where_r}: best_seconds must be positive")
+        require(result["mean_seconds"] >= result["best_seconds"],
+                f"{where_r}: mean_seconds < best_seconds")
+        require(result["generations_per_sec"] > 0.0,
+                f"{where_r}: generations_per_sec must be positive")
+    output = record.get("output")
+    check_fields(output, DELTA_OUTPUT_FIELDS, f"{where}.output")
+    require(output["patch_speedup"] > 0.0,
+            f"{where}.output: patch_speedup must be positive")
+    require(0.0 <= output["dead_token_fraction"] <= 1.0,
+            f"{where}.output: dead_token_fraction must be in [0, 1]")
+    for key in ("plane_crc", "corpus_crc", "topk_checksum",
+                "rebuilt_topk_checksum"):
+        require(re.fullmatch(r"[0-9a-f]{8}", output[key]),
+                f"{where}.output: {key} is not 8 lowercase hex digits")
+    # Patching is only a cost optimization: the patched lists must be
+    # bit-identical to a from-scratch rebuild, always.
+    require(output["topk_checksum"] == output["rebuilt_topk_checksum"],
+            f"{where}.output: patched topk_checksum differs from rebuild")
+    require(output["identical_to_rebuild"],
+            f"{where}.output: patched planes differ from a rebuild")
+
+
 def validate_record(record, where):
     require(isinstance(record, dict), f"{where}: expected an object")
     require(record.get("schema_version") == 1,
@@ -354,6 +429,9 @@ def validate_record(record, where):
         return
     if record["benchmark"] == "micro_service":
         validate_service_record(record, where)
+        return
+    if record["benchmark"] == "micro_delta":
+        validate_delta_record(record, where)
         return
     check_fields(record.get("workload"), WORKLOAD_FIELDS, f"{where}.workload")
 
