@@ -24,12 +24,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.h"
 #include "config/config_generator.h"
 #include "datagen/generator.h"
 #include "joint/joint_executor.h"
+#include "simd/kernels.h"
 #include "ssj/corpus.h"
 #include "table/profile.h"
 #include "util/check.h"
@@ -192,6 +194,11 @@ int RunJsonBench(const BenchConfig& config) {
   json.KV("engine", config.engine);
   json.Key("workload");
   json.BeginObject();
+  // Machine context: every record names the core budget and the SIMD level
+  // it ran under, so archived numbers are comparable across runners.
+  json.KV("cpu_cores",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.KV("simd_level", simd::SimdLevelName(simd::ActiveSimdLevel()));
   json.KV("dataset", config.dataset);
   json.KV("scale", config.scale);
   json.KV("rows_a", uint64_t{table_a.num_rows()});

@@ -1,0 +1,328 @@
+// Planner-vs-race ablation benchmark: the cost-based join planner
+// (src/ssj/join_planner.h) against the legacy empirical q race
+// (SelectQByRace, paper §4.1), each measured END TO END — plan selection
+// plus the full top-k join the selection feeds. The race pays for full
+// probe joins at every candidate q and throws the losers away; the planner
+// pays for systematic-sample probes at a fraction of the table and keeps
+// everything it learns (q, shard hint, hybrid prefilter threshold).
+//
+// Output equality is enforced, not just reported: the run aborts (exit 1)
+// unless the planner path's top-k checksum matches both the race path's
+// (identical_to_race — the two strategies picked plans with identical
+// output on this workload) and a direct un-prefiltered run of the planner's
+// own plan (identical_to_direct — the structural bit-identity contract of
+// TopKJoinOptions::prefilter_threshold). The workload is sized so the top-k
+// boundary pairs share at least max_q tokens, making the result q-invariant
+// — without that, race and planner could legitimately pick different q with
+// different (both correct) q-restricted answers.
+//
+// Besides the interactive google-benchmark mode, `--json=PATH` emits the
+// machine-readable record archived in bench/BENCH_planner.json and checked
+// by tools/validate_bench_json.py. Knobs: --scale=F (default 0.05),
+// --reps=N (default 5), --k=N (default 100), --engine=LABEL.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "datagen/generator.h"
+#include "simd/kernels.h"
+#include "ssj/corpus.h"
+#include "ssj/join_planner.h"
+#include "ssj/topk_join.h"
+#include "util/crc32.h"
+#include "util/stopwatch.h"
+
+namespace mc {
+namespace {
+
+const SsjCorpus& MusicCorpus(double scale = 0.05) {
+  static const SsjCorpus& corpus = *[scale] {
+    datagen::GeneratedDataset dataset = datagen::GenerateMusic(
+        datagen::ScaleDims(datagen::kDimsMusic1, scale));
+    std::vector<size_t> columns;
+    for (size_t c = 0; c < dataset.table_a.schema().size(); ++c) {
+      columns.push_back(c);
+    }
+    return new SsjCorpus(
+        SsjCorpus::Build(dataset.table_a, dataset.table_b, columns));
+  }();
+  return corpus;
+}
+
+void BM_PlanTopKJoin(benchmark::State& state) {
+  const SsjCorpus& corpus = MusicCorpus();
+  ConfigView view = corpus.MakeConfigView(0xFF);
+  PlannerOptions options;
+  options.k = 100;
+  options.seed = 42;
+  for (auto _ : state) {
+    JoinPlan plan = PlanTopKJoin(corpus, view, options);
+    benchmark::DoNotOptimize(plan.q);
+  }
+}
+BENCHMARK(BM_PlanTopKJoin);
+
+void BM_SelectQByRace(benchmark::State& state) {
+  const SsjCorpus& corpus = MusicCorpus();
+  ConfigView view = corpus.MakeConfigView(0xFF);
+  for (auto _ : state) {
+    size_t q = SelectQByRace(view, SetMeasure::kJaccard, nullptr);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_SelectQByRace);
+
+// --------------------------------------------------------------------------
+// Machine-readable perf record (--json mode).
+// --------------------------------------------------------------------------
+
+uint32_t TopKChecksum(const TopKList& list) {
+  uint32_t crc = 0;
+  for (const ScoredPair& entry : list.SortedDescending()) {
+    crc = Crc32(&entry.pair, sizeof(entry.pair), crc);
+    crc = Crc32(&entry.score, sizeof(entry.score), crc);
+  }
+  return crc;
+}
+
+struct JsonBenchConfig {
+  std::string path;
+  std::string engine = "unspecified";
+  double scale = 0.05;
+  size_t reps = 5;
+  size_t k = 100;
+};
+
+// One end-to-end path: selection seconds + join seconds, best-of-reps on
+// the total.
+struct PathResult {
+  size_t q = 1;
+  size_t shards = 1;
+  bool hybrid = false;
+  double select_seconds = 0.0;  // At the best-total repetition.
+  double join_seconds = 0.0;
+  double best_seconds = 0.0;
+  double mean_seconds = 0.0;
+  size_t pairs = 0;
+  uint32_t checksum = 0;
+};
+
+PathResult TimeRacePath(const ConfigView& view, const JsonBenchConfig& config) {
+  PathResult result;
+  double total = 0.0;
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    Stopwatch select_watch;
+    const size_t q = SelectQByRace(view, SetMeasure::kJaccard, nullptr);
+    const double select_seconds = select_watch.ElapsedSeconds();
+    TopKJoinOptions options;
+    options.k = config.k;
+    options.q = q;
+    Stopwatch join_watch;
+    TopKList list = RunTopKJoin(view, options);
+    const double join_seconds = join_watch.ElapsedSeconds();
+    const double seconds = select_seconds + join_seconds;
+    total += seconds;
+    if (rep == 0 || seconds < result.best_seconds) {
+      result.best_seconds = seconds;
+      result.select_seconds = select_seconds;
+      result.join_seconds = join_seconds;
+    }
+    result.q = q;
+    result.pairs = list.size();
+    result.checksum = TopKChecksum(list);
+  }
+  result.mean_seconds = total / static_cast<double>(config.reps);
+  return result;
+}
+
+PathResult TimePlannerPath(const SsjCorpus& corpus, const ConfigView& view,
+                           const JsonBenchConfig& config, JoinPlan* plan_out) {
+  PathResult result;
+  double total = 0.0;
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    PlannerOptions planner_options;
+    planner_options.k = config.k;
+    planner_options.seed = 42;
+    Stopwatch select_watch;
+    const JoinPlan plan = PlanTopKJoin(corpus, view, planner_options);
+    const double select_seconds = select_watch.ElapsedSeconds();
+    TopKJoinOptions options;
+    options.k = config.k;
+    options.q = plan.q;
+    options.shards = plan.shards;
+    if (plan.hybrid) options.prefilter_threshold = plan.prefilter_threshold;
+    Stopwatch join_watch;
+    TopKList list = RunTopKJoin(view, options);
+    const double join_seconds = join_watch.ElapsedSeconds();
+    const double seconds = select_seconds + join_seconds;
+    total += seconds;
+    if (rep == 0 || seconds < result.best_seconds) {
+      result.best_seconds = seconds;
+      result.select_seconds = select_seconds;
+      result.join_seconds = join_seconds;
+    }
+    result.q = plan.q;
+    result.shards = plan.shards;
+    result.hybrid = plan.hybrid;
+    result.pairs = list.size();
+    result.checksum = TopKChecksum(list);
+    *plan_out = plan;
+  }
+  result.mean_seconds = total / static_cast<double>(config.reps);
+  return result;
+}
+
+int RunJsonBench(const JsonBenchConfig& config) {
+  datagen::GeneratedDataset dataset = datagen::GenerateMusic(
+      datagen::ScaleDims(datagen::kDimsMusic1, config.scale));
+  std::vector<size_t> columns;
+  for (size_t c = 0; c < dataset.table_a.schema().size(); ++c) {
+    columns.push_back(c);
+  }
+  SsjCorpus corpus =
+      SsjCorpus::Build(dataset.table_a, dataset.table_b, columns);
+  ConfigView view = corpus.MakeConfigView(0xFF);
+
+  const PathResult race = TimeRacePath(view, config);
+  JoinPlan plan;
+  const PathResult planner = TimePlannerPath(corpus, view, config, &plan);
+
+  // The structural contract: the planner's chosen plan, run directly with
+  // the hybrid prefilter off, is bit-identical to the planner path.
+  TopKJoinOptions direct_options;
+  direct_options.k = config.k;
+  direct_options.q = plan.q;
+  direct_options.shards = plan.shards;
+  const uint32_t checksum_direct =
+      TopKChecksum(RunTopKJoin(view, direct_options));
+
+  const bool identical_to_direct = planner.checksum == checksum_direct;
+  const bool identical_to_race = planner.checksum == race.checksum;
+  const double speedup = planner.best_seconds > 0.0
+                             ? race.best_seconds / planner.best_seconds
+                             : 0.0;
+
+  std::ofstream out(config.path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", config.path.c_str());
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.BeginObject();
+  json.KV("schema_version", uint64_t{1});
+  json.KV("benchmark", "micro_planner");
+  json.KV("engine", config.engine);
+  json.Key("workload");
+  json.BeginObject();
+  // Machine context: every record names the core budget and the SIMD level
+  // it ran under, so archived numbers are comparable across runners.
+  json.KV("cpu_cores",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.KV("simd_level", simd::SimdLevelName(simd::ActiveSimdLevel()));
+  json.KV("dataset", "music");
+  json.KV("scale", config.scale);
+  json.KV("rows_a", uint64_t{dataset.table_a.num_rows()});
+  json.KV("rows_b", uint64_t{dataset.table_b.num_rows()});
+  json.KV("config_mask", uint64_t{0xFF});
+  json.KV("measure", "jaccard");
+  json.KV("k", uint64_t{config.k});
+  json.KV("repetitions", uint64_t{config.reps});
+  json.EndObject();
+  json.Key("results");
+  json.BeginArray();
+  auto emit_path = [&](const char* name, const PathResult& path) {
+    json.BeginObject();
+    json.KV("name", name);
+    json.KV("q", uint64_t{path.q});
+    json.KV("shards", uint64_t{path.shards});
+    json.KV("hybrid", path.hybrid);
+    json.KV("select_seconds", path.select_seconds);
+    json.KV("join_seconds", path.join_seconds);
+    json.KV("best_seconds", path.best_seconds);
+    json.KV("mean_seconds", path.mean_seconds);
+    json.KV("pairs", uint64_t{path.pairs});
+    char checksum[16];
+    std::snprintf(checksum, sizeof(checksum), "%08x", path.checksum);
+    json.KV("topk_checksum", checksum);
+    json.EndObject();
+  };
+  emit_path("race_path", race);
+  emit_path("planner_path", planner);
+  json.EndArray();
+  json.Key("comparison");
+  json.BeginObject();
+  json.KV("speedup", speedup);
+  json.KV("identical_to_race", identical_to_race);
+  json.KV("identical_to_direct", identical_to_direct);
+  json.KV("race_q", uint64_t{race.q});
+  json.KV("planner_q", uint64_t{plan.q});
+  json.KV("planner_hybrid", plan.hybrid);
+  json.KV("planner_tau", plan.prefilter_threshold);
+  json.KV("planner_sample_rate", uint64_t{plan.sample_rate});
+  json.KV("planner_sample_rows", uint64_t{plan.sample_rows});
+  json.KV("planner_seed", uint64_t{plan.seed});
+  json.EndObject();
+  json.EndObject();
+  out << "\n";
+  std::printf(
+      "wrote %s\n  race:    q=%zu %.4fs (select %.4fs + join %.4fs)\n"
+      "  planner: q=%zu %.4fs (plan %.4fs + join %.4fs) hybrid=%d\n"
+      "  speedup %.2fx identical_to_race=%d identical_to_direct=%d\n",
+      config.path.c_str(), race.q, race.best_seconds, race.select_seconds,
+      race.join_seconds, planner.q, planner.best_seconds,
+      planner.select_seconds, planner.join_seconds, planner.hybrid ? 1 : 0,
+      speedup, identical_to_race ? 1 : 0, identical_to_direct ? 1 : 0);
+  if (!identical_to_direct) {
+    std::fprintf(stderr,
+                 "FATAL: planner path output differs from a direct run of "
+                 "its own plan — the bit-identity contract is broken\n");
+    return 1;
+  }
+  if (!identical_to_race) {
+    std::fprintf(stderr,
+                 "FATAL: planner and race outputs differ on the q-invariant "
+                 "workload (race q=%zu, planner q=%zu)\n",
+                 race.q, plan.q);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mc
+
+int main(int argc, char** argv) {
+  mc::JsonBenchConfig config;
+  bool json_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--json=")) {
+      json_mode = true;
+      config.path = v;
+    } else if (const char* v = value_of("--engine=")) {
+      config.engine = v;
+    } else if (const char* v = value_of("--scale=")) {
+      config.scale = std::atof(v);
+    } else if (const char* v = value_of("--reps=")) {
+      config.reps = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--k=")) {
+      config.k = static_cast<size_t>(std::atoll(v));
+    }
+  }
+  if (json_mode) return mc::RunJsonBench(config);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

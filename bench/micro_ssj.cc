@@ -16,10 +16,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "bench_json.h"
 #include "datagen/generator.h"
 #include "rank/rank_aggregation.h"
+#include "simd/kernels.h"
 #include "ssj/corpus.h"
 #include "ssj/topk_join.h"
 #include "table/profile.h"
@@ -241,6 +243,11 @@ int RunJsonBench(const JsonBenchConfig& config) {
   json.KV("engine", config.engine);
   json.Key("workload");
   json.BeginObject();
+  // Machine context: every record names the core budget and the SIMD level
+  // it ran under, so archived numbers are comparable across runners.
+  json.KV("cpu_cores",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.KV("simd_level", simd::SimdLevelName(simd::ActiveSimdLevel()));
   json.KV("dataset", "music");
   json.KV("scale", config.scale);
   json.KV("rows_a", uint64_t{dataset.table_a.num_rows()});

@@ -44,6 +44,12 @@ struct JointContext {
   bool overlap_reuse;
   OverlapCache& cache;
   size_t num_threads;
+  // Resolved shard count per config: options.shards_per_config, else the
+  // planner's hint, else 0 (auto: min(num_threads, hardware)).
+  size_t shards_per_config = 0;
+  // Hybrid prefilter threshold for the root config (< 0 = off). Set only
+  // when the planner ran and decided for the hybrid mode.
+  double root_prefilter = -1.0;
 
   std::mutex error_mutex;
   void RecordTaskError(const Status& status) {
@@ -208,8 +214,8 @@ class TwoLevelExecutor {
       const int32_t parent = ctx_.tree.nodes[i].parent;
       if (parent >= 0) nodes_[static_cast<size_t>(parent)].children.push_back(i);
     }
-    shard_count_ = ctx_.options.shards_per_config != 0
-                       ? ctx_.options.shards_per_config
+    shard_count_ = ctx_.shards_per_config != 0
+                       ? ctx_.shards_per_config
                        : std::max<size_t>(
                              1, std::min<size_t>(
                                     ctx_.num_threads,
@@ -345,9 +351,16 @@ class TwoLevelExecutor {
       }
       PairScorer* scorer =
           node.scorers.empty() ? nullptr : node.scorers[s].get();
+      TopKJoinOptions join_options = ctx_.JoinOptions(node.context);
+      // Hybrid prefilter, planned for the root config only (the planner
+      // sampled the root view) and only in single-shard form: a shard
+      // sub-space's k-th score can sit below the full-space bound the
+      // sample provides, which would force per-shard restarts.
+      if (index == 0 && node.shard_lists.size() == 1 && !node.use_seed) {
+        join_options.prefilter_threshold = ctx_.root_prefilter;
+      }
       node.shard_lists[s] = RunTopKJoinShard(
-          node.view, ctx_.JoinOptions(node.context), s,
-          node.shard_lists.size(), scorer,
+          node.view, join_options, s, node.shard_lists.size(), scorer,
           node.use_seed ? &node.seed : nullptr, &node.shard_stats[s]);
     } catch (const std::exception& e) {
       ctx_.RecordTaskError(
@@ -391,6 +404,7 @@ class TwoLevelExecutor {
       out.stats.pairs_pruned += stats.pairs_pruned;
       out.stats.tokens_indexed += stats.tokens_indexed;
       out.stats.merges_applied += stats.merges_applied;
+      out.stats.prefilter_restarts += stats.prefilter_restarts;
       out.stats.truncated = out.stats.truncated || stats.truncated;
     }
     for (const std::unique_ptr<CachingPairScorer>& scorer : node.scorers) {
@@ -454,18 +468,38 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
   JointResult result;
   result.per_config.resize(tree.size());
 
-  // Decide q (optionally by racing on the root config). The race respects
-  // the run context, so a deadline also bounds this warm-up phase.
+  // Decide the plan (q, shard hint, hybrid prefilter) on the root config —
+  // by the cost-based planner (the default) or the legacy q race. Both
+  // respect the run context, so a deadline also bounds this warm-up phase.
   size_t q = options.q;
   Stopwatch root_view_watch;
   ConfigView root_view =
       corpus.MakeConfigView(tree.nodes[0].mask, options.view_mode);
   result.stages.view_seconds += root_view_watch.ElapsedSeconds();
   Stopwatch q_watch;
+  const size_t hardware =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
   if (q == 0) {
-    size_t max_q = 4;
-    q = SelectQByRace(root_view, options.measure, options.exclude, max_q,
-                      /*probe_k=*/50, options.run_context);
+    if (options.q_selection == QSelection::kPlanner) {
+      PlannerOptions planner_options;
+      planner_options.k = options.k;
+      planner_options.measure = options.measure;
+      planner_options.exclude = options.exclude;
+      planner_options.seed = options.planner_seed;
+      planner_options.max_shards =
+          options.num_threads != 0 ? options.num_threads : hardware;
+      planner_options.enable_hybrid =
+          options.planner_hybrid &&
+          options.scheduler == JointScheduler::kTwoLevel;
+      planner_options.run_context = options.run_context;
+      result.plan = PlanTopKJoin(corpus, root_view, planner_options);
+      result.planner_used = true;
+      q = result.plan.q;
+    } else {
+      size_t max_q = 4;
+      q = SelectQByRace(root_view, options.measure, options.exclude, max_q,
+                        /*probe_k=*/50, options.run_context);
+    }
   }
   result.q_used = q;
   result.stages.q_select_seconds = q_watch.ElapsedSeconds();
@@ -479,23 +513,48 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
   const size_t cache_shards =
       options.overlap_cache_shards != 0
           ? options.overlap_cache_shards
-          : OverlapCache::RecommendShards(corpus.rows_a(), corpus.rows_b(),
-                                          options.k, tree.size());
+          : OverlapCache::RecommendShards(
+                corpus.rows_a(), corpus.rows_b(), options.k, tree.size(),
+                result.planner_used && !result.plan.truncated
+                    ? result.plan.est_scored
+                    : 0);
   result.overlap_cache_shards_used = cache_shards;
   OverlapCache cache(cache_shards);
 
   const size_t num_threads =
-      options.num_threads != 0
-          ? options.num_threads
-          : std::max<size_t>(1, std::thread::hardware_concurrency());
+      options.num_threads != 0 ? options.num_threads : hardware;
 
   JointContext ctx(corpus, tree, options, result, q, overlap_reuse, cache,
                    num_threads);
+  ctx.shards_per_config = options.shards_per_config;
+  if (ctx.shards_per_config == 0 && result.planner_used &&
+      !result.plan.truncated) {
+    ctx.shards_per_config = result.plan.shards;
+  }
+  if (result.planner_used && result.plan.hybrid) {
+    ctx.root_prefilter = result.plan.prefilter_threshold;
+  }
 
   if (options.scheduler == JointScheduler::kConfigPerTask) {
     RunConfigPerTask(ctx);
   } else {
     TwoLevelExecutor(ctx).Run();
+  }
+
+  result.plan_decisions.reserve(tree.size());
+  for (size_t i = 0; i < tree.size(); ++i) {
+    const ConfigJoinResult& config = result.per_config[i];
+    ConfigPlanDecision decision;
+    decision.config = config.config;
+    decision.q = q;
+    decision.shards = config.shards_used;
+    decision.seeded_from_parent = config.seeded_from_parent;
+    decision.hybrid = i == 0 && ctx.root_prefilter >= 0.0 &&
+                      options.scheduler == JointScheduler::kTwoLevel &&
+                      config.shards_used == 1 && !config.seeded_from_parent;
+    decision.prefilter_threshold =
+        decision.hybrid ? ctx.root_prefilter : -1.0;
+    result.plan_decisions.push_back(decision);
   }
 
   for (const ConfigJoinResult& config : result.per_config) {

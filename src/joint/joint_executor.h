@@ -7,6 +7,7 @@
 #include "blocking/candidate_set.h"
 #include "config/config_generator.h"
 #include "ssj/corpus.h"
+#include "ssj/join_planner.h"
 #include "ssj/topk_join.h"
 #include "text/similarity.h"
 #include "util/run_context.h"
@@ -31,14 +32,39 @@ enum class JointScheduler {
   kConfigPerTask,
 };
 
+/// How the execution plan (q, shard hint, hybrid prefilter) is chosen when
+/// JointOptions::q == 0.
+enum class QSelection {
+  /// Cost-based planner (src/ssj/join_planner.h, the default): sampled
+  /// probe joins on the root view pick q by extrapolated operation counts,
+  /// plus a shard hint and the hybrid threshold/top-k prefilter. No loser
+  /// work is discarded, and the decision is deterministic for a fixed
+  /// planner seed — unlike the wall-clock race.
+  kPlanner,
+  /// Legacy empirical q race (SelectQByRace, paper §4.1): races candidate
+  /// q values with real join work and keeps the fastest. Kept as the
+  /// ablation baseline for bench/micro_planner.
+  kRace,
+};
+
 /// Options for joint execution of top-k SSJs over all configs (paper §4.2).
 struct JointOptions {
   /// Top-k size per config.
   size_t k = 1000;
   SetMeasure measure = SetMeasure::kJaccard;
-  /// QJoin deferred-scoring parameter; 0 selects q per corpus via the race
-  /// of §4.1 (run once on the root config).
+  /// QJoin deferred-scoring parameter; 0 selects q per corpus — via the
+  /// cost-based planner or the legacy race, see `q_selection` — once, on
+  /// the root config.
   size_t q = 1;
+  /// Plan selection strategy when q == 0 (ignored otherwise).
+  QSelection q_selection = QSelection::kPlanner;
+  /// Planner sample seed; 0 = MC_PLANNER_SEED (fixed default when unset).
+  /// Plans are deterministic for a fixed seed on a fixed corpus generation.
+  uint64_t planner_seed = 0;
+  /// Allow the planner's hybrid threshold/top-k prefilter on the root
+  /// config (ablation switch; per-config output is bit-identical either
+  /// way).
+  bool planner_hybrid = true;
   /// Worker threads ("one config per core"); 0 = hardware concurrency.
   size_t num_threads = 0;
   /// Scheduling strategy; see JointScheduler.
@@ -110,10 +136,27 @@ struct ConfigJoinResult {
   bool completed = true;
 };
 
+/// One config's resolved execution plan, reported for diagnostics
+/// (`tools/mcserve --explain-plans`). Node order matches
+/// JointResult::per_config.
+struct ConfigPlanDecision {
+  ConfigMask config = 0;
+  /// The q the config ran with (shared across the tree).
+  size_t q = 1;
+  /// Table-A shard tasks the config was decomposed into.
+  size_t shards = 1;
+  /// Whether the hybrid threshold/top-k prefilter was applied.
+  bool hybrid = false;
+  /// The prefilter threshold used (< 0 when hybrid is off).
+  double prefilter_threshold = -1.0;
+  bool seeded_from_parent = false;
+};
+
 /// Where the joint execution spent its time, aggregated across configs
 /// (bench/micro_joint reports these alongside corpus-build timings).
 struct JointStageTimings {
-  /// The optional q race (runs once, on the root view).
+  /// The optional plan-selection phase (cost-based planner or legacy q
+  /// race; runs once, on the root view).
   double q_select_seconds = 0.0;
   /// Sum of per-config view construction times.
   double view_seconds = 0.0;
@@ -131,8 +174,14 @@ struct JointResult {
   JointStageTimings stages;
   /// OverlapCache stripe count actually used (auto-sized or explicit).
   size_t overlap_cache_shards_used = 0;
-  /// The q value actually used (after the optional race).
+  /// The q value actually used (after the optional planner/race).
   size_t q_used = 1;
+  /// The cost-based plan, when the planner ran (q == 0 under
+  /// QSelection::kPlanner); default-constructed otherwise.
+  JoinPlan plan;
+  bool planner_used = false;
+  /// Per-config resolved plan decisions, in config-tree node order.
+  std::vector<ConfigPlanDecision> plan_decisions;
   /// Whether the overlap cache was active (average length reached t).
   bool overlap_reuse_active = false;
   /// True when any config did not complete (deadline, cancellation, or a

@@ -563,6 +563,18 @@ void SessionManager::RunSession(uint64_t id) {
   outcome.lists = session->TopKLists();
   outcome.truncated = session->truncated();
   outcome.used_shared_corpus = session->used_shared_corpus();
+  const JointResult& joint = session->joint_result();
+  outcome.planner_used = joint.planner_used;
+  outcome.plan = joint.plan;
+  outcome.plan_decisions = joint.plan_decisions;
+  if (joint.planner_used) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.plans_computed;
+    if (joint.plan.hybrid) ++stats_.hybrid_plans;
+    for (const ConfigJoinResult& config : joint.per_config) {
+      stats_.hybrid_restarts += config.stats.prefilter_restarts;
+    }
+  }
   outcome.state = session->truncated() ? SessionState::kTruncated
                                        : SessionState::kComplete;
   if (!limits_.checkpoint_dir.empty()) {

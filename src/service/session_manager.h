@@ -113,6 +113,16 @@ struct SessionOutcome {
   uint64_t plane_generation = 0;
   double admission_wait_seconds = 0.0;
   double total_seconds = 0.0;
+  /// The cost-based plan of the joint phase, when the planner ran
+  /// (JointOptions::q == 0 under QSelection::kPlanner). The planner's
+  /// corpus statistics live on the shared corpus and re-sample
+  /// automatically after ApplyTableDelta (the patched corpus carries a new
+  /// generation; plan.stats_generation records which one the plan used).
+  JoinPlan plan;
+  bool planner_used = false;
+  /// Per-config resolved plan decisions of the joint phase, in config-tree
+  /// node order (`tools/mcserve --explain-plans` prints these).
+  std::vector<ConfigPlanDecision> plan_decisions;
 };
 
 /// Aggregate counters (stats() returns a consistent snapshot).
@@ -144,6 +154,12 @@ struct ServiceStats {
   size_t memory_peak_bytes = 0;
   size_t memory_rejected_charges = 0;
   size_t memory_release_violations = 0;  // Over-releases clamped at zero.
+  size_t plans_computed = 0;  // Joint phases that ran the cost planner.
+  size_t hybrid_plans = 0;    // Plans that enabled the hybrid prefilter.
+  size_t hybrid_restarts = 0;  // Prefilter phase-1 lists that fell short of
+                               // tau and re-ran without the bound (output
+                               // still bit-identical; a restart just means
+                               // the sampled threshold overshot).
 };
 
 /// Long-lived multiplexer of concurrent DebugSessions over shared immutable

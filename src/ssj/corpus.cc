@@ -1,12 +1,15 @@
 #include "ssj/corpus.h"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "table/tokenized_table.h"
+#include "text/similarity.h"
 #include "text/tokenize.h"
 #include "util/check.h"
 #include "util/crc32.h"
@@ -465,6 +468,10 @@ std::optional<SsjCorpus> SsjCorpus::ApplyDelta(
   out.num_attributes_ = base.num_attributes_;
   out.dictionary_ = base.dictionary_;
   out.build_stats_ = base.build_stats_;
+  // The patch is a new content generation: per-generation caches (planner
+  // statistics) on the patched corpus start empty and re-stamp themselves,
+  // so a patched corpus never plans from the base's skew/length stats.
+  out.generation_ = base.generation_ + 1;
 
   // Retire each touched row's old entries: corpus entries are distinct per
   // row, so one df decrement per entry. Entries are ranks; recover ids
@@ -635,6 +642,107 @@ uint32_t SsjCorpus::ContentCrc() const {
   hash_side(offsets_a_);
   hash_side(offsets_b_);
   return crc;
+}
+
+namespace {
+
+// Smallest overlap whose similarity under `measure` reaches `threshold` for
+// tuples of the given sizes (min + 1 when even full overlap falls short).
+// Linear scan: the stats evaluate it four times per generation, so
+// simplicity beats the analytic seed of the join engine's templated twin.
+size_t RequiredOverlapForStats(SetMeasure measure, size_t size_a,
+                               size_t size_b, double threshold) {
+  const size_t max_overlap = std::min(size_a, size_b);
+  for (size_t o = 0; o <= max_overlap; ++o) {
+    if (SetSimilarityFromCounts(measure, size_a, size_b, o) >= threshold) {
+      return o;
+    }
+  }
+  return max_overlap + 1;
+}
+
+}  // namespace
+
+const CorpusPlannerStats& SsjCorpus::PlannerStats() const {
+  PlannerStatsCache& cache = *planner_stats_cache_;
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  if (cache.valid && cache.stats.generation == generation_) {
+    return cache.stats;
+  }
+
+  CorpusPlannerStats s;
+  s.generation = generation_;
+  s.dictionary_tokens = dictionary_.size();
+  s.dead_tokens = dead_tokens_;
+
+  const size_t na = rows_a();
+  const size_t nb = rows_b();
+  uint64_t total_a = 0;
+  size_t q_counts[4] = {0, 0, 0, 0};
+  for (size_t row = 0; row < na; ++row) {
+    const size_t len = tuple_a(row).size();
+    total_a += len;
+    s.max_tokens_a = std::max(s.max_tokens_a, len);
+    for (size_t q = 1; q <= 4; ++q) q_counts[q - 1] += (len >= q ? 1 : 0);
+  }
+  uint64_t total_b = 0;
+  for (size_t row = 0; row < nb; ++row) {
+    const size_t len = tuple_b(row).size();
+    total_b += len;
+    s.max_tokens_b = std::max(s.max_tokens_b, len);
+  }
+  s.mean_tokens_a =
+      na == 0 ? 0.0 : static_cast<double>(total_a) / static_cast<double>(na);
+  s.mean_tokens_b =
+      nb == 0 ? 0.0 : static_cast<double>(total_b) / static_cast<double>(nb);
+  for (size_t q = 1; q <= 4; ++q) {
+    s.q_coverage_a[q - 1] =
+        na == 0 ? 0.0
+                : static_cast<double>(q_counts[q - 1]) / static_cast<double>(na);
+  }
+
+  // Frequency skew over the live dictionary: top-1% mass after sorting
+  // document frequencies descending; tail mass counts df == 1 occurrences.
+  std::vector<uint32_t> dfs;
+  dfs.reserve(dictionary_.size());
+  uint64_t occurrences = 0;
+  uint64_t singleton_mass = 0;
+  for (size_t id = 0; id < dictionary_.size(); ++id) {
+    const uint32_t df = dictionary_.DocumentFrequency(static_cast<TokenId>(id));
+    if (df == 0) continue;
+    dfs.push_back(df);
+    occurrences += df;
+    if (df == 1) ++singleton_mass;
+  }
+  if (!dfs.empty() && occurrences > 0) {
+    std::sort(dfs.begin(), dfs.end(), std::greater<uint32_t>());
+    const size_t head = std::max<size_t>(1, dfs.size() / 100);
+    uint64_t head_mass = 0;
+    for (size_t i = 0; i < head; ++i) head_mass += dfs[i];
+    s.head_mass =
+        static_cast<double>(head_mass) / static_cast<double>(occurrences);
+    s.tail_mass =
+        static_cast<double>(singleton_mass) / static_cast<double>(occurrences);
+  }
+
+  const size_t mean_a = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(s.mean_tokens_a)));
+  const size_t mean_b = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(s.mean_tokens_b)));
+  const SetMeasure measures[4] = {
+      SetMeasure::kJaccard, SetMeasure::kCosine, SetMeasure::kDice,
+      SetMeasure::kOverlapCoefficient};
+  const double shorter = static_cast<double>(std::min(mean_a, mean_b));
+  for (size_t m = 0; m < 4; ++m) {
+    s.required_overlap_frac[m] =
+        static_cast<double>(
+            RequiredOverlapForStats(measures[m], mean_a, mean_b, 0.8)) /
+        shorter;
+  }
+
+  cache.stats = s;
+  cache.valid = true;
+  return cache.stats;
 }
 
 ConfigView SsjCorpus::MakeConfigView(ConfigMask config, ViewMode mode) const {

@@ -164,6 +164,40 @@ struct CorpusBuildOptions {
   MemoryBudget* memory_budget = nullptr;
 };
 
+/// Cheap corpus-level statistics the join planner's cost model starts from
+/// (src/ssj/join_planner.h): dictionary shape, per-side record-length
+/// distribution, token-frequency skew, and required-overlap tightness.
+/// Computed lazily, once per corpus *generation* (SsjCorpus::generation()),
+/// and cached on the corpus — a patched corpus (ApplyDelta) carries a new
+/// generation and therefore never serves stale skew/length stats.
+struct CorpusPlannerStats {
+  /// Generation of the corpus these stats describe (stale entries are
+  /// recomputed, never served).
+  uint64_t generation = 0;
+  size_t dictionary_tokens = 0;  ///< Dictionary entries, live + dead.
+  size_t dead_tokens = 0;        ///< Entries with document frequency 0.
+  double mean_tokens_a = 0.0;    ///< Mean entries per table-A tuple.
+  double mean_tokens_b = 0.0;
+  size_t max_tokens_a = 0;  ///< Longest table-A tuple, in entries.
+  size_t max_tokens_b = 0;
+  /// Token-frequency skew: fraction of all document occurrences carried by
+  /// the most frequent 1% of live tokens. Large values mean the postings of
+  /// a few hot tokens dominate prefix-join probe cost.
+  double head_mass = 0.0;
+  /// Fraction of occurrences carried by tokens with document frequency 1 —
+  /// tokens that can never produce a candidate pair on their own.
+  double tail_mass = 0.0;
+  /// Fraction of table-A tuples with at least q tokens, for q = 1..4
+  /// (index q - 1). A q most rows cannot reach answers a much smaller
+  /// query space; the planner caps its candidate q values by this.
+  double q_coverage_a[4] = {0.0, 0.0, 0.0, 0.0};
+  /// Required-overlap tightness per measure (SetMeasure order: Jaccard,
+  /// cosine, Dice, overlap coefficient): the smallest overlap a pair of
+  /// mean-length tuples needs to reach similarity 0.8, as a fraction of the
+  /// shorter mean length. Near 1.0 the positional bound prunes aggressively.
+  double required_overlap_frac[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
 /// Where SsjCorpus::Build spent its time (surfaced by bench/micro_joint).
 struct CorpusBuildStats {
   double tokenize_seconds = 0.0;  // Parallel per-block tokenization.
@@ -242,6 +276,19 @@ class SsjCorpus {
   /// Stage timings of the build that produced this corpus.
   const CorpusBuildStats& build_stats() const { return build_stats_; }
 
+  /// Content generation of this corpus: 1 for a fresh Build, and the base's
+  /// generation + 1 for an ApplyDelta patch — mirroring the service layer's
+  /// shared-plane generation numbers, so planner statistics (and any other
+  /// per-corpus cache) can be stamped and invalidated per content version.
+  uint64_t generation() const { return generation_; }
+
+  /// Corpus-level planner statistics (see CorpusPlannerStats). Lazy: the
+  /// first call computes and caches them; later calls are a stamp check.
+  /// Thread-safe; the returned reference is valid for the corpus lifetime.
+  /// The cache is keyed to generation(), so a patched corpus never plans
+  /// from its base's stats.
+  const CorpusPlannerStats& PlannerStats() const;
+
   /// Dictionary entries whose document frequency dropped to zero through
   /// deltas (always 0 on freshly built corpora). Dead tokens rank after all
   /// live tokens, so content equality with a rebuild holds; once they
@@ -314,8 +361,20 @@ class SsjCorpus {
   TokenDictionary dictionary_;
   size_t num_attributes_ = 0;
   size_t dead_tokens_ = 0;
+  uint64_t generation_ = 1;
   bool truncated_ = false;
   CorpusBuildStats build_stats_;
+  // Lazily computed planner statistics, stamped with the generation they
+  // describe. unique_ptr for the same reason as view_pool_: the cache owns
+  // a mutex, and the indirection keeps SsjCorpus movable with the cache
+  // address stable.
+  struct PlannerStatsCache {
+    std::mutex mutex;
+    bool valid = false;
+    CorpusPlannerStats stats;
+  };
+  std::unique_ptr<PlannerStatsCache> planner_stats_cache_ =
+      std::make_unique<PlannerStatsCache>();
   // Budget charge for the arenas; releases when the corpus dies.
   MemoryReservation reservation_;
   // unique_ptr: keeps the pool's address stable across corpus moves (live

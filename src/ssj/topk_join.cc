@@ -135,16 +135,32 @@ bool SpanScoreAbove(const ConfigView& view, RowId row_a, RowId row_b,
 // table B). shard = 0, shard_count = 1 is the full join; the engine is
 // bit-identical to the pre-CSR implementation in that case.
 //
+// `prefilter` < 0 runs the classic engine. >= 0 tightens every pruning
+// bound to max(k-th score, prefilter): termination, the positional
+// required-overlap bound, extension scheduling, and early-abandon scoring
+// all use the tightened bound, so pairs provably below the prefilter are
+// skipped even while the list is still filling. The caller (RunShardImpl)
+// owns the correctness argument: it accepts this pass's list only when its
+// final k-th score reaches the prefilter, and restarts without it
+// otherwise.
+//
 // Templated on the measure (folds the similarity switch out of the bound
 // computations, which run once or twice per probe) and on the concrete
 // scorer type (Scorer = DirectPairScorer scores inline with the same folded
 // measure; Scorer = PairScorer keeps the virtual call for custom scorers).
 template <SetMeasure kMeasure, typename Scorer>
-TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
-                      Scorer* scorer, const std::vector<ScoredPair>* seed,
+TopKList RunShardPass(const ConfigView& view, const TopKJoinOptions& options,
+                      double prefilter, Scorer* scorer,
+                      const std::vector<ScoredPair>* seed,
                       MergeSource* merge_source, TopKJoinStats* stats,
-                      size_t shard, size_t shard_count) {
+                      size_t shard, size_t shard_count, size_t b_shard,
+                      size_t b_shard_count) {
   TopKList topk(options.k);
+
+  // Effective pruning bound. With the prefilter off this is exactly the
+  // k-th score (max with -1 is the identity on KthScore's range), so the
+  // classic engine's behavior is untouched byte for byte.
+  auto bound = [&] { return std::max(topk.KthScore(), prefilter); };
 
   // Seeds initialize the list (raising the pruning threshold early). The
   // engine may later re-derive a seeded pair at its q-th shared token and
@@ -194,10 +210,10 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
   std::vector<uint32_t> req_value(max_len + 1, 0);
   std::vector<uint64_t> req_stamp(max_len + 1, 0);
   uint64_t req_epoch = 1;  // 64-bit: never wraps into a stale stamp.
-  double epoch_kth = topk.KthScore();
+  double epoch_bound = bound();
   auto note_kth_change = [&] {
-    if (topk.KthScore() != epoch_kth) {
-      epoch_kth = topk.KthScore();
+    if (bound() != epoch_bound) {
+      epoch_bound = bound();
       ++req_epoch;
     }
   };
@@ -212,8 +228,8 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
   const EventLess event_less;
   auto push_initial = [&](uint8_t side) {
     const size_t rows = side == 0 ? view.rows_a() : view.rows_b();
-    const size_t step = side == 0 ? shard_count : 1;
-    for (size_t row = side == 0 ? shard : 0; row < rows; row += step) {
+    const size_t step = side == 0 ? shard_count : b_shard_count;
+    for (size_t row = side == 0 ? shard : b_shard; row < rows; row += step) {
       const TokenSpan tokens = side == 0 ? view.a(row) : view.b(row);
       if (tokens.empty()) continue;
       events.push_back(Event{extension_cap(tokens.size(), 0), side,
@@ -257,20 +273,20 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
     RowId row_b = PairRowB(pair);
     double score;
     if constexpr (std::is_same_v<Scorer, DirectPairScorer>) {
-      const double kth = topk.KthScore();  // -1 until the list fills.
+      const double kth = bound();  // -1 until the list fills (prefilter off).
       if (kth < 0.0 || topk.Contains(pair)) {
         // A not-yet-full list accepts everything, and a kept pair must be
         // re-scored in full so a corrected score lands in place.
         score = SpanScore<kMeasure>(view, row_a, row_b);
       } else if (!SpanScoreAbove<kMeasure>(view, row_a, row_b, kth, &score)) {
-        return;  // Provably below the k-th score: Add would reject it.
+        return;  // Provably below the bound: Add would reject it.
       }
     } else {
-      const double kth = topk.KthScore();
+      const double kth = bound();
       if (kth < 0.0 || topk.Contains(pair)) {
         score = scorer->Score(row_a, row_b);
       } else if (!scorer->ScoreAbove(row_a, row_b, kth, &score)) {
-        return;  // Scorer proved it below the k-th score: Add would reject.
+        return;  // Scorer proved it below the bound: Add would reject.
       }
     }
     if (topk.Add(pair, score)) scorer->NoteKept(row_a, row_b);
@@ -313,8 +329,10 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
     // shard-merged and seeded runs reproduce the sequential list bit for
     // bit (see docs/algorithms.md §"Canonical tie handling").
     // (KthScore() is -1 until the list fills, so we never stop early with
-    // fewer than k results while extensions remain.)
-    if (event.cap < topk.KthScore()) break;
+    // fewer than k results while extensions remain — unless an active
+    // prefilter raises the bound, whose skips the caller repairs or
+    // proves canonical.)
+    if (event.cap < bound()) break;
     ++stats->events_popped;
     if ((stats->events_popped % options.merge_poll_period) == 0) {
       poll_merge();
@@ -386,7 +404,7 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
           // boundary entry (canonical tie handling).
           required = static_cast<uint32_t>(
               RequiredOverlap<kMeasure, /*kStrict=*/false>(
-                  own_len, partner_len, topk.KthScore()));
+                  own_len, partner_len, bound()));
           req_value[partner_len] = required;
           req_stamp[partner_len] = req_epoch;
         }
@@ -421,7 +439,7 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
     uint32_t next = event.position + 1;
     if (next < tokens.size()) {
       double cap = extension_cap(tokens.size(), next);
-      if (cap >= topk.KthScore()) {
+      if (cap >= bound()) {
         replace_top(Event{cap, event.side, event.row, next});
         continue;
       }
@@ -434,23 +452,71 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
   return topk;
 }
 
+// Hybrid threshold/top-k wrapper (TopKJoinOptions::prefilter_threshold).
+// Phase 1 runs the engine with every pruning bound tightened to
+// max(k-th, threshold). If the phase ends with a full list whose k-th score
+// reaches the threshold, that list is the canonical result: every pair the
+// tightened bound skipped provably scores strictly below some bound value
+// <= the final k-th score, so it cannot even tie into the list. Otherwise
+// the threshold overshot the true k-th (the planner's sampled estimate is
+// biased low, so this is the rare path) and the engine restarts
+// without the prefilter, seeded with phase 1's survivors — all exactly
+// scored at their q-th shared-token probe, hence inside the q-eligible
+// space the classic run searches — which reproduces the non-hybrid output
+// bit for bit.
+template <SetMeasure kMeasure, typename Scorer>
+TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
+                      Scorer* scorer, const std::vector<ScoredPair>* seed,
+                      MergeSource* merge_source, TopKJoinStats* stats,
+                      size_t shard, size_t shard_count, size_t b_shard,
+                      size_t b_shard_count) {
+  const double tau = options.prefilter_threshold;
+  if (tau < 0.0 || merge_source != nullptr) {
+    return RunShardPass<kMeasure, Scorer>(view, options, /*prefilter=*/-1.0,
+                                          scorer, seed, merge_source, stats,
+                                          shard, shard_count, b_shard,
+                                          b_shard_count);
+  }
+  TopKList first =
+      RunShardPass<kMeasure, Scorer>(view, options, tau, scorer, seed,
+                                     /*merge_source=*/nullptr, stats, shard,
+                                     shard_count, b_shard, b_shard_count);
+  // Cancelled mid-phase: best-so-far contract, no restart (the restart
+  // would be cancelled too and lose the survivors).
+  if (stats->truncated) return first;
+  // Done case: full list (KthScore >= 0) whose boundary reached the
+  // threshold — canonical, by the argument above.
+  if (first.KthScore() >= tau) return first;
+  ++stats->prefilter_restarts;
+  std::vector<ScoredPair> combined = first.Entries();
+  if (seed != nullptr) {
+    combined.insert(combined.end(), seed->begin(), seed->end());
+  }
+  return RunShardPass<kMeasure, Scorer>(view, options, /*prefilter=*/-1.0,
+                                        scorer, &combined,
+                                        /*merge_source=*/nullptr, stats, shard,
+                                        shard_count, b_shard, b_shard_count);
+}
+
 // Measure/scorer-kind dispatch into the templated shard runner. `direct` is
 // non-null exactly when the caller did not supply a custom scorer.
 TopKList RunShard(const ConfigView& view, const TopKJoinOptions& options,
                   PairScorer* scorer, DirectPairScorer* direct,
                   const std::vector<ScoredPair>* seed,
                   MergeSource* merge_source, TopKJoinStats* stats,
-                  size_t shard, size_t shard_count) {
+                  size_t shard, size_t shard_count, size_t b_shard = 0,
+                  size_t b_shard_count = 1) {
   auto run = [&](auto measure_tag) {
     constexpr SetMeasure kMeasure = decltype(measure_tag)::value;
     if (direct != nullptr) {
       return RunShardImpl<kMeasure, DirectPairScorer>(
           view, options, direct, seed, merge_source, stats, shard,
-          shard_count);
+          shard_count, b_shard, b_shard_count);
     }
     return RunShardImpl<kMeasure, PairScorer>(view, options, scorer, seed,
                                               merge_source, stats, shard,
-                                              shard_count);
+                                              shard_count, b_shard,
+                                              b_shard_count);
   };
   switch (options.measure) {
     case SetMeasure::kJaccard:
@@ -527,6 +593,7 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
     stats->pairs_pruned += shard_stats[s].pairs_pruned;
     stats->tokens_indexed += shard_stats[s].tokens_indexed;
     stats->merges_applied += shard_stats[s].merges_applied;
+    stats->prefilter_restarts += shard_stats[s].prefilter_restarts;
     stats->truncated = stats->truncated || shard_stats[s].truncated;
   }
   if (merge_source != nullptr) {
@@ -542,17 +609,20 @@ TopKList RunTopKJoinShard(const ConfigView& view,
                           const TopKJoinOptions& options, size_t shard,
                           size_t shard_count, PairScorer* scorer,
                           const std::vector<ScoredPair>* seed,
-                          TopKJoinStats* stats) {
+                          TopKJoinStats* stats, size_t b_shard,
+                          size_t b_shard_count) {
   MC_CHECK_GE(options.q, 1u);
   MC_CHECK_GE(options.merge_poll_period, 1u);
   MC_CHECK_LT(shard, shard_count);
+  MC_CHECK_LT(b_shard, b_shard_count);
   DirectPairScorer direct_scorer(&view, options.measure);
   DirectPairScorer* direct = scorer == nullptr ? &direct_scorer : nullptr;
   if (scorer == nullptr) scorer = &direct_scorer;
   TopKJoinStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   return RunShard(view, options, scorer, direct, seed,
-                  /*merge_source=*/nullptr, stats, shard, shard_count);
+                  /*merge_source=*/nullptr, stats, shard, shard_count, b_shard,
+                  b_shard_count);
 }
 
 TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,

@@ -105,6 +105,24 @@ struct TopKJoinOptions {
   /// `merge_source`, if any, is polled exactly once on the calling thread
   /// after the shard joins complete.
   size_t shards = 1;
+  /// Hybrid threshold/top-k execution (TT-join style, driven by the cost
+  /// planner of src/ssj/join_planner.h). < 0 (the default) is off: behavior
+  /// is byte-identical to the classic engine. >= 0 runs a *pre-filter
+  /// phase*: the event engine executes with pruning bound
+  /// max(k-th score, prefilter_threshold), so pairs provably scoring below
+  /// the threshold are skipped even while the list is still filling — the
+  /// expensive low-bound warm-up is cut. If the phase ends with a full list
+  /// whose k-th score reaches the threshold, its list is provably the
+  /// canonical result (every skipped pair scores strictly below the final
+  /// k-th score, so it cannot even tie into the list) and is returned
+  /// as-is. Otherwise the threshold was too optimistic: the engine restarts
+  /// without it, seeded with the phase's survivors (all exactly scored and
+  /// q-eligible), which reproduces the non-hybrid result. Either way the
+  /// output is *bit-identical* to the same options without the prefilter —
+  /// the threshold moves work, never results (TopKJoinStats counts
+  /// restarts). Ignored when a merge_source is supplied (its one-shot
+  /// polling contract does not compose with the restart).
+  double prefilter_threshold = -1.0;
 };
 
 /// Counters exposing where the join spends its effort; drives the QJoin-vs-
@@ -119,6 +137,12 @@ struct TopKJoinStats {
   size_t pairs_pruned = 0;
   size_t tokens_indexed = 0;
   size_t merges_applied = 0;
+  /// Hybrid prefilter phases whose threshold proved too optimistic (the
+  /// engine restarted without it; see TopKJoinOptions::prefilter_threshold).
+  /// Always 0 with the prefilter off. A well-chosen threshold — the
+  /// planner's sampled k-th score is a lower bound on the true k-th — keeps
+  /// this at 0.
+  size_t prefilter_restarts = 0;
   /// True when the join was cancelled (run_context) before draining its
   /// event heap: the returned list is best-so-far, not the exact top-k.
   bool truncated = false;
@@ -160,11 +184,20 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
 /// `options.shards` is ignored; `seed` is offered to the shard like
 /// RunTopKJoin's seed; there is no merge source (the scheduler seeds
 /// children directly from finished parents instead of polling).
+///
+/// `b_shard`/`b_shard_count` optionally decompose the table-B event stream
+/// the same way (rows with row % b_shard_count == b_shard), making the call
+/// a 2-D shard over (A-residue x B-residue). Production shard merges keep
+/// the default (full B: every shard sees the whole pair space it owns); the
+/// planner's sampling probes pass a real decomposition so a probe's event
+/// cost shrinks on *both* sides — without it, every probe still walks
+/// table B's full event stream and costs as much as a full join.
 TopKList RunTopKJoinShard(const ConfigView& view,
                           const TopKJoinOptions& options, size_t shard,
                           size_t shard_count, PairScorer* scorer = nullptr,
                           const std::vector<ScoredPair>* seed = nullptr,
-                          TopKJoinStats* stats = nullptr);
+                          TopKJoinStats* stats = nullptr, size_t b_shard = 0,
+                          size_t b_shard_count = 1);
 
 /// Reference implementation: scores every non-excluded pair whose token
 /// overlap is at least `min_overlap` (0 admits even disjoint pairs, the

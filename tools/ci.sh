@@ -75,6 +75,21 @@ for config in asan tsan; do
   done
 done
 
+# Planner equivalence: the cost-based join planner must pick plans whose
+# execution is bit-identical to running the same plan directly, across
+# measures, k values, hybrid prefilter paths (done + forced restart), and
+# the joint executor's q = 0 dispatch — and the decisions themselves must be
+# deterministic per MC_PLANNER_SEED. ASan covers the sampling probes' view
+# lifetimes; the seed matrix moves the systematic-sample offset so different
+# table-A row subsets drive the cost model each run.
+echo "==== [planner] planner-vs-direct equivalence under ASan ===="
+for seed in 42 31337 909090909; do
+  echo "---- [planner] asan MC_PLANNER_SEED=${seed} ----"
+  MC_PLANNER_SEED="${seed}" ctest --test-dir "${build_root}/asan" \
+      --output-on-failure \
+      -R 'PlannerEquivalence|PlannerDeterminism|PlannerStatsDelta|JointPlanner'
+done
+
 # Bench smoke: emit a perf record on a tiny workload and validate its schema
 # (plus the committed archive). Catches drift between the JSON writer, the
 # record schema, and tools/validate_bench_json.py without a full bench run.
@@ -115,14 +130,21 @@ delta_json="${build_root}/release/bench_smoke_delta.json"
 "${build_root}/release/bench/micro_delta" \
     --json="${delta_json}" --engine=ci-smoke --scale=0.05 --reps=1 \
     --generations=3
+# micro_planner exits 1 unless the planner path's output is bit-identical to
+# both the race path and a direct run of its own plan; the validator
+# re-checks the checksum equality on the smoke record and the archive.
+planner_json="${build_root}/release/bench_smoke_planner.json"
+"${build_root}/release/bench/micro_planner" \
+    --json="${planner_json}" --engine=ci-smoke --scale=0.01 --reps=1 --k=50
 python3 "${repo_root}/tools/validate_bench_json.py" \
     "${bench_json}" "${joint_json}" "${text_json}" "${kernels_json}" \
-    "${service_json}" "${delta_json}" \
+    "${service_json}" "${delta_json}" "${planner_json}" \
     "${repo_root}/bench/BENCH_ssj.json" \
     "${repo_root}/bench/BENCH_joint.json" \
     "${repo_root}/bench/BENCH_text.json" \
     "${repo_root}/bench/BENCH_kernels.json" \
     "${repo_root}/bench/BENCH_service.json" \
-    "${repo_root}/bench/BENCH_delta.json"
+    "${repo_root}/bench/BENCH_delta.json" \
+    "${repo_root}/bench/BENCH_planner.json"
 
 echo "==== all configurations passed ===="

@@ -28,6 +28,12 @@
 //                      push N synthetic row deltas (mutate + append + delete)
 //                      through ApplyTableDelta and report the patch counters
 //   --delta-seed S     seed for the synthetic delta generator (default 7)
+//   --q N              joint q parameter; 0 runs the cost-based planner
+//                      (default 1: fixed q, planner off)
+//   --explain-plans    print each session's cost-based plan and the
+//                      per-config plan decisions (q, shards, hybrid
+//                      prefilter, parent seeding); implies --q 0 unless
+//                      --q was given explicitly
 //
 // Exit status: 0 when every admitted session ends complete or truncated,
 // 1 when any session fails, 2 on usage errors.
@@ -67,6 +73,9 @@ struct Args {
   bool honor_retry_after = false;
   size_t deltas = 0;
   uint64_t delta_seed = 7;
+  size_t joint_q = 1;
+  bool q_set = false;
+  bool explain_plans = false;
 };
 
 int Usage(const char* argv0) {
@@ -75,7 +84,7 @@ int Usage(const char* argv0) {
                "[--concurrency N] [--queue N] [--k N] [--threads N] "
                "[--deadline-ms N] [--memory-limit B] [--checkpoint DIR] "
                "[--chaos-seed S] [--retry-after] [--deltas N] "
-               "[--delta-seed S]\n"
+               "[--delta-seed S] [--q N] [--explain-plans]\n"
                "       %s --tables A.csv,B.csv --candidates C.csv [...]\n",
                argv0, argv0);
   return 2;
@@ -125,11 +134,48 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->deltas = static_cast<size_t>(std::atoll(value));
     } else if (arg == "--delta-seed" && (value = next())) {
       args->delta_seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--q" && (value = next())) {
+      args->joint_q = static_cast<size_t>(std::atoll(value));
+      args->q_set = true;
+    } else if (arg == "--explain-plans") {
+      args->explain_plans = true;
     } else {
       return false;
     }
   }
+  // Plan decisions only exist when the planner runs.
+  if (args->explain_plans && !args->q_set) args->joint_q = 0;
   return args->concurrency >= 1 && args->sessions >= 1;
+}
+
+// One-line rendering of a session's cost-based plan plus one line per
+// config decision, for --explain-plans.
+void PrintPlan(uint64_t id, const mc::SessionOutcome& outcome) {
+  if (!outcome.planner_used) {
+    std::printf("  plan: none (planner off or session did not run a join)\n");
+    return;
+  }
+  const mc::JoinPlan& plan = outcome.plan;
+  std::printf(
+      "  plan[%llu]: q=%zu shards=%zu hybrid=%d tau=%.6f sample=%zu rows "
+      "(rate 1/%zu) kth=%.6f half_kth=%.6f stats_gen=%llu seed=%llu%s\n",
+      static_cast<unsigned long long>(id), plan.q, plan.shards,
+      plan.hybrid ? 1 : 0, plan.prefilter_threshold, plan.sample_rows,
+      plan.sample_rate, plan.sampled_kth, plan.half_sample_kth,
+      static_cast<unsigned long long>(plan.stats_generation),
+      static_cast<unsigned long long>(plan.seed),
+      plan.truncated ? " (truncated: conservative fallback)" : "");
+  for (size_t q = 0; q < plan.cost_per_q.size(); ++q) {
+    std::printf("    cost[q=%zu]=%.0f%s\n", q + 1, plan.cost_per_q[q],
+                q + 1 == plan.q ? "  <- chosen" : "");
+  }
+  for (const mc::ConfigPlanDecision& decision : outcome.plan_decisions) {
+    std::printf(
+        "    config=0x%llx q=%zu shards=%zu hybrid=%d tau=%.6f seeded=%d\n",
+        static_cast<unsigned long long>(decision.config), decision.q,
+        decision.shards, decision.hybrid ? 1 : 0,
+        decision.prefilter_threshold, decision.seeded_from_parent ? 1 : 0);
+  }
 }
 
 // Loads an "a,b" row-index pair CSV into a CandidateSet (same format as
@@ -296,6 +342,7 @@ int main(int argc, char** argv) {
   request.pair_key = pair_key;
   request.options.joint.k = args.k;
   request.options.joint.num_threads = args.threads;
+  request.options.joint.q = args.joint_q;
 
   std::vector<uint64_t> ids;
   size_t rejected = 0;
@@ -342,6 +389,7 @@ int main(int argc, char** argv) {
                     : (" | " + outcome->status.ToString()).c_str(),
                 outcome->checkpoint_status.ok() ? ""
                                                 : " | checkpoint failed");
+    if (args.explain_plans) PrintPlan(id, *outcome);
     if (outcome->state == mc::SessionState::kFailed) exit_code = 1;
   }
 
@@ -374,6 +422,9 @@ int main(int argc, char** argv) {
                     mc::SessionStateName(outcome->state),
                     static_cast<unsigned long long>(
                         outcome->plane_generation));
+        // A post-delta plan shows the planner re-sampling: its stats_gen
+        // follows the patched corpus generation.
+        if (args.explain_plans) PrintPlan(*id, *outcome);
         if (outcome->state == mc::SessionState::kFailed) exit_code = 1;
       }
     }
@@ -389,7 +440,8 @@ int main(int argc, char** argv) {
       "corpora_patched=%zu lists repaired/rejoined=%zu/%zu\n"
       "memory: used=%zu peak=%zu rejected_charges=%zu "
       "release_violations=%zu | restored=%zu "
-      "restore_failures=%zu watchdog_cancelled=%zu\n",
+      "restore_failures=%zu watchdog_cancelled=%zu\n"
+      "planner: plans=%zu hybrid=%zu restarts=%zu\n",
       stats.submitted, stats.admitted, stats.rejected + rejected,
       stats.completed, stats.truncated, stats.failed, stats.cancelled,
       stats.plane_cache_hits, stats.plane_cache_misses,
@@ -399,7 +451,8 @@ int main(int argc, char** argv) {
       stats.memory_used_bytes, stats.memory_peak_bytes,
       stats.memory_rejected_charges, stats.memory_release_violations,
       stats.sessions_restored, stats.restore_failures,
-      stats.watchdog_cancelled);
+      stats.watchdog_cancelled, stats.plans_computed, stats.hybrid_plans,
+      stats.hybrid_restarts);
   manager.Shutdown();
   if (args.chaos) mc::FaultRegistry::Instance().Reset();
   return exit_code;

@@ -15,6 +15,14 @@ import json
 import re
 import sys
 
+# Machine context every record must carry (micro_kernels spells these out
+# in its own workload schema): the core budget and the active SIMD level,
+# without which archived timings are not comparable across runners.
+MACHINE_FIELDS = {
+    "cpu_cores": int,
+    "simd_level": str,
+}
+
 WORKLOAD_FIELDS = {
     "dataset": str,
     "scale": (int, float),
@@ -213,6 +221,47 @@ DELTA_OUTPUT_FIELDS = {
 }
 
 
+PLANNER_WORKLOAD_FIELDS = {
+    "dataset": str,
+    "scale": (int, float),
+    "rows_a": int,
+    "rows_b": int,
+    "config_mask": int,
+    "measure": str,
+    "k": int,
+    "repetitions": int,
+}
+
+# micro_planner end-to-end paths, in emission order.
+PLANNER_PATH_NAMES = ["race_path", "planner_path"]
+
+PLANNER_PATH_FIELDS = {
+    "name": str,
+    "q": int,
+    "shards": int,
+    "hybrid": bool,
+    "select_seconds": (int, float),
+    "join_seconds": (int, float),
+    "best_seconds": (int, float),
+    "mean_seconds": (int, float),
+    "pairs": int,
+    "topk_checksum": str,
+}
+
+PLANNER_COMPARISON_FIELDS = {
+    "speedup": (int, float),
+    "identical_to_race": bool,
+    "identical_to_direct": bool,
+    "race_q": int,
+    "planner_q": int,
+    "planner_hybrid": bool,
+    "planner_tau": (int, float),
+    "planner_sample_rate": int,
+    "planner_sample_rows": int,
+    "planner_seed": int,
+}
+
+
 class ValidationError(Exception):
     pass
 
@@ -237,10 +286,20 @@ def check_fields(obj, fields, where):
         )
 
 
+def check_workload(obj, fields, where):
+    """A workload block: the benchmark-specific fields plus the mandatory
+    machine context (cpu_cores, simd_level)."""
+    check_fields(obj, fields, where)
+    check_fields(obj, MACHINE_FIELDS, where)
+    require(obj["cpu_cores"] >= 1, f"{where}: cpu_cores must be >= 1")
+    require(obj["simd_level"],
+            f"{where}: simd_level must be a non-empty string")
+
+
 def validate_joint_record(record, where):
     """micro_joint_executor: stage timings + a single output block."""
-    check_fields(record.get("workload"), JOINT_WORKLOAD_FIELDS,
-                 f"{where}.workload")
+    check_workload(record.get("workload"), JOINT_WORKLOAD_FIELDS,
+                   f"{where}.workload")
     results = record.get("results")
     require(isinstance(results, list), f"{where}: 'results' must be an array")
     require([r.get("name") for r in results if isinstance(r, dict)]
@@ -267,8 +326,8 @@ def validate_joint_record(record, where):
 
 def validate_text_record(record, where):
     """micro_text_plane: stage timings + the three output checksums."""
-    check_fields(record.get("workload"), TEXT_WORKLOAD_FIELDS,
-                 f"{where}.workload")
+    check_workload(record.get("workload"), TEXT_WORKLOAD_FIELDS,
+                   f"{where}.workload")
     workload = record["workload"]
     require(workload["text_plane"] in ("legacy", "tokenized"),
             f"{where}.workload: text_plane must be legacy|tokenized")
@@ -336,8 +395,8 @@ def validate_kernels_record(record, where):
 
 def validate_service_record(record, where):
     """micro_service: isolated-vs-shared session timings + sharing stats."""
-    check_fields(record.get("workload"), SERVICE_WORKLOAD_FIELDS,
-                 f"{where}.workload")
+    check_workload(record.get("workload"), SERVICE_WORKLOAD_FIELDS,
+                   f"{where}.workload")
     workload = record["workload"]
     require(workload["sessions"] >= 1 and workload["concurrency"] >= 1,
             f"{where}.workload: sessions and concurrency must be >= 1")
@@ -373,8 +432,8 @@ def validate_service_record(record, where):
 
 def validate_delta_record(record, where):
     """micro_delta: patch-vs-rebuild timings + bit-identity checksums."""
-    check_fields(record.get("workload"), DELTA_WORKLOAD_FIELDS,
-                 f"{where}.workload")
+    check_workload(record.get("workload"), DELTA_WORKLOAD_FIELDS,
+                   f"{where}.workload")
     workload = record["workload"]
     require(workload["generations"] >= 1 and workload["delta_rows"] >= 1,
             f"{where}.workload: generations and delta_rows must be >= 1")
@@ -410,6 +469,49 @@ def validate_delta_record(record, where):
             f"{where}.output: patched planes differ from a rebuild")
 
 
+def validate_planner_record(record, where):
+    """micro_planner: race-vs-planner end-to-end paths + equality proof."""
+    check_workload(record.get("workload"), PLANNER_WORKLOAD_FIELDS,
+                   f"{where}.workload")
+    results = record.get("results")
+    require(isinstance(results, list), f"{where}: 'results' must be an array")
+    require([r.get("name") for r in results if isinstance(r, dict)]
+            == PLANNER_PATH_NAMES,
+            f"{where}: results must be the paths {PLANNER_PATH_NAMES}")
+    checksums = {}
+    for i, result in enumerate(results):
+        where_r = f"{where}.results[{i}]"
+        check_fields(result, PLANNER_PATH_FIELDS, where_r)
+        require(result["q"] >= 1, f"{where_r}: q must be >= 1")
+        require(result["shards"] >= 1, f"{where_r}: shards must be >= 1")
+        require(result["select_seconds"] >= 0.0,
+                f"{where_r}: select_seconds must be >= 0")
+        require(result["best_seconds"] > 0.0,
+                f"{where_r}: best_seconds must be positive")
+        require(result["mean_seconds"] >= result["best_seconds"],
+                f"{where_r}: mean_seconds < best_seconds")
+        require(result["pairs"] <= record["workload"]["k"],
+                f"{where_r}: pairs exceeds workload k")
+        require(re.fullmatch(r"[0-9a-f]{8}", result["topk_checksum"]),
+                f"{where_r}: topk_checksum is not 8 lowercase hex digits")
+        checksums[result["name"]] = result["topk_checksum"]
+    comparison = record.get("comparison")
+    check_fields(comparison, PLANNER_COMPARISON_FIELDS, f"{where}.comparison")
+    require(comparison["speedup"] > 0.0,
+            f"{where}.comparison: speedup must be positive")
+    # The planner is only a cost optimization: its path must produce output
+    # bit-identical to the race path (q-invariant workload) and to a direct
+    # run of its own plan, always.
+    require(comparison["identical_to_race"],
+            f"{where}.comparison: planner output differs from race output")
+    require(comparison["identical_to_direct"],
+            f"{where}.comparison: planner output differs from a direct run "
+            "of its own plan")
+    require(checksums["planner_path"] == checksums["race_path"],
+            f"{where}: race_path and planner_path checksums disagree "
+            f"({checksums})")
+
+
 def validate_record(record, where):
     require(isinstance(record, dict), f"{where}: expected an object")
     require(record.get("schema_version") == 1,
@@ -433,7 +535,11 @@ def validate_record(record, where):
     if record["benchmark"] == "micro_delta":
         validate_delta_record(record, where)
         return
-    check_fields(record.get("workload"), WORKLOAD_FIELDS, f"{where}.workload")
+    if record["benchmark"] == "micro_planner":
+        validate_planner_record(record, where)
+        return
+    check_workload(record.get("workload"), WORKLOAD_FIELDS,
+                   f"{where}.workload")
 
     results = record.get("results")
     require(isinstance(results, list) and results,
