@@ -12,6 +12,8 @@
 #include "joint/caching_scorer.h"
 #include "joint/overlap_cache.h"
 #include "joint/parent_merge.h"
+#include "mem/per_node_replica.h"
+#include "mem/topology.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/stopwatch.h"
@@ -221,10 +223,21 @@ class TwoLevelExecutor {
                                     ctx_.num_threads,
                                     std::max<size_t>(
                                         1, std::thread::hardware_concurrency())));
+    // Topology decomposition: shard tasks are grouped into one contiguous
+    // table-A row window per NUMA node (the slice PlaceForTopology bound to
+    // that node), with the residue split applied inside each window. Every
+    // group task is routed to its node's workers. Single-node topologies
+    // give one group covering all rows — exactly the classic residue
+    // partition. Any disjoint decomposition merges to the same canonical
+    // list, so this moves memory traffic, never results.
+    groups_ = std::min(mem::SystemTopology::Get().num_nodes(), shard_count_);
+    if (groups_ == 0) groups_ = 1;
   }
 
   void Run() {
-    pool_ = std::make_unique<ThreadPool>(ctx_.num_threads, "mc-joint");
+    pool_ = std::make_unique<ThreadPool>(
+        ctx_.num_threads,
+        ThreadPoolOptions{.name_prefix = "mc-joint", .topology_aware = true});
     for (size_t i = 0; i < ctx_.tree.size(); ++i) {
       if (ctx_.tree.nodes[i].parent < 0) {
         pool_->Submit([this, i] { StartNode(i); });
@@ -243,6 +256,10 @@ class TwoLevelExecutor {
     ConfigView view;
     std::vector<std::unique_ptr<CachingPairScorer>> scorers;  // Per shard.
     std::vector<ScoredPair> seed;
+    // Per-node copies of the seed: every shard task of a config reads the
+    // seed list, so the replicas keep that hot read-only structure off a
+    // single node's memory controller. One copy on single-node topologies.
+    mem::PerNodeReplica<std::vector<ScoredPair>> seed_replicas;
     bool use_seed = false;
     std::vector<TopKList> shard_lists;
     std::vector<TopKJoinStats> shard_stats;
@@ -317,6 +334,9 @@ class TwoLevelExecutor {
         node.use_seed = true;
         out.seeded_from_parent = true;
       }
+      if (node.use_seed && groups_ > 1) {
+        node.seed_replicas.Fill(node.seed, groups_);
+      }
 
       node.context = RunContext::WithParent(ctx_.options.run_context);
       node.shard_lists.reserve(shard_count_);
@@ -326,7 +346,8 @@ class TwoLevelExecutor {
       node.shard_stats.assign(shard_count_, TopKJoinStats{});
       node.shards_remaining.store(shard_count_, std::memory_order_relaxed);
       for (size_t s = 0; s < shard_count_; ++s) {
-        pool_->Submit([this, index, s] { RunShardTask(index, s); });
+        pool_->SubmitOnNode(static_cast<int>(GroupOfShard(s)),
+                            [this, index, s] { RunShardTask(index, s); });
       }
     } catch (const std::exception& e) {
       ctx_.RecordTaskError(
@@ -359,9 +380,25 @@ class TwoLevelExecutor {
       if (index == 0 && node.shard_lists.size() == 1 && !node.use_seed) {
         join_options.prefilter_threshold = ctx_.root_prefilter;
       }
+      // Topology decomposition of the global shard id: group g owns the
+      // contiguous A-row window PlaceForTopology bound to NUMA node g, and
+      // the residue split runs inside that window. groups_ == 1 degenerates
+      // to the classic full-window residue partition (r == s, window == A).
+      const size_t g = GroupOfShard(s);
+      const size_t r = s - GroupBegin(g);
+      const size_t group_count = GroupBegin(g + 1) - GroupBegin(g);
+      const size_t rows_a = node.view.rows_a();
+      const size_t a_begin = g * rows_a / groups_;
+      const size_t a_end = (g + 1) * rows_a / groups_;
+      const std::vector<ScoredPair>* seed = nullptr;
+      if (node.use_seed) {
+        seed = node.seed_replicas.empty() ? &node.seed
+                                          : &node.seed_replicas.Get(g);
+      }
       node.shard_lists[s] = RunTopKJoinShard(
-          node.view, join_options, s, node.shard_lists.size(), scorer,
-          node.use_seed ? &node.seed : nullptr, &node.shard_stats[s]);
+          node.view, join_options, r, group_count, scorer, seed,
+          &node.shard_stats[s], /*b_shard=*/0, /*b_shard_count=*/1, a_begin,
+          a_end);
     } catch (const std::exception& e) {
       ctx_.RecordTaskError(
           Status::Internal(std::string("config task threw: ") + e.what()));
@@ -435,6 +472,7 @@ class TwoLevelExecutor {
     node.view = ConfigView();
     node.seed.clear();
     node.seed.shrink_to_fit();
+    node.seed_replicas = mem::PerNodeReplica<std::vector<ScoredPair>>();
     node.shard_lists.clear();
     node.shard_stats.clear();
 
@@ -453,9 +491,17 @@ class TwoLevelExecutor {
     }
   }
 
+  // First global shard id owned by group g; group g owns ids
+  // [GroupBegin(g), GroupBegin(g + 1)). Inverse of GroupOfShard.
+  size_t GroupBegin(size_t g) const {
+    return (g * shard_count_ + groups_ - 1) / groups_;
+  }
+  size_t GroupOfShard(size_t s) const { return s * groups_ / shard_count_; }
+
   JointContext& ctx_;
   std::vector<Node> nodes_;
   size_t shard_count_ = 1;
+  size_t groups_ = 1;
   std::unique_ptr<ThreadPool> pool_;
 };
 
@@ -465,6 +511,10 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
                               const JointOptions& options) {
   MC_CHECK_GT(tree.size(), 0u);
   Stopwatch total_watch;
+  // Bind the corpus's per-node A-row slices before the join touches them
+  // (advisory: no-op / fallback-counted on single-node, fake, or bind-less
+  // systems; never affects results).
+  corpus.PlaceForTopology();
   JointResult result;
   result.per_config.resize(tree.size());
 

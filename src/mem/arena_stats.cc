@@ -1,0 +1,56 @@
+#include "mem/arena_stats.h"
+
+namespace mc {
+namespace mem {
+
+ArenaStatsRegistry& ArenaStatsRegistry::Instance() {
+  static ArenaStatsRegistry* registry = new ArenaStatsRegistry();
+  return *registry;
+}
+
+void ArenaStatsRegistry::OnReserve(int node, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_[node].reserved_bytes += bytes;
+}
+
+void ArenaStatsRegistry::OnRelease(int node, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NodeCounters& counters = nodes_[node];
+  counters.reserved_bytes =
+      counters.reserved_bytes >= bytes ? counters.reserved_bytes - bytes : 0;
+}
+
+void ArenaStatsRegistry::OnArenaCreated(int node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_[node].arenas += 1;
+}
+
+void ArenaStatsRegistry::OnArenaDestroyed(int node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NodeCounters& counters = nodes_[node];
+  if (counters.arenas > 0) counters.arenas -= 1;
+}
+
+void ArenaStatsRegistry::RecordTopologyFallback() {
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ArenaStatsSnapshot ArenaStatsRegistry::Snapshot() const {
+  ArenaStatsSnapshot snapshot;
+  snapshot.topology_fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [node, counters] : nodes_) {
+    if (counters.reserved_bytes == 0 && counters.arenas == 0) continue;
+    ArenaNodeStats stats;
+    stats.node = node;
+    stats.reserved_bytes = counters.reserved_bytes;
+    stats.arenas = counters.arenas;
+    snapshot.per_node.push_back(stats);
+    snapshot.total_reserved_bytes += counters.reserved_bytes;
+    snapshot.total_arenas += counters.arenas;
+  }
+  return snapshot;
+}
+
+}  // namespace mem
+}  // namespace mc

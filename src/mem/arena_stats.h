@@ -1,0 +1,78 @@
+#ifndef MATCHCATCHER_MEM_ARENA_STATS_H_
+#define MATCHCATCHER_MEM_ARENA_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace mc {
+namespace mem {
+
+/// One node's live arena footprint as the registry sees it.
+struct ArenaNodeStats {
+  int node = -1;  // -1 aggregates unplaced arenas.
+  size_t reserved_bytes = 0;
+  size_t arenas = 0;
+};
+
+/// Point-in-time view of every live arena plus the process's placement
+/// fallback history (mcserve --topology, SessionManager stats).
+struct ArenaStatsSnapshot {
+  std::vector<ArenaNodeStats> per_node;
+  size_t total_reserved_bytes = 0;
+  size_t total_arenas = 0;
+  size_t topology_fallbacks = 0;
+};
+
+/// Process-wide accounting of arena placement: per-node reserved bytes for
+/// live arenas, and a monotone counter of *topology fallbacks* — every time
+/// a placement action (mbind, huge-page advice, worker pinning) was
+/// requested but skipped or failed. Fallbacks are expected and harmless on
+/// single-node machines, containers without the syscalls, and fake
+/// MC_TOPOLOGY runs; the counter exists so operators can see placement is
+/// off instead of wondering where the bandwidth went.
+class ArenaStatsRegistry {
+ public:
+  static ArenaStatsRegistry& Instance();
+
+  /// Arena lifecycle hooks (called by Arena).
+  void OnReserve(int node, size_t bytes);
+  void OnRelease(int node, size_t bytes);
+  void OnArenaCreated(int node);
+  void OnArenaDestroyed(int node);
+
+  /// Records one skipped/failed placement action (arena binding, thread
+  /// pinning). Callable from any thread.
+  void RecordTopologyFallback();
+
+  size_t topology_fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+
+  ArenaStatsSnapshot Snapshot() const;
+
+  /// Zeroes the fallback counter (tests; byte accounting is driven by live
+  /// arenas and is not resettable).
+  void ResetFallbacksForTest() {
+    fallbacks_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  ArenaStatsRegistry() = default;
+
+  struct NodeCounters {
+    size_t reserved_bytes = 0;
+    size_t arenas = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<int, NodeCounters> nodes_;
+  std::atomic<size_t> fallbacks_{0};
+};
+
+}  // namespace mem
+}  // namespace mc
+
+#endif  // MATCHCATCHER_MEM_ARENA_STATS_H_

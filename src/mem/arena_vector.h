@@ -1,0 +1,91 @@
+#ifndef MATCHCATCHER_MEM_ARENA_VECTOR_H_
+#define MATCHCATCHER_MEM_ARENA_VECTOR_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "mem/arena.h"
+
+namespace mc {
+namespace mem {
+
+/// Standard-allocator adapter over Arena, the bridge that moves the CSR
+/// planes off ad-hoc heap vectors without rewriting their fill logic: an
+/// ArenaVector<T> *is* a std::vector<T>, it just draws its storage from
+/// the owning plane's arena.
+///
+/// Semantics chosen for how the planes use containers:
+///  - Default-constructed (arena == nullptr): plain heap — the graceful
+///    fallback for default-constructed/deserialized planes.
+///  - Copy *assignment* does NOT propagate the allocator: in the delta
+///    path `patched.vec = base.vec` copies the base generation's elements
+///    into the *patched* plane's own arena, never chains generations onto
+///    one arena.
+///  - Move assignment/swap DO propagate: whole-plane moves carry each
+///    vector with the arena pointer it was built on (the Arena object is
+///    heap-allocated and address-stable behind the plane's unique_ptr).
+///  - deallocate is a no-op on arena storage (bump allocation; the arena
+///    reclaims everything at once), so plane code must size with
+///    reserve()/resize() — geometric push_back growth would strand the
+///    doubling copies. The build/delta paths all know their sizes.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept : arena_(nullptr) {}
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(bytes, alignof(T)));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+    (void)n;
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  template <typename U>
+  friend class ArenaAllocator;
+
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/// Re-binds every vector in a plane to `arena` — each must be empty (the
+/// plane is being built); move-assigning an empty vector with the arena
+/// allocator adopts it (POCMA).
+template <typename T>
+void BindToArena(ArenaVector<T>& vec, Arena* arena) {
+  vec = ArenaVector<T>(ArenaAllocator<T>(arena));
+}
+
+}  // namespace mem
+}  // namespace mc
+
+#endif  // MATCHCATCHER_MEM_ARENA_VECTOR_H_

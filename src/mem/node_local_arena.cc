@@ -1,0 +1,58 @@
+#include "mem/node_local_arena.h"
+
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mc {
+namespace mem {
+
+#if defined(__linux__) && defined(SYS_mbind)
+
+namespace {
+// From linux/mempolicy.h (not guaranteed present in every sysroot; the
+// ABI values are stable).
+constexpr int kMpolPreferred = 1;
+constexpr unsigned kMpolMfMove = 1u << 1;  // Migrate touched pages.
+constexpr size_t kPageSize = 4096;
+}  // namespace
+
+bool MemoryBindingAvailable() { return true; }
+
+bool BindMemoryToNode(void* addr, size_t length, int node) {
+  if (addr == nullptr || length == 0 || node < 0) return false;
+  // mbind wants a page-aligned range; shrink to the contained pages so a
+  // mid-page slice never rebinds a neighbour's bytes.
+  uintptr_t begin = reinterpret_cast<uintptr_t>(addr);
+  uintptr_t end = begin + length;
+  begin = (begin + kPageSize - 1) & ~(kPageSize - 1);
+  end &= ~(kPageSize - 1);
+  if (end <= begin) return true;  // Sub-page range: nothing to place.
+  // One-word nodemask supports nodes 0..63 — far beyond any machine this
+  // targets; higher nodes degrade to unbound.
+  if (node >= 64) return false;
+  unsigned long nodemask = 1ul << node;
+  const long rc =
+      syscall(SYS_mbind, begin, end - begin, kMpolPreferred, &nodemask,
+              sizeof(nodemask) * 8, kMpolMfMove);
+  return rc == 0;
+}
+
+#else  // !__linux__ || !SYS_mbind
+
+bool MemoryBindingAvailable() { return false; }
+
+bool BindMemoryToNode(void* addr, size_t length, int node) {
+  (void)addr;
+  (void)length;
+  (void)node;
+  return false;
+}
+
+#endif
+
+}  // namespace mem
+}  // namespace mc

@@ -1,0 +1,51 @@
+#ifndef MATCHCATCHER_MEM_NODE_LOCAL_ARENA_H_
+#define MATCHCATCHER_MEM_NODE_LOCAL_ARENA_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "mem/arena.h"
+
+namespace mc {
+namespace mem {
+
+/// True when this build/kernel can bind memory to a NUMA node at all
+/// (Linux with the mbind syscall compiled in). Callers still handle a
+/// false return from BindMemoryToNode — the syscall can be refused at
+/// runtime (seccomp, cpusets) even where it exists.
+bool MemoryBindingAvailable();
+
+/// Binds [addr, addr+length) to `node` with a *preferred* policy (raw
+/// mbind syscall, no libnuma dependency): the kernel allocates the range's
+/// pages on `node` when it can and falls back silently under pressure.
+/// Already-touched pages are migrated best-effort. Page-aligns the range
+/// internally. Returns false — memory untouched and still valid — when
+/// binding is unavailable or refused; never a fatal error, per the
+/// graceful-degradation contract. Does NOT record a topology fallback
+/// itself; the owner (Arena, corpus placement) does, with context.
+bool BindMemoryToNode(void* addr, size_t length, int node);
+
+/// An Arena whose chunks are bound to one NUMA node: the shard-sliced
+/// backing for plane data the executor routes node-local work against.
+/// Exactly Arena with numa_node/bind preset — construction never fails for
+/// a placement reason (a failed bind records a fallback and keeps plain
+/// pages).
+class NodeLocalArena : public Arena {
+ public:
+  /// `bind` is normally !SystemTopology::Get().fake(); fake topologies
+  /// route placement decisions without issuing syscalls.
+  NodeLocalArena(int node, bool bind, ArenaOptions options = {})
+      : Arena(WithNode(std::move(options), node, bind)) {}
+
+ private:
+  static ArenaOptions WithNode(ArenaOptions options, int node, bool bind) {
+    options.numa_node = node;
+    options.bind = bind;
+    return options;
+  }
+};
+
+}  // namespace mem
+}  // namespace mc
+
+#endif  // MATCHCATCHER_MEM_NODE_LOCAL_ARENA_H_

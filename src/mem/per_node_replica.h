@@ -1,0 +1,53 @@
+#ifndef MATCHCATCHER_MEM_PER_NODE_REPLICA_H_
+#define MATCHCATCHER_MEM_PER_NODE_REPLICA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mem/topology.h"
+
+namespace mc {
+namespace mem {
+
+/// N read-only copies of a small hot structure, one per NUMA node, so the
+/// join's inner loops read it from local memory instead of hammering one
+/// socket's controller (parent seed lists, dictionary heads). Build once
+/// with Fill(), then Get(node) from any thread — replicas are immutable
+/// after Fill. Single-node topologies collapse to one copy: replication
+/// costs nothing where it buys nothing. The copies rely on first-touch
+/// placement (Fill runs the copy on the caller; binding small structures
+/// is not worth a syscall), so this is an affinity hint, not a guarantee —
+/// which is fine: replicas are *identical*, any node may read any copy.
+template <typename T>
+class PerNodeReplica {
+ public:
+  PerNodeReplica() = default;
+
+  /// Replaces the replicas with `nodes` copies of `value` (>= 1).
+  void Fill(const T& value, size_t nodes) {
+    if (nodes == 0) nodes = 1;
+    replicas_.clear();
+    replicas_.reserve(nodes);
+    for (size_t n = 0; n < nodes; ++n) {
+      replicas_.push_back(std::make_unique<T>(value));
+    }
+  }
+
+  bool empty() const { return replicas_.empty(); }
+  size_t num_replicas() const { return replicas_.size(); }
+
+  /// The replica for `node` (clamped; always valid after Fill).
+  const T& Get(size_t node) const {
+    if (node >= replicas_.size()) node = replicas_.size() - 1;
+    return *replicas_[node];
+  }
+
+ private:
+  std::vector<std::unique_ptr<T>> replicas_;
+};
+
+}  // namespace mem
+}  // namespace mc
+
+#endif  // MATCHCATCHER_MEM_PER_NODE_REPLICA_H_

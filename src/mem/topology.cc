@@ -1,0 +1,180 @@
+#include "mem/topology.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+namespace mc {
+namespace mem {
+namespace {
+
+std::mutex g_cache_mutex;
+std::optional<SystemTopology> g_cached;  // Guarded by g_cache_mutex.
+
+// Parses a /sys cpulist ("0-3,8,10-11") into CPU ids. Returns false on any
+// token it cannot read — the caller then discards the whole node scan.
+bool ParseCpuList(const std::string& list, std::vector<int>* cpus) {
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    const size_t dash = token.find('-');
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      const long cpu = std::strtol(token.c_str(), &end, 10);
+      if (end == token.c_str() || cpu < 0) return false;
+      cpus->push_back(static_cast<int>(cpu));
+    } else {
+      const long lo = std::strtol(token.c_str(), &end, 10);
+      if (end != token.c_str() + dash || lo < 0) return false;
+      const char* hi_str = token.c_str() + dash + 1;
+      const long hi = std::strtol(hi_str, &end, 10);
+      if (end == hi_str || hi < lo) return false;
+      for (long cpu = lo; cpu <= hi; ++cpu) {
+        cpus->push_back(static_cast<int>(cpu));
+      }
+    }
+  }
+  return !cpus->empty();
+}
+
+// Scans /sys/devices/system/node/node<N>/cpulist. Returns nodes that have
+// CPUs; an empty result means the kernel exposed nothing usable.
+std::vector<TopologyNode> ScanSysfsNodes() {
+  std::vector<TopologyNode> nodes;
+#if defined(__linux__)
+  for (int id = 0;; ++id) {
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(id) + "/cpulist";
+    std::ifstream file(path);
+    if (!file.is_open()) break;
+    std::string list;
+    std::getline(file, list);
+    TopologyNode node;
+    node.id = id;
+    if (ParseCpuList(list, &node.cpus)) nodes.push_back(std::move(node));
+  }
+#endif
+  return nodes;
+}
+
+}  // namespace
+
+SystemTopology::SystemTopology() {
+  TopologyNode node;
+  node.id = 0;
+  node.cpus = {0};
+  nodes_.push_back(std::move(node));
+}
+
+size_t SystemTopology::num_cpus() const {
+  size_t total = 0;
+  for (const TopologyNode& node : nodes_) total += node.cpus.size();
+  return total;
+}
+
+size_t SystemTopology::NodeOfSlice(size_t i, size_t count) const {
+  if (count == 0 || nodes_.empty()) return 0;
+  if (i >= count) i = count - 1;
+  return i * nodes_.size() / count;
+}
+
+std::string SystemTopology::ToString() const {
+  std::ostringstream out;
+  out << "nodes=" << nodes_.size() << (fake_ ? " (fake)" : "") << " [";
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (n > 0) out << " | ";
+    out << "node" << nodes_[n].id << ": " << nodes_[n].cpus.size()
+        << " cpus";
+  }
+  out << "]";
+  return out.str();
+}
+
+bool SystemTopology::ParseSpec(const std::string& spec,
+                               SystemTopology* out) {
+  long nodes = -1, cores = -1;
+  std::stringstream stream(spec);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = field.substr(0, eq);
+    const std::string value_str = field.substr(eq + 1);
+    char* end = nullptr;
+    const long value = std::strtol(value_str.c_str(), &end, 10);
+    if (end == value_str.c_str() || *end != '\0' || value <= 0) return false;
+    if (key == "nodes") {
+      nodes = value;
+    } else if (key == "cores_per_node") {
+      cores = value;
+    } else {
+      return false;
+    }
+  }
+  if (nodes <= 0 || cores <= 0 || nodes > 1024 || cores > 4096) return false;
+  SystemTopology parsed;
+  parsed.nodes_.clear();
+  for (long n = 0; n < nodes; ++n) {
+    TopologyNode node;
+    node.id = static_cast<int>(n);
+    for (long c = 0; c < cores; ++c) {
+      node.cpus.push_back(static_cast<int>(n * cores + c));
+    }
+    parsed.nodes_.push_back(std::move(node));
+  }
+  parsed.fake_ = true;
+  *out = parsed;
+  return true;
+}
+
+SystemTopology SystemTopology::Detect() {
+  const char* spec = std::getenv("MC_TOPOLOGY");
+  if (spec != nullptr && *spec != '\0') {
+    SystemTopology faked;
+    if (ParseSpec(spec, &faked)) return faked;
+    // Malformed spec: fall through to the machine, never fail detection.
+  }
+  std::vector<TopologyNode> nodes = ScanSysfsNodes();
+  SystemTopology detected;
+  if (!nodes.empty()) {
+    detected.nodes_ = std::move(nodes);
+    return detected;
+  }
+  // No NUMA information exposed: one node owning every hardware thread.
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  detected.nodes_.clear();
+  TopologyNode node;
+  node.id = 0;
+  for (unsigned cpu = 0; cpu < hw; ++cpu) {
+    node.cpus.push_back(static_cast<int>(cpu));
+  }
+  detected.nodes_.push_back(std::move(node));
+  return detected;
+}
+
+SystemTopology SystemTopology::Get() {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  if (!g_cached.has_value()) g_cached = Detect();
+  return *g_cached;
+}
+
+void SystemTopology::SetForTest(const SystemTopology& topology) {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  SystemTopology installed = topology;
+  installed.fake_ = true;
+  g_cached = installed;
+}
+
+void SystemTopology::ResetForTest() {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  g_cached.reset();
+}
+
+}  // namespace mem
+}  // namespace mc

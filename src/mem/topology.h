@@ -1,0 +1,82 @@
+#ifndef MATCHCATCHER_MEM_TOPOLOGY_H_
+#define MATCHCATCHER_MEM_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mc {
+namespace mem {
+
+/// One NUMA node as the placement layer sees it: an id and the CPUs that
+/// live on it. On machines (or containers) where the kernel exposes no NUMA
+/// information the detector synthesizes a single node 0 owning every CPU.
+struct TopologyNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The machine layout the memory and execution planes place against:
+/// NUMA nodes and the CPUs on each. Detected once from
+/// /sys/devices/system/node (Linux) and cached; everything degrades to one
+/// node everywhere else.
+///
+/// `MC_TOPOLOGY=nodes=N,cores_per_node=M` overrides detection with a *fake*
+/// topology: N nodes of M synthetic CPUs each. A fake topology drives all
+/// placement *decisions* (arena slicing, shard->node routing, worker
+/// grouping) exactly like a real one — that is the point: single-node CI
+/// exercises the multi-node code paths deterministically — but no mbind or
+/// affinity syscall is issued for it (the synthetic CPU ids need not
+/// exist). Placement never changes results, only where bytes and threads
+/// land, so a fake topology is safe by the bit-identity contract.
+class SystemTopology {
+ public:
+  /// The cached process-wide topology (detected on first use, or whatever
+  /// SetForTest installed). Cheap to call: returns a copy of a few small
+  /// vectors.
+  static SystemTopology Get();
+
+  /// Runs detection now (env override, then /sys, then single-node
+  /// fallback) without touching the cache. Exposed for tests.
+  static SystemTopology Detect();
+
+  /// Replaces the cached topology (tests); Get() returns `topology` until
+  /// ResetForTest(). Marks the installed topology fake unless it came from
+  /// Detect() on this machine.
+  static void SetForTest(const SystemTopology& topology);
+
+  /// Drops the cache; the next Get() re-detects.
+  static void ResetForTest();
+
+  /// Parses an MC_TOPOLOGY-style spec ("nodes=2,cores_per_node=4").
+  /// Returns false (leaving *out untouched) on any malformed input —
+  /// detection then falls through to the real machine.
+  static bool ParseSpec(const std::string& spec, SystemTopology* out);
+
+  SystemTopology();  // Single node, one CPU: the universal fallback.
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_cpus() const;
+  const std::vector<TopologyNode>& nodes() const { return nodes_; }
+
+  /// True when this topology was synthesized (MC_TOPOLOGY or SetForTest)
+  /// rather than detected: placement decisions run, placement *syscalls*
+  /// (mbind, affinity) do not.
+  bool fake() const { return fake_; }
+
+  /// Deterministic owner node for the i-th of `count` equal slices
+  /// (contiguous block partition: slice i -> node i * nodes / count).
+  size_t NodeOfSlice(size_t i, size_t count) const;
+
+  /// "nodes=2(cpus 0-3|4-7)" style rendering for logs and mcserve.
+  std::string ToString() const;
+
+ private:
+  std::vector<TopologyNode> nodes_;
+  bool fake_ = false;
+};
+
+}  // namespace mem
+}  // namespace mc
+
+#endif  // MATCHCATCHER_MEM_TOPOLOGY_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/session_io.h"
+#include "mem/arena_stats.h"
 #include "table/tokenized_table.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -816,6 +817,8 @@ ServiceStats SessionManager::stats() const {
   snapshot.memory_peak_bytes = budget_.peak();
   snapshot.memory_rejected_charges = budget_.rejected();
   snapshot.memory_release_violations = budget_.release_violations();
+  snapshot.topology_fallbacks =
+      mem::ArenaStatsRegistry::Instance().topology_fallbacks();
   return snapshot;
 }
 

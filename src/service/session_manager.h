@@ -155,6 +155,12 @@ struct ServiceStats {
   size_t memory_rejected_charges = 0;
   size_t memory_release_violations = 0;  // Over-releases clamped at zero.
   size_t plans_computed = 0;  // Joint phases that ran the cost planner.
+  /// Topology placement degradations observed process-wide (arena NUMA
+  /// binds or thread pins that fell back to plain placement — mbind/
+  /// pthread_setaffinity unavailable, fake MC_TOPOLOGY, huge-page advisory
+  /// refused). Purely diagnostic: a fallback never fails a build or
+  /// changes results, it only forfeits locality.
+  size_t topology_fallbacks = 0;
   size_t hybrid_plans = 0;    // Plans that enabled the hybrid prefilter.
   size_t hybrid_restarts = 0;  // Prefilter phase-1 lists that fell short of
                                // tau and re-ran without the bound (output

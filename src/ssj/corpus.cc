@@ -8,6 +8,9 @@
 #include <thread>
 #include <unordered_map>
 
+#include "mem/arena_stats.h"
+#include "mem/node_local_arena.h"
+#include "mem/topology.h"
 #include "table/tokenized_table.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
@@ -19,15 +22,22 @@
 
 namespace mc {
 
-std::vector<uint32_t> ViewArenaPool::Acquire() {
+ViewArenaPool::ViewArenaPool()
+    : arena_(std::make_unique<mem::Arena>(
+          mem::ArenaOptions{.tag = "view_scratch"})) {}
+
+mem::ArenaVector<uint32_t> ViewArenaPool::Acquire() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (buffers_.empty()) return {};
-  std::vector<uint32_t> buffer = std::move(buffers_.back());
+  if (buffers_.empty()) {
+    return mem::ArenaVector<uint32_t>(
+        mem::ArenaAllocator<uint32_t>(arena_.get()));
+  }
+  mem::ArenaVector<uint32_t> buffer = std::move(buffers_.back());
   buffers_.pop_back();
   return buffer;
 }
 
-void ViewArenaPool::Release(std::vector<uint32_t> buffer) {
+void ViewArenaPool::Release(mem::ArenaVector<uint32_t> buffer) {
   buffer.clear();  // Keeps capacity; the next Acquire reuses it.
   std::lock_guard<std::mutex> lock(mutex_);
   buffers_.push_back(std::move(buffer));
@@ -302,10 +312,39 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
   corpus.dictionary_.FinalizeRanks();
   corpus.build_stats_.merge_seconds = merge_watch.ElapsedSeconds();
 
+  // Memory plane: one arena backs every CSR vector of the corpus, charged
+  // against the budget exactly what it reserves. The offset tables' sizes
+  // are known now (row counts); a refused metadata reservation drops every
+  // block up front — the corpus degrades to an all-empty truncated one with
+  // heap-bound (tiny, uncharged) vectors, charge == reservation == 0.
+  const size_t meta_rows_a = table_a.num_rows();
+  const size_t meta_rows_b = table_b.num_rows();
+  corpus.arena_ = std::make_unique<mem::Arena>(mem::ArenaOptions{
+      .budget = options.memory_budget, .tag = "corpus"});
+  const size_t meta_bytes =
+      mem::Arena::AlignedSize((meta_rows_a + 1) * sizeof(uint64_t)) +
+      mem::Arena::AlignedSize((meta_rows_b + 1) * sizeof(uint64_t)) +
+      mem::Arena::AlignedSize((meta_rows_a + meta_rows_b + 1) *
+                              sizeof(uint64_t));
+  const bool arena_ok = corpus.arena_->Reserve(meta_bytes);
+  if (arena_ok) {
+    corpus.BindVectorsToArena(corpus.arena_.get());
+  } else {
+    corpus.arena_ = nullptr;
+    for (TokenizedBlock& block : blocks) {
+      if (!block.dropped) {
+        block.dropped = true;
+        ++corpus.build_stats_.dropped_blocks;
+      }
+    }
+    corpus.truncated_ = true;
+  }
+
   // Phase 3 (sequential): row offsets for both CSR arenas.
   Stopwatch flatten_watch;
   auto fill_offsets = [&](size_t first_block, size_t block_count,
-                          std::vector<uint64_t>& offsets, uint64_t base) {
+                          mem::ArenaVector<uint64_t>& offsets,
+                          uint64_t base) {
     size_t rows = 0;
     for (size_t b = first_block; b < first_block + block_count; ++b) {
       rows += blocks[b].num_rows;
@@ -329,13 +368,14 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
                                 after_a);
 
   // Memory admission: the rank/mask arenas dominate the corpus footprint.
-  // Charge them before allocating; a refusal drops every block — the
+  // Reserve them before allocating; a refusal drops every block — the
   // offsets recompute to an all-empty (truncated) corpus — instead of
   // blowing through the service's ceiling. Joins over it still terminate
   // with best-so-far (empty) lists, same contract as cancellation.
-  const size_t arena_bytes =
-      static_cast<size_t>(total) * 2 * sizeof(uint32_t);
-  if (!corpus.reservation_.Acquire(options.memory_budget, arena_bytes)) {
+  const size_t cell_bytes =
+      2 * mem::Arena::AlignedSize(static_cast<size_t>(total) *
+                                  sizeof(uint32_t));
+  if (arena_ok && total > 0 && !corpus.arena_->Reserve(cell_bytes)) {
     for (TokenizedBlock& block : blocks) {
       if (!block.dropped) {
         block.dropped = true;
@@ -359,7 +399,7 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
     FlattenedBlock& out = flattened[block_index];
     out.row_mask_sizes.reserve(block.num_rows);
     const bool is_a = block_index < blocks_a;
-    const std::vector<uint64_t>& offsets =
+    const mem::ArenaVector<uint64_t>& offsets =
         is_a ? corpus.offsets_a_ : corpus.offsets_b_;
     std::vector<std::pair<uint32_t, uint32_t>> row_buf;
     size_t entry_pos = 0;
@@ -408,6 +448,36 @@ SsjCorpus SsjCorpus::Build(const Table& table_a, const Table& table_b,
     }
     Status status = pool.Wait();
     MC_CHECK(status.ok()) << status.message();
+  }
+
+  // The distinct-mask summaries are sized only now (their totals come out
+  // of the flatten). Reserve them before concatenating; a refusal at this
+  // late stage still degrades to the all-empty truncated corpus — the
+  // already-filled cells are abandoned in place (their chunk stays charged;
+  // charge == reservation holds) but no offset references them.
+  uint64_t planned_mask_total = 0;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (blocks[b].dropped) continue;
+    for (uint32_t sizes : flattened[b].row_mask_sizes) {
+      planned_mask_total += sizes;
+    }
+  }
+  const size_t mask_bytes =
+      2 * mem::Arena::AlignedSize(static_cast<size_t>(planned_mask_total) *
+                                  sizeof(uint32_t));
+  if (arena_ok && planned_mask_total > 0 &&
+      !corpus.arena_->Reserve(mask_bytes)) {
+    for (TokenizedBlock& block : blocks) {
+      if (!block.dropped) {
+        block.dropped = true;
+        ++corpus.build_stats_.dropped_blocks;
+      }
+    }
+    corpus.truncated_ = true;
+    after_a = fill_offsets(0, blocks_a, corpus.offsets_a_, 0);
+    total = fill_offsets(blocks_a, blocks_b, corpus.offsets_b_, after_a);
+    corpus.ranks_.resize(total);
+    corpus.masks_.resize(total);
   }
 
   // Sequential concatenation of the per-block distinct-mask summaries into
@@ -538,6 +608,23 @@ std::optional<SsjCorpus> SsjCorpus::ApplyDelta(
     }
     return (out_side == 0 ? base.tuple_a(row) : base.tuple_b(row)).size();
   };
+
+  // Memory plane, mirroring Build: one arena backs the patched corpus's
+  // CSR vectors; a refused reservation rejects the delta (base untouched)
+  // instead of overshooting the budget. Metadata first — the offset-table
+  // sizes are already known.
+  out.arena_ = std::make_unique<mem::Arena>(mem::ArenaOptions{
+      .budget = options.memory_budget, .tag = "corpus"});
+  const size_t meta_bytes =
+      mem::Arena::AlignedSize((out_rows_a + 1) * sizeof(uint64_t)) +
+      mem::Arena::AlignedSize((out_rows_b + 1) * sizeof(uint64_t)) +
+      mem::Arena::AlignedSize((out_rows_a + out_rows_b + 1) *
+                              sizeof(uint64_t));
+  if (!out.arena_->Reserve(meta_bytes)) {
+    return std::nullopt;
+  }
+  out.BindVectorsToArena(out.arena_.get());
+
   uint64_t total = 0;
   out.offsets_a_.reserve(out_rows_a + 1);
   out.offsets_a_.push_back(0);
@@ -553,9 +640,10 @@ std::optional<SsjCorpus> SsjCorpus::ApplyDelta(
   }
 
   // Memory admission before the big allocations, mirroring Build.
-  const size_t arena_bytes =
-      static_cast<size_t>(total) * 2 * sizeof(uint32_t);
-  if (!out.reservation_.Acquire(options.memory_budget, arena_bytes)) {
+  const size_t cell_bytes =
+      2 * mem::Arena::AlignedSize(static_cast<size_t>(total) *
+                                  sizeof(uint32_t));
+  if (total > 0 && !out.arena_->Reserve(cell_bytes)) {
     return std::nullopt;
   }
   out.ranks_.resize(total);
@@ -570,6 +658,12 @@ std::optional<SsjCorpus> SsjCorpus::ApplyDelta(
   const size_t total_rows = out_rows_a + out_rows_b;
   out.mask_offsets_.reserve(total_rows + 1);
   out.mask_offsets_.push_back(0);
+  // The summary totals are only known after the fill, and open-ended
+  // push_back growth on a bump arena would strand every doubling copy —
+  // accumulate in transient heap buffers, then copy into the arena with an
+  // exact reservation below.
+  std::vector<uint32_t> tmp_row_masks;
+  std::vector<uint32_t> tmp_row_mask_counts;
   std::vector<std::pair<uint32_t, uint32_t>> row_buf;
   auto write_row = [&](size_t out_side, size_t row, uint64_t write) {
     row_buf.clear();
@@ -587,25 +681,25 @@ std::optional<SsjCorpus> SsjCorpus::ApplyDelta(
       }
     }
     std::sort(row_buf.begin(), row_buf.end());
-    const size_t masks_before = out.row_masks_.size();
+    const size_t masks_before = tmp_row_masks.size();
     for (const auto& [rank, mask] : row_buf) {
       out.ranks_[write] = rank;
       out.masks_[write] = mask;
       ++write;
       bool found = false;
-      for (size_t m = masks_before; m < out.row_masks_.size(); ++m) {
-        if (out.row_masks_[m] == mask) {
-          ++out.row_mask_counts_[m];
+      for (size_t m = masks_before; m < tmp_row_masks.size(); ++m) {
+        if (tmp_row_masks[m] == mask) {
+          ++tmp_row_mask_counts[m];
           found = true;
           break;
         }
       }
       if (!found) {
-        out.row_masks_.push_back(mask);
-        out.row_mask_counts_.push_back(1);
+        tmp_row_masks.push_back(mask);
+        tmp_row_mask_counts.push_back(1);
       }
     }
-    out.mask_offsets_.push_back(out.row_masks_.size());
+    out.mask_offsets_.push_back(tmp_row_masks.size());
   };
   for (size_t row = 0; row < out_rows_a; ++row) {
     write_row(0, row, out.offsets_a_[row]);
@@ -613,7 +707,56 @@ std::optional<SsjCorpus> SsjCorpus::ApplyDelta(
   for (size_t row = 0; row < out_rows_b; ++row) {
     write_row(1, row, out.offsets_b_[row]);
   }
+
+  // Exact-size copy of the summaries into the arena. A refusal at this
+  // point still rejects the whole delta — `out` (and its arena charges)
+  // unwinds on return.
+  const size_t mask_bytes =
+      2 * mem::Arena::AlignedSize(tmp_row_masks.size() * sizeof(uint32_t));
+  if (!tmp_row_masks.empty() && !out.arena_->Reserve(mask_bytes)) {
+    return std::nullopt;
+  }
+  out.row_masks_.reserve(tmp_row_masks.size());
+  out.row_masks_.assign(tmp_row_masks.begin(), tmp_row_masks.end());
+  out.row_mask_counts_.reserve(tmp_row_mask_counts.size());
+  out.row_mask_counts_.assign(tmp_row_mask_counts.begin(),
+                              tmp_row_mask_counts.end());
   return out;
+}
+
+void SsjCorpus::PlaceForTopology() const {
+  const mem::SystemTopology& topo = mem::SystemTopology::Get();
+  const size_t nodes = topo.num_nodes();
+  if (nodes <= 1 || ranks_.empty()) return;
+  if (topo.fake() || !mem::MemoryBindingAvailable()) {
+    // The topology still routes decisions (node slices, shard windows) but
+    // the bytes stay where first touch put them — a recorded fallback, not
+    // an error.
+    mem::ArenaStatsRegistry::Instance().RecordTopologyFallback();
+    return;
+  }
+  const size_t na = rows_a();
+  bool any_failed = false;
+  auto bind_cells = [&](const uint32_t* base, uint64_t begin_entry,
+                        uint64_t end_entry, int node) {
+    if (end_entry <= begin_entry) return;
+    void* begin =
+        const_cast<uint32_t*>(base + static_cast<size_t>(begin_entry));
+    const size_t bytes =
+        static_cast<size_t>(end_entry - begin_entry) * sizeof(uint32_t);
+    if (!mem::BindMemoryToNode(begin, bytes, node)) any_failed = true;
+  };
+  for (size_t n = 0; n < nodes; ++n) {
+    const size_t lo = n * na / nodes;
+    const size_t hi = (n + 1) * na / nodes;
+    bind_cells(ranks_.data(), offsets_a_[lo], offsets_a_[hi],
+               static_cast<int>(n));
+    bind_cells(masks_.data(), offsets_a_[lo], offsets_a_[hi],
+               static_cast<int>(n));
+  }
+  if (any_failed) {
+    mem::ArenaStatsRegistry::Instance().RecordTopologyFallback();
+  }
 }
 
 uint32_t SsjCorpus::ContentCrc() const {
@@ -624,7 +767,7 @@ uint32_t SsjCorpus::ContentCrc() const {
   hash_u64(num_attributes_);
   hash_u64(rows_a());
   hash_u64(rows_b());
-  auto hash_side = [&](const std::vector<uint64_t>& offsets) {
+  auto hash_side = [&](const mem::ArenaVector<uint64_t>& offsets) {
     for (size_t row = 0; row + 1 < offsets.size(); ++row) {
       const uint64_t begin = offsets[row];
       const uint64_t end = offsets[row + 1];
@@ -763,7 +906,7 @@ ConfigView SsjCorpus::MakeConfigView(ConfigMask config, ViewMode mode) const {
   uint64_t scratch_needed = 0;
   std::vector<std::pair<uint8_t, uint32_t>> filtered_rows;  // (side, row).
   auto classify_side = [&](uint8_t side, size_t rows,
-                           const std::vector<uint64_t>& offsets,
+                           const mem::ArenaVector<uint64_t>& offsets,
                            size_t global_base,
                            std::vector<TokenSpan>& spans) {
     for (size_t row = 0; row < rows; ++row) {
@@ -802,7 +945,7 @@ ConfigView SsjCorpus::MakeConfigView(ConfigMask config, ViewMode mode) const {
     view.scratch_.resize(scratch_needed);
     uint64_t write = 0;
     for (const auto& [side, row] : filtered_rows) {
-      const std::vector<uint64_t>& offsets =
+      const mem::ArenaVector<uint64_t>& offsets =
           side == 0 ? offsets_a_ : offsets_b_;
       TokenSpan& span = side == 0 ? view.spans_a_[row] : view.spans_b_[row];
       span.data = view.scratch_.data() + write;

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "config/config.h"
+#include "mem/arena.h"
+#include "mem/arena_vector.h"
 #include "table/table.h"
 #include "table/table_delta.h"
 #include "text/token_dictionary.h"
@@ -55,21 +57,34 @@ struct TupleTokens {
 /// on construction and returns it — capacity intact — on destruction, so a
 /// joint execution building one view per config reuses the same few
 /// allocations instead of paying a fresh arena per config. Thread-safe.
+///
+/// Buffers draw their storage from a pool-owned scratch Arena (uncharged:
+/// view scratch is transient working memory, not resident plane state), so
+/// repeated view construction bump-allocates once per high-water mark
+/// instead of round-tripping the heap.
 class ViewArenaPool {
  public:
+  ViewArenaPool();
+
   /// Returns a pooled buffer (empty but with its old capacity) or a fresh
-  /// empty one.
-  std::vector<uint32_t> Acquire();
+  /// empty one bound to the pool's scratch arena.
+  mem::ArenaVector<uint32_t> Acquire();
 
   /// Returns a buffer to the pool for reuse.
-  void Release(std::vector<uint32_t> buffer);
+  void Release(mem::ArenaVector<uint32_t> buffer);
 
   /// Buffers currently parked in the pool (for tests).
   size_t idle_buffers() const;
 
+  /// Scratch bytes reserved by the pool's arena (diagnostics).
+  size_t ReservedBytes() const { return arena_->ReservedBytes(); }
+
  private:
   mutable std::mutex mutex_;
-  std::vector<std::vector<uint32_t>> buffers_;
+  // Address-stable behind unique_ptr: pooled buffers (and views holding
+  // them) keep allocator pointers to it across pool moves.
+  std::unique_ptr<mem::Arena> arena_;
+  std::vector<mem::ArenaVector<uint32_t>> buffers_;
 };
 
 /// Per-config token view of both tables: for each tuple, the sorted rank
@@ -123,10 +138,11 @@ class ConfigView {
 
   std::vector<TokenSpan> spans_a_;
   std::vector<TokenSpan> spans_b_;
-  // Materialized tokens of rows the config filters. Spans of those rows
-  // point into this buffer; it must never reallocate after construction
-  // (MakeConfigView sizes it exactly up front).
-  std::vector<uint32_t> scratch_;
+  // Materialized tokens of rows the config filters, drawn from the pool's
+  // scratch arena. Spans of those rows point into this buffer; it must
+  // never reallocate after construction (MakeConfigView sizes it exactly
+  // up front).
+  mem::ArenaVector<uint32_t> scratch_;
   ViewArenaPool* pool_ = nullptr;  // Where scratch_ returns on destruction.
   uint32_t rank_limit_ = 0;
   double average_tokens_ = 0.0;
@@ -308,16 +324,25 @@ class SsjCorpus {
   /// the delta-equivalence contract.
   uint32_t ContentCrc() const;
 
-  /// Approximate resident footprint of the CSR arenas and offset tables —
-  /// the sizing signal for the service's shared-plane LRU cache. Excludes
+  /// Resident footprint of the CSR arenas and offset tables — exactly the
+  /// bytes the backing mem::Arena reserved, which is exactly what it
+  /// charged the memory budget (charge == reservation by construction).
+  /// The sizing signal for the service's shared-plane LRU cache. Excludes
   /// the dictionary's string storage (small next to the arenas).
   size_t MemoryBytes() const {
-    return (ranks_.size() + masks_.size() + row_masks_.size() +
-            row_mask_counts_.size()) *
-               sizeof(uint32_t) +
-           (offsets_a_.size() + offsets_b_.size() + mask_offsets_.size()) *
-               sizeof(uint64_t);
+    return arena_ != nullptr ? arena_->ReservedBytes() : 0;
   }
+
+  /// Topology-aware placement: binds each NUMA node's contiguous slice of
+  /// the table-A CSR cells (rows n·rows_a/N .. (n+1)·rows_a/N of ranks_ and
+  /// masks_) to that node, so the executor's node-routed shard tasks read
+  /// their rows from local memory. Purely physical — never changes content
+  /// or results. Best effort and idempotent: a single-node topology is a
+  /// no-op, and a fake (MC_TOPOLOGY) or bind-less environment records a
+  /// topology fallback instead of touching any syscall. Safe to call
+  /// concurrently with readers (mbind with MPOL_MF_MOVE migrates pages
+  /// without changing their contents).
+  void PlaceForTopology() const;
 
   /// Builds the token view of a config. Thread-safe (concurrent calls from
   /// scheduler tasks share the scratch pool under its mutex). The returned
@@ -335,19 +360,40 @@ class SsjCorpus {
                               ConfigMask config);
 
  private:
-  static size_t NumRows(const std::vector<uint64_t>& offsets) {
+  /// Re-binds every (empty) CSR vector to `arena` — called once by
+  /// Build/ApplyDelta right after the metadata reservation succeeds.
+  void BindVectorsToArena(mem::Arena* arena) {
+    mem::BindToArena(ranks_, arena);
+    mem::BindToArena(masks_, arena);
+    mem::BindToArena(offsets_a_, arena);
+    mem::BindToArena(offsets_b_, arena);
+    mem::BindToArena(row_masks_, arena);
+    mem::BindToArena(row_mask_counts_, arena);
+    mem::BindToArena(mask_offsets_, arena);
+  }
+
+  static size_t NumRows(const mem::ArenaVector<uint64_t>& offsets) {
     return offsets.empty() ? 0 : offsets.size() - 1;
   }
-  TupleTokens Tuple(const std::vector<uint64_t>& offsets, size_t row) const {
+  TupleTokens Tuple(const mem::ArenaVector<uint64_t>& offsets,
+                    size_t row) const {
     return TupleTokens{ranks_.data() + offsets[row],
                        masks_.data() + offsets[row],
                        static_cast<uint32_t>(offsets[row + 1] - offsets[row])};
   }
 
-  std::vector<uint32_t> ranks_;      // CSR arena: rows of A, then rows of B.
-  std::vector<uint32_t> masks_;      // Parallel to ranks_.
-  std::vector<uint64_t> offsets_a_;  // rows_a + 1 entries.
-  std::vector<uint64_t> offsets_b_;  // rows_b + 1 entries.
+  // Backing store for every CSR vector below: one chunked arena, charged
+  // against the build's MemoryBudget exactly ReservedBytes(). nullptr on a
+  // default-constructed corpus or when the metadata reservation was refused
+  // (the vectors then stay on the plain heap, empty, corpus truncated).
+  // Owned behind unique_ptr so the corpus stays movable while allocators
+  // keep a stable Arena address.
+  std::unique_ptr<mem::Arena> arena_;
+  // CSR arena: rows of A, then rows of B.
+  mem::ArenaVector<uint32_t> ranks_;
+  mem::ArenaVector<uint32_t> masks_;      // Parallel to ranks_.
+  mem::ArenaVector<uint64_t> offsets_a_;  // rows_a + 1 entries.
+  mem::ArenaVector<uint64_t> offsets_b_;  // rows_b + 1 entries.
   // Distinct attribute-mask summary per row (A rows then B rows), CSR:
   // row r's distinct masks are row_masks_[mask_offsets_[r]..[r+1]) with
   // parallel token counts in row_mask_counts_. A row is fully covered by
@@ -355,9 +401,10 @@ class SsjCorpus {
   // distinct masks) test that makes zero-copy views O(rows). Rows carry a
   // handful of distinct masks (one per attribute combination that actually
   // occurs), so this is a fraction of the token arenas.
-  std::vector<uint32_t> row_masks_;
-  std::vector<uint32_t> row_mask_counts_;
-  std::vector<uint64_t> mask_offsets_;  // rows_a + rows_b + 1 entries.
+  mem::ArenaVector<uint32_t> row_masks_;
+  mem::ArenaVector<uint32_t> row_mask_counts_;
+  // rows_a + rows_b + 1 entries.
+  mem::ArenaVector<uint64_t> mask_offsets_;
   TokenDictionary dictionary_;
   size_t num_attributes_ = 0;
   size_t dead_tokens_ = 0;
@@ -375,8 +422,6 @@ class SsjCorpus {
   };
   std::unique_ptr<PlannerStatsCache> planner_stats_cache_ =
       std::make_unique<PlannerStatsCache>();
-  // Budget charge for the arenas; releases when the corpus dies.
-  MemoryReservation reservation_;
   // unique_ptr: keeps the pool's address stable across corpus moves (live
   // ConfigViews hold a pointer to it) and keeps SsjCorpus movable (the pool
   // owns a mutex).

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "mem/topology.h"
 #include "ssj/topk_join.h"
 #include "ssj/topk_list.h"
 
@@ -176,6 +177,16 @@ JoinPlan PlanTopKJoin(const SsjCorpus& corpus, const ConfigView& view,
       1, std::min<size_t>(max_shards,
                           static_cast<size_t>(plan.est_events /
                                               kMinEventsPerShard)));
+  // On multi-node machines the two-level executor folds the shards into one
+  // A-row window per NUMA node; rounding the hint up to a node multiple
+  // keeps those per-node groups equal-sized (no node finishing early and
+  // idling its memory). Only when the join is worth decomposing at all, and
+  // never past the machine cap. The hint moves work placement, not results.
+  const size_t nodes = mem::SystemTopology::Get().num_nodes();
+  if (plan.shards > 1 && nodes > 1) {
+    const size_t rounded = ((plan.shards + nodes - 1) / nodes) * nodes;
+    plan.shards = std::min(std::max<size_t>(rounded, nodes), max_shards);
+  }
 
   // Hybrid decision: seed the threshold pass with the sampled k-th estimate
   // when it stabilized across nested samples. The full sample's rank-scaled

@@ -5,6 +5,8 @@
 #include <thread>
 #include <type_traits>
 
+#include "mem/arena.h"
+#include "mem/arena_vector.h"
 #include "simd/kernels.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -154,7 +156,7 @@ TopKList RunShardPass(const ConfigView& view, const TopKJoinOptions& options,
                       const std::vector<ScoredPair>* seed,
                       MergeSource* merge_source, TopKJoinStats* stats,
                       size_t shard, size_t shard_count, size_t b_shard,
-                      size_t b_shard_count) {
+                      size_t b_shard_count, size_t a_begin, size_t a_end) {
   TopKList topk(options.k);
 
   // Effective pruning bound. With the prefilter off this is exactly the
@@ -185,12 +187,31 @@ TopKList RunShardPass(const ConfigView& view, const TopKJoinOptions& options,
     return SetSimilarityCap(kMeasure, len, effective);
   };
 
+  // Pass-local scratch arena backing the inverted indexes, the event heap,
+  // and the required-overlap tables. Uncharged (transient working memory,
+  // not resident plane state) and unplaced: its pages are first-touched by
+  // this thread, so under a pinned topology-aware pool the whole scratch
+  // plane lands on the worker's own node for free. Posting-list growth
+  // strands its doubling copies in the arena (deallocate is a no-op); the
+  // waste is bounded by the geometric series and the arena returns it all
+  // at once when the pass ends — cheaper than a heap round-trip per list.
+  mem::Arena scratch(mem::ArenaOptions{.tag = "join_scratch"});
+
   // Inverted indexes over the *extended* prefixes, one per side, indexed
   // densely by token rank (every rank is < view.rank_limit()). Replaces the
   // former unordered_map indexes: a probe is one array load instead of a
   // hash walk, and the postings of hot (frequent) tokens stay contiguous.
-  std::vector<std::vector<IndexEntry>> index_a(view.rank_limit());
-  std::vector<std::vector<IndexEntry>> index_b(view.rank_limit());
+  // The fill constructor copies the prototype posting list into every slot;
+  // the allocator's select_on_container_copy_construction keeps the arena,
+  // so the inner lists bump-allocate from scratch too.
+  using PostingList = mem::ArenaVector<IndexEntry>;
+  const PostingList posting_proto{mem::ArenaAllocator<IndexEntry>(&scratch)};
+  mem::ArenaVector<PostingList> index_a(
+      view.rank_limit(), posting_proto,
+      mem::ArenaAllocator<PostingList>(&scratch));
+  mem::ArenaVector<PostingList> index_b(
+      view.rank_limit(), posting_proto,
+      mem::ArenaAllocator<PostingList>(&scratch));
 
   // Required-overlap table: req_value[len] caches
   // RequiredOverlap<kMeasure, true>(own_len, len, kth) for the event being
@@ -207,8 +228,10 @@ TopKList RunShardPass(const ConfigView& view, const TopKJoinOptions& options,
   for (size_t row = 0; row < view.rows_b(); ++row) {
     max_len = std::max(max_len, view.b(row).size());
   }
-  std::vector<uint32_t> req_value(max_len + 1, 0);
-  std::vector<uint64_t> req_stamp(max_len + 1, 0);
+  mem::ArenaVector<uint32_t> req_value(max_len + 1, 0,
+                                       mem::ArenaAllocator<uint32_t>(&scratch));
+  mem::ArenaVector<uint64_t> req_stamp(max_len + 1, 0,
+                                       mem::ArenaAllocator<uint64_t>(&scratch));
   uint64_t req_epoch = 1;  // 64-bit: never wraps into a stale stamp.
   double epoch_bound = bound();
   auto note_kth_change = [&] {
@@ -224,12 +247,25 @@ TopKList RunShardPass(const ConfigView& view, const TopKJoinOptions& options,
   // internals; a hand-rolled heap buys a replace-top operation (assign the
   // root, one sift-down) that halves the per-event sift work versus
   // priority_queue's pop-then-push.
-  std::vector<Event> events;
+  // Side-A rows are confined to the [a_begin, a_end) window before the
+  // residue split (the topology executor's node slices); the default window
+  // covers the whole table.
+  const size_t a_window_end = std::min(a_end, view.rows_a());
+  const size_t a_window_begin = std::min(a_begin, a_window_end);
+
+  mem::ArenaVector<Event> events{mem::ArenaAllocator<Event>(&scratch)};
+  // Heap size only shrinks after the initial fill (replace_top assigns in
+  // place); reserving the per-shard row bound up front means the arena
+  // strands nothing to doubling.
+  events.reserve(
+      (a_window_end - a_window_begin + shard_count - 1) / shard_count +
+      (view.rows_b() + b_shard_count - 1) / b_shard_count);
   const EventLess event_less;
   auto push_initial = [&](uint8_t side) {
-    const size_t rows = side == 0 ? view.rows_a() : view.rows_b();
+    const size_t rows = side == 0 ? a_window_end : view.rows_b();
     const size_t step = side == 0 ? shard_count : b_shard_count;
-    for (size_t row = side == 0 ? shard : b_shard; row < rows; row += step) {
+    for (size_t row = side == 0 ? a_window_begin + shard : b_shard;
+         row < rows; row += step) {
       const TokenSpan tokens = side == 0 ? view.a(row) : view.b(row);
       if (tokens.empty()) continue;
       events.push_back(Event{extension_cap(tokens.size(), 0), side,
@@ -357,7 +393,7 @@ TopKList RunShardPass(const ConfigView& view, const TopKJoinOptions& options,
     // prefixes alone. That makes the join stateless per pair: no hash map
     // of pair state (formerly the join's dominant cost — one random cache
     // miss per probe), just a short sequential merge over arena data.
-    const std::vector<IndexEntry>& postings = other_index[token];
+    const PostingList& postings = other_index[token];
     if (!postings.empty()) {
       const size_t own_len = tokens.size();
       const size_t own_remaining = own_len - 1 - event.position;
@@ -469,18 +505,19 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
                       Scorer* scorer, const std::vector<ScoredPair>* seed,
                       MergeSource* merge_source, TopKJoinStats* stats,
                       size_t shard, size_t shard_count, size_t b_shard,
-                      size_t b_shard_count) {
+                      size_t b_shard_count, size_t a_begin, size_t a_end) {
   const double tau = options.prefilter_threshold;
   if (tau < 0.0 || merge_source != nullptr) {
     return RunShardPass<kMeasure, Scorer>(view, options, /*prefilter=*/-1.0,
                                           scorer, seed, merge_source, stats,
                                           shard, shard_count, b_shard,
-                                          b_shard_count);
+                                          b_shard_count, a_begin, a_end);
   }
   TopKList first =
       RunShardPass<kMeasure, Scorer>(view, options, tau, scorer, seed,
                                      /*merge_source=*/nullptr, stats, shard,
-                                     shard_count, b_shard, b_shard_count);
+                                     shard_count, b_shard, b_shard_count,
+                                     a_begin, a_end);
   // Cancelled mid-phase: best-so-far contract, no restart (the restart
   // would be cancelled too and lose the survivors).
   if (stats->truncated) return first;
@@ -495,7 +532,8 @@ TopKList RunShardImpl(const ConfigView& view, const TopKJoinOptions& options,
   return RunShardPass<kMeasure, Scorer>(view, options, /*prefilter=*/-1.0,
                                         scorer, &combined,
                                         /*merge_source=*/nullptr, stats, shard,
-                                        shard_count, b_shard, b_shard_count);
+                                        shard_count, b_shard, b_shard_count,
+                                        a_begin, a_end);
 }
 
 // Measure/scorer-kind dispatch into the templated shard runner. `direct` is
@@ -505,18 +543,19 @@ TopKList RunShard(const ConfigView& view, const TopKJoinOptions& options,
                   const std::vector<ScoredPair>* seed,
                   MergeSource* merge_source, TopKJoinStats* stats,
                   size_t shard, size_t shard_count, size_t b_shard = 0,
-                  size_t b_shard_count = 1) {
+                  size_t b_shard_count = 1, size_t a_begin = 0,
+                  size_t a_end = static_cast<size_t>(-1)) {
   auto run = [&](auto measure_tag) {
     constexpr SetMeasure kMeasure = decltype(measure_tag)::value;
     if (direct != nullptr) {
       return RunShardImpl<kMeasure, DirectPairScorer>(
           view, options, direct, seed, merge_source, stats, shard,
-          shard_count, b_shard, b_shard_count);
+          shard_count, b_shard, b_shard_count, a_begin, a_end);
     }
     return RunShardImpl<kMeasure, PairScorer>(view, options, scorer, seed,
                                               merge_source, stats, shard,
                                               shard_count, b_shard,
-                                              b_shard_count);
+                                              b_shard_count, a_begin, a_end);
   };
   switch (options.measure) {
     case SetMeasure::kJaccard:
@@ -610,7 +649,8 @@ TopKList RunTopKJoinShard(const ConfigView& view,
                           size_t shard_count, PairScorer* scorer,
                           const std::vector<ScoredPair>* seed,
                           TopKJoinStats* stats, size_t b_shard,
-                          size_t b_shard_count) {
+                          size_t b_shard_count, size_t a_begin,
+                          size_t a_end) {
   MC_CHECK_GE(options.q, 1u);
   MC_CHECK_GE(options.merge_poll_period, 1u);
   MC_CHECK_LT(shard, shard_count);
@@ -622,7 +662,7 @@ TopKList RunTopKJoinShard(const ConfigView& view,
   if (stats == nullptr) stats = &local_stats;
   return RunShard(view, options, scorer, direct, seed,
                   /*merge_source=*/nullptr, stats, shard, shard_count, b_shard,
-                  b_shard_count);
+                  b_shard_count, a_begin, a_end);
 }
 
 TopKList BruteForceTopK(const ConfigView& view, size_t k, SetMeasure measure,

@@ -192,12 +192,22 @@ TopKList RunTopKJoin(const ConfigView& view, const TopKJoinOptions& options,
 /// planner's sampling probes pass a real decomposition so a probe's event
 /// cost shrinks on *both* sides — without it, every probe still walks
 /// table B's full event stream and costs as much as a full join.
+///
+/// `a_begin`/`a_end` confine the shard to a contiguous window of table-A
+/// rows before the residue split: the shard owns rows a_begin + shard,
+/// a_begin + shard + shard_count, … below min(a_end, rows_a). The default
+/// window is all of A. The topology-aware executor uses this to keep every
+/// shard task inside the A-row slice owned by one NUMA node — and because
+/// each call still returns the canonical top-k of the exact pair sub-space
+/// it owns, merging any disjoint decomposition (windows × residues)
+/// reproduces the sequential list bit for bit.
 TopKList RunTopKJoinShard(const ConfigView& view,
                           const TopKJoinOptions& options, size_t shard,
                           size_t shard_count, PairScorer* scorer = nullptr,
                           const std::vector<ScoredPair>* seed = nullptr,
                           TopKJoinStats* stats = nullptr, size_t b_shard = 0,
-                          size_t b_shard_count = 1);
+                          size_t b_shard_count = 1, size_t a_begin = 0,
+                          size_t a_end = static_cast<size_t>(-1));
 
 /// Reference implementation: scores every non-excluded pair whose token
 /// overlap is at least `min_overlap` (0 admits even disjoint pairs, the

@@ -106,6 +106,17 @@ void TokenizePlaneBlock(const Table& table, size_t num_columns,
 
 }  // namespace
 
+void TokenizedTable::BindVectorsToArena(mem::Arena* arena) {
+  for (size_t side = 0; side < 2; ++side) {
+    mem::BindToArena(stream_offsets_[side], arena);
+    mem::BindToArena(stream_[side], arena);
+    mem::BindToArena(sorted_offsets_[side], arena);
+    mem::BindToArena(sorted_[side], arena);
+    mem::BindToArena(norm_ids_[side], arena);
+    mem::BindToArena(missing_[side], arena);
+  }
+}
+
 std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
     const Table& table_a, const Table& table_b,
     const TextPlaneBuildOptions& options, TextPlaneBuildStats* stats) {
@@ -222,6 +233,37 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
   plane.dictionary_.FinalizeRanks();
   plane.build_stats_.merge_seconds = merge_watch.ElapsedSeconds();
 
+  // All CSR storage (offset tables, norm ids, missing bits, and the cell
+  // arenas themselves) draws from one arena that charges the budget
+  // exactly its reserved bytes. The metadata sizes follow from the
+  // dimensions alone, so they are reserved before the fill; the cell
+  // arenas are reserved once their exact size is known below.
+  plane.arena_ = std::make_unique<mem::Arena>(mem::ArenaOptions{
+      .budget = options.memory_budget, .tag = "text_plane"});
+  size_t meta_bytes = 0;
+  for (size_t side = 0; side < 2; ++side) {
+    const size_t cells = plane.rows_[side] * plane.num_columns_;
+    meta_bytes +=
+        2 * mem::Arena::AlignedSize((cells + 1) * sizeof(uint64_t)) +
+        mem::Arena::AlignedSize(cells * sizeof(uint32_t)) +
+        mem::Arena::AlignedSize(cells);
+  }
+  const bool arena_ok = plane.arena_->Reserve(meta_bytes);
+  if (arena_ok) {
+    plane.BindVectorsToArena(plane.arena_.get());
+  } else {
+    // Budget refused even the offset tables: drop every block now, so the
+    // fill below produces the all-empty truncated plane on plain heap
+    // vectors, uncharged (charge == reservation == 0).
+    for (PlaneBlock& block : blocks) {
+      if (!block.dropped) {
+        block.dropped = true;
+        ++plane.build_stats_.dropped_blocks;
+      }
+    }
+    plane.truncated_ = true;
+  }
+
   // Phase 3 (sequential): per-cell offsets, missing bits, pool-resolved
   // norm ids for both sides. Idempotent (clears its outputs first) so the
   // budget-refusal path below can re-run it after dropping every block.
@@ -269,15 +311,18 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::Build(
   fill_side(0, blocks_a, 0, table_a);
   fill_side(blocks_a, blocks.size() - blocks_a, 1, table_b);
 
-  // Memory admission: the cell arenas dominate the plane footprint. Charge
-  // them before allocating; a refusal drops every block — the offsets
-  // recompute to an all-empty truncated plane, which is never attached, so
-  // consumers fall back to the legacy string path.
-  const size_t arena_bytes =
-      static_cast<size_t>(arena_sizes[0][0] + arena_sizes[0][1] +
-                          arena_sizes[1][0] + arena_sizes[1][1]) *
-      sizeof(uint32_t);
-  if (!plane.reservation_.Acquire(options.memory_budget, arena_bytes)) {
+  // Memory admission: the cell arenas dominate the plane footprint.
+  // Reserve them (charging the budget) before allocating; a refusal drops
+  // every block — the offsets recompute to an all-empty truncated plane,
+  // which is never attached, so consumers fall back to the legacy string
+  // path. The refill reuses the already-reserved metadata chunk (clear()
+  // keeps capacity), so no allocation happens past a refusal.
+  const size_t cell_bytes =
+      mem::Arena::AlignedSize(arena_sizes[0][0] * sizeof(uint32_t)) +
+      mem::Arena::AlignedSize(arena_sizes[0][1] * sizeof(uint32_t)) +
+      mem::Arena::AlignedSize(arena_sizes[1][0] * sizeof(uint32_t)) +
+      mem::Arena::AlignedSize(arena_sizes[1][1] * sizeof(uint32_t));
+  if (arena_ok && !plane.arena_->Reserve(cell_bytes)) {
     for (PlaneBlock& block : blocks) {
       if (!block.dropped) {
         block.dropped = true;
@@ -374,6 +419,27 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::ApplyDelta(
   out.dictionary_ = base.dictionary_;
   out.norm_values_ = base.norm_values_;
   out.build_stats_ = base.build_stats_;
+
+  // The patched plane gets its own arena, charged exactly what it
+  // reserves; the base generation keeps its own charge until it dies. The
+  // metadata sizes (offset tables, norm ids, missing bits, both sides) are
+  // known up front; a refused reserve rejects the delta, mirroring Build's
+  // admission.
+  out.arena_ = std::make_unique<mem::Arena>(mem::ArenaOptions{
+      .budget = options.memory_budget, .tag = "text_plane"});
+  {
+    const size_t delta_cells = new_rows * cols;
+    const size_t other_cells = base.rows_[other] * cols;
+    const size_t meta_bytes =
+        2 * mem::Arena::AlignedSize((delta_cells + 1) * sizeof(uint64_t)) +
+        mem::Arena::AlignedSize(delta_cells * sizeof(uint32_t)) +
+        mem::Arena::AlignedSize(delta_cells) +
+        2 * mem::Arena::AlignedSize((other_cells + 1) * sizeof(uint64_t)) +
+        mem::Arena::AlignedSize(other_cells * sizeof(uint32_t)) +
+        mem::Arena::AlignedSize(other_cells);
+    if (!out.arena_->Reserve(meta_bytes)) return nullptr;
+    out.BindVectorsToArena(out.arena_.get());
+  }
 
   // Retire the old content of every touched cell: one df decrement per
   // distinct token (the non-repeat stream entries).
@@ -490,13 +556,13 @@ std::shared_ptr<const TokenizedTable> TokenizedTable::ApplyDelta(
   }
 
   // Memory admission before the big allocations, mirroring Build. The
-  // other side's arenas are copied, so charge both sides.
-  const size_t arena_bytes =
-      static_cast<size_t>(stream_position + sorted_position +
-                          base.stream_[other].size() +
-                          base.sorted_[other].size()) *
-      sizeof(uint32_t);
-  if (!out.reservation_.Acquire(options.memory_budget, arena_bytes)) {
+  // other side's arenas are copied, so reserve both sides.
+  const size_t cell_bytes =
+      mem::Arena::AlignedSize(stream_position * sizeof(uint32_t)) +
+      mem::Arena::AlignedSize(sorted_position * sizeof(uint32_t)) +
+      mem::Arena::AlignedSize(base.stream_[other].size() * sizeof(uint32_t)) +
+      mem::Arena::AlignedSize(base.sorted_[other].size() * sizeof(uint32_t));
+  if (!out.arena_->Reserve(cell_bytes)) {
     return nullptr;
   }
 

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/arena.h"
+#include "mem/arena_vector.h"
 #include "table/table.h"
 #include "table/table_delta.h"
 #include "text/token_dictionary.h"
@@ -272,20 +274,14 @@ class TokenizedTable {
 
   const TextPlaneBuildStats& build_stats() const { return build_stats_; }
 
-  /// Approximate resident footprint of the cell arenas and offset tables —
-  /// the sizing signal for the service's shared-plane LRU cache. Excludes
-  /// dictionary/pool string storage and lazy q-gram planes.
+  /// Exact resident footprint of the plane's arena — the cell arenas,
+  /// offset tables, norm ids, and missing bits all allocate through it, and
+  /// the arena charges the memory budget exactly this many bytes (charge ==
+  /// reservation, the mem/ subsystem contract). The sizing signal for the
+  /// service's shared-plane LRU cache. Excludes dictionary/pool string
+  /// storage and lazy q-gram planes, which stay on the heap.
   size_t MemoryBytes() const {
-    size_t bytes = 0;
-    for (size_t side = 0; side < 2; ++side) {
-      bytes += (stream_[side].size() + sorted_[side].size() +
-                norm_ids_[side].size()) *
-                   sizeof(uint32_t) +
-               (stream_offsets_[side].size() + sorted_offsets_[side].size()) *
-                   sizeof(uint64_t) +
-               missing_[side].size();
-    }
-    return bytes;
+    return arena_ != nullptr ? arena_->ReservedBytes() : 0;
   }
 
  private:
@@ -296,20 +292,28 @@ class TokenizedTable {
     MC_CHECK_LT(column, num_columns_);
     return row * num_columns_ + column;
   }
-  static CellSpan Span(const std::vector<uint32_t>& arena,
-                       const std::vector<uint64_t>& offsets, size_t cell) {
+  static CellSpan Span(const mem::ArenaVector<uint32_t>& arena,
+                       const mem::ArenaVector<uint64_t>& offsets,
+                       size_t cell) {
     return CellSpan{arena.data() + offsets[cell],
                     static_cast<uint32_t>(offsets[cell + 1] - offsets[cell])};
   }
 
+  /// Points every CSR vector at `arena` (all must still be empty).
+  void BindVectorsToArena(mem::Arena* arena);
+
   size_t num_columns_ = 0;
   size_t rows_[2] = {0, 0};
-  std::vector<uint64_t> stream_offsets_[2];  // rows * columns + 1 entries.
-  std::vector<uint32_t> stream_[2];
-  std::vector<uint64_t> sorted_offsets_[2];
-  std::vector<uint32_t> sorted_[2];
-  std::vector<uint32_t> norm_ids_[2];
-  std::vector<uint8_t> missing_[2];
+  // Backs every CSR vector below; charges the build's MemoryBudget exactly
+  // its reserved bytes. Heap-allocated so the vectors' allocator pointers
+  // stay stable if the plane object moves.
+  std::unique_ptr<mem::Arena> arena_;
+  mem::ArenaVector<uint64_t> stream_offsets_[2];  // rows*columns+1 entries.
+  mem::ArenaVector<uint32_t> stream_[2];
+  mem::ArenaVector<uint64_t> sorted_offsets_[2];
+  mem::ArenaVector<uint32_t> sorted_[2];
+  mem::ArenaVector<uint32_t> norm_ids_[2];
+  mem::ArenaVector<uint8_t> missing_[2];
   // Rows deleted by deltas (empty on freshly built planes; sized lazily).
   std::vector<uint8_t> tombstones_[2];
   std::vector<std::string> norm_values_;  // Shared normalized-value pool.
@@ -317,8 +321,6 @@ class TokenizedTable {
   size_t dead_tokens_ = 0;
   bool truncated_ = false;
   TextPlaneBuildStats build_stats_;
-  // Budget charge for the arenas; releases when the plane dies.
-  MemoryReservation reservation_;
   // Lazy (q, column) gram planes; unique_ptr keeps returned pointers
   // stable across rehashes. Guarded for concurrent consumers.
   mutable std::shared_mutex qgram_mutex_;

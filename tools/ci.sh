@@ -90,6 +90,23 @@ for seed in 42 31337 909090909; do
       -R 'PlannerEquivalence|PlannerDeterminism|PlannerStatsDelta|JointPlanner'
 done
 
+# Topology: placement must move bytes and threads, never results. The mem
+# suite (arena/budget/topology unit tests plus the placement bit-identity
+# matrix) runs under ASan for arena lifetime coverage, and the determinism
+# suites re-run under forced single-node and fake dual-node MC_TOPOLOGY so
+# the multi-node decomposition paths (A-row windows, node-routed shards,
+# replicated seeds) are exercised deterministically on any CI machine.
+echo "==== [topology] mem suite under ASan ===="
+ctest --test-dir "${build_root}/asan" --output-on-failure \
+    -R 'ArenaTest|ArenaVectorTest|ArenaStatsTest|TopologyTest|PerNodeReplicaTest|TopologyThreadPoolTest|BudgetConservationTest|TopologyPlacementIdentityTest'
+echo "==== [topology] determinism suites under forced topologies ===="
+for topo in "nodes=1,cores_per_node=4" "nodes=2,cores_per_node=2"; do
+  echo "---- [topology] MC_TOPOLOGY=${topo} ----"
+  MC_TOPOLOGY="${topo}" ctest --test-dir "${build_root}/release" \
+      --output-on-failure \
+      -R 'JointDeterminismTest|CorpusBuildDeterminismTest|DeltaEquivalenceTest|TopologyPlacementIdentityTest'
+done
+
 # Bench smoke: emit a perf record on a tiny workload and validate its schema
 # (plus the committed archive). Catches drift between the JSON writer, the
 # record schema, and tools/validate_bench_json.py without a full bench run.
@@ -136,15 +153,22 @@ delta_json="${build_root}/release/bench_smoke_delta.json"
 planner_json="${build_root}/release/bench_smoke_planner.json"
 "${build_root}/release/bench/micro_planner" \
     --json="${planner_json}" --engine=ci-smoke --scale=0.01 --reps=1 --k=50
+# micro_numa exits 1 unless every placement (single-node, dual-node,
+# machine) produces bit-identical lists; the validator re-checks the
+# cross-placement checksum equality on the smoke record and the archive.
+numa_json="${build_root}/release/bench_smoke_numa.json"
+"${build_root}/release/bench/micro_numa" \
+    --json="${numa_json}" --engine=ci-smoke --scale=0.05 --reps=1
 python3 "${repo_root}/tools/validate_bench_json.py" \
     "${bench_json}" "${joint_json}" "${text_json}" "${kernels_json}" \
-    "${service_json}" "${delta_json}" "${planner_json}" \
+    "${service_json}" "${delta_json}" "${planner_json}" "${numa_json}" \
     "${repo_root}/bench/BENCH_ssj.json" \
     "${repo_root}/bench/BENCH_joint.json" \
     "${repo_root}/bench/BENCH_text.json" \
     "${repo_root}/bench/BENCH_kernels.json" \
     "${repo_root}/bench/BENCH_service.json" \
     "${repo_root}/bench/BENCH_delta.json" \
-    "${repo_root}/bench/BENCH_planner.json"
+    "${repo_root}/bench/BENCH_planner.json" \
+    "${repo_root}/bench/BENCH_numa.json"
 
 echo "==== all configurations passed ===="

@@ -34,6 +34,9 @@
 //                      per-config plan decisions (q, shards, hybrid
 //                      prefilter, parent seeding); implies --q 0 unless
 //                      --q was given explicitly
+//   --topology         print the detected (or MC_TOPOLOGY-forced) NUMA
+//                      topology at startup, and per-node arena bytes plus
+//                      the placement-fallback counter after the run
 //
 // Exit status: 0 when every admitted session ends complete or truncated,
 // 1 when any session fails, 2 on usage errors.
@@ -50,6 +53,9 @@
 #include "blocking/candidate_set.h"
 #include "core/match_catcher.h"
 #include "datagen/generator.h"
+#include "mem/arena_stats.h"
+#include "mem/node_local_arena.h"
+#include "mem/topology.h"
 #include "service/session_manager.h"
 #include "table/csv.h"
 #include "util/fault_injection.h"
@@ -76,6 +82,7 @@ struct Args {
   size_t joint_q = 1;
   bool q_set = false;
   bool explain_plans = false;
+  bool topology = false;
 };
 
 int Usage(const char* argv0) {
@@ -84,7 +91,7 @@ int Usage(const char* argv0) {
                "[--concurrency N] [--queue N] [--k N] [--threads N] "
                "[--deadline-ms N] [--memory-limit B] [--checkpoint DIR] "
                "[--chaos-seed S] [--retry-after] [--deltas N] "
-               "[--delta-seed S] [--q N] [--explain-plans]\n"
+               "[--delta-seed S] [--q N] [--explain-plans] [--topology]\n"
                "       %s --tables A.csv,B.csv --candidates C.csv [...]\n",
                argv0, argv0);
   return 2;
@@ -139,6 +146,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->q_set = true;
     } else if (arg == "--explain-plans") {
       args->explain_plans = true;
+    } else if (arg == "--topology") {
+      args->topology = true;
     } else {
       return false;
     }
@@ -268,6 +277,13 @@ mc::datagen::GeneratedDataset Generate(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  if (args.topology) {
+    const mc::mem::SystemTopology& topo = mc::mem::SystemTopology::Get();
+    std::printf("topology: %s binding=%s\n", topo.ToString().c_str(),
+                mc::mem::MemoryBindingAvailable() ? "available"
+                                                  : "unavailable");
+  }
 
   mc::Table table_a, table_b;
   mc::CandidateSet candidates;
@@ -453,6 +469,24 @@ int main(int argc, char** argv) {
       stats.sessions_restored, stats.restore_failures,
       stats.watchdog_cancelled, stats.plans_computed, stats.hybrid_plans,
       stats.hybrid_restarts);
+  if (args.topology) {
+    // Snapshot before Shutdown so the shared planes' arenas are still live
+    // and show up in the per-node bytes.
+    const mc::mem::ArenaStatsSnapshot snapshot =
+        mc::mem::ArenaStatsRegistry::Instance().Snapshot();
+    std::printf("topology: arenas=%zu reserved=%zu fallbacks=%zu\n",
+                snapshot.total_arenas, snapshot.total_reserved_bytes,
+                snapshot.topology_fallbacks);
+    for (const mc::mem::ArenaNodeStats& node : snapshot.per_node) {
+      if (node.node < 0) {
+        std::printf("  node -    : arenas=%zu reserved=%zu (unplaced)\n",
+                    node.arenas, node.reserved_bytes);
+      } else {
+        std::printf("  node %-5d: arenas=%zu reserved=%zu\n", node.node,
+                    node.arenas, node.reserved_bytes);
+      }
+    }
+  }
   manager.Shutdown();
   if (args.chaos) mc::FaultRegistry::Instance().Reset();
   return exit_code;
