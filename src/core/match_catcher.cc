@@ -14,46 +14,93 @@ Result<DebugSession> DebugSession::Create(const Table& table_a,
                                           const Table& table_b,
                                           const CandidateSet& blocker_output,
                                           const MatchCatcherOptions& options) {
+  // Private copies up front: this overload's contract is that the caller's
+  // tables may be discarded, so every mutation below may edit in place.
+  return CreateShared(std::make_shared<Table>(table_a),
+                      std::make_shared<Table>(table_b), /*owned=*/true,
+                      blocker_output, options);
+}
+
+Result<DebugSession> DebugSession::Create(std::shared_ptr<const Table> table_a,
+                                          std::shared_ptr<const Table> table_b,
+                                          const CandidateSet& blocker_output,
+                                          const MatchCatcherOptions& options) {
+  return CreateShared(std::move(table_a), std::move(table_b), /*owned=*/false,
+                      blocker_output, options);
+}
+
+Result<DebugSession> DebugSession::CreateShared(
+    std::shared_ptr<const Table> a, std::shared_ptr<const Table> b, bool owned,
+    const CandidateSet& blocker_output, const MatchCatcherOptions& options) {
   DebugSession session;
   session.options_ = options;
-  session.table_a_ = std::make_unique<Table>(table_a);
-  session.table_b_ = std::make_unique<Table>(table_b);
-  if (options.text_plane == TextPlane::kLegacy) {
-    // Ablation contract: the legacy path never consults a plane, even one
-    // the caller attached to the inputs.
-    session.table_a_->DetachTextPlane();
-    session.table_b_->DetachTextPlane();
-  } else if (SharedTextPlane(*session.table_a_, *session.table_b_) ==
-             nullptr) {
-    // Tokenize once, before profiling: type inference, attribute selection,
-    // corpus build, features, and repair all read this plane. A truncated
-    // build (cancellation mid-plane) is simply not attached; every stage
-    // then falls back to per-call string tokenization.
-    Stopwatch plane_watch;
-    TextPlaneBuildOptions plane_options;
-    plane_options.num_threads = options.joint.num_threads;
-    plane_options.run_context = options.run_context;
-    plane_options.memory_budget = options.memory_budget;
-    TokenizedTable::BuildAndAttach(*session.table_a_, *session.table_b_,
-                                   plane_options);
-    session.text_plane_seconds_ = plane_watch.ElapsedSeconds();
+  if (options.infer_types && !(a->schema() == b->schema())) {
+    return Status::InvalidArgument("tables A and B must share one schema");
   }
-  if (options.infer_types) {
-    if (!(table_a.schema() == table_b.schema())) {
-      return Status::InvalidArgument("tables A and B must share one schema");
+  const bool build_plane = options.text_plane != TextPlane::kLegacy &&
+                           SharedTextPlane(*a, *b) == nullptr;
+  const bool needs_mutation = options.text_plane == TextPlane::kLegacy ||
+                              build_plane || options.infer_types;
+  if (needs_mutation && !owned) {
+    // The only table copies on the shared path: this session must edit its
+    // view of the tables (plane detach/attach or a schema rewrite), so it
+    // takes private ones. The service's warm path — plane already attached,
+    // infer_types resolved before registration — stays zero-copy.
+    a = std::make_shared<Table>(*a);
+    b = std::make_shared<Table>(*b);
+    owned = true;
+  }
+  if (needs_mutation) {
+    // Owned tables were allocated mutable (make_shared<Table>); the const
+    // view is this function's, not the objects'.
+    Table& mutable_a = const_cast<Table&>(*a);
+    Table& mutable_b = const_cast<Table&>(*b);
+    if (options.text_plane == TextPlane::kLegacy) {
+      // Ablation contract: the legacy path never consults a plane, even one
+      // the caller attached to the inputs.
+      mutable_a.DetachTextPlane();
+      mutable_b.DetachTextPlane();
+    } else if (build_plane) {
+      // Tokenize once, before profiling: type inference, attribute
+      // selection, corpus build, features, and repair all read this plane.
+      // A truncated build (cancellation mid-plane) is simply not attached;
+      // every stage then falls back to per-call string tokenization.
+      Stopwatch plane_watch;
+      TextPlaneBuildOptions plane_options;
+      plane_options.num_threads = options.joint.num_threads;
+      plane_options.run_context = options.run_context;
+      plane_options.memory_budget = options.memory_budget;
+      TokenizedTable::BuildAndAttach(mutable_a, mutable_b, plane_options);
+      session.text_plane_seconds_ = plane_watch.ElapsedSeconds();
     }
-    session.table_a_->SetSchema(InferAttributeTypes(*session.table_a_));
-    session.table_b_->SetSchema(session.table_a_->schema());
+    if (options.infer_types) {
+      mutable_a.SetSchema(InferAttributeTypes(mutable_a));
+      mutable_b.SetSchema(mutable_a.schema());
+    }
   }
+  session.table_a_ = std::move(a);
+  session.table_b_ = std::move(b);
 
   Stopwatch config_watch;
   ConfigGeneratorOptions config_options = options.config;
   config_options.run_context = options.run_context;
-  MC_ASSIGN_OR_RETURN(
-      session.attributes_,
-      SelectPromisingAttributes(*session.table_a_, *session.table_b_,
-                                config_options));
-  session.tree_ = GenerateConfigTree(session.attributes_, config_options);
+  if (options.cached_config != nullptr) {
+    // Served from the service's memoized session plan: selection and tree
+    // generation are deterministic for fixed tables and knobs, so this is
+    // the exact pick a fresh run would compute.
+    session.attributes_ = options.cached_config->attributes;
+    session.tree_ = options.cached_config->tree;
+  } else {
+    MC_ASSIGN_OR_RETURN(
+        session.attributes_,
+        SelectPromisingAttributes(*session.table_a_, *session.table_b_,
+                                  config_options));
+    session.tree_ = GenerateConfigTree(session.attributes_, config_options);
+    if (options.config_sink != nullptr) {
+      options.config_sink(
+          CachedConfigPick{session.attributes_, session.tree_});
+    }
+  }
   session.config_seconds_ = config_watch.ElapsedSeconds();
 
   if (options.run_context.Cancelled()) {
@@ -87,8 +134,20 @@ Result<DebugSession> DebugSession::Create(const Table& table_a,
   JointOptions joint_options = options.joint;
   joint_options.exclude = &blocker_output;
   joint_options.run_context = options.run_context;
+  if (options.cached_plan != nullptr) {
+    joint_options.cached_plan = options.cached_plan.get();
+  }
   session.joint_ = RunJointTopKJoins(*corpus, session.tree_, joint_options);
   if (!session.joint_.task_error.ok()) return session.joint_.task_error;
+
+  // Publish a freshly computed plan for cross-session reuse. Cache-served
+  // and truncated plans never publish: the former is already cached, the
+  // latter is the conservative fallback, not a modeled decision.
+  if (options.plan_sink != nullptr && session.joint_.planner_used &&
+      !session.joint_.plan_from_cache && !session.joint_.plan.truncated &&
+      !session.joint_.truncated) {
+    options.plan_sink(session.joint_.plan);
+  }
 
   // Snapshot the finished lists with their seeding lineage for delta
   // repair. Only exact (un-truncated) executions qualify: repair replays

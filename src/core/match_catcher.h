@@ -22,6 +22,16 @@
 
 namespace mc {
 
+/// A memoized Config Generator outcome: the promising attributes and the
+/// config tree generated from them. Both are deterministic functions of the
+/// input tables and the generator knobs, so the service caches them next to
+/// the joint plan (same key, same invalidation) and warm sessions skip the
+/// per-attribute e-score/value-set scan entirely.
+struct CachedConfigPick {
+  PromisingAttributes attributes;
+  ConfigTree tree;
+};
+
 /// Top-level options for a MatchCatcher debugging session.
 struct MatchCatcherOptions {
   ConfigGeneratorOptions config;
@@ -71,6 +81,32 @@ struct MatchCatcherOptions {
   /// executions are never snapshotted: their lists are best-so-far, not
   /// canonical, and cannot anchor an exact repair.
   std::function<void(const JointListsSnapshot&)> joint_sink;
+  /// Cached execution plan for the joint phase (the service's cross-session
+  /// plan cache). When set and the joint phase would run the cost planner
+  /// (joint.q == 0 under QSelection::kPlanner), the sampling probes are
+  /// skipped and this plan executes directly — bit-identical output to
+  /// planning fresh, because the planner is deterministic for a fixed
+  /// (seed, corpus generation, weights) and every plan executes to the same
+  /// canonical lists. The caller owns the invariant that the plan was
+  /// computed on the same corpus generation and session configuration
+  /// (SessionManager keys its cache by exactly that).
+  std::shared_ptr<const JoinPlan> cached_plan;
+  /// Called once with each freshly computed plan — planner ran, not served
+  /// from `cached_plan`, and neither the plan nor the joint phase was
+  /// truncated — the service's hook for populating its plan cache so later
+  /// sessions on the same pair skip the probe joins entirely.
+  std::function<void(const JoinPlan&)> plan_sink;
+  /// Memoized Config Generator outcome to reuse instead of re-running
+  /// attribute selection and tree generation. Same ownership contract as
+  /// `cached_plan`: the caller guarantees it was computed on these exact
+  /// tables under these exact generator knobs (SessionManager keys its
+  /// cache by the config-affecting options and invalidates on every table
+  /// delta), so reuse is bit-identical to recomputing.
+  std::shared_ptr<const CachedConfigPick> cached_config;
+  /// Called once with each freshly computed config pick (selection ran, not
+  /// served from `cached_config`) — the companion of `plan_sink` for the
+  /// config half of the memoized session plan.
+  std::function<void(const CachedConfigPick&)> config_sink;
   /// Service-wide memory ceiling, threaded into the text-plane and corpus
   /// builds (see CorpusBuildOptions::memory_budget for the degradation
   /// contract). Must outlive the session.
@@ -84,11 +120,25 @@ struct MatchCatcherOptions {
 /// verifier API then drives the interactive identification loop.
 ///
 /// The session owns private copies of the tables, so the caller's tables may
-/// be discarded after Create().
+/// be discarded after Create(). The shared_ptr overload shares immutable
+/// tables instead — the zero-copy path the session service rides.
 class DebugSession {
  public:
   static Result<DebugSession> Create(const Table& table_a,
                                      const Table& table_b,
+                                     const CandidateSet& blocker_output,
+                                     const MatchCatcherOptions& options = {});
+
+  /// Zero-copy construction: the session shares `table_a`/`table_b` rather
+  /// than copying them, so N sessions over one pair pay zero per-session
+  /// table copies. The tables are only copied when this session must edit
+  /// its view of them — TextPlane::kLegacy (detaches the plane),
+  /// infer_types (rewrites the schema), or a missing text plane (built and
+  /// attached here). The caller must not mutate the tables afterwards;
+  /// replace-and-republish (the service's delta pattern) is fine because
+  /// the session keeps its own references.
+  static Result<DebugSession> Create(std::shared_ptr<const Table> table_a,
+                                     std::shared_ptr<const Table> table_b,
                                      const CandidateSet& blocker_output,
                                      const MatchCatcherOptions& options = {});
 
@@ -149,8 +199,17 @@ class DebugSession {
  private:
   DebugSession() = default;
 
-  std::unique_ptr<Table> table_a_;
-  std::unique_ptr<Table> table_b_;
+  /// `owned` marks tables the implementation may mutate in place (private
+  /// copies made by the copying overload); shared tables are copied on the
+  /// first mutation instead.
+  static Result<DebugSession> CreateShared(std::shared_ptr<const Table> a,
+                                           std::shared_ptr<const Table> b,
+                                           bool owned,
+                                           const CandidateSet& blocker_output,
+                                           const MatchCatcherOptions& options);
+
+  std::shared_ptr<const Table> table_a_;
+  std::shared_ptr<const Table> table_b_;
   MatchCatcherOptions options_;
   PromisingAttributes attributes_;
   ConfigTree tree_;

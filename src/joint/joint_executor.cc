@@ -12,6 +12,7 @@
 #include "joint/caching_scorer.h"
 #include "joint/overlap_cache.h"
 #include "joint/parent_merge.h"
+#include "ssj/cost_calibrator.h"
 #include "mem/per_node_replica.h"
 #include "mem/topology.h"
 #include "util/check.h"
@@ -52,6 +53,9 @@ struct JointContext {
   // Hybrid prefilter threshold for the root config (< 0 = off). Set only
   // when the planner ran and decided for the hybrid mode.
   double root_prefilter = -1.0;
+  // How the root config executes its threshold (kHybridPrefilter vs the
+  // heap-free kThreshold driver); kTopK when no hybrid plan applies.
+  JoinExecMode root_mode = JoinExecMode::kTopK;
 
   std::mutex error_mutex;
   void RecordTaskError(const Status& status) {
@@ -114,6 +118,7 @@ void RunConfigPerTask(JointContext& ctx) {
     Stopwatch view_watch;
     ConfigView view = ctx.corpus.MakeConfigView(node.mask, ctx.options.view_mode);
     out.view_seconds = view_watch.ElapsedSeconds();
+    out.average_tokens = view.average_tokens();
 
     // Scorer: caching only when overlap reuse is on — constructing the
     // caching scorer snapshots the shared cache, which is wasted work (and
@@ -296,6 +301,7 @@ class TwoLevelExecutor {
       node.view =
           ctx_.corpus.MakeConfigView(tree_node.mask, ctx_.options.view_mode);
       out.view_seconds = view_watch.ElapsedSeconds();
+      out.average_tokens = node.view.average_tokens();
       out.shards_used = shard_count_;
 
       // Per-shard caching scorers: CachingPairScorer is single-threaded
@@ -379,6 +385,20 @@ class TwoLevelExecutor {
       // sample provides, which would force per-shard restarts.
       if (index == 0 && node.shard_lists.size() == 1 && !node.use_seed) {
         join_options.prefilter_threshold = ctx_.root_prefilter;
+        // Threshold-mode dispatch: the plan's fixed bound runs the
+        // heap-free driver instead of the prefiltered event engine. Same
+        // gate, same accept-or-restart contract, bit-identical output.
+        if (ctx_.root_mode == JoinExecMode::kThreshold &&
+            ctx_.root_prefilter >= 0.0) {
+          node.shard_lists[s] = RunThresholdJoin(node.view, join_options,
+                                                 scorer, /*seed=*/nullptr,
+                                                 &node.shard_stats[s]);
+          if (node.shards_remaining.fetch_sub(
+                  1, std::memory_order_acq_rel) == 1) {
+            FinishNode(index);
+          }
+          return;
+        }
       }
       // Topology decomposition of the global shard id: group g owns the
       // contiguous A-row window PlaceForTopology bound to NUMA node g, and
@@ -531,18 +551,31 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
       std::max<size_t>(1, std::thread::hardware_concurrency());
   if (q == 0) {
     if (options.q_selection == QSelection::kPlanner) {
-      PlannerOptions planner_options;
-      planner_options.k = options.k;
-      planner_options.measure = options.measure;
-      planner_options.exclude = options.exclude;
-      planner_options.seed = options.planner_seed;
-      planner_options.max_shards =
-          options.num_threads != 0 ? options.num_threads : hardware;
-      planner_options.enable_hybrid =
-          options.planner_hybrid &&
-          options.scheduler == JointScheduler::kTwoLevel;
-      planner_options.run_context = options.run_context;
-      result.plan = PlanTopKJoin(corpus, root_view, planner_options);
+      if (options.cached_plan != nullptr) {
+        // Cross-session plan cache hit: skip the sampling probes entirely.
+        // The caller guarantees the plan was computed by PlanTopKJoin on an
+        // identical corpus generation/config signature, so executing it is
+        // bit-identical to planning fresh (the planner is deterministic).
+        result.plan = *options.cached_plan;
+        result.plan_from_cache = true;
+      } else {
+        PlannerOptions planner_options;
+        planner_options.k = options.k;
+        planner_options.measure = options.measure;
+        planner_options.exclude = options.exclude;
+        planner_options.seed = options.planner_seed;
+        planner_options.max_shards =
+            options.num_threads != 0 ? options.num_threads : hardware;
+        planner_options.enable_hybrid =
+            options.planner_hybrid &&
+            options.scheduler == JointScheduler::kTwoLevel;
+        planner_options.enable_threshold = options.planner_threshold;
+        if (options.calibrator != nullptr) {
+          planner_options.weights = options.calibrator->weights();
+        }
+        planner_options.run_context = options.run_context;
+        result.plan = PlanTopKJoin(corpus, root_view, planner_options);
+      }
       result.planner_used = true;
       q = result.plan.q;
     } else {
@@ -583,6 +616,7 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
   }
   if (result.planner_used && result.plan.hybrid) {
     ctx.root_prefilter = result.plan.prefilter_threshold;
+    ctx.root_mode = result.plan.mode;
   }
 
   if (options.scheduler == JointScheduler::kConfigPerTask) {
@@ -604,6 +638,7 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
                       config.shards_used == 1 && !config.seeded_from_parent;
     decision.prefilter_threshold =
         decision.hybrid ? ctx.root_prefilter : -1.0;
+    decision.mode = decision.hybrid ? ctx.root_mode : JoinExecMode::kTopK;
     result.plan_decisions.push_back(decision);
   }
 
@@ -616,6 +651,25 @@ JointResult RunJointTopKJoins(const SsjCorpus& corpus, const ConfigTree& tree,
   // A corpus cut short mid-build (deadline/fault during tokenization) makes
   // every per-config list best-so-far, not exact.
   if (corpus.truncated()) result.truncated = true;
+  // Online calibration feedback: every completed config reports the same
+  // operation counts the cost model prices, plus its observed join time.
+  // Node order is fixed, so the observation sequence is deterministic for a
+  // given run shape (the calibrator's determinism contract is sequence-in,
+  // weights-out; wall times naturally vary across machines).
+  if (options.calibrator != nullptr) {
+    for (const ConfigJoinResult& config : result.per_config) {
+      if (!config.completed) continue;
+      CostObservation observation;
+      observation.events = config.stats.events_popped;
+      observation.probes =
+          config.stats.pairs_pruned + config.stats.pairs_scored;
+      observation.scored = config.stats.pairs_scored;
+      observation.mean_tokens = config.average_tokens;
+      observation.seconds =
+          std::max(0.0, config.seconds - config.view_seconds);
+      options.calibrator->Record(observation);
+    }
+  }
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;
 }

@@ -15,6 +15,8 @@
 
 namespace mc {
 
+class CostModelCalibrator;
+
 /// How RunJointTopKJoins schedules the per-config joins.
 enum class JointScheduler {
   /// Two-level scheduler (the default): configs are scheduled
@@ -65,6 +67,26 @@ struct JointOptions {
   /// config (ablation switch; per-config output is bit-identical either
   /// way).
   bool planner_hybrid = true;
+  /// Allow promoting a hybrid plan to the threshold-join driver
+  /// (JoinExecMode::kThreshold; ablation switch, bit-identical output).
+  bool planner_threshold = true;
+  /// Skip planning entirely and execute this plan (the service's
+  /// cross-session plan cache). Only consulted when q == 0 under
+  /// QSelection::kPlanner; the plan must have been produced by
+  /// PlanTopKJoin on an identical corpus generation and config signature —
+  /// the caller owns that invariant (SessionManager keys its cache by it).
+  /// The executed output is bit-identical to planning fresh because the
+  /// planner is deterministic for a fixed (seed, generation, weights) and
+  /// every plan executes to the same canonical lists. Not owned; must
+  /// outlive the call.
+  const JoinPlan* cached_plan = nullptr;
+  /// Online cost-model calibration (ssj/cost_calibrator.h): when set, the
+  /// planner prices candidate plans with the calibrator's current weight
+  /// fit, and every completed config reports its observed operation counts
+  /// and join wall time back after the run. Null (the default) keeps the
+  /// shipped constant weights — existing callers and tests are unaffected.
+  /// Not owned; must outlive the call.
+  CostModelCalibrator* calibrator = nullptr;
   /// Worker threads ("one config per core"); 0 = hardware concurrency.
   size_t num_threads = 0;
   /// Scheduling strategy; see JointScheduler.
@@ -129,6 +151,10 @@ struct ConfigJoinResult {
   size_t shards_used = 1;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Average tuple length (tokens) of this config's view — the scoring-cost
+  /// length scale the calibrator feeds back (captured before the view is
+  /// released).
+  double average_tokens = 0.0;
   bool seeded_from_parent = false;
   /// False when this config's join was cut short (deadline/cancel) or its
   /// task failed; `topk` then holds the best-so-far list (possibly empty),
@@ -149,6 +175,9 @@ struct ConfigPlanDecision {
   bool hybrid = false;
   /// The prefilter threshold used (< 0 when hybrid is off).
   double prefilter_threshold = -1.0;
+  /// Execution mode the config actually ran (kHybridPrefilter/kThreshold
+  /// only on the root config when the hybrid gate applied).
+  JoinExecMode mode = JoinExecMode::kTopK;
   bool seeded_from_parent = false;
 };
 
@@ -180,6 +209,9 @@ struct JointResult {
   /// QSelection::kPlanner); default-constructed otherwise.
   JoinPlan plan;
   bool planner_used = false;
+  /// True when `plan` came from JointOptions::cached_plan instead of a
+  /// fresh PlanTopKJoin run (the service's plan-cache hit path).
+  bool plan_from_cache = false;
   /// Per-config resolved plan decisions, in config-tree node order.
   std::vector<ConfigPlanDecision> plan_decisions;
   /// Whether the overlap cache was active (average length reached t).

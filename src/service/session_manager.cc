@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "core/session_io.h"
 #include "mem/arena_stats.h"
+#include "ssj/cost_calibrator.h"
 #include "table/tokenized_table.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -32,6 +35,60 @@ std::string CheckpointPath(const std::string& dir, uint64_t id) {
 // rebuilding from scratch instead. Content equality with a rebuild holds on
 // either path.
 constexpr double kDeadTokenCompactionThreshold = 0.5;
+
+uint64_t MixFnv(uint64_t hash, uint64_t value) {
+  for (size_t i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t MixFnvDouble(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return MixFnv(hash, bits);
+}
+
+// FNV-1a over the plan-affecting session options. Two sessions with equal
+// signatures on the same plane generation compute byte-identical plans
+// (PlanTopKJoin is deterministic for a fixed seed on a fixed corpus
+// generation), so a memoized plan can stand in for a fresh run. Calibrated
+// cost weights are deliberately excluded: a cached plan pins the decision
+// made at insert time, and recalibration only steers future fresh plans —
+// keying on live weights would make hits vanish as the fit drifts.
+uint64_t PlanCacheSignature(const MatchCatcherOptions& options) {
+  const JointOptions& joint = options.joint;
+  uint64_t hash = 1469598103934665603ull;
+  hash = MixFnv(hash, joint.k);
+  hash = MixFnv(hash, static_cast<uint64_t>(joint.measure));
+  hash = MixFnv(hash, joint.planner_seed != 0 ? joint.planner_seed
+                                              : PlannerSeedFromEnv());
+  hash = MixFnv(hash, joint.planner_hybrid ? 1 : 0);
+  hash = MixFnv(hash, joint.planner_threshold ? 1 : 0);
+  hash = MixFnv(hash, joint.num_threads);
+  hash = MixFnv(hash, joint.shards_per_config);
+  hash = MixFnv(hash, static_cast<uint64_t>(joint.scheduler));
+  // Config generation picks the attributes, and with them the root view the
+  // plan prices — its knobs (and type inference, and the text data path)
+  // are part of what makes two plans interchangeable.
+  const ConfigGeneratorOptions& config = options.config;
+  hash = MixFnvDouble(hash, config.categorical_value_jaccard_threshold);
+  hash = MixFnvDouble(hash, config.delta);
+  hash = MixFnv(hash, config.handle_long_attributes ? 1 : 0);
+  hash = MixFnv(hash, config.max_attributes);
+  hash = MixFnv(hash, options.infer_types ? 1 : 0);
+  hash = MixFnv(hash, static_cast<uint64_t>(options.text_plane));
+  return hash;
+}
+
+// MC_PLANNER_CALIBRATE=0 disables the online cost-model feedback loop (the
+// ablation knob); anything else, including unset, leaves it on.
+bool CalibrationEnabled() {
+  const char* env = std::getenv("MC_PLANNER_CALIBRATE");
+  return env == nullptr || std::string_view(env) != "0";
+}
 
 }  // namespace
 
@@ -71,6 +128,7 @@ SessionManager::SessionManager(const ServiceLimits& limits)
     : limits_(limits),
       budget_(limits.memory_limit_bytes),
       retry_seeds_(limits.seed),
+      calibrate_(CalibrationEnabled()),
       root_context_(RunContext::Cancellable()) {
   MC_CHECK_GE(limits_.max_concurrent_sessions, 1u);
   if (!limits_.checkpoint_dir.empty()) {
@@ -119,9 +177,12 @@ Status SessionManager::RegisterTablePair(const std::string& key,
     return Status::InvalidArgument("table pair key must be non-empty");
   }
   auto entry = std::make_shared<PairEntry>();
-  entry->table_a = table_a;
-  entry->table_b = table_b;
-  entry->blocker_output = blocker_output;
+  entry->table_a = std::make_shared<const Table>(table_a);
+  entry->table_b = std::make_shared<const Table>(table_b);
+  entry->blocker_output = std::make_shared<const CandidateSet>(blocker_output);
+  entry->total_rows.store(static_cast<uint64_t>(table_a.num_rows()) +
+                              static_cast<uint64_t>(table_b.num_rows()),
+                          std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   if (shutting_down_) {
     return Status::Unavailable("session manager is shutting down");
@@ -132,8 +193,10 @@ Status SessionManager::RegisterTablePair(const std::string& key,
 
 uint64_t SessionManager::EstimateCost(
     const PairEntry& entry, const MatchCatcherOptions& options) const {
-  const uint64_t rows = static_cast<uint64_t>(entry.table_a.num_rows()) +
-                        static_cast<uint64_t>(entry.table_b.num_rows());
+  // total_rows, not the tables themselves: this runs under the manager
+  // mutex while a delta commit may republish the pair_mutex-guarded table
+  // pointers. Either generation's count is an acceptable estimate.
+  const uint64_t rows = entry.total_rows.load(std::memory_order_relaxed);
   // The config tree of §3.2 holds at most a*(a+1)/2 + 1 nodes for a
   // promising attributes; max_attributes caps a before any data is seen,
   // which makes this a pre-admission upper bound.
@@ -243,8 +306,8 @@ Status SessionManager::ApplyTableDelta(const std::string& key,
     // Every artifact is staged on copies; the entry flips to the new
     // generation only after the whole batch succeeded, so any failure
     // below leaves the prior generation intact and visible.
-    Table staged_a = entry->table_a;
-    Table staged_b = entry->table_b;
+    Table staged_a = *entry->table_a;
+    Table staged_b = *entry->table_b;
     Table& target = delta.side == 0 ? staged_a : staged_b;
     const size_t base_rows = target.num_rows();
     MC_RETURN_IF_ERROR(ApplyDeltaToTable(target, delta));
@@ -254,7 +317,7 @@ Status SessionManager::ApplyTableDelta(const std::string& key,
     // drop it from the untouched side too, then patch — or, past the
     // dead-token compaction threshold, rebuild — and re-attach.
     const std::shared_ptr<const TokenizedTable> old_plane =
-        entry->table_a.text_plane_ref();
+        entry->table_a->text_plane_ref();
     staged_a.DetachTextPlane();
     staged_b.DetachTextPlane();
     std::shared_ptr<const TokenizedTable> new_plane;
@@ -319,7 +382,7 @@ Status SessionManager::ApplyTableDelta(const std::string& key,
         touched.push_back(static_cast<RowId>(rows.base_rows + i));
       }
       JointRepairOptions repair_options;
-      repair_options.exclude = &entry->blocker_output;
+      repair_options.exclude = entry->blocker_output.get();
       repair_options.run_context = root_context_;
       auto repaired =
           std::make_shared<JointListsSnapshot>(*entry->joint_lists);
@@ -336,10 +399,18 @@ Status SessionManager::ApplyTableDelta(const std::string& key,
       entry->superseded.push_back(SupersededPlane{
           entry->generation, old_plane, std::move(entry->corpus)});
     }
-    entry->table_a = std::move(staged_a);
-    entry->table_b = std::move(staged_b);
+    entry->table_a = std::make_shared<const Table>(std::move(staged_a));
+    entry->table_b = std::make_shared<const Table>(std::move(staged_b));
+    entry->total_rows.store(
+        static_cast<uint64_t>(entry->table_a->num_rows()) +
+            static_cast<uint64_t>(entry->table_b->num_rows()),
+        std::memory_order_relaxed);
     entry->corpus = std::move(new_corpus);
     entry->joint_lists = std::move(new_lists);
+    // Cached plans priced the displaced generation's sampled corpus
+    // statistics; none survives the bump. The next planner-eligible session
+    // re-plans against the patched corpus and repopulates the cache.
+    entry->plan_cache.clear();
     ++entry->generation;
     return Status::Ok();
   }();
@@ -436,29 +507,42 @@ void SessionManager::RunSession(uint64_t id) {
 
   // Pair setup, single-flight under the pair's lock: the first session on
   // the pair tokenizes and attaches the shared plane; everyone snapshots
-  // table copies (which inherit the attached plane) and the cached corpus.
-  Table table_a;
-  Table table_b;
-  CandidateSet blocker_output;
+  // shared-table references (which carry the attached plane) and the
+  // cached corpus — zero table copies per session.
+  std::shared_ptr<const Table> table_a;
+  std::shared_ptr<const Table> table_b;
+  std::shared_ptr<const CandidateSet> blocker_output;
   std::shared_ptr<const SsjCorpus> shared_corpus;
   std::vector<size_t> shared_corpus_columns;
   bool built_plane = false;
   uint64_t plane_generation = 0;
+  std::shared_ptr<const JoinPlan> cached_plan;
+  std::shared_ptr<const CachedConfigPick> cached_config;
+  uint64_t plan_signature = 0;
+  const bool plan_cache_eligible =
+      limits_.enable_plan_cache && request.options.joint.q == 0 &&
+      request.options.joint.q_selection == QSelection::kPlanner;
   {
     std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
     if (request.options.text_plane == TextPlane::kTokenized &&
-        AttachedTextPlane(entry->table_a) == nullptr &&
+        AttachedTextPlane(*entry->table_a) == nullptr &&
         !context.Cancelled()) {
       // Built under the root context, not the session's: the plane outlives
       // this session, so one session's deadline must not truncate it. A
       // truncated build (shutdown mid-flight, budget refusal) is simply not
       // attached; this and later sessions fall back to the legacy path.
+      // Staged on copies and republished (one-time cost per pair): the
+      // entry's tables are shared with live sessions and must never mutate
+      // in place.
       TextPlaneBuildOptions plane_options;
       plane_options.num_threads = request.options.joint.num_threads;
       plane_options.run_context = root_context_;
       plane_options.memory_budget = &budget_;
-      TokenizedTable::BuildAndAttach(entry->table_a, entry->table_b,
-                                     plane_options);
+      Table staged_a = *entry->table_a;
+      Table staged_b = *entry->table_b;
+      TokenizedTable::BuildAndAttach(staged_a, staged_b, plane_options);
+      entry->table_a = std::make_shared<const Table>(std::move(staged_a));
+      entry->table_b = std::make_shared<const Table>(std::move(staged_b));
       built_plane = true;
     }
     table_a = entry->table_a;
@@ -471,6 +555,26 @@ void SessionManager::RunSession(uint64_t id) {
     // below check it so a stale session never publishes into a patched
     // entry.
     plane_generation = entry->generation;
+    // Plan-cache lookup under the same single-flight lock that pinned the
+    // generation: no delta can commit between this read and the snapshots
+    // above, so a hit is guaranteed to have been planned on exactly the
+    // corpus this session is about to join over. Only planner-eligible
+    // sessions participate (q == 0 under kPlanner — a fixed q has no plan
+    // to memoize).
+    if (plan_cache_eligible) {
+      plan_signature = PlanCacheSignature(request.options);
+      if (MC_FAULT_POINT("service/plan_cache") != FaultKind::kNone) {
+        // A torn cache entry is handled as a miss: drop it and re-plan.
+        // The degradation is cost (one planner run), never output.
+        entry->plan_cache.erase(plan_signature);
+      } else {
+        auto plan_it = entry->plan_cache.find(plan_signature);
+        if (plan_it != entry->plan_cache.end()) {
+          cached_plan = plan_it->second.plan;
+          cached_config = plan_it->second.config;
+        }
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -482,6 +586,13 @@ void SessionManager::RunSession(uint64_t id) {
       }
     }
     if (shared_corpus != nullptr) ++stats_.corpus_cache_hits;
+    if (plan_cache_eligible) {
+      if (cached_plan != nullptr) {
+        ++stats_.plan_cache_hits;
+      } else {
+        ++stats_.plan_cache_misses;
+      }
+    }
   }
 
   MatchCatcherOptions options = request.options;
@@ -506,6 +617,35 @@ void SessionManager::RunSession(uint64_t id) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.corpus_builds;
   };
+  options.cached_plan = cached_plan;
+  options.cached_config = cached_config;
+  if (plan_cache_eligible && cached_plan == nullptr) {
+    // Mirror of corpus_sink: publish the freshly computed plan first-wins,
+    // and only into the generation this session snapshotted.
+    options.plan_sink = [this, entry, plane_generation,
+                         plan_signature](const JoinPlan& plan) {
+      std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
+      if (entry->generation != plane_generation) return;  // Stale session.
+      auto& slot = entry->plan_cache[plan_signature].plan;
+      if (slot == nullptr) slot = std::make_shared<const JoinPlan>(plan);
+    };
+  }
+  if (plan_cache_eligible && cached_config == nullptr) {
+    // The config half of the memoized session plan, same first-wins and
+    // generation guard. Published separately from the plan (selection
+    // finishes before the joint phase), so a session truncated in between
+    // still leaves the pick for the next session to re-plan over.
+    options.config_sink = [this, entry, plane_generation,
+                           plan_signature](const CachedConfigPick& pick) {
+      std::lock_guard<std::mutex> pair_lock(entry->pair_mutex);
+      if (entry->generation != plane_generation) return;  // Stale session.
+      auto& slot = entry->plan_cache[plan_signature].config;
+      if (slot == nullptr) slot = std::make_shared<const CachedConfigPick>(pick);
+    };
+  }
+  if (calibrate_) {
+    options.joint.calibrator = &CostModelCalibrator::Process();
+  }
   if (request.options.joint.q >= 1) {
     // Cache repairable top-k state, first qualifying session wins. Gated on
     // a caller-fixed q: under joint.q == 0 the executor races q against the
@@ -538,7 +678,7 @@ void SessionManager::RunSession(uint64_t id) {
           return Status::Unavailable("injected fault: service/build");
         }
         Result<DebugSession> result =
-            DebugSession::Create(table_a, table_b, blocker_output, options);
+            DebugSession::Create(table_a, table_b, *blocker_output, options);
         if (!result.ok()) return result.status();
         session.emplace(std::move(result).value());
         return Status::Ok();
@@ -567,10 +707,12 @@ void SessionManager::RunSession(uint64_t id) {
   const JointResult& joint = session->joint_result();
   outcome.planner_used = joint.planner_used;
   outcome.plan = joint.plan;
+  outcome.plan_cache_hit = joint.plan_from_cache;
   outcome.plan_decisions = joint.plan_decisions;
   if (joint.planner_used) {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.plans_computed;
+    // A cache hit skipped the probes, so it is not a computed plan.
+    if (!joint.plan_from_cache) ++stats_.plans_computed;
     if (joint.plan.hybrid) ++stats_.hybrid_plans;
     for (const ConfigJoinResult& config : joint.per_config) {
       stats_.hybrid_restarts += config.stats.prefilter_restarts;
@@ -725,11 +867,26 @@ size_t SessionManager::EvictSharedPlanesLocked(size_t max_evictions) {
     std::unique_lock<std::mutex> pair_lock(entry->pair_mutex,
                                            std::try_to_lock);
     if (!pair_lock.owns_lock()) continue;
-    const bool had_plane = AttachedTextPlane(entry->table_a) != nullptr;
+    const bool had_plane = AttachedTextPlane(*entry->table_a) != nullptr;
     const bool had_corpus = entry->corpus != nullptr;
-    if (!had_plane && !had_corpus) continue;
-    entry->table_a.DetachTextPlane();
-    entry->table_b.DetachTextPlane();
+    if (!had_plane && !had_corpus && entry->plan_cache.empty()) continue;
+    // Cached plans priced this generation's sampled corpus statistics;
+    // they are reclaimed with the cache they rode on.
+    stats_.plans_evicted += entry->plan_cache.size();
+    entry->plan_cache.clear();
+    if (!had_plane && !had_corpus) continue;  // Plans-only reclaim.
+    if (had_plane) {
+      // The tables are shared with sessions, so the plane is dropped by
+      // republishing plane-free staged copies — a transient table copy,
+      // after which the entry stops pinning the plane and the old table
+      // objects free as their last session completes.
+      Table stripped_a = *entry->table_a;
+      Table stripped_b = *entry->table_b;
+      stripped_a.DetachTextPlane();
+      stripped_b.DetachTextPlane();
+      entry->table_a = std::make_shared<const Table>(std::move(stripped_a));
+      entry->table_b = std::make_shared<const Table>(std::move(stripped_b));
+    }
     entry->corpus.reset();
     entry->corpus_columns.clear();
     // Without a corpus the snapshot can no longer be repaired by a delta;

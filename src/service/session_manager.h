@@ -1,6 +1,7 @@
 #ifndef MATCHCATCHER_SERVICE_SESSION_MANAGER_H_
 #define MATCHCATCHER_SERVICE_SESSION_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -60,6 +61,13 @@ struct ServiceLimits {
   RetryPolicy retry;
   /// Seed for the retry jitter streams (each session forks its own).
   uint64_t seed = 42;
+  /// Cache joint execution plans across sessions on the same pair, keyed by
+  /// (plane generation, plan-affecting option signature). A hit skips the
+  /// planner's sampling probes entirely; output stays bit-identical because
+  /// the planner is deterministic for a fixed (seed, generation) — serving
+  /// the memoized plan is indistinguishable from re-running it. Off =
+  /// every session plans fresh (`mcserve --no-plan-cache` ablation).
+  bool enable_plan_cache = true;
 };
 
 /// Session lifecycle (docs/robustness.md has the transition diagram):
@@ -120,6 +128,10 @@ struct SessionOutcome {
   /// generation; plan.stats_generation records which one the plan used).
   JoinPlan plan;
   bool planner_used = false;
+  /// The joint phase executed a plan served from the pair's cross-session
+  /// plan cache instead of running the sampling probes (bit-identical
+  /// lists either way; this only records where the plan came from).
+  bool plan_cache_hit = false;
   /// Per-config resolved plan decisions of the joint phase, in config-tree
   /// node order (`tools/mcserve --explain-plans` prints these).
   std::vector<ConfigPlanDecision> plan_decisions;
@@ -155,6 +167,12 @@ struct ServiceStats {
   size_t memory_rejected_charges = 0;
   size_t memory_release_violations = 0;  // Over-releases clamped at zero.
   size_t plans_computed = 0;  // Joint phases that ran the cost planner.
+  size_t plan_cache_hits = 0;    // Sessions served a memoized joint plan.
+  size_t plan_cache_misses = 0;  // Planner-eligible sessions that planned
+                                 // fresh (cold pair, new generation, new
+                                 // option signature, or injected fault).
+  size_t plans_evicted = 0;  // Cached plans reclaimed by LRU plane eviction
+                             // (delta invalidations are not counted here).
   /// Topology placement degradations observed process-wide (arena NUMA
   /// binds or thread pins that fell back to plain placement — mbind/
   /// pthread_setaffinity unavailable, fake MC_TOPOLOGY, huge-page advisory
@@ -312,9 +330,22 @@ class SessionManager {
   };
 
   struct PairEntry {
-    Table table_a;
-    Table table_b;
-    CandidateSet blocker_output;
+    /// Immutable and shared: sessions snapshot these pointers under
+    /// pair_mutex instead of copying the tables (zero-copy session start).
+    /// Every mutation — the one-time plane attach, a committed delta, a
+    /// plane eviction — stages new Table objects and republishes the
+    /// pointers, so in-flight sessions keep reading the generation they
+    /// pinned. Guarded by pair_mutex (reads and republishes alike);
+    /// admission-time cost estimation reads total_rows below instead so it
+    /// never touches these under the manager mutex.
+    std::shared_ptr<const Table> table_a;
+    std::shared_ptr<const Table> table_b;
+    std::shared_ptr<const CandidateSet> blocker_output;
+    /// Sum of both tables' row counts, set at registration and refreshed on
+    /// each committed delta. EstimateCost reads it at admission time under
+    /// the manager mutex, where dereferencing the pair_mutex-guarded table
+    /// pointers would race with a concurrent republish.
+    std::atomic<uint64_t> total_rows{0};
     /// Published by the first session's corpus_sink; later sessions join
     /// over it directly.
     std::shared_ptr<const SsjCorpus> corpus;
@@ -323,6 +354,23 @@ class SessionManager {
     /// session's joint_sink, repaired in place by every committed delta.
     /// Guarded by pair_mutex, like corpus.
     std::shared_ptr<const JointListsSnapshot> joint_lists;
+    /// One memoized session plan: the joint execution plan plus the config
+    /// pick (promising attributes + tree) it was planned over. The two
+    /// halves publish independently (config before the joint phase, plan
+    /// after it), so a session that dies between them leaves a config-only
+    /// entry — a later session reuses the pick and re-plans.
+    struct CachedSessionPlan {
+      std::shared_ptr<const JoinPlan> plan;
+      std::shared_ptr<const CachedConfigPick> config;
+    };
+    /// Cross-session plan cache: memoized session plans published by the
+    /// first planner-eligible session per option signature, served to every
+    /// later session with the same signature on the same generation.
+    /// Invalidated wholesale by each committed delta (the plan's sampled
+    /// corpus statistics and the pick's e-scores die with the generation)
+    /// and reclaimed by LRU plane eviction. Guarded by pair_mutex, like
+    /// corpus.
+    std::unordered_map<uint64_t, CachedSessionPlan> plan_cache;
     /// Monotone plane generation; ApplyTableDelta bumps it on commit.
     /// Guarded by pair_mutex.
     uint64_t generation = 1;
@@ -378,6 +426,10 @@ class SessionManager {
   size_t live_count_ = 0;  // Sessions in a non-terminal state.
   double avg_session_seconds_ = 0.0;  // EMA; feeds the retry-after hint.
   Rng retry_seeds_;  // Forked per retry site, under mutex_.
+  /// MC_PLANNER_CALIBRATE read once at construction: when true, every
+  /// session's joint phase prices plans with — and reports observations
+  /// back into — the process-wide CostModelCalibrator.
+  const bool calibrate_;
   ServiceStats stats_;
   bool shutting_down_ = false;
 

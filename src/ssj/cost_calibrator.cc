@@ -1,0 +1,155 @@
+#include "ssj/cost_calibrator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mc {
+
+namespace {
+
+// Sliding observation window. Bounded so a long-lived service refits from
+// recent workload shape, not its entire history; large enough that one
+// refit period never evicts the observations it is about to fit.
+constexpr size_t kMaxWindow = 1024;
+
+// Ridge strength, relative to each feature's own scale (the regularizer is
+// lambda * diag(X^T X), so the bias toward the defaults is unit-free).
+constexpr double kRidge = 1e-2;
+
+// Accepted fits must stay within this factor of the default weights in
+// either direction. A feature matrix built from near-identical joins is
+// rank-deficient; the ridge keeps the solve finite but the solution
+// meaningless, and the clamp-reject keeps such fits from steering plans.
+constexpr double kMaxDrift = 16.0;
+
+}  // namespace
+
+CostModelCalibrator& CostModelCalibrator::Process() {
+  static CostModelCalibrator* instance = new CostModelCalibrator();
+  return *instance;
+}
+
+void CostModelCalibrator::Record(const CostObservation& observation) {
+  if (observation.events == 0 || !(observation.seconds > 0.0)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_.size() >= kMaxWindow) {
+    window_.erase(window_.begin());
+  }
+  window_.push_back(observation);
+  ++observations_;
+  if (observations_ % kRefitPeriod == 0) RefitLocked();
+}
+
+CostWeights CostModelCalibrator::weights() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return weights_;
+}
+
+size_t CostModelCalibrator::observations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observations_;
+}
+
+size_t CostModelCalibrator::refits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return refits_;
+}
+
+void CostModelCalibrator::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_.clear();
+  weights_ = CostWeights{};
+  observations_ = 0;
+  refits_ = 0;
+}
+
+void CostModelCalibrator::RefitLocked() {
+  // Features per observation, in the cost model's own terms:
+  //   x = (events, probes, scored, scored * mean_tokens),  y = seconds.
+  // Solve (X^T X + lambda D) w = X^T y + lambda D w0, where D is the
+  // diagonal of X^T X (scale-free ridge) and w0 the default weights scaled
+  // by the best scalar fit of the default model to the data — so with weak
+  // evidence the fit collapses to "the defaults, in this machine's
+  // seconds-per-op unit" instead of to zero. Accumulation order is the
+  // window's arrival order and the elimination pivots are fixed, so the
+  // solve is bit-deterministic for a given observation sequence.
+  const CostWeights defaults;
+  std::array<std::array<double, 4>, 4> xtx{};
+  std::array<double, 4> xty{};
+  double default_num = 0.0;
+  double default_den = 0.0;
+  for (const CostObservation& o : window_) {
+    const std::array<double, 4> x = {
+        static_cast<double>(o.events), static_cast<double>(o.probes),
+        static_cast<double>(o.scored),
+        static_cast<double>(o.scored) * o.mean_tokens};
+    for (size_t i = 0; i < 4; ++i) {
+      for (size_t j = 0; j < 4; ++j) xtx[i][j] += x[i] * x[j];
+      xty[i] += x[i] * o.seconds;
+    }
+    const double predicted = x[0] * defaults.event + x[1] * defaults.probe +
+                             x[2] * defaults.score_base +
+                             x[3] * defaults.score_token;
+    default_num += predicted * o.seconds;
+    default_den += predicted * predicted;
+  }
+  if (!(default_den > 0.0)) return;
+  const double unit = default_num / default_den;  // seconds per abstract op.
+  if (!(unit > 0.0) || !std::isfinite(unit)) return;
+  const std::array<double, 4> prior = {
+      defaults.event * unit, defaults.probe * unit, defaults.score_base * unit,
+      defaults.score_token * unit};
+  std::array<std::array<double, 5>, 4> m{};
+  for (size_t i = 0; i < 4; ++i) {
+    const double ridge = kRidge * std::max(xtx[i][i], 1e-30);
+    for (size_t j = 0; j < 4; ++j) m[i][j] = xtx[i][j];
+    m[i][i] += ridge;
+    m[i][4] = xty[i] + ridge * prior[i];
+  }
+  // Gaussian elimination with partial pivoting (deterministic: pivot choice
+  // depends only on the accumulated values).
+  for (size_t col = 0; col < 4; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < 4; ++row) {
+      if (std::abs(m[row][col]) > std::abs(m[pivot][col])) pivot = row;
+    }
+    if (std::abs(m[pivot][col]) < 1e-30) return;
+    std::swap(m[col], m[pivot]);
+    for (size_t row = col + 1; row < 4; ++row) {
+      const double factor = m[row][col] / m[col][col];
+      for (size_t j = col; j < 5; ++j) m[row][j] -= factor * m[col][j];
+    }
+  }
+  std::array<double, 4> solution{};
+  for (size_t i = 4; i-- > 0;) {
+    double value = m[i][4];
+    for (size_t j = i + 1; j < 4; ++j) value -= m[i][j] * solution[j];
+    solution[i] = value / m[i][i];
+  }
+  // Rescale so the event weight stays pinned at 1.0, then reject degenerate
+  // fits: every component must be finite, positive, and within kMaxDrift of
+  // its default.
+  if (!(solution[0] > 0.0) || !std::isfinite(solution[0])) return;
+  CostWeights fitted;
+  fitted.event = 1.0;
+  fitted.probe = solution[1] / solution[0];
+  fitted.score_base = solution[2] / solution[0];
+  fitted.score_token = solution[3] / solution[0];
+  const std::array<std::array<double, 2>, 4> bounds = {{
+      {fitted.event, defaults.event},
+      {fitted.probe, defaults.probe},
+      {fitted.score_base, defaults.score_base},
+      {fitted.score_token, defaults.score_token},
+  }};
+  for (const auto& [value, reference] : bounds) {
+    if (!std::isfinite(value) || value <= 0.0 ||
+        value < reference / kMaxDrift || value > reference * kMaxDrift) {
+      return;
+    }
+  }
+  weights_ = fitted;
+  ++refits_;
+}
+
+}  // namespace mc

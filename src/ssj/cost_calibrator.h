@@ -1,0 +1,88 @@
+#ifndef MATCHCATCHER_SSJ_COST_CALIBRATOR_H_
+#define MATCHCATCHER_SSJ_COST_CALIBRATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "ssj/join_planner.h"
+
+namespace mc {
+
+/// One executed join's observed effort: the engine's operation counters
+/// (the same quantities the cost model prices) plus the measured wall time.
+/// The joint executor reports one observation per completed config node.
+struct CostObservation {
+  uint64_t events = 0;
+  uint64_t probes = 0;  // pruned + scored: every probe pays the bound check.
+  uint64_t scored = 0;
+  /// Mean token-span length of the joined view (the scoring-merge length
+  /// scale, matching the planner's mean_len term).
+  double mean_tokens = 0.0;
+  /// Observed wall time of the join, in seconds.
+  double seconds = 0.0;
+};
+
+/// Online cost-model calibration: refits the planner's per-operation
+/// weights (CostWeights) from observed executions, so plan quality improves
+/// as the process runs. The fit is a ridge-regularized least squares of
+/// observed seconds against the four operation-count features
+/// (events, probes, scored, scored x mean_tokens), biased toward the
+/// shipped default weights and rescaled so the event weight stays pinned at
+/// 1.0 (the model only needs to *rank* plans; it is scale-free).
+///
+/// Deterministic given the same observation sequence: observations
+/// accumulate in arrival order into fixed-order normal equations solved by
+/// Gaussian elimination — no wall-clock, no RNG — so two processes fed the
+/// same joins in the same order hold the same weights after every Record.
+/// (Wall times differ across machines, so *cross-machine* weights differ;
+/// within a test, feeding synthetic observations makes the fit exactly
+/// reproducible.) Refits run every kRefitPeriod observations; between
+/// refits weights() returns the last accepted fit. Degenerate fits —
+/// non-finite, non-positive, or wildly off the defaults (ill-conditioned
+/// feature matrices happen when every observed join has the same shape) —
+/// are rejected and the previous weights kept.
+///
+/// Thread-safe; the service shares one instance per process (Process())
+/// unless MC_PLANNER_CALIBRATE=0 disables the feedback loop (the ablation:
+/// planning then uses the default weights forever).
+class CostModelCalibrator {
+ public:
+  CostModelCalibrator() = default;
+
+  /// The per-process shared instance the service feeds and reads.
+  static CostModelCalibrator& Process();
+
+  /// Folds one executed join into the model; refits every kRefitPeriod
+  /// observations. Observations with zero events or non-positive wall time
+  /// carry no signal and are dropped.
+  void Record(const CostObservation& observation);
+
+  /// Current weight vector (the defaults until the first accepted refit).
+  CostWeights weights() const;
+
+  /// Observations accepted so far / refits that produced an accepted fit.
+  size_t observations() const;
+  size_t refits() const;
+
+  /// Drops all state back to the defaults. Tests use this to isolate
+  /// observation sequences; the service never resets.
+  void Reset();
+
+  /// Refit cadence, exposed for tests.
+  static constexpr size_t kRefitPeriod = 16;
+
+ private:
+  void RefitLocked();
+
+  mutable std::mutex mutex_;
+  std::vector<CostObservation> window_;
+  CostWeights weights_;
+  size_t observations_ = 0;
+  size_t refits_ = 0;
+};
+
+}  // namespace mc
+
+#endif  // MATCHCATCHER_SSJ_COST_CALIBRATOR_H_

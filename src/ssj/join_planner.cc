@@ -25,16 +25,21 @@ constexpr uint64_t kDefaultPlannerSeed = 0x9E3779B97F4A7C15ull;
 // with the rate.
 constexpr size_t kTargetSampleRows = 256;
 
-// Cost-model weights, in abstract operation units. These need only rank
-// plans correctly, not predict wall time: an event is a heap pop plus an
-// index append; a probe pays the positional bound and (often) a short
-// prefix merge; a scored pair pays a full-span merge whose length scales
-// with the mean tuple length. Fixed constants keep the argmin — and hence
-// the plan — deterministic, unlike the wall-clock race they replace.
-constexpr double kEventCost = 1.0;
-constexpr double kProbeCost = 0.5;
-constexpr double kScoreBaseCost = 4.0;
-constexpr double kScoreTokenCost = 0.25;
+// Cost-model weights live in CostWeights (join_planner.h): an event is a
+// heap pop plus an index append; a probe pays the positional bound and
+// (often) a short prefix merge; a scored pair pays a full-span merge whose
+// length scales with the mean tuple length. The weights need only rank
+// plans correctly, not predict wall time; for a fixed weight vector the
+// argmin — and hence the plan — stays deterministic, unlike the wall-clock
+// race it replaced.
+
+// Threshold-driver promotion cap: a hybrid-eligible plan runs the heap-free
+// threshold driver only when at most this fraction of both tables' tokens
+// survives prefix truncation at the sampled threshold. Above it the
+// truncation strips too little for the up-front index build to beat the
+// heap-driven prefilter pass, which shares the bound but keeps lazy
+// extension scheduling.
+constexpr double kMaxThresholdPrefixFraction = 0.75;
 
 // A candidate q must be reachable by at least this fraction of table-A
 // rows (CorpusPlannerStats::q_coverage_a); a q beyond most rows' length
@@ -137,15 +142,26 @@ JoinPlan PlanTopKJoin(const SsjCorpus& corpus, const ConfigView& view,
                                            &probe_stats[q - 1], b_offset,
                                            b_rate));
     if (probe_stats[q - 1].truncated) plan.truncated = true;
-    const TopKJoinStats& s = probe_stats[q - 1];
+  }
+  // The q ladder is priced with the PINNED default weights, never the
+  // calibrated fit: q is the one plan knob that changes which pairs are
+  // eligible at all (a pair sharing fewer than q tokens is invisible to
+  // the q-overlap index), so a fit drifting with observed wall times must
+  // never flip it — plans, and with them the joined lists, stay
+  // bit-identical across calibration states. The calibrated weights steer
+  // the output-neutral decisions below (shard decomposition).
+  const CostWeights pinned;
+  auto modeled_cost = [&](const TopKJoinStats& s, const CostWeights& w) {
     const double events = static_cast<double>(s.events_popped);
     const double probes =
         static_cast<double>(s.pairs_pruned + s.pairs_scored);
     const double scored = static_cast<double>(s.pairs_scored);
-    plan.cost_per_q[q - 1] =
-        scale * events * kEventCost +
-        pair_scale * (probes * kProbeCost +
-                      scored * (kScoreBaseCost + kScoreTokenCost * mean_len));
+    return scale * events * w.event +
+           pair_scale * (probes * w.probe +
+                         scored * (w.score_base + w.score_token * mean_len));
+  };
+  for (size_t q = 1; q <= max_q; ++q) {
+    plan.cost_per_q[q - 1] = modeled_cost(probe_stats[q - 1], pinned);
   }
   if (plan.truncated) {
     // Deadline hit mid-sample: mirror the race's all-truncated fallback
@@ -169,14 +185,28 @@ JoinPlan PlanTopKJoin(const SsjCorpus& corpus, const ConfigView& view,
   // Shard hint from the extrapolated event volume. Sharding splits only the
   // table-A event stream (each shard re-walks table B), so shards beyond
   // what the events fill — or beyond the machine — only add overhead.
+  // This is where the calibrated weights bite: the fit rescales the modeled
+  // cost of the chosen q relative to the pinned defaults, and a join whose
+  // probes/scores got relatively costlier fills a shard with fewer events.
+  // Safe by construction — the shard merge is canonical at every count, so
+  // calibration moves wall time, never bytes; with default weights the
+  // ratio is exactly 1 and the hint matches the uncalibrated planner.
   const size_t max_shards =
       options.max_shards != 0
           ? options.max_shards
           : std::max<size_t>(1, std::thread::hardware_concurrency());
+  const double pinned_cost = plan.cost_per_q[best_q - 1];
+  const double calibrated_cost =
+      modeled_cost(probe_stats[best_q - 1], options.weights);
+  const double cost_scale =
+      pinned_cost > 0.0
+          ? std::clamp(calibrated_cost / pinned_cost, 1.0 / 16.0, 16.0)
+          : 1.0;
   plan.shards = std::max<size_t>(
-      1, std::min<size_t>(max_shards,
-                          static_cast<size_t>(plan.est_events /
-                                              kMinEventsPerShard)));
+      1, std::min<size_t>(
+             max_shards,
+             static_cast<size_t>(static_cast<double>(plan.est_events) *
+                                 cost_scale / kMinEventsPerShard)));
   // On multi-node machines the two-level executor folds the shards into one
   // A-row window per NUMA node; rounding the hint up to a node multiple
   // keeps those per-node groups equal-sized (no node finishing early and
@@ -225,11 +255,51 @@ JoinPlan PlanTopKJoin(const SsjCorpus& corpus, const ConfigView& view,
           plan.hybrid = true;
           plan.prefilter_threshold =
               std::min(plan.sampled_kth, plan.half_sample_kth);
+          plan.mode = JoinExecMode::kHybridPrefilter;
+          // Threshold-driver promotion: estimate how much of both tables'
+          // token mass the fixed bound strips. The truncated prefix length
+          // is a pure function of (measure, length, q, threshold), so the
+          // fraction — and hence the mode — is deterministic for a fixed
+          // plan.
+          size_t kept = 0;
+          size_t total = 0;
+          for (size_t row = 0; row < view.rows_a(); ++row) {
+            const size_t len = view.a(row).size();
+            kept += ThresholdPrefixLength(options.measure, len, best_q,
+                                          plan.prefilter_threshold);
+            total += len;
+          }
+          for (size_t row = 0; row < view.rows_b(); ++row) {
+            const size_t len = view.b(row).size();
+            kept += ThresholdPrefixLength(options.measure, len, best_q,
+                                          plan.prefilter_threshold);
+            total += len;
+          }
+          plan.threshold_prefix_fraction =
+              total == 0 ? 1.0
+                         : static_cast<double>(kept) /
+                               static_cast<double>(total);
+          if (options.enable_threshold &&
+              plan.threshold_prefix_fraction <= kMaxThresholdPrefixFraction) {
+            plan.mode = JoinExecMode::kThreshold;
+          }
         }
       }
     }
   }
   return plan;
+}
+
+const char* JoinExecModeName(JoinExecMode mode) {
+  switch (mode) {
+    case JoinExecMode::kTopK:
+      return "topk";
+    case JoinExecMode::kHybridPrefilter:
+      return "hybrid";
+    case JoinExecMode::kThreshold:
+      return "threshold";
+  }
+  return "unknown";
 }
 
 }  // namespace mc

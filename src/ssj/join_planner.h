@@ -12,6 +12,42 @@
 
 namespace mc {
 
+/// How a planned join executes. Every mode returns a bit-identical list —
+/// the mode moves work, never results (TopKJoinOptions::prefilter_threshold
+/// and RunThresholdJoin contracts).
+enum class JoinExecMode {
+  /// Classic prefix-event top-k engine (RunTopKJoin, no prefilter).
+  kTopK,
+  /// Classic engine with every pruning bound tightened to
+  /// max(k-th, sampled threshold); restarts if the threshold overshot.
+  kHybridPrefilter,
+  /// Heap-free threshold-join driver (RunThresholdJoin): prefixes truncated
+  /// at the sampled threshold up front, required-overlap bounds fixed for
+  /// the whole pass; restarts into the classic engine if the threshold
+  /// overshot.
+  kThreshold,
+};
+
+/// Short stable name for a JoinExecMode ("topk", "hybrid", "threshold") —
+/// used by --explain-plans and the bench records.
+const char* JoinExecModeName(JoinExecMode mode);
+
+/// Per-operation weights of the planner's cost model, in abstract units.
+/// The defaults are the hand-tuned constants the planner shipped with; the
+/// online calibrator (ssj/cost_calibrator.h) refits them from observed
+/// executions. They need only rank plans correctly, not predict wall time,
+/// and the event weight is pinned to 1.0 (the model is scale-free).
+struct CostWeights {
+  /// Heap pop + index append, per prefix-extension event.
+  double event = 1.0;
+  /// Positional bound + short prefix merge, per probe.
+  double probe = 0.5;
+  /// Fixed part of a full-span scoring merge.
+  double score_base = 4.0;
+  /// Per-token part of a scoring merge (multiplied by the mean length).
+  double score_token = 0.25;
+};
+
 /// Inputs to the cost-based join planner (ShallowBlocker-style: sampled
 /// cost model + hybrid threshold/top-k execution).
 struct PlannerOptions {
@@ -41,6 +77,18 @@ struct PlannerOptions {
   /// JoinPlan::prefilter_threshold < 0 (classic execution); the join output
   /// is identical either way.
   bool enable_hybrid = true;
+  /// Allow promoting a hybrid-eligible plan to the threshold-join driver
+  /// (JoinExecMode::kThreshold) when the truncated-prefix estimate says the
+  /// fixed bound removes enough work. Off caps the plan at
+  /// kHybridPrefilter; the join output is identical either way.
+  bool enable_threshold = true;
+  /// Cost-model weights. Defaults to the hand-tuned constants; the service
+  /// substitutes the online calibrator's current fit (MC_PLANNER_CALIBRATE).
+  /// The fit steers only output-neutral plan knobs (the shard hint): the q
+  /// ladder is always priced with the pinned defaults, because q changes
+  /// which pairs are eligible at all and a fit that drifts with observed
+  /// wall times must never change the joined bytes.
+  CostWeights weights;
   /// Cooperative cancellation for the sampling probes. A cancelled planner
   /// returns the conservative plan (q = 1, one shard, no hybrid) with
   /// JoinPlan::truncated set, mirroring the race's all-truncated fallback.
@@ -66,8 +114,18 @@ struct JoinPlan {
   /// min(sampled_kth, half_sample_kth); an overshoot of the true k-th is
   /// absorbed by the engine's restart path, never the output).
   bool hybrid = false;
+  /// Execution mode the plan selects. kHybridPrefilter and kThreshold imply
+  /// hybrid (a stabilized sampled k-th seeds prefilter_threshold); the
+  /// threshold driver is chosen when the truncated-prefix token fraction
+  /// says the fixed bound strips enough of the event stream to beat the
+  /// heap-driven prefilter pass.
+  JoinExecMode mode = JoinExecMode::kTopK;
 
   // --- evidence / diagnostics ---
+  /// Fraction of both tables' tokens that survive prefix truncation at the
+  /// hybrid threshold (1.0 when no hybrid threshold was seeded) — the
+  /// evidence behind the kThreshold promotion.
+  double threshold_prefix_fraction = 1.0;
   /// Systematic sample rate actually used and the rows it selected.
   size_t sample_rate = 0;
   size_t sample_rows = 0;

@@ -126,8 +126,16 @@ inline double SetSimilarityCap(SetMeasure measure, size_t size_a,
       // overlap <= remaining and union >= |a|.
       return remaining / a;
     case SetMeasure::kCosine:
-      // max over |y| of min(remaining, |y|) / sqrt(a * |y|) at |y|=remaining.
-      return std::sqrt(remaining / a);
+      // max over |y| of min(remaining, |y|) / sqrt(a * |y|), attained at
+      // |y| = remaining. Evaluated as the exact expression
+      // SetSimilarityFromCounts computes for that attaining pair — the
+      // algebraically equal sqrt(remaining / a) can round one ulp *below*
+      // it (e.g. sqrt(3/8) < 3/sqrt(24)), and a cap below an achievable
+      // exact score lets the strict termination bound drop an exact tie,
+      // breaking canonical tie handling. Every other feasible (overlap,
+      // |y|) scores relatively ~1/remaining below this sup, far beyond
+      // rounding error, so the bound stays an upper bound.
+      return remaining / std::sqrt(a * remaining);
     case SetMeasure::kDice:
       // max over |y| of 2 * min(remaining, |y|) / (a + |y|) at |y|=remaining.
       return 2.0 * remaining / (a + remaining);

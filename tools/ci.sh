@@ -90,6 +90,28 @@ for seed in 42 31337 909090909; do
       -R 'PlannerEquivalence|PlannerDeterminism|PlannerStatsDelta|JointPlanner'
 done
 
+# Plan cache + threshold mode: threshold-join execution and cached-plan
+# sessions must stay bit-identical to classic fresh-planned top-k runs, the
+# plan-cache fault point must degrade to re-planning (never wrong output),
+# and the online cost-model calibration must never change the joined bytes
+# (it steers only output-neutral plan knobs). ASan covers the truncated
+# prefix views and cached-plan lifetimes; the seed matrix moves the
+# randomized delta schedules of the invalidation tests. The calibration
+# determinism check runs the suite once with the calibrator disabled — same
+# tests, same outputs, proving MC_PLANNER_CALIBRATE is an ablation of cost,
+# not results.
+echo "==== [plan-cache] threshold/plan-cache suites under ASan ===="
+for seed in 5 17 90210; do
+  echo "---- [plan-cache] asan MC_PLANCACHE_SEED=${seed} ----"
+  MC_PLANCACHE_SEED="${seed}" ctest --test-dir "${build_root}/asan" \
+      --output-on-failure \
+      -R 'ThresholdJoin|ThresholdPrefixLength|PlanCache|CostCalibrator'
+done
+echo "==== [plan-cache] calibration determinism (MC_PLANNER_CALIBRATE=0) ===="
+MC_PLANNER_CALIBRATE=0 ctest --test-dir "${build_root}/release" \
+    --output-on-failure \
+    -R 'ThresholdJoin|PlanCache|CostCalibrator|PlannerEquivalence'
+
 # Topology: placement must move bytes and threads, never results. The mem
 # suite (arena/budget/topology unit tests plus the placement bit-identity
 # matrix) runs under ASan for arena lifetime coverage, and the determinism
@@ -159,9 +181,17 @@ planner_json="${build_root}/release/bench_smoke_planner.json"
 numa_json="${build_root}/release/bench_smoke_numa.json"
 "${build_root}/release/bench/micro_numa" \
     --json="${numa_json}" --engine=ci-smoke --scale=0.05 --reps=1
+# micro_plancache exits 1 unless every cached-plan session is bit-identical
+# to the fresh-planned arm; the validator re-checks the cached-vs-fresh
+# checksum equality on the smoke record and the archive.
+plancache_json="${build_root}/release/bench_smoke_plancache.json"
+"${build_root}/release/bench/micro_plancache" \
+    --json="${plancache_json}" --engine=ci-smoke --scale=0.02 --reps=1 \
+    --sessions=3
 python3 "${repo_root}/tools/validate_bench_json.py" \
     "${bench_json}" "${joint_json}" "${text_json}" "${kernels_json}" \
     "${service_json}" "${delta_json}" "${planner_json}" "${numa_json}" \
+    "${plancache_json}" \
     "${repo_root}/bench/BENCH_ssj.json" \
     "${repo_root}/bench/BENCH_joint.json" \
     "${repo_root}/bench/BENCH_text.json" \
@@ -169,6 +199,7 @@ python3 "${repo_root}/tools/validate_bench_json.py" \
     "${repo_root}/bench/BENCH_service.json" \
     "${repo_root}/bench/BENCH_delta.json" \
     "${repo_root}/bench/BENCH_planner.json" \
-    "${repo_root}/bench/BENCH_numa.json"
+    "${repo_root}/bench/BENCH_numa.json" \
+    "${repo_root}/bench/BENCH_plancache.json"
 
 echo "==== all configurations passed ===="

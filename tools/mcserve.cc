@@ -30,10 +30,17 @@
 //   --delta-seed S     seed for the synthetic delta generator (default 7)
 //   --q N              joint q parameter; 0 runs the cost-based planner
 //                      (default 1: fixed q, planner off)
-//   --explain-plans    print each session's cost-based plan and the
-//                      per-config plan decisions (q, shards, hybrid
-//                      prefilter, parent seeding); implies --q 0 unless
-//                      --q was given explicitly
+//   --explain-plans    print each session's cost-based plan (with its
+//                      execution mode and whether it was served from the
+//                      cross-session plan cache), the per-config plan
+//                      decisions (q, shards, hybrid prefilter, exec mode,
+//                      parent seeding), the service plan-cache hit/miss
+//                      counters, and the live calibrated cost-weight
+//                      vector; implies --q 0 unless --q was given
+//                      explicitly
+//   --no-plan-cache    disable the cross-session plan cache (every
+//                      planner-eligible session re-runs the sampling
+//                      probes; the ablation baseline for the cache)
 //   --topology         print the detected (or MC_TOPOLOGY-forced) NUMA
 //                      topology at startup, and per-node arena bytes plus
 //                      the placement-fallback counter after the run
@@ -57,6 +64,7 @@
 #include "mem/node_local_arena.h"
 #include "mem/topology.h"
 #include "service/session_manager.h"
+#include "ssj/cost_calibrator.h"
 #include "table/csv.h"
 #include "util/fault_injection.h"
 
@@ -82,6 +90,7 @@ struct Args {
   size_t joint_q = 1;
   bool q_set = false;
   bool explain_plans = false;
+  bool plan_cache = true;
   bool topology = false;
 };
 
@@ -91,7 +100,8 @@ int Usage(const char* argv0) {
                "[--concurrency N] [--queue N] [--k N] [--threads N] "
                "[--deadline-ms N] [--memory-limit B] [--checkpoint DIR] "
                "[--chaos-seed S] [--retry-after] [--deltas N] "
-               "[--delta-seed S] [--q N] [--explain-plans] [--topology]\n"
+               "[--delta-seed S] [--q N] [--explain-plans] "
+               "[--no-plan-cache] [--topology]\n"
                "       %s --tables A.csv,B.csv --candidates C.csv [...]\n",
                argv0, argv0);
   return 2;
@@ -146,6 +156,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->q_set = true;
     } else if (arg == "--explain-plans") {
       args->explain_plans = true;
+    } else if (arg == "--no-plan-cache") {
+      args->plan_cache = false;
     } else if (arg == "--topology") {
       args->topology = true;
     } else {
@@ -166,13 +178,16 @@ void PrintPlan(uint64_t id, const mc::SessionOutcome& outcome) {
   }
   const mc::JoinPlan& plan = outcome.plan;
   std::printf(
-      "  plan[%llu]: q=%zu shards=%zu hybrid=%d tau=%.6f sample=%zu rows "
-      "(rate 1/%zu) kth=%.6f half_kth=%.6f stats_gen=%llu seed=%llu%s\n",
+      "  plan[%llu]: q=%zu shards=%zu mode=%s hybrid=%d tau=%.6f "
+      "sample=%zu rows (rate 1/%zu) kth=%.6f half_kth=%.6f stats_gen=%llu "
+      "seed=%llu%s%s\n",
       static_cast<unsigned long long>(id), plan.q, plan.shards,
-      plan.hybrid ? 1 : 0, plan.prefilter_threshold, plan.sample_rows,
-      plan.sample_rate, plan.sampled_kth, plan.half_sample_kth,
+      mc::JoinExecModeName(plan.mode), plan.hybrid ? 1 : 0,
+      plan.prefilter_threshold, plan.sample_rows, plan.sample_rate,
+      plan.sampled_kth, plan.half_sample_kth,
       static_cast<unsigned long long>(plan.stats_generation),
       static_cast<unsigned long long>(plan.seed),
+      outcome.plan_cache_hit ? " (plan cache hit)" : "",
       plan.truncated ? " (truncated: conservative fallback)" : "");
   for (size_t q = 0; q < plan.cost_per_q.size(); ++q) {
     std::printf("    cost[q=%zu]=%.0f%s\n", q + 1, plan.cost_per_q[q],
@@ -180,10 +195,12 @@ void PrintPlan(uint64_t id, const mc::SessionOutcome& outcome) {
   }
   for (const mc::ConfigPlanDecision& decision : outcome.plan_decisions) {
     std::printf(
-        "    config=0x%llx q=%zu shards=%zu hybrid=%d tau=%.6f seeded=%d\n",
+        "    config=0x%llx q=%zu shards=%zu mode=%s hybrid=%d tau=%.6f "
+        "seeded=%d\n",
         static_cast<unsigned long long>(decision.config), decision.q,
-        decision.shards, decision.hybrid ? 1 : 0,
-        decision.prefilter_threshold, decision.seeded_from_parent ? 1 : 0);
+        decision.shards, mc::JoinExecModeName(decision.mode),
+        decision.hybrid ? 1 : 0, decision.prefilter_threshold,
+        decision.seeded_from_parent ? 1 : 0);
   }
 }
 
@@ -322,6 +339,7 @@ int main(int argc, char** argv) {
   limits.memory_limit_bytes = args.memory_limit;
   limits.default_deadline_millis = args.deadline_ms;
   limits.checkpoint_dir = args.checkpoint_dir;
+  limits.enable_plan_cache = args.plan_cache;
   mc::SessionManager manager(limits);
 
   if (!args.checkpoint_dir.empty()) {
@@ -457,7 +475,8 @@ int main(int argc, char** argv) {
       "memory: used=%zu peak=%zu rejected_charges=%zu "
       "release_violations=%zu | restored=%zu "
       "restore_failures=%zu watchdog_cancelled=%zu\n"
-      "planner: plans=%zu hybrid=%zu restarts=%zu\n",
+      "planner: plans=%zu hybrid=%zu restarts=%zu | plan cache "
+      "hits/misses=%zu/%zu evicted=%zu\n",
       stats.submitted, stats.admitted, stats.rejected + rejected,
       stats.completed, stats.truncated, stats.failed, stats.cancelled,
       stats.plane_cache_hits, stats.plane_cache_misses,
@@ -468,7 +487,22 @@ int main(int argc, char** argv) {
       stats.memory_rejected_charges, stats.memory_release_violations,
       stats.sessions_restored, stats.restore_failures,
       stats.watchdog_cancelled, stats.plans_computed, stats.hybrid_plans,
-      stats.hybrid_restarts);
+      stats.hybrid_restarts, stats.plan_cache_hits, stats.plan_cache_misses,
+      stats.plans_evicted);
+  if (args.explain_plans) {
+    // The live calibrated weight vector steers the output-neutral knobs
+    // (shard hint) of every fresh plan above — the q ladder stays priced
+    // with the pinned defaults (unless MC_PLANNER_CALIBRATE=0 froze the
+    // fit at the defaults entirely).
+    const mc::CostModelCalibrator& calibrator =
+        mc::CostModelCalibrator::Process();
+    const mc::CostWeights weights = calibrator.weights();
+    std::printf(
+        "calibration: observations=%zu refits=%zu weights=(event=%.4f "
+        "probe=%.4f score_base=%.4f score_token=%.4f)\n",
+        calibrator.observations(), calibrator.refits(), weights.event,
+        weights.probe, weights.score_base, weights.score_token);
+  }
   if (args.topology) {
     // Snapshot before Shutdown so the shared planes' arenas are still live
     // and show up in the per-node bytes.

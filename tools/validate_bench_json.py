@@ -294,6 +294,41 @@ PLANNER_COMPARISON_FIELDS = {
 }
 
 
+PLANCACHE_WORKLOAD_FIELDS = {
+    "dataset": str,
+    "scale": (int, float),
+    "rows_a": int,
+    "rows_b": int,
+    "k": int,
+    "threads": int,
+    "max_attributes": int,
+    "sessions": int,
+    "repetitions": int,
+}
+
+# micro_plancache arms, in emission order.
+PLANCACHE_ARM_NAMES = ["warm_cached", "warm_fresh_planned"]
+
+PLANCACHE_ARM_FIELDS = {
+    "name": str,
+    "cold_seconds": (int, float),
+    "best_seconds": (int, float),
+    "mean_seconds": (int, float),
+    "sessions_per_sec": (int, float),
+    "plan_cache_hits": int,
+    "plan_cache_misses": int,
+    "plans_computed": int,
+    "topk_checksum": str,
+}
+
+PLANCACHE_COMPARISON_FIELDS = {
+    "speedup": (int, float),
+    "identical_to_fresh": bool,
+    "cached_hit_count": int,
+    "fresh_plans_computed": int,
+}
+
+
 class ValidationError(Exception):
     pass
 
@@ -579,6 +614,53 @@ def validate_planner_record(record, where):
             f"({checksums})")
 
 
+def validate_plancache_record(record, where):
+    """micro_plancache: cached-vs-fresh session arms + bit-identity proof."""
+    check_workload(record.get("workload"), PLANCACHE_WORKLOAD_FIELDS,
+                   f"{where}.workload")
+    workload = record["workload"]
+    require(workload["sessions"] >= 1,
+            f"{where}.workload: sessions must be >= 1")
+    results = record.get("results")
+    require(isinstance(results, list), f"{where}: 'results' must be an array")
+    require([r.get("name") for r in results if isinstance(r, dict)]
+            == PLANCACHE_ARM_NAMES,
+            f"{where}: results must be the arms {PLANCACHE_ARM_NAMES}")
+    checksums = {}
+    for i, result in enumerate(results):
+        where_r = f"{where}.results[{i}]"
+        check_fields(result, PLANCACHE_ARM_FIELDS, where_r)
+        require(result["cold_seconds"] > 0.0,
+                f"{where_r}: cold_seconds must be positive")
+        require(result["best_seconds"] > 0.0,
+                f"{where_r}: best_seconds must be positive")
+        require(result["mean_seconds"] >= result["best_seconds"],
+                f"{where_r}: mean_seconds < best_seconds")
+        require(result["sessions_per_sec"] > 0.0,
+                f"{where_r}: sessions_per_sec must be positive")
+        require(re.fullmatch(r"[0-9a-f]{8}", result["topk_checksum"]),
+                f"{where_r}: topk_checksum is not 8 lowercase hex digits")
+        checksums[result["name"]] = result["topk_checksum"]
+    cached, fresh = results
+    require(cached["plan_cache_hits"] >= 1,
+            f"{where}: the cached arm never hit its plan cache")
+    require(fresh["plans_computed"] > cached["plans_computed"],
+            f"{where}: the fresh arm must re-plan more than the cached arm")
+    comparison = record.get("comparison")
+    check_fields(comparison, PLANCACHE_COMPARISON_FIELDS,
+                 f"{where}.comparison")
+    require(comparison["speedup"] > 0.0,
+            f"{where}.comparison: speedup must be positive")
+    # The plan cache is only a cost optimization: a cached-plan session must
+    # produce output bit-identical to a fresh-planned one, always.
+    require(checksums["warm_cached"] == checksums["warm_fresh_planned"],
+            f"{where}: cached and fresh arms disagree on topk_checksum "
+            f"({checksums})")
+    require(comparison["identical_to_fresh"],
+            f"{where}.comparison: cached-plan sessions differ from "
+            "fresh-planned sessions")
+
+
 def validate_record(record, where):
     require(isinstance(record, dict), f"{where}: expected an object")
     require(record.get("schema_version") == 1,
@@ -607,6 +689,9 @@ def validate_record(record, where):
         return
     if record["benchmark"] == "micro_numa":
         validate_numa_record(record, where)
+        return
+    if record["benchmark"] == "micro_plancache":
+        validate_plancache_record(record, where)
         return
     check_workload(record.get("workload"), WORKLOAD_FIELDS,
                    f"{where}.workload")
